@@ -1,0 +1,147 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// simulator event throughput, metric synthesis, learner training and the
+// per-window online decision. The online numbers put hard bounds on the
+// paper's "no more than 50 ms for each on-line decision" claim for this
+// implementation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/pipeline.h"
+#include "core/synopsis.h"
+#include "counters/hpc_model.h"
+#include "counters/os_model.h"
+#include "ml/classifier.h"
+#include "sim/event_queue.h"
+#include "sim/tier.h"
+#include "util/rng.h"
+
+using namespace hpcap;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue eq;
+    for (int i = 0; i < 1000; ++i)
+      eq.schedule_at(static_cast<double>(i % 97), [] {});
+    eq.run_all();
+    benchmark::DoNotOptimize(eq.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_TierProcessorSharing(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue eq;
+    sim::Tier tier(eq, sim::Tier::Config{});
+    for (int i = 0; i < jobs; ++i)
+      tier.execute(0.01 * (1 + i % 7), sim::Tier::JobTag{}, [] {});
+    eq.run_all();
+    benchmark::DoNotOptimize(tier.active_jobs());
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_TierProcessorSharing)->Arg(16)->Arg(128)->Arg(1024);
+
+sim::Tier::IntervalStats micro_stats() {
+  sim::Tier::IntervalStats s;
+  s.duration = 1.0;
+  s.busy_time = 0.9;
+  s.core_busy_seconds = 1.7;
+  s.instr_done = 2.5e9;
+  s.stall_core_seconds = 0.4;
+  s.active_integral = 6.0;
+  s.thread_integral = 30.0;
+  s.footprint_integral = 250.0;
+  s.completions = 45;
+  s.job_starts = 45;
+  return s;
+}
+
+void BM_HpcSynthesis(benchmark::State& state) {
+  counters::HpcModel model(sim::Tier::Config{}, {}, 1);
+  const auto stats = micro_stats();
+  for (auto _ : state) benchmark::DoNotOptimize(model.synthesize(stats));
+}
+BENCHMARK(BM_HpcSynthesis);
+
+void BM_OsSynthesis(benchmark::State& state) {
+  counters::OsModel model(sim::Tier::Config{}, {}, 1);
+  const auto stats = micro_stats();
+  counters::OsGauges gauges;
+  gauges.runnable_now = 6;
+  gauges.threads_now = 30;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.synthesize(stats, gauges));
+}
+BENCHMARK(BM_OsSynthesis);
+
+ml::Dataset learner_data(int n) {
+  Rng rng(5);
+  ml::Dataset d({"a", "b", "c", "d", "e", "f"});
+  for (int i = 0; i < n; ++i) {
+    const int y = i % 2;
+    std::vector<double> row;
+    for (int a = 0; a < 6; ++a)
+      row.push_back(0.4 * y * (a % 3 == 0) + rng.normal(0.0, 0.5));
+    d.add(std::move(row), y);
+  }
+  return d;
+}
+
+void BM_LearnerFit(benchmark::State& state) {
+  const auto kind = static_cast<ml::LearnerKind>(state.range(0));
+  const ml::Dataset d = learner_data(200);
+  for (auto _ : state) {
+    auto clf = ml::make_learner(kind);
+    clf->fit(d);
+    benchmark::DoNotOptimize(clf->fitted());
+  }
+  state.SetLabel(ml::learner_name(kind));
+}
+BENCHMARK(BM_LearnerFit)
+    ->Arg(static_cast<int>(ml::LearnerKind::kLinearRegression))
+    ->Arg(static_cast<int>(ml::LearnerKind::kNaiveBayes))
+    ->Arg(static_cast<int>(ml::LearnerKind::kSvm))
+    ->Arg(static_cast<int>(ml::LearnerKind::kTan));
+
+void BM_LearnerPredict(benchmark::State& state) {
+  const auto kind = static_cast<ml::LearnerKind>(state.range(0));
+  auto clf = ml::make_learner(kind);
+  clf->fit(learner_data(200));
+  const std::vector<double> x = {0.2, -0.1, 0.4, 0.0, 0.3, -0.2};
+  for (auto _ : state) benchmark::DoNotOptimize(clf->predict_score(x));
+  state.SetLabel(ml::learner_name(kind));
+}
+BENCHMARK(BM_LearnerPredict)
+    ->Arg(static_cast<int>(ml::LearnerKind::kLinearRegression))
+    ->Arg(static_cast<int>(ml::LearnerKind::kNaiveBayes))
+    ->Arg(static_cast<int>(ml::LearnerKind::kSvm))
+    ->Arg(static_cast<int>(ml::LearnerKind::kTan));
+
+void BM_CoordinatedDecision(benchmark::State& state) {
+  // A 4-synopsis monitor, the paper's configuration: the "on-line
+  // decision" cost (per 30 s window) end to end minus metric collection.
+  core::SynopsisBuilder builder;
+  std::vector<core::Synopsis> synopses;
+  const ml::Dataset d = learner_data(200);
+  for (int i = 0; i < 4; ++i)
+    synopses.push_back(builder.build(
+        d, {"mix", i % 2 ? "db" : "app", i % 2, "hpc",
+            ml::LearnerKind::kTan}));
+  core::CoordinatedPredictor::Options opts;
+  opts.num_tiers = 2;
+  core::CapacityMonitor monitor(std::move(synopses), opts);
+  const std::vector<std::vector<double>> rows = {
+      {0.2, -0.1, 0.4, 0.0, 0.3, -0.2}, {0.5, 0.1, -0.4, 0.2, 0.1, 0.0}};
+  for (int i = 0; i < 50; ++i) monitor.train_instance(rows, i % 2, i % 2);
+  for (auto _ : state) benchmark::DoNotOptimize(monitor.observe(rows));
+}
+BENCHMARK(BM_CoordinatedDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

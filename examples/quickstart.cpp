@@ -1,0 +1,107 @@
+// Quickstart: measure the capacity of the simulated two-tier TPC-W site.
+//
+// Walks the library's whole pipeline on one workload:
+//   1. drive a ramp-up stress test (ordering mix) on the testbed;
+//   2. label every 30 s instance with the application-level health rule;
+//   3. select the Productivity Index by Corr against throughput (Eq. 1-2);
+//   4. build a TAN synopsis on the front-end tier's HPC metrics;
+//   5. replay a fresh test workload and report prediction quality.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "core/labeling.h"
+#include "core/productivity.h"
+#include "core/synopsis.h"
+#include "ml/evaluate.h"
+#include "testbed/experiment.h"
+#include "util/table.h"
+
+using namespace hpcap;
+
+int main() {
+  const auto mix = std::make_shared<const tpcw::Mix>(tpcw::ordering_mix());
+  testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
+
+  // --- 1. capacity estimate + stress ramp -----------------------------
+  const auto cap = testbed::measure_capacity(*mix, cfg);
+  std::printf("Analytic estimate: %.1f req/s (~%d EBs), bottleneck tier %d "
+              "(%s)\n",
+              cap.analytic.saturation_rps, cap.analytic.saturation_ebs,
+              cap.analytic.bottleneck_tier,
+              cap.analytic.bottleneck_tier == testbed::kAppTier ? "app"
+                                                                : "db");
+  std::printf("Measured (offline stress calibration): %.1f req/s at %d "
+              "EBs\n\n",
+              cap.saturation_rps, cap.saturation_ebs);
+
+  const auto train_sched = testbed::training_schedule(mix, cfg);
+  auto train = testbed::collect(train_sched, cfg);
+  std::printf("Training run: %zu instances, %.1f%% overloaded\n",
+              train.instances.size(),
+              100.0 * static_cast<double>(
+                          std::count(train.labels.begin(),
+                                     train.labels.end(), 1)) /
+                  static_cast<double>(train.labels.size()));
+
+  // Per-EB-level view of the ramp (the classic capacity curve).
+  TextTable curve("Ramp: throughput vs offered load");
+  curve.set_header({"EBs", "offered/s", "tput/s", "mean RT (s)",
+                    "app util", "db util", "label"});
+  int last_ebs = -1;
+  for (std::size_t i = 0; i < train.instances.size(); ++i) {
+    const auto& r = train.instances[i];
+    if (r.ebs == last_ebs) continue;  // first window of each level
+    last_ebs = r.ebs;
+    curve.add_row({std::to_string(r.ebs), TextTable::num(r.offered_rate, 1),
+                   TextTable::num(r.health.throughput, 1),
+                   TextTable::num(r.health.mean_response_time, 3),
+                   TextTable::num(r.tier_utilization[0], 2),
+                   TextTable::num(r.tier_utilization[1], 2),
+                   train.labels[i] ? "OVER" : "ok"});
+  }
+  std::printf("%s\n", curve.render().c_str());
+
+  // --- 2. PI selection (Eq. 2) over the stressed region ----------------
+  const auto stressed = testbed::stressed_series(train.instances, 0.85);
+  const auto pi_sel = core::select_pi(
+      stressed.tier_hpc, stressed.throughput, core::standard_pi_candidates());
+  std::printf("Selected PI: %s on tier %d, Corr = %.3f over %zu stressed "
+              "windows\n\n",
+              pi_sel.definition.name.c_str(), pi_sel.tier, pi_sel.corr,
+              stressed.throughput.size());
+
+  // --- 3. synopsis on the bottleneck tier's HPC metrics ---------------
+  const ml::Dataset train_ds = testbed::make_dataset(
+      train.instances, pi_sel.tier, "hpc", train.labels);
+  core::SynopsisBuilder builder;
+  const core::Synopsis syn = builder.build(
+      train_ds, {mix->name(),
+                 pi_sel.tier == testbed::kAppTier ? "app" : "db",
+                 pi_sel.tier, "hpc", ml::LearnerKind::kTan});
+  std::printf("Synopsis %s selected attributes:", syn.id().c_str());
+  for (const auto& n : syn.attribute_names()) std::printf(" %s", n.c_str());
+  std::printf("\n\n");
+
+  // --- 4. fresh test traffic ------------------------------------------
+  testbed::TestbedConfig test_cfg = cfg;
+  test_cfg.seed = cfg.seed + 1000;
+  auto test = testbed::collect(testbed::testing_schedule(mix, test_cfg),
+                               test_cfg);
+  ml::Confusion confusion;
+  for (std::size_t i = 0; i < test.instances.size(); ++i)
+    confusion.add(test.labels[i],
+                  syn.predict(test.instances[i].hpc[static_cast<std::size_t>(
+                      pi_sel.tier)]));
+  std::printf("Test run: %zu instances (%.0f%% overloaded)\n",
+              test.instances.size(), 100.0 * [&] {
+                double s = 0;
+                for (int l : test.labels) s += l;
+                return s / static_cast<double>(test.labels.size());
+              }());
+  std::printf("Balanced accuracy: %.3f  (TPR %.3f, TNR %.3f)\n",
+              confusion.balanced_accuracy(), confusion.tpr(),
+              confusion.tnr());
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+namespace hpcap::core {
+
+void AdmissionController::on_decision(bool overloaded) {
+  if (overloaded)
+    admit_prob_ = std::max(opts_.min_admit,
+                           admit_prob_ * opts_.decrease_factor);
+  else
+    admit_prob_ = std::min(1.0, admit_prob_ + opts_.increase_step);
+}
+
+bool AdmissionController::admit(Rng& rng) {
+  const bool ok = rng.bernoulli(admit_prob_);
+  ok ? ++admitted_ : ++rejected_;
+  return ok;
+}
+
+}  // namespace hpcap::core

@@ -1,0 +1,49 @@
+// Measurement-based admission control — the consumer the paper builds its
+// capacity measurement *for* (§I: "knowledge about the server capacity can
+// help a measurement-based admission controller in the front-end to
+// regulate the input traffic rate so as to prevent the server from running
+// in an overloaded state").
+//
+// An AIMD throttle on the front door: each sampling interval's coordinated
+// overload decision multiplicatively lowers the admission probability;
+// each underload decision additively recovers it. The admission_control
+// example wires this in front of the simulated site and shows overload
+// prevention end to end.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace hpcap::core {
+
+struct AdmissionOptions {
+  double decrease_factor = 0.70;  // on an overload decision
+  double increase_step = 0.05;    // on an underload decision
+  double min_admit = 0.05;        // never full blackout
+};
+
+class AdmissionController {
+ public:
+  using Options = AdmissionOptions;
+
+  explicit AdmissionController(Options opts = Options()) : opts_(opts) {}
+
+  // Feed one coordinated decision (end of a sampling interval).
+  void on_decision(bool overloaded);
+
+  // Front-door gate for one arriving request.
+  bool admit(Rng& rng);
+
+  double admit_probability() const noexcept { return admit_prob_; }
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  Options opts_;
+  double admit_prob_ = 1.0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace hpcap::core

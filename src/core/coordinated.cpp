@@ -1,0 +1,196 @@
+#include "core/coordinated.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcap::core {
+
+CoordinatedPredictor::CoordinatedPredictor(Options opts) : opts_(opts) {
+  if (opts_.num_synopses < 1 || opts_.num_synopses > 16)
+    throw std::invalid_argument(
+        "CoordinatedPredictor: num_synopses must be in [1, 16]");
+  if (opts_.num_tiers < 1)
+    throw std::invalid_argument("CoordinatedPredictor: need >= 1 tier");
+  if (opts_.history_bits < 0 || opts_.history_bits > 12)
+    throw std::invalid_argument(
+        "CoordinatedPredictor: history_bits must be in [0, 12]");
+  if (opts_.delta < 0)
+    throw std::invalid_argument("CoordinatedPredictor: delta must be >= 0");
+  hc_cap_ = opts_.hc_saturation > 0 ? opts_.hc_saturation
+                                    : 2 * opts_.delta + 2;
+  const std::size_t gpt_entries = std::size_t{1}
+                                  << opts_.num_synopses;
+  const std::size_t lht_entries = std::size_t{1} << opts_.history_bits;
+  history_mask_ = lht_entries - 1;
+  lht_.assign(gpt_entries, std::vector<int>(lht_entries, 0));
+  touched_.assign(gpt_entries,
+                  std::vector<std::uint8_t>(lht_entries, 0));
+  bpt_.assign(gpt_entries,
+              std::vector<double>(static_cast<std::size_t>(opts_.num_tiers),
+                                  0.0));
+  global_bv_.assign(static_cast<std::size_t>(opts_.num_tiers), 0.0);
+}
+
+std::size_t CoordinatedPredictor::pack_gpv(
+    const std::vector<int>& predictions) {
+  std::size_t gpv = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    if (predictions[i]) gpv |= std::size_t{1} << i;
+  return gpv;
+}
+
+void CoordinatedPredictor::push_history(int outcome) {
+  history_ = ((history_ << 1) | static_cast<std::size_t>(outcome != 0)) &
+             history_mask_;
+}
+
+void CoordinatedPredictor::update_tables(std::size_t gpv, int label,
+                                         int bottleneck_tier) {
+  int& hc = lht_[gpv][history_];
+  hc = label == 1 ? std::min(hc + 1, hc_cap_) : std::max(hc - 1, -hc_cap_);
+  touched_[gpv][history_] = 1;
+
+  // BPT training (§III.D): only overloaded instances carry bottleneck
+  // information; the annotated tier's vote rises, all others fall.
+  if (label == 1 && bottleneck_tier >= 0 &&
+      bottleneck_tier < opts_.num_tiers) {
+    auto& bv = bpt_[gpv];
+    for (std::size_t t = 0; t < bv.size(); ++t) {
+      const double delta =
+          (static_cast<int>(t) == bottleneck_tier) ? 1.0 : -1.0;
+      bv[t] += delta;
+      global_bv_[t] += delta;
+    }
+  }
+}
+
+int CoordinatedPredictor::majority(const std::vector<int>& votes) const {
+  int ones = 0;
+  for (int v : votes) ones += v != 0;
+  const int n = static_cast<int>(votes.size());
+  if (2 * ones > n) return 1;
+  if (2 * ones < n) return 0;
+  return opts_.scheme == TieScheme::kPessimistic ? 1 : 0;
+}
+
+int CoordinatedPredictor::history_signal(
+    const std::vector<int>& votes) const {
+  if (opts_.history_source == HistorySource::kSynopsisMajority)
+    return majority(votes);
+  // kSynopsisAny
+  for (int v : votes)
+    if (v != 0) return 1;
+  return 0;
+}
+
+void CoordinatedPredictor::train(const std::vector<int>& synopsis_predictions,
+                                 int label, int bottleneck_tier,
+                                 bool teacher_forced) {
+  if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses)
+    throw std::invalid_argument("CoordinatedPredictor::train: GPV width");
+  const std::size_t gpv = pack_gpv(synopsis_predictions);
+  // With self-prediction history, closed-loop passes decide from the
+  // *current* table state before the update, as online prediction would.
+  const int own_decision = decide(lht_[gpv][history_]);
+  update_tables(gpv, label, bottleneck_tier);
+  if (opts_.history_source == HistorySource::kSelfPredictions)
+    push_history(teacher_forced ? label : own_decision);
+  else
+    push_history(history_signal(synopsis_predictions));
+}
+
+void CoordinatedPredictor::reset_history() { history_ = 0; }
+
+int CoordinatedPredictor::decide(int hc_value) const {
+  if (hc_value > opts_.delta) return 1;
+  if (hc_value < -opts_.delta) return 0;
+  return opts_.scheme == TieScheme::kPessimistic ? 1 : 0;
+}
+
+CoordinatedPredictor::Decision CoordinatedPredictor::predict(
+    const std::vector<int>& synopsis_predictions) {
+  if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses)
+    throw std::invalid_argument("CoordinatedPredictor::predict: GPV width");
+  const std::size_t gpv = pack_gpv(synopsis_predictions);
+  const int hc = lht_[gpv][history_];
+  const bool trained_cell = touched_[gpv][history_] != 0;
+
+  Decision d;
+  d.hc = hc;
+  d.confident = hc > opts_.delta || hc < -opts_.delta;
+  if (!trained_cell &&
+      opts_.unseen == UnseenCellPolicy::kMajorityVote) {
+    // Pattern never observed in training: fall back to the synopsis
+    // majority (ties resolved by the φ scheme).
+    int votes = 0;
+    for (int v : synopsis_predictions) votes += v != 0;
+    const int half2 = static_cast<int>(synopsis_predictions.size());
+    if (2 * votes > half2)
+      d.state = 1;
+    else if (2 * votes < half2)
+      d.state = 0;
+    else
+      d.state = opts_.scheme == TieScheme::kPessimistic ? 1 : 0;
+  } else {
+    d.state = decide(hc);
+  }
+  if (d.state == 1) {
+    const auto& bv = bpt_[gpv];
+    const bool bv_empty =
+        std::all_of(bv.begin(), bv.end(), [](double b) { return b == 0.0; });
+    if (bv_empty && !opts_.synopsis_tiers.empty()) {
+      // No bottleneck votes for this GPV: name the tier whose synopses
+      // contributed the most positive bits; with no positive bits at all,
+      // fall back to the globally most common bottleneck.
+      std::vector<int> tier_votes(
+          static_cast<std::size_t>(opts_.num_tiers), 0);
+      int total_votes = 0;
+      for (std::size_t i = 0; i < synopsis_predictions.size() &&
+                              i < opts_.synopsis_tiers.size();
+           ++i) {
+        const int t = opts_.synopsis_tiers[i];
+        if (synopsis_predictions[i] && t >= 0 && t < opts_.num_tiers) {
+          ++tier_votes[static_cast<std::size_t>(t)];
+          ++total_votes;
+        }
+      }
+      if (total_votes > 0) {
+        d.bottleneck_tier = static_cast<int>(
+            std::max_element(tier_votes.begin(), tier_votes.end()) -
+            tier_votes.begin());
+      } else {
+        d.bottleneck_tier = static_cast<int>(
+            std::max_element(global_bv_.begin(), global_bv_.end()) -
+            global_bv_.begin());
+      }
+    } else {
+      // λb = argmax_i b_i over the GPV's Bottleneck Vector.
+      d.bottleneck_tier = static_cast<int>(
+          std::max_element(bv.begin(), bv.end()) - bv.begin());
+    }
+  }
+  push_history(opts_.history_source == HistorySource::kSelfPredictions
+                   ? d.state
+                   : history_signal(synopsis_predictions));
+  return d;
+}
+
+void CoordinatedPredictor::mark_outcome(
+    const std::vector<int>& synopsis_predictions, int label,
+    int bottleneck_tier) {
+  if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses)
+    throw std::invalid_argument(
+        "CoordinatedPredictor::mark_outcome: GPV width");
+  update_tables(pack_gpv(synopsis_predictions), label, bottleneck_tier);
+}
+
+int CoordinatedPredictor::hc(std::size_t gpv, std::size_t history) const {
+  return lht_.at(gpv).at(history);
+}
+
+const std::vector<double>& CoordinatedPredictor::bottleneck_votes(
+    std::size_t gpv) const {
+  return bpt_.at(gpv);
+}
+
+}  // namespace hpcap::core

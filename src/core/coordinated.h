@@ -1,0 +1,171 @@
+// The two-level coordinated predictor (§III.C–D), structured after the
+// two-level adaptive branch predictors of Yeh & Patt:
+//
+//   level 1 — Global Pattern Table (GPT): one entry per possible Global
+//   Pattern Vector (GPV), the m-bit vector of per-synopsis predictions in
+//   the current sampling interval (2^m entries);
+//
+//   level 2 — per GPV, a Local History Table (LHT) indexed by the last h
+//   coordinated prediction results (2^h entries), each holding a
+//   saturating counter Hc trained by incrementing on overloaded training
+//   instances and decrementing on underloaded ones;
+//
+//   decision — C = λ(Hc): overload if Hc > δ, underload if Hc < −δ, and
+//   the φ tie scheme inside [−δ, δ] (optimistic → underload,
+//   pessimistic → overload);
+//
+//   bottleneck — a Bottleneck Pattern Table (BPT), also GPV-indexed, holds
+//   a per-tier vote vector BV updated from bottleneck-annotated overloaded
+//   training instances; λb = argmax_i b_i names the bottleneck tier, and is
+//   consulted only when the coordinated state prediction is "overloaded".
+//
+// History semantics: during *training* the history register is fed the
+// true labels (as a branch predictor's history records actual outcomes);
+// during *online prediction* it records the predictor's own coordinated
+// decisions, since ground truth is unavailable. mark_outcome() lets a
+// deployment feed delayed ground truth back in for online adaptation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace hpcap::core {
+
+enum class TieScheme {
+  kOptimistic,   // φ(Hc) = underload inside [-δ, δ]
+  kPessimistic,  // φ(Hc) = overload inside [-δ, δ]
+};
+
+// What feeds the h-bit history register.
+enum class HistorySource {
+  // The coordinated predictor's own past decisions — the literal reading
+  // of §III.C. Subtle failure mode: online the register replays the
+  // predictor's outputs, not the truth it was trained against, and a
+  // confidently-wrong cell can lock the register (all-underload
+  // trajectories never visit the overload-history cells). Kept for
+  // fidelity and ablation.
+  kSelfPredictions,
+  // The majority vote of the current GPV — observable, identical in
+  // training and deployment, immune to the lock. Weak when only one of m
+  // synopses matches the live traffic (its lone bit never wins a
+  // majority).
+  kSynopsisMajority,
+  // The disjunction of the GPV — "some synopsis fired this interval".
+  // Observable like the majority, but it lets the history distinguish
+  // *sustained* firing (a real overload episode) from an isolated false
+  // positive even when only a single synopsis matches the traffic.
+  // Default.
+  kSynopsisAny,
+};
+
+// What to do when the indexed (GPV, history) cell was NEVER trained —
+// traffic whose synopsis-vote pattern did not occur in any training
+// workload (the paper's "unknown" mixes routinely produce such patterns).
+enum class UnseenCellPolicy {
+  kTieScheme,  // fall through to φ, as a literal reading of the paper
+  // Extension (ablated in bench_ablation): majority vote of the synopsis
+  // predictions decides; the bottleneck falls back to the tier whose
+  // synopses contributed the most positive votes.
+  kMajorityVote,
+};
+
+class CoordinatedPredictor {
+ public:
+  struct Options {
+    int num_synopses = 4;  // m — GPT has 2^m entries
+    int num_tiers = 2;     // K — width of each Bottleneck Vector
+    int history_bits = 3;  // h — LHT has 2^h entries
+    int delta = 5;         // δ — confidence band half-width
+    TieScheme scheme = TieScheme::kOptimistic;
+    // |Hc| saturation; keeps stale history from dominating. 0 = derive as
+    // 2δ + 2.
+    int hc_saturation = 0;
+    UnseenCellPolicy unseen = UnseenCellPolicy::kMajorityVote;
+    HistorySource history_source = HistorySource::kSynopsisAny;
+    // Tier owning each GPV bit (for the majority-vote bottleneck
+    // fallback); empty = fallback names tier 0.
+    std::vector<int> synopsis_tiers;
+  };
+
+  explicit CoordinatedPredictor(Options opts);
+
+  // --- training -------------------------------------------------------
+  // One temporally ordered training instance: the per-synopsis predictions
+  // for the interval, the true state, and the annotated bottleneck tier
+  // (ignored unless label == 1; pass -1 if unknown).
+  //
+  // `teacher_forced` controls what feeds the history register: true labels
+  // (bootstrap — gives the tables a consistent signal before the predictor
+  // can predict) or the predictor's own decisions (closed-loop — matches
+  // the online regime, where the LHT is indexed by "the last h prediction
+  // results", §III.C). Train with one teacher-forced pass followed by
+  // closed-loop passes; training only teacher-forced leaves the online
+  // predictor reading history cells it never populated.
+  void train(const std::vector<int>& synopsis_predictions, int label,
+             int bottleneck_tier = -1, bool teacher_forced = true);
+
+  // Resets the history register between training runs / deployment so one
+  // workload's tail does not leak into the next (table contents persist).
+  void reset_history();
+
+  // --- online prediction ----------------------------------------------
+  struct Decision {
+    int state = 0;        // 0 = underload, 1 = overload
+    bool confident = false;  // |Hc| > δ (φ was not needed)
+    int hc = 0;
+    int bottleneck_tier = -1;  // -1 unless state == 1
+  };
+
+  // Makes the coordinated decision for the interval and advances the
+  // online history register with it.
+  Decision predict(const std::vector<int>& synopsis_predictions);
+
+  // Optional online adaptation: once ground truth for the *previous*
+  // prediction becomes known, reinforce the tables with it.
+  void mark_outcome(const std::vector<int>& synopsis_predictions, int label,
+                    int bottleneck_tier = -1);
+
+  // --- introspection (tests, ablation benches) -------------------------
+  const Options& options() const noexcept { return opts_; }
+  int hc(std::size_t gpv, std::size_t history) const;
+  const std::vector<double>& bottleneck_votes(std::size_t gpv) const;
+  std::size_t gpt_size() const noexcept { return lht_.size(); }
+  std::size_t lht_size() const noexcept {
+    return std::size_t{1} << opts_.history_bits;
+  }
+  std::size_t current_history() const noexcept { return history_; }
+
+  // Packs an m-bit GPV from per-synopsis predictions (bit i = synopsis i).
+  static std::size_t pack_gpv(const std::vector<int>& predictions);
+
+  // Persistence of options + learned tables (see core/model_io.h).
+  void save(std::ostream& os) const;
+  static CoordinatedPredictor load(std::istream& is);
+
+ private:
+  void update_tables(std::size_t gpv, int label, int bottleneck_tier);
+  int decide(int hc_value) const;
+  void push_history(int outcome);
+  int majority(const std::vector<int>& votes) const;
+  int history_signal(const std::vector<int>& votes) const;
+
+  Options opts_;
+  int hc_cap_;
+  // lht_[gpv][history] = Hc.
+  std::vector<std::vector<int>> lht_;
+  // Which cells have ever been trained (an Hc of 0 can also mean
+  // "balanced evidence", which should still use λ, not the fallback).
+  std::vector<std::vector<std::uint8_t>> touched_;
+  // bpt_[gpv] = per-tier vote vector (double: votes can be fractional
+  // under future weighting schemes; integer updates in this paper).
+  std::vector<std::vector<double>> bpt_;
+  // Cumulative bottleneck votes across all GPVs — last-resort fallback
+  // when neither the GPV's BV nor the synopsis votes can name a tier.
+  std::vector<double> global_bv_;
+  std::size_t history_ = 0;   // h-bit shift register
+  std::size_t history_mask_;
+};
+
+}  // namespace hpcap::core

@@ -1,0 +1,88 @@
+#include "core/labeling.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace hpcap::core {
+
+int HealthLabeler::label(const WindowHealth& w) {
+  int overloaded = 0;
+  if (w.mean_response_time > policy_.response_time_sla) overloaded = 1;
+  // Post-saturation degradation: delivery fell below the established peak
+  // while demand still exceeds it (a backlog is building).
+  if (peak_ > 0.0 && w.throughput < policy_.throughput_floor * peak_ &&
+      w.offered_rate > w.throughput * 1.05)
+    overloaded = 1;
+  // Only healthy windows raise the reference peak: a throughput spike
+  // measured while drowning in queued work should not redefine capacity.
+  if (!overloaded) {
+    if (peak_ <= 0.0)
+      peak_ = w.throughput;  // prime from the first healthy window
+    else
+      peak_ = std::max(peak_, peak_ + policy_.peak_smoothing *
+                                          (w.throughput - peak_));
+    peak_ = std::max(peak_, 0.0);
+  }
+  return overloaded;
+}
+
+std::vector<int> HealthLabeler::label_all(
+    std::span<const WindowHealth> windows) {
+  std::vector<int> labels;
+  labels.reserve(windows.size());
+  for (const auto& w : windows) labels.push_back(label(w));
+  return labels;
+}
+
+std::size_t find_knee(std::span<const double> load,
+                      std::span<const double> throughput,
+                      double slope_fraction) {
+  const std::size_t n = std::min(load.size(), throughput.size());
+  if (n < 3) throw std::invalid_argument("find_knee: need >= 3 points");
+  // Per-segment slopes; the reference is the best slope in the first half
+  // (the single first segment can be flat when the ramp starts in the
+  // think-time-dominated regime).
+  std::vector<double> slope(n - 1, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double dx = load[i + 1] - load[i];
+    slope[i] = dx != 0.0 ? (throughput[i + 1] - throughput[i]) / dx : 0.0;
+  }
+  double ref = 0.0;
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, slope.size() / 2);
+       ++i)
+    ref = std::max(ref, slope[i]);
+  if (ref <= 0.0) return n - 1;
+  // Knee: the first point whose outgoing slope collapses and stays
+  // collapsed (single-segment dips are sampling noise).
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const bool flat_now = slope[i] < slope_fraction * ref;
+    const bool flat_next =
+        i + 2 >= n || slope[i + 1] < slope_fraction * ref;
+    if (flat_now && flat_next) return i;
+  }
+  return n - 1;
+}
+
+PiThresholdLabeler::PiThresholdLabeler(std::span<const double> pi,
+                                       std::span<const int> health_labels,
+                                       double quantile)
+    : threshold_(0.0) {
+  const std::size_t n = std::min(pi.size(), health_labels.size());
+  std::vector<double> overloaded_pi;
+  std::vector<double> healthy_pi;
+  for (std::size_t i = 0; i < n; ++i)
+    (health_labels[i] == 1 ? overloaded_pi : healthy_pi).push_back(pi[i]);
+  if (overloaded_pi.empty() || healthy_pi.empty())
+    throw std::invalid_argument(
+        "PiThresholdLabeler: calibration run must contain both states");
+  // The threshold separating states: high quantile of overloaded PI,
+  // bounded above by the median healthy PI so pathological overlap cannot
+  // push the threshold into the healthy bulk.
+  const double q = hpcap::quantile(overloaded_pi, quantile);
+  const double healthy_median = hpcap::quantile(healthy_pi, 0.5);
+  threshold_ = std::min(q, healthy_median);
+}
+
+}  // namespace hpcap::core

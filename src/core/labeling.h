@@ -1,0 +1,93 @@
+// Offline labeling of system state for synopsis training.
+//
+// The paper derives its binary "overload" ground truth from offline stress
+// testing: drive the site with a ramp until application-level healthiness
+// is lost, then classify every sampling window (§II.A). Two labelers:
+//
+//  * HealthLabeler — application-level: a window is overloaded when the
+//    mean response time breaks the SLA or delivered throughput falls below
+//    a fraction of the peak achieved at lower load. This is the ground
+//    truth used to train and score every experiment.
+//  * PiThresholdLabeler — hardware-level: thresholds a PI series at a
+//    value calibrated from an offline stress run (used online when no
+//    application-level telemetry is available, and by the Fig. 3 bench to
+//    show PI tracks throughput).
+//
+// Plus knee detection on a (load, throughput) curve to locate the
+// saturation point of a ramp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpcap::core {
+
+// Application-level telemetry for one labeling window.
+struct WindowHealth {
+  double mean_response_time = 0.0;  // seconds
+  double throughput = 0.0;          // completed requests / second
+  double offered_rate = 0.0;        // requests issued / second
+};
+
+struct HealthPolicy {
+  // A window whose mean response time exceeds this is overloaded.
+  double response_time_sla = 1.5;
+  // ...or whose throughput dropped below this fraction of the peak
+  // delivered earlier in the run (post-saturation degradation). This rule
+  // only applies while demand actually exceeds delivery (offered >
+  // throughput); low throughput under light offered load is idleness, not
+  // overload.
+  double throughput_floor = 0.80;
+  // Peaks are tracked with this EWMA weight to damp single-window spikes.
+  double peak_smoothing = 0.3;
+};
+
+class HealthLabeler {
+ public:
+  explicit HealthLabeler(HealthPolicy policy = HealthPolicy())
+      : policy_(policy) {}
+
+  // Labels one window (1 = overloaded); stateful because the throughput
+  // floor is relative to the running peak.
+  int label(const WindowHealth& w);
+
+  // Labels a whole run.
+  std::vector<int> label_all(std::span<const WindowHealth> windows);
+
+  void reset() { peak_ = 0.0; }
+  double peak_throughput() const noexcept { return peak_; }
+
+ private:
+  HealthPolicy policy_;
+  double peak_ = 0.0;
+};
+
+// Index of the saturation knee of a monotone-load ramp: the first point
+// where the local throughput slope falls below `slope_fraction` of the
+// initial slope. Returns xs.size()-1 if no knee is found. Requires at
+// least 3 points.
+std::size_t find_knee(std::span<const double> load,
+                      std::span<const double> throughput,
+                      double slope_fraction = 0.25);
+
+// PI threshold calibrated from a stress run: the `quantile`-quantile of PI
+// values observed in windows labeled overloaded (by the health labeler).
+// A window is then predicted overloaded when PI < threshold.
+class PiThresholdLabeler {
+ public:
+  // Calibrates from aligned series. Throws if no window of either class.
+  PiThresholdLabeler(std::span<const double> pi,
+                     std::span<const int> health_labels,
+                     double quantile = 0.8);
+
+  double threshold() const noexcept { return threshold_; }
+  int label(double pi_value) const noexcept {
+    return pi_value < threshold_ ? 1 : 0;
+  }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace hpcap::core

@@ -1,0 +1,142 @@
+#include "core/model_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace hpcap::core {
+
+using namespace ml::io;
+
+namespace {
+ml::LearnerKind kind_from_name(const std::string& name) {
+  if (name == "LR") return ml::LearnerKind::kLinearRegression;
+  if (name == "Naive") return ml::LearnerKind::kNaiveBayes;
+  if (name == "SVM") return ml::LearnerKind::kSvm;
+  if (name == "TAN") return ml::LearnerKind::kTan;
+  throw std::runtime_error("model_io: unknown learner '" + name + "'");
+}
+}  // namespace
+
+void save_synopsis(std::ostream& os, const Synopsis& synopsis) {
+  write_tag(os, "synopsis");
+  write_tag(os, "v1");
+  const auto& spec = synopsis.spec();
+  write_string(os, spec.workload);
+  write_string(os, spec.tier);
+  os << spec.tier_index << ' ';
+  write_string(os, spec.level);
+  write_size(os, synopsis.attributes().size());
+  for (std::size_t a : synopsis.attributes()) write_size(os, a);
+  for (const auto& n : synopsis.attribute_names()) write_string(os, n);
+  ml::save_classifier(os, synopsis.classifier());
+}
+
+Synopsis load_synopsis(std::istream& is) {
+  expect_tag(is, "synopsis");
+  expect_tag(is, "v1");
+  SynopsisSpec spec;
+  spec.workload = read_string(is);
+  spec.tier = read_string(is);
+  if (!(is >> spec.tier_index))
+    throw std::runtime_error("load_synopsis: tier index");
+  spec.level = read_string(is);
+  std::vector<std::size_t> attrs(read_size(is));
+  for (auto& a : attrs) a = read_size(is);
+  std::vector<std::string> names(attrs.size());
+  for (auto& n : names) n = read_string(is);
+  auto clf = ml::load_classifier(is);
+  spec.learner = kind_from_name(clf->name());
+  return Synopsis(std::move(spec), std::move(attrs), std::move(names),
+                  std::move(clf));
+}
+
+void CoordinatedPredictor::save(std::ostream& os) const {
+  write_tag(os, "predictor");
+  write_tag(os, "v1");
+  os << opts_.num_synopses << ' ' << opts_.num_tiers << ' '
+     << opts_.history_bits << ' ' << opts_.delta << ' '
+     << (opts_.scheme == TieScheme::kPessimistic ? 1 : 0) << ' '
+     << opts_.hc_saturation << ' '
+     << static_cast<int>(opts_.unseen) << ' '
+     << static_cast<int>(opts_.history_source) << ' ';
+  write_size(os, opts_.synopsis_tiers.size());
+  for (int t : opts_.synopsis_tiers) os << t << ' ';
+  for (const auto& row : lht_) {
+    for (int hc : row) os << hc << ' ';
+  }
+  for (const auto& row : touched_) {
+    for (int t : row) os << t << ' ';
+  }
+  for (const auto& bv : bpt_) {
+    for (double b : bv) write_double(os, b);
+  }
+  for (double b : global_bv_) write_double(os, b);
+  os << history_ << ' ';
+}
+
+CoordinatedPredictor CoordinatedPredictor::load(std::istream& is) {
+  expect_tag(is, "predictor");
+  expect_tag(is, "v1");
+  Options opts;
+  int scheme = 0, unseen = 0, source = 0;
+  if (!(is >> opts.num_synopses >> opts.num_tiers >> opts.history_bits >>
+        opts.delta >> scheme >> opts.hc_saturation >> unseen >> source))
+    throw std::runtime_error("load_predictor: options");
+  opts.scheme = scheme ? TieScheme::kPessimistic : TieScheme::kOptimistic;
+  opts.unseen = static_cast<UnseenCellPolicy>(unseen);
+  opts.history_source = static_cast<HistorySource>(source);
+  opts.synopsis_tiers.resize(read_size(is));
+  for (int& t : opts.synopsis_tiers)
+    if (!(is >> t)) throw std::runtime_error("load_predictor: tiers");
+
+  CoordinatedPredictor p(opts);
+  for (auto& row : p.lht_)
+    for (int& hc : row)
+      if (!(is >> hc)) throw std::runtime_error("load_predictor: lht");
+  for (auto& row : p.touched_)
+    for (auto& t : row) {
+      int v;
+      if (!(is >> v)) throw std::runtime_error("load_predictor: touched");
+      t = static_cast<std::uint8_t>(v);
+    }
+  for (auto& bv : p.bpt_)
+    for (double& b : bv) b = read_double(is);
+  for (double& b : p.global_bv_) b = read_double(is);
+  if (!(is >> p.history_))
+    throw std::runtime_error("load_predictor: history");
+  return p;
+}
+
+void save_predictor(std::ostream& os, const CoordinatedPredictor& p) {
+  p.save(os);
+}
+
+CoordinatedPredictor load_predictor(std::istream& is) {
+  return CoordinatedPredictor::load(is);
+}
+
+void save_monitor(std::ostream& os, const CapacityMonitor& monitor) {
+  write_tag(os, "hpcap-monitor");
+  write_tag(os, "v1");
+  write_size(os, monitor.synopses().size());
+  for (const auto& syn : monitor.synopses()) save_synopsis(os, syn);
+  monitor.predictor().save(os);
+  if (!os) throw std::runtime_error("save_monitor: stream failure");
+}
+
+CapacityMonitor load_monitor(std::istream& is) {
+  expect_tag(is, "hpcap-monitor");
+  expect_tag(is, "v1");
+  std::vector<Synopsis> synopses;
+  const std::size_t n = read_size(is);
+  synopses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) synopses.push_back(load_synopsis(is));
+  CoordinatedPredictor predictor = CoordinatedPredictor::load(is);
+  return CapacityMonitor(std::move(synopses), std::move(predictor));
+}
+
+}  // namespace hpcap::core

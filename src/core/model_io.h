@@ -1,0 +1,24 @@
+// Persistence for the core capacity-measurement models: Synopsis,
+// CoordinatedPredictor and the whole CapacityMonitor bundle. Together
+// with ml/serialize.h this lets the offline trainer and the online
+// monitor be separate processes, which is how the paper's tool deploys.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/coordinated.h"
+#include "core/pipeline.h"
+#include "core/synopsis.h"
+
+namespace hpcap::core {
+
+void save_synopsis(std::ostream& os, const Synopsis& synopsis);
+Synopsis load_synopsis(std::istream& is);
+
+void save_predictor(std::ostream& os, const CoordinatedPredictor& p);
+CoordinatedPredictor load_predictor(std::istream& is);
+
+void save_monitor(std::ostream& os, const CapacityMonitor& monitor);
+CapacityMonitor load_monitor(std::istream& is);
+
+}  // namespace hpcap::core

@@ -1,0 +1,18 @@
+#include "core/online_adapt.h"
+
+namespace hpcap::core {
+
+CoordinatedPredictor::Decision OnlineAdapter::observe(
+    const std::vector<std::vector<double>>& tier_rows) {
+  pending_votes_.push_back(monitor_.synopsis_votes(tier_rows));
+  return monitor_.predictor().predict(pending_votes_.back());
+}
+
+void OnlineAdapter::report_truth(int label, int bottleneck_tier) {
+  if (pending_votes_.empty()) return;
+  monitor_.predictor().mark_outcome(pending_votes_.front(), label,
+                                    bottleneck_tier);
+  pending_votes_.pop_front();
+}
+
+}  // namespace hpcap::core

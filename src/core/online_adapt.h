@@ -1,0 +1,41 @@
+// Online adaptation of the coordinated tables.
+//
+// The paper trains offline and predicts online; its conclusion lists
+// accuracy on unknown traffic as the open gap. In a live deployment the
+// application-level health of a window *does* become known — just late
+// (requests admitted in the window finish, response times get logged).
+// OnlineAdapter exploits that: it delays each window's synopsis votes
+// until the caller reports the window's eventual ground truth, then
+// reinforces the coordinated tables with it (mark_outcome). The predictor
+// keeps making zero-lag decisions; the tables track drift a few windows
+// behind. bench_ablation quantifies the effect on unknown-mix traffic.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace hpcap::core {
+
+class OnlineAdapter {
+ public:
+  explicit OnlineAdapter(CapacityMonitor& monitor) : monitor_(monitor) {}
+
+  // Makes the (zero-lag) decision for a window and queues its votes for
+  // later reinforcement.
+  CoordinatedPredictor::Decision observe(
+      const std::vector<std::vector<double>>& tier_rows);
+
+  // Reports the eventual ground truth of the *oldest unreported* window,
+  // in observation order. No-op if nothing is pending.
+  void report_truth(int label, int bottleneck_tier = -1);
+
+  std::size_t pending() const noexcept { return pending_votes_.size(); }
+
+ private:
+  CapacityMonitor& monitor_;
+  std::deque<std::vector<int>> pending_votes_;
+};
+
+}  // namespace hpcap::core

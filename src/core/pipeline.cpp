@@ -1,0 +1,62 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hpcap::core {
+
+namespace {
+CoordinatedPredictor::Options patch_options(
+    CoordinatedPredictor::Options opts, std::size_t num_synopses) {
+  opts.num_synopses = static_cast<int>(num_synopses);
+  return opts;
+}
+}  // namespace
+
+CapacityMonitor::CapacityMonitor(std::vector<Synopsis> synopses,
+                                 CoordinatedPredictor::Options options)
+    : synopses_(std::move(synopses)),
+      predictor_(patch_options(options, synopses_.size())) {
+  if (synopses_.empty())
+    throw std::invalid_argument("CapacityMonitor: needs >= 1 synopsis");
+}
+
+CapacityMonitor::CapacityMonitor(std::vector<Synopsis> synopses,
+                                 CoordinatedPredictor predictor)
+    : synopses_(std::move(synopses)), predictor_(std::move(predictor)) {
+  if (synopses_.empty())
+    throw std::invalid_argument("CapacityMonitor: needs >= 1 synopsis");
+  if (predictor_.options().num_synopses !=
+      static_cast<int>(synopses_.size()))
+    throw std::invalid_argument(
+        "CapacityMonitor: predictor GPV width != synopsis count");
+}
+
+std::vector<int> CapacityMonitor::synopsis_votes(
+    const std::vector<std::vector<double>>& tier_rows) const {
+  std::vector<int> votes;
+  votes.reserve(synopses_.size());
+  for (const auto& syn : synopses_) {
+    const auto t = static_cast<std::size_t>(syn.spec().tier_index);
+    if (t >= tier_rows.size())
+      throw std::out_of_range("CapacityMonitor: missing tier row");
+    votes.push_back(syn.predict(tier_rows[t]));
+  }
+  return votes;
+}
+
+void CapacityMonitor::train_instance(
+    const std::vector<std::vector<double>>& tier_rows, int label,
+    int bottleneck_tier, bool teacher_forced) {
+  predictor_.train(synopsis_votes(tier_rows), label, bottleneck_tier,
+                   teacher_forced);
+}
+
+void CapacityMonitor::end_training_run() { predictor_.reset_history(); }
+
+CoordinatedPredictor::Decision CapacityMonitor::observe(
+    const std::vector<std::vector<double>>& tier_rows) {
+  return predictor_.predict(synopsis_votes(tier_rows));
+}
+
+}  // namespace hpcap::core

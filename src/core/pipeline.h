@@ -1,0 +1,61 @@
+// CapacityMonitor — the deployable unit of the paper's system (Fig. 1):
+// a bank of per-(tier, workload) synopses feeding the two-level
+// coordinated predictor. One monitor watches one metric level (HPC or OS).
+//
+// Offline: train_instance() consumes temporally ordered labeled instances
+// (each a full metric row per tier); every synopsis votes, the votes form
+// the GPV, and the coordinated tables learn Hc / bottleneck counters.
+// Online: observe() turns the current per-tier rows into a Decision.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/coordinated.h"
+#include "core/synopsis.h"
+
+namespace hpcap::core {
+
+class CapacityMonitor {
+ public:
+  // `synopses` order defines GPV bit order. Options' num_synopses is
+  // overwritten to match.
+  CapacityMonitor(std::vector<Synopsis> synopses,
+                  CoordinatedPredictor::Options options);
+
+  // Re-assembles a monitor from restored parts (core/model_io.h); the
+  // predictor's GPV width must match the synopsis count.
+  CapacityMonitor(std::vector<Synopsis> synopses,
+                  CoordinatedPredictor predictor);
+
+  // One labeled training instance; `tier_rows[t]` is tier t's full metric
+  // row for the window. Call in temporal order. See
+  // CoordinatedPredictor::train for `teacher_forced`.
+  void train_instance(const std::vector<std::vector<double>>& tier_rows,
+                      int label, int bottleneck_tier = -1,
+                      bool teacher_forced = true);
+
+  // Marks a boundary between independent training runs (clears history).
+  void end_training_run();
+
+  // Online decision for one window.
+  CoordinatedPredictor::Decision observe(
+      const std::vector<std::vector<double>>& tier_rows);
+
+  // The raw per-synopsis votes for a window (GPV bits, for diagnostics).
+  std::vector<int> synopsis_votes(
+      const std::vector<std::vector<double>>& tier_rows) const;
+
+  const std::vector<Synopsis>& synopses() const noexcept { return synopses_; }
+  CoordinatedPredictor& predictor() noexcept { return predictor_; }
+  const CoordinatedPredictor& predictor() const noexcept {
+    return predictor_;
+  }
+
+ private:
+  std::vector<Synopsis> synopses_;
+  CoordinatedPredictor predictor_;
+};
+
+}  // namespace hpcap::core

@@ -1,0 +1,56 @@
+#include "core/productivity.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace hpcap::core {
+
+double PiDefinition::compute(std::span<const double> metrics) const {
+  const double yield = metrics[yield_index];
+  const double cost = metrics[cost_index];
+  if (cost <= 0.0) return 0.0;
+  return yield / cost;
+}
+
+std::vector<PiDefinition> standard_pi_candidates() {
+  using namespace hpcap::counters;
+  return {
+      {"ipc/l2_miss_rate", kHpcIpc, kHpcL2MissRate},
+      {"ipc/stall_fraction", kHpcIpc, kHpcStallFraction},
+      {"ipc/l2_miss_per_kinstr", kHpcIpc, kHpcL2MissPerKInstr},
+      {"uops/stall_fraction", kHpcUopsPerCycle, kHpcStallFraction},
+  };
+}
+
+std::vector<double> pi_series(const std::vector<std::vector<double>>& samples,
+                              const PiDefinition& def) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(def.compute(s));
+  return out;
+}
+
+PiSelection select_pi(
+    const std::vector<std::vector<std::vector<double>>>& tier_samples,
+    std::span<const double> reference,
+    const std::vector<PiDefinition>& candidates) {
+  if (tier_samples.empty() || candidates.empty())
+    throw std::invalid_argument("select_pi: nothing to select from");
+  PiSelection best;
+  best.corr = -2.0;
+  for (std::size_t t = 0; t < tier_samples.size(); ++t) {
+    for (const auto& def : candidates) {
+      const std::vector<double> pi = pi_series(tier_samples[t], def);
+      const double corr = pearson(pi, reference);
+      if (corr > best.corr) {
+        best.definition = def;
+        best.tier = static_cast<int>(t);
+        best.corr = corr;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hpcap::core

@@ -1,0 +1,55 @@
+// Productivity Index (Eq. 1) and Corr-based PI selection (Eq. 2).
+//
+//   PI = Yield / Cost
+//
+// with yield and cost drawn from hardware counter metrics: IPC as yield
+// and L2 miss rate / stall fraction / misses-per-kiloinstruction as cost.
+// A PI definition is evaluated by its Pearson correlation against an
+// application-level reference series (throughput); the tier × definition
+// pair with the largest Corr becomes the capacity reference for the whole
+// site, and that tier is taken as the bottleneck under the measured
+// workload (§III.A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "counters/metric_catalog.h"
+
+namespace hpcap::core {
+
+// PI = metric[yield] / metric[cost] (guarded against zero cost).
+struct PiDefinition {
+  std::string name;
+  std::size_t yield_index;
+  std::size_t cost_index;
+
+  double compute(std::span<const double> metrics) const;
+};
+
+// The candidate definitions the paper draws from: instruction-level yield
+// against memory-system cost.
+std::vector<PiDefinition> standard_pi_candidates();
+
+// PI value per sample of a metric time series.
+std::vector<double> pi_series(const std::vector<std::vector<double>>& samples,
+                              const PiDefinition& def);
+
+// Result of Corr-based selection over tiers × candidate definitions.
+struct PiSelection {
+  PiDefinition definition;
+  int tier = -1;
+  double corr = 0.0;
+};
+
+// `tier_samples[t]` is tier t's metric series; `reference` the aligned
+// application-level series (throughput). Picks the (tier, definition) with
+// the largest Corr (Eq. 2). Requires at least one tier and candidate.
+PiSelection select_pi(
+    const std::vector<std::vector<std::vector<double>>>& tier_samples,
+    std::span<const double> reference,
+    const std::vector<PiDefinition>& candidates);
+
+}  // namespace hpcap::core

@@ -1,0 +1,77 @@
+#include "core/synopsis.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcap::core {
+
+Synopsis::Synopsis(SynopsisSpec spec, std::vector<std::size_t> attributes,
+                   std::vector<std::string> attribute_names,
+                   std::unique_ptr<ml::Classifier> classifier)
+    : spec_(std::move(spec)),
+      attributes_(std::move(attributes)),
+      attribute_names_(std::move(attribute_names)),
+      classifier_(std::move(classifier)) {
+  if (!classifier_ || !classifier_->fitted())
+    throw std::invalid_argument("Synopsis: requires a fitted classifier");
+  if (attributes_.empty())
+    throw std::invalid_argument("Synopsis: requires >= 1 attribute");
+}
+
+std::vector<double> Synopsis::project(
+    std::span<const double> full_row) const {
+  std::vector<double> out;
+  out.reserve(attributes_.size());
+  for (std::size_t a : attributes_) {
+    if (a >= full_row.size())
+      throw std::out_of_range("Synopsis: row narrower than catalog");
+    out.push_back(full_row[a]);
+  }
+  return out;
+}
+
+int Synopsis::predict(std::span<const double> full_row) const {
+  return classifier_->predict(project(full_row));
+}
+
+double Synopsis::predict_score(std::span<const double> full_row) const {
+  return classifier_->predict_score(project(full_row));
+}
+
+std::string Synopsis::id() const {
+  return spec_.workload + "/" + spec_.tier + "/" + spec_.level + "/" +
+         classifier_->name();
+}
+
+Synopsis SynopsisBuilder::build(const ml::Dataset& training,
+                                SynopsisSpec spec) const {
+  if (training.positives() == 0 || training.negatives() == 0)
+    throw std::invalid_argument(
+        "SynopsisBuilder: training set must contain both states "
+        "(stress the system past saturation when collecting it)");
+  auto prototype = ml::make_learner(spec.learner);
+
+  std::vector<std::size_t> attrs;
+  if (opts_.use_feature_selection) {
+    Rng rng(opts_.seed);
+    attrs = ml::forward_select(*prototype, training, opts_.selection, rng);
+  }
+  if (attrs.empty()) {
+    // Degenerate selection: fall back to the full attribute set.
+    attrs.resize(training.dim());
+    std::iota(attrs.begin(), attrs.end(), std::size_t{0});
+  }
+
+  const ml::Dataset projected = training.project(attrs);
+  auto clf = ml::make_learner(spec.learner);
+  clf->fit(projected);
+
+  std::vector<std::string> names;
+  names.reserve(attrs.size());
+  for (std::size_t a : attrs) names.push_back(training.attribute_names()[a]);
+  return Synopsis(std::move(spec), std::move(attrs), std::move(names),
+                  std::move(clf));
+}
+
+}  // namespace hpcap::core

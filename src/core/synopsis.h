@@ -1,0 +1,83 @@
+// Performance synopses (§II.B): SYN({A1..An}, C) — a trained correlation
+// between a tier's low-level metric vector and the binary system state,
+// specific to one (tier, workload, metric level) combination.
+//
+// A Synopsis owns its attribute selection: it is built on the *full*
+// metric catalog of its level, performs info-gain + forward selection, and
+// afterwards accepts full-width rows at prediction time, projecting to its
+// selected attributes internally. That keeps the online pipeline trivially
+// uniform: every component exchanges full catalog-layout vectors.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/feature_select.h"
+
+namespace hpcap::core {
+
+struct SynopsisSpec {
+  std::string workload;  // training mix name, e.g. "ordering"
+  std::string tier;      // e.g. "app", "db"
+  int tier_index = 0;
+  std::string level;     // "hpc" or "os"
+  ml::LearnerKind learner = ml::LearnerKind::kTan;
+};
+
+class Synopsis {
+ public:
+  Synopsis(SynopsisSpec spec, std::vector<std::size_t> attributes,
+           std::vector<std::string> attribute_names,
+           std::unique_ptr<ml::Classifier> classifier);
+
+  Synopsis(Synopsis&&) noexcept = default;
+  Synopsis& operator=(Synopsis&&) noexcept = default;
+
+  const SynopsisSpec& spec() const noexcept { return spec_; }
+  const std::vector<std::size_t>& attributes() const noexcept {
+    return attributes_;
+  }
+  const std::vector<std::string>& attribute_names() const noexcept {
+    return attribute_names_;
+  }
+  const ml::Classifier& classifier() const noexcept { return *classifier_; }
+
+  // `full_row` is in the level's full catalog layout.
+  int predict(std::span<const double> full_row) const;
+  double predict_score(std::span<const double> full_row) const;
+
+  std::string id() const;  // "ordering/app/hpc/TAN"
+
+ private:
+  std::vector<double> project(std::span<const double> full_row) const;
+
+  SynopsisSpec spec_;
+  std::vector<std::size_t> attributes_;
+  std::vector<std::string> attribute_names_;
+  std::unique_ptr<ml::Classifier> classifier_;
+};
+
+struct SynopsisBuilderOptions {
+  ml::FeatureSelectOptions selection;
+  bool use_feature_selection = true;
+  std::uint64_t seed = 17;
+};
+
+// Builds a synopsis from a full-catalog training set.
+class SynopsisBuilder {
+ public:
+  explicit SynopsisBuilder(
+      SynopsisBuilderOptions opts = SynopsisBuilderOptions())
+      : opts_(opts) {}
+
+  Synopsis build(const ml::Dataset& training, SynopsisSpec spec) const;
+
+ private:
+  SynopsisBuilderOptions opts_;
+};
+
+}  // namespace hpcap::core

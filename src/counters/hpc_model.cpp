@@ -1,0 +1,88 @@
+#include "counters/hpc_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcap::counters {
+
+HpcModel::HpcModel(sim::Tier::Config tier, Params params, std::uint64_t seed)
+    : tier_(std::move(tier)), params_(params), rng_(seed) {}
+
+double HpcModel::noisy(double v) {
+  if (v <= 0.0) return 0.0;
+  return v * rng_.lognormal_mean_cv(1.0, params_.noise_cv);
+}
+
+std::vector<double> HpcModel::synthesize(const sim::Tier::IntervalStats& s) {
+  std::vector<double> m(kHpcMetricCount, 0.0);
+  const double dur = std::max(s.duration, 1e-9);
+  const double hz = tier_.freq_ghz * 1e9;
+  const double total_cycles = static_cast<double>(tier_.cores) * hz * dur;
+
+  // Background housekeeping keeps counters from reading exactly zero when
+  // the tier idles (kernel ticks, daemons).
+  const double bg_cycles = params_.background_util * hz * dur;
+  const double bg_instr = bg_cycles * 0.9;
+
+  const double busy_cycles = s.core_busy_seconds * hz + bg_cycles;
+  const double halted = std::max(0.0, total_cycles - busy_cycles);
+  const double instr = s.instr_done + bg_instr;
+
+  // Live-footprint-driven memory behavior.
+  const double fp = s.mean_footprint_mb();
+  const double fp_factor = fp / (fp + params_.footprint_half_mb);
+  const double mpk = params_.mpk_min + params_.mpk_range * fp_factor;
+  const double refs_pk =
+      params_.l2_refs_per_kinstr * (1.0 + 0.5 * fp_factor);
+  const double l2_refs = instr / 1000.0 * refs_pk;
+  const double l2_miss = instr / 1000.0 * mpk;
+
+  // Stall cycles: what the contention model withheld plus a per-miss
+  // penalty component (memory latency visible to the pipeline).
+  const double miss_penalty_cycles = l2_miss * 180.0;
+  const double stall =
+      s.stall_core_seconds * hz + 0.35 * miss_penalty_cycles;
+
+  // Branch mix: more concurrently *executing* streams -> slightly worse
+  // prediction (blocked threads execute nothing).
+  const double run_load = std::min(
+      1.0, s.mean_active() / (4.0 * static_cast<double>(tier_.cores)));
+  const double branches = instr * params_.branches_per_instr;
+  const double mispred_rate =
+      params_.mispred_base + params_.mispred_load_range * run_load;
+
+  m[kHpcInstrRetired] = noisy(instr);
+  m[kHpcCyclesBusy] = noisy(busy_cycles);
+  m[kHpcCyclesHalted] = noisy(halted);
+  m[kHpcL2References] = noisy(l2_refs);
+  m[kHpcL2Misses] = noisy(l2_miss);
+  m[kHpcStallCycles] = noisy(std::min(stall, busy_cycles));
+  m[kHpcBranches] = noisy(branches);
+  m[kHpcBranchMispredictions] = noisy(branches * mispred_rate);
+  // Bus: line fills for misses plus write-back traffic.
+  m[kHpcBusTransactions] = noisy(l2_miss * 1.4 + instr * 1e-4);
+  m[kHpcDtlbMisses] = noisy(instr / 1000.0 * (0.4 + 3.0 * fp_factor));
+  m[kHpcItlbMisses] = noisy(instr / 1000.0 * 0.05);
+  m[kHpcMemLoads] = noisy(instr * params_.loads_per_instr);
+  m[kHpcMemStores] = noisy(instr * params_.stores_per_instr);
+  m[kHpcPrefetches] = noisy(l2_refs * 0.30);
+
+  // Derived rates are computed from the *noisy* raw counters, as a real
+  // tool would compute them from the registers it read.
+  const double cb = std::max(m[kHpcCyclesBusy], 1.0);
+  m[kHpcIpc] = m[kHpcInstrRetired] / cb;
+  m[kHpcL2MissRate] =
+      m[kHpcL2References] > 0.0 ? m[kHpcL2Misses] / m[kHpcL2References] : 0.0;
+  m[kHpcL2MissPerKInstr] =
+      m[kHpcInstrRetired] > 0.0
+          ? m[kHpcL2Misses] / (m[kHpcInstrRetired] / 1000.0)
+          : 0.0;
+  m[kHpcStallFraction] = m[kHpcStallCycles] / cb;
+  m[kHpcBranchMispredRate] =
+      m[kHpcBranches] > 0.0 ? m[kHpcBranchMispredictions] / m[kHpcBranches]
+                            : 0.0;
+  m[kHpcUopsPerCycle] = m[kHpcIpc] * 1.35;  // NetBurst uop expansion
+  return m;
+}
+
+}  // namespace hpcap::counters

@@ -1,0 +1,72 @@
+// Synthetic hardware-performance-counter model.
+//
+// The physical testbed read NetBurst event counters through the PerfCtr
+// kernel patch; this repo has no Pentium 4 to read, so the counters are
+// synthesized from the simulator's ground-truth tier statistics. The model
+// preserves the causal structure the paper's method depends on:
+//
+//   * retired instructions track *useful* work (contention-degraded), so
+//     IPC falls as the tier slides from saturated into overloaded;
+//   * L2 misses and TLB misses grow with the live memory footprint of
+//     concurrently running jobs — a few heavy queries raise them sharply
+//     even while thread counts stay low;
+//   * resource-stall cycles account for the efficiency the contention
+//     model removed, so stall_fraction ≈ 1 - efficiency;
+//   * bus transactions follow L2 misses (line fills + write-backs);
+//   * branch behavior shifts mildly with concurrency (more irregular
+//     control flow under multiplexed request streams).
+//
+// Each counter gets multiplicative log-normal measurement noise plus a
+// small additive background (daemons, kernel housekeeping), so 1-second
+// samples are realistically jittery and the ML layer has to earn its
+// accuracy.
+#pragma once
+
+#include <vector>
+
+#include "counters/metric_catalog.h"
+#include "sim/tier.h"
+#include "util/rng.h"
+
+namespace hpcap::counters {
+
+class HpcModel {
+ public:
+  struct Params {
+    // L2 references per 1000 instructions (L1 misses reaching L2).
+    double l2_refs_per_kinstr = 42.0;
+    // L2 miss-per-kinstr range as live footprint grows: misses rise from
+    // `mpk_min` toward `mpk_min + mpk_range` with half-saturation at
+    // `footprint_half_mb` (kept consistent with the tier's stall model).
+    double mpk_min = 1.5;
+    double mpk_range = 30.0;
+    double footprint_half_mb = 256.0;
+    // Branch profile.
+    double branches_per_instr = 0.18;
+    double mispred_base = 0.020;
+    double mispred_load_range = 0.018;
+    // Memory op profile.
+    double loads_per_instr = 0.28;
+    double stores_per_instr = 0.12;
+    // Measurement noise: stddev of the multiplicative log-normal term.
+    double noise_cv = 0.04;
+    // Background activity (fraction of one core's cycles).
+    double background_util = 0.004;
+  };
+
+  HpcModel(sim::Tier::Config tier, Params params, std::uint64_t seed);
+
+  // Synthesizes one sample (layout per hpc_catalog()) for an interval.
+  std::vector<double> synthesize(const sim::Tier::IntervalStats& s);
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  double noisy(double v);
+
+  sim::Tier::Config tier_;
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace hpcap::counters

@@ -1,0 +1,114 @@
+#include "counters/metric_catalog.h"
+
+#include <algorithm>
+
+namespace hpcap::counters {
+
+MetricCatalog::MetricCatalog(std::string level,
+                             std::vector<std::string> names)
+    : level_(std::move(level)), names_(std::move(names)) {}
+
+std::size_t MetricCatalog::index_of(const std::string& name) const noexcept {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  return it == names_.end() ? npos
+                            : static_cast<std::size_t>(it - names_.begin());
+}
+
+const MetricCatalog& hpc_catalog() {
+  static const MetricCatalog catalog("hpc", {
+      "instr_retired",        // 0
+      "cycles_busy",          // 1  non-halted cycles
+      "cycles_halted",        // 2
+      "ipc",                  // 3  instr_retired / cycles_busy
+      "l2_references",        // 4
+      "l2_misses",            // 5
+      "l2_miss_rate",         // 6  misses / references
+      "l2_miss_per_kinstr",   // 7
+      "stall_cycles",         // 8  resource stalls
+      "stall_fraction",       // 9  stall_cycles / cycles_busy
+      "branches",             // 10
+      "branch_mispred",       // 11
+      "branch_mispred_rate",  // 12
+      "bus_transactions",     // 13 front-side bus activity
+      "dtlb_misses",          // 14
+      "itlb_misses",          // 15
+      "mem_loads",            // 16
+      "mem_stores",           // 17
+      "uops_per_cycle",       // 18
+      "prefetches",           // 19
+  });
+  return catalog;
+}
+
+const MetricCatalog& os_catalog() {
+  // The 64 sar-style fields collected by the paper's Sysstat setup.
+  static const MetricCatalog catalog("os", {
+      "cpu_user_pct",      // 0
+      "cpu_system_pct",    // 1
+      "cpu_iowait_pct",    // 2
+      "cpu_idle_pct",      // 3
+      "runq_sz",           // 4
+      "plist_sz",          // 5
+      "ldavg_1",           // 6
+      "ldavg_5",           // 7
+      "ldavg_15",          // 8
+      "cswch_per_s",       // 9
+      "intr_per_s",        // 10
+      "proc_per_s",        // 11
+      "kbmemfree",         // 12
+      "kbmemused",         // 13
+      "memused_pct",       // 14
+      "kbbuffers",         // 15
+      "kbcached",          // 16
+      "kbcommit",          // 17
+      "commit_pct",        // 18
+      "kbactive",          // 19
+      "kbinact",           // 20
+      "kbswpfree",         // 21
+      "kbswpused",         // 22
+      "swpused_pct",       // 23
+      "kbswpcad",          // 24
+      "pgpgin_per_s",      // 25
+      "pgpgout_per_s",     // 26
+      "fault_per_s",       // 27
+      "majflt_per_s",      // 28
+      "pgfree_per_s",      // 29
+      "pgscank_per_s",     // 30
+      "pgscand_per_s",     // 31
+      "pgsteal_per_s",     // 32
+      "io_tps",            // 33
+      "io_rtps",           // 34
+      "io_wtps",           // 35
+      "bread_per_s",       // 36
+      "bwrtn_per_s",       // 37
+      "rxpck_per_s",       // 38
+      "txpck_per_s",       // 39
+      "rxkb_per_s",        // 40
+      "txkb_per_s",        // 41
+      "rxerr_per_s",       // 42
+      "txerr_per_s",       // 43
+      "rxdrop_per_s",      // 44
+      "txdrop_per_s",      // 45
+      "totsck",            // 46
+      "tcpsck",            // 47
+      "udpsck",            // 48
+      "tcp_tw",            // 49
+      "tcp_active_per_s",  // 50
+      "tcp_passive_per_s", // 51
+      "tcp_iseg_per_s",    // 52
+      "tcp_oseg_per_s",    // 53
+      "file_nr",           // 54
+      "inode_nr",          // 55
+      "dentunusd",         // 56
+      "pty_nr",            // 57
+      "sda_tps",           // 58
+      "sda_await_ms",      // 59
+      "sda_util_pct",      // 60
+      "steal_pct",         // 61
+      "nice_pct",          // 62
+      "irq_pct",           // 63
+  });
+  return catalog;
+}
+
+}  // namespace hpcap::counters

@@ -1,0 +1,83 @@
+// Metric catalogs: the named dimensions of the two monitoring levels the
+// paper compares.
+//
+//  * The HPC catalog mirrors the event set readable through the PerfCtr
+//    kernel patch on Intel NetBurst parts — retired instructions, non-halted
+//    cycles, L2 references/misses, resource stalls, branches and
+//    mispredictions, front-side-bus transactions, TLB misses — plus the
+//    conventional derived rates (IPC, miss rates).
+//  * The OS catalog mirrors the 64 Sysstat (sar) fields the paper collects:
+//    CPU percentages, run queue and process list, load averages, context
+//    switches, memory/swap/paging, block I/O, and network activity.
+//
+// A metric *sample* is a plain vector<double> laid out per the catalog.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpcap::counters {
+
+class MetricCatalog {
+ public:
+  explicit MetricCatalog(std::string level, std::vector<std::string> names);
+
+  const std::string& level() const noexcept { return level_; }
+  std::size_t size() const noexcept { return names_.size(); }
+  const std::vector<std::string>& names() const noexcept { return names_; }
+  const std::string& name(std::size_t i) const { return names_.at(i); }
+  // Returns the index of `name`, or npos if absent.
+  std::size_t index_of(const std::string& name) const noexcept;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::string level_;
+  std::vector<std::string> names_;
+};
+
+// Well-known HPC metric indices (stable: the catalog is append-only).
+enum HpcMetric : std::size_t {
+  kHpcInstrRetired = 0,
+  kHpcCyclesBusy,
+  kHpcCyclesHalted,
+  kHpcIpc,
+  kHpcL2References,
+  kHpcL2Misses,
+  kHpcL2MissRate,
+  kHpcL2MissPerKInstr,
+  kHpcStallCycles,
+  kHpcStallFraction,
+  kHpcBranches,
+  kHpcBranchMispredictions,
+  kHpcBranchMispredRate,
+  kHpcBusTransactions,
+  kHpcDtlbMisses,
+  kHpcItlbMisses,
+  kHpcMemLoads,
+  kHpcMemStores,
+  kHpcUopsPerCycle,
+  kHpcPrefetches,
+  kHpcMetricCount,
+};
+
+const MetricCatalog& hpc_catalog();
+const MetricCatalog& os_catalog();
+
+// Indices of frequently used OS metrics.
+enum OsMetric : std::size_t {
+  kOsCpuUser = 0,
+  kOsCpuSystem,
+  kOsCpuIoWait,
+  kOsCpuIdle,
+  kOsRunQueue,
+  kOsProcessList,
+  kOsLoadAvg1,
+  kOsLoadAvg5,
+  kOsLoadAvg15,
+  kOsContextSwitches,
+  // ... the remaining sysstat fields; see os_catalog() for the full list.
+};
+
+}  // namespace hpcap::counters

@@ -1,0 +1,14 @@
+#include "counters/overhead.h"
+
+namespace hpcap::counters {
+
+void charge_collection_cost(sim::Tier& tier, double cpu_seconds) {
+  if (cpu_seconds <= 0.0) return;
+  sim::Tier::JobTag tag;
+  tag.instr_per_demand_sec = 1.9e9;
+  tag.footprint_mb = 0.5;
+  tag.request_class = sim::RequestClass::kOrder;  // class tag is immaterial
+  tier.execute(cpu_seconds, tag, [] {});
+}
+
+}  // namespace hpcap::counters

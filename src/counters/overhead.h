@@ -1,0 +1,18 @@
+// Monitoring-overhead injection (§V.D reproduction support).
+//
+// Collection cost is charged to the monitored tier as real CPU demand, so
+// turning a collector on measurably reduces the capacity available to the
+// workload — exactly how the paper measures overhead (throughput and
+// latency normalized against a run without metric collection).
+#pragma once
+
+#include "sim/tier.h"
+
+namespace hpcap::counters {
+
+// Charges `cpu_seconds` of collection work to `tier`. The work is a small,
+// kernel-ish job: modest footprint, high instruction density (it parses
+// text / reads MSRs, it does not thrash caches).
+void charge_collection_cost(sim::Tier& tier, double cpu_seconds);
+
+}  // namespace hpcap::counters

@@ -1,0 +1,49 @@
+#include "counters/perfctr.h"
+
+#include <stdexcept>
+
+namespace hpcap::counters {
+
+namespace {
+constexpr std::array<std::size_t, kPerfctrEventCount> kCatalogIndex = {
+    kHpcInstrRetired, kHpcCyclesBusy,  kHpcCyclesHalted,
+    kHpcL2References, kHpcL2Misses,    kHpcStallCycles,
+    kHpcBranches,     kHpcBranchMispredictions,
+    kHpcBusTransactions, kHpcDtlbMisses, kHpcItlbMisses,
+    kHpcMemLoads,     kHpcMemStores,   kHpcPrefetches,
+};
+}  // namespace
+
+PerfctrEmulator::PerfctrEmulator(sim::Tier::Config tier, std::uint64_t seed)
+    : model_(std::move(tier), HpcModel::Params{}, seed) {}
+
+void PerfctrEmulator::advance(const sim::Tier::IntervalStats& stats) {
+  const auto sample = model_.synthesize(stats);
+  for (std::size_t e = 0; e < kPerfctrEventCount; ++e) {
+    const double v = sample[kCatalogIndex[e]];
+    counts_[e] += v > 0.0 ? static_cast<std::uint64_t>(v) : 0u;
+  }
+}
+
+std::array<double, kPerfctrEventCount> PerfctrEmulator::rates(
+    const PerfctrCounts& before, const PerfctrCounts& after,
+    double elapsed_seconds) {
+  if (elapsed_seconds <= 0.0)
+    throw std::invalid_argument("PerfctrEmulator::rates: elapsed <= 0");
+  std::array<double, kPerfctrEventCount> out{};
+  for (std::size_t e = 0; e < kPerfctrEventCount; ++e) {
+    if (after[e] < before[e])
+      throw std::invalid_argument(
+          "PerfctrEmulator::rates: counters went backwards");
+    out[e] = static_cast<double>(after[e] - before[e]) / elapsed_seconds;
+  }
+  return out;
+}
+
+std::size_t PerfctrEmulator::catalog_index(PerfctrEvent event) {
+  if (event >= kPerfctrEventCount)
+    throw std::out_of_range("PerfctrEmulator::catalog_index");
+  return kCatalogIndex[event];
+}
+
+}  // namespace hpcap::counters

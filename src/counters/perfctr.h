@@ -1,0 +1,74 @@
+// PerfCtr-style counter reader emulation.
+//
+// The paper reads NetBurst PMCs through the PerfCtr kernel patch in
+// "global mode": per-CPU virtual counters that accumulate monotonically
+// and are sampled by a lightweight user-space tool that differences
+// successive reads ("we limited our tool to minimum functionalities that
+// just initialize and read hardware counters"). This facade reproduces
+// that interface on top of the synthetic HpcModel, so code written against
+// a cumulative-counter API (like the paper's tool) ports directly:
+//
+//   PerfctrEmulator dev(tier_config, seed);
+//   dev.advance(interval_stats);        // simulation feeds it per second
+//   auto now = dev.read();              // cumulative, monotone
+//   auto rates = PerfctrEmulator::rates(prev, now, elapsed_seconds);
+//
+// Only the raw (count-valued) events accumulate; derived ratios are the
+// consumer's job, exactly as with real PMCs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "counters/hpc_model.h"
+#include "counters/metric_catalog.h"
+
+namespace hpcap::counters {
+
+// The raw, accumulating events (a subset of the catalog: ratios excluded).
+enum PerfctrEvent : std::size_t {
+  kEvtInstrRetired = 0,
+  kEvtCyclesBusy,
+  kEvtCyclesHalted,
+  kEvtL2References,
+  kEvtL2Misses,
+  kEvtStallCycles,
+  kEvtBranches,
+  kEvtBranchMispredictions,
+  kEvtBusTransactions,
+  kEvtDtlbMisses,
+  kEvtItlbMisses,
+  kEvtMemLoads,
+  kEvtMemStores,
+  kEvtPrefetches,
+  kPerfctrEventCount,
+};
+
+// Cumulative counter snapshot, one slot per PerfctrEvent.
+using PerfctrCounts = std::array<std::uint64_t, kPerfctrEventCount>;
+
+class PerfctrEmulator {
+ public:
+  PerfctrEmulator(sim::Tier::Config tier, std::uint64_t seed);
+
+  // Accumulates one sampling interval's activity into the counters.
+  void advance(const sim::Tier::IntervalStats& stats);
+
+  // Reads the cumulative counters (monotone, like real PMCs).
+  PerfctrCounts read() const noexcept { return counts_; }
+
+  // Differences two snapshots into per-second event rates.
+  static std::array<double, kPerfctrEventCount> rates(
+      const PerfctrCounts& before, const PerfctrCounts& after,
+      double elapsed_seconds);
+
+  // Maps an accumulating event to its catalog metric index.
+  static std::size_t catalog_index(PerfctrEvent event);
+
+ private:
+  HpcModel model_;
+  PerfctrCounts counts_{};
+};
+
+}  // namespace hpcap::counters

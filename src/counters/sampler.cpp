@@ -1,0 +1,32 @@
+#include "counters/sampler.h"
+
+#include <stdexcept>
+
+namespace hpcap::counters {
+
+InstanceAggregator::InstanceAggregator(std::size_t dim,
+                                       int samples_per_instance)
+    : dim_(dim), window_(samples_per_instance), sum_(dim, 0.0) {
+  if (samples_per_instance <= 0)
+    throw std::invalid_argument("InstanceAggregator: window must be > 0");
+}
+
+std::optional<std::vector<double>> InstanceAggregator::add(
+    const std::vector<double>& sample) {
+  if (sample.size() != dim_)
+    throw std::invalid_argument("InstanceAggregator: dimension mismatch");
+  for (std::size_t i = 0; i < dim_; ++i) sum_[i] += sample[i];
+  if (++count_ < window_) return std::nullopt;
+  std::vector<double> instance(dim_);
+  for (std::size_t i = 0; i < dim_; ++i)
+    instance[i] = sum_[i] / static_cast<double>(window_);
+  reset();
+  return instance;
+}
+
+void InstanceAggregator::reset() {
+  count_ = 0;
+  sum_.assign(dim_, 0.0);
+}
+
+}  // namespace hpcap::counters

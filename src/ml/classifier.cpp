@@ -1,0 +1,36 @@
+#include "ml/classifier.h"
+
+#include <stdexcept>
+
+#include "ml/linreg.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+#include "ml/tan.h"
+
+namespace hpcap::ml {
+
+std::unique_ptr<Classifier> make_learner(LearnerKind kind) {
+  switch (kind) {
+    case LearnerKind::kLinearRegression:
+      return std::make_unique<LinearRegression>();
+    case LearnerKind::kNaiveBayes:
+      return std::make_unique<NaiveBayes>();
+    case LearnerKind::kSvm:
+      return std::make_unique<Svm>();
+    case LearnerKind::kTan:
+      return std::make_unique<Tan>();
+  }
+  throw std::invalid_argument("make_learner: unknown kind");
+}
+
+std::string learner_name(LearnerKind kind) {
+  switch (kind) {
+    case LearnerKind::kLinearRegression: return "LR";
+    case LearnerKind::kNaiveBayes: return "Naive";
+    case LearnerKind::kSvm: return "SVM";
+    case LearnerKind::kTan: return "TAN";
+  }
+  return "?";
+}
+
+}  // namespace hpcap::ml

@@ -1,0 +1,46 @@
+// Common interface of the four synopsis builders (§II.B.1): Linear
+// Regression, Naive Bayes, Tree-Augmented Naive Bayes, and SVM.
+//
+// A classifier is fit on a Dataset and scores new rows with an estimate of
+// P(overload | metrics) in [0, 1]; predict() thresholds at 0.5. clone()
+// produces an unfitted copy with the same hyperparameters, which is what
+// cross-validation and forward attribute selection retrain per fold.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace hpcap::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void fit(const Dataset& d) = 0;
+
+  // Estimated probability (or calibrated score) that the row's class is 1.
+  virtual double predict_score(std::span<const double> x) const = 0;
+
+  int predict(std::span<const double> x) const {
+    return predict_score(x) >= 0.5 ? 1 : 0;
+  }
+
+  virtual bool fitted() const noexcept = 0;
+
+  // Unfitted copy carrying the same hyperparameters.
+  virtual std::unique_ptr<Classifier> clone() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// The paper's four learners, by WEKA-ish name.
+enum class LearnerKind { kLinearRegression, kNaiveBayes, kSvm, kTan };
+
+// Factory with each learner's default hyperparameters.
+std::unique_ptr<Classifier> make_learner(LearnerKind kind);
+std::string learner_name(LearnerKind kind);
+
+}  // namespace hpcap::ml

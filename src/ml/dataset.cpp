@@ -1,0 +1,113 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcap::ml {
+
+void Dataset::add(std::vector<double> x, int y) {
+  if (x.size() != names_.size())
+    throw std::invalid_argument("Dataset::add: dimension mismatch");
+  if (y != 0 && y != 1)
+    throw std::invalid_argument("Dataset::add: label must be 0 or 1");
+  x_.push_back(std::move(x));
+  y_.push_back(y);
+}
+
+std::size_t Dataset::positives() const noexcept {
+  std::size_t p = 0;
+  for (int y : y_) p += static_cast<std::size_t>(y == 1);
+  return p;
+}
+
+double Dataset::positive_rate() const noexcept {
+  return empty() ? 0.0
+                 : static_cast<double>(positives()) /
+                       static_cast<double>(size());
+}
+
+std::vector<double> Dataset::column(std::size_t attr) const {
+  if (attr >= dim()) throw std::out_of_range("Dataset::column");
+  std::vector<double> col(size());
+  for (std::size_t i = 0; i < size(); ++i) col[i] = x_[i][attr];
+  return col;
+}
+
+Dataset Dataset::project(const std::vector<std::size_t>& attrs) const {
+  std::vector<std::string> names;
+  names.reserve(attrs.size());
+  for (std::size_t a : attrs) {
+    if (a >= dim()) throw std::out_of_range("Dataset::project");
+    names.push_back(names_[a]);
+  }
+  Dataset out(std::move(names));
+  for (std::size_t i = 0; i < size(); ++i) {
+    std::vector<double> row;
+    row.reserve(attrs.size());
+    for (std::size_t a : attrs) row.push_back(x_[i][a]);
+    out.add(std::move(row), y_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  Dataset out(names_);
+  for (std::size_t r : rows) {
+    if (r >= size()) throw std::out_of_range("Dataset::subset");
+    out.add(x_[r], y_[r]);
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.names_ != names_)
+    throw std::invalid_argument("Dataset::append: attribute mismatch");
+  for (std::size_t i = 0; i < other.size(); ++i)
+    add(other.x_[i], other.y_[i]);
+}
+
+std::vector<std::vector<std::size_t>> Dataset::stratified_folds(
+    int k, Rng& rng) const {
+  if (k < 2) throw std::invalid_argument("stratified_folds: k must be >= 2");
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < size(); ++i)
+    (y_[i] == 1 ? pos : neg).push_back(i);
+  // Shuffle each class, then deal round-robin into folds.
+  auto shuffle = [&rng](std::vector<std::size_t>& v) {
+    const auto perm = rng.permutation(v.size());
+    std::vector<std::size_t> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[perm[i]];
+    v = std::move(out);
+  };
+  shuffle(pos);
+  shuffle(neg);
+  std::vector<std::vector<std::size_t>> folds(static_cast<std::size_t>(k));
+  std::size_t next = 0;
+  for (std::size_t i : pos) folds[next++ % folds.size()].push_back(i);
+  for (std::size_t i : neg) folds[next++ % folds.size()].push_back(i);
+  return folds;
+}
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(double train_fraction,
+                                                      Rng& rng) const {
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < size(); ++i)
+    (y_[i] == 1 ? pos : neg).push_back(i);
+  std::vector<std::size_t> train, test;
+  auto deal = [&](std::vector<std::size_t>& cls) {
+    const auto perm = rng.permutation(cls.size());
+    const auto n_train =
+        static_cast<std::size_t>(train_fraction *
+                                 static_cast<double>(cls.size()));
+    for (std::size_t i = 0; i < cls.size(); ++i)
+      (i < n_train ? train : test).push_back(cls[perm[i]]);
+  };
+  deal(pos);
+  deal(neg);
+  std::sort(train.begin(), train.end());
+  std::sort(test.begin(), test.end());
+  return {subset(train), subset(test)};
+}
+
+}  // namespace hpcap::ml

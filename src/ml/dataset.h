@@ -1,0 +1,71 @@
+// Training/testing data for synopsis construction.
+//
+// An instance is the paper's u* = (a1, ..., an, c): one row of low-level
+// metric averages over a sampling window plus the binary system state
+// (0 = underload, 1 = overload). A Dataset is a bag of instances sharing
+// an attribute catalog.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hpcap::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> attribute_names)
+      : names_(std::move(attribute_names)) {}
+
+  void add(std::vector<double> x, int y);
+
+  std::size_t size() const noexcept { return x_.size(); }
+  std::size_t dim() const noexcept { return names_.size(); }
+  bool empty() const noexcept { return x_.empty(); }
+
+  std::span<const double> row(std::size_t i) const { return x_[i]; }
+  int label(std::size_t i) const { return y_[i]; }
+  const std::vector<int>& labels() const noexcept { return y_; }
+  const std::vector<std::string>& attribute_names() const noexcept {
+    return names_;
+  }
+
+  std::size_t positives() const noexcept;
+  std::size_t negatives() const noexcept { return size() - positives(); }
+  // Fraction of instances labeled overloaded.
+  double positive_rate() const noexcept;
+
+  // All values of one attribute column.
+  std::vector<double> column(std::size_t attr) const;
+
+  // New dataset containing only the given attribute columns (in order).
+  Dataset project(const std::vector<std::size_t>& attrs) const;
+
+  // New dataset containing the given rows.
+  Dataset subset(const std::vector<std::size_t>& rows) const;
+
+  // Merges another dataset with identical attribute names.
+  void append(const Dataset& other);
+
+  // Stratified k-fold split: returns k disjoint row-index sets, each with
+  // (approximately) the full set's class balance, in shuffled order.
+  std::vector<std::vector<std::size_t>> stratified_folds(int k,
+                                                         Rng& rng) const;
+
+  // Random stratified train/test split; `train_fraction` of each class
+  // goes to the first dataset.
+  std::pair<Dataset, Dataset> stratified_split(double train_fraction,
+                                               Rng& rng) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> x_;
+  std::vector<int> y_;
+};
+
+}  // namespace hpcap::ml

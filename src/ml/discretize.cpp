@@ -1,0 +1,154 @@
+#include "ml/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace hpcap::ml {
+
+namespace {
+
+// Class-count entropy (bits) of a labeled range.
+double entropy2(std::size_t n0, std::size_t n1) {
+  const std::size_t n = n0 + n1;
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : {n0, n1}) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(n);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::size_t distinct_classes(std::size_t n0, std::size_t n1) {
+  return static_cast<std::size_t>(n0 > 0) + static_cast<std::size_t>(n1 > 0);
+}
+
+// Recursive Fayyad–Irani split of values[lo, hi) (sorted by value).
+// Emits accepted cut points into `cuts`.
+void mdl_split(const std::vector<std::pair<double, int>>& values,
+               std::size_t lo, std::size_t hi, std::vector<double>& cuts,
+               int depth) {
+  if (depth > 16) return;  // defensive: data this size never recurses deep
+  const std::size_t n = hi - lo;
+  if (n < 4) return;
+
+  // Totals for the range.
+  std::size_t tot0 = 0, tot1 = 0;
+  for (std::size_t i = lo; i < hi; ++i)
+    (values[i].second == 1 ? tot1 : tot0)++;
+  const double h_all = entropy2(tot0, tot1);
+  if (h_all == 0.0) return;  // pure
+
+  // Scan boundary candidates (between distinct values) for the split that
+  // minimizes weighted child entropy.
+  std::size_t best_i = 0;
+  double best_we = 1e300;
+  std::size_t best_l0 = 0, best_l1 = 0;
+  std::size_t l0 = 0, l1 = 0;
+  for (std::size_t i = lo; i + 1 < hi; ++i) {
+    (values[i].second == 1 ? l1 : l0)++;
+    if (values[i].first == values[i + 1].first) continue;
+    const std::size_t r0 = tot0 - l0, r1 = tot1 - l1;
+    const auto nl = static_cast<double>(l0 + l1);
+    const auto nr = static_cast<double>(r0 + r1);
+    const double we =
+        (nl * entropy2(l0, l1) + nr * entropy2(r0, r1)) /
+        static_cast<double>(n);
+    if (we < best_we) {
+      best_we = we;
+      best_i = i;
+      best_l0 = l0;
+      best_l1 = l1;
+    }
+  }
+  if (best_we >= 1e300) return;  // all values identical
+
+  // MDL acceptance criterion (Fayyad & Irani 1993).
+  const double gain = h_all - best_we;
+  const std::size_t r0 = tot0 - best_l0, r1 = tot1 - best_l1;
+  const auto k = static_cast<double>(distinct_classes(tot0, tot1));
+  const auto k1 = static_cast<double>(distinct_classes(best_l0, best_l1));
+  const auto k2 = static_cast<double>(distinct_classes(r0, r1));
+  const double h_l = entropy2(best_l0, best_l1);
+  const double h_r = entropy2(r0, r1);
+  const double delta = std::log2(std::pow(3.0, k) - 2.0) -
+                       (k * h_all - k1 * h_l - k2 * h_r);
+  const double threshold =
+      (std::log2(static_cast<double>(n) - 1.0) + delta) /
+      static_cast<double>(n);
+  if (gain <= threshold) return;
+
+  const double cut =
+      0.5 * (values[best_i].first + values[best_i + 1].first);
+  cuts.push_back(cut);
+  mdl_split(values, lo, best_i + 1, cuts, depth + 1);
+  mdl_split(values, best_i + 1, hi, cuts, depth + 1);
+}
+
+}  // namespace
+
+Discretizer Discretizer::equal_frequency(const Dataset& d, int bins) {
+  std::vector<std::vector<double>> cuts(d.dim());
+  if (bins < 2 || d.empty()) return Discretizer(std::move(cuts));
+  for (std::size_t a = 0; a < d.dim(); ++a) {
+    std::vector<double> col = d.column(a);
+    std::sort(col.begin(), col.end());
+    std::vector<double>& c = cuts[a];
+    for (int b = 1; b < bins; ++b) {
+      const auto pos = static_cast<std::size_t>(
+          static_cast<double>(col.size()) * b / bins);
+      if (pos == 0 || pos >= col.size()) continue;
+      // A boundary inside a run of equal values separates nothing.
+      if (col[pos - 1] == col[pos]) continue;
+      const double cut = 0.5 * (col[pos - 1] + col[pos]);
+      if (c.empty() || cut > c.back()) c.push_back(cut);
+    }
+  }
+  return Discretizer(std::move(cuts));
+}
+
+Discretizer Discretizer::mdl(const Dataset& d) {
+  std::vector<std::vector<double>> cuts(d.dim());
+  for (std::size_t a = 0; a < d.dim(); ++a) {
+    std::vector<std::pair<double, int>> values(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i)
+      values[i] = {d.row(i)[a], d.label(i)};
+    std::sort(values.begin(), values.end());
+    mdl_split(values, 0, values.size(), cuts[a], 0);
+    std::sort(cuts[a].begin(), cuts[a].end());
+  }
+  return Discretizer(std::move(cuts));
+}
+
+Discretizer Discretizer::mdl_with_fallback(const Dataset& d,
+                                           int fallback_bins) {
+  Discretizer out = mdl(d);
+  const Discretizer ef = equal_frequency(d, fallback_bins);
+  for (std::size_t a = 0; a < out.cuts_.size(); ++a)
+    if (out.cuts_[a].empty()) out.cuts_[a] = ef.cuts_[a];
+  return out;
+}
+
+std::size_t Discretizer::max_bins() const noexcept {
+  std::size_t m = 1;
+  for (const auto& c : cuts_) m = std::max(m, c.size() + 1);
+  return m;
+}
+
+std::size_t Discretizer::bin_of(std::size_t attr, double v) const {
+  const auto& c = cuts_.at(attr);
+  return static_cast<std::size_t>(
+      std::upper_bound(c.begin(), c.end(), v) - c.begin());
+}
+
+std::vector<std::size_t> Discretizer::transform(
+    std::span<const double> row) const {
+  std::vector<std::size_t> out(cuts_.size());
+  for (std::size_t a = 0; a < cuts_.size(); ++a)
+    out[a] = bin_of(a, row[a]);
+  return out;
+}
+
+}  // namespace hpcap::ml

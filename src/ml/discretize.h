@@ -1,0 +1,70 @@
+// Attribute discretization for the Bayesian learners and for information-
+// gain attribute ranking.
+//
+// Two strategies:
+//  * Equal-frequency binning — unsupervised, used for quick info-gain
+//    ranking where only a rough density estimate is needed.
+//  * Fayyad–Irani MDL — supervised entropy minimization with the MDL
+//    stopping criterion (the method WEKA's discretization filter and its
+//    NaiveBayes/TAN pipeline use), used when fitting the Bayesian models.
+//
+// A fitted Discretizer stores per-attribute ascending cut points;
+// bin_of(attr, v) returns the 0-based bin via binary search. Attributes
+// for which no informative cut exists get a single bin (the learners treat
+// them as uninformative rather than failing).
+#pragma once
+
+#include <iosfwd>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace hpcap::ml {
+
+class Discretizer {
+ public:
+  // Fits equal-frequency cut points (at most `bins` bins per attribute;
+  // duplicate boundaries collapse).
+  static Discretizer equal_frequency(const Dataset& d, int bins);
+
+  // Fits supervised MDL (Fayyad–Irani) cut points against the labels.
+  static Discretizer mdl(const Dataset& d);
+
+  // MDL, with an equal-frequency fallback (`fallback_bins`) for attributes
+  // where MDL finds no informative cut. MDL judges each attribute's
+  // *marginal* relevance; an attribute that only matters jointly (the XOR
+  // pattern) gets no cuts and would be invisible to a dependency-aware
+  // model like TAN. The fallback keeps such attributes representable.
+  static Discretizer mdl_with_fallback(const Dataset& d,
+                                       int fallback_bins = 2);
+
+  std::size_t dim() const noexcept { return cuts_.size(); }
+  // Number of bins for an attribute (cuts + 1).
+  std::size_t bins(std::size_t attr) const { return cuts_.at(attr).size() + 1; }
+  // Largest bin count over all attributes.
+  std::size_t max_bins() const noexcept;
+
+  // 0-based bin index of value v for attribute `attr`.
+  std::size_t bin_of(std::size_t attr, double v) const;
+
+  // Discretizes a full row.
+  std::vector<std::size_t> transform(std::span<const double> row) const;
+
+  const std::vector<double>& cut_points(std::size_t attr) const {
+    return cuts_.at(attr);
+  }
+
+  // Persistence (see ml/serialize.h for the format conventions).
+  void save(std::ostream& os) const;
+  static Discretizer load(std::istream& is);
+
+ private:
+  explicit Discretizer(std::vector<std::vector<double>> cuts)
+      : cuts_(std::move(cuts)) {}
+
+  std::vector<std::vector<double>> cuts_;  // ascending, per attribute
+};
+
+}  // namespace hpcap::ml

@@ -1,0 +1,80 @@
+#include "ml/evaluate.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcap::ml {
+
+void Confusion::add(int truth, int predicted) noexcept {
+  if (truth == 1)
+    predicted == 1 ? ++tp : ++fn;
+  else
+    predicted == 0 ? ++tn : ++fp;
+}
+
+double Confusion::accuracy() const noexcept {
+  const std::size_t t = total();
+  return t ? static_cast<double>(tp + tn) / static_cast<double>(t) : 0.0;
+}
+
+double Confusion::tpr() const noexcept {
+  const std::size_t p = tp + fn;
+  return p ? static_cast<double>(tp) / static_cast<double>(p) : 0.0;
+}
+
+double Confusion::tnr() const noexcept {
+  const std::size_t n = tn + fp;
+  return n ? static_cast<double>(tn) / static_cast<double>(n) : 0.0;
+}
+
+double Confusion::balanced_accuracy() const noexcept {
+  const bool has_pos = (tp + fn) > 0;
+  const bool has_neg = (tn + fp) > 0;
+  if (has_pos && has_neg) return 0.5 * (tpr() + tnr());
+  if (has_pos) return tpr();
+  if (has_neg) return tnr();
+  return 0.0;
+}
+
+double Confusion::precision() const noexcept {
+  const std::size_t p = tp + fp;
+  return p ? static_cast<double>(tp) / static_cast<double>(p) : 0.0;
+}
+
+Confusion evaluate(const Classifier& clf, const Dataset& test) {
+  Confusion c;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    c.add(test.label(i), clf.predict(test.row(i)));
+  return c;
+}
+
+Confusion cross_validate(const Classifier& prototype, const Dataset& d,
+                         int folds, Rng& rng) {
+  if (d.size() < static_cast<std::size_t>(folds))
+    folds = std::max(2, static_cast<int>(d.size()));
+  const auto fold_rows = d.stratified_folds(folds, rng);
+  Confusion pooled;
+  for (std::size_t held = 0; held < fold_rows.size(); ++held) {
+    std::vector<std::size_t> train_rows;
+    for (std::size_t f = 0; f < fold_rows.size(); ++f)
+      if (f != held)
+        train_rows.insert(train_rows.end(), fold_rows[f].begin(),
+                          fold_rows[f].end());
+    if (train_rows.empty() || fold_rows[held].empty()) continue;
+    const Dataset train = d.subset(train_rows);
+    // A fold whose training part lost one whole class cannot be fit
+    // meaningfully; skip it (stratification makes this rare).
+    if (train.positives() == 0 || train.negatives() == 0) continue;
+    auto clf = prototype.clone();
+    clf->fit(train);
+    const Dataset test = d.subset(fold_rows[held]);
+    const Confusion c = evaluate(*clf, test);
+    pooled.tp += c.tp;
+    pooled.tn += c.tn;
+    pooled.fp += c.fp;
+    pooled.fn += c.fn;
+  }
+  return pooled;
+}
+
+}  // namespace hpcap::ml

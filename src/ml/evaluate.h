@@ -1,0 +1,40 @@
+// Evaluation: confusion matrices, the paper's Balanced Accuracy metric
+// (mean of true-positive and true-negative rates, §IV.A), and stratified
+// k-fold cross-validation (the paper validates synopses by 10-fold CV,
+// §II.B.2).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace hpcap::ml {
+
+struct Confusion {
+  std::size_t tp = 0, tn = 0, fp = 0, fn = 0;
+
+  void add(int truth, int predicted) noexcept;
+  std::size_t total() const noexcept { return tp + tn + fp + fn; }
+  double accuracy() const noexcept;
+  // True-positive rate (recall on the overload class).
+  double tpr() const noexcept;
+  // True-negative rate.
+  double tnr() const noexcept;
+  // Balanced Accuracy: (TPR + TNR) / 2. When a class is absent from the
+  // evaluation set, BA degenerates to the other class's rate.
+  double balanced_accuracy() const noexcept;
+  double precision() const noexcept;
+};
+
+// Evaluates a *fitted* classifier on a test set.
+Confusion evaluate(const Classifier& clf, const Dataset& test);
+
+// Stratified k-fold cross-validation: clones the prototype per fold, fits
+// on k-1 folds, evaluates on the held-out fold, and pools the confusion
+// counts. Returns the pooled confusion.
+Confusion cross_validate(const Classifier& prototype, const Dataset& d,
+                         int folds, Rng& rng);
+
+}  // namespace hpcap::ml

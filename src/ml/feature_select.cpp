@@ -1,0 +1,55 @@
+#include "ml/feature_select.h"
+
+#include <algorithm>
+
+#include "ml/discretize.h"
+#include "ml/evaluate.h"
+#include "ml/info.h"
+
+namespace hpcap::ml {
+
+std::vector<std::size_t> rank_by_information_gain(const Dataset& d,
+                                                  int bins) {
+  const Discretizer disc = Discretizer::equal_frequency(d, bins);
+  const std::vector<double> gains = information_gains(d, disc);
+  std::vector<std::size_t> order(d.dim());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&gains](std::size_t a, std::size_t b) {
+                     return gains[a] > gains[b];
+                   });
+  return order;
+}
+
+std::vector<std::size_t> forward_select(const Classifier& prototype,
+                                        const Dataset& d,
+                                        const FeatureSelectOptions& opts,
+                                        Rng& rng) {
+  const auto ranked = rank_by_information_gain(d, opts.ranking_bins);
+  std::vector<std::size_t> selected;
+  double best_ba = 0.0;
+  int misses = 0;
+
+  for (std::size_t cand : ranked) {
+    if (static_cast<int>(selected.size()) >= opts.max_attributes) break;
+    if (misses >= opts.patience) break;
+
+    std::vector<std::size_t> trial = selected;
+    trial.push_back(cand);
+    const Dataset view = d.project(trial);
+    Rng cv_rng = rng.split(cand + 1);
+    const Confusion c =
+        cross_validate(prototype, view, opts.cv_folds, cv_rng);
+    const double ba = c.balanced_accuracy();
+    if (selected.empty() || ba >= best_ba + opts.min_improvement) {
+      selected = std::move(trial);
+      best_ba = std::max(best_ba, ba);
+      misses = 0;
+    } else {
+      ++misses;
+    }
+  }
+  return selected;
+}
+
+}  // namespace hpcap::ml

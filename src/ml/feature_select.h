@@ -1,0 +1,40 @@
+// Attribute selection (§II.B.2): rank attributes by information gain,
+// then forward-select — add the next most relevant attribute only if it
+// improves cross-validated accuracy. The result is the small metric set a
+// synopsis actually conditions on (which is also what keeps per-decision
+// cost in the tens of milliseconds).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace hpcap::ml {
+
+struct FeatureSelectOptions {
+  int max_attributes = 8;
+  int cv_folds = 10;
+  // Minimum balanced-accuracy improvement to accept an attribute.
+  double min_improvement = 0.002;
+  // Candidates examined (by gain rank) before giving up on growth; lets
+  // selection skip a redundant high-gain attribute in favor of a
+  // complementary lower-gain one.
+  int patience = 6;
+  // Bins for the gain-ranking discretization.
+  int ranking_bins = 10;
+};
+
+// Attribute indices sorted by descending information gain.
+std::vector<std::size_t> rank_by_information_gain(const Dataset& d,
+                                                  int bins = 10);
+
+// Forward selection driven by cross-validated balanced accuracy of
+// `prototype`. Returns the selected attribute indices (order of addition).
+std::vector<std::size_t> forward_select(const Classifier& prototype,
+                                        const Dataset& d,
+                                        const FeatureSelectOptions& opts,
+                                        Rng& rng);
+
+}  // namespace hpcap::ml

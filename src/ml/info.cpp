@@ -1,0 +1,88 @@
+#include "ml/info.h"
+
+#include <cmath>
+
+namespace hpcap::ml {
+
+namespace {
+double plogp(double p) { return p > 0.0 ? p * std::log2(p) : 0.0; }
+}  // namespace
+
+double class_entropy(const Dataset& d) {
+  if (d.empty()) return 0.0;
+  const double p1 = d.positive_rate();
+  return -plogp(p1) - plogp(1.0 - p1);
+}
+
+double information_gain(const Dataset& d, const Discretizer& disc,
+                        std::size_t attr) {
+  if (d.empty()) return 0.0;
+  const std::size_t bins = disc.bins(attr);
+  // Joint counts bin × class.
+  std::vector<std::size_t> joint(bins * 2, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const std::size_t b = disc.bin_of(attr, d.row(i)[attr]);
+    ++joint[b * 2 + static_cast<std::size_t>(d.label(i))];
+  }
+  const auto n = static_cast<double>(d.size());
+  double h_c_given_a = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const std::size_t nb = joint[b * 2] + joint[b * 2 + 1];
+    if (nb == 0) continue;
+    const double pb = static_cast<double>(nb) / n;
+    double h = 0.0;
+    for (int c = 0; c < 2; ++c)
+      h -= plogp(static_cast<double>(joint[b * 2 + static_cast<std::size_t>(c)]) /
+                 static_cast<double>(nb));
+    h_c_given_a += pb * h;
+  }
+  return class_entropy(d) - h_c_given_a;
+}
+
+std::vector<double> information_gains(const Dataset& d,
+                                      const Discretizer& disc) {
+  std::vector<double> gains(d.dim(), 0.0);
+  for (std::size_t a = 0; a < d.dim(); ++a)
+    gains[a] = information_gain(d, disc, a);
+  return gains;
+}
+
+double conditional_mutual_information(const Dataset& d,
+                                      const Discretizer& disc, std::size_t i,
+                                      std::size_t j) {
+  if (d.empty() || i == j) return 0.0;
+  const std::size_t bi = disc.bins(i);
+  const std::size_t bj = disc.bins(j);
+  // Counts over (a_i, a_j, c).
+  std::vector<double> joint(bi * bj * 2, 0.0);
+  std::vector<double> margin_i(bi * 2, 0.0);
+  std::vector<double> margin_j(bj * 2, 0.0);
+  double class_count[2] = {0.0, 0.0};
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    const std::size_t vi = disc.bin_of(i, d.row(r)[i]);
+    const std::size_t vj = disc.bin_of(j, d.row(r)[j]);
+    const auto c = static_cast<std::size_t>(d.label(r));
+    joint[(vi * bj + vj) * 2 + c] += 1.0;
+    margin_i[vi * 2 + c] += 1.0;
+    margin_j[vj * 2 + c] += 1.0;
+    class_count[c] += 1.0;
+  }
+  const auto n = static_cast<double>(d.size());
+  double cmi = 0.0;
+  for (std::size_t c = 0; c < 2; ++c) {
+    if (class_count[c] == 0.0) continue;
+    for (std::size_t vi = 0; vi < bi; ++vi) {
+      for (std::size_t vj = 0; vj < bj; ++vj) {
+        const double p_xyz = joint[(vi * bj + vj) * 2 + c] / n;
+        if (p_xyz <= 0.0) continue;
+        const double p_xz = margin_i[vi * 2 + c] / n;
+        const double p_yz = margin_j[vj * 2 + c] / n;
+        const double p_z = class_count[c] / n;
+        cmi += p_xyz * std::log2(p_xyz * p_z / (p_xz * p_yz));
+      }
+    }
+  }
+  return std::max(0.0, cmi);
+}
+
+}  // namespace hpcap::ml

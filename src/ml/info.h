@@ -1,0 +1,32 @@
+// Information-theoretic quantities over discretized attributes:
+//   * information gain IG(C; A) — the paper's attribute-relevance measure
+//     (§II.B.2);
+//   * conditional mutual information I(Ai; Aj | C) — the edge weights of
+//     the Chow–Liu tree that structures the TAN classifier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/discretize.h"
+
+namespace hpcap::ml {
+
+// Entropy (bits) of the class variable.
+double class_entropy(const Dataset& d);
+
+// Information gain of attribute `attr` about the class, under `disc`.
+double information_gain(const Dataset& d, const Discretizer& disc,
+                        std::size_t attr);
+
+// Information gain of every attribute.
+std::vector<double> information_gains(const Dataset& d,
+                                      const Discretizer& disc);
+
+// Conditional mutual information I(A_i; A_j | C) in bits.
+double conditional_mutual_information(const Dataset& d,
+                                      const Discretizer& disc, std::size_t i,
+                                      std::size_t j);
+
+}  // namespace hpcap::ml

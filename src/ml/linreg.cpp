@@ -1,0 +1,57 @@
+#include "ml/linreg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/matrix.h"
+#include "util/stats.h"
+
+namespace hpcap::ml {
+
+void LinearRegression::fit(const Dataset& d) {
+  if (d.empty()) throw std::invalid_argument("LinearRegression: empty data");
+  const std::size_t n = d.size();
+  const std::size_t p = d.dim();
+
+  // Standardize columns; constant columns get scale 1 (weight ends ~0).
+  mean_.assign(p, 0.0);
+  scale_.assign(p, 1.0);
+  for (std::size_t a = 0; a < p; ++a) {
+    RunningStats s;
+    for (std::size_t i = 0; i < n; ++i) s.add(d.row(i)[a]);
+    mean_[a] = s.mean();
+    scale_[a] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < p; ++a)
+      x(i, a) = (d.row(i)[a] - mean_[a]) / scale_[a];
+    y[i] = static_cast<double>(d.label(i));
+  }
+
+  // Ridge normal equations on centered targets: the intercept is the
+  // class mean because the features are standardized.
+  const double y_mean = hpcap::mean(y);
+  for (double& v : y) v -= y_mean;
+
+  Matrix g = x.gram();
+  for (std::size_t a = 0; a < p; ++a) g(a, a) += ridge_ * static_cast<double>(n);
+  const std::vector<double> xty = x.transpose_times(y);
+  w_ = solve_cholesky(g, xty);
+  b_ = y_mean;
+  fitted_ = true;
+}
+
+double LinearRegression::predict_score(std::span<const double> x) const {
+  if (!fitted_) throw std::logic_error("LinearRegression: not fitted");
+  double s = b_;
+  const std::size_t p = std::min(x.size(), w_.size());
+  for (std::size_t a = 0; a < p; ++a)
+    s += w_[a] * (x[a] - mean_[a]) / scale_[a];
+  return std::clamp(s, 0.0, 1.0);
+}
+
+}  // namespace hpcap::ml

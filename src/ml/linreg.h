@@ -1,0 +1,44 @@
+// Linear regression synopsis builder.
+//
+// Regresses the binary class on standardized attributes with a ridge
+// penalty (the normal equations are otherwise ill-conditioned: many HPC
+// metrics are near-collinear, e.g. l2_misses and bus_transactions), then
+// thresholds the regression output at 1/2. This mirrors WEKA's use of
+// regression as a classifier and is the paper's weakest learner — it can
+// only capture linear structure (§V.B observation 3).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace hpcap::ml {
+
+class LinearRegression final : public Classifier {
+ public:
+  explicit LinearRegression(double ridge = 1e-3) : ridge_(ridge) {}
+
+  void fit(const Dataset& d) override;
+  double predict_score(std::span<const double> x) const override;
+  bool fitted() const noexcept override { return fitted_; }
+  std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<LinearRegression>(ridge_);
+  }
+  std::string name() const override { return "LR"; }
+
+  const std::vector<double>& weights() const noexcept { return w_; }
+  double intercept() const noexcept { return b_; }
+
+  void save(std::ostream& os) const;
+  static LinearRegression load(std::istream& is);
+
+ private:
+  double ridge_;
+  bool fitted_ = false;
+  std::vector<double> mean_, scale_;  // standardization
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace hpcap::ml

@@ -1,0 +1,53 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcap::ml {
+
+void NaiveBayes::fit(const Dataset& d) {
+  if (d.empty()) throw std::invalid_argument("NaiveBayes: empty data");
+  disc_ = Discretizer::mdl(d);
+
+  const auto n = static_cast<double>(d.size());
+  const double n1 = static_cast<double>(d.positives());
+  const double n0 = n - n1;
+  log_prior_[0] = std::log((n0 + laplace_) / (n + 2.0 * laplace_));
+  log_prior_[1] = std::log((n1 + laplace_) / (n + 2.0 * laplace_));
+
+  log_cond_.assign(d.dim(), {});
+  for (std::size_t a = 0; a < d.dim(); ++a) {
+    const std::size_t bins = disc_->bins(a);
+    std::vector<double> counts(bins * 2, 0.0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const std::size_t b = disc_->bin_of(a, d.row(i)[a]);
+      counts[b * 2 + static_cast<std::size_t>(d.label(i))] += 1.0;
+    }
+    std::vector<double> lc(bins * 2, 0.0);
+    const double class_tot[2] = {n0, n1};
+    for (std::size_t c = 0; c < 2; ++c) {
+      const double denom =
+          class_tot[c] + laplace_ * static_cast<double>(bins);
+      for (std::size_t b = 0; b < bins; ++b)
+        lc[b * 2 + c] = std::log((counts[b * 2 + c] + laplace_) / denom);
+    }
+    log_cond_[a] = std::move(lc);
+  }
+}
+
+double NaiveBayes::predict_score(std::span<const double> x) const {
+  if (!disc_) throw std::logic_error("NaiveBayes: not fitted");
+  double lp[2] = {log_prior_[0], log_prior_[1]};
+  for (std::size_t a = 0; a < log_cond_.size() && a < x.size(); ++a) {
+    const std::size_t b = disc_->bin_of(a, x[a]);
+    lp[0] += log_cond_[a][b * 2 + 0];
+    lp[1] += log_cond_[a][b * 2 + 1];
+  }
+  // Softmax over the two log-joints.
+  const double m = std::max(lp[0], lp[1]);
+  const double e0 = std::exp(lp[0] - m);
+  const double e1 = std::exp(lp[1] - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace hpcap::ml

@@ -1,0 +1,44 @@
+// Naive Bayes synopsis builder.
+//
+// Attributes are discretized with the supervised MDL discretizer, then
+// modeled as conditionally independent given the class, with Laplace
+// smoothing on every conditional table. The independence assumption is
+// exactly what TAN relaxes — the paper attributes Naive Bayes' accuracy
+// deficit to it ("strong assumption on the independence of each metric",
+// §V.B observation 3): HPC metrics are strongly coupled (misses drive
+// stalls drive IPC), so one extra dependency edge per attribute helps.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/discretize.h"
+
+namespace hpcap::ml {
+
+class NaiveBayes final : public Classifier {
+ public:
+  explicit NaiveBayes(double laplace = 1.0) : laplace_(laplace) {}
+
+  void fit(const Dataset& d) override;
+  double predict_score(std::span<const double> x) const override;
+  bool fitted() const noexcept override { return disc_.has_value(); }
+  std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<NaiveBayes>(laplace_);
+  }
+  std::string name() const override { return "Naive"; }
+
+  void save(std::ostream& os) const;
+  static NaiveBayes load(std::istream& is);
+
+ private:
+  double laplace_;
+  std::optional<Discretizer> disc_;
+  double log_prior_[2] = {0.0, 0.0};
+  // log P(A_a = bin | C = c): per attribute, bins * 2 layout.
+  std::vector<std::vector<double>> log_cond_;
+};
+
+}  // namespace hpcap::ml

@@ -1,0 +1,245 @@
+#include "ml/serialize.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/discretize.h"
+#include "ml/linreg.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+#include "ml/tan.h"
+
+namespace hpcap::ml {
+namespace io {
+
+void write_tag(std::ostream& os, const char* tag) { os << tag << ' '; }
+
+void expect_tag(std::istream& is, const char* tag) {
+  std::string got;
+  if (!(is >> got) || got != tag)
+    throw std::runtime_error(std::string("model load: expected tag '") +
+                             tag + "', got '" + got + "'");
+}
+
+void write_double(std::ostream& os, double v) {
+  // Hex floats round-trip exactly.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  os << buf << ' ';
+}
+
+double read_double(std::istream& is) {
+  std::string tok;
+  if (!(is >> tok)) throw std::runtime_error("model load: missing double");
+  return std::strtod(tok.c_str(), nullptr);
+}
+
+void write_size(std::ostream& os, std::size_t v) { os << v << ' '; }
+
+std::size_t read_size(std::istream& is) {
+  std::size_t v = 0;
+  if (!(is >> v)) throw std::runtime_error("model load: missing size");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  os << s.size() << ' ' << s << ' ';
+}
+
+std::string read_string(std::istream& is) {
+  const std::size_t n = read_size(is);
+  is.get();  // the single separator after the length
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("model load: truncated string");
+  return s;
+}
+
+namespace {
+void write_vector(std::ostream& os, const std::vector<double>& v) {
+  write_size(os, v.size());
+  for (double x : v) write_double(os, x);
+}
+
+std::vector<double> read_vector(std::istream& is) {
+  std::vector<double> v(read_size(is));
+  for (double& x : v) x = read_double(is);
+  return v;
+}
+}  // namespace
+
+}  // namespace io
+
+using namespace io;
+
+// --- Discretizer --------------------------------------------------------
+
+void Discretizer::save(std::ostream& os) const {
+  write_tag(os, "disc");
+  write_size(os, cuts_.size());
+  for (const auto& c : cuts_) {
+    write_size(os, c.size());
+    for (double v : c) write_double(os, v);
+  }
+}
+
+Discretizer Discretizer::load(std::istream& is) {
+  expect_tag(is, "disc");
+  std::vector<std::vector<double>> cuts(read_size(is));
+  for (auto& c : cuts) {
+    c.resize(read_size(is));
+    for (double& v : c) v = read_double(is);
+  }
+  return Discretizer(std::move(cuts));
+}
+
+// --- LinearRegression ---------------------------------------------------
+
+void LinearRegression::save(std::ostream& os) const {
+  if (!fitted_) throw std::invalid_argument("LR save: not fitted");
+  write_tag(os, "lr");
+  write_double(os, ridge_);
+  write_vector(os, mean_);
+  write_vector(os, scale_);
+  write_vector(os, w_);
+  write_double(os, b_);
+}
+
+LinearRegression LinearRegression::load(std::istream& is) {
+  expect_tag(is, "lr");
+  LinearRegression out(read_double(is));
+  out.mean_ = read_vector(is);
+  out.scale_ = read_vector(is);
+  out.w_ = read_vector(is);
+  out.b_ = read_double(is);
+  out.fitted_ = true;
+  return out;
+}
+
+// --- NaiveBayes ---------------------------------------------------------
+
+void NaiveBayes::save(std::ostream& os) const {
+  if (!disc_) throw std::invalid_argument("NaiveBayes save: not fitted");
+  write_tag(os, "naive");
+  write_double(os, laplace_);
+  disc_->save(os);
+  write_double(os, log_prior_[0]);
+  write_double(os, log_prior_[1]);
+  write_size(os, log_cond_.size());
+  for (const auto& t : log_cond_) write_vector(os, t);
+}
+
+NaiveBayes NaiveBayes::load(std::istream& is) {
+  expect_tag(is, "naive");
+  NaiveBayes out(read_double(is));
+  out.disc_ = Discretizer::load(is);
+  out.log_prior_[0] = read_double(is);
+  out.log_prior_[1] = read_double(is);
+  out.log_cond_.resize(read_size(is));
+  for (auto& t : out.log_cond_) t = read_vector(is);
+  return out;
+}
+
+// --- TAN ----------------------------------------------------------------
+
+void Tan::save(std::ostream& os) const {
+  if (!disc_) throw std::invalid_argument("Tan save: not fitted");
+  write_tag(os, "tan");
+  write_double(os, laplace_);
+  disc_->save(os);
+  write_size(os, parent_.size());
+  for (int p : parent_) os << p << ' ';
+  write_double(os, log_prior_[0]);
+  write_double(os, log_prior_[1]);
+  write_size(os, log_cond_.size());
+  for (const auto& t : log_cond_) write_vector(os, t);
+  write_size(os, parent_bins_.size());
+  for (std::size_t b : parent_bins_) write_size(os, b);
+}
+
+Tan Tan::load(std::istream& is) {
+  expect_tag(is, "tan");
+  Tan out(read_double(is));
+  out.disc_ = Discretizer::load(is);
+  out.parent_.resize(read_size(is));
+  for (int& p : out.parent_)
+    if (!(is >> p)) throw std::runtime_error("tan load: parents");
+  out.log_prior_[0] = read_double(is);
+  out.log_prior_[1] = read_double(is);
+  out.log_cond_.resize(read_size(is));
+  for (auto& t : out.log_cond_) t = read_vector(is);
+  out.parent_bins_.resize(read_size(is));
+  for (auto& b : out.parent_bins_) b = read_size(is);
+  return out;
+}
+
+// --- SVM ----------------------------------------------------------------
+
+void Svm::save(std::ostream& os) const {
+  if (!fitted_) throw std::invalid_argument("Svm save: not fitted");
+  write_tag(os, "svm");
+  write_size(os, opts_.kernel == Kernel::kRbf ? 1 : 0);
+  write_double(os, opts_.c);
+  write_double(os, gamma_);
+  write_vector(os, mean_);
+  write_vector(os, scale_);
+  write_size(os, sv_x_.size());
+  for (const auto& sv : sv_x_) write_vector(os, sv);
+  write_vector(os, alpha_y_);
+  write_double(os, b_);
+}
+
+Svm Svm::load(std::istream& is) {
+  expect_tag(is, "svm");
+  Options opts;
+  opts.kernel = read_size(is) == 1 ? Kernel::kRbf : Kernel::kLinear;
+  opts.c = read_double(is);
+  Svm out(opts);
+  out.gamma_ = read_double(is);
+  out.mean_ = read_vector(is);
+  out.scale_ = read_vector(is);
+  out.sv_x_.resize(read_size(is));
+  for (auto& sv : out.sv_x_) sv = read_vector(is);
+  out.alpha_y_ = read_vector(is);
+  out.b_ = read_double(is);
+  out.fitted_ = true;
+  return out;
+}
+
+// --- dispatch -----------------------------------------------------------
+
+void save_classifier(std::ostream& os, const Classifier& clf) {
+  if (!clf.fitted())
+    throw std::invalid_argument("save_classifier: classifier not fitted");
+  write_tag(os, "hpcap-classifier");
+  write_tag(os, "v1");
+  write_string(os, clf.name());
+  if (const auto* lr = dynamic_cast<const LinearRegression*>(&clf))
+    lr->save(os);
+  else if (const auto* nb = dynamic_cast<const NaiveBayes*>(&clf))
+    nb->save(os);
+  else if (const auto* tan = dynamic_cast<const Tan*>(&clf))
+    tan->save(os);
+  else if (const auto* svm = dynamic_cast<const Svm*>(&clf))
+    svm->save(os);
+  else
+    throw std::invalid_argument("save_classifier: unknown classifier type");
+  if (!os) throw std::runtime_error("save_classifier: stream failure");
+}
+
+std::unique_ptr<Classifier> load_classifier(std::istream& is) {
+  expect_tag(is, "hpcap-classifier");
+  expect_tag(is, "v1");
+  const std::string kind = read_string(is);
+  if (kind == "LR")
+    return std::make_unique<LinearRegression>(LinearRegression::load(is));
+  if (kind == "Naive")
+    return std::make_unique<NaiveBayes>(NaiveBayes::load(is));
+  if (kind == "TAN") return std::make_unique<Tan>(Tan::load(is));
+  if (kind == "SVM") return std::make_unique<Svm>(Svm::load(is));
+  throw std::runtime_error("load_classifier: unknown kind '" + kind + "'");
+}
+
+}  // namespace hpcap::ml

@@ -1,0 +1,45 @@
+// Model persistence.
+//
+// Trained models are what a deployment ships: synopses and coordinated
+// tables are built offline from stress-test data and then loaded by the
+// online monitor (the paper's measurement tool is exactly such a split).
+// The format is a line-oriented, whitespace-separated text format with a
+// magic header and per-section tags — diffable, versionable, and free of
+// endianness concerns. Doubles round-trip exactly via hex floats.
+//
+// Entry points:
+//   save_classifier(os, clf)          — any fitted Classifier
+//   load_classifier(is)               — dispatches on the stored kind
+// plus save/load member functions on Discretizer (used by the Bayesian
+// learners' serializers).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "ml/classifier.h"
+
+namespace hpcap::ml {
+
+// Writes a fitted classifier. Throws std::invalid_argument for an
+// unfitted classifier and std::runtime_error on stream failure.
+void save_classifier(std::ostream& os, const Classifier& clf);
+
+// Reads back any classifier written by save_classifier. Throws
+// std::runtime_error on format violations.
+std::unique_ptr<Classifier> load_classifier(std::istream& is);
+
+namespace io {
+
+// Shared low-level helpers (used by core-layer serializers too).
+void write_tag(std::ostream& os, const char* tag);
+void expect_tag(std::istream& is, const char* tag);
+void write_double(std::ostream& os, double v);
+double read_double(std::istream& is);
+void write_size(std::ostream& os, std::size_t v);
+std::size_t read_size(std::istream& is);
+void write_string(std::ostream& os, const std::string& s);
+std::string read_string(std::istream& is);
+
+}  // namespace io
+}  // namespace hpcap::ml

@@ -1,0 +1,151 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hpcap::ml {
+
+double Svm::kernel(std::span<const double> a, std::span<const double> b) const {
+  if (opts_.kernel == Kernel::kLinear) return dot(a, b);
+  return std::exp(-gamma_ * squared_distance(a, b));
+}
+
+std::vector<double> Svm::standardize(std::span<const double> x) const {
+  std::vector<double> out(mean_.size());
+  for (std::size_t a = 0; a < mean_.size(); ++a) {
+    const double v = a < x.size() ? x[a] : 0.0;
+    out[a] = (v - mean_[a]) / scale_[a];
+  }
+  return out;
+}
+
+void Svm::fit(const Dataset& d) {
+  if (d.empty()) throw std::invalid_argument("Svm: empty data");
+  const std::size_t n = d.size();
+  const std::size_t p = d.dim();
+
+  mean_.assign(p, 0.0);
+  scale_.assign(p, 1.0);
+  for (std::size_t a = 0; a < p; ++a) {
+    RunningStats s;
+    for (std::size_t i = 0; i < n; ++i) s.add(d.row(i)[a]);
+    mean_[a] = s.mean();
+    scale_[a] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+
+  std::vector<std::vector<double>> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = standardize(d.row(i));
+    y[i] = d.label(i) == 1 ? 1.0 : -1.0;
+  }
+
+  gamma_ = opts_.gamma > 0.0
+               ? opts_.gamma
+               : 1.0 / static_cast<double>(std::max<std::size_t>(p, 1));
+
+  // Kernel cache.
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      k(i, j) = k(j, i) = kernel(x[i], x[j]);
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  const double c = opts_.c;
+  const double tol = opts_.tol;
+  Rng rng(opts_.seed);
+
+  auto f = [&](std::size_t i) {
+    double s = b;
+    for (std::size_t j = 0; j < n; ++j)
+      if (alpha[j] != 0.0) s += alpha[j] * y[j] * k(i, j);
+    return s;
+  };
+
+  int passes = 0;
+  int iterations = 0;
+  while (passes < opts_.max_passes && iterations < opts_.max_iterations) {
+    int changed = 0;
+    for (std::size_t i = 0; i < n && iterations < opts_.max_iterations;
+         ++i, ++iterations) {
+      const double e_i = f(i) - y[i];
+      const bool violates = (y[i] * e_i < -tol && alpha[i] < c) ||
+                            (y[i] * e_i > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+      std::size_t j = rng.uniform_u64(n - 1);
+      if (j >= i) ++j;
+      const double e_j = f(j) - y[j];
+
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+      if (eta >= 0.0) continue;
+      double aj = aj_old - y[j] * (e_i - e_j) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-6) continue;
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      const double b1 = b - e_i - y[i] * (ai - ai_old) * k(i, i) -
+                        y[j] * (aj - aj_old) * k(i, j);
+      const double b2 = b - e_j - y[i] * (ai - ai_old) * k(i, j) -
+                        y[j] * (aj - aj_old) * k(j, j);
+      if (ai > 0.0 && ai < c)
+        b = b1;
+      else if (aj > 0.0 && aj < c)
+        b = b2;
+      else
+        b = 0.5 * (b1 + b2);
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  // Keep only support vectors.
+  sv_x_.clear();
+  alpha_y_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      sv_x_.push_back(std::move(x[i]));
+      alpha_y_.push_back(alpha[i] * y[i]);
+    }
+  }
+  b_ = b;
+  fitted_ = true;
+}
+
+double Svm::decision(std::span<const double> x_std) const {
+  double s = b_;
+  for (std::size_t i = 0; i < sv_x_.size(); ++i)
+    s += alpha_y_[i] * kernel(sv_x_[i], x_std);
+  return s;
+}
+
+double Svm::predict_score(std::span<const double> x) const {
+  if (!fitted_) throw std::logic_error("Svm: not fitted");
+  const std::vector<double> xs = standardize(x);
+  // Logistic squashing of the margin gives a usable [0,1] score.
+  return 1.0 / (1.0 + std::exp(-2.0 * decision(xs)));
+}
+
+std::size_t Svm::support_vector_count() const noexcept {
+  return sv_x_.size();
+}
+
+}  // namespace hpcap::ml

@@ -1,0 +1,70 @@
+// Support Vector Machine synopsis builder (SMO training).
+//
+// A soft-margin SVM with an RBF kernel (gamma defaults to the "scale"
+// heuristic 1/(d·Var[x]) on standardized features), trained with the
+// simplified Sequential Minimal Optimization procedure: sweep candidate
+// first multipliers, pick the partner at random, and update pairs until a
+// full pass makes no progress. The full kernel matrix is cached — synopsis
+// training sets are a few hundred instances, so the O(n²) cache is cheap
+// while making SMO's inner loop branch-free.
+//
+// The paper finds SVM tied with TAN for accuracy but ~34x more expensive
+// to build (1710 ms vs 50 ms, §V.B) — the per-iteration kernel work in
+// SMO reproduces that cost ordering naturally.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace hpcap::ml {
+
+enum class SvmKernel { kLinear, kRbf };
+
+struct SvmOptions {
+  SvmKernel kernel = SvmKernel::kRbf;
+  double c = 4.0;          // soft-margin penalty
+  double gamma = 0.0;      // RBF width; <= 0 means the "scale" heuristic
+  double tol = 1e-3;       // KKT violation tolerance
+  int max_passes = 8;      // no-progress passes before stopping
+  int max_iterations = 40000;
+  std::uint64_t seed = 7;  // partner-selection randomness
+};
+
+class Svm final : public Classifier {
+ public:
+  using Kernel = SvmKernel;
+  using Options = SvmOptions;
+
+  explicit Svm(Options opts = Options()) : opts_(opts) {}
+
+  void fit(const Dataset& d) override;
+  double predict_score(std::span<const double> x) const override;
+  bool fitted() const noexcept override { return fitted_; }
+  std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<Svm>(opts_);
+  }
+  std::string name() const override { return "SVM"; }
+
+  std::size_t support_vector_count() const noexcept;
+  double bias() const noexcept { return b_; }
+
+  void save(std::ostream& os) const;
+  static Svm load(std::istream& is);
+
+ private:
+  double kernel(std::span<const double> a, std::span<const double> b) const;
+  std::vector<double> standardize(std::span<const double> x) const;
+  double decision(std::span<const double> x_std) const;
+
+  Options opts_;
+  bool fitted_ = false;
+  double gamma_ = 1.0;
+  std::vector<double> mean_, scale_;
+  std::vector<std::vector<double>> sv_x_;  // standardized training rows
+  std::vector<double> alpha_y_;            // alpha_i * y_i (y in {-1,+1})
+  double b_ = 0.0;
+};
+
+}  // namespace hpcap::ml

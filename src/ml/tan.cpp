@@ -1,0 +1,120 @@
+#include "ml/tan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/info.h"
+
+namespace hpcap::ml {
+
+void Tan::fit(const Dataset& d) {
+  if (d.empty()) throw std::invalid_argument("Tan: empty data");
+  const std::size_t p = d.dim();
+  // Fallback bins keep marginally-silent attributes available to the
+  // dependency edges (see mdl_with_fallback).
+  disc_ = Discretizer::mdl_with_fallback(d);
+
+  // Pairwise conditional mutual information.
+  std::vector<std::vector<double>> cmi(p, std::vector<double>(p, 0.0));
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = i + 1; j < p; ++j)
+      cmi[i][j] = cmi[j][i] =
+          conditional_mutual_information(d, *disc_, i, j);
+
+  // Maximum spanning tree via Prim, rooted at attribute 0; edges point
+  // from the tree toward newly added vertices, so `parent_` falls out of
+  // the construction order.
+  parent_.assign(p, -1);
+  if (p > 1) {
+    std::vector<bool> in_tree(p, false);
+    std::vector<double> best_w(p, -1.0);
+    std::vector<int> best_from(p, -1);
+    in_tree[0] = true;
+    for (std::size_t j = 1; j < p; ++j) {
+      best_w[j] = cmi[0][j];
+      best_from[j] = 0;
+    }
+    for (std::size_t added = 1; added < p; ++added) {
+      std::size_t pick = 0;
+      double w = -1.0;
+      for (std::size_t j = 0; j < p; ++j)
+        if (!in_tree[j] && best_w[j] > w) {
+          w = best_w[j];
+          pick = j;
+        }
+      in_tree[pick] = true;
+      parent_[pick] = best_from[pick];
+      for (std::size_t j = 0; j < p; ++j)
+        if (!in_tree[j] && cmi[pick][j] > best_w[j]) {
+          best_w[j] = cmi[pick][j];
+          best_from[j] = static_cast<int>(pick);
+        }
+    }
+  }
+
+  // Priors.
+  const auto n = static_cast<double>(d.size());
+  const double n1 = static_cast<double>(d.positives());
+  const double n0 = n - n1;
+  log_prior_[0] = std::log((n0 + laplace_) / (n + 2.0 * laplace_));
+  log_prior_[1] = std::log((n1 + laplace_) / (n + 2.0 * laplace_));
+
+  // Conditional tables P(A_a | parent_bin, C).
+  log_cond_.assign(p, {});
+  parent_bins_.assign(p, 1);
+  for (std::size_t a = 0; a < p; ++a) {
+    const std::size_t bins = disc_->bins(a);
+    const std::size_t pbins =
+        parent_[a] >= 0 ? disc_->bins(static_cast<std::size_t>(parent_[a]))
+                        : 1;
+    parent_bins_[a] = pbins;
+    std::vector<double> counts(bins * pbins * 2, 0.0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const std::size_t b = disc_->bin_of(a, d.row(i)[a]);
+      const std::size_t pb =
+          parent_[a] >= 0
+              ? disc_->bin_of(static_cast<std::size_t>(parent_[a]),
+                              d.row(i)[static_cast<std::size_t>(parent_[a])])
+              : 0;
+      counts[(b * pbins + pb) * 2 + static_cast<std::size_t>(d.label(i))] +=
+          1.0;
+    }
+    std::vector<double> lc(bins * pbins * 2, 0.0);
+    for (std::size_t pb = 0; pb < pbins; ++pb) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        double tot = 0.0;
+        for (std::size_t b = 0; b < bins; ++b)
+          tot += counts[(b * pbins + pb) * 2 + c];
+        const double denom = tot + laplace_ * static_cast<double>(bins);
+        for (std::size_t b = 0; b < bins; ++b)
+          lc[(b * pbins + pb) * 2 + c] =
+              std::log((counts[(b * pbins + pb) * 2 + c] + laplace_) /
+                       denom);
+      }
+    }
+    log_cond_[a] = std::move(lc);
+  }
+}
+
+double Tan::predict_score(std::span<const double> x) const {
+  if (!disc_) throw std::logic_error("Tan: not fitted");
+  double lp[2] = {log_prior_[0], log_prior_[1]};
+  for (std::size_t a = 0; a < log_cond_.size() && a < x.size(); ++a) {
+    const std::size_t b = disc_->bin_of(a, x[a]);
+    const std::size_t pbins = parent_bins_[a];
+    const std::size_t pb =
+        parent_[a] >= 0
+            ? disc_->bin_of(static_cast<std::size_t>(parent_[a]),
+                            x[static_cast<std::size_t>(parent_[a])])
+            : 0;
+    lp[0] += log_cond_[a][(b * pbins + pb) * 2 + 0];
+    lp[1] += log_cond_[a][(b * pbins + pb) * 2 + 1];
+  }
+  const double m = std::max(lp[0], lp[1]);
+  const double e0 = std::exp(lp[0] - m);
+  const double e1 = std::exp(lp[1] - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace hpcap::ml

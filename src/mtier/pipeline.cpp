@@ -1,0 +1,194 @@
+#include "mtier/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcap::mtier {
+
+struct Pipeline::Job {
+  std::uint64_t client_id = 0;
+  std::size_t job_class = 0;
+  double start_time = 0.0;
+  std::vector<double> demands;  // sampled per tier
+  std::size_t phase = 0;        // current tier index
+};
+
+Pipeline::Pipeline(PipelineConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  if (cfg_.tiers.empty())
+    throw std::invalid_argument("Pipeline: need >= 1 tier");
+  if (cfg_.classes.empty())
+    throw std::invalid_argument("Pipeline: need >= 1 job class");
+  for (const auto& jc : cfg_.classes) {
+    if (jc.tier_demand.size() != cfg_.tiers.size() ||
+        jc.tier_footprint.size() != cfg_.tiers.size())
+      throw std::invalid_argument(
+          "Pipeline: class '" + jc.name + "' demand/footprint width must "
+          "match tier count");
+  }
+  for (std::size_t t = 0; t < cfg_.tiers.size(); ++t) {
+    tiers_.push_back(std::make_unique<sim::Tier>(eq_, cfg_.tiers[t]));
+    collectors_.push_back(std::make_unique<counters::HpcCollector>(
+        cfg_.tiers[t], counters::HpcModel::Params{},
+        cfg_.seed * 97 + t));
+    aggregators_.emplace_back(counters::hpc_catalog().size(),
+                              cfg_.samples_per_instance);
+  }
+  window_util_sum_.assign(tiers_.size(), 0.0);
+  window_pressure_sum_.assign(tiers_.size(), 0.0);
+}
+
+void Pipeline::set_population(int clients) {
+  target_population_ = std::max(0, clients);
+  while (live_clients_ < target_population_) {
+    ++live_clients_;
+    spawn_client(next_client_id_++);
+  }
+}
+
+void Pipeline::set_class_weights(const std::vector<double>& weights) {
+  if (weights.size() != cfg_.classes.size())
+    throw std::invalid_argument("set_class_weights: width mismatch");
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    cfg_.classes[i].weight = weights[i];
+}
+
+void Pipeline::spawn_client(std::uint64_t id) { client_think(id); }
+
+void Pipeline::client_think(std::uint64_t id) {
+  eq_.schedule_after(rng_.exponential(cfg_.think_time_mean),
+                     [this, id] { client_issue(id); });
+}
+
+void Pipeline::client_issue(std::uint64_t id) {
+  if (live_clients_ > target_population_) {
+    --live_clients_;  // retire at the navigation boundary
+    return;
+  }
+  std::vector<double> weights;
+  weights.reserve(cfg_.classes.size());
+  for (const auto& jc : cfg_.classes) weights.push_back(jc.weight);
+  auto job = std::make_shared<Job>();
+  job->client_id = id;
+  job->job_class = rng_.categorical(weights);
+  job->start_time = eq_.now();
+  const auto& jc = cfg_.classes[job->job_class];
+  job->demands.resize(cfg_.tiers.size());
+  for (std::size_t t = 0; t < cfg_.tiers.size(); ++t)
+    job->demands[t] =
+        jc.tier_demand[t] > 0.0
+            ? rng_.lognormal_mean_cv(jc.tier_demand[t], jc.demand_cv)
+            : 0.0;
+  ++window_issued_;
+  // The front tier's worker is held for the whole request.
+  tiers_[0]->acquire_thread([this, job] { run_phase(job); });
+}
+
+void Pipeline::run_phase(const std::shared_ptr<Job>& job) {
+  if (job->phase >= tiers_.size()) {
+    finish(job);
+    return;
+  }
+  const std::size_t t = job->phase++;
+  const auto& jc = cfg_.classes[job->job_class];
+  if (job->demands[t] <= 0.0) {
+    run_phase(job);
+    return;
+  }
+  sim::Tier::JobTag tag;
+  tag.footprint_mb = jc.tier_footprint[t];
+  tag.request_class = jc.request_class;
+  const auto execute = [this, job, t, tag] {
+    tiers_[t]->execute(job->demands[t], tag, [this, job, t] {
+      if (t != 0) tiers_[t]->release_thread();
+      run_phase(job);
+    });
+  };
+  if (t == 0) {
+    execute();  // worker already held
+  } else {
+    tiers_[t]->acquire_thread(execute);
+  }
+}
+
+void Pipeline::finish(const std::shared_ptr<Job>& job) {
+  tiers_[0]->release_thread();
+  ++window_completed_;
+  window_rt_sum_ += eq_.now() - job->start_time;
+  client_think(job->client_id);
+}
+
+void Pipeline::arm_sampler(double until) {
+  const double next = eq_.now() + cfg_.sample_period;
+  if (next > until + 1e-9) {
+    sampler_armed_ = false;
+    return;
+  }
+  eq_.schedule_at(next, [this, until] {
+    sampling_tick();
+    arm_sampler(until);
+  });
+}
+
+void Pipeline::sampling_tick() {
+  ++window_ticks_;
+  std::vector<std::vector<double>> window_rows(tiers_.size());
+  bool window_closed = false;
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    const auto stats = tiers_[t]->sample_and_reset();
+    const auto& tc = cfg_.tiers[t];
+    const double util = stats.utilization(tc.cores);
+    window_util_sum_[t] += util;
+    const double pool = std::max(1.0, static_cast<double>(tc.thread_pool));
+    window_pressure_sum_[t] +=
+        util + 0.3 * std::min(1.0, stats.mean_queue() / pool);
+    auto sample = collectors_[t]->collect(stats);
+    if (auto inst = aggregators_[t].add(sample)) {
+      window_rows[t] = std::move(*inst);
+      window_closed = true;
+    }
+  }
+  if (!window_closed) return;
+
+  PipelineInstance rec;
+  rec.end_time = eq_.now();
+  rec.hpc = std::move(window_rows);
+  const double seconds = window_ticks_ * cfg_.sample_period;
+  rec.health.throughput =
+      static_cast<double>(window_completed_) / seconds;
+  rec.health.offered_rate =
+      static_cast<double>(window_issued_) / seconds;
+  rec.health.mean_response_time =
+      window_completed_
+          ? window_rt_sum_ / static_cast<double>(window_completed_)
+          : 0.0;
+  rec.population = target_population_;
+  rec.tier_utilization.resize(tiers_.size());
+  double best = -1.0;
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    rec.tier_utilization[t] = window_util_sum_[t] / window_ticks_;
+    const double pressure = window_pressure_sum_[t] / window_ticks_;
+    if (pressure > best) {
+      best = pressure;
+      rec.bottleneck_tier = static_cast<int>(t);
+    }
+  }
+  window_completed_ = 0;
+  window_issued_ = 0;
+  window_rt_sum_ = 0.0;
+  window_ticks_ = 0;
+  std::fill(window_util_sum_.begin(), window_util_sum_.end(), 0.0);
+  std::fill(window_pressure_sum_.begin(), window_pressure_sum_.end(), 0.0);
+  instances_.push_back(std::move(rec));
+}
+
+void Pipeline::run(double duration) {
+  run_end_ = eq_.now() + duration;
+  if (!sampler_armed_) {
+    sampler_armed_ = true;
+    arm_sampler(run_end_);
+  }
+  eq_.run_until(run_end_);
+}
+
+}  // namespace hpcap::mtier

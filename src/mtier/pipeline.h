@@ -1,0 +1,121 @@
+// Generic K-tier service pipeline.
+//
+// The paper's method — per-tier synopses fused by a GPV-indexed
+// coordinated predictor — is defined for any number of tiers, but its
+// evaluation (and this repo's `testbed`) uses the two-tier TPC-W site.
+// This module provides the K-tier substrate: a closed-loop population of
+// synthetic clients driving a chain of processor-sharing tiers
+// (web → app → db → ..., each with its own worker pool and contention
+// profile), with the same 1 Hz HPC sampling and 30 s instance windows the
+// testbed produces. The `three_tier` example and the mtier tests use it
+// to demonstrate bottleneck identification with K = 3.
+//
+// Requests belong to weighted classes; each class specifies its CPU
+// demand and memory footprint per tier. A request holds a front-tier
+// worker for its whole lifetime and each downstream tier's worker for the
+// duration of its phase there — the same blocking structure as the
+// TPC-W testbed, generalized.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/labeling.h"
+#include "counters/sampler.h"
+#include "sim/event_queue.h"
+#include "sim/tier.h"
+#include "util/rng.h"
+
+namespace hpcap::mtier {
+
+struct JobClass {
+  std::string name;
+  double weight = 1.0;                 // selection weight
+  std::vector<double> tier_demand;     // CPU-seconds per tier
+  std::vector<double> tier_footprint;  // MB per tier
+  double demand_cv = 0.35;
+  sim::RequestClass request_class = sim::RequestClass::kBrowse;
+};
+
+struct PipelineConfig {
+  std::vector<sim::Tier::Config> tiers;
+  std::vector<JobClass> classes;
+  double think_time_mean = 3.0;
+  double sample_period = 1.0;
+  int samples_per_instance = 30;
+  std::uint64_t seed = 7;
+};
+
+// One 30 s window, shaped like testbed::InstanceRecord but K tiers wide.
+struct PipelineInstance {
+  double end_time = 0.0;
+  std::vector<std::vector<double>> hpc;  // [tier][metric]
+  core::WindowHealth health;
+  int population = 0;
+  int bottleneck_tier = -1;              // measured pressure argmax
+  std::vector<double> tier_utilization;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig cfg);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  int tier_count() const noexcept { return static_cast<int>(tiers_.size()); }
+
+  // Sets the closed-loop client population (effective immediately for
+  // growth, at the next think boundary for shrink).
+  void set_population(int clients);
+
+  // Reweights the job classes (takes effect for subsequently issued
+  // requests) — the knob that moves the bottleneck between tiers.
+  void set_class_weights(const std::vector<double>& weights);
+
+  // Advances the simulation by `duration` seconds.
+  void run(double duration);
+
+  const std::vector<PipelineInstance>& instances() const noexcept {
+    return instances_;
+  }
+  sim::Tier& tier(int index) { return *tiers_.at(static_cast<size_t>(index)); }
+  sim::EventQueue& events() noexcept { return eq_; }
+
+ private:
+  struct Job;
+  void spawn_client(std::uint64_t id);
+  void client_think(std::uint64_t id);
+  void client_issue(std::uint64_t id);
+  void run_phase(const std::shared_ptr<Job>& job);
+  void finish(const std::shared_ptr<Job>& job);
+  void sampling_tick();
+  void arm_sampler(double until);
+
+  PipelineConfig cfg_;
+  sim::EventQueue eq_;
+  std::vector<std::unique_ptr<sim::Tier>> tiers_;
+  std::vector<std::unique_ptr<counters::HpcCollector>> collectors_;
+  std::vector<counters::InstanceAggregator> aggregators_;
+  Rng rng_;
+
+  int target_population_ = 0;
+  int live_clients_ = 0;
+  std::uint64_t next_client_id_ = 0;
+
+  // Window accumulation.
+  std::uint64_t window_completed_ = 0;
+  std::uint64_t window_issued_ = 0;
+  double window_rt_sum_ = 0.0;
+  std::vector<double> window_util_sum_;
+  std::vector<double> window_pressure_sum_;
+  int window_ticks_ = 0;
+
+  std::vector<PipelineInstance> instances_;
+  double run_end_ = 0.0;
+  bool sampler_armed_ = false;
+};
+
+}  // namespace hpcap::mtier

@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hpcap::sim {
+
+void EventQueue::schedule_at(SimTime t, Callback cb) {
+  heap_.push(Event{std::max(t, now_), next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_after(SimTime dt, Callback cb) {
+  schedule_at(now_ + std::max(dt, 0.0), std::move(cb));
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out requires the
+  // const_cast idiom. The event is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t) {
+  while (!heap_.empty() && heap_.top().time <= t) run_one();
+  now_ = std::max(now_, t);
+}
+
+void EventQueue::run_all(std::uint64_t max_events) {
+  while (max_events-- > 0 && run_one()) {
+  }
+}
+
+}  // namespace hpcap::sim

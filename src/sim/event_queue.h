@@ -1,0 +1,63 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded future-event list: callbacks scheduled at simulated
+// times, executed in (time, insertion-order) order. Everything in the
+// hpcap testbed — request arrivals, CPU completions, think-time expiries,
+// metric sampling ticks — runs as events on one of these queues, so a whole
+// experiment is a deterministic function of its configuration and RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hpcap::sim {
+
+using SimTime = double;  // seconds of simulated time
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute simulated time `t`. Times earlier than now()
+  // are clamped to now() (the event still runs, immediately next).
+  void schedule_at(SimTime t, Callback cb);
+
+  // Schedules `cb` `dt` seconds from now. Negative dt is clamped to 0.
+  void schedule_after(SimTime dt, Callback cb);
+
+  SimTime now() const noexcept { return now_; }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  // Executes the earliest pending event; returns false if none.
+  bool run_one();
+
+  // Executes all events with time <= t, then advances the clock to t.
+  void run_until(SimTime t);
+
+  // Runs until the queue is empty or `max_events` were executed.
+  void run_all(std::uint64_t max_events = UINT64_MAX);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hpcap::sim

@@ -1,0 +1,18 @@
+#include "sim/request.h"
+
+namespace hpcap::sim {
+
+double Request::total_demand() const noexcept {
+  double d = 0.0;
+  for (const auto& p : phases) d += p.demand;
+  return d;
+}
+
+double Request::demand_on_tier(int tier) const noexcept {
+  double d = 0.0;
+  for (const auto& p : phases)
+    if (p.tier == tier) d += p.demand;
+  return d;
+}
+
+}  // namespace hpcap::sim

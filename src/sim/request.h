@@ -1,0 +1,55 @@
+// Request model shared by the simulator, the TPC-W workload layer and the
+// testbed.
+//
+// A request is a sequence of *phases*, each a burst of CPU demand on one
+// tier. A TPC-W "Search" interaction, for instance, is
+//   [APP parse/dispatch] -> [DB query execution] -> [APP render page].
+// The request holds its front-end worker thread for its whole lifetime
+// (as a Tomcat servlet thread blocks on the JDBC call), which is what lets
+// back-end slowness exhaust the front-end thread pool — a load dynamic the
+// paper's bottleneck-shift analysis depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace hpcap::sim {
+
+// Request classes per the TPC-W browse/order dichotomy (§IV.A).
+enum class RequestClass : std::uint8_t { kBrowse = 0, kOrder = 1 };
+
+struct Phase {
+  int tier = 0;          // index into the testbed's tier array
+  double demand = 0.0;   // CPU-seconds of work at that tier
+  // Memory footprint (MB) touched while this phase executes. Drives the
+  // synthetic cache/TLB counter model: concurrent large-footprint phases
+  // overflow the modeled L2 and inflate miss rates.
+  double footprint_mb = 0.0;
+  // Instructions retired per CPU-second of demand (workload character;
+  // scan-bound query code is sparser than servlet code).
+  double instr_density = 2.0e9;
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  int type = 0;  // index into the TPC-W interaction catalog
+  RequestClass request_class = RequestClass::kBrowse;
+  std::vector<Phase> phases;
+
+  SimTime arrival_time = 0.0;
+  SimTime first_service_time = -1.0;  // when the first phase started
+  SimTime completion_time = -1.0;     // when the last phase finished
+
+  bool completed() const noexcept { return completion_time >= 0.0; }
+  double response_time() const noexcept {
+    return completed() ? completion_time - arrival_time : -1.0;
+  }
+  // Total CPU demand across phases (used by workload-intensity accounting).
+  double total_demand() const noexcept;
+  // Total CPU demand placed on one tier.
+  double demand_on_tier(int tier) const noexcept;
+};
+
+}  // namespace hpcap::sim

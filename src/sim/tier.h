@@ -1,0 +1,181 @@
+// A single tier of the multi-tier website: a multi-core CPU shared
+// processor-style among runnable jobs, fronted by a bounded worker-thread
+// (or DB-connection) pool with a FIFO wait queue.
+//
+// Two effects make the model exhibit the capacity phenomenology the paper
+// studies (§I: "saturated throughput ... may drop sharply due to resource
+// contention and algorithmic overhead"):
+//
+//  * Thread-contention overhead. Delivered CPU capacity is scaled by an
+//    efficiency factor that decays as the number of admitted threads grows
+//    past the core count (context switching, scheduler overhead, lock
+//    convoys). Many light requests — the ordering mix — therefore drive
+//    the front end past saturation into genuine throughput loss.
+//
+//  * Memory-system contention. Each job carries a memory footprint; the
+//    aggregate live footprint of concurrently running jobs inflates a
+//    stall fraction (cache/TLB thrash). A few heavy requests — the
+//    browsing mix hitting the database — degrade productivity while the
+//    OS-visible thread counts stay low, which is exactly the regime where
+//    the paper finds OS metrics uninformative but HPC metrics accurate.
+//
+// The processor-sharing service is simulated exactly (no quantization)
+// with the classic virtual-time construction: with equal shares, a job
+// admitted when the attained-service clock reads V finishes when the clock
+// reads V + demand, and the clock advances at rate capacity(n, m) / n.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/request.h"
+
+namespace hpcap::sim {
+
+class Tier {
+ public:
+  struct Config {
+    std::string name = "tier";
+    int cores = 2;
+    // Worker-thread / DB-connection pool size; requests beyond it queue.
+    int thread_pool = 100;
+    double freq_ghz = 2.0;  // clock, for cycle accounting
+    // Thread-contention overhead: efficiency 1/(1 + k * (m - cores)^p)
+    // once admitted threads m exceed the core count.
+    double thread_overhead_coeff = 0.004;
+    double thread_overhead_exp = 1.1;
+    // Memory-stall model: the stalled fraction of busy cycles approaches
+    // `mem_stall_max` as the live footprint grows past
+    // `mem_footprint_half_mb` (the footprint at which half the maximum
+    // stall is reached).
+    double mem_stall_max = 0.6;
+    double mem_footprint_half_mb = 256.0;
+  };
+
+  // Per-job execution character, used for capacity effects and surfaced to
+  // the synthetic counter models.
+  struct JobTag {
+    double instr_per_demand_sec = 2.0e9;  // instruction density of the work
+    double footprint_mb = 4.0;            // memory touched while running
+    RequestClass request_class = RequestClass::kBrowse;
+  };
+
+  // Everything a metric model needs to know about one sampling interval.
+  struct IntervalStats {
+    double duration = 0.0;
+    // Time integrals.
+    double busy_time = 0.0;            // wall time with >=1 runnable job
+    double core_busy_seconds = 0.0;    // ∫ min(n, cores) dt
+    double work_done = 0.0;            // demand-seconds actually completed
+    double instr_done = 0.0;           // instructions retired
+    double stall_core_seconds = 0.0;   // ∫ min(n,cores)·(1-eff) dt
+    double eff_busy_integral = 0.0;    // ∫ eff dt while busy
+    double thread_integral = 0.0;      // ∫ admitted-threads dt
+    double queue_integral = 0.0;       // ∫ wait-queue-length dt
+    double active_integral = 0.0;      // ∫ runnable-jobs dt
+    double footprint_integral = 0.0;   // ∫ live-footprint(MB) dt
+    // Event counts.
+    std::uint64_t completions = 0;
+    std::uint64_t job_starts = 0;
+    std::uint64_t thread_grants = 0;
+    std::uint64_t queue_arrivals = 0;
+    double completed_demand = 0.0;
+    std::uint64_t completions_by_class[2] = {0, 0};
+    double completed_demand_by_class[2] = {0.0, 0.0};
+
+    // Derived conveniences.
+    double utilization(int cores) const noexcept {
+      return duration > 0.0
+                 ? core_busy_seconds / (duration * static_cast<double>(cores))
+                 : 0.0;
+    }
+    double mean_efficiency() const noexcept {
+      return busy_time > 0.0 ? eff_busy_integral / busy_time : 1.0;
+    }
+    double mean_threads() const noexcept {
+      return duration > 0.0 ? thread_integral / duration : 0.0;
+    }
+    double mean_queue() const noexcept {
+      return duration > 0.0 ? queue_integral / duration : 0.0;
+    }
+    double mean_active() const noexcept {
+      return duration > 0.0 ? active_integral / duration : 0.0;
+    }
+    double mean_footprint_mb() const noexcept {
+      return duration > 0.0 ? footprint_integral / duration : 0.0;
+    }
+  };
+
+  Tier(EventQueue& eq, Config cfg);
+
+  Tier(const Tier&) = delete;
+  Tier& operator=(const Tier&) = delete;
+
+  const Config& config() const noexcept { return cfg_; }
+  const std::string& name() const noexcept { return cfg_.name; }
+
+  // Requests a worker thread; `granted` runs (as an event, FIFO order)
+  // once one is available. The holder must call release_thread() exactly
+  // once when done.
+  void acquire_thread(std::function<void()> granted);
+  void release_thread();
+
+  // Runs `demand` CPU-seconds of work under processor sharing; `done` is
+  // invoked (synchronously from the completion event) when finished.
+  // A job does not need to hold a thread of *this* tier to execute — the
+  // testbed decides pool semantics per tier.
+  void execute(double demand, const JobTag& tag, std::function<void()> done);
+
+  // Instantaneous gauges.
+  int active_jobs() const noexcept { return static_cast<int>(jobs_.size()); }
+  int admitted_threads() const noexcept { return admitted_; }
+  int queued() const noexcept { return static_cast<int>(waiters_.size()); }
+  // Aggregate memory footprint of currently running jobs (MB).
+  double live_footprint_mb() const noexcept { return live_footprint_mb_; }
+  // Current capacity-scaling efficiency in (0, 1].
+  double current_efficiency() const noexcept;
+  // Current fraction of busy cycles stalled on memory, in [0, 1).
+  double current_mem_stall() const noexcept;
+
+  // Advances integrals to now, returns the stats since the last call and
+  // starts a fresh interval.
+  IntervalStats sample_and_reset();
+
+ private:
+  struct ActiveJob {
+    JobTag tag;
+    double demand = 0.0;
+    std::function<void()> done;
+  };
+  using JobKey = std::pair<double, std::uint64_t>;  // (finish_v, id)
+
+  void advance();                 // integrate state up to eq_.now()
+  void reschedule_completion();   // (re)arm the next-completion event
+  void complete_ready_jobs();     // pop every job with finish_v <= V
+  double capacity() const noexcept;  // delivered demand-sec per second
+
+  EventQueue& eq_;
+  Config cfg_;
+
+  // Thread pool.
+  int admitted_ = 0;
+  std::deque<std::function<void()>> waiters_;
+
+  // Processor sharing state.
+  std::map<JobKey, ActiveJob> jobs_;  // ordered by virtual finish time
+  double v_ = 0.0;                    // attained-service virtual clock
+  double sum_density_ = 0.0;          // Σ instr_per_demand_sec over jobs_
+  double live_footprint_mb_ = 0.0;    // Σ footprint over jobs_
+  std::uint64_t next_job_id_ = 0;
+  std::uint64_t completion_generation_ = 0;
+
+  SimTime last_update_ = 0.0;
+  SimTime sample_start_ = 0.0;
+  IntervalStats stats_;
+};
+
+}  // namespace hpcap::sim

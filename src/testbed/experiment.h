@@ -1,0 +1,158 @@
+// Experiment plumbing shared by benches, examples and integration tests:
+// capacity estimation (to scale workloads to this testbed), the paper's
+// training/testing workload recipes, label extraction, and conversion of
+// recorded instances into per-(tier, level) ML datasets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "ml/dataset.h"
+#include "testbed/testbed.h"
+#include "tpcw/mix.h"
+#include "tpcw/schedule.h"
+
+namespace hpcap::testbed {
+
+// Analytic capacity estimate for a mix on a testbed configuration (mean
+// value analysis on the uncontended demands). Used to scale ramp/steady
+// workloads relative to the saturation point, and exported as a
+// capacity-planning utility in its own right.
+struct CapacityEstimate {
+  double saturation_rps = 0.0;   // bottleneck-capped request rate
+  int bottleneck_tier = -1;      // which tier caps it
+  double base_response_time = 0.0;  // uncontended per-request latency
+  int saturation_ebs = 0;        // EB count that offers saturation_rps
+};
+CapacityEstimate estimate_capacity(const tpcw::Mix& mix,
+                                   const TestbedConfig& cfg);
+
+// Empirical capacity from a coarse offline stress ramp (the paper's
+// "thresholds determined empirically in offline stress-testing", §II.A).
+// The analytic estimate ignores contention-driven efficiency loss and can
+// overshoot badly for database-bound mixes; this runs a short calibration
+// ramp on a throwaway testbed and locates the throughput knee. Results are
+// memoized per (mix, think time, seed).
+struct MeasuredCapacity {
+  int saturation_ebs = 0;
+  double saturation_rps = 0.0;
+  CapacityEstimate analytic;
+};
+MeasuredCapacity measure_capacity(const tpcw::Mix& mix,
+                                  const TestbedConfig& cfg);
+
+// --- The paper's workload recipes (§IV.A) ------------------------------
+
+struct WorkloadScale {
+  // EB levels relative to the mix's saturation EB count.
+  double ramp_start = 0.20;
+  double ramp_end = 1.60;
+  int ramp_steps = 14;
+  double step_duration = 120.0;   // 4 instances per level
+  double spike_base = 0.70;
+  double spike_peak = 1.70;
+  double spike_period = 240.0;
+  double spike_duration = 60.0;
+  double spike_total = 1200.0;
+};
+
+// Training workload: ramp-up to overload, spikes, then a boundary hover.
+tpcw::WorkloadSchedule training_schedule(std::shared_ptr<const tpcw::Mix> mix,
+                                         const TestbedConfig& cfg,
+                                         const WorkloadScale& scale = {});
+
+// Boundary hover: the EB population random-walks around
+// `center_factor` × saturation, re-stepping every `step` seconds. At these
+// levels utilization is pinned near 100% whether or not the site is
+// actually degrading, so windows flip between healthy-saturated and
+// overloaded on the strength of stochastic load/composition fluctuation —
+// the regime that separates work-character (HPC) metrics from
+// load-monotone (OS) ones.
+tpcw::WorkloadSchedule hover_schedule(std::shared_ptr<const tpcw::Mix> mix,
+                                      const TestbedConfig& cfg,
+                                      double center_factor, double jitter,
+                                      double total, double step = 90.0,
+                                      std::uint64_t seed = 5);
+
+// Testing workload: steady segments at levels straddling saturation
+// (0.5× .. 1.45×, densely sampled around 1.0×), `segment` seconds each.
+tpcw::WorkloadSchedule testing_schedule(std::shared_ptr<const tpcw::Mix> mix,
+                                        const TestbedConfig& cfg,
+                                        double segment = 240.0);
+
+// Interleaved testing workload: alternates the two mixes (each at a level
+// that stresses *its* bottleneck tier), forcing bottleneck shifts.
+tpcw::WorkloadSchedule interleaved_schedule(
+    std::shared_ptr<const tpcw::Mix> mix_a,
+    std::shared_ptr<const tpcw::Mix> mix_b, const TestbedConfig& cfg,
+    double segment = 300.0, double total = 3600.0);
+
+// The paper's "unknown" workload: a mix unseen in training (between the
+// browsing and ordering extremes, intra-class weights skewed).
+std::shared_ptr<const tpcw::Mix> unknown_mix();
+
+// --- Label and dataset extraction --------------------------------------
+
+// Application-level ground truth per instance (stateful across the run).
+std::vector<int> health_labels(const std::vector<InstanceRecord>& records,
+                               core::HealthPolicy policy = {});
+
+// Per-instance bottleneck annotation (records' measured pressure argmax),
+// masked to -1 for instances labeled underloaded.
+std::vector<int> bottleneck_annotations(
+    const std::vector<InstanceRecord>& records,
+    const std::vector<int>& labels);
+
+// Builds the (tier, level) dataset the paper trains a synopsis on.
+// `level` is "hpc" or "os".
+ml::Dataset make_dataset(const std::vector<InstanceRecord>& records,
+                         int tier, const std::string& level,
+                         const std::vector<int>& labels);
+
+// Runs `schedule` on a fresh testbed and returns instances + labels.
+struct CollectedRun {
+  std::vector<InstanceRecord> instances;
+  std::vector<int> labels;
+  std::vector<SampleRecord> samples;
+};
+CollectedRun collect(const tpcw::WorkloadSchedule& schedule,
+                     const TestbedConfig& cfg,
+                     core::HealthPolicy policy = {});
+
+// Builds the paper's full two-level measurement stack for one metric
+// level: one synopsis per (training mix, tier) — GPV bit order is
+// [mix0/APP, mix0/DB, mix1/APP, mix1/DB] — then trains the coordinated
+// predictor over every training run's instances in temporal order
+// (bottleneck-annotated, history reset between runs).
+struct NamedRun {
+  std::string mix_name;
+  const CollectedRun* run;
+};
+// `training_passes`: how many times the instance stream is replayed into
+// the coordinated tables. One pass leaves most Hc counters inside the
+// [-δ, δ] indecision band (each GPV×history cell sees only a handful of
+// instances); replaying a consistent stream drives the populated cells
+// past δ, exactly as a longer stress test would.
+core::CapacityMonitor build_monitor(
+    const std::vector<NamedRun>& training_runs, const std::string& level,
+    ml::LearnerKind learner, core::CoordinatedPredictor::Options options,
+    int training_passes = 4);
+
+// Rows for one instance in the layout CapacityMonitor::observe expects.
+std::vector<std::vector<double>> monitor_rows(const InstanceRecord& rec,
+                                              const std::string& level);
+
+// Per-tier HPC metric series + throughput reference restricted to the
+// *stressed* region of a run (any tier utilization >= min_utilization) —
+// the regime over which the paper's Corr (Eq. 2) meaningfully ranks PI
+// candidates; light-load intervals would wash the correlation out.
+struct StressedSeries {
+  std::vector<std::vector<std::vector<double>>> tier_hpc;  // [tier][t][m]
+  std::vector<double> throughput;
+};
+StressedSeries stressed_series(const std::vector<InstanceRecord>& records,
+                               double min_utilization = 0.55);
+
+}  // namespace hpcap::testbed

@@ -1,0 +1,287 @@
+#include "testbed/testbed.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "counters/overhead.h"
+
+namespace hpcap::testbed {
+
+TestbedConfig TestbedConfig::paper_defaults() {
+  TestbedConfig cfg;
+  cfg.app.name = "app";
+  cfg.app.cores = 1;
+  cfg.app.thread_pool = 120;       // Tomcat worker threads
+  cfg.app.freq_ghz = 2.0;          // Pentium 4 2.0 GHz
+  cfg.app.thread_overhead_coeff = 0.002;
+  cfg.app.thread_overhead_exp = 1.1;
+  cfg.app.mem_stall_max = 0.25;
+  cfg.app.mem_footprint_half_mb = 500.0;
+
+  cfg.db.name = "db";
+  cfg.db.cores = 2;
+  cfg.db.thread_pool = 40;         // MySQL connection pool
+  cfg.db.freq_ghz = 2.8;           // Pentium D 2.8 GHz
+  cfg.db.thread_overhead_coeff = 0.0015;
+  cfg.db.thread_overhead_exp = 1.2;
+  cfg.db.mem_stall_max = 0.35;
+  cfg.db.mem_footprint_half_mb = 400.0;
+  return cfg;
+}
+
+void Testbed::WindowAccum::reset(int tiers) {
+  completed = 0;
+  issued = 0;
+  response_time_sum = 0.0;
+  response_time_count = 0;
+  util_sum.assign(static_cast<std::size_t>(tiers), 0.0);
+  pressure_sum.assign(static_cast<std::size_t>(tiers), 0.0);
+  ticks = 0;
+}
+
+struct Testbed::RequestCtx {
+  sim::Request request;
+  tpcw::Rbe::CompletionFn done;
+  std::size_t phase = 0;
+};
+
+Testbed::Testbed(TestbedConfig cfg)
+    : cfg_(cfg),
+      factory_(cfg.seed * 0x9e37 + 11,
+               tpcw::TierIds{kAppTier, kDbTier}),
+      rng_(cfg.seed) {
+  tiers_.push_back(std::make_unique<sim::Tier>(eq_, cfg_.app));
+  tiers_.push_back(std::make_unique<sim::Tier>(eq_, cfg_.db));
+
+  rbe_ = std::make_unique<tpcw::Rbe>(
+      eq_, factory_, cfg_.rbe,
+      [this](sim::Request req, tpcw::Rbe::CompletionFn done) {
+        submit(std::move(req), std::move(done));
+      });
+
+  counters::HpcModel::Params hpc_params;
+  counters::OsModel::Params os_params_app;
+  os_params_app.ram_mb = 512.0;
+  counters::OsModel::Params os_params_db;
+  os_params_db.ram_mb = 1024.0;
+  os_params_db.base_processes = 60.0;
+
+  const std::vector<sim::Tier::Config> tier_cfgs = {cfg_.app, cfg_.db};
+  const std::vector<counters::OsModel::Params> os_params = {os_params_app,
+                                                            os_params_db};
+  for (int t = 0; t < kNumTiers; ++t) {
+    hpc_collectors_.push_back(std::make_unique<counters::HpcCollector>(
+        tier_cfgs[static_cast<std::size_t>(t)], hpc_params,
+        cfg_.seed * 131 + static_cast<std::uint64_t>(t)));
+    os_collectors_.push_back(std::make_unique<counters::OsCollector>(
+        tier_cfgs[static_cast<std::size_t>(t)],
+        os_params[static_cast<std::size_t>(t)],
+        cfg_.seed * 257 + static_cast<std::uint64_t>(t)));
+    hpc_agg_.emplace_back(counters::hpc_catalog().size(),
+                          cfg_.samples_per_instance);
+    os_agg_.emplace_back(counters::os_catalog().size(),
+                         cfg_.samples_per_instance);
+  }
+  window_.reset(kNumTiers);
+}
+
+sim::Tier& Testbed::tier(int index) {
+  if (index < 0 || index >= static_cast<int>(tiers_.size()))
+    throw std::out_of_range("Testbed::tier");
+  return *tiers_[static_cast<std::size_t>(index)];
+}
+
+void Testbed::set_admission_gate(AdmissionGate gate) {
+  gate_ = std::move(gate);
+}
+
+void Testbed::set_instance_observer(InstanceObserver obs) {
+  observer_ = std::move(obs);
+}
+
+void Testbed::submit(sim::Request req, tpcw::Rbe::CompletionFn done) {
+  if (gate_ && !gate_(req)) {
+    // Shed at the front door: the client gets an immediate "busy" page.
+    ++rejected_;
+    req.completion_time = eq_.now();
+    done(req);
+    return;
+  }
+  auto ctx = std::make_shared<RequestCtx>();
+  ctx->request = std::move(req);
+  ctx->done = std::move(done);
+  // The request holds one front-end worker for its entire lifetime.
+  tiers_[kAppTier]->acquire_thread([this, ctx] {
+    ctx->request.first_service_time = eq_.now();
+    run_phase(ctx);
+  });
+}
+
+void Testbed::run_phase(const std::shared_ptr<RequestCtx>& ctx) {
+  if (ctx->phase >= ctx->request.phases.size()) {
+    finish(ctx);
+    return;
+  }
+  const sim::Phase& ph = ctx->request.phases[ctx->phase++];
+  sim::Tier::JobTag tag;
+  tag.instr_per_demand_sec = ph.instr_density;
+  tag.footprint_mb = ph.footprint_mb;
+  tag.request_class = ctx->request.request_class;
+
+  if (ph.tier == kDbTier) {
+    const double demand = ph.demand;
+    eq_.schedule_after(cfg_.network_hop, [this, ctx, tag, demand] {
+      tiers_[kDbTier]->acquire_thread([this, ctx, tag, demand] {
+        tiers_[kDbTier]->execute(demand, tag, [this, ctx] {
+          tiers_[kDbTier]->release_thread();
+          eq_.schedule_after(cfg_.network_hop,
+                             [this, ctx] { run_phase(ctx); });
+        });
+      });
+    });
+  } else {
+    tiers_[kAppTier]->execute(ph.demand, tag,
+                              [this, ctx] { run_phase(ctx); });
+  }
+}
+
+void Testbed::finish(const std::shared_ptr<RequestCtx>& ctx) {
+  tiers_[kAppTier]->release_thread();
+  ctx->request.completion_time = eq_.now();
+  ++completed_;
+  ctx->done(ctx->request);
+}
+
+void Testbed::start_sampling(double until) {
+  const double next = eq_.now() + cfg_.sample_period;
+  if (next > until + 1e-9) return;
+  eq_.schedule_at(next, [this, until] {
+    sampling_tick();
+    start_sampling(until);
+  });
+}
+
+void Testbed::sampling_tick() {
+  // Drain tier statistics for the elapsed second.
+  std::vector<sim::Tier::IntervalStats> stats;
+  stats.reserve(tiers_.size());
+  for (auto& t : tiers_) stats.push_back(t->sample_and_reset());
+
+  // Client-side telemetry for the same second.
+  const tpcw::Rbe::Stats rbe_tick = rbe_->drain_interval_stats();
+  window_.completed += rbe_tick.completed;
+  window_.issued += rbe_tick.issued;
+  window_.response_time_sum += rbe_tick.response_time.sum();
+  window_.response_time_count += rbe_tick.response_time.count();
+  ++window_.ticks;
+
+  SampleRecord sample;
+  sample.time = eq_.now();
+  sample.ebs = rbe_->target_ebs();
+  sample.throughput = static_cast<double>(rbe_tick.completed) /
+                      cfg_.sample_period;
+
+  std::optional<std::vector<std::vector<double>>> hpc_instance;
+  std::optional<std::vector<std::vector<double>>> os_instance;
+
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    const auto& s = stats[t];
+    const auto& tc = tiers_[t]->config();
+    const double util = s.utilization(tc.cores);
+    window_.util_sum[t] += util;
+    const double pool = std::max(1.0, static_cast<double>(tc.thread_pool));
+    window_.pressure_sum[t] +=
+        util + 0.3 * std::min(1.0, s.mean_queue() / pool);
+
+    if (cfg_.collect_hpc) {
+      if (cfg_.charge_collection_cost)
+        counters::charge_collection_cost(
+            *tiers_[t], counters::HpcCollector::cost_per_sample());
+      auto v = hpc_collectors_[t]->collect(s);
+      sample.hpc.push_back(v);
+      if (auto inst = hpc_agg_[t].add(v)) {
+        if (!hpc_instance) hpc_instance.emplace(tiers_.size());
+        (*hpc_instance)[t] = std::move(*inst);
+      }
+    }
+    if (cfg_.collect_os) {
+      if (cfg_.charge_collection_cost)
+        counters::charge_collection_cost(
+            *tiers_[t], counters::OsCollector::cost_per_sample());
+      counters::OsGauges g;
+      g.runnable_now = tiers_[t]->active_jobs();
+      g.threads_now = tiers_[t]->admitted_threads();
+      g.queue_now = tiers_[t]->queued();
+      // Scheduler-visible blocking: database threads running large scans
+      // sleep on buffer-pool I/O and latches (D/S state, invisible to the
+      // run queue); application servlet threads are CPU-bound heap users
+      // and stay runnable.
+      const double fp = tiers_[t]->live_footprint_mb();
+      g.blocked_fraction = (static_cast<int>(t) == kDbTier)
+                               ? 0.97 * fp / (fp + 40.0)
+                               : 0.15 * fp / (fp + 800.0);
+      auto v = os_collectors_[t]->collect(s, g);
+      sample.os.push_back(v);
+      if (auto inst = os_agg_[t].add(v)) {
+        if (!os_instance) os_instance.emplace(tiers_.size());
+        (*os_instance)[t] = std::move(*inst);
+      }
+    }
+  }
+  samples_.push_back(std::move(sample));
+
+  // A full 30 s window closed on this tick (when any collector is active,
+  // its aggregator defines the cadence; with none, fall back to tick
+  // counting so overhead baselines still produce instances).
+  const bool window_closed =
+      hpc_instance.has_value() || os_instance.has_value() ||
+      (!cfg_.collect_hpc && !cfg_.collect_os &&
+       window_.ticks >= cfg_.samples_per_instance);
+  if (!window_closed) return;
+
+  InstanceRecord rec;
+  rec.end_time = eq_.now();
+  if (hpc_instance) rec.hpc = std::move(*hpc_instance);
+  if (os_instance) rec.os = std::move(*os_instance);
+  const double window_seconds =
+      static_cast<double>(window_.ticks) * cfg_.sample_period;
+  rec.health.throughput =
+      static_cast<double>(window_.completed) / window_seconds;
+  rec.health.mean_response_time =
+      window_.response_time_count
+          ? window_.response_time_sum /
+                static_cast<double>(window_.response_time_count)
+          : 0.0;
+  rec.offered_rate = static_cast<double>(window_.issued) / window_seconds;
+  rec.health.offered_rate = rec.offered_rate;
+  rec.ebs = rbe_->target_ebs();
+  rec.mix_name = rbe_->mix().name();
+  rec.tier_utilization.resize(tiers_.size());
+  double best_pressure = -1.0;
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    rec.tier_utilization[t] =
+        window_.util_sum[t] / static_cast<double>(window_.ticks);
+    const double pressure =
+        window_.pressure_sum[t] / static_cast<double>(window_.ticks);
+    if (pressure > best_pressure) {
+      best_pressure = pressure;
+      rec.bottleneck_tier = static_cast<int>(t);
+    }
+  }
+  window_.reset(kNumTiers);
+  if (observer_) observer_(rec);
+  instances_.push_back(std::move(rec));
+}
+
+void Testbed::run(const tpcw::WorkloadSchedule& schedule) {
+  const double start = eq_.now();
+  schedule.apply(eq_, *rbe_, start);
+  run_end_ = start + schedule.duration();
+  start_sampling(run_end_);
+  eq_.run_until(run_end_);
+  // Park the site between runs so back-to-back schedules start clean.
+  rbe_->set_target_ebs(0);
+}
+
+}  // namespace hpcap::testbed

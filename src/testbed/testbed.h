@@ -1,0 +1,161 @@
+// The simulated two-tier e-commerce testbed (§IV.B substitution).
+//
+// Reproduces the paper's measurement environment end to end:
+//
+//   client (RBE, EBs) ──► [APP tier: Tomcat-like worker pool, 1×2.0 GHz]
+//                               │ JDBC call (request keeps its worker)
+//                               ▼
+//                         [DB tier: MySQL-like connection pool, 2×2.8 GHz]
+//
+// Every simulated second the testbed samples both tiers' interval
+// statistics and synthesizes the HPC and OS metric vectors (optionally
+// charging the collection cost to the sampled tier, as a real collector
+// would); thirty 1 Hz samples are averaged into one *instance*, annotated
+// with application-level health telemetry and the measured bottleneck tier
+// for that window. Experiments never reach into the simulator's ground
+// truth except through these recorded instances.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/labeling.h"
+#include "counters/sampler.h"
+#include "sim/event_queue.h"
+#include "sim/tier.h"
+#include "tpcw/rbe.h"
+#include "tpcw/request_factory.h"
+#include "tpcw/schedule.h"
+
+namespace hpcap::testbed {
+
+inline constexpr int kAppTier = 0;
+inline constexpr int kDbTier = 1;
+inline constexpr int kNumTiers = 2;
+
+struct TestbedConfig {
+  sim::Tier::Config app;
+  sim::Tier::Config db;
+  tpcw::Rbe::Config rbe;
+  // One-way network latency between client/app and app/db (seconds).
+  double network_hop = 0.0005;
+  double sample_period = 1.0;       // metric sampling tick
+  int samples_per_instance = 30;    // paper: 30 s windows
+  bool collect_hpc = true;
+  bool collect_os = true;
+  // Charge collector CPU to the sampled tiers (the §V.D experiment).
+  bool charge_collection_cost = false;
+  std::uint64_t seed = 42;
+
+  // The paper's hardware: P4 2.0 GHz front end (512 MB), Pentium D
+  // 2.8 GHz database (1 GB).
+  static TestbedConfig paper_defaults();
+};
+
+// One 1 Hz sample row (kept for microscopic views like Fig. 3's inset).
+struct SampleRecord {
+  double time = 0.0;
+  std::vector<std::vector<double>> hpc;  // [tier][metric]
+  std::vector<std::vector<double>> os;   // [tier][metric]
+  double throughput = 0.0;               // completions/s in this tick
+  int ebs = 0;
+};
+
+// One 30 s instance — the unit every experiment trains and tests on.
+struct InstanceRecord {
+  double end_time = 0.0;
+  std::vector<std::vector<double>> hpc;  // [tier][metric], window averages
+  std::vector<std::vector<double>> os;
+  core::WindowHealth health;             // app-level telemetry, same window
+  double offered_rate = 0.0;             // requests issued / s
+  int ebs = 0;
+  std::string mix_name;
+  // Measured bottleneck: the tier with the highest pressure (utilization
+  // plus normalized queueing) during the window.
+  int bottleneck_tier = -1;
+  // Per-tier utilization during the window (diagnostics / tests).
+  std::vector<double> tier_utilization;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg = TestbedConfig::paper_defaults());
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // Runs one workload schedule to completion, recording samples and
+  // instances. May be called repeatedly; records accumulate.
+  void run(const tpcw::WorkloadSchedule& schedule);
+
+  // Optional front-door admission gate: return false to shed an arriving
+  // request (it completes immediately with rejected() marked).
+  using AdmissionGate = std::function<bool(const sim::Request&)>;
+  void set_admission_gate(AdmissionGate gate);
+
+  // Optional per-instance observer (online pipelines hook in here).
+  using InstanceObserver = std::function<void(const InstanceRecord&)>;
+  void set_instance_observer(InstanceObserver obs);
+
+  const std::vector<SampleRecord>& samples() const noexcept {
+    return samples_;
+  }
+  const std::vector<InstanceRecord>& instances() const noexcept {
+    return instances_;
+  }
+  std::uint64_t rejected_requests() const noexcept { return rejected_; }
+  std::uint64_t completed_requests() const noexcept { return completed_; }
+
+  const TestbedConfig& config() const noexcept { return cfg_; }
+  sim::EventQueue& events() noexcept { return eq_; }
+  sim::Tier& tier(int index);
+  tpcw::Rbe& rbe() noexcept { return *rbe_; }
+
+ private:
+  struct RequestCtx;
+
+  void submit(sim::Request req, tpcw::Rbe::CompletionFn done);
+  void run_phase(const std::shared_ptr<RequestCtx>& ctx);
+  void finish(const std::shared_ptr<RequestCtx>& ctx);
+  void sampling_tick();
+  void start_sampling(double until);
+
+  TestbedConfig cfg_;
+  sim::EventQueue eq_;
+  std::vector<std::unique_ptr<sim::Tier>> tiers_;
+  tpcw::RequestFactory factory_;
+  std::unique_ptr<tpcw::Rbe> rbe_;
+  AdmissionGate gate_;
+  InstanceObserver observer_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<counters::HpcCollector>> hpc_collectors_;
+  std::vector<std::unique_ptr<counters::OsCollector>> os_collectors_;
+  std::vector<counters::InstanceAggregator> hpc_agg_;
+  std::vector<counters::InstanceAggregator> os_agg_;
+
+  // Window accumulation for health/bottleneck annotation.
+  struct WindowAccum {
+    std::uint64_t completed = 0;
+    std::uint64_t issued = 0;
+    double response_time_sum = 0.0;
+    std::uint64_t response_time_count = 0;
+    std::vector<double> util_sum;      // per tier
+    std::vector<double> pressure_sum;  // per tier
+    int ticks = 0;
+    void reset(int tiers);
+  };
+  WindowAccum window_;
+
+  std::vector<SampleRecord> samples_;
+  std::vector<InstanceRecord> instances_;
+  std::string current_mix_name_;
+  double run_end_ = 0.0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace hpcap::testbed

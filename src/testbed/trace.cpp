@@ -1,0 +1,140 @@
+#include "testbed/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "counters/metric_catalog.h"
+
+namespace hpcap::testbed {
+
+namespace {
+
+// Fixed columns before the metric blocks.
+const std::vector<std::string>& annotation_columns() {
+  static const std::vector<std::string> cols = {
+      "end_time", "label",      "mix",       "ebs",
+      "offered",  "throughput", "mean_rt",   "bottleneck",
+      "util0",    "util1",
+  };
+  return cols;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> trace_header(int tiers) {
+  std::vector<std::string> header = annotation_columns();
+  for (int t = 0; t < tiers; ++t)
+    for (const auto& name : counters::hpc_catalog().names())
+      header.push_back("hpc" + std::to_string(t) + "_" + name);
+  for (int t = 0; t < tiers; ++t)
+    for (const auto& name : counters::os_catalog().names())
+      header.push_back("os" + std::to_string(t) + "_" + name);
+  return header;
+}
+
+void write_trace(std::ostream& os,
+                 const std::vector<InstanceRecord>& records,
+                 const std::vector<int>& labels) {
+  const auto header = trace_header();
+  for (std::size_t i = 0; i < header.size(); ++i)
+    os << (i ? "," : "") << header[i];
+  os << '\n';
+  os.precision(17);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    os << r.end_time << ',' << (i < labels.size() ? labels[i] : -1) << ','
+       << r.mix_name << ',' << r.ebs << ',' << r.offered_rate << ','
+       << r.health.throughput << ',' << r.health.mean_response_time << ','
+       << r.bottleneck_tier;
+    for (int t = 0; t < kNumTiers; ++t)
+      os << ','
+         << (t < static_cast<int>(r.tier_utilization.size())
+                 ? r.tier_utilization[static_cast<std::size_t>(t)]
+                 : 0.0);
+    for (int t = 0; t < kNumTiers; ++t) {
+      const auto& row = r.hpc.empty()
+                            ? std::vector<double>(
+                                  counters::hpc_catalog().size(), 0.0)
+                            : r.hpc[static_cast<std::size_t>(t)];
+      for (double v : row) os << ',' << v;
+    }
+    for (int t = 0; t < kNumTiers; ++t) {
+      const auto& row = r.os.empty()
+                            ? std::vector<double>(
+                                  counters::os_catalog().size(), 0.0)
+                            : r.os[static_cast<std::size_t>(t)];
+      for (double v : row) os << ',' << v;
+    }
+    os << '\n';
+  }
+}
+
+std::vector<InstanceRecord> read_trace(std::istream& is,
+                                       std::vector<int>* labels) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("read_trace: empty stream");
+  const auto expected = trace_header();
+  const auto got = split_csv_line(line);
+  if (got != expected)
+    throw std::runtime_error(
+        "read_trace: header mismatch (different catalog version?)");
+
+  const std::size_t hpc_n = counters::hpc_catalog().size();
+  const std::size_t os_n = counters::os_catalog().size();
+  std::vector<InstanceRecord> records;
+  if (labels) labels->clear();
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != expected.size())
+      throw std::runtime_error("read_trace: wrong column count");
+    std::size_t c = 0;
+    const auto next = [&cells, &c]() -> const std::string& {
+      return cells[c++];
+    };
+    InstanceRecord r;
+    r.end_time = std::stod(next());
+    const int label = std::stoi(next());
+    r.mix_name = next();
+    r.ebs = std::stoi(next());
+    r.offered_rate = std::stod(next());
+    r.health.throughput = std::stod(next());
+    r.health.mean_response_time = std::stod(next());
+    r.health.offered_rate = r.offered_rate;
+    r.bottleneck_tier = std::stoi(next());
+    r.tier_utilization.resize(kNumTiers);
+    for (int t = 0; t < kNumTiers; ++t)
+      r.tier_utilization[static_cast<std::size_t>(t)] = std::stod(next());
+    r.hpc.assign(kNumTiers, std::vector<double>(hpc_n));
+    for (int t = 0; t < kNumTiers; ++t)
+      for (std::size_t m = 0; m < hpc_n; ++m)
+        r.hpc[static_cast<std::size_t>(t)][m] = std::stod(next());
+    r.os.assign(kNumTiers, std::vector<double>(os_n));
+    for (int t = 0; t < kNumTiers; ++t)
+      for (std::size_t m = 0; m < os_n; ++m)
+        r.os[static_cast<std::size_t>(t)][m] = std::stod(next());
+    records.push_back(std::move(r));
+    if (labels) labels->push_back(label);
+  }
+  return records;
+}
+
+}  // namespace hpcap::testbed

@@ -1,0 +1,32 @@
+// Instance-trace archiving.
+//
+// A collected run (30 s instances with both metric levels, health
+// telemetry and annotations) serializes to a flat CSV so experiments can
+// be archived, diffed, re-labeled and re-analyzed without re-simulating —
+// the workflow the paper's offline training implies. The column layout is
+// self-describing: fixed annotation columns followed by
+// `hpc<tier>_<metric>` and `os<tier>_<metric>` blocks per the catalogs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.h"
+
+namespace hpcap::testbed {
+
+// The CSV header for the given tier count (annotations + metric blocks).
+std::vector<std::string> trace_header(int tiers = kNumTiers);
+
+// Writes records (and optional labels; -1 = unlabeled) as CSV.
+void write_trace(std::ostream& os,
+                 const std::vector<InstanceRecord>& records,
+                 const std::vector<int>& labels = {});
+
+// Reads a trace back. Labels come out in `labels` (-1 where unlabeled).
+// Throws std::runtime_error on malformed input or catalog mismatch.
+std::vector<InstanceRecord> read_trace(std::istream& is,
+                                       std::vector<int>* labels = nullptr);
+
+}  // namespace hpcap::testbed

@@ -1,0 +1,76 @@
+#include "tpcw/interactions.h"
+
+#include <stdexcept>
+
+namespace hpcap::tpcw {
+
+namespace {
+using sim::RequestClass;
+
+// Demands are CPU-seconds at nominal (uncontended) efficiency: one
+// demand-second consumes one core-second when the tier efficiency is 1.
+//
+// Calibration notes (see DESIGN.md §2): browse-class pages run heavy
+// database work (Best Sellers / Search Results are aggregation and LIKE
+// scans over the item/order tables, with tens of MB of buffer-pool
+// traffic), while order-class pages are servlet- and session-heavy with
+// light indexed queries. Instruction densities give servlet code an
+// uncontended IPC near 0.8 on the 2.0 GHz front end and scan-bound query
+// code an IPC near 0.4-0.65 on the 2.8 GHz database machine.
+constexpr std::array<InteractionProfile, kNumInteractions> kCatalog = {{
+    {Interaction::kHome, "Home", RequestClass::kBrowse,
+     0.003, 0.004, 0.005, 0.30, 2.0, 4.0, 1.6e9, 1.8e9},
+    {Interaction::kNewProducts, "NewProducts", RequestClass::kBrowse,
+     0.003, 0.006, 0.045, 0.40, 3.0, 30.0, 1.6e9, 1.2e9},
+    {Interaction::kBestSellers, "BestSellers", RequestClass::kBrowse,
+     0.003, 0.006, 0.090, 0.50, 3.0, 60.0, 1.6e9, 1.1e9},
+    {Interaction::kProductDetail, "ProductDetail", RequestClass::kBrowse,
+     0.002, 0.004, 0.008, 0.30, 2.0, 5.0, 1.6e9, 1.8e9},
+    {Interaction::kSearchRequest, "SearchRequest", RequestClass::kBrowse,
+     0.002, 0.003, 0.000, 0.20, 2.0, 0.0, 1.6e9, 1.8e9},
+    {Interaction::kSearchResults, "SearchResults", RequestClass::kBrowse,
+     0.003, 0.007, 0.060, 0.50, 3.0, 45.0, 1.6e9, 1.15e9},
+    {Interaction::kShoppingCart, "ShoppingCart", RequestClass::kOrder,
+     0.008, 0.006, 0.006, 0.30, 5.0, 4.0, 1.7e9, 1.8e9},
+    {Interaction::kCustomerRegistration, "CustomerRegistration",
+     RequestClass::kOrder,
+     0.010, 0.005, 0.004, 0.30, 6.0, 3.0, 1.7e9, 1.8e9},
+    {Interaction::kBuyRequest, "BuyRequest", RequestClass::kOrder,
+     0.012, 0.008, 0.008, 0.30, 6.0, 5.0, 1.7e9, 1.8e9},
+    {Interaction::kBuyConfirm, "BuyConfirm", RequestClass::kOrder,
+     0.014, 0.008, 0.012, 0.40, 7.0, 6.0, 1.7e9, 1.7e9},
+    {Interaction::kOrderInquiry, "OrderInquiry", RequestClass::kOrder,
+     0.006, 0.004, 0.003, 0.20, 4.0, 3.0, 1.7e9, 1.8e9},
+    {Interaction::kOrderDisplay, "OrderDisplay", RequestClass::kOrder,
+     0.008, 0.006, 0.010, 0.30, 5.0, 6.0, 1.7e9, 1.7e9},
+    {Interaction::kAdminRequest, "AdminRequest", RequestClass::kOrder,
+     0.006, 0.004, 0.004, 0.30, 4.0, 3.0, 1.7e9, 1.8e9},
+    {Interaction::kAdminConfirm, "AdminConfirm", RequestClass::kOrder,
+     0.010, 0.006, 0.015, 0.40, 5.0, 10.0, 1.7e9, 1.6e9},
+}};
+}  // namespace
+
+const std::array<InteractionProfile, kNumInteractions>& interaction_catalog() {
+  return kCatalog;
+}
+
+const InteractionProfile& profile_of(Interaction type) {
+  const auto idx = static_cast<std::size_t>(type);
+  if (idx >= kCatalog.size())
+    throw std::out_of_range("profile_of: bad interaction");
+  return kCatalog[idx];
+}
+
+std::string_view interaction_name(Interaction type) {
+  return profile_of(type).name;
+}
+
+sim::RequestClass class_of(Interaction type) {
+  return profile_of(type).request_class;
+}
+
+bool is_browse(Interaction type) {
+  return class_of(type) == sim::RequestClass::kBrowse;
+}
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,80 @@
+// The TPC-W interaction catalog.
+//
+// TPC-W (www.tpc.org/tpcw) models an online bookstore with 14 web
+// interaction types, each classified as *Browse* or *Order* (§IV.A of the
+// paper). This module defines the catalog together with per-interaction
+// execution profiles: how much CPU work an interaction performs on the
+// application tier and the database tier, its memory footprint, and its
+// instruction density.
+//
+// The profiles are calibrated to reproduce the load phenomenology the
+// paper reports on its Tomcat/MySQL testbed:
+//  * browse-class interactions (Best Sellers, Search Results, New
+//    Products) run heavy, large-footprint database queries — a browsing
+//    mix therefore bottlenecks the database tier;
+//  * order-class interactions are numerous but individually light, with
+//    most of their cost in servlet/session processing — an ordering mix
+//    therefore bottlenecks the front-end application server.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/request.h"
+
+namespace hpcap::tpcw {
+
+// The 14 interactions of the TPC-W specification.
+enum class Interaction : std::uint8_t {
+  kHome = 0,
+  kNewProducts,
+  kBestSellers,
+  kProductDetail,
+  kSearchRequest,
+  kSearchResults,
+  kShoppingCart,
+  kCustomerRegistration,
+  kBuyRequest,
+  kBuyConfirm,
+  kOrderInquiry,
+  kOrderDisplay,
+  kAdminRequest,
+  kAdminConfirm,
+};
+
+inline constexpr int kNumInteractions = 14;
+
+// Mean CPU demands (seconds) and execution character per interaction.
+// Requests sampled from these profiles are log-normally distributed around
+// the means (see RequestFactory).
+struct InteractionProfile {
+  Interaction type;
+  std::string_view name;
+  sim::RequestClass request_class;
+  // Application-tier work before and after the database call.
+  double app_pre_demand;
+  double app_post_demand;
+  // Database-tier work (0 for pure-servlet pages).
+  double db_demand;
+  // Coefficient of variation of sampled demands.
+  double demand_cv;
+  // Memory footprints (MB) for counter/thrash modeling.
+  double app_footprint_mb;
+  double db_footprint_mb;
+  // Instruction densities (instructions per CPU-second of demand).
+  double app_instr_density;
+  double db_instr_density;
+};
+
+// Catalog indexed by static_cast<int>(Interaction).
+const std::array<InteractionProfile, kNumInteractions>& interaction_catalog();
+
+const InteractionProfile& profile_of(Interaction type);
+std::string_view interaction_name(Interaction type);
+sim::RequestClass class_of(Interaction type);
+
+// True if the interaction belongs to TPC-W's Browse class.
+bool is_browse(Interaction type);
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,259 @@
+#include "tpcw/mix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcap::tpcw {
+
+namespace {
+
+constexpr int kN = kNumInteractions;
+using Row = Mix::Row;
+using TransitionMatrix = Mix::TransitionMatrix;
+
+constexpr auto I = [](Interaction t) { return static_cast<int>(t); };
+
+// Natural navigation edges of the TPC-W bookstore, independent of mix.
+// Each row is normalized below; zero rows are not allowed.
+TransitionMatrix navigation_graph() {
+  TransitionMatrix nav{};
+  auto edge = [&nav](Interaction from, Interaction to, double w) {
+    nav[static_cast<std::size_t>(I(from))][static_cast<std::size_t>(I(to))] =
+        w;
+  };
+  using E = Interaction;
+  edge(E::kHome, E::kProductDetail, 0.30);
+  edge(E::kHome, E::kSearchRequest, 0.30);
+  edge(E::kHome, E::kNewProducts, 0.15);
+  edge(E::kHome, E::kBestSellers, 0.15);
+  edge(E::kHome, E::kShoppingCart, 0.10);
+
+  edge(E::kNewProducts, E::kProductDetail, 0.60);
+  edge(E::kNewProducts, E::kHome, 0.20);
+  edge(E::kNewProducts, E::kSearchRequest, 0.20);
+
+  edge(E::kBestSellers, E::kProductDetail, 0.60);
+  edge(E::kBestSellers, E::kHome, 0.20);
+  edge(E::kBestSellers, E::kSearchRequest, 0.20);
+
+  edge(E::kProductDetail, E::kShoppingCart, 0.30);
+  edge(E::kProductDetail, E::kSearchRequest, 0.25);
+  edge(E::kProductDetail, E::kHome, 0.20);
+  edge(E::kProductDetail, E::kProductDetail, 0.15);
+  edge(E::kProductDetail, E::kBestSellers, 0.10);
+
+  edge(E::kSearchRequest, E::kSearchResults, 1.00);
+
+  edge(E::kSearchResults, E::kProductDetail, 0.50);
+  edge(E::kSearchResults, E::kSearchRequest, 0.30);
+  edge(E::kSearchResults, E::kHome, 0.20);
+
+  edge(E::kShoppingCart, E::kCustomerRegistration, 0.40);
+  edge(E::kShoppingCart, E::kShoppingCart, 0.20);
+  edge(E::kShoppingCart, E::kProductDetail, 0.20);
+  edge(E::kShoppingCart, E::kHome, 0.20);
+
+  edge(E::kCustomerRegistration, E::kBuyRequest, 0.80);
+  edge(E::kCustomerRegistration, E::kHome, 0.20);
+
+  edge(E::kBuyRequest, E::kBuyConfirm, 0.70);
+  edge(E::kBuyRequest, E::kShoppingCart, 0.20);
+  edge(E::kBuyRequest, E::kHome, 0.10);
+
+  edge(E::kBuyConfirm, E::kHome, 0.60);
+  edge(E::kBuyConfirm, E::kOrderInquiry, 0.40);
+
+  edge(E::kOrderInquiry, E::kOrderDisplay, 0.80);
+  edge(E::kOrderInquiry, E::kHome, 0.20);
+
+  edge(E::kOrderDisplay, E::kHome, 0.70);
+  edge(E::kOrderDisplay, E::kOrderInquiry, 0.30);
+
+  edge(E::kAdminRequest, E::kAdminConfirm, 0.80);
+  edge(E::kAdminRequest, E::kHome, 0.20);
+
+  edge(E::kAdminConfirm, E::kHome, 0.80);
+  edge(E::kAdminConfirm, E::kAdminRequest, 0.20);
+  return nav;
+}
+
+void normalize(Row& row) {
+  double s = 0.0;
+  for (double v : row) s += v;
+  if (s <= 0.0) throw std::logic_error("Mix: zero probability row");
+  for (double& v : row) v /= s;
+}
+
+// Intra-class base weights (fractions of the class mass given to each
+// interaction). `heavy_skew` multiplies the heavy-query browse pages'
+// weights by 2^skew.
+Row target_distribution(double browse_fraction, double heavy_skew) {
+  Row d{};
+  const double heavy_mult = std::exp2(heavy_skew);
+  using E = Interaction;
+  auto set = [&d](Interaction t, double w) {
+    d[static_cast<std::size_t>(I(t))] = w;
+  };
+  // Browse class.
+  set(E::kHome, 0.20);
+  set(E::kNewProducts, 0.12 * heavy_mult);
+  set(E::kBestSellers, 0.11 * heavy_mult);
+  set(E::kProductDetail, 0.30);
+  set(E::kSearchRequest, 0.12);
+  set(E::kSearchResults, 0.15 * heavy_mult);
+  double browse_sum = 0.0;
+  for (int i = 0; i < kN; ++i)
+    if (is_browse(static_cast<Interaction>(i)))
+      browse_sum += d[static_cast<std::size_t>(i)];
+  for (int i = 0; i < kN; ++i)
+    if (is_browse(static_cast<Interaction>(i)))
+      d[static_cast<std::size_t>(i)] *= browse_fraction / browse_sum;
+  // Order class.
+  set(E::kShoppingCart, 0.25);
+  set(E::kCustomerRegistration, 0.10);
+  set(E::kBuyRequest, 0.15);
+  set(E::kBuyConfirm, 0.20);
+  set(E::kOrderInquiry, 0.10);
+  set(E::kOrderDisplay, 0.10);
+  set(E::kAdminRequest, 0.05);
+  set(E::kAdminConfirm, 0.05);
+  for (int i = 0; i < kN; ++i)
+    if (!is_browse(static_cast<Interaction>(i)))
+      d[static_cast<std::size_t>(i)] *= (1.0 - browse_fraction);
+  return d;
+}
+
+Row stationary_of(const TransitionMatrix& p) {
+  Row pi{};
+  pi.fill(1.0 / kN);
+  for (int iter = 0; iter < 300; ++iter) {
+    Row next{};
+    for (int i = 0; i < kN; ++i)
+      for (int j = 0; j < kN; ++j)
+        next[static_cast<std::size_t>(j)] +=
+            pi[static_cast<std::size_t>(i)] *
+            p[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    double delta = 0.0;
+    for (int j = 0; j < kN; ++j)
+      delta += std::abs(next[static_cast<std::size_t>(j)] -
+                        pi[static_cast<std::size_t>(j)]);
+    pi = next;
+    if (delta < 1e-12) break;
+  }
+  return pi;
+}
+
+double browse_mass(const Row& pi) {
+  double b = 0.0;
+  for (int i = 0; i < kN; ++i)
+    if (is_browse(static_cast<Interaction>(i)))
+      b += pi[static_cast<std::size_t>(i)];
+  return b;
+}
+
+}  // namespace
+
+Mix::Mix(std::string name, Row initial_distribution,
+         TransitionMatrix transition)
+    : name_(std::move(name)),
+      initial_(initial_distribution),
+      transition_(transition) {
+  normalize(initial_);
+  for (auto& row : transition_) normalize(row);
+}
+
+Mix Mix::with_class_fractions(std::string name, double browse_fraction,
+                              double heavy_skew) {
+  if (browse_fraction <= 0.0 || browse_fraction >= 1.0)
+    throw std::invalid_argument("Mix: browse_fraction must be in (0,1)");
+  const TransitionMatrix nav = navigation_graph();
+  Row target = target_distribution(browse_fraction, heavy_skew);
+  normalize(target);
+
+  // Rows blend natural navigation with the target distribution; the target
+  // component is then recalibrated so the *stationary* class split matches
+  // the requested one (the blend alone skews toward the navigation graph's
+  // own equilibrium).
+  constexpr double kNavWeight = 0.35;
+  Row adjusted = target;
+  TransitionMatrix p{};
+  for (int iter = 0; iter < 40; ++iter) {
+    for (int i = 0; i < kN; ++i) {
+      for (int j = 0; j < kN; ++j) {
+        p[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            kNavWeight * nav[static_cast<std::size_t>(i)]
+                            [static_cast<std::size_t>(j)] +
+            (1.0 - kNavWeight) * adjusted[static_cast<std::size_t>(j)];
+      }
+      normalize(p[static_cast<std::size_t>(i)]);
+    }
+    const Row pi = stationary_of(p);
+    const double actual = browse_mass(pi);
+    if (std::abs(actual - browse_fraction) < 5e-4) break;
+    // Rescale class masses of the adjusted target toward the goal.
+    const double browse_scale = browse_fraction / std::max(actual, 1e-9);
+    const double order_scale =
+        (1.0 - browse_fraction) / std::max(1.0 - actual, 1e-9);
+    for (int j = 0; j < kN; ++j) {
+      auto& w = adjusted[static_cast<std::size_t>(j)];
+      w *= is_browse(static_cast<Interaction>(j)) ? browse_scale
+                                                  : order_scale;
+    }
+    normalize(adjusted);
+  }
+  return Mix(std::move(name), target, p);
+}
+
+Interaction Mix::initial(Rng& rng) const {
+  const std::vector<double> w(initial_.begin(), initial_.end());
+  return static_cast<Interaction>(rng.categorical(w));
+}
+
+Interaction Mix::next(Interaction current, Rng& rng) const {
+  const auto& row = transition_[static_cast<std::size_t>(I(current))];
+  const std::vector<double> w(row.begin(), row.end());
+  return static_cast<Interaction>(rng.categorical(w));
+}
+
+Mix::Row Mix::stationary() const { return stationary_of(transition_); }
+
+double Mix::browse_fraction() const { return browse_mass(stationary()); }
+
+std::array<double, 2> Mix::mean_tier_demand() const {
+  const Row pi = stationary();
+  double app = 0.0, db = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const auto& prof = profile_of(static_cast<Interaction>(i));
+    const double w = pi[static_cast<std::size_t>(i)];
+    app += w * (prof.app_pre_demand + prof.app_post_demand);
+    db += w * prof.db_demand;
+  }
+  return {app, db};
+}
+
+Mix browsing_mix() { return Mix::with_class_fractions("browsing", 0.95); }
+Mix shopping_mix() { return Mix::with_class_fractions("shopping", 0.80); }
+Mix ordering_mix() { return Mix::with_class_fractions("ordering", 0.50); }
+
+Mix interpolate(const Mix& a, const Mix& b, double t, std::string name) {
+  t = std::clamp(t, 0.0, 1.0);
+  if (name.empty()) name = a.name() + "+" + b.name();
+  Mix::Row init{};
+  Mix::TransitionMatrix p{};
+  for (int i = 0; i < kN; ++i) {
+    init[static_cast<std::size_t>(i)] =
+        (1.0 - t) * a.initial_distribution()[static_cast<std::size_t>(i)] +
+        t * b.initial_distribution()[static_cast<std::size_t>(i)];
+    for (int j = 0; j < kN; ++j)
+      p[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          (1.0 - t) * a.transition()[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)] +
+          t * b.transition()[static_cast<std::size_t>(i)]
+                  [static_cast<std::size_t>(j)];
+  }
+  return Mix(std::move(name), init, p);
+}
+
+}  // namespace hpcap::tpcw

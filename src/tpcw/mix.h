@@ -1,0 +1,71 @@
+// TPC-W traffic mixes.
+//
+// A Mix is a Markov model over the 14 interactions: Emulated Browsers walk
+// its transition matrix, one interaction per think cycle. TPC-W defines
+// three standard mixes by their browse/order request percentages —
+// Browsing (95/5), Shopping (80/20) and Ordering (50/50) — and the paper
+// additionally tests *interleaved* traffic (alternating mixes) and
+// *unknown* mixes obtained by altering the RBE transition probabilities.
+//
+// Mixes here are constructed from (a) a natural-navigation graph (Search
+// Request leads to Search Results, Buy Request to Buy Confirm, ...) and
+// (b) a target class split, calibrated so that the chain's stationary
+// distribution matches the requested browse/order fractions.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "tpcw/interactions.h"
+#include "util/rng.h"
+
+namespace hpcap::tpcw {
+
+class Mix {
+ public:
+  using Row = std::array<double, kNumInteractions>;
+  using TransitionMatrix = std::array<Row, kNumInteractions>;
+
+  Mix(std::string name, Row initial_distribution, TransitionMatrix transition);
+
+  // Builds a mix whose stationary browse fraction is (approximately,
+  // within 1e-3) `browse_fraction`. `heavy_skew` tilts the intra-browse
+  // weights toward the heavy database interactions (Best Sellers / Search
+  // Results / New Products): 0 = standard weights, +1 doubles their share,
+  // -1 halves it. Used to synthesize the paper's "unknown" workloads.
+  static Mix with_class_fractions(std::string name, double browse_fraction,
+                                  double heavy_skew = 0.0);
+
+  const std::string& name() const noexcept { return name_; }
+
+  // First interaction of a session.
+  Interaction initial(Rng& rng) const;
+  // Next interaction after `current`.
+  Interaction next(Interaction current, Rng& rng) const;
+
+  // Stationary distribution of the transition matrix (power iteration).
+  Row stationary() const;
+  // Browse-class mass of the stationary distribution.
+  double browse_fraction() const;
+  // Expected per-request CPU demand placed on (app, db) tiers under the
+  // stationary distribution — used by capacity-planning examples.
+  std::array<double, 2> mean_tier_demand() const;
+
+  const TransitionMatrix& transition() const noexcept { return transition_; }
+  const Row& initial_distribution() const noexcept { return initial_; }
+
+ private:
+  std::string name_;
+  Row initial_{};
+  TransitionMatrix transition_{};
+};
+
+// The three standard TPC-W mixes.
+Mix browsing_mix();   // 95% browse / 5% order — database-bound
+Mix shopping_mix();   // 80% browse / 20% order — the WIPS reference mix
+Mix ordering_mix();   // 50% browse / 50% order — front-end-bound
+
+// Linear interpolation of two mixes' matrices (renormalized); t in [0,1].
+Mix interpolate(const Mix& a, const Mix& b, double t, std::string name = "");
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,76 @@
+#include "tpcw/open_loop.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hpcap::tpcw {
+
+OpenLoopSource::OpenLoopSource(sim::EventQueue& eq, RequestFactory& factory,
+                               OpenLoopConfig cfg, Rbe::SubmitFn submit)
+    : eq_(eq),
+      factory_(factory),
+      cfg_(cfg),
+      submit_(std::move(submit)),
+      rng_(cfg.seed) {
+  if (!submit_)
+    throw std::invalid_argument("OpenLoopSource: submit function required");
+  if (cfg_.rate_rps <= 0.0)
+    throw std::invalid_argument("OpenLoopSource: rate must be > 0");
+  set_mix(std::make_shared<const Mix>(shopping_mix()));
+}
+
+void OpenLoopSource::set_mix(std::shared_ptr<const Mix> mix) {
+  if (!mix) throw std::invalid_argument("OpenLoopSource: null mix");
+  mix_ = std::move(mix);
+  const auto pi = mix_->stationary();
+  stationary_weights_.assign(pi.begin(), pi.end());
+}
+
+double OpenLoopSource::current_rate() const noexcept {
+  return bursting_ && cfg_.burst_rate_rps > 0.0 ? cfg_.burst_rate_rps
+                                                : cfg_.rate_rps;
+}
+
+void OpenLoopSource::run_until(sim::SimTime until) {
+  const bool was_running = until_ > eq_.now();
+  until_ = until;
+  if (!was_running) {
+    schedule_next_arrival();
+    if (cfg_.burst_rate_rps > 0.0) schedule_mode_switch();
+  }
+}
+
+void OpenLoopSource::schedule_next_arrival() {
+  const std::uint64_t gen = arrival_generation_;
+  const double gap = rng_.exponential(1.0 / current_rate());
+  if (eq_.now() + gap > until_) return;
+  eq_.schedule_after(gap, [this, gen] {
+    if (gen != arrival_generation_) return;  // rate changed mid-gap
+    const auto type =
+        static_cast<Interaction>(rng_.categorical(stationary_weights_));
+    sim::Request req = factory_.make(type);
+    req.arrival_time = eq_.now();
+    ++issued_;
+    submit_(std::move(req), [this](const sim::Request& done) {
+      ++completed_;
+      if (done.response_time() >= 0.0) rt_.add(done.response_time());
+    });
+    schedule_next_arrival();
+  });
+}
+
+void OpenLoopSource::schedule_mode_switch() {
+  const double dwell = rng_.exponential(bursting_ ? cfg_.mean_burst_s
+                                                  : cfg_.mean_quiet_s);
+  if (eq_.now() + dwell > until_) return;
+  eq_.schedule_after(dwell, [this] {
+    bursting_ = !bursting_;
+    // Restart the arrival stream at the new rate (memorylessness of the
+    // exponential makes the discarded partial gap harmless).
+    ++arrival_generation_;
+    schedule_next_arrival();
+    schedule_mode_switch();
+  });
+}
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,75 @@
+// Open-loop traffic source.
+//
+// The RBE's closed loop (population + think time) self-throttles: offered
+// load falls as response times grow. Admission-control studies also need
+// the opposite regime — an *open* arrival process whose rate does not
+// care how slow the site gets (the paper's front-end controller exists
+// precisely to "regulate the input traffic rate"). This source generates:
+//
+//   * Poisson arrivals at a fixed rate, or
+//   * a two-state MMPP (Markov-modulated Poisson process): exponentially
+//     distributed quiet periods at `rate_rps` interrupted by bursts at
+//     `burst_rate_rps` — the classic bursty-web-traffic model.
+//
+// Arrivals are sessionless: each request's interaction type is drawn from
+// the active mix's stationary distribution (an open stream has no per-user
+// navigation state to walk).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "tpcw/mix.h"
+#include "tpcw/rbe.h"
+#include "tpcw/request_factory.h"
+#include "util/stats.h"
+
+namespace hpcap::tpcw {
+
+struct OpenLoopConfig {
+  double rate_rps = 50.0;        // baseline Poisson rate
+  double burst_rate_rps = 0.0;   // 0 = plain Poisson (no bursts)
+  double mean_quiet_s = 120.0;   // expected time between bursts
+  double mean_burst_s = 20.0;    // expected burst duration
+  std::uint64_t seed = 13;
+};
+
+class OpenLoopSource {
+ public:
+  OpenLoopSource(sim::EventQueue& eq, RequestFactory& factory,
+                 OpenLoopConfig cfg, Rbe::SubmitFn submit);
+
+  void set_mix(std::shared_ptr<const Mix> mix);
+
+  // Starts (or extends) arrival generation up to absolute time `until`.
+  void run_until(sim::SimTime until);
+
+  bool bursting() const noexcept { return bursting_; }
+  std::uint64_t issued() const noexcept { return issued_; }
+  std::uint64_t completed() const noexcept { return completed_; }
+  const RunningStats& response_times() const noexcept { return rt_; }
+
+ private:
+  void schedule_next_arrival();
+  void schedule_mode_switch();
+  double current_rate() const noexcept;
+
+  sim::EventQueue& eq_;
+  RequestFactory& factory_;
+  OpenLoopConfig cfg_;
+  Rbe::SubmitFn submit_;
+  std::shared_ptr<const Mix> mix_;
+  std::vector<double> stationary_weights_;
+  Rng rng_;
+
+  sim::SimTime until_ = 0.0;
+  bool bursting_ = false;
+  std::uint64_t arrival_generation_ = 0;  // invalidates stale arrivals
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  RunningStats rt_;
+};
+
+}  // namespace hpcap::tpcw

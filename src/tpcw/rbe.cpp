@@ -1,0 +1,87 @@
+#include "tpcw/rbe.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hpcap::tpcw {
+
+Rbe::Rbe(sim::EventQueue& eq, RequestFactory& factory, Config cfg,
+         SubmitFn submit)
+    : eq_(eq),
+      factory_(factory),
+      cfg_(cfg),
+      submit_(std::move(submit)),
+      mix_(std::make_shared<const Mix>(shopping_mix())),
+      rng_(cfg.seed) {
+  if (!submit_) throw std::invalid_argument("Rbe: submit function required");
+}
+
+void Rbe::set_mix(std::shared_ptr<const Mix> mix) {
+  if (!mix) throw std::invalid_argument("Rbe: null mix");
+  mix_ = std::move(mix);
+}
+
+void Rbe::set_target_ebs(int target) {
+  target_ = std::max(0, target);
+  while (active_ebs() < target_) spawn_browser();
+  // Surplus EBs retire themselves at their next navigation decision.
+}
+
+void Rbe::spawn_browser() {
+  const std::uint64_t id = next_eb_id_++;
+  Browser b{rng_.split(id), Interaction::kHome, true};
+  ebs_.emplace(id, std::move(b));
+  think_then_issue(id);
+}
+
+void Rbe::think_then_issue(std::uint64_t id) {
+  auto it = ebs_.find(id);
+  if (it == ebs_.end()) return;
+  const double think = it->second.rng.exponential(cfg_.think_time_mean);
+  eq_.schedule_after(think, [this, id] { issue(id); });
+}
+
+void Rbe::issue(std::uint64_t id) {
+  auto it = ebs_.find(id);
+  if (it == ebs_.end()) return;
+  // Population shrink: retire before issuing the next interaction.
+  if (active_ebs() > target_) {
+    ebs_.erase(it);
+    return;
+  }
+  Browser& b = it->second;
+  if (b.first) {
+    b.current = mix_->initial(b.rng);
+    b.first = false;
+  } else {
+    b.current = mix_->next(b.current, b.rng);
+  }
+  sim::Request req = factory_.make(b.current);
+  req.arrival_time = eq_.now();
+  ++stats_.issued;
+  ++interval_.issued;
+  ++waiting_;
+  submit_(std::move(req),
+          [this, id](const sim::Request& done) { on_response(id, done); });
+}
+
+void Rbe::on_response(std::uint64_t id, const sim::Request& req) {
+  --waiting_;
+  const double rt = req.response_time();
+  const auto cls = static_cast<int>(req.request_class);
+  ++stats_.completed;
+  ++stats_.completed_by_class[cls];
+  if (rt >= 0.0) stats_.response_time.add(rt);
+  ++interval_.completed;
+  ++interval_.completed_by_class[cls];
+  if (rt >= 0.0) interval_.response_time.add(rt);
+  think_then_issue(id);
+}
+
+Rbe::Stats Rbe::drain_interval_stats() {
+  Stats out = interval_;
+  interval_ = Stats{};
+  return out;
+}
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,93 @@
+// Remote Browser Emulator.
+//
+// Mirrors the RBE shipped with the Rice TPC-W implementation, as modified
+// by the paper (§IV.A): a population of Emulated Browsers (EBs), each a
+// closed-loop session that issues one interaction, waits for the response,
+// thinks for an exponentially distributed time, then follows the active
+// mix's Markov chain to its next interaction. The EB population size and
+// the active mix are runtime-adjustable, which is how ramp-up, spike,
+// interleaved and unknown workloads are produced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "sim/request.h"
+#include "tpcw/mix.h"
+#include "tpcw/request_factory.h"
+#include "util/stats.h"
+
+namespace hpcap::tpcw {
+
+class Rbe {
+ public:
+  struct Config {
+    double think_time_mean = 3.5;  // seconds (scaled-down TPC-W think time)
+    std::uint64_t seed = 1;
+  };
+
+  // The system under test: takes ownership of the request and must invoke
+  // the completion callback exactly once when the response is ready.
+  using CompletionFn = std::function<void(const sim::Request&)>;
+  using SubmitFn =
+      std::function<void(sim::Request request, CompletionFn on_complete)>;
+
+  Rbe(sim::EventQueue& eq, RequestFactory& factory, Config cfg,
+      SubmitFn submit);
+
+  // Sets the Markov mix EBs consult for their next interaction. Takes
+  // effect immediately for every subsequent navigation decision.
+  void set_mix(std::shared_ptr<const Mix> mix);
+  const Mix& mix() const { return *mix_; }
+
+  // Grows or shrinks the EB population. New EBs start with a fresh think
+  // time; surplus EBs retire at their next navigation decision.
+  void set_target_ebs(int target);
+  int target_ebs() const noexcept { return target_; }
+  int active_ebs() const noexcept { return static_cast<int>(ebs_.size()); }
+  // EBs currently waiting on an outstanding request (vs. thinking).
+  int waiting_ebs() const noexcept { return waiting_; }
+
+  struct Stats {
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    RunningStats response_time;
+    std::uint64_t completed_by_class[2] = {0, 0};
+  };
+  // Cumulative statistics since construction.
+  const Stats& stats() const noexcept { return stats_; }
+  // Statistics since the previous drain (per-interval view).
+  Stats drain_interval_stats();
+
+ private:
+  struct Browser {
+    Rng rng;
+    Interaction current{};
+    bool first = true;
+  };
+
+  void spawn_browser();
+  void think_then_issue(std::uint64_t id);
+  void issue(std::uint64_t id);
+  void on_response(std::uint64_t id, const sim::Request& req);
+
+  sim::EventQueue& eq_;
+  RequestFactory& factory_;
+  Config cfg_;
+  SubmitFn submit_;
+  std::shared_ptr<const Mix> mix_;
+  Rng rng_;
+
+  std::unordered_map<std::uint64_t, Browser> ebs_;
+  std::uint64_t next_eb_id_ = 0;
+  int target_ = 0;
+  int waiting_ = 0;
+
+  Stats stats_;
+  Stats interval_;
+};
+
+}  // namespace hpcap::tpcw

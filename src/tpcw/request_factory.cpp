@@ -1,0 +1,40 @@
+#include "tpcw/request_factory.h"
+
+namespace hpcap::tpcw {
+
+RequestFactory::RequestFactory(std::uint64_t seed, TierIds tiers)
+    : rng_(seed), tiers_(tiers) {}
+
+double RequestFactory::sample_demand(double mean, double cv) {
+  if (mean <= 0.0) return 0.0;
+  if (cv <= 0.0) return mean;
+  return rng_.lognormal_mean_cv(mean, cv);
+}
+
+sim::Request RequestFactory::make(Interaction type) {
+  const InteractionProfile& prof = profile_of(type);
+  sim::Request req;
+  req.id = next_id_++;
+  req.type = static_cast<int>(type);
+  req.request_class = prof.request_class;
+
+  const double pre = sample_demand(prof.app_pre_demand, prof.demand_cv);
+  const double db = sample_demand(prof.db_demand, prof.demand_cv);
+  const double post = sample_demand(prof.app_post_demand, prof.demand_cv);
+
+  req.phases.push_back(sim::Phase{tiers_.app, pre, prof.app_footprint_mb,
+                                  prof.app_instr_density});
+  if (db > 0.0) {
+    // Query footprint scales with the sampled work: a search that scans
+    // twice as many rows touches roughly twice the buffer pool.
+    const double fp_scale = prof.db_demand > 0.0 ? db / prof.db_demand : 1.0;
+    req.phases.push_back(sim::Phase{tiers_.db, db,
+                                    prof.db_footprint_mb * fp_scale,
+                                    prof.db_instr_density});
+  }
+  req.phases.push_back(sim::Phase{tiers_.app, post, prof.app_footprint_mb,
+                                  prof.app_instr_density});
+  return req;
+}
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,42 @@
+// Materializes sim::Request objects from the TPC-W interaction catalog.
+//
+// Each generated request follows the three-phase pattern
+//   [APP pre-processing] -> [DB query] -> [APP rendering]
+// (the DB phase is omitted for pure-servlet pages such as Search Request).
+// Phase demands are sampled log-normally around the catalog means with the
+// catalog's coefficient of variation, so individual requests of one type
+// vary realistically — the paper's observation that "requests of an
+// e-commerce transaction have very different processing times" (§I).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/request.h"
+#include "tpcw/interactions.h"
+#include "util/rng.h"
+
+namespace hpcap::tpcw {
+
+// Tier indices the generated phases refer to.
+struct TierIds {
+  int app = 0;
+  int db = 1;
+};
+
+class RequestFactory {
+ public:
+  explicit RequestFactory(std::uint64_t seed, TierIds tiers = TierIds());
+
+  sim::Request make(Interaction type);
+
+  std::uint64_t requests_created() const noexcept { return next_id_; }
+
+ private:
+  double sample_demand(double mean, double cv);
+
+  Rng rng_;
+  TierIds tiers_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,131 @@
+#include "tpcw/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcap::tpcw {
+
+WorkloadSchedule::WorkloadSchedule(std::string name, std::vector<Step> steps,
+                                   double duration)
+    : name_(std::move(name)), steps_(std::move(steps)), duration_(duration) {
+  std::stable_sort(steps_.begin(), steps_.end(),
+                   [](const Step& a, const Step& b) { return a.at < b.at; });
+  if (steps_.empty())
+    throw std::invalid_argument("WorkloadSchedule: no steps");
+  if (!steps_.front().mix)
+    throw std::invalid_argument("WorkloadSchedule: first step needs a mix");
+}
+
+WorkloadSchedule WorkloadSchedule::steady(std::shared_ptr<const Mix> mix,
+                                          int ebs, double duration) {
+  const std::string name = "steady-" + mix->name();
+  return WorkloadSchedule(name, {Step{0.0, ebs, std::move(mix)}}, duration);
+}
+
+WorkloadSchedule WorkloadSchedule::ramp(std::shared_ptr<const Mix> mix,
+                                        int start_ebs, int end_ebs,
+                                        int step_ebs, double step_duration) {
+  if (step_ebs <= 0) throw std::invalid_argument("ramp: step_ebs must be > 0");
+  std::vector<Step> steps;
+  double t = 0.0;
+  const std::string name = "ramp-" + mix->name();
+  if (end_ebs >= start_ebs) {
+    for (int ebs = start_ebs; ebs <= end_ebs; ebs += step_ebs) {
+      steps.push_back(Step{t, ebs, steps.empty() ? mix : nullptr});
+      t += step_duration;
+    }
+  } else {
+    for (int ebs = start_ebs; ebs >= end_ebs; ebs -= step_ebs) {
+      steps.push_back(Step{t, ebs, steps.empty() ? mix : nullptr});
+      t += step_duration;
+    }
+  }
+  return WorkloadSchedule(name, std::move(steps), t);
+}
+
+WorkloadSchedule WorkloadSchedule::spike(std::shared_ptr<const Mix> mix,
+                                         int base_ebs, int spike_ebs,
+                                         double period, double spike_duration,
+                                         double total_duration) {
+  if (period <= spike_duration)
+    throw std::invalid_argument("spike: period must exceed spike_duration");
+  std::vector<Step> steps;
+  steps.push_back(Step{0.0, base_ebs, mix});
+  for (double t = period; t + spike_duration <= total_duration; t += period) {
+    steps.push_back(Step{t, spike_ebs, nullptr});
+    steps.push_back(Step{t + spike_duration, base_ebs, nullptr});
+  }
+  return WorkloadSchedule("spike-" + mix->name(), std::move(steps),
+                          total_duration);
+}
+
+WorkloadSchedule WorkloadSchedule::interleaved(
+    std::shared_ptr<const Mix> mix_a, int ebs_a,
+    std::shared_ptr<const Mix> mix_b, int ebs_b, double segment_duration,
+    double total_duration) {
+  std::vector<Step> steps;
+  const std::string name =
+      "interleaved-" + mix_a->name() + "/" + mix_b->name();
+  bool use_a = true;
+  for (double t = 0.0; t < total_duration; t += segment_duration) {
+    steps.push_back(
+        Step{t, use_a ? ebs_a : ebs_b, use_a ? mix_a : mix_b});
+    use_a = !use_a;
+  }
+  return WorkloadSchedule(name, std::move(steps), total_duration);
+}
+
+WorkloadSchedule WorkloadSchedule::concat(
+    std::string name, const std::vector<WorkloadSchedule>& parts) {
+  std::vector<Step> steps;
+  double offset = 0.0;
+  std::shared_ptr<const Mix> last_mix;
+  for (const auto& part : parts) {
+    for (Step s : part.steps()) {
+      s.at += offset;
+      // Each part starts with an explicit mix, so segments stay
+      // self-describing after concatenation.
+      steps.push_back(std::move(s));
+    }
+    offset += part.duration();
+  }
+  (void)last_mix;
+  return WorkloadSchedule(std::move(name), std::move(steps), offset);
+}
+
+void WorkloadSchedule::apply(sim::EventQueue& eq, Rbe& rbe,
+                             double start_time) const {
+  for (const Step& step : steps_) {
+    // Copy the shared_ptr into the closure; Step outlives nothing here.
+    auto mix = step.mix;
+    const int ebs = step.ebs;
+    eq.schedule_at(start_time + step.at, [&rbe, mix, ebs] {
+      if (mix) rbe.set_mix(mix);
+      rbe.set_target_ebs(ebs);
+    });
+  }
+}
+
+int WorkloadSchedule::ebs_at(double t) const noexcept {
+  int ebs = steps_.front().ebs;
+  for (const Step& s : steps_) {
+    if (s.at <= t) ebs = s.ebs;
+    else break;
+  }
+  return ebs;
+}
+
+std::shared_ptr<const Mix> WorkloadSchedule::mix_at(double t) const noexcept {
+  std::shared_ptr<const Mix> mix = steps_.front().mix;
+  for (const Step& s : steps_) {
+    if (s.at <= t) {
+      if (s.mix) mix = s.mix;
+    } else {
+      break;
+    }
+  }
+  return mix;
+}
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,79 @@
+// Workload schedules.
+//
+// A WorkloadSchedule is a timed sequence of (EB population, mix) settings
+// applied to an Rbe. The paper's workloads are all expressible this way:
+//   * ramp-up — EBs increased step-wise until the site is overloaded
+//     (training data);
+//   * spike — occasional extreme bursts on top of a moderate base
+//     (training data);
+//   * steady — fixed EBs and mix (testing, Fig. 3 microscopic views);
+//   * interleaved — alternating browsing/ordering segments, forcing the
+//     bottleneck to shift between tiers (testing, Fig. 4);
+//   * unknown — a mix unseen in training, synthesized by altering
+//     transition probabilities (testing, Fig. 4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "tpcw/mix.h"
+#include "tpcw/rbe.h"
+
+namespace hpcap::tpcw {
+
+class WorkloadSchedule {
+ public:
+  struct Step {
+    double at = 0.0;  // simulated time the setting takes effect
+    int ebs = 0;
+    std::shared_ptr<const Mix> mix;  // null = keep the current mix
+  };
+
+  WorkloadSchedule(std::string name, std::vector<Step> steps,
+                   double duration);
+
+  // --- Builders ------------------------------------------------------
+  // EBs fixed at `ebs` for `duration`.
+  static WorkloadSchedule steady(std::shared_ptr<const Mix> mix, int ebs,
+                                 double duration);
+  // EBs stepped from `start_ebs` to `end_ebs` in increments of `step_ebs`,
+  // holding each level for `step_duration`.
+  static WorkloadSchedule ramp(std::shared_ptr<const Mix> mix, int start_ebs,
+                               int end_ebs, int step_ebs,
+                               double step_duration);
+  // Base load with periodic bursts: `base_ebs` normally, `spike_ebs` for
+  // `spike_duration` once per `period`, for `total_duration` overall.
+  static WorkloadSchedule spike(std::shared_ptr<const Mix> mix, int base_ebs,
+                                int spike_ebs, double period,
+                                double spike_duration, double total_duration);
+  // Alternates (mix_a, ebs_a) and (mix_b, ebs_b) every `segment_duration`.
+  static WorkloadSchedule interleaved(std::shared_ptr<const Mix> mix_a,
+                                      int ebs_a,
+                                      std::shared_ptr<const Mix> mix_b,
+                                      int ebs_b, double segment_duration,
+                                      double total_duration);
+  // Concatenates schedules back to back.
+  static WorkloadSchedule concat(std::string name,
+                                 const std::vector<WorkloadSchedule>& parts);
+
+  const std::string& name() const noexcept { return name_; }
+  double duration() const noexcept { return duration_; }
+  const std::vector<Step>& steps() const noexcept { return steps_; }
+
+  // Registers every step as an event on `eq` (offset by `start_time`).
+  void apply(sim::EventQueue& eq, Rbe& rbe, double start_time = 0.0) const;
+
+  // The EB level in force at time `t` (for ground-truth bookkeeping).
+  int ebs_at(double t) const noexcept;
+  // The mix in force at time `t` (never null once the schedule started).
+  std::shared_ptr<const Mix> mix_at(double t) const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<Step> steps_;  // sorted by `at`
+  double duration_ = 0.0;
+};
+
+}  // namespace hpcap::tpcw

@@ -1,0 +1,34 @@
+// CSV serialization for experiment outputs (time series behind Fig. 3,
+// accuracy grids behind Table I / Fig. 4). Benches can dump their raw data
+// so figures can be re-plotted outside this repo.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hpcap {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(std::initializer_list<double> values);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::string to_string() const;
+
+  // Writes to `path`; returns false (without throwing) on I/O failure so a
+  // bench on a read-only filesystem still prints its table.
+  bool write_file(const std::string& path) const;
+
+  // RFC-4180-style escaping of a single field.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpcap

@@ -1,0 +1,51 @@
+// Tiny leveled logger. Library code logs sparingly (warnings about
+// suspicious configurations); benches and examples raise the level for
+// narration. Not thread-safe by design — hpcap's simulator is
+// single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hpcap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+// Emits one line to stderr as "[LEVEL] message".
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define HPCAP_LOG(level)                          \
+  if (static_cast<int>(level) < static_cast<int>(::hpcap::log_level())) { \
+  } else                                          \
+    ::hpcap::detail::LogStream(level)
+
+#define HPCAP_DEBUG HPCAP_LOG(::hpcap::LogLevel::kDebug)
+#define HPCAP_INFO HPCAP_LOG(::hpcap::LogLevel::kInfo)
+#define HPCAP_WARN HPCAP_LOG(::hpcap::LogLevel::kWarn)
+#define HPCAP_ERROR HPCAP_LOG(::hpcap::LogLevel::kError)
+
+}  // namespace hpcap

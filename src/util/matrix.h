@@ -1,0 +1,73 @@
+// Minimal dense linear algebra for the ML layer: a row-major matrix,
+// Cholesky and Gaussian-elimination solvers (ridge regression normal
+// equations), and small vector helpers (dot products for the SVM).
+//
+// This is deliberately not a general-purpose BLAS: problem sizes in hpcap
+// are tiny (tens of features, thousands of rows), so clarity and numeric
+// robustness win over vectorization tricks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace hpcap {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return std::span<double>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(data_).subspan(r * cols_, cols_);
+  }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(std::span<const double> v) const;
+  Matrix& operator+=(const Matrix& rhs);
+
+  // A^T * A (Gram matrix), computed directly to halve the work.
+  Matrix gram() const;
+
+  // A^T * v.
+  std::vector<double> transpose_times(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b for symmetric positive-definite A via Cholesky.
+// Throws std::runtime_error if A is not (numerically) SPD.
+std::vector<double> solve_cholesky(const Matrix& a, std::span<const double> b);
+
+// Solves A x = b via Gaussian elimination with partial pivoting.
+// Throws std::runtime_error if A is singular.
+std::vector<double> solve_gaussian(Matrix a, std::vector<double> b);
+
+// Vector helpers.
+double dot(std::span<const double> a, std::span<const double> b);
+double squared_distance(std::span<const double> a, std::span<const double> b);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+double norm2(std::span<const double> a);
+
+}  // namespace hpcap

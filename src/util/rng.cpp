@@ -1,0 +1,134 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace hpcap {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 guarantees the state is not all-zero for any seed.
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) noexcept {
+  // Lemire-style rejection via threshold on the low bits.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int Rng::uniform_int(int lo, int hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(uniform_u64(span));
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse CDF; 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) noexcept {
+  // For X ~ LogNormal(mu, sigma): E[X] = exp(mu + sigma^2/2),
+  // CV^2 = exp(sigma^2) - 1. Solve for (mu, sigma) from (mean, cv).
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(mu + std::sqrt(sigma2) * normal());
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) noexcept {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double x = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) noexcept {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = uniform_u64(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::split(std::uint64_t salt) noexcept {
+  // Mix the current state with the salt through splitmix64 to derive a
+  // decorrelated child seed without advancing this generator's stream in a
+  // salt-dependent way.
+  std::uint64_t mix = s_[0] ^ rotl(s_[2], 13) ^ (salt * 0xd1342543de82ef95ULL);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace hpcap

@@ -1,0 +1,150 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcap {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningCorrelation::add(double x, double y) noexcept {
+  ++n_;
+  const auto n = static_cast<double>(n_);
+  const double dx = x - mean_x_;
+  mean_x_ += dx / n;
+  m2x_ += dx * (x - mean_x_);
+  const double dy = y - mean_y_;
+  mean_y_ += dy / n;
+  m2y_ += dy * (y - mean_y_);
+  c_ += dx * (y - mean_y_);
+}
+
+double RunningCorrelation::covariance() const noexcept {
+  return n_ >= 2 ? c_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningCorrelation::correlation() const noexcept {
+  if (n_ < 2) return 0.0;
+  const double denom = std::sqrt(m2x_ * m2y_);
+  if (denom <= 0.0) return 0.0;
+  return c_ / denom;
+}
+
+double mean(std::span<const double> xs) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double variance(std::span<const double> xs) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.variance();
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  RunningCorrelation c;
+  for (std::size_t i = 0; i < n; ++i) c.add(xs[i], ys[i]);
+  return c.correlation();
+}
+
+double geometric_mean(std::span<const double> xs) noexcept {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      log_sum += std::log(x);
+      ++n;
+    }
+  }
+  return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+std::vector<double> normalize_by_geometric_mean(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  const double g = geometric_mean(xs);
+  if (g > 0.0) {
+    for (double& x : out) x /= g;
+  }
+  return out;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double entropy_from_counts(std::span<const std::size_t> counts) noexcept {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double Ewma::update(double x) noexcept {
+  if (!primed_) {
+    value_ = x;
+    primed_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+  return value_;
+}
+
+}  // namespace hpcap

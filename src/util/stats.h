@@ -1,0 +1,97 @@
+// Streaming and batch statistics used throughout hpcap: running moments,
+// Pearson correlation (the paper's Eq. 2), geometric-mean normalization
+// (used by Fig. 3), quantiles, and entropy helpers shared by the ML layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpcap {
+
+// Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  // Sample (Bessel-corrected) variance; 0 for fewer than 2 samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Streaming covariance/correlation of a pair series (Welford-style).
+class RunningCorrelation {
+ public:
+  void add(double x, double y) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double covariance() const noexcept;
+  // Pearson r in [-1, 1]; 0 when either series is constant or n < 2.
+  double correlation() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double c_ = 0.0;   // co-moment
+  double m2x_ = 0.0;
+  double m2y_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+double variance(std::span<const double> xs) noexcept;  // population
+double stddev(std::span<const double> xs) noexcept;
+
+// Pearson correlation coefficient between two equal-length series.
+// Returns 0 if either series is constant or shorter than 2. This is the
+// paper's Corr measure (Eq. 2) used for PI selection.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+// Geometric mean of strictly positive values; non-positive entries are
+// skipped (the paper normalizes PI and throughput curves by their
+// geometric means to plot them on one scale in Fig. 3).
+double geometric_mean(std::span<const double> xs) noexcept;
+
+// Normalizes each value by the geometric mean of the series. Returns the
+// input unchanged when the geometric mean is not positive.
+std::vector<double> normalize_by_geometric_mean(std::span<const double> xs);
+
+// Linear-interpolated quantile, q in [0, 1]. Requires non-empty input.
+double quantile(std::vector<double> xs, double q);
+
+// Shannon entropy (bits) of a discrete distribution given by counts.
+// Zero-count cells contribute nothing; returns 0 for an empty or all-zero
+// histogram.
+double entropy_from_counts(std::span<const std::size_t> counts) noexcept;
+
+// Exponentially weighted moving average helper for online smoothing.
+class Ewma {
+ public:
+  // alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha) noexcept : alpha_(alpha) {}
+  double update(double x) noexcept;
+  double value() const noexcept { return value_; }
+  bool primed() const noexcept { return primed_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace hpcap

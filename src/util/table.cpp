@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hpcap {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::add_note(std::string note) {
+  notes_.push_back(std::move(note));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string TextTable::render() const {
+  // Compute column widths over header + all rows.
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) grow(r.cells);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+  if (total > 0) total -= 3;
+
+  std::ostringstream os;
+  if (!title_.empty()) {
+    os << title_ << '\n' << std::string(std::max(total, title_.size()), '=')
+       << '\n';
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+      if (i + 1 < cells.size()) os << " | ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.separator)
+      os << std::string(total, '-') << '\n';
+    else
+      emit(r.cells);
+  }
+  for (const auto& n : notes_) os << "  * " << n << '\n';
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+}  // namespace hpcap

@@ -1,0 +1,41 @@
+// Aligned text-table rendering for the benchmark binaries. Every bench
+// prints its reproduction of a paper table/figure through this formatter
+// so output is uniform and diffable across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpcap {
+
+// A simple column-aligned table with an optional title and footnotes.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_separator();
+  void add_note(std::string note);
+
+  // Formats a double with fixed precision (helper for row building).
+  static std::string num(double v, int precision = 3);
+  // Formats a percentage like "92.4%".
+  static std::string pct(double fraction, int precision = 1);
+
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace hpcap

@@ -1,0 +1,376 @@
+// Unit tests for the metric catalogs and the synthetic HPC / OS metric
+// models — including the information asymmetries the paper's comparison
+// rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "counters/hpc_model.h"
+#include "counters/metric_catalog.h"
+#include "counters/os_model.h"
+#include "counters/overhead.h"
+#include "counters/sampler.h"
+#include "util/stats.h"
+#include "sim/event_queue.h"
+
+namespace hpcap::counters {
+namespace {
+
+TEST(Catalog, HpcHasTwentyMetrics) {
+  EXPECT_EQ(hpc_catalog().size(), static_cast<std::size_t>(kHpcMetricCount));
+  EXPECT_EQ(hpc_catalog().size(), 20u);
+}
+
+TEST(Catalog, OsHasSixtyFourMetrics) {
+  // The paper collects 64 Sysstat fields.
+  EXPECT_EQ(os_catalog().size(), 64u);
+}
+
+TEST(Catalog, IndexOfRoundTrips) {
+  const auto& cat = hpc_catalog();
+  for (std::size_t i = 0; i < cat.size(); ++i)
+    EXPECT_EQ(cat.index_of(cat.name(i)), i);
+  EXPECT_EQ(cat.index_of("no_such_metric"), MetricCatalog::npos);
+}
+
+TEST(Catalog, WellKnownIndicesMatchNames) {
+  EXPECT_EQ(hpc_catalog().name(kHpcIpc), "ipc");
+  EXPECT_EQ(hpc_catalog().name(kHpcL2MissRate), "l2_miss_rate");
+  EXPECT_EQ(hpc_catalog().name(kHpcStallFraction), "stall_fraction");
+  EXPECT_EQ(os_catalog().name(kOsRunQueue), "runq_sz");
+  EXPECT_EQ(os_catalog().name(kOsLoadAvg1), "ldavg_1");
+}
+
+sim::Tier::Config test_tier() {
+  sim::Tier::Config cfg;
+  cfg.cores = 2;
+  cfg.freq_ghz = 2.0;
+  cfg.thread_pool = 50;
+  return cfg;
+}
+
+sim::Tier::IntervalStats busy_stats(double footprint_mb,
+                                    double active = 4.0) {
+  sim::Tier::IntervalStats s;
+  s.duration = 1.0;
+  s.busy_time = 1.0;
+  s.core_busy_seconds = 2.0;
+  s.work_done = 1.8;
+  s.instr_done = 3.0e9;
+  s.stall_core_seconds = 0.3;
+  s.eff_busy_integral = 0.85;
+  s.active_integral = active;
+  s.thread_integral = active;
+  s.footprint_integral = footprint_mb;
+  s.completions = 40;
+  s.job_starts = 40;
+  s.thread_grants = 40;
+  s.completions_by_class[0] = 30;
+  s.completions_by_class[1] = 10;
+  return s;
+}
+
+TEST(HpcModel, IdleTierReadsNearZero) {
+  HpcModel model(test_tier(), {}, 1);
+  sim::Tier::IntervalStats idle;
+  idle.duration = 1.0;
+  const auto m = model.synthesize(idle);
+  // Background only: far below one core's worth of cycles.
+  EXPECT_LT(m[kHpcCyclesBusy], 0.05 * 2e9);
+  EXPECT_GT(m[kHpcCyclesHalted], 3.5e9);
+}
+
+TEST(HpcModel, IpcIsDerivedFromRawCounters) {
+  HpcModel model(test_tier(), {}, 1);
+  const auto m = model.synthesize(busy_stats(50.0));
+  EXPECT_NEAR(m[kHpcIpc], m[kHpcInstrRetired] / m[kHpcCyclesBusy], 1e-9);
+  EXPECT_NEAR(m[kHpcL2MissRate], m[kHpcL2Misses] / m[kHpcL2References],
+              1e-9);
+  EXPECT_NEAR(m[kHpcBranchMispredRate],
+              m[kHpcBranchMispredictions] / m[kHpcBranches], 1e-9);
+}
+
+TEST(HpcModel, MissRateGrowsWithFootprint) {
+  HpcModel small(test_tier(), {}, 1);
+  HpcModel large(test_tier(), {}, 1);
+  RunningStats small_mr, large_mr;
+  for (int i = 0; i < 50; ++i) {
+    small_mr.add(small.synthesize(busy_stats(40.0))[kHpcL2MissPerKInstr]);
+    large_mr.add(large.synthesize(busy_stats(500.0))[kHpcL2MissPerKInstr]);
+  }
+  EXPECT_GT(large_mr.mean(), small_mr.mean() * 1.5);
+}
+
+TEST(HpcModel, StallsReflectEfficiencyLoss) {
+  HpcModel model(test_tier(), {}, 1);
+  auto stalled = busy_stats(50.0);
+  stalled.stall_core_seconds = 1.0;
+  auto smooth = busy_stats(50.0);
+  smooth.stall_core_seconds = 0.05;
+  RunningStats hi, lo;
+  for (int i = 0; i < 50; ++i) {
+    hi.add(model.synthesize(stalled)[kHpcStallFraction]);
+    lo.add(model.synthesize(smooth)[kHpcStallFraction]);
+  }
+  EXPECT_GT(hi.mean(), lo.mean() * 1.5);
+}
+
+TEST(HpcModel, DeterministicPerSeed) {
+  HpcModel a(test_tier(), {}, 42), b(test_tier(), {}, 42);
+  const auto ma = a.synthesize(busy_stats(100.0));
+  const auto mb = b.synthesize(busy_stats(100.0));
+  for (std::size_t i = 0; i < ma.size(); ++i) EXPECT_DOUBLE_EQ(ma[i], mb[i]);
+}
+
+TEST(HpcModel, NoiseVariesWithinSeedStream) {
+  HpcModel a(test_tier(), {}, 42);
+  const auto m1 = a.synthesize(busy_stats(100.0));
+  const auto m2 = a.synthesize(busy_stats(100.0));
+  EXPECT_NE(m1[kHpcInstrRetired], m2[kHpcInstrRetired]);
+}
+
+TEST(HpcModel, BusFollowsMisses) {
+  HpcModel model(test_tier(), {}, 7);
+  const auto light = model.synthesize(busy_stats(30.0));
+  const auto heavy = model.synthesize(busy_stats(600.0));
+  EXPECT_GT(heavy[kHpcBusTransactions], light[kHpcBusTransactions]);
+}
+
+OsGauges idle_gauges() { return OsGauges{}; }
+
+TEST(OsModel, VectorHasCatalogWidth) {
+  OsModel model(test_tier(), {}, 1);
+  const auto m = model.synthesize(busy_stats(50.0), idle_gauges());
+  EXPECT_EQ(m.size(), os_catalog().size());
+}
+
+TEST(OsModel, CpuPercentagesWithinBounds) {
+  OsModel model(test_tier(), {}, 1);
+  for (int i = 0; i < 100; ++i) {
+    const auto m = model.synthesize(busy_stats(50.0), idle_gauges());
+    const double total = m[kOsCpuUser] + m[kOsCpuSystem] +
+                         m[kOsCpuIoWait] + m[kOsCpuIdle];
+    EXPECT_GE(m[kOsCpuUser], 0.0);
+    EXPECT_LE(total, 100.0 + 1e-6);
+  }
+}
+
+TEST(OsModel, UtilizationClipsAtFull) {
+  OsModel model(test_tier(), {}, 1);
+  auto overloaded = busy_stats(50.0);
+  overloaded.core_busy_seconds = 2.0;  // 100% of 2 cores
+  RunningStats idle;
+  for (int i = 0; i < 50; ++i)
+    idle.add(model.synthesize(overloaded, idle_gauges())[kOsCpuIdle]);
+  EXPECT_LT(idle.mean(), 8.0);
+}
+
+TEST(OsModel, BlockedThreadsVanishFromRunQueue) {
+  // The D-state effect: identical runnable_now, very different runq once
+  // jobs block on buffer-pool I/O.
+  OsModel model_a(test_tier(), {}, 3);
+  OsModel model_b(test_tier(), {}, 3);
+  OsGauges visible;
+  visible.runnable_now = 30;
+  visible.blocked_fraction = 0.0;
+  OsGauges blocked = visible;
+  blocked.blocked_fraction = 0.9;
+  RunningStats rq_visible, rq_blocked;
+  for (int i = 0; i < 100; ++i) {
+    rq_visible.add(
+        model_a.synthesize(busy_stats(50.0), visible)[kOsRunQueue]);
+    rq_blocked.add(
+        model_b.synthesize(busy_stats(50.0), blocked)[kOsRunQueue]);
+  }
+  EXPECT_GT(rq_visible.mean(), 25.0);
+  EXPECT_LT(rq_blocked.mean(), 7.0);
+}
+
+TEST(OsModel, BlockedTimeShowsAsIoWaitNotBusy) {
+  // The same utilization reads mostly-busy for CPU-bound work but splits
+  // into iowait for D-state-heavy work.
+  OsModel cpu_bound(test_tier(), {}, 5);
+  OsModel io_bound(test_tier(), {}, 5);
+  OsGauges cpu_g;
+  cpu_g.runnable_now = 8;
+  OsGauges io_g;
+  io_g.runnable_now = 8;
+  io_g.blocked_fraction = 0.9;
+  RunningStats user_cpu, user_io, iow_io;
+  for (int i = 0; i < 100; ++i) {
+    user_cpu.add(cpu_bound.synthesize(busy_stats(50.0), cpu_g)[kOsCpuUser]);
+    const auto m = io_bound.synthesize(busy_stats(50.0), io_g);
+    user_io.add(m[kOsCpuUser]);
+    iow_io.add(m[kOsCpuIoWait]);
+  }
+  EXPECT_GT(user_cpu.mean(), user_io.mean() * 1.3);
+  EXPECT_GT(iow_io.mean(), 20.0);
+}
+
+TEST(OsModel, MemoryReflectsPreallocatedPools) {
+  // Resident memory must not track the query working set (buffer pools
+  // are preallocated) — a key reason OS metrics miss heavy-query overload.
+  OsModel model(test_tier(), {}, 9);
+  RunningStats small_mem, large_mem;
+  for (int i = 0; i < 50; ++i) {
+    small_mem.add(model.synthesize(busy_stats(30.0), idle_gauges())[13]);
+    large_mem.add(model.synthesize(busy_stats(600.0), idle_gauges())[13]);
+  }
+  EXPECT_NEAR(large_mem.mean() / small_mem.mean(), 1.0, 0.05);
+}
+
+TEST(OsModel, LoadAveragesDecaySlowly) {
+  OsModel model(test_tier(), {}, 11);
+  OsGauges busy;
+  busy.runnable_now = 20;
+  // Warm until even ldavg_15 (15-minute time constant) converges.
+  for (int i = 0; i < 4000; ++i)
+    (void)model.synthesize(busy_stats(20.0), busy);
+  const auto peak = model.synthesize(busy_stats(20.0), busy);
+  // Go idle: ldavg_1 must decay faster than ldavg_15.
+  sim::Tier::IntervalStats idle;
+  idle.duration = 1.0;
+  std::vector<double> after;
+  for (int i = 0; i < 60; ++i) after = model.synthesize(idle, idle_gauges());
+  EXPECT_LT(after[kOsLoadAvg1], peak[kOsLoadAvg1] * 0.6);
+  EXPECT_GT(after[kOsLoadAvg15], after[kOsLoadAvg1]);
+}
+
+TEST(OsModel, NetworkTracksCompletions) {
+  OsModel model(test_tier(), {}, 13);
+  auto low = busy_stats(50.0);
+  low.completions = 5;
+  low.completions_by_class[0] = 4;
+  low.completions_by_class[1] = 1;
+  auto high = busy_stats(50.0);
+  high.completions = 200;
+  high.completions_by_class[0] = 150;
+  high.completions_by_class[1] = 50;
+  const auto ml = model.synthesize(low, idle_gauges());
+  const auto mh = model.synthesize(high, idle_gauges());
+  EXPECT_GT(mh[39], ml[39] * 3.0);  // txpck_per_s
+}
+
+TEST(Aggregator, AveragesWindows) {
+  InstanceAggregator agg(2, 3);
+  EXPECT_FALSE(agg.add({1.0, 10.0}).has_value());
+  EXPECT_FALSE(agg.add({2.0, 20.0}).has_value());
+  const auto inst = agg.add({3.0, 30.0});
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_DOUBLE_EQ((*inst)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*inst)[1], 20.0);
+  EXPECT_EQ(agg.samples_buffered(), 0);
+}
+
+TEST(Aggregator, ResetDiscardsPartialWindow) {
+  InstanceAggregator agg(1, 2);
+  agg.add({5.0});
+  agg.reset();
+  EXPECT_FALSE(agg.add({1.0}).has_value());
+  const auto inst = agg.add({3.0});
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_DOUBLE_EQ((*inst)[0], 2.0);
+}
+
+TEST(Aggregator, DimensionMismatchThrows) {
+  InstanceAggregator agg(2, 3);
+  EXPECT_THROW(agg.add({1.0}), std::invalid_argument);
+}
+
+TEST(Aggregator, BadWindowThrows) {
+  EXPECT_THROW(InstanceAggregator(2, 0), std::invalid_argument);
+}
+
+TEST(Overhead, CollectionCostConsumesTierCapacity) {
+  sim::EventQueue eq;
+  sim::Tier::Config cfg;
+  cfg.cores = 1;
+  cfg.thread_overhead_coeff = 0.0;
+  cfg.mem_stall_max = 0.0;
+  sim::Tier tier(eq, cfg);
+  charge_collection_cost(tier, 0.05);
+  eq.run_all();
+  const auto s = tier.sample_and_reset();
+  EXPECT_NEAR(s.work_done, 0.05, 1e-9);
+  EXPECT_EQ(s.completions, 1u);
+}
+
+TEST(Overhead, ZeroCostIsNoop) {
+  sim::EventQueue eq;
+  sim::Tier tier(eq, sim::Tier::Config{});
+  charge_collection_cost(tier, 0.0);
+  eq.run_all();
+  EXPECT_EQ(tier.sample_and_reset().job_starts, 0u);
+}
+
+TEST(Overhead, HpcCheaperThanOsByAnOrderOfMagnitude) {
+  EXPECT_LT(CollectorCosts::kHpcPerSample * 10.0,
+            CollectorCosts::kOsPerSample);
+}
+
+}  // namespace
+}  // namespace hpcap::counters
+
+// -- PerfCtr emulation ---------------------------------------------------
+
+#include "counters/perfctr.h"
+
+namespace hpcap::counters {
+namespace {
+
+TEST(Perfctr, CountersAccumulateMonotonically) {
+  PerfctrEmulator dev(test_tier(), 21);
+  PerfctrCounts prev = dev.read();
+  for (int i = 0; i < 20; ++i) {
+    dev.advance(busy_stats(100.0));
+    const PerfctrCounts now = dev.read();
+    for (std::size_t e = 0; e < kPerfctrEventCount; ++e)
+      EXPECT_GE(now[e], prev[e]);
+    prev = now;
+  }
+  EXPECT_GT(prev[kEvtInstrRetired], 10u * 1000000u);
+}
+
+TEST(Perfctr, RatesMatchDirectSamples) {
+  PerfctrEmulator dev(test_tier(), 23);
+  const auto before = dev.read();
+  double instr_direct = 0.0;
+  // Mirror the device's own model stream with an identical twin to know
+  // what was "really" counted.
+  PerfctrEmulator twin(test_tier(), 23);
+  for (int i = 0; i < 30; ++i) {
+    dev.advance(busy_stats(80.0));
+    twin.advance(busy_stats(80.0));
+  }
+  instr_direct = static_cast<double>(twin.read()[kEvtInstrRetired]);
+  const auto rates = PerfctrEmulator::rates(before, dev.read(), 30.0);
+  EXPECT_NEAR(rates[kEvtInstrRetired], instr_direct / 30.0,
+              instr_direct / 30.0 * 1e-9 + 1.0);
+  // IPC derived from deltas is in a plausible NetBurst range.
+  const double ipc =
+      rates[kEvtInstrRetired] / rates[kEvtCyclesBusy];
+  EXPECT_GT(ipc, 0.2);
+  EXPECT_LT(ipc, 2.5);
+}
+
+TEST(Perfctr, RatesRejectBadInput) {
+  PerfctrEmulator dev(test_tier(), 25);
+  dev.advance(busy_stats(50.0));
+  const auto now = dev.read();
+  PerfctrCounts earlier = now;
+  earlier[kEvtInstrRetired] += 10;  // "before" ahead of "after"
+  EXPECT_THROW(PerfctrEmulator::rates(earlier, now, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(PerfctrEmulator::rates(now, now, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Perfctr, CatalogMappingIsValid) {
+  for (std::size_t e = 0; e < kPerfctrEventCount; ++e)
+    EXPECT_LT(PerfctrEmulator::catalog_index(
+                  static_cast<PerfctrEvent>(e)),
+              hpc_catalog().size());
+}
+
+}  // namespace
+}  // namespace hpcap::counters

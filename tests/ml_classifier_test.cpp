@@ -1,0 +1,298 @@
+// Unit and property tests for the four synopsis learners, evaluation
+// machinery and attribute selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/classifier.h"
+#include "ml/evaluate.h"
+#include "ml/feature_select.h"
+#include "ml/linreg.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+#include "ml/tan.h"
+#include "util/rng.h"
+
+namespace hpcap::ml {
+namespace {
+
+// Two Gaussian blobs, linearly separable with margin.
+Dataset blobs(int n, Rng& rng, double gap = 4.0) {
+  Dataset d({"x", "y"});
+  for (int i = 0; i < n; ++i) {
+    const int y = i % 2;
+    const double cx = y ? gap : 0.0;
+    d.add({cx + rng.normal(0.0, 0.7), cx + rng.normal(0.0, 0.7)}, y);
+  }
+  return d;
+}
+
+// XOR pattern: not linearly separable; a nonlinear learner is required.
+Dataset xor_data(int n, Rng& rng) {
+  Dataset d({"x", "y"});
+  for (int i = 0; i < n; ++i) {
+    const bool a = rng.bernoulli(0.5);
+    const bool b = rng.bernoulli(0.5);
+    d.add({(a ? 1.0 : 0.0) + rng.normal(0.0, 0.1),
+           (b ? 1.0 : 0.0) + rng.normal(0.0, 0.1)},
+          (a != b) ? 1 : 0);
+  }
+  return d;
+}
+
+class AllLearnersTest : public ::testing::TestWithParam<LearnerKind> {};
+
+TEST_P(AllLearnersTest, SeparatesGaussianBlobs) {
+  Rng rng(1);
+  const Dataset train = blobs(200, rng);
+  const Dataset test = blobs(100, rng);
+  auto clf = make_learner(GetParam());
+  clf->fit(train);
+  EXPECT_TRUE(clf->fitted());
+  const Confusion c = evaluate(*clf, test);
+  EXPECT_GT(c.balanced_accuracy(), 0.95) << learner_name(GetParam());
+}
+
+TEST_P(AllLearnersTest, ScoresAreProbabilities) {
+  Rng rng(2);
+  const Dataset train = blobs(100, rng);
+  auto clf = make_learner(GetParam());
+  clf->fit(train);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform(-2.0, 6.0),
+                                   rng.uniform(-2.0, 6.0)};
+    const double s = clf->predict_score(x);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_P(AllLearnersTest, PredictBeforeFitThrows) {
+  auto clf = make_learner(GetParam());
+  EXPECT_FALSE(clf->fitted());
+  EXPECT_ANY_THROW(clf->predict(std::vector<double>{1.0, 2.0}));
+}
+
+TEST_P(AllLearnersTest, CloneIsUnfitted) {
+  Rng rng(3);
+  auto clf = make_learner(GetParam());
+  clf->fit(blobs(60, rng));
+  auto copy = clf->clone();
+  EXPECT_FALSE(copy->fitted());
+  EXPECT_EQ(copy->name(), clf->name());
+}
+
+TEST_P(AllLearnersTest, EmptyDataThrows) {
+  auto clf = make_learner(GetParam());
+  Dataset empty({"a"});
+  EXPECT_THROW(clf->fit(empty), std::invalid_argument);
+}
+
+TEST_P(AllLearnersTest, DeterministicRefit) {
+  Rng rng(4);
+  const Dataset train = blobs(120, rng);
+  auto a = make_learner(GetParam());
+  auto b = make_learner(GetParam());
+  a->fit(train);
+  b->fit(train);
+  Rng probe(5);
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<double> x = {probe.uniform(-1.0, 5.0),
+                                   probe.uniform(-1.0, 5.0)};
+    EXPECT_DOUBLE_EQ(a->predict_score(x), b->predict_score(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Learners, AllLearnersTest,
+                         ::testing::Values(LearnerKind::kLinearRegression,
+                                           LearnerKind::kNaiveBayes,
+                                           LearnerKind::kSvm,
+                                           LearnerKind::kTan),
+                         [](const auto& info) {
+                           return learner_name(info.param);
+                         });
+
+TEST(LinearRegression, FailsOnXor) {
+  // The paper: "Linear regression performed worst because it can only
+  // capture linear correlations."
+  Rng rng(7);
+  LinearRegression lr;
+  lr.fit(xor_data(400, rng));
+  const Confusion c = evaluate(lr, xor_data(200, rng));
+  // Far from the >0.9 a nonlinear learner reaches (sampling noise keeps a
+  // linear model slightly above coin-flip on finite XOR samples).
+  EXPECT_LT(c.balanced_accuracy(), 0.8);
+}
+
+TEST(Svm, SolvesXorWithRbfKernel) {
+  Rng rng(7);
+  Svm svm;
+  svm.fit(xor_data(400, rng));
+  const Confusion c = evaluate(svm, xor_data(200, rng));
+  EXPECT_GT(c.balanced_accuracy(), 0.9);
+  EXPECT_GT(svm.support_vector_count(), 0u);
+}
+
+TEST(Tan, SolvesXorViaAttributeDependency) {
+  // XOR is exactly a pairwise dependency given the class — the edge TAN
+  // adds over Naive Bayes.
+  Rng rng(7);
+  Tan tan;
+  tan.fit(xor_data(400, rng));
+  const Confusion c = evaluate(tan, xor_data(200, rng));
+  EXPECT_GT(c.balanced_accuracy(), 0.9);
+}
+
+TEST(NaiveBayes, FailsOnXor) {
+  Rng rng(7);
+  NaiveBayes nb;
+  nb.fit(xor_data(400, rng));
+  const Confusion c = evaluate(nb, xor_data(200, rng));
+  EXPECT_LT(c.balanced_accuracy(), 0.65);
+}
+
+TEST(Tan, LearnsTreeStructure) {
+  // Three attributes: a (class-driven), b = copy of a, c = noise. The
+  // spanning tree must connect a and b.
+  Rng rng(9);
+  Dataset d({"a", "b", "c"});
+  for (int i = 0; i < 500; ++i) {
+    const int y = i % 2;
+    const double a = y + rng.normal(0.0, 0.3);
+    d.add({a, a + rng.normal(0.0, 0.05), rng.uniform()}, y);
+  }
+  Tan tan;
+  tan.fit(d);
+  const auto& parents = tan.parents();
+  ASSERT_EQ(parents.size(), 3u);
+  EXPECT_EQ(parents[0], -1);  // root
+  EXPECT_EQ(parents[1], 0);   // b depends on a
+}
+
+TEST(Svm, LinearKernelOnSeparableData) {
+  Rng rng(11);
+  SvmOptions opts;
+  opts.kernel = SvmKernel::kLinear;
+  Svm svm(opts);
+  svm.fit(blobs(200, rng));
+  const Confusion c = evaluate(svm, blobs(100, rng));
+  EXPECT_GT(c.balanced_accuracy(), 0.95);
+}
+
+TEST(LinearRegression, RecoverageOfPlantedWeights) {
+  // y = 1 if x0 > 0.5; weights should emphasize x0.
+  Rng rng(13);
+  Dataset d({"x0", "x1"});
+  for (int i = 0; i < 500; ++i) {
+    const double x0 = rng.uniform();
+    d.add({x0, rng.uniform()}, x0 > 0.5 ? 1 : 0);
+  }
+  LinearRegression lr;
+  lr.fit(d);
+  ASSERT_EQ(lr.weights().size(), 2u);
+  EXPECT_GT(std::abs(lr.weights()[0]), std::abs(lr.weights()[1]) * 5.0);
+}
+
+TEST(Confusion, CountsAndRates) {
+  Confusion c;
+  c.add(1, 1);  // tp
+  c.add(1, 0);  // fn
+  c.add(0, 0);  // tn
+  c.add(0, 0);  // tn
+  c.add(0, 1);  // fp
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 2u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.5);
+  EXPECT_NEAR(c.tnr(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.balanced_accuracy(), (0.5 + 2.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+}
+
+TEST(Confusion, DegenerateClasses) {
+  Confusion only_neg;
+  only_neg.add(0, 0);
+  EXPECT_DOUBLE_EQ(only_neg.balanced_accuracy(), 1.0);
+  Confusion only_pos;
+  only_pos.add(1, 0);
+  EXPECT_DOUBLE_EQ(only_pos.balanced_accuracy(), 0.0);
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.balanced_accuracy(), 0.0);
+}
+
+TEST(CrossValidate, PoolsAllInstances) {
+  Rng rng(15);
+  const Dataset d = blobs(100, rng);
+  Rng cv_rng(16);
+  const Confusion c = cross_validate(Tan(), d, 10, cv_rng);
+  EXPECT_EQ(c.total(), 100u);
+  EXPECT_GT(c.balanced_accuracy(), 0.9);
+}
+
+TEST(CrossValidate, ShrinksFoldsForTinyData) {
+  Dataset d({"a"});
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  d.add({0.1}, 0);
+  d.add({0.9}, 1);
+  Rng rng(17);
+  const Confusion c = cross_validate(NaiveBayes(), d, 10, rng);
+  EXPECT_GT(c.total(), 0u);
+}
+
+TEST(FeatureSelect, RanksInformativeFirst) {
+  Rng rng(19);
+  Dataset d({"noise1", "signal", "noise2"});
+  for (int i = 0; i < 400; ++i) {
+    const int y = i % 2;
+    d.add({rng.uniform(), y + rng.normal(0.0, 0.2), rng.uniform()}, y);
+  }
+  const auto order = rank_by_information_gain(d);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(FeatureSelect, ForwardSelectionFindsSignal) {
+  Rng rng(21);
+  Dataset d({"n1", "signal", "n2", "n3"});
+  for (int i = 0; i < 300; ++i) {
+    const int y = i % 2;
+    d.add({rng.uniform(), y + rng.normal(0.0, 0.25), rng.uniform(),
+           rng.uniform()},
+          y);
+  }
+  FeatureSelectOptions opts;
+  Rng sel_rng(22);
+  const auto sel = forward_select(Tan(), d, opts, sel_rng);
+  ASSERT_FALSE(sel.empty());
+  EXPECT_EQ(sel[0], 1u);
+  EXPECT_LE(sel.size(), static_cast<std::size_t>(opts.max_attributes));
+}
+
+TEST(FeatureSelect, RespectsMaxAttributes) {
+  Rng rng(23);
+  Dataset d({"a", "b", "c", "d", "e"});
+  for (int i = 0; i < 200; ++i) {
+    const int y = i % 2;
+    std::vector<double> row;
+    for (int a = 0; a < 5; ++a) row.push_back(y + rng.normal(0.0, 0.5));
+    d.add(std::move(row), y);
+  }
+  FeatureSelectOptions opts;
+  opts.max_attributes = 2;
+  Rng sel_rng(24);
+  const auto sel = forward_select(NaiveBayes(), d, opts, sel_rng);
+  EXPECT_LE(sel.size(), 2u);
+}
+
+TEST(Learners, FactoryNamesMatch) {
+  EXPECT_EQ(make_learner(LearnerKind::kLinearRegression)->name(), "LR");
+  EXPECT_EQ(make_learner(LearnerKind::kNaiveBayes)->name(), "Naive");
+  EXPECT_EQ(make_learner(LearnerKind::kSvm)->name(), "SVM");
+  EXPECT_EQ(make_learner(LearnerKind::kTan)->name(), "TAN");
+}
+
+}  // namespace
+}  // namespace hpcap::ml

@@ -1,0 +1,226 @@
+// Unit tests for Dataset, discretization and information-theoretic
+// helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/dataset.h"
+#include "ml/discretize.h"
+#include "ml/info.h"
+#include "util/rng.h"
+
+namespace hpcap::ml {
+namespace {
+
+Dataset two_attr() {
+  Dataset d({"a", "b"});
+  d.add({1.0, 10.0}, 0);
+  d.add({2.0, 20.0}, 1);
+  d.add({3.0, 30.0}, 0);
+  d.add({4.0, 40.0}, 1);
+  return d;
+}
+
+TEST(Dataset, AddAndAccess) {
+  const Dataset d = two_attr();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_EQ(d.label(1), 1);
+  EXPECT_DOUBLE_EQ(d.row(2)[1], 30.0);
+  EXPECT_EQ(d.positives(), 2u);
+  EXPECT_EQ(d.negatives(), 2u);
+  EXPECT_DOUBLE_EQ(d.positive_rate(), 0.5);
+}
+
+TEST(Dataset, AddRejectsBadDimensions) {
+  Dataset d({"a", "b"});
+  EXPECT_THROW(d.add({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(d.add({1.0, 2.0}, 2), std::invalid_argument);
+}
+
+TEST(Dataset, ColumnExtraction) {
+  const Dataset d = two_attr();
+  const auto col = d.column(1);
+  EXPECT_EQ(col, (std::vector<double>{10.0, 20.0, 30.0, 40.0}));
+  EXPECT_THROW(d.column(5), std::out_of_range);
+}
+
+TEST(Dataset, ProjectReordersAttributes) {
+  const Dataset d = two_attr();
+  const Dataset p = d.project({1});
+  EXPECT_EQ(p.dim(), 1u);
+  EXPECT_EQ(p.attribute_names()[0], "b");
+  EXPECT_DOUBLE_EQ(p.row(0)[0], 10.0);
+  EXPECT_EQ(p.label(3), 1);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  const Dataset d = two_attr();
+  const Dataset s = d.subset({3, 0});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.row(0)[0], 4.0);
+  EXPECT_EQ(s.label(1), 0);
+}
+
+TEST(Dataset, AppendRequiresSameSchema) {
+  Dataset d = two_attr();
+  Dataset other({"a", "b"});
+  other.add({9.0, 9.0}, 1);
+  d.append(other);
+  EXPECT_EQ(d.size(), 5u);
+  Dataset bad({"x", "y"});
+  EXPECT_THROW(d.append(bad), std::invalid_argument);
+}
+
+TEST(Dataset, StratifiedFoldsPartitionAllRows) {
+  Dataset d({"a"});
+  Rng rng(1);
+  for (int i = 0; i < 103; ++i)
+    d.add({static_cast<double>(i)}, i % 3 == 0 ? 1 : 0);
+  const auto folds = d.stratified_folds(10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+  std::set<std::size_t> all;
+  for (const auto& f : folds) all.insert(f.begin(), f.end());
+  EXPECT_EQ(all.size(), 103u);
+}
+
+TEST(Dataset, StratifiedFoldsPreserveBalance) {
+  Dataset d({"a"});
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) d.add({0.0}, i < 60 ? 1 : 0);
+  const auto folds = d.stratified_folds(10, rng);
+  for (const auto& f : folds) {
+    int pos = 0;
+    for (std::size_t r : f) pos += d.label(r);
+    EXPECT_NEAR(pos, 6, 1);
+  }
+}
+
+TEST(Dataset, StratifiedSplitFractions) {
+  Dataset d({"a"});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) d.add({0.0}, i < 40 ? 1 : 0);
+  const auto [train, test] = d.stratified_split(0.75, rng);
+  EXPECT_EQ(train.size(), 75u);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.positives(), 30u);
+  EXPECT_EQ(test.positives(), 10u);
+}
+
+TEST(Discretizer, EqualFrequencyProducesRequestedBins) {
+  Dataset d({"a"});
+  for (int i = 0; i < 100; ++i) d.add({static_cast<double>(i)}, 0);
+  const auto disc = Discretizer::equal_frequency(d, 4);
+  EXPECT_EQ(disc.bins(0), 4u);
+  EXPECT_EQ(disc.bin_of(0, -5.0), 0u);
+  EXPECT_EQ(disc.bin_of(0, 99.0), 3u);
+}
+
+TEST(Discretizer, EqualFrequencyCollapsesDuplicates) {
+  Dataset d({"a"});
+  for (int i = 0; i < 100; ++i) d.add({1.0}, 0);  // constant column
+  const auto disc = Discretizer::equal_frequency(d, 5);
+  EXPECT_EQ(disc.bins(0), 1u);
+}
+
+TEST(Discretizer, BinBoundariesAreHalfOpen) {
+  Dataset d({"a"});
+  for (double v : {0.0, 1.0, 2.0, 3.0}) d.add({v}, 0);
+  const auto disc = Discretizer::equal_frequency(d, 2);
+  ASSERT_EQ(disc.bins(0), 2u);
+  const double cut = disc.cut_points(0)[0];
+  EXPECT_EQ(disc.bin_of(0, cut - 1e-9), 0u);
+  EXPECT_EQ(disc.bin_of(0, cut + 1e-9), 1u);
+}
+
+TEST(Discretizer, MdlFindsInformativeCut) {
+  Dataset d({"a"});
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const int y = i % 2;
+    d.add({(y ? 10.0 : 0.0) + rng.normal(0.0, 1.0)}, y);
+  }
+  const auto disc = Discretizer::mdl(d);
+  EXPECT_GE(disc.bins(0), 2u);
+  // The cut must separate the two clusters.
+  EXPECT_EQ(disc.bin_of(0, 0.0), 0u);
+  EXPECT_GT(disc.bin_of(0, 10.0), 0u);
+}
+
+TEST(Discretizer, MdlLeavesNoiseUncut) {
+  Dataset d({"a"});
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) d.add({rng.uniform()}, rng.bernoulli(0.5));
+  const auto disc = Discretizer::mdl(d);
+  EXPECT_EQ(disc.bins(0), 1u);
+}
+
+TEST(Discretizer, TransformAppliesPerAttribute) {
+  Dataset d({"a", "b"});
+  for (int i = 0; i < 100; ++i)
+    d.add({static_cast<double>(i), static_cast<double>(100 - i)}, i < 50);
+  const auto disc = Discretizer::equal_frequency(d, 2);
+  const auto bins = disc.transform(std::vector<double>{10.0, 90.0});
+  EXPECT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0], 0u);
+  EXPECT_EQ(bins[1], 1u);
+}
+
+TEST(Info, PerfectPredictorHasFullGain) {
+  Dataset d({"a"});
+  for (int i = 0; i < 100; ++i) d.add({i < 50 ? 0.0 : 1.0}, i < 50 ? 0 : 1);
+  const auto disc = Discretizer::equal_frequency(d, 2);
+  EXPECT_NEAR(information_gain(d, disc, 0), class_entropy(d), 1e-9);
+  EXPECT_NEAR(class_entropy(d), 1.0, 1e-9);
+}
+
+TEST(Info, NoiseHasNearZeroGain) {
+  Dataset d({"a"});
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) d.add({rng.uniform()}, rng.bernoulli(0.5));
+  const auto disc = Discretizer::equal_frequency(d, 10);
+  EXPECT_LT(information_gain(d, disc, 0), 0.02);
+}
+
+TEST(Info, GainIsNonNegative) {
+  Dataset d({"a", "b", "c"});
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i)
+    d.add({rng.uniform(), rng.normal(), rng.exponential(1.0)},
+          rng.bernoulli(0.4));
+  const auto disc = Discretizer::equal_frequency(d, 8);
+  for (double g : information_gains(d, disc)) EXPECT_GE(g, -1e-12);
+}
+
+TEST(Info, CmiIsSymmetric) {
+  Dataset d({"a", "b"});
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform();
+    d.add({a, a + rng.normal(0.0, 0.1)}, rng.bernoulli(0.5));
+  }
+  const auto disc = Discretizer::equal_frequency(d, 5);
+  EXPECT_NEAR(conditional_mutual_information(d, disc, 0, 1),
+              conditional_mutual_information(d, disc, 1, 0), 1e-12);
+}
+
+TEST(Info, CmiHighForCoupledAttributes) {
+  Dataset d({"a", "copy", "noise"});
+  Rng rng(19);
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.uniform();
+    d.add({a, a, rng.uniform()}, rng.bernoulli(0.5));
+  }
+  const auto disc = Discretizer::equal_frequency(d, 5);
+  EXPECT_GT(conditional_mutual_information(d, disc, 0, 1),
+            conditional_mutual_information(d, disc, 0, 2) + 0.5);
+}
+
+TEST(Info, CmiOfSelfIsZeroByConvention) {
+  const Dataset d = two_attr();
+  const auto disc = Discretizer::equal_frequency(d, 2);
+  EXPECT_EQ(conditional_mutual_information(d, disc, 0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace hpcap::ml

@@ -1,0 +1,156 @@
+// Tests for the generic K-tier pipeline and the capacity core's K-tier
+// generality.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/labeling.h"
+#include "counters/metric_catalog.h"
+#include "mtier/pipeline.h"
+#include "util/stats.h"
+
+namespace hpcap::mtier {
+namespace {
+
+PipelineConfig tiny_config(int tiers = 3) {
+  PipelineConfig cfg;
+  cfg.think_time_mean = 1.0;
+  for (int t = 0; t < tiers; ++t) {
+    sim::Tier::Config tc;
+    tc.name = "t" + std::to_string(t);
+    tc.cores = 1 + t % 2;
+    tc.thread_pool = 50;
+    cfg.tiers.push_back(tc);
+  }
+  JobClass jc;
+  jc.name = "uniform";
+  jc.tier_demand.assign(static_cast<std::size_t>(tiers), 0.005);
+  jc.tier_footprint.assign(static_cast<std::size_t>(tiers), 3.0);
+  cfg.classes = {jc};
+  return cfg;
+}
+
+TEST(Pipeline, ValidatesConfiguration) {
+  PipelineConfig no_tiers = tiny_config();
+  no_tiers.tiers.clear();
+  EXPECT_THROW(Pipeline{no_tiers}, std::invalid_argument);
+
+  PipelineConfig no_classes = tiny_config();
+  no_classes.classes.clear();
+  EXPECT_THROW(Pipeline{no_classes}, std::invalid_argument);
+
+  PipelineConfig bad_width = tiny_config(3);
+  bad_width.classes[0].tier_demand.resize(2);
+  EXPECT_THROW(Pipeline{bad_width}, std::invalid_argument);
+}
+
+TEST(Pipeline, ProducesInstancesWithKTiers) {
+  Pipeline pipe(tiny_config(4));
+  pipe.set_population(20);
+  pipe.run(120.0);
+  ASSERT_EQ(pipe.instances().size(), 4u);
+  for (const auto& rec : pipe.instances()) {
+    ASSERT_EQ(rec.hpc.size(), 4u);
+    for (const auto& row : rec.hpc)
+      EXPECT_EQ(row.size(), counters::hpc_catalog().size());
+    EXPECT_GT(rec.health.throughput, 0.0);
+    EXPECT_EQ(rec.population, 20);
+    EXPECT_GE(rec.bottleneck_tier, 0);
+    EXPECT_LT(rec.bottleneck_tier, 4);
+  }
+}
+
+TEST(Pipeline, ClosedLoopThroughputMatchesLittlesLaw) {
+  Pipeline pipe(tiny_config(2));
+  pipe.set_population(10);
+  pipe.run(300.0);
+  RunningStats tput;
+  for (const auto& rec : pipe.instances()) tput.add(rec.health.throughput);
+  // N/(Z+R): 10 clients, ~1 s think, ~10 ms service.
+  EXPECT_NEAR(tput.mean(), 10.0 / 1.01, 1.2);
+}
+
+TEST(Pipeline, HeavyClassMovesBottleneck) {
+  PipelineConfig cfg = tiny_config(3);
+  JobClass heavy_mid;
+  heavy_mid.name = "mid-heavy";
+  heavy_mid.tier_demand = {0.002, 0.060, 0.002};
+  heavy_mid.tier_footprint = {1.0, 40.0, 1.0};
+  cfg.classes.push_back(heavy_mid);
+  cfg.classes[0].weight = 0.2;
+  cfg.classes[1].weight = 0.8;
+  Pipeline pipe(cfg);
+  pipe.set_population(120);  // past tier-1 saturation
+  pipe.run(240.0);
+  ASSERT_FALSE(pipe.instances().empty());
+  EXPECT_EQ(pipe.instances().back().bottleneck_tier, 1);
+  EXPECT_GT(pipe.instances().back().tier_utilization[1], 0.9);
+}
+
+TEST(Pipeline, SetClassWeightsShiftsLoad) {
+  PipelineConfig cfg = tiny_config(2);
+  JobClass back_heavy;
+  back_heavy.name = "back";
+  back_heavy.tier_demand = {0.001, 0.040};
+  back_heavy.tier_footprint = {1.0, 30.0};
+  cfg.classes.push_back(back_heavy);
+  cfg.classes[0].weight = 1.0;
+  cfg.classes[1].weight = 0.0;
+  Pipeline pipe(cfg);
+  pipe.set_population(40);
+  pipe.run(150.0);
+  const double back_util_before =
+      pipe.instances().back().tier_utilization[1];
+  pipe.set_class_weights({0.0, 1.0});
+  pipe.run(150.0);
+  const double back_util_after =
+      pipe.instances().back().tier_utilization[1];
+  EXPECT_GT(back_util_after, back_util_before * 2.0);
+  EXPECT_THROW(pipe.set_class_weights({1.0}), std::invalid_argument);
+}
+
+TEST(Pipeline, PopulationShrinkDrains) {
+  Pipeline pipe(tiny_config(2));
+  pipe.set_population(30);
+  pipe.run(60.0);
+  pipe.set_population(5);
+  pipe.run(120.0);
+  RunningStats tput;
+  // Only the tail windows, after the shrink settled.
+  const auto& inst = pipe.instances();
+  for (std::size_t i = inst.size() - 2; i < inst.size(); ++i)
+    tput.add(inst[i].health.throughput);
+  EXPECT_NEAR(tput.mean(), 5.0 / 1.01, 1.0);
+}
+
+TEST(Pipeline, OverloadRaisesResponseTimes) {
+  PipelineConfig cfg = tiny_config(2);
+  Pipeline pipe(cfg);
+  // Tier 0 has 1 core and 5 ms demand: ~200 req/s; with 1 s think that is
+  // ~200 clients at saturation. Go far past it.
+  pipe.set_population(500);
+  pipe.run(300.0);
+  core::HealthLabeler labeler;
+  int overloaded = 0;
+  for (const auto& rec : pipe.instances())
+    overloaded += labeler.label(rec.health);
+  EXPECT_GT(overloaded, 2);
+}
+
+TEST(Pipeline, DeterministicPerSeed) {
+  auto run_once = [] {
+    Pipeline pipe(tiny_config(3));
+    pipe.set_population(25);
+    pipe.run(180.0);
+    std::vector<double> sig;
+    for (const auto& rec : pipe.instances()) {
+      sig.push_back(rec.health.throughput);
+      sig.push_back(rec.hpc[1][counters::kHpcInstrRetired]);
+    }
+    return sig;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hpcap::mtier

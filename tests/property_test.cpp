@@ -1,0 +1,308 @@
+// Property-based tests: invariants that must hold across swept parameter
+// grids and randomized inputs, rather than single examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/coordinated.h"
+#include "ml/discretize.h"
+#include "ml/evaluate.h"
+#include "ml/info.h"
+#include "sim/event_queue.h"
+#include "sim/tier.h"
+#include "tpcw/mix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hpcap {
+namespace {
+
+// ---------------------------------------------------------------------
+// Tier invariants under random job schedules.
+// ---------------------------------------------------------------------
+
+struct TierParams {
+  int cores;
+  int pool;
+  double overhead;
+  double stall_max;
+};
+
+class TierPropertyTest : public ::testing::TestWithParam<TierParams> {};
+
+TEST_P(TierPropertyTest, WorkConservationAndCompletionAccounting) {
+  const auto p = GetParam();
+  sim::EventQueue eq;
+  sim::Tier::Config cfg;
+  cfg.cores = p.cores;
+  cfg.thread_pool = p.pool;
+  cfg.thread_overhead_coeff = p.overhead;
+  cfg.mem_stall_max = p.stall_max;
+  cfg.mem_footprint_half_mb = 200.0;
+  sim::Tier tier(eq, cfg);
+
+  Rng rng(1234);
+  double submitted_demand = 0.0;
+  int submitted = 0, completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double at = rng.uniform(0.0, 100.0);
+    const double demand = rng.exponential(0.05);
+    submitted_demand += demand;
+    ++submitted;
+    eq.schedule_at(at, [&tier, &completed, demand, &rng] {
+      sim::Tier::JobTag tag;
+      tag.footprint_mb = rng.uniform(1.0, 60.0);
+      tier.execute(demand, tag, [&completed] { ++completed; });
+    });
+  }
+  eq.run_all();
+  const auto s = tier.sample_and_reset();
+
+  // Every job completes, and the work-done integral equals the demand
+  // completed (the PS service is exact, not quantized).
+  EXPECT_EQ(completed, submitted);
+  EXPECT_EQ(s.completions, static_cast<std::uint64_t>(submitted));
+  EXPECT_NEAR(s.completed_demand, submitted_demand, 1e-6);
+  EXPECT_NEAR(s.work_done, submitted_demand, 1e-6);
+  // Busy cores never exceed the core count; efficiency never exceeds 1.
+  EXPECT_LE(s.core_busy_seconds,
+            static_cast<double>(p.cores) * s.duration + 1e-9);
+  EXPECT_LE(s.mean_efficiency(), 1.0 + 1e-9);
+  EXPECT_EQ(tier.active_jobs(), 0);
+  EXPECT_NEAR(tier.live_footprint_mb(), 0.0, 1e-9);
+}
+
+TEST_P(TierPropertyTest, DeterministicUnderReplay) {
+  const auto p = GetParam();
+  auto run_once = [&p](std::uint64_t seed) {
+    sim::EventQueue eq;
+    sim::Tier::Config cfg;
+    cfg.cores = p.cores;
+    cfg.thread_pool = p.pool;
+    cfg.thread_overhead_coeff = p.overhead;
+    cfg.mem_stall_max = p.stall_max;
+    sim::Tier tier(eq, cfg);
+    Rng rng(seed);
+    std::vector<double> completions;
+    for (int i = 0; i < 100; ++i) {
+      eq.schedule_at(rng.uniform(0.0, 50.0), [&] {
+        tier.execute(rng.exponential(0.1), sim::Tier::JobTag{},
+                     [&completions, &eq] { completions.push_back(eq.now()); });
+      });
+    }
+    eq.run_all();
+    return completions;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TierGrid, TierPropertyTest,
+    ::testing::Values(TierParams{1, 10, 0.0, 0.0},
+                      TierParams{1, 100, 0.002, 0.3},
+                      TierParams{2, 40, 0.0015, 0.35},
+                      TierParams{4, 200, 0.004, 0.5},
+                      TierParams{8, 16, 0.01, 0.7}));
+
+// ---------------------------------------------------------------------
+// Mix invariants across the class-fraction / skew grid.
+// ---------------------------------------------------------------------
+
+struct MixParams {
+  double browse_fraction;
+  double skew;
+};
+
+class MixPropertyTest : public ::testing::TestWithParam<MixParams> {};
+
+TEST_P(MixPropertyTest, StationaryMatchesRequestedFraction) {
+  const auto p = GetParam();
+  const tpcw::Mix mix =
+      tpcw::Mix::with_class_fractions("m", p.browse_fraction, p.skew);
+  EXPECT_NEAR(mix.browse_fraction(), p.browse_fraction, 0.012);
+}
+
+TEST_P(MixPropertyTest, RowsAreDistributionsAndChainIsIrreducible) {
+  const auto p = GetParam();
+  const tpcw::Mix mix =
+      tpcw::Mix::with_class_fractions("m", p.browse_fraction, p.skew);
+  for (const auto& row : mix.transition()) {
+    double sum = 0.0;
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Stationary distribution is strictly positive: every page reachable.
+  for (double pi : mix.stationary()) EXPECT_GT(pi, 0.0);
+}
+
+TEST_P(MixPropertyTest, SkewRaisesDbDemandMonotonically) {
+  const auto p = GetParam();
+  const auto base =
+      tpcw::Mix::with_class_fractions("m", p.browse_fraction, p.skew);
+  const auto heavier =
+      tpcw::Mix::with_class_fractions("m", p.browse_fraction, p.skew + 0.5);
+  EXPECT_GT(heavier.mean_tier_demand()[1], base.mean_tier_demand()[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixGrid, MixPropertyTest,
+    ::testing::Values(MixParams{0.2, 0.0}, MixParams{0.5, -0.5},
+                      MixParams{0.5, 0.5}, MixParams{0.8, 0.0},
+                      MixParams{0.95, 0.3}, MixParams{0.65, 1.0}));
+
+// ---------------------------------------------------------------------
+// Discretization / information-gain invariants on random data.
+// ---------------------------------------------------------------------
+
+class SeededPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededPropertyTest, MdlNeverBeatsClassEntropy) {
+  Rng rng(GetParam());
+  ml::Dataset d({"a", "b", "c"});
+  for (int i = 0; i < 300; ++i) {
+    const int y = rng.bernoulli(0.4);
+    d.add({y * rng.uniform() * 2.0, rng.normal(), rng.exponential(1.0)}, y);
+  }
+  const auto disc = ml::Discretizer::mdl(d);
+  const double h = ml::class_entropy(d);
+  for (std::size_t a = 0; a < d.dim(); ++a) {
+    const double g = ml::information_gain(d, disc, a);
+    EXPECT_GE(g, -1e-12);
+    EXPECT_LE(g, h + 1e-12);
+  }
+}
+
+TEST_P(SeededPropertyTest, CutPointsAreStrictlyIncreasing) {
+  Rng rng(GetParam());
+  ml::Dataset d({"a", "b"});
+  for (int i = 0; i < 400; ++i) {
+    const int y = rng.bernoulli(0.5);
+    d.add({y + rng.normal(0.0, 0.4), rng.uniform(0.0, 10.0)}, y);
+  }
+  for (const auto& disc : {ml::Discretizer::mdl(d),
+                           ml::Discretizer::equal_frequency(d, 8)}) {
+    for (std::size_t a = 0; a < d.dim(); ++a) {
+      const auto& cuts = disc.cut_points(a);
+      for (std::size_t i = 1; i < cuts.size(); ++i)
+        EXPECT_GT(cuts[i], cuts[i - 1]);
+      // bin_of is monotone in its argument.
+      std::size_t prev = 0;
+      for (double v = -3.0; v < 13.0; v += 0.25) {
+        const std::size_t b = disc.bin_of(a, v);
+        EXPECT_GE(b, prev);
+        prev = b;
+      }
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, ClassifierScoresAreFiniteProbabilities) {
+  Rng rng(GetParam());
+  ml::Dataset d({"a", "b"});
+  for (int i = 0; i < 150; ++i) {
+    const int y = i % 2;
+    d.add({y + rng.normal(0.0, 1.0), rng.uniform(-5.0, 5.0)}, y);
+  }
+  for (auto kind :
+       {ml::LearnerKind::kLinearRegression, ml::LearnerKind::kNaiveBayes,
+        ml::LearnerKind::kSvm, ml::LearnerKind::kTan}) {
+    auto clf = ml::make_learner(kind);
+    clf->fit(d);
+    for (int i = 0; i < 50; ++i) {
+      const std::vector<double> x = {rng.uniform(-100.0, 100.0),
+                                     rng.uniform(-100.0, 100.0)};
+      const double s = clf->predict_score(x);
+      EXPECT_TRUE(std::isfinite(s)) << ml::learner_name(kind);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, CoordinatedPredictorNeverCrashesOnRandomStreams) {
+  Rng rng(GetParam());
+  core::CoordinatedPredictor::Options opts;
+  opts.num_synopses = 4;
+  opts.num_tiers = 3;
+  opts.history_bits = rng.uniform_int(0, 4);
+  opts.delta = rng.uniform_int(0, 6);
+  opts.synopsis_tiers = {0, 1, 2, 1};
+  core::CoordinatedPredictor p(opts);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<int> votes = {rng.bernoulli(0.4), rng.bernoulli(0.4),
+                                    rng.bernoulli(0.4), rng.bernoulli(0.4)};
+    if (rng.bernoulli(0.5)) {
+      const int label = rng.bernoulli(0.5);
+      p.train(votes, label, label ? rng.uniform_int(0, 2) : -1);
+    } else {
+      const auto d = p.predict(votes);
+      EXPECT_TRUE(d.state == 0 || d.state == 1);
+      if (d.state == 1) {
+        EXPECT_GE(d.bottleneck_tier, 0);
+        EXPECT_LT(d.bottleneck_tier, 3);
+      } else {
+        EXPECT_EQ(d.bottleneck_tier, -1);
+      }
+      EXPECT_LE(std::abs(d.hc), 2 * opts.delta + 2);
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, StratifiedFoldsAreReproduciblePerSeed) {
+  ml::Dataset d({"a"});
+  Rng data_rng(GetParam());
+  for (int i = 0; i < 97; ++i) d.add({data_rng.uniform()}, i % 4 == 0);
+  Rng r1(GetParam() + 1), r2(GetParam() + 1);
+  EXPECT_EQ(d.stratified_folds(7, r1), d.stratified_folds(7, r2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+// ---------------------------------------------------------------------
+// Statistical helpers: randomized cross-checks against naive formulas.
+// ---------------------------------------------------------------------
+
+TEST(StatsProperty, RunningMomentsMatchTwoPass) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    RunningStats s;
+    const int n = rng.uniform_int(2, 200);
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.normal(0.0, rng.uniform(0.1, 100.0));
+      xs.push_back(x);
+      s.add(x);
+    }
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= n;
+    double var = 0.0;
+    for (double x : xs) var += (x - mean) * (x - mean);
+    var /= n;
+    EXPECT_NEAR(s.mean(), mean, 1e-9 * (1.0 + std::abs(mean)));
+    EXPECT_NEAR(s.variance(), var, 1e-6 * (1.0 + var));
+  }
+}
+
+TEST(StatsProperty, PearsonIsScaleAndShiftInvariant) {
+  Rng rng(3141);
+  std::vector<double> x, y, x2, y2;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.normal();
+    const double b = 0.7 * a + rng.normal(0.0, 0.5);
+    x.push_back(a);
+    y.push_back(b);
+    x2.push_back(5.0 * a - 3.0);
+    y2.push_back(-2.0 * b + 10.0);  // negative scale flips the sign
+  }
+  EXPECT_NEAR(pearson(x, y), pearson(x2, y2) * -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcap

@@ -1,0 +1,191 @@
+// Round-trip tests for model persistence: every classifier, synopses,
+// the coordinated predictor, and a full CapacityMonitor bundle.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/model_io.h"
+#include "ml/discretize.h"
+#include "ml/linreg.h"
+#include "ml/naive_bayes.h"
+#include "ml/serialize.h"
+#include "ml/svm.h"
+#include "ml/tan.h"
+#include "util/rng.h"
+
+namespace hpcap {
+namespace {
+
+ml::Dataset make_data(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset d({"a", "b", "c"});
+  for (int i = 0; i < n; ++i) {
+    const int y = i % 2;
+    d.add({y + rng.normal(0.0, 0.3), rng.uniform(),
+           0.5 * y + rng.normal(0.0, 0.4)},
+          y);
+  }
+  return d;
+}
+
+// Scores before and after a round trip must agree bit-for-bit (the format
+// stores doubles as hex floats).
+void expect_identical_scores(const ml::Classifier& a,
+                             const ml::Classifier& b) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> x = {rng.uniform(-2.0, 3.0),
+                                   rng.uniform(-2.0, 3.0),
+                                   rng.uniform(-2.0, 3.0)};
+    ASSERT_DOUBLE_EQ(a.predict_score(x), b.predict_score(x));
+  }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<ml::LearnerKind> {};
+
+TEST_P(RoundTripTest, ScoresSurviveSaveLoad) {
+  auto clf = ml::make_learner(GetParam());
+  clf->fit(make_data(300, 5));
+  std::stringstream ss;
+  ml::save_classifier(ss, *clf);
+  const auto restored = ml::load_classifier(ss);
+  EXPECT_EQ(restored->name(), clf->name());
+  EXPECT_TRUE(restored->fitted());
+  expect_identical_scores(*clf, *restored);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLearners, RoundTripTest,
+                         ::testing::Values(ml::LearnerKind::kLinearRegression,
+                                           ml::LearnerKind::kNaiveBayes,
+                                           ml::LearnerKind::kSvm,
+                                           ml::LearnerKind::kTan),
+                         [](const auto& info) {
+                           return ml::learner_name(info.param);
+                         });
+
+TEST(Serialize, UnfittedClassifierRefusesToSave) {
+  const ml::Tan tan;
+  std::stringstream ss;
+  EXPECT_THROW(ml::save_classifier(ss, tan), std::invalid_argument);
+}
+
+TEST(Serialize, CorruptHeaderThrows) {
+  std::stringstream ss("not-a-model at all");
+  EXPECT_THROW(ml::load_classifier(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  auto clf = ml::make_learner(ml::LearnerKind::kNaiveBayes);
+  clf->fit(make_data(50, 7));
+  std::stringstream ss;
+  ml::save_classifier(ss, *clf);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(ml::load_classifier(cut), std::runtime_error);
+}
+
+TEST(Serialize, DiscretizerRoundTrip) {
+  const auto disc = ml::Discretizer::mdl(make_data(200, 9));
+  std::stringstream ss;
+  disc.save(ss);
+  const auto restored = ml::Discretizer::load(ss);
+  ASSERT_EQ(restored.dim(), disc.dim());
+  for (std::size_t a = 0; a < disc.dim(); ++a) {
+    ASSERT_EQ(restored.bins(a), disc.bins(a));
+    for (double v : {-1.0, 0.2, 0.7, 2.5})
+      EXPECT_EQ(restored.bin_of(a, v), disc.bin_of(a, v));
+  }
+}
+
+core::Synopsis make_synopsis() {
+  core::SynopsisBuilder builder;
+  return builder.build(make_data(300, 11),
+                       {"ordering", "app", 0, "hpc", ml::LearnerKind::kTan});
+}
+
+TEST(Serialize, SynopsisRoundTrip) {
+  const core::Synopsis syn = make_synopsis();
+  std::stringstream ss;
+  core::save_synopsis(ss, syn);
+  const core::Synopsis restored = core::load_synopsis(ss);
+  EXPECT_EQ(restored.id(), syn.id());
+  EXPECT_EQ(restored.attributes(), syn.attributes());
+  EXPECT_EQ(restored.attribute_names(), syn.attribute_names());
+  EXPECT_EQ(restored.spec().tier_index, 0);
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x = {rng.uniform(-1.0, 2.0), rng.uniform(),
+                                   rng.uniform(-1.0, 2.0)};
+    EXPECT_EQ(restored.predict(x), syn.predict(x));
+  }
+}
+
+TEST(Serialize, PredictorRoundTripPreservesTables) {
+  core::CoordinatedPredictor::Options opts;
+  opts.num_synopses = 3;
+  opts.num_tiers = 2;
+  opts.history_bits = 2;
+  opts.delta = 2;
+  opts.synopsis_tiers = {0, 1, 1};
+  core::CoordinatedPredictor p(opts);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<int> votes = {rng.bernoulli(0.3), rng.bernoulli(0.5),
+                                    rng.bernoulli(0.5)};
+    const int label = rng.bernoulli(0.4);
+    p.train(votes, label, label ? rng.uniform_int(0, 1) : -1);
+  }
+  std::stringstream ss;
+  p.save(ss);
+  core::CoordinatedPredictor restored = core::load_predictor(ss);
+  for (std::size_t g = 0; g < p.gpt_size(); ++g) {
+    for (std::size_t h = 0; h < p.lht_size(); ++h)
+      EXPECT_EQ(restored.hc(g, h), p.hc(g, h));
+    EXPECT_EQ(restored.bottleneck_votes(g), p.bottleneck_votes(g));
+  }
+  EXPECT_EQ(restored.current_history(), p.current_history());
+  // Decisions agree on a fresh stream.
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<int> votes = {rng.bernoulli(0.5), rng.bernoulli(0.5),
+                                    rng.bernoulli(0.5)};
+    const auto a = p.predict(votes);
+    const auto b = restored.predict(votes);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.bottleneck_tier, b.bottleneck_tier);
+  }
+}
+
+TEST(Serialize, MonitorRoundTrip) {
+  std::vector<core::Synopsis> synopses;
+  synopses.push_back(make_synopsis());
+  synopses.push_back(make_synopsis());
+  core::CoordinatedPredictor::Options opts;
+  opts.num_tiers = 2;
+  core::CapacityMonitor monitor(std::move(synopses), opts);
+  const std::vector<std::vector<double>> rows = {{1.0, 0.3, 0.6},
+                                                 {0.1, 0.4, 0.0}};
+  for (int i = 0; i < 30; ++i) monitor.train_instance(rows, i % 2, 0);
+
+  std::stringstream ss;
+  core::save_monitor(ss, monitor);
+  core::CapacityMonitor restored = core::load_monitor(ss);
+  ASSERT_EQ(restored.synopses().size(), 2u);
+  EXPECT_EQ(restored.synopsis_votes(rows), monitor.synopsis_votes(rows));
+  const auto a = monitor.observe(rows);
+  const auto b = restored.observe(rows);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.hc, b.hc);
+}
+
+TEST(Serialize, MonitorWidthMismatchThrows) {
+  std::vector<core::Synopsis> one;
+  one.push_back(make_synopsis());
+  core::CoordinatedPredictor::Options opts;
+  opts.num_synopses = 3;  // != 1 synopsis
+  core::CoordinatedPredictor wrong(opts);
+  EXPECT_THROW(core::CapacityMonitor(std::move(one), std::move(wrong)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcap

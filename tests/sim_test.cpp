@@ -1,0 +1,275 @@
+// Unit tests for the discrete-event engine and the processor-sharing tier
+// model, including queueing-theory sanity checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/tier.h"
+#include "util/rng.h"
+
+namespace hpcap::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(3.0, [&] { order.push_back(3); });
+  eq.schedule_at(1.0, [&] { order.push_back(1); });
+  eq.schedule_at(2.0, [&] { order.push_back(2); });
+  eq.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    eq.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  eq.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue eq;
+  eq.schedule_at(5.0, [] {});
+  eq.run_one();
+  bool ran = false;
+  eq.schedule_at(1.0, [&] { ran = true; });
+  eq.run_one();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(eq.now(), 5.0);  // did not go backwards
+}
+
+TEST(EventQueue, RunUntilAdvancesClockPastLastEvent) {
+  EventQueue eq;
+  int count = 0;
+  eq.schedule_at(1.0, [&] { ++count; });
+  eq.schedule_at(10.0, [&] { ++count; });
+  eq.run_until(5.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(eq.now(), 5.0);
+  EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, NestedScheduling) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(1.0, [&] {
+    eq.schedule_after(1.0, [&] { ++fired; });
+  });
+  eq.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(eq.now(), 2.0);
+}
+
+Tier::Config one_core(int pool = 100) {
+  Tier::Config cfg;
+  cfg.name = "t";
+  cfg.cores = 1;
+  cfg.thread_pool = pool;
+  cfg.freq_ghz = 2.0;
+  cfg.thread_overhead_coeff = 0.0;  // ideal unless a test enables it
+  cfg.mem_stall_max = 0.0;
+  return cfg;
+}
+
+TEST(Tier, SingleJobRunsAtFullSpeed) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  double done_at = -1.0;
+  tier.execute(2.0, Tier::JobTag{}, [&] { done_at = eq.now(); });
+  eq.run_all();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(Tier, ProcessorSharingHalvesRate) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  std::vector<double> done;
+  // Two equal jobs started together share the core: both finish at 2.
+  tier.execute(1.0, Tier::JobTag{}, [&] { done.push_back(eq.now()); });
+  tier.execute(1.0, Tier::JobTag{}, [&] { done.push_back(eq.now()); });
+  eq.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(Tier, ShorterJobFinishesFirstUnderPs) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  double short_done = -1.0, long_done = -1.0;
+  tier.execute(1.0, Tier::JobTag{}, [&] { short_done = eq.now(); });
+  tier.execute(3.0, Tier::JobTag{}, [&] { long_done = eq.now(); });
+  eq.run_all();
+  // Short job: shares until it has 1.0 attained => t = 2.0.
+  // Long job: 1.0 attained at t=2, then runs alone for remaining 2 => 4.
+  EXPECT_NEAR(short_done, 2.0, 1e-9);
+  EXPECT_NEAR(long_done, 4.0, 1e-9);
+}
+
+TEST(Tier, MultiCoreRunsJobsInParallel) {
+  EventQueue eq;
+  auto cfg = one_core();
+  cfg.cores = 2;
+  Tier tier(eq, cfg);
+  std::vector<double> done;
+  tier.execute(1.0, Tier::JobTag{}, [&] { done.push_back(eq.now()); });
+  tier.execute(1.0, Tier::JobTag{}, [&] { done.push_back(eq.now()); });
+  eq.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 1.0, 1e-9);
+}
+
+TEST(Tier, LateArrivalPs) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  double first = -1.0, second = -1.0;
+  tier.execute(2.0, Tier::JobTag{}, [&] { first = eq.now(); });
+  eq.schedule_at(1.0, [&] {
+    tier.execute(0.5, Tier::JobTag{}, [&] { second = eq.now(); });
+  });
+  eq.run_all();
+  // First job: 1s alone (1.0 attained), then shares; needs 1 more attained
+  // => at t=1+? second needs 0.5: both at rate 1/2 => second done at t=2,
+  // first has 1.5 attained at t=2, finishes remaining 0.5 alone at 2.5.
+  EXPECT_NEAR(second, 2.0, 1e-9);
+  EXPECT_NEAR(first, 2.5, 1e-9);
+}
+
+TEST(Tier, ThreadPoolGrantsFifo) {
+  EventQueue eq;
+  Tier tier(eq, one_core(/*pool=*/1));
+  std::vector<int> order;
+  tier.acquire_thread([&] { order.push_back(1); });
+  tier.acquire_thread([&] { order.push_back(2); });
+  eq.run_all();
+  // Second waits until release.
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(tier.queued(), 1);
+  tier.release_thread();
+  eq.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Tier, AdmittedThreadGaugeTracksPool) {
+  EventQueue eq;
+  Tier tier(eq, one_core(2));
+  tier.acquire_thread([] {});
+  tier.acquire_thread([] {});
+  tier.acquire_thread([] {});
+  eq.run_all();
+  EXPECT_EQ(tier.admitted_threads(), 2);
+  EXPECT_EQ(tier.queued(), 1);
+  tier.release_thread();
+  eq.run_all();
+  EXPECT_EQ(tier.admitted_threads(), 2);
+  EXPECT_EQ(tier.queued(), 0);
+}
+
+TEST(Tier, ContentionReducesEfficiency) {
+  EventQueue eq;
+  auto cfg = one_core();
+  cfg.thread_overhead_coeff = 0.01;
+  cfg.thread_overhead_exp = 1.0;
+  Tier tier(eq, cfg);
+  EXPECT_DOUBLE_EQ(tier.current_efficiency(), 1.0);
+  // 11 runnable jobs on 1 core -> overhead (11-1)*0.01 = 0.1.
+  for (int i = 0; i < 11; ++i) tier.execute(10.0, Tier::JobTag{}, [] {});
+  EXPECT_NEAR(tier.current_efficiency(), 1.0 / 1.1, 1e-9);
+}
+
+TEST(Tier, FootprintDrivesMemStall) {
+  EventQueue eq;
+  auto cfg = one_core();
+  cfg.mem_stall_max = 0.5;
+  cfg.mem_footprint_half_mb = 100.0;
+  Tier tier(eq, cfg);
+  EXPECT_DOUBLE_EQ(tier.current_mem_stall(), 0.0);
+  Tier::JobTag tag;
+  tag.footprint_mb = 100.0;
+  tier.execute(10.0, tag, [] {});
+  EXPECT_NEAR(tier.current_mem_stall(), 0.25, 1e-9);  // half-saturation
+  EXPECT_NEAR(tier.live_footprint_mb(), 100.0, 1e-9);
+}
+
+TEST(Tier, StatsUtilizationMatchesLoad) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  tier.execute(3.0, Tier::JobTag{}, [] {});
+  eq.run_until(10.0);
+  const auto s = tier.sample_and_reset();
+  EXPECT_NEAR(s.duration, 10.0, 1e-9);
+  EXPECT_NEAR(s.busy_time, 3.0, 1e-9);
+  EXPECT_NEAR(s.utilization(1), 0.3, 1e-9);
+  EXPECT_NEAR(s.work_done, 3.0, 1e-9);
+  EXPECT_EQ(s.completions, 1u);
+  EXPECT_NEAR(s.completed_demand, 3.0, 1e-9);
+}
+
+TEST(Tier, StatsCountClasses) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  Tier::JobTag browse;
+  browse.request_class = RequestClass::kBrowse;
+  Tier::JobTag order;
+  order.request_class = RequestClass::kOrder;
+  tier.execute(1.0, browse, [] {});
+  tier.execute(1.0, order, [] {});
+  tier.execute(1.0, order, [] {});
+  eq.run_all();
+  const auto s = tier.sample_and_reset();
+  EXPECT_EQ(s.completions_by_class[0], 1u);
+  EXPECT_EQ(s.completions_by_class[1], 2u);
+}
+
+TEST(Tier, InstructionAccountingUsesDensity) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  Tier::JobTag tag;
+  tag.instr_per_demand_sec = 1e9;
+  tier.execute(2.0, tag, [] {});
+  eq.run_all();
+  const auto s = tier.sample_and_reset();
+  EXPECT_NEAR(s.instr_done, 2e9, 1e3);
+}
+
+TEST(Tier, SampleResetsWindows) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  tier.execute(1.0, Tier::JobTag{}, [] {});
+  eq.run_until(2.0);
+  (void)tier.sample_and_reset();
+  eq.run_until(5.0);
+  const auto s2 = tier.sample_and_reset();
+  EXPECT_NEAR(s2.duration, 3.0, 1e-9);
+  EXPECT_EQ(s2.completions, 0u);
+  EXPECT_NEAR(s2.busy_time, 0.0, 1e-9);
+}
+
+// Closed-form M/M/1-PS sanity: with Poisson arrivals at rate lambda and
+// exponential demands with mean s, utilization must converge to
+// rho = lambda * s.
+TEST(Tier, MM1PsUtilizationMatchesRho) {
+  EventQueue eq;
+  Tier tier(eq, one_core());
+  Rng rng(99);
+  const double lambda = 0.5, mean_demand = 1.2;  // rho = 0.6
+  std::function<void()> arrive = [&] {
+    tier.execute(rng.exponential(mean_demand), Tier::JobTag{}, [] {});
+    eq.schedule_after(rng.exponential(1.0 / lambda), arrive);
+  };
+  eq.schedule_after(rng.exponential(1.0 / lambda), arrive);
+  eq.run_until(20000.0);
+  const auto s = tier.sample_and_reset();
+  EXPECT_NEAR(s.utilization(1), 0.6, 0.03);
+  // Mean number in an M/M/1-PS system: rho / (1 - rho) = 1.5.
+  EXPECT_NEAR(s.mean_active(), 1.5, 0.25);
+}
+
+}  // namespace
+}  // namespace hpcap::sim

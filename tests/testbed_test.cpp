@@ -1,0 +1,266 @@
+// Integration tests of the full simulated testbed: capacity phenomenology
+// (saturation, degradation, bottleneck shifting), instance recording,
+// labeling, dataset extraction and determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "testbed/experiment.h"
+#include "testbed/testbed.h"
+
+namespace hpcap::testbed {
+namespace {
+
+std::shared_ptr<const tpcw::Mix> mix_of(const char* name) {
+  if (std::string(name) == "browsing")
+    return std::make_shared<const tpcw::Mix>(tpcw::browsing_mix());
+  if (std::string(name) == "ordering")
+    return std::make_shared<const tpcw::Mix>(tpcw::ordering_mix());
+  return std::make_shared<const tpcw::Mix>(tpcw::shopping_mix());
+}
+
+TEST(TestbedConfig, PaperDefaultsMatchHardware) {
+  const auto cfg = TestbedConfig::paper_defaults();
+  EXPECT_EQ(cfg.app.cores, 1);          // Pentium 4
+  EXPECT_DOUBLE_EQ(cfg.app.freq_ghz, 2.0);
+  EXPECT_EQ(cfg.db.cores, 2);           // Pentium D
+  EXPECT_DOUBLE_EQ(cfg.db.freq_ghz, 2.8);
+  EXPECT_EQ(cfg.samples_per_instance, 30);
+}
+
+TEST(Testbed, ShortRunProducesWellFormedInstances) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  Testbed bed(cfg);
+  bed.run(tpcw::WorkloadSchedule::steady(mix_of("shopping"), 40, 120.0));
+  ASSERT_EQ(bed.instances().size(), 4u);
+  for (const auto& rec : bed.instances()) {
+    ASSERT_EQ(rec.hpc.size(), 2u);
+    ASSERT_EQ(rec.os.size(), 2u);
+    EXPECT_EQ(rec.hpc[0].size(), counters::hpc_catalog().size());
+    EXPECT_EQ(rec.os[1].size(), counters::os_catalog().size());
+    EXPECT_GT(rec.health.throughput, 0.0);
+    EXPECT_GT(rec.health.mean_response_time, 0.0);
+    EXPECT_EQ(rec.ebs, 40);
+    EXPECT_EQ(rec.mix_name, "shopping");
+    EXPECT_GE(rec.bottleneck_tier, 0);
+  }
+  EXPECT_EQ(bed.samples().size(), 120u);
+}
+
+TEST(Testbed, CollectorsCanBeDisabled) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  cfg.collect_hpc = false;
+  cfg.collect_os = false;
+  Testbed bed(cfg);
+  bed.run(tpcw::WorkloadSchedule::steady(mix_of("shopping"), 20, 90.0));
+  ASSERT_FALSE(bed.instances().empty());
+  EXPECT_TRUE(bed.instances()[0].hpc.empty());
+  EXPECT_TRUE(bed.instances()[0].os.empty());
+  EXPECT_GT(bed.instances()[0].health.throughput, 0.0);
+}
+
+TEST(Testbed, SameSeedReproducesExactly) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto schedule =
+      tpcw::WorkloadSchedule::steady(mix_of("shopping"), 40, 120.0);
+  Testbed a(cfg), b(cfg);
+  a.run(schedule);
+  b.run(schedule);
+  ASSERT_EQ(a.instances().size(), b.instances().size());
+  for (std::size_t i = 0; i < a.instances().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.instances()[i].health.throughput,
+                     b.instances()[i].health.throughput);
+    EXPECT_EQ(a.instances()[i].hpc[0], b.instances()[i].hpc[0]);
+    EXPECT_EQ(a.instances()[i].os[1], b.instances()[i].os[1]);
+  }
+}
+
+TEST(Testbed, DifferentSeedsDiffer) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto schedule =
+      tpcw::WorkloadSchedule::steady(mix_of("shopping"), 40, 120.0);
+  Testbed a(cfg);
+  cfg.seed += 1;
+  Testbed b(cfg);
+  a.run(schedule);
+  b.run(schedule);
+  EXPECT_NE(a.instances()[0].hpc[0], b.instances()[0].hpc[0]);
+}
+
+TEST(Testbed, AdmissionGateShedsRequests) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  Testbed bed(cfg);
+  bed.set_admission_gate([](const sim::Request&) { return false; });
+  bed.run(tpcw::WorkloadSchedule::steady(mix_of("shopping"), 10, 60.0));
+  EXPECT_GT(bed.rejected_requests(), 0u);
+  EXPECT_EQ(bed.completed_requests(), 0u);
+}
+
+TEST(Testbed, InstanceObserverFires) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  Testbed bed(cfg);
+  int observed = 0;
+  bed.set_instance_observer([&](const InstanceRecord&) { ++observed; });
+  bed.run(tpcw::WorkloadSchedule::steady(mix_of("shopping"), 10, 90.0));
+  EXPECT_EQ(observed, 3);
+}
+
+TEST(Capacity, AnalyticEstimateIsReasonable) {
+  const auto cfg = TestbedConfig::paper_defaults();
+  const auto est = estimate_capacity(*mix_of("ordering"), cfg);
+  EXPECT_EQ(est.bottleneck_tier, kAppTier);
+  EXPECT_GT(est.saturation_rps, 20.0);
+  EXPECT_LT(est.saturation_rps, 500.0);
+  EXPECT_GT(est.saturation_ebs, 10);
+  const auto est_b = estimate_capacity(*mix_of("browsing"), cfg);
+  EXPECT_EQ(est_b.bottleneck_tier, kDbTier);
+}
+
+TEST(Capacity, MeasuredCapacityBelowAnalytic) {
+  // Contention means the real knee sits at or below the ideal estimate.
+  const auto cfg = TestbedConfig::paper_defaults();
+  const auto cap = measure_capacity(*mix_of("browsing"), cfg);
+  EXPECT_GT(cap.saturation_ebs, 0);
+  EXPECT_LE(cap.saturation_ebs, cap.analytic.saturation_ebs * 1.15);
+  EXPECT_GT(cap.saturation_rps, 10.0);
+}
+
+TEST(Capacity, MeasurementIsMemoized) {
+  const auto cfg = TestbedConfig::paper_defaults();
+  const auto a = measure_capacity(*mix_of("ordering"), cfg);
+  const auto b = measure_capacity(*mix_of("ordering"), cfg);
+  EXPECT_EQ(a.saturation_ebs, b.saturation_ebs);
+}
+
+TEST(Phenomenology, ThroughputSaturatesOnRamp) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto cap = measure_capacity(*mix_of("ordering"), cfg);
+  Testbed bed(cfg);
+  bed.run(tpcw::WorkloadSchedule::ramp(
+      mix_of("ordering"), cap.saturation_ebs / 4, cap.saturation_ebs * 2,
+      std::max(1, cap.saturation_ebs / 4), 120.0));
+  // Max throughput must exceed the final (overloaded) throughput: the
+  // curve rises and then degrades.
+  double peak = 0.0;
+  for (const auto& rec : bed.instances())
+    peak = std::max(peak, rec.health.throughput);
+  const double final_tput = bed.instances().back().health.throughput;
+  EXPECT_GT(peak, final_tput * 1.1);
+}
+
+TEST(Phenomenology, OrderingOverloadsAppTier) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto cap = measure_capacity(*mix_of("ordering"), cfg);
+  auto run = collect(tpcw::WorkloadSchedule::steady(
+                         mix_of("ordering"),
+                         static_cast<int>(cap.saturation_ebs * 1.4), 300.0),
+                     cfg);
+  int overloaded = 0;
+  for (std::size_t i = 0; i < run.instances.size(); ++i) {
+    if (run.labels[i]) {
+      ++overloaded;
+      EXPECT_EQ(run.instances[i].bottleneck_tier, kAppTier);
+    }
+  }
+  EXPECT_GT(overloaded, 0);
+}
+
+TEST(Phenomenology, BrowsingOverloadsDbTier) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto cap = measure_capacity(*mix_of("browsing"), cfg);
+  auto run = collect(tpcw::WorkloadSchedule::steady(
+                         mix_of("browsing"),
+                         static_cast<int>(cap.saturation_ebs * 1.4), 300.0),
+                     cfg);
+  int overloaded = 0;
+  for (std::size_t i = 0; i < run.instances.size(); ++i) {
+    if (run.labels[i]) {
+      ++overloaded;
+      EXPECT_EQ(run.instances[i].bottleneck_tier, kDbTier);
+    }
+  }
+  EXPECT_GT(overloaded, 0);
+}
+
+TEST(Experiment, TrainingScheduleYieldsBothStates) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto run = collect(training_schedule(mix_of("ordering"), cfg), cfg);
+  const auto pos = std::count(run.labels.begin(), run.labels.end(), 1);
+  EXPECT_GT(pos, 5);
+  EXPECT_GT(static_cast<long>(run.labels.size()) - pos, 5);
+}
+
+TEST(Experiment, DatasetExtractionMatchesCatalog) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto run = collect(
+      tpcw::WorkloadSchedule::steady(mix_of("shopping"), 30, 120.0), cfg);
+  const auto hpc = make_dataset(run.instances, kDbTier, "hpc", run.labels);
+  EXPECT_EQ(hpc.dim(), counters::hpc_catalog().size());
+  EXPECT_EQ(hpc.size(), run.instances.size());
+  const auto os = make_dataset(run.instances, kAppTier, "os", run.labels);
+  EXPECT_EQ(os.dim(), counters::os_catalog().size());
+  EXPECT_THROW(make_dataset(run.instances, 0, "weird", run.labels),
+               std::invalid_argument);
+}
+
+TEST(Experiment, BottleneckAnnotationsMaskHealthyWindows) {
+  std::vector<InstanceRecord> records(3);
+  records[0].bottleneck_tier = 0;
+  records[1].bottleneck_tier = 1;
+  records[2].bottleneck_tier = 1;
+  const std::vector<int> labels = {0, 1, 0};
+  const auto bn = bottleneck_annotations(records, labels);
+  EXPECT_EQ(bn, (std::vector<int>{-1, 1, -1}));
+}
+
+TEST(Experiment, UnknownMixDiffersFromTrainingMixes) {
+  const auto u = unknown_mix();
+  EXPECT_GT(u->browse_fraction(), 0.55);
+  EXPECT_LT(u->browse_fraction(), 0.93);
+}
+
+TEST(Experiment, MonitorRowsSelectLevel) {
+  InstanceRecord rec;
+  rec.hpc = {{1.0}, {2.0}};
+  rec.os = {{3.0}, {4.0}};
+  EXPECT_EQ(monitor_rows(rec, "hpc")[1][0], 2.0);
+  EXPECT_EQ(monitor_rows(rec, "os")[0][0], 3.0);
+}
+
+TEST(Experiment, StressedSeriesFiltersLightLoad) {
+  std::vector<InstanceRecord> records(2);
+  records[0].hpc = {{1.0}, {1.0}};
+  records[0].tier_utilization = {0.1, 0.2};
+  records[0].health.throughput = 5.0;
+  records[1].hpc = {{2.0}, {2.0}};
+  records[1].tier_utilization = {0.2, 0.9};
+  records[1].health.throughput = 50.0;
+  const auto s = stressed_series(records, 0.55);
+  ASSERT_EQ(s.throughput.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.throughput[0], 50.0);
+}
+
+TEST(Experiment, CollectionCostReducesOverloadedThroughput) {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto cap = measure_capacity(*mix_of("shopping"), cfg);
+  const auto schedule = tpcw::WorkloadSchedule::steady(
+      mix_of("shopping"), static_cast<int>(cap.saturation_ebs * 1.2),
+      600.0);
+  TestbedConfig with_cost = cfg;
+  with_cost.collect_hpc = false;
+  with_cost.collect_os = true;
+  with_cost.charge_collection_cost = true;
+  TestbedConfig without = with_cost;
+  without.charge_collection_cost = false;
+  Testbed costly(with_cost), free_bed(without);
+  costly.run(schedule);
+  free_bed.run(schedule);
+  RunningStats tc, tf;
+  for (const auto& r : costly.instances()) tc.add(r.health.throughput);
+  for (const auto& r : free_bed.instances()) tf.add(r.health.throughput);
+  EXPECT_LT(tc.mean(), tf.mean());
+}
+
+}  // namespace
+}  // namespace hpcap::testbed

@@ -1,0 +1,113 @@
+// Round-trip tests for instance-trace archiving, including re-training
+// from an archived trace.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "ml/evaluate.h"
+#include "testbed/experiment.h"
+#include "testbed/trace.h"
+
+namespace hpcap::testbed {
+namespace {
+
+CollectedRun small_run() {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto mix = std::make_shared<const tpcw::Mix>(tpcw::shopping_mix());
+  return collect(tpcw::WorkloadSchedule::steady(mix, 60, 240.0), cfg);
+}
+
+TEST(Trace, HeaderIsSelfDescribing) {
+  const auto header = trace_header();
+  EXPECT_EQ(header.size(),
+            10u + 2u * counters::hpc_catalog().size() +
+                2u * counters::os_catalog().size());
+  EXPECT_EQ(header[0], "end_time");
+  EXPECT_EQ(header[10], "hpc0_instr_retired");
+}
+
+TEST(Trace, RoundTripPreservesEverything) {
+  const auto run = small_run();
+  std::stringstream ss;
+  write_trace(ss, run.instances, run.labels);
+
+  std::vector<int> labels;
+  const auto restored = read_trace(ss, &labels);
+  ASSERT_EQ(restored.size(), run.instances.size());
+  ASSERT_EQ(labels, run.labels);
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    const auto& a = run.instances[i];
+    const auto& b = restored[i];
+    EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+    EXPECT_EQ(a.mix_name, b.mix_name);
+    EXPECT_EQ(a.ebs, b.ebs);
+    EXPECT_EQ(a.bottleneck_tier, b.bottleneck_tier);
+    EXPECT_DOUBLE_EQ(a.health.throughput, b.health.throughput);
+    EXPECT_DOUBLE_EQ(a.health.mean_response_time,
+                     b.health.mean_response_time);
+    for (int t = 0; t < kNumTiers; ++t) {
+      EXPECT_EQ(a.hpc[static_cast<std::size_t>(t)],
+                b.hpc[static_cast<std::size_t>(t)]);
+      EXPECT_EQ(a.os[static_cast<std::size_t>(t)],
+                b.os[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+TEST(Trace, UnlabeledRowsReadBackAsMinusOne) {
+  const auto run = small_run();
+  std::stringstream ss;
+  write_trace(ss, run.instances);  // no labels
+  std::vector<int> labels;
+  const auto restored = read_trace(ss, &labels);
+  ASSERT_EQ(labels.size(), restored.size());
+  for (int l : labels) EXPECT_EQ(l, -1);
+}
+
+TEST(Trace, HeaderMismatchThrows) {
+  std::stringstream ss("bogus,header\n1,2\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(Trace, EmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(Trace, TruncatedRowThrows) {
+  const auto run = small_run();
+  std::stringstream ss;
+  write_trace(ss, run.instances, run.labels);
+  std::string text = ss.str();
+  // Chop the last row in half.
+  text.resize(text.size() - 200);
+  std::stringstream cut(text);
+  EXPECT_THROW(read_trace(cut), std::runtime_error);
+}
+
+TEST(Trace, ArchivedTraceTrainsEquivalentSynopsis) {
+  // A synopsis trained from the archive must behave identically to one
+  // trained from the live run: the archive is lossless for training.
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  const auto mix = std::make_shared<const tpcw::Mix>(tpcw::ordering_mix());
+  const auto run = collect(training_schedule(mix, cfg), cfg);
+
+  std::stringstream ss;
+  write_trace(ss, run.instances, run.labels);
+  std::vector<int> labels;
+  const auto restored = read_trace(ss, &labels);
+
+  const auto live = make_dataset(run.instances, kAppTier, "hpc", run.labels);
+  const auto archived = make_dataset(restored, kAppTier, "hpc", labels);
+  core::SynopsisBuilder builder;
+  const auto syn_live = builder.build(
+      live, {"ordering", "app", 0, "hpc", ml::LearnerKind::kTan});
+  const auto syn_archived = builder.build(
+      archived, {"ordering", "app", 0, "hpc", ml::LearnerKind::kTan});
+  for (const auto& rec : run.instances)
+    EXPECT_EQ(syn_live.predict(rec.hpc[0]), syn_archived.predict(rec.hpc[0]));
+}
+
+}  // namespace
+}  // namespace hpcap::testbed

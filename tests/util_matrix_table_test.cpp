@@ -1,0 +1,178 @@
+// Unit tests for the dense linear algebra helpers and the text/CSV
+// formatters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/csv.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace hpcap {
+namespace {
+
+TEST(Matrix, IdentityMultiplication) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 3.0; a(1, 1) = 4.0;
+  const Matrix i = Matrix::identity(2);
+  const Matrix p = a * i;
+  EXPECT_DOUBLE_EQ(p(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 3.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 3), b(3, 2);
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = v++;
+  const Matrix p = a * b;
+  // [[1,2,3],[4,5,6]] * [[1,2],[3,4],[5,6]] = [[22,28],[49,64]]
+  EXPECT_DOUBLE_EQ(p(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 64.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a(0, 2) = 7.0;
+  a(1, 0) = -1.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -1.0);
+}
+
+TEST(Matrix, GramEqualsTransposeTimesSelf) {
+  Rng rng(5);
+  Matrix a(6, 4);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.normal();
+  const Matrix g = a.gram();
+  const Matrix g2 = a.transposed() * a;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(g(i, j), g2(i, j), 1e-12);
+}
+
+TEST(Matrix, TransposeTimesVector) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 3.0; a(1, 1) = 4.0;
+  const std::vector<double> v = {1.0, 1.0};
+  const auto r = a.transpose_times(v);
+  EXPECT_DOUBLE_EQ(r[0], 4.0);
+  EXPECT_DOUBLE_EQ(r[1], 6.0);
+}
+
+TEST(Solvers, CholeskySolvesSpdSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const std::vector<double> b = {1.0, 2.0};
+  const auto x = solve_cholesky(a, b);
+  EXPECT_NEAR(4.0 * x[0] + 1.0 * x[1], 1.0, 1e-12);
+  EXPECT_NEAR(1.0 * x[0] + 3.0 * x[1], 2.0, 1e-12);
+}
+
+TEST(Solvers, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 5.0;
+  a(1, 0) = 5.0; a(1, 1) = 1.0;
+  EXPECT_THROW(solve_cholesky(a, std::vector<double>{1.0, 1.0}),
+               std::runtime_error);
+}
+
+TEST(Solvers, GaussianMatchesCholeskyOnSpd) {
+  Rng rng(9);
+  Matrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = rng.normal();
+  Matrix spd = m.gram();
+  for (std::size_t i = 0; i < 4; ++i) spd(i, i) += 1.0;
+  std::vector<double> b = {1.0, -2.0, 0.5, 3.0};
+  const auto x1 = solve_cholesky(spd, b);
+  const auto x2 = solve_gaussian(spd, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+TEST(Solvers, GaussianHandlesPivoting) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const auto x = solve_gaussian(a, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(x[0], 4.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(Solvers, GaussianRejectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW(solve_gaussian(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const std::vector<double> a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(VectorOps, SquaredDistance) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("Title");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_note("note");
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("* note"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::pct(0.9146, 1), "91.5%");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, SerializesRows) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  w.add_row({3.5, 4.5});
+  EXPECT_EQ(w.row_count(), 2u);
+  const std::string s = w.to_string();
+  EXPECT_EQ(s, "x,y\n1,2\n3.5,4.5\n");
+}
+
+}  // namespace
+}  // namespace hpcap

@@ -1,0 +1,183 @@
+// Unit tests for hpcap::Rng: determinism, range contracts, distribution
+// moments, and stream splitting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hpcap {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  // splitmix64 seeding must not produce the all-zero xoshiro state.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 90u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformU64CoversRangeWithoutBias) {
+  Rng r(13);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_u64(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 / 5);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMoments) {
+  Rng r(23);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.exponential(2.5));
+  EXPECT_NEAR(s.mean(), 2.5, 0.05);
+  // Var = mean^2 for the exponential.
+  EXPECT_NEAR(s.variance(), 6.25, 0.3);
+  EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(29);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanCvMoments) {
+  Rng r(31);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.lognormal_mean_cv(4.0, 0.5));
+  EXPECT_NEAR(s.mean(), 4.0, 0.05);
+  EXPECT_NEAR(s.stddev() / s.mean(), 0.5, 0.02);
+  EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng r(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng r(41);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[r.categorical(w)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.02);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.02);
+  EXPECT_NEAR(counts[2], n * 0.6, n * 0.02);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverPicked) {
+  Rng r(43);
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(r.categorical(w), 1u);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng r(47);
+  const auto p = r.permutation(100);
+  ASSERT_EQ(p.size(), 100u);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng r(53);
+  const auto p = r.permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) fixed += p[i] == i;
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(59);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  RunningCorrelation c;
+  for (int i = 0; i < 10000; ++i) c.add(a.uniform(), b.uniform());
+  EXPECT_LT(std::abs(c.correlation()), 0.05);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(61), p2(61);
+  Rng a = p1.split(9);
+  Rng b = p2.split(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace hpcap

@@ -1,0 +1,184 @@
+// Unit tests for streaming statistics, correlation, normalization and
+// entropy helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace hpcap {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);       // population
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats e2;
+  e2.merge(a);
+  EXPECT_EQ(e2.count(), 2u);
+  EXPECT_DOUBLE_EQ(e2.mean(), 2.0);
+}
+
+TEST(RunningCorrelation, PerfectPositive) {
+  RunningCorrelation c;
+  for (int i = 0; i < 100; ++i) c.add(i, 2.0 * i + 3.0);
+  EXPECT_NEAR(c.correlation(), 1.0, 1e-12);
+}
+
+TEST(RunningCorrelation, PerfectNegative) {
+  RunningCorrelation c;
+  for (int i = 0; i < 100; ++i) c.add(i, -0.5 * i);
+  EXPECT_NEAR(c.correlation(), -1.0, 1e-12);
+}
+
+TEST(RunningCorrelation, ConstantSeriesIsZero) {
+  RunningCorrelation c;
+  for (int i = 0; i < 10; ++i) c.add(5.0, i);
+  EXPECT_EQ(c.correlation(), 0.0);
+}
+
+TEST(RunningCorrelation, FewSamples) {
+  RunningCorrelation c;
+  EXPECT_EQ(c.correlation(), 0.0);
+  c.add(1.0, 2.0);
+  EXPECT_EQ(c.correlation(), 0.0);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 1, 4, 3, 5};
+  // Computed by hand: r = 0.8.
+  EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Pearson, MismatchedLengthsUsePrefix) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 100};
+  const std::vector<double> y = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> x = {1.0, 8.0};
+  EXPECT_NEAR(geometric_mean(x), std::sqrt(8.0), 1e-12);
+}
+
+TEST(GeometricMean, SkipsNonPositive) {
+  const std::vector<double> x = {0.0, -2.0, 4.0, 4.0};
+  EXPECT_NEAR(geometric_mean(x), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, AllNonPositiveIsZero) {
+  const std::vector<double> x = {0.0, -1.0};
+  EXPECT_EQ(geometric_mean(x), 0.0);
+}
+
+TEST(NormalizeByGeometricMean, UnitGeometricMean) {
+  const std::vector<double> x = {2.0, 3.0, 12.0};
+  const auto n = normalize_by_geometric_mean(x);
+  EXPECT_NEAR(geometric_mean(n), 1.0, 1e-12);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> x = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> x = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.25), 2.5);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Entropy, UniformTwoClasses) {
+  const std::vector<std::size_t> counts = {50, 50};
+  EXPECT_NEAR(entropy_from_counts(counts), 1.0, 1e-12);
+}
+
+TEST(Entropy, PureIsZero) {
+  const std::vector<std::size_t> counts = {100, 0};
+  EXPECT_EQ(entropy_from_counts(counts), 0.0);
+}
+
+TEST(Entropy, UniformFourClassesIsTwoBits) {
+  const std::vector<std::size_t> counts = {10, 10, 10, 10};
+  EXPECT_NEAR(entropy_from_counts(counts), 2.0, 1e-12);
+}
+
+TEST(Entropy, EmptyIsZero) {
+  EXPECT_EQ(entropy_from_counts(std::vector<std::size_t>{}), 0.0);
+}
+
+TEST(Ewma, FirstValuePrimes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.primed());
+  EXPECT_DOUBLE_EQ(e.update(10.0), 10.0);
+  EXPECT_TRUE(e.primed());
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.update(7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, WeightsNewest) {
+  Ewma e(0.5);
+  e.update(0.0);
+  e.update(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+}  // namespace
+}  // namespace hpcap

@@ -1,0 +1,28 @@
+# Train -> evaluate -> monitor round trip through the on-disk model format.
+set(model "${CMAKE_CURRENT_BINARY_DIR}/cli_model.hpcap")
+
+execute_process(COMMAND ${HPCAPCTL} train --out ${model} --level hpc
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hpcapctl train failed: ${rc}")
+endif()
+
+execute_process(COMMAND ${HPCAPCTL} evaluate --model ${model}
+                        --workload ordering
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hpcapctl evaluate failed: ${rc}")
+endif()
+if(NOT out MATCHES "overload prediction: BA 0\\.")
+  message(FATAL_ERROR "evaluate output missing BA line: ${out}")
+endif()
+
+execute_process(COMMAND ${HPCAPCTL} monitor --model ${model}
+                        --workload browsing --duration 300
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hpcapctl monitor failed: ${rc}")
+endif()
+if(NOT out MATCHES "healthy|OVERLOAD")
+  message(FATAL_ERROR "monitor output missing decisions: ${out}")
+endif()

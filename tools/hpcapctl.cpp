@@ -1,0 +1,313 @@
+// hpcapctl — command-line front end to the hpcap library.
+//
+// Subcommands:
+//   capacity  --mix <browsing|shopping|ordering|FRACTION> [--skew S]
+//       Analytic and stress-measured capacity of the simulated testbed
+//       for a traffic mix.
+//   train     --out FILE [--level hpc|os] [--learner TAN|SVM|Naive|LR]
+//             [--seed N] [--history-bits H] [--delta D] [--pessimistic]
+//       Runs the paper's offline training recipe (ramp + spike + hover on
+//       the browsing and ordering mixes), builds the synopses and the
+//       coordinated predictor, and saves the monitor bundle.
+//   evaluate  --model FILE --workload <ordering|browsing|interleaved|
+//             unknown|shopping> [--seed N]
+//       Replays a fresh test workload against a saved monitor and reports
+//       overload / bottleneck accuracy.
+//   monitor   --model FILE --workload W [--duration SECONDS] [--seed N]
+//       Streams per-window decisions (state, Hc, bottleneck) next to the
+//       simulator's ground truth.
+//   collect   --out FILE --workload W [--recipe train|test] [--seed N]
+//       Runs a workload and archives the labeled 30 s instances as CSV
+//       (testbed/trace.h format) for offline analysis.
+//
+// Everything is deterministic given --seed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/model_io.h"
+#include "testbed/trace.h"
+#include "ml/evaluate.h"
+#include "testbed/experiment.h"
+#include "util/table.h"
+
+using namespace hpcap;
+
+namespace {
+
+// Minimal flag parser: --name value pairs plus boolean switches.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        values_[key] = argv[++i];
+      else
+        values_[key] = "";
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  std::string get_or(const std::string& key, const std::string& def) const {
+    return get(key).value_or(def);
+  }
+  double num_or(const std::string& key, double def) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : def;
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::shared_ptr<const tpcw::Mix> parse_mix(const std::string& name,
+                                           double skew) {
+  if (name == "browsing")
+    return std::make_shared<const tpcw::Mix>(tpcw::browsing_mix());
+  if (name == "shopping")
+    return std::make_shared<const tpcw::Mix>(tpcw::shopping_mix());
+  if (name == "ordering")
+    return std::make_shared<const tpcw::Mix>(tpcw::ordering_mix());
+  if (name == "unknown") return testbed::unknown_mix();
+  // A numeric browse fraction builds a custom mix.
+  const double fraction = std::stod(name);
+  return std::make_shared<const tpcw::Mix>(
+      tpcw::Mix::with_class_fractions("custom", fraction, skew));
+}
+
+ml::LearnerKind parse_learner(const std::string& name) {
+  if (name == "LR") return ml::LearnerKind::kLinearRegression;
+  if (name == "Naive") return ml::LearnerKind::kNaiveBayes;
+  if (name == "SVM") return ml::LearnerKind::kSvm;
+  if (name == "TAN") return ml::LearnerKind::kTan;
+  std::fprintf(stderr, "unknown learner '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+tpcw::WorkloadSchedule parse_workload(const std::string& name,
+                                      const testbed::TestbedConfig& cfg) {
+  if (name == "interleaved") {
+    return testbed::interleaved_schedule(
+        std::make_shared<const tpcw::Mix>(tpcw::browsing_mix()),
+        std::make_shared<const tpcw::Mix>(tpcw::ordering_mix()), cfg);
+  }
+  return testbed::testing_schedule(parse_mix(name, 0.0), cfg);
+}
+
+int cmd_capacity(const Args& args) {
+  testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
+  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", cfg.seed));
+  const auto mix =
+      parse_mix(args.get_or("mix", "shopping"), args.num_or("skew", 0.0));
+  const auto cap = testbed::measure_capacity(*mix, cfg);
+  TextTable t("Capacity of '" + mix->name() + "' (browse fraction " +
+              TextTable::num(mix->browse_fraction(), 2) + ")");
+  t.set_header({"estimator", "req/s", "EBs", "bottleneck"});
+  t.add_row({"analytic (uncontended MVA)",
+             TextTable::num(cap.analytic.saturation_rps, 1),
+             std::to_string(cap.analytic.saturation_ebs),
+             cap.analytic.bottleneck_tier == testbed::kAppTier ? "app"
+                                                               : "db"});
+  t.add_row({"measured (stress calibration)",
+             TextTable::num(cap.saturation_rps, 1),
+             std::to_string(cap.saturation_ebs), "-"});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto out_path = args.get("out");
+  if (!out_path) {
+    std::fprintf(stderr, "train: --out FILE is required\n");
+    return 2;
+  }
+  testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
+  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", cfg.seed));
+  const std::string level = args.get_or("level", "hpc");
+  const auto learner = parse_learner(args.get_or("learner", "TAN"));
+
+  std::printf("Collecting training runs (browsing + ordering)...\n");
+  const auto browsing =
+      std::make_shared<const tpcw::Mix>(tpcw::browsing_mix());
+  const auto ordering =
+      std::make_shared<const tpcw::Mix>(tpcw::ordering_mix());
+  const auto train_b =
+      testbed::collect(testbed::training_schedule(browsing, cfg), cfg);
+  const auto train_o =
+      testbed::collect(testbed::training_schedule(ordering, cfg), cfg);
+
+  core::CoordinatedPredictor::Options opts;
+  opts.num_tiers = testbed::kNumTiers;
+  opts.history_bits = static_cast<int>(args.num_or("history-bits", 3));
+  opts.delta = static_cast<int>(args.num_or("delta", 5));
+  if (args.has("pessimistic")) opts.scheme = core::TieScheme::kPessimistic;
+
+  std::printf("Building %s synopses (%s level) and coordinated tables...\n",
+              ml::learner_name(learner).c_str(), level.c_str());
+  const core::CapacityMonitor monitor = testbed::build_monitor(
+      {{"ordering", &train_o}, {"browsing", &train_b}}, level, learner,
+      opts);
+
+  std::ofstream f(*out_path);
+  if (!f) {
+    std::fprintf(stderr, "train: cannot open '%s'\n", out_path->c_str());
+    return 1;
+  }
+  core::save_monitor(f, monitor);
+  std::printf("Saved monitor (%zu synopses) to %s\n",
+              monitor.synopses().size(), out_path->c_str());
+  return 0;
+}
+
+std::optional<core::CapacityMonitor> load_model(const Args& args) {
+  const auto path = args.get("model");
+  if (!path) {
+    std::fprintf(stderr, "--model FILE is required\n");
+    return std::nullopt;
+  }
+  std::ifstream f(*path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open '%s'\n", path->c_str());
+    return std::nullopt;
+  }
+  return core::load_monitor(f);
+}
+
+int cmd_evaluate(const Args& args) {
+  auto monitor = load_model(args);
+  if (!monitor) return 1;
+  const std::string level = monitor->synopses().front().spec().level;
+
+  testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
+  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", 4242));
+  const std::string workload = args.get_or("workload", "interleaved");
+  const auto run = testbed::collect(parse_workload(workload, cfg), cfg);
+  const auto bottlenecks =
+      testbed::bottleneck_annotations(run.instances, run.labels);
+
+  monitor->predictor().reset_history();
+  ml::Confusion overload;
+  std::size_t bn_total = 0, bn_hit = 0;
+  for (std::size_t i = 0; i < run.instances.size(); ++i) {
+    const auto d =
+        monitor->observe(testbed::monitor_rows(run.instances[i], level));
+    overload.add(run.labels[i], d.state);
+    if (run.labels[i] == 1) {
+      ++bn_total;
+      bn_hit += d.state == 1 && d.bottleneck_tier == bottlenecks[i];
+    }
+  }
+  std::printf("workload=%s windows=%zu overloaded=%zu\n", workload.c_str(),
+              run.instances.size(),
+              static_cast<std::size_t>(overload.tp + overload.fn));
+  std::printf("overload prediction: BA %.3f (TPR %.3f, TNR %.3f)\n",
+              overload.balanced_accuracy(), overload.tpr(), overload.tnr());
+  if (bn_total)
+    std::printf("bottleneck identification: %.3f\n",
+                static_cast<double>(bn_hit) /
+                    static_cast<double>(bn_total));
+  return 0;
+}
+
+int cmd_monitor(const Args& args) {
+  auto monitor = load_model(args);
+  if (!monitor) return 1;
+  const std::string level = monitor->synopses().front().spec().level;
+
+  testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
+  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", 777));
+  const std::string workload = args.get_or("workload", "interleaved");
+  auto schedule = parse_workload(workload, cfg);
+  const double duration = args.num_or("duration", schedule.duration());
+
+  monitor->predictor().reset_history();
+  core::HealthLabeler labeler;
+  testbed::Testbed bed(cfg);
+  std::printf("%-8s %-12s %6s %8s %6s  %s\n", "time", "mix", "EBs",
+              "tput", "truth", "decision");
+  bed.set_instance_observer([&](const testbed::InstanceRecord& rec) {
+    if (rec.end_time > duration) return;
+    const auto d = monitor->observe(testbed::monitor_rows(rec, level));
+    const int truth = labeler.label(rec.health);
+    std::printf("%-8.0f %-12s %6d %8.1f %6s  %s hc=%+d%s\n", rec.end_time,
+                rec.mix_name.c_str(), rec.ebs, rec.health.throughput,
+                truth ? "OVER" : "ok", d.state ? "OVERLOAD" : "healthy",
+                d.hc,
+                d.state && d.bottleneck_tier >= 0
+                    ? (d.bottleneck_tier == testbed::kAppTier
+                           ? " bottleneck=app"
+                           : " bottleneck=db")
+                    : "");
+  });
+  bed.run(schedule);
+  return 0;
+}
+
+int cmd_collect(const Args& args) {
+  const auto out_path = args.get("out");
+  if (!out_path) {
+    std::fprintf(stderr, "collect: --out FILE is required\n");
+    return 2;
+  }
+  testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
+  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", cfg.seed));
+  const std::string workload = args.get_or("workload", "shopping");
+  const std::string recipe = args.get_or("recipe", "test");
+
+  tpcw::WorkloadSchedule schedule =
+      recipe == "train" && workload != "interleaved"
+          ? testbed::training_schedule(parse_mix(workload, 0.0), cfg)
+          : parse_workload(workload, cfg);
+  const auto run = testbed::collect(schedule, cfg);
+
+  std::ofstream f(*out_path);
+  if (!f) {
+    std::fprintf(stderr, "collect: cannot open '%s'\n", out_path->c_str());
+    return 1;
+  }
+  testbed::write_trace(f, run.instances, run.labels);
+  std::printf("Wrote %zu labeled instances (%s, %s recipe) to %s\n",
+              run.instances.size(), workload.c_str(), recipe.c_str(),
+              out_path->c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: hpcapctl <capacity|train|evaluate|monitor|collect> "
+               "[--flag value ...]\n"
+               "see the header of tools/hpcapctl.cpp for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv);
+  if (cmd == "capacity") return cmd_capacity(args);
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "evaluate") return cmd_evaluate(args);
+  if (cmd == "monitor") return cmd_monitor(args);
+  if (cmd == "collect") return cmd_collect(args);
+  usage();
+  return 2;
+}
