@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_matrix_table_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/tpcw_test[1]_include.cmake")
+include("/root/repo/build/tests/counters_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/mtier_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
