@@ -1,19 +1,30 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the library:
-// simulator event throughput, metric synthesis, learner training and the
+// simulator event throughput, metric synthesis, learner training, the
+// parallel ML training path (cross-validation, synopsis bank) and the
 // per-window online decision. The online numbers put hard bounds on the
 // paper's "no more than 50 ms for each on-line decision" claim for this
 // implementation.
+//
+// Usage: bench_micro [--threads N] [google-benchmark flags]
+//   --threads N caps the util/parallel pool (default: hardware threads);
+//   the parallel benchmarks report their numbers under that cap.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "core/synopsis.h"
 #include "counters/hpc_model.h"
 #include "counters/os_model.h"
 #include "ml/classifier.h"
+#include "ml/evaluate.h"
+#include "ml/tan.h"
 #include "sim/event_queue.h"
 #include "sim/tier.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 using namespace hpcap;
@@ -122,6 +133,45 @@ BENCHMARK(BM_LearnerPredict)
     ->Arg(static_cast<int>(ml::LearnerKind::kSvm))
     ->Arg(static_cast<int>(ml::LearnerKind::kTan));
 
+void BM_DatasetProject(benchmark::State& state) {
+  const ml::Dataset d = learner_data(1000);
+  const std::vector<std::size_t> attrs = {0, 2, 4};
+  for (auto _ : state) benchmark::DoNotOptimize(d.project(attrs));
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DatasetProject);
+
+void BM_CrossValidate(benchmark::State& state) {
+  // 10-fold TAN CV — the inner loop of forward selection; folds run on
+  // the util/parallel pool under the --threads cap.
+  const ml::Dataset d = learner_data(400);
+  for (auto _ : state) {
+    Rng rng(31);
+    benchmark::DoNotOptimize(
+        ml::cross_validate(ml::Tan(), d, 10, rng).confusion.total());
+  }
+  state.SetLabel("threads=" + std::to_string(util::max_threads()));
+}
+BENCHMARK(BM_CrossValidate)->Unit(benchmark::kMillisecond);
+
+void BM_SynopsisBankBuild(benchmark::State& state) {
+  // Four (tier, builder) synopsis constructions — the offline pipeline's
+  // dominant compute — distributed over the pool.
+  const ml::Dataset d = learner_data(200);
+  core::SynopsisBuilder builder;
+  for (auto _ : state) {
+    std::vector<core::SynopsisTask> tasks;
+    for (int i = 0; i < 4; ++i)
+      tasks.push_back({d,
+                       {"mix", i % 2 ? "db" : "app", i % 2, "hpc",
+                        ml::LearnerKind::kTan}});
+    const auto bank = core::build_synopsis_bank(builder, std::move(tasks));
+    benchmark::DoNotOptimize(bank.size());
+  }
+  state.SetLabel("threads=" + std::to_string(util::max_threads()));
+}
+BENCHMARK(BM_SynopsisBankBuild)->Unit(benchmark::kMillisecond);
+
 void BM_CoordinatedDecision(benchmark::State& state) {
   // A 4-synopsis monitor, the paper's configuration: the "on-line
   // decision" cost (per 30 s window) end to end minus metric collection.
@@ -144,4 +194,22 @@ BENCHMARK(BM_CoordinatedDecision);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --threads N before google-benchmark sees (and rejects) it.
+  std::size_t threads = hpcap::util::hardware_threads();
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    else
+      args.push_back(argv[i]);
+  }
+  hpcap::util::set_max_threads(threads ? threads : 1);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

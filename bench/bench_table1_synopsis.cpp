@@ -12,16 +12,27 @@
 //   3. TAN and SVM lead, Naive trails them, LR is the weakest.
 //
 // Also prints the §V.B cost figures: per-synopsis build time and
-// per-decision latency for each learner.
+// per-decision latency for each learner, plus a serial-vs-parallel
+// synopsis-bank speedup table (written to BENCH_parallel.json).
+//
+// Usage: bench_table1_synopsis [--threads N] [--json PATH]
+//   --threads N   worker count for the parallel pass (default: hardware)
+//   --json PATH   where to write the speedup record
+//                 (default: BENCH_parallel.json)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/pipeline.h"
 #include "core/synopsis.h"
 #include "ml/evaluate.h"
 #include "testbed/experiment.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 using namespace hpcap;
@@ -34,7 +45,8 @@ struct TestSet {
   std::vector<int> labels;
 };
 
-double evaluate_synopsis(const core::Synopsis& syn, const TestSet& test) {
+ml::Confusion synopsis_confusion(const core::Synopsis& syn,
+                                 const TestSet& test) {
   ml::Confusion c;
   for (std::size_t i = 0; i < test.instances.size(); ++i) {
     const auto& grid = syn.spec().level == "hpc" ? test.instances[i].hpc
@@ -43,12 +55,58 @@ double evaluate_synopsis(const core::Synopsis& syn, const TestSet& test) {
           syn.predict(grid[static_cast<std::size_t>(
               syn.spec().tier_index)]));
   }
-  return c.balanced_accuracy();
+  return c;
+}
+
+double evaluate_synopsis(const core::Synopsis& syn, const TestSet& test) {
+  return synopsis_confusion(syn, test).balanced_accuracy();
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// True when the two banks selected the same attributes and produce the
+// same confusion counts on every test set — the determinism contract.
+bool banks_identical(const std::vector<core::Synopsis>& a,
+                     const std::vector<core::Synopsis>& b,
+                     const std::vector<TestSet>& tests) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].attributes() != b[i].attributes()) return false;
+    for (const auto& test : tests) {
+      const ml::Confusion ca = synopsis_confusion(a[i], test);
+      const ml::Confusion cb = synopsis_confusion(b[i], test);
+      if (ca.tp != cb.tp || ca.tn != cb.tn || ca.fp != cb.fp ||
+          ca.fn != cb.fn)
+        return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t threads = util::hardware_threads();
+  std::string json_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--json PATH]\n"
+                   "unrecognized argument: %s\n",
+                   argv[0], argv[i]);
+      return 2;
+    }
+  }
+  if (threads == 0) threads = 1;
+
   testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
 
   const auto browsing =
@@ -93,7 +151,63 @@ int main() {
   const std::vector<TierInfo> tiers = {{testbed::kAppTier, "APP"},
                                        {testbed::kDbTier, "DB"}};
 
-  // Build all synopses, tracking build cost per learner.
+  // The full synopsis bank: one task per (mix, tier, level, learner).
+  std::vector<core::SynopsisTask> tasks;
+  for (const auto& [mix_name, run] : train) {
+    for (const auto& tier : tiers) {
+      for (const auto& level : levels) {
+        const ml::Dataset ds = testbed::make_dataset(
+            run.instances, tier.index, level, run.labels);
+        for (auto kind : learners)
+          tasks.push_back(
+              {ds, {mix_name, tier.name, tier.index, level, kind}});
+      }
+    }
+  }
+
+  const core::SynopsisBuilder builder;
+
+  // --- serial pass: per-learner build cost + serial wall-clock ---------
+  util::set_max_threads(1);
+  std::map<std::string, double> build_ms, decide_ms;
+  std::map<std::string, int> build_count;
+  std::vector<core::Synopsis> serial_bank;
+  const double serial_t0 = now_ms();
+  for (const auto& task : tasks) {
+    const double b0 = now_ms();
+    serial_bank.push_back(builder.build(task.training, task.spec));
+    const std::string lname = ml::learner_name(task.spec.learner);
+    build_ms[lname] += now_ms() - b0;
+    ++build_count[lname];
+  }
+  const double serial_ms = now_ms() - serial_t0;
+
+  // Per-decision latency over the test rows (serial, uncontended).
+  for (const auto& syn : serial_bank) {
+    const double d0 = now_ms();
+    int decisions = 0;
+    for (const auto& test : tests) {
+      for (const auto& inst : test.instances) {
+        const auto& grid =
+            syn.spec().level == "hpc" ? inst.hpc : inst.os;
+        (void)syn.predict(
+            grid[static_cast<std::size_t>(syn.spec().tier_index)]);
+        ++decisions;
+      }
+    }
+    decide_ms[syn.classifier().name()] +=
+        (now_ms() - d0) / static_cast<double>(decisions);
+  }
+
+  // --- parallel pass: same tasks through the pool ----------------------
+  util::set_max_threads(threads);
+  const double par_t0 = now_ms();
+  std::vector<core::Synopsis> bank =
+      core::build_synopsis_bank(builder, std::move(tasks));
+  const double parallel_ms = now_ms() - par_t0;
+
+  const bool identical = banks_identical(serial_bank, bank, tests);
+
   struct Key {
     std::string workload, tier, level, learner;
     bool operator<(const Key& o) const {
@@ -101,46 +215,11 @@ int main() {
              std::tie(o.workload, o.tier, o.level, o.learner);
     }
   };
-  std::map<Key, core::Synopsis> synopses;
-  std::map<std::string, double> build_ms, decide_ms;
-  std::map<std::string, int> build_count;
-
-  for (const auto& [mix_name, run] : train) {
-    for (const auto& tier : tiers) {
-      for (const auto& level : levels) {
-        const ml::Dataset ds = testbed::make_dataset(
-            run.instances, tier.index, level, run.labels);
-        for (auto kind : learners) {
-          core::SynopsisBuilder builder;
-          const auto t0 = std::chrono::steady_clock::now();
-          core::Synopsis syn = builder.build(
-              ds, {mix_name, tier.name, tier.index, level, kind});
-          const auto t1 = std::chrono::steady_clock::now();
-          const std::string lname = ml::learner_name(kind);
-          build_ms[lname] +=
-              std::chrono::duration<double, std::milli>(t1 - t0).count();
-          ++build_count[lname];
-          // Per-decision latency over the test rows.
-          const auto d0 = std::chrono::steady_clock::now();
-          int decisions = 0;
-          for (const auto& test : tests) {
-            for (const auto& inst : test.instances) {
-              const auto& grid = level == "hpc" ? inst.hpc : inst.os;
-              (void)syn.predict(
-                  grid[static_cast<std::size_t>(tier.index)]);
-              ++decisions;
-            }
-          }
-          const auto d1 = std::chrono::steady_clock::now();
-          decide_ms[lname] +=
-              std::chrono::duration<double, std::milli>(d1 - d0).count() /
-              decisions;
-          synopses.emplace(
-              Key{mix_name, tier.name, level, lname}, std::move(syn));
-        }
-      }
-    }
-  }
+  std::map<Key, const core::Synopsis*> synopses;
+  for (const auto& syn : bank)
+    synopses.emplace(Key{syn.spec().workload, syn.spec().tier,
+                         syn.spec().level, syn.classifier().name()},
+                     &syn);
 
   // --- render Table I(a) and I(b) --------------------------------------
   const char* subtable[2] = {"(a)", "(b)"};
@@ -159,7 +238,7 @@ int main() {
             const auto it = synopses.find(Key{
                 mix_name, tier.name, level, ml::learner_name(kind)});
             row.push_back(
-                TextTable::num(evaluate_synopsis(it->second, tests[t]), 3));
+                TextTable::num(evaluate_synopsis(*it->second, tests[t]), 3));
           }
         }
         table.add_row(std::move(row));
@@ -185,5 +264,35 @@ int main() {
   costs.add_note("shape target: SVM costliest by >10x, Naive cheapest, "
                  "decisions well under 50 ms");
   std::printf("%s\n", costs.render().c_str());
-  return 0;
+
+  // --- serial vs. parallel synopsis-bank build -------------------------
+  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  TextTable par("Synopsis bank build: serial vs. parallel");
+  par.set_header({"Configuration", "threads", "wall (ms)", "speedup"});
+  par.add_row({"serial", "1", TextTable::num(serial_ms, 1), "1.00"});
+  par.add_row({"parallel", std::to_string(threads),
+               TextTable::num(parallel_ms, 1), TextTable::num(speedup, 2)});
+  par.add_note(identical
+                   ? "parallel bank bit-identical to serial (attributes + "
+                     "confusions)"
+                   : "MISMATCH: parallel bank differs from serial!");
+  std::printf("%s\n", par.render().c_str());
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"synopsis_bank_build\",\n"
+                 "  \"tasks\": %d,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"serial_ms\": %.3f,\n"
+                 "  \"parallel_ms\": %.3f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"identical_output\": %s\n"
+                 "}\n",
+                 static_cast<int>(serial_bank.size()), threads, serial_ms,
+                 parallel_ms, speedup, identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

@@ -183,6 +183,7 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -227,4 +228,7 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/request.h \
- /root/repo/src/counters/os_model.h /root/repo/src/util/stats.h
+ /root/repo/src/counters/os_model.h /root/repo/src/util/stats.h \
+ /root/repo/src/ml/evaluate.h /root/repo/src/ml/tan.h \
+ /usr/include/c++/12/optional /root/repo/src/ml/discretize.h \
+ /root/repo/src/util/parallel.h

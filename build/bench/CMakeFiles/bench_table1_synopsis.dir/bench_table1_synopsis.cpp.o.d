@@ -158,7 +158,8 @@ bench/CMakeFiles/bench_table1_synopsis.dir/bench_table1_synopsis.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -207,14 +208,14 @@ bench/CMakeFiles/bench_table1_synopsis.dir/bench_table1_synopsis.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/synopsis.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/pipeline.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/ml/classifier.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/coordinated.h \
+ /root/repo/src/core/synopsis.h /root/repo/src/ml/classifier.h \
  /root/repo/src/ml/dataset.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.h \
  /root/repo/src/ml/feature_select.h /root/repo/src/ml/evaluate.h \
- /root/repo/src/testbed/experiment.h /root/repo/src/core/pipeline.h \
- /root/repo/src/core/coordinated.h /root/repo/src/testbed/testbed.h \
+ /root/repo/src/testbed/experiment.h /root/repo/src/testbed/testbed.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -234,4 +235,4 @@ bench/CMakeFiles/bench_table1_synopsis.dir/bench_table1_synopsis.cpp.o: \
  /root/repo/src/util/stats.h /root/repo/src/tpcw/rbe.h \
  /root/repo/src/tpcw/mix.h /root/repo/src/tpcw/interactions.h \
  /root/repo/src/tpcw/request_factory.h /root/repo/src/tpcw/schedule.h \
- /root/repo/src/util/table.h
+ /root/repo/src/util/parallel.h /root/repo/src/util/table.h

@@ -203,4 +203,14 @@ src/core/CMakeFiles/hpcap_core.dir/pipeline.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/ml/classifier.h \
  /root/repo/src/ml/dataset.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.h \
- /root/repo/src/ml/feature_select.h
+ /root/repo/src/ml/feature_select.h /root/repo/src/util/parallel.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/hpcap_util.dir/log.cpp.o.d"
   "CMakeFiles/hpcap_util.dir/matrix.cpp.o"
   "CMakeFiles/hpcap_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/hpcap_util.dir/parallel.cpp.o"
+  "CMakeFiles/hpcap_util.dir/parallel.cpp.o.d"
   "CMakeFiles/hpcap_util.dir/rng.cpp.o"
   "CMakeFiles/hpcap_util.dir/rng.cpp.o.d"
   "CMakeFiles/hpcap_util.dir/stats.cpp.o"

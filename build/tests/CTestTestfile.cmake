@@ -5,6 +5,8 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_parallel_determinism_test[1]_include.cmake")
 include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
 include("/root/repo/build/tests/util_matrix_table_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")

@@ -3,7 +3,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/parallel.h"
+
 namespace hpcap::core {
+
+std::vector<Synopsis> build_synopsis_bank(const SynopsisBuilder& builder,
+                                          std::vector<SynopsisTask> tasks) {
+  return util::parallel_map(tasks.size(), [&](std::size_t i) {
+    return builder.build(tasks[i].training, tasks[i].spec);
+  });
+}
 
 namespace {
 CoordinatedPredictor::Options patch_options(

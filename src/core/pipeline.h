@@ -17,6 +17,22 @@
 
 namespace hpcap::core {
 
+// One unit of synopsis-bank construction: a (tier, workload, level,
+// learner) spec plus its full-catalog training set.
+struct SynopsisTask {
+  ml::Dataset training;
+  SynopsisSpec spec;
+};
+
+// Builds one synopsis per task, distributing tasks across the
+// util/parallel.h pool — synopsis construction (forward selection
+// validated by 10-fold CV, per builder per tier) is the dominant compute
+// of the offline pipeline. Results are returned in task order and are
+// identical at every thread count. Throws (first task error wins) if any
+// build fails.
+std::vector<Synopsis> build_synopsis_bank(const SynopsisBuilder& builder,
+                                          std::vector<SynopsisTask> tasks);
+
 class CapacityMonitor {
  public:
   // `synopses` order defines GPV bit order. Options' num_synopses is

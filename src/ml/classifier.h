@@ -19,7 +19,9 @@ class Classifier {
  public:
   virtual ~Classifier() = default;
 
-  virtual void fit(const Dataset& d) = 0;
+  // Fits on any row selection; a `Dataset` converts to an identity view,
+  // and cross-validation folds pass zero-copy views.
+  virtual void fit(const DatasetView& d) = 0;
 
   // Estimated probability (or calibrated score) that the row's class is 1.
   virtual double predict_score(std::span<const double> x) const = 0;

@@ -6,12 +6,21 @@
 namespace hpcap::ml {
 
 void Dataset::add(std::vector<double> x, int y) {
+  add_row(std::span<const double>(x), y);
+}
+
+void Dataset::add_row(std::span<const double> x, int y) {
   if (x.size() != names_.size())
     throw std::invalid_argument("Dataset::add: dimension mismatch");
   if (y != 0 && y != 1)
     throw std::invalid_argument("Dataset::add: label must be 0 or 1");
-  x_.push_back(std::move(x));
+  data_.insert(data_.end(), x.begin(), x.end());
   y_.push_back(y);
+}
+
+void Dataset::reserve(std::size_t rows) {
+  data_.reserve(data_.size() + rows * dim());
+  y_.reserve(y_.size() + rows);
 }
 
 std::size_t Dataset::positives() const noexcept {
@@ -29,7 +38,7 @@ double Dataset::positive_rate() const noexcept {
 std::vector<double> Dataset::column(std::size_t attr) const {
   if (attr >= dim()) throw std::out_of_range("Dataset::column");
   std::vector<double> col(size());
-  for (std::size_t i = 0; i < size(); ++i) col[i] = x_[i][attr];
+  for (std::size_t i = 0; i < size(); ++i) col[i] = data_[i * dim() + attr];
   return col;
 }
 
@@ -41,20 +50,27 @@ Dataset Dataset::project(const std::vector<std::size_t>& attrs) const {
     names.push_back(names_[a]);
   }
   Dataset out(std::move(names));
+  out.data_.resize(size() * attrs.size());
+  double* dst = out.data_.data();
   for (std::size_t i = 0; i < size(); ++i) {
-    std::vector<double> row;
-    row.reserve(attrs.size());
-    for (std::size_t a : attrs) row.push_back(x_[i][a]);
-    out.add(std::move(row), y_[i]);
+    const double* src = data_.data() + i * dim();
+    for (std::size_t a : attrs) *dst++ = src[a];
   }
+  out.y_ = y_;
   return out;
 }
 
 Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
-  Dataset out(names_);
-  for (std::size_t r : rows) {
+  for (std::size_t r : rows)
     if (r >= size()) throw std::out_of_range("Dataset::subset");
-    out.add(x_[r], y_[r]);
+  Dataset out(names_);
+  out.data_.resize(rows.size() * dim());
+  out.y_.resize(rows.size());
+  double* dst = out.data_.data();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double* src = data_.data() + rows[i] * dim();
+    dst = std::copy(src, src + dim(), dst);
+    out.y_[i] = y_[rows[i]];
   }
   return out;
 }
@@ -62,30 +78,13 @@ Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
 void Dataset::append(const Dataset& other) {
   if (other.names_ != names_)
     throw std::invalid_argument("Dataset::append: attribute mismatch");
-  for (std::size_t i = 0; i < other.size(); ++i)
-    add(other.x_[i], other.y_[i]);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  y_.insert(y_.end(), other.y_.begin(), other.y_.end());
 }
 
 std::vector<std::vector<std::size_t>> Dataset::stratified_folds(
     int k, Rng& rng) const {
-  if (k < 2) throw std::invalid_argument("stratified_folds: k must be >= 2");
-  std::vector<std::size_t> pos, neg;
-  for (std::size_t i = 0; i < size(); ++i)
-    (y_[i] == 1 ? pos : neg).push_back(i);
-  // Shuffle each class, then deal round-robin into folds.
-  auto shuffle = [&rng](std::vector<std::size_t>& v) {
-    const auto perm = rng.permutation(v.size());
-    std::vector<std::size_t> out(v.size());
-    for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[perm[i]];
-    v = std::move(out);
-  };
-  shuffle(pos);
-  shuffle(neg);
-  std::vector<std::vector<std::size_t>> folds(static_cast<std::size_t>(k));
-  std::size_t next = 0;
-  for (std::size_t i : pos) folds[next++ % folds.size()].push_back(i);
-  for (std::size_t i : neg) folds[next++ % folds.size()].push_back(i);
-  return folds;
+  return DatasetView(*this).stratified_folds(k, rng);
 }
 
 std::pair<Dataset, Dataset> Dataset::stratified_split(double train_fraction,
@@ -108,6 +107,71 @@ std::pair<Dataset, Dataset> Dataset::stratified_split(double train_fraction,
   std::sort(train.begin(), train.end());
   std::sort(test.begin(), test.end());
   return {subset(train), subset(test)};
+}
+
+DatasetView::DatasetView(const Dataset& base, std::vector<std::size_t> rows)
+    : base_(&base), rows_(std::move(rows)), all_(false) {
+  for (std::size_t r : rows_)
+    if (r >= base.size()) throw std::out_of_range("DatasetView: row index");
+}
+
+std::size_t DatasetView::positives() const noexcept {
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < size(); ++i)
+    p += static_cast<std::size_t>(label(i) == 1);
+  return p;
+}
+
+double DatasetView::positive_rate() const noexcept {
+  return empty() ? 0.0
+                 : static_cast<double>(positives()) /
+                       static_cast<double>(size());
+}
+
+std::vector<double> DatasetView::column(std::size_t attr) const {
+  if (attr >= dim()) throw std::out_of_range("DatasetView::column");
+  std::vector<double> col(size());
+  for (std::size_t i = 0; i < size(); ++i) col[i] = row(i)[attr];
+  return col;
+}
+
+DatasetView DatasetView::select(const std::vector<std::size_t>& rows) const {
+  std::vector<std::size_t> base_rows;
+  base_rows.reserve(rows.size());
+  for (std::size_t r : rows) {
+    if (r >= size()) throw std::out_of_range("DatasetView::select");
+    base_rows.push_back(index_of(r));
+  }
+  return DatasetView(*base_, std::move(base_rows));
+}
+
+std::vector<std::vector<std::size_t>> DatasetView::stratified_folds(
+    int k, Rng& rng) const {
+  if (k < 2) throw std::invalid_argument("stratified_folds: k must be >= 2");
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < size(); ++i)
+    (label(i) == 1 ? pos : neg).push_back(i);
+  // Shuffle each class, then deal round-robin into folds.
+  auto shuffle = [&rng](std::vector<std::size_t>& v) {
+    const auto perm = rng.permutation(v.size());
+    std::vector<std::size_t> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[perm[i]];
+    v = std::move(out);
+  };
+  shuffle(pos);
+  shuffle(neg);
+  std::vector<std::vector<std::size_t>> folds(static_cast<std::size_t>(k));
+  std::size_t next = 0;
+  for (std::size_t i : pos) folds[next++ % folds.size()].push_back(i);
+  for (std::size_t i : neg) folds[next++ % folds.size()].push_back(i);
+  return folds;
+}
+
+Dataset DatasetView::materialize() const {
+  Dataset out(base_->attribute_names());
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.add_row(row(i), label(i));
+  return out;
 }
 
 }  // namespace hpcap::ml

@@ -4,6 +4,13 @@
 // metric averages over a sampling window plus the binary system state
 // (0 = underload, 1 = overload). A Dataset is a bag of instances sharing
 // an attribute catalog.
+//
+// Storage is flat row-major: one contiguous std::vector<double> with a
+// dim() stride, so a row is a std::span into the block, a full copy is a
+// single allocation, and fitting loops stream cache-linearly instead of
+// chasing one heap allocation per row. DatasetView adds zero-copy
+// row-index indirection on top — cross-validation folds evaluate through
+// views and never materialize per-fold copies.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +23,8 @@
 
 namespace hpcap::ml {
 
+class DatasetView;
+
 class Dataset {
  public:
   Dataset() = default;
@@ -23,12 +32,18 @@ class Dataset {
       : names_(std::move(attribute_names)) {}
 
   void add(std::vector<double> x, int y);
+  // Same, from a borrowed row (no intermediate vector).
+  void add_row(std::span<const double> x, int y);
+  // Pre-sizes the flat block for `rows` additional instances.
+  void reserve(std::size_t rows);
 
-  std::size_t size() const noexcept { return x_.size(); }
+  std::size_t size() const noexcept { return y_.size(); }
   std::size_t dim() const noexcept { return names_.size(); }
-  bool empty() const noexcept { return x_.empty(); }
+  bool empty() const noexcept { return y_.empty(); }
 
-  std::span<const double> row(std::size_t i) const { return x_[i]; }
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * dim(), dim()};
+  }
   int label(std::size_t i) const { return y_[i]; }
   const std::vector<int>& labels() const noexcept { return y_; }
   const std::vector<std::string>& attribute_names() const noexcept {
@@ -44,9 +59,11 @@ class Dataset {
   std::vector<double> column(std::size_t attr) const;
 
   // New dataset containing only the given attribute columns (in order).
+  // Single allocation for the value block.
   Dataset project(const std::vector<std::size_t>& attrs) const;
 
-  // New dataset containing the given rows.
+  // New dataset containing the given rows. Single allocation for the
+  // value block. Prefer DatasetView when a copy is not required.
   Dataset subset(const std::vector<std::size_t>& rows) const;
 
   // Merges another dataset with identical attribute names.
@@ -64,8 +81,66 @@ class Dataset {
 
  private:
   std::vector<std::string> names_;
-  std::vector<std::vector<double>> x_;
+  std::vector<double> data_;  // row-major, stride dim()
   std::vector<int> y_;
+};
+
+// Zero-copy read-only row selection over a Dataset. A view is either the
+// identity (every row, no index vector, what a `const Dataset&` converts
+// to) or an explicit row-index list (what cross-validation folds use).
+// Rows keep the base dataset's full attribute layout; a view never owns
+// data, so the base Dataset must outlive it.
+class DatasetView {
+ public:
+  // Identity view of the whole dataset. Intentionally implicit: every
+  // read-only consumer (Classifier::fit, Discretizer, info-gain, ...)
+  // takes a DatasetView, and Datasets convert for free.
+  DatasetView(const Dataset& base) : base_(&base) {}  // NOLINT
+
+  // View of the given base-dataset rows, in the given order.
+  DatasetView(const Dataset& base, std::vector<std::size_t> rows);
+
+  std::size_t size() const noexcept {
+    return all_ ? base_->size() : rows_.size();
+  }
+  std::size_t dim() const noexcept { return base_->dim(); }
+  bool empty() const noexcept { return size() == 0; }
+
+  std::span<const double> row(std::size_t i) const {
+    return base_->row(index_of(i));
+  }
+  int label(std::size_t i) const { return base_->label(index_of(i)); }
+  const std::vector<std::string>& attribute_names() const noexcept {
+    return base_->attribute_names();
+  }
+
+  std::size_t positives() const noexcept;
+  std::size_t negatives() const noexcept { return size() - positives(); }
+  double positive_rate() const noexcept;
+
+  std::vector<double> column(std::size_t attr) const;
+
+  // Sub-view: `rows` are indices into *this* view; the result indexes the
+  // same base dataset (views never stack indirections).
+  DatasetView select(const std::vector<std::size_t>& rows) const;
+
+  // Same contract as Dataset::stratified_folds, over view rows.
+  std::vector<std::vector<std::size_t>> stratified_folds(int k,
+                                                         Rng& rng) const;
+
+  // Deep copy into a standalone Dataset (single allocation).
+  Dataset materialize() const;
+
+  const Dataset& base() const noexcept { return *base_; }
+
+ private:
+  std::size_t index_of(std::size_t i) const noexcept {
+    return all_ ? i : rows_[i];
+  }
+
+  const Dataset* base_;
+  std::vector<std::size_t> rows_;  // unused when all_
+  bool all_ = true;
 };
 
 }  // namespace hpcap::ml

@@ -89,7 +89,7 @@ void mdl_split(const std::vector<std::pair<double, int>>& values,
 
 }  // namespace
 
-Discretizer Discretizer::equal_frequency(const Dataset& d, int bins) {
+Discretizer Discretizer::equal_frequency(const DatasetView& d, int bins) {
   std::vector<std::vector<double>> cuts(d.dim());
   if (bins < 2 || d.empty()) return Discretizer(std::move(cuts));
   for (std::size_t a = 0; a < d.dim(); ++a) {
@@ -109,7 +109,7 @@ Discretizer Discretizer::equal_frequency(const Dataset& d, int bins) {
   return Discretizer(std::move(cuts));
 }
 
-Discretizer Discretizer::mdl(const Dataset& d) {
+Discretizer Discretizer::mdl(const DatasetView& d) {
   std::vector<std::vector<double>> cuts(d.dim());
   for (std::size_t a = 0; a < d.dim(); ++a) {
     std::vector<std::pair<double, int>> values(d.size());
@@ -122,7 +122,7 @@ Discretizer Discretizer::mdl(const Dataset& d) {
   return Discretizer(std::move(cuts));
 }
 
-Discretizer Discretizer::mdl_with_fallback(const Dataset& d,
+Discretizer Discretizer::mdl_with_fallback(const DatasetView& d,
                                            int fallback_bins) {
   Discretizer out = mdl(d);
   const Discretizer ef = equal_frequency(d, fallback_bins);

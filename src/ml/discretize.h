@@ -27,17 +27,17 @@ class Discretizer {
  public:
   // Fits equal-frequency cut points (at most `bins` bins per attribute;
   // duplicate boundaries collapse).
-  static Discretizer equal_frequency(const Dataset& d, int bins);
+  static Discretizer equal_frequency(const DatasetView& d, int bins);
 
   // Fits supervised MDL (Fayyad–Irani) cut points against the labels.
-  static Discretizer mdl(const Dataset& d);
+  static Discretizer mdl(const DatasetView& d);
 
   // MDL, with an equal-frequency fallback (`fallback_bins`) for attributes
   // where MDL finds no informative cut. MDL judges each attribute's
   // *marginal* relevance; an attribute that only matters jointly (the XOR
   // pattern) gets no cuts and would be invisible to a dependency-aware
   // model like TAN. The fallback keeps such attributes representable.
-  static Discretizer mdl_with_fallback(const Dataset& d,
+  static Discretizer mdl_with_fallback(const DatasetView& d,
                                        int fallback_bins = 2);
 
   std::size_t dim() const noexcept { return cuts_.size(); }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/log.h"
+#include "util/parallel.h"
+
 namespace hpcap::ml {
 
 void Confusion::add(int truth, int predicted) noexcept {
@@ -41,40 +44,63 @@ double Confusion::precision() const noexcept {
   return p ? static_cast<double>(tp) / static_cast<double>(p) : 0.0;
 }
 
-Confusion evaluate(const Classifier& clf, const Dataset& test) {
+Confusion evaluate(const Classifier& clf, const DatasetView& test) {
   Confusion c;
   for (std::size_t i = 0; i < test.size(); ++i)
     c.add(test.label(i), clf.predict(test.row(i)));
   return c;
 }
 
-Confusion cross_validate(const Classifier& prototype, const Dataset& d,
-                         int folds, Rng& rng) {
+CvResult cross_validate(const Classifier& prototype, const DatasetView& d,
+                        int folds, Rng& rng) {
   if (d.size() < static_cast<std::size_t>(folds))
     folds = std::max(2, static_cast<int>(d.size()));
   const auto fold_rows = d.stratified_folds(folds, rng);
-  Confusion pooled;
-  for (std::size_t held = 0; held < fold_rows.size(); ++held) {
-    std::vector<std::size_t> train_rows;
-    for (std::size_t f = 0; f < fold_rows.size(); ++f)
-      if (f != held)
-        train_rows.insert(train_rows.end(), fold_rows[f].begin(),
-                          fold_rows[f].end());
-    if (train_rows.empty() || fold_rows[held].empty()) continue;
-    const Dataset train = d.subset(train_rows);
-    // A fold whose training part lost one whole class cannot be fit
-    // meaningfully; skip it (stratification makes this rare).
-    if (train.positives() == 0 || train.negatives() == 0) continue;
-    auto clf = prototype.clone();
-    clf->fit(train);
-    const Dataset test = d.subset(fold_rows[held]);
-    const Confusion c = evaluate(*clf, test);
-    pooled.tp += c.tp;
-    pooled.tn += c.tn;
-    pooled.fp += c.fp;
-    pooled.fn += c.fn;
+
+  // Each fold is independent: fit a clone on the k-1 training folds (a
+  // zero-copy view) and evaluate on the held-out fold. Slots are written
+  // per fold and pooled below in fold order, so the pooled counts do not
+  // depend on the thread schedule.
+  struct FoldOutcome {
+    Confusion confusion;
+    bool used = false;
+  };
+  const auto outcomes = util::parallel_map(
+      fold_rows.size(), [&](std::size_t held) -> FoldOutcome {
+        std::vector<std::size_t> train_rows;
+        for (std::size_t f = 0; f < fold_rows.size(); ++f)
+          if (f != held)
+            train_rows.insert(train_rows.end(), fold_rows[f].begin(),
+                              fold_rows[f].end());
+        if (train_rows.empty() || fold_rows[held].empty()) return {};
+        const DatasetView train = d.select(train_rows);
+        // A fold whose training part lost one whole class cannot be fit
+        // meaningfully; skip it (stratification makes this rare).
+        if (train.positives() == 0 || train.negatives() == 0) return {};
+        auto clf = prototype.clone();
+        clf->fit(train);
+        return {evaluate(*clf, d.select(fold_rows[held])), true};
+      });
+
+  CvResult result;
+  result.folds_requested = static_cast<int>(fold_rows.size());
+  for (const auto& out : outcomes) {
+    if (!out.used) continue;
+    ++result.folds_used;
+    result.confusion.tp += out.confusion.tp;
+    result.confusion.tn += out.confusion.tn;
+    result.confusion.fp += out.confusion.fp;
+    result.confusion.fn += out.confusion.fn;
   }
-  return pooled;
+  if (result.folds_used < result.folds_requested) {
+    HPCAP_WARN << "cross_validate: skipped "
+               << (result.folds_requested - result.folds_used) << " of "
+               << result.folds_requested
+               << " folds (empty or one-class training split); pooled "
+               << "confusion covers " << result.confusion.total()
+               << " instances";
+  }
+  return result;
 }
 
 }  // namespace hpcap::ml

@@ -2,6 +2,11 @@
 // (mean of true-positive and true-negative rates, §IV.A), and stratified
 // k-fold cross-validation (the paper validates synopses by 10-fold CV,
 // §II.B.2).
+//
+// cross_validate runs its fold loop on the util/parallel.h pool; fold
+// results are pooled in fold-index order, so confusion counts are
+// bit-identical at every thread count. Folds train and evaluate through
+// zero-copy DatasetViews — no per-fold Dataset copies.
 #pragma once
 
 #include <cstddef>
@@ -29,12 +34,27 @@ struct Confusion {
 };
 
 // Evaluates a *fitted* classifier on a test set.
-Confusion evaluate(const Classifier& clf, const Dataset& test);
+Confusion evaluate(const Classifier& clf, const DatasetView& test);
+
+// Cross-validation outcome: the pooled confusion plus fold accounting.
+// Degenerate folds (empty, or a training split that lost one whole class)
+// are skipped, not silently: they show up as folds_used < folds_requested
+// and a WARN log line.
+struct CvResult {
+  Confusion confusion;
+  int folds_requested = 0;
+  int folds_used = 0;
+
+  int folds_skipped() const noexcept { return folds_requested - folds_used; }
+  double balanced_accuracy() const noexcept {
+    return confusion.balanced_accuracy();
+  }
+};
 
 // Stratified k-fold cross-validation: clones the prototype per fold, fits
 // on k-1 folds, evaluates on the held-out fold, and pools the confusion
-// counts. Returns the pooled confusion.
-Confusion cross_validate(const Classifier& prototype, const Dataset& d,
-                         int folds, Rng& rng);
+// counts in fold order.
+CvResult cross_validate(const Classifier& prototype, const DatasetView& d,
+                        int folds, Rng& rng);
 
 }  // namespace hpcap::ml

@@ -5,10 +5,11 @@
 #include "ml/discretize.h"
 #include "ml/evaluate.h"
 #include "ml/info.h"
+#include "util/parallel.h"
 
 namespace hpcap::ml {
 
-std::vector<std::size_t> rank_by_information_gain(const Dataset& d,
+std::vector<std::size_t> rank_by_information_gain(const DatasetView& d,
                                                   int bins) {
   const Discretizer disc = Discretizer::equal_frequency(d, bins);
   const std::vector<double> gains = information_gains(d, disc);
@@ -29,25 +30,52 @@ std::vector<std::size_t> forward_select(const Classifier& prototype,
   std::vector<std::size_t> selected;
   double best_ba = 0.0;
   int misses = 0;
+  std::size_t pos = 0;
 
-  for (std::size_t cand : ranked) {
-    if (static_cast<int>(selected.size()) >= opts.max_attributes) break;
-    if (misses >= opts.patience) break;
+  // Speculative parallel forward selection. Each trial's CV score depends
+  // only on (selected, candidate): Rng::split derives the trial stream
+  // from the candidate's salt without advancing `rng`, so a window of
+  // upcoming candidates can be scored concurrently against the current
+  // selection. Acceptance is then decided by the serial scan below —
+  // exactly the one-at-a-time algorithm — and on the first acceptance the
+  // rest of the window is discarded (the selection changed, so those
+  // scores are stale). Selections are therefore identical at every thread
+  // count; speculation only costs wasted trials after an accept, and the
+  // window never extends past the patience budget serial execution had.
+  while (pos < ranked.size() &&
+         static_cast<int>(selected.size()) < opts.max_attributes &&
+         misses < opts.patience) {
+    const std::size_t window =
+        std::min({ranked.size() - pos,
+                  static_cast<std::size_t>(opts.patience - misses),
+                  std::max<std::size_t>(1, util::max_threads())});
+    const auto scores = util::parallel_map(window, [&](std::size_t k) {
+      const std::size_t cand = ranked[pos + k];
+      std::vector<std::size_t> trial = selected;
+      trial.push_back(cand);
+      const Dataset projected = d.project(trial);
+      Rng cv_rng = rng.split(cand + 1);
+      return cross_validate(prototype, projected, opts.cv_folds, cv_rng)
+          .balanced_accuracy();
+    });
 
-    std::vector<std::size_t> trial = selected;
-    trial.push_back(cand);
-    const Dataset view = d.project(trial);
-    Rng cv_rng = rng.split(cand + 1);
-    const Confusion c =
-        cross_validate(prototype, view, opts.cv_folds, cv_rng);
-    const double ba = c.balanced_accuracy();
-    if (selected.empty() || ba >= best_ba + opts.min_improvement) {
-      selected = std::move(trial);
-      best_ba = std::max(best_ba, ba);
-      misses = 0;
-    } else {
+    bool accepted = false;
+    for (std::size_t k = 0; k < window; ++k) {
+      if (selected.empty() || scores[k] >= best_ba + opts.min_improvement) {
+        selected.push_back(ranked[pos + k]);
+        best_ba = std::max(best_ba, scores[k]);
+        misses = 0;
+        pos += k + 1;
+        accepted = true;
+        break;
+      }
       ++misses;
+      if (misses >= opts.patience) {
+        pos += k + 1;
+        break;
+      }
     }
+    if (!accepted && misses < opts.patience) pos += window;
   }
   return selected;
 }

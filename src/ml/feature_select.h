@@ -27,11 +27,14 @@ struct FeatureSelectOptions {
 };
 
 // Attribute indices sorted by descending information gain.
-std::vector<std::size_t> rank_by_information_gain(const Dataset& d,
+std::vector<std::size_t> rank_by_information_gain(const DatasetView& d,
                                                   int bins = 10);
 
 // Forward selection driven by cross-validated balanced accuracy of
 // `prototype`. Returns the selected attribute indices (order of addition).
+// Candidate trials within a patience window are scored in parallel
+// (util/parallel.h); the returned selection is identical at every thread
+// count because trial Rng streams derive from Rng::split(candidate salt).
 std::vector<std::size_t> forward_select(const Classifier& prototype,
                                         const Dataset& d,
                                         const FeatureSelectOptions& opts,

@@ -8,13 +8,13 @@ namespace {
 double plogp(double p) { return p > 0.0 ? p * std::log2(p) : 0.0; }
 }  // namespace
 
-double class_entropy(const Dataset& d) {
+double class_entropy(const DatasetView& d) {
   if (d.empty()) return 0.0;
   const double p1 = d.positive_rate();
   return -plogp(p1) - plogp(1.0 - p1);
 }
 
-double information_gain(const Dataset& d, const Discretizer& disc,
+double information_gain(const DatasetView& d, const Discretizer& disc,
                         std::size_t attr) {
   if (d.empty()) return 0.0;
   const std::size_t bins = disc.bins(attr);
@@ -39,7 +39,7 @@ double information_gain(const Dataset& d, const Discretizer& disc,
   return class_entropy(d) - h_c_given_a;
 }
 
-std::vector<double> information_gains(const Dataset& d,
+std::vector<double> information_gains(const DatasetView& d,
                                       const Discretizer& disc) {
   std::vector<double> gains(d.dim(), 0.0);
   for (std::size_t a = 0; a < d.dim(); ++a)
@@ -47,7 +47,7 @@ std::vector<double> information_gains(const Dataset& d,
   return gains;
 }
 
-double conditional_mutual_information(const Dataset& d,
+double conditional_mutual_information(const DatasetView& d,
                                       const Discretizer& disc, std::size_t i,
                                       std::size_t j) {
   if (d.empty() || i == j) return 0.0;

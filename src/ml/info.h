@@ -14,18 +14,18 @@
 namespace hpcap::ml {
 
 // Entropy (bits) of the class variable.
-double class_entropy(const Dataset& d);
+double class_entropy(const DatasetView& d);
 
 // Information gain of attribute `attr` about the class, under `disc`.
-double information_gain(const Dataset& d, const Discretizer& disc,
+double information_gain(const DatasetView& d, const Discretizer& disc,
                         std::size_t attr);
 
 // Information gain of every attribute.
-std::vector<double> information_gains(const Dataset& d,
+std::vector<double> information_gains(const DatasetView& d,
                                       const Discretizer& disc);
 
 // Conditional mutual information I(A_i; A_j | C) in bits.
-double conditional_mutual_information(const Dataset& d,
+double conditional_mutual_information(const DatasetView& d,
                                       const Discretizer& disc, std::size_t i,
                                       std::size_t j);
 

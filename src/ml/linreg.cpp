@@ -9,7 +9,7 @@
 
 namespace hpcap::ml {
 
-void LinearRegression::fit(const Dataset& d) {
+void LinearRegression::fit(const DatasetView& d) {
   if (d.empty()) throw std::invalid_argument("LinearRegression: empty data");
   const std::size_t n = d.size();
   const std::size_t p = d.dim();

@@ -19,7 +19,7 @@ class LinearRegression final : public Classifier {
  public:
   explicit LinearRegression(double ridge = 1e-3) : ridge_(ridge) {}
 
-  void fit(const Dataset& d) override;
+  void fit(const DatasetView& d) override;
   double predict_score(std::span<const double> x) const override;
   bool fitted() const noexcept override { return fitted_; }
   std::unique_ptr<Classifier> clone() const override {

@@ -5,7 +5,7 @@
 
 namespace hpcap::ml {
 
-void NaiveBayes::fit(const Dataset& d) {
+void NaiveBayes::fit(const DatasetView& d) {
   if (d.empty()) throw std::invalid_argument("NaiveBayes: empty data");
   disc_ = Discretizer::mdl(d);
 

@@ -22,7 +22,7 @@ class NaiveBayes final : public Classifier {
  public:
   explicit NaiveBayes(double laplace = 1.0) : laplace_(laplace) {}
 
-  void fit(const Dataset& d) override;
+  void fit(const DatasetView& d) override;
   double predict_score(std::span<const double> x) const override;
   bool fitted() const noexcept override { return disc_.has_value(); }
   std::unique_ptr<Classifier> clone() const override {

@@ -24,7 +24,7 @@ std::vector<double> Svm::standardize(std::span<const double> x) const {
   return out;
 }
 
-void Svm::fit(const Dataset& d) {
+void Svm::fit(const DatasetView& d) {
   if (d.empty()) throw std::invalid_argument("Svm: empty data");
   const std::size_t n = d.size();
   const std::size_t p = d.dim();

@@ -39,7 +39,7 @@ class Svm final : public Classifier {
 
   explicit Svm(Options opts = Options()) : opts_(opts) {}
 
-  void fit(const Dataset& d) override;
+  void fit(const DatasetView& d) override;
   double predict_score(std::span<const double> x) const override;
   bool fitted() const noexcept override { return fitted_; }
   std::unique_ptr<Classifier> clone() const override {

@@ -8,7 +8,7 @@
 
 namespace hpcap::ml {
 
-void Tan::fit(const Dataset& d) {
+void Tan::fit(const DatasetView& d) {
   if (d.empty()) throw std::invalid_argument("Tan: empty data");
   const std::size_t p = d.dim();
   // Fallback bins keep marginally-silent attributes available to the

@@ -347,18 +347,21 @@ core::CapacityMonitor build_monitor(
   if (training_runs.empty())
     throw std::invalid_argument("build_monitor: no training runs");
 
-  // One synopsis per (mix, tier).
-  std::vector<core::Synopsis> synopses;
+  // One synopsis per (mix, tier), built concurrently: each (tier, mix)
+  // selection+fit is independent, and build_synopsis_bank keeps GPV bit
+  // order (= task order) and contents identical at every thread count.
   const core::SynopsisBuilder builder;
+  std::vector<core::SynopsisTask> tasks;
   for (const auto& named : training_runs) {
     for (int tier = 0; tier < kNumTiers; ++tier) {
-      const ml::Dataset ds = make_dataset(named.run->instances, tier, level,
-                                          named.run->labels);
-      synopses.push_back(builder.build(
-          ds, {named.mix_name, tier == kAppTier ? "app" : "db", tier, level,
-               learner}));
+      tasks.push_back(
+          {make_dataset(named.run->instances, tier, level, named.run->labels),
+           {named.mix_name, tier == kAppTier ? "app" : "db", tier, level,
+            learner}});
     }
   }
+  std::vector<core::Synopsis> synopses =
+      core::build_synopsis_bank(builder, std::move(tasks));
 
   options.synopsis_tiers.clear();
   for (const auto& syn : synopses)

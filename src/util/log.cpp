@@ -1,11 +1,16 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace hpcap {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Serializes sink writes so pool workers (util/parallel.h) cannot
+// interleave characters of concurrent lines.
+std::mutex g_sink_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +24,16 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_sink_mu);
   std::cerr << '[' << level_name(level) << "] " << message << '\n';
 }
 

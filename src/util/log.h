@@ -1,7 +1,10 @@
 // Tiny leveled logger. Library code logs sparingly (warnings about
 // suspicious configurations); benches and examples raise the level for
-// narration. Not thread-safe by design — hpcap's simulator is
-// single-threaded and deterministic.
+// narration. Thread-safe: sink writes are serialized by a mutex and the
+// level is atomic, because util::parallel pool workers may log (the
+// simulator itself stays single-threaded and deterministic). Lines from
+// concurrent workers never interleave mid-line, but their order follows
+// the thread schedule.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,155 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace hpcap::util {
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> threads;
+  std::deque<std::function<void()>> queue;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(std::make_unique<Impl>()) {
+  impl_->threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back([impl = impl_.get()] {
+      for (;;) {
+        std::function<void()> job;
+        {
+          std::unique_lock<std::mutex> lock(impl->mu);
+          impl->cv.wait(lock,
+                        [impl] { return impl->stop || !impl->queue.empty(); });
+          if (impl->queue.empty()) return;  // stop requested and drained
+          job = std::move(impl->queue.front());
+          impl->queue.pop_front();
+        }
+        job();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+}
+
+std::size_t ThreadPool::workers() const noexcept {
+  return impl_->threads.size();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(job));
+  }
+  impl_->cv.notify_one();
+}
+
+namespace {
+
+std::atomic<std::size_t> g_max_threads{0};  // 0 = unset, use hardware
+std::mutex g_pool_mu;
+// Grown on demand, never shrunk: extra workers just sleep on the queue.
+std::unique_ptr<ThreadPool> g_pool;
+thread_local bool t_in_region = false;
+
+ThreadPool& acquire_pool(std::size_t want_workers) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool->workers() < want_workers)
+    g_pool = std::make_unique<ThreadPool>(want_workers);
+  return *g_pool;
+}
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc ? static_cast<std::size_t>(hc) : 1;
+}
+
+void set_max_threads(std::size_t n) noexcept {
+  g_max_threads.store(n, std::memory_order_relaxed);
+}
+
+std::size_t max_threads() noexcept {
+  const std::size_t n = g_max_threads.load(std::memory_order_relaxed);
+  return n ? n : hardware_threads();
+}
+
+bool in_parallel_region() noexcept { return t_in_region; }
+
+namespace detail {
+
+namespace {
+struct Shared {
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t finished = 0;
+  std::exception_ptr error;
+};
+}  // namespace
+
+void run_indexed(std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t t = std::min(max_threads(), n);
+  if (t <= 1 || t_in_region) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  const auto shared = std::make_shared<Shared>();
+  shared->n = n;
+  shared->body = &body;
+  auto worker = [shared] {
+    const bool prev = t_in_region;
+    t_in_region = true;
+    for (;;) {
+      if (shared->failed.load(std::memory_order_relaxed)) break;
+      const std::size_t i =
+          shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shared->n) break;
+      try {
+        (*shared->body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        if (!shared->error) shared->error = std::current_exception();
+        shared->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    t_in_region = prev;
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      ++shared->finished;
+    }
+    shared->cv.notify_all();
+  };
+
+  ThreadPool& pool = acquire_pool(t - 1);
+  for (std::size_t w = 0; w + 1 < t; ++w) pool.submit(worker);
+  worker();  // the caller participates
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&shared, t] { return shared->finished == t; });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace detail
+
+}  // namespace hpcap::util

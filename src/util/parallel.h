@@ -1,0 +1,91 @@
+// Deterministic parallel execution for the ML training path.
+//
+// A small fixed-size thread pool plus parallel_for/parallel_map helpers
+// whose results are collected in index order, so any computation whose
+// per-index work depends only on the index (not on shared mutable state)
+// produces bit-identical output at every thread count — including 1.
+//
+// Contract:
+//  * parallel_for(n, body) executes body(i) exactly once for every
+//    i in [0, n). Indices are claimed dynamically, so the *schedule* is
+//    nondeterministic, but callers only ever write to per-index slots and
+//    reduce on the calling thread afterwards, which makes the *result*
+//    schedule-independent.
+//  * Nested regions run serially: a body that itself calls parallel_for
+//    executes that inner loop inline on its worker. This keeps one level
+//    of parallelism (the outermost), avoids pool deadlock, and changes no
+//    results.
+//  * The first exception thrown by a body is rethrown on the caller after
+//    all workers drain; remaining indices are abandoned.
+//  * set_max_threads(n) bounds the worker count process-wide (benches and
+//    tests use it to pin thread counts); the default is
+//    hardware_threads(). Call it only between parallel regions.
+//
+// Only the ML layer (cross-validation, attribute selection, synopsis bank
+// construction) uses this. sim::EventQueue and everything driven by it
+// stay single-threaded by design — see docs/API.md.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hpcap::util {
+
+// Fixed-size worker pool. Jobs are arbitrary void() tasks executed in
+// submission order by whichever worker frees up first.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const noexcept;
+  void submit(std::function<void()> job);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Number of hardware threads (>= 1).
+std::size_t hardware_threads() noexcept;
+
+// Process-wide cap on threads used by parallel_for (>= 1; 0 resets to the
+// hardware default). Not safe to call while a parallel region is running.
+void set_max_threads(std::size_t n) noexcept;
+std::size_t max_threads() noexcept;
+
+// True on threads currently executing inside a parallel_for body.
+bool in_parallel_region() noexcept;
+
+namespace detail {
+void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
+}  // namespace detail
+
+template <typename F>
+void parallel_for(std::size_t n, F&& body) {
+  const std::function<void(std::size_t)> fn = std::forward<F>(body);
+  detail::run_indexed(n, fn);
+}
+
+// Maps fn over [0, n) and returns the results in index order. The result
+// type only needs to be movable (Synopsis, Confusion, ...).
+template <typename F>
+auto parallel_map(std::size_t n, F&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+  using R = std::decay_t<decltype(fn(std::size_t{}))>;
+  std::vector<std::optional<R>> slots(n);
+  parallel_for(n, [&slots, &fn](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<R> out;
+  out.reserve(n);
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+}  // namespace hpcap::util

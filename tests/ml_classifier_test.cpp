@@ -227,9 +227,11 @@ TEST(CrossValidate, PoolsAllInstances) {
   Rng rng(15);
   const Dataset d = blobs(100, rng);
   Rng cv_rng(16);
-  const Confusion c = cross_validate(Tan(), d, 10, cv_rng);
-  EXPECT_EQ(c.total(), 100u);
-  EXPECT_GT(c.balanced_accuracy(), 0.9);
+  const CvResult cv = cross_validate(Tan(), d, 10, cv_rng);
+  EXPECT_EQ(cv.confusion.total(), 100u);
+  EXPECT_GT(cv.balanced_accuracy(), 0.9);
+  EXPECT_EQ(cv.folds_requested, 10);
+  EXPECT_EQ(cv.folds_used, 10);
 }
 
 TEST(CrossValidate, ShrinksFoldsForTinyData) {
@@ -239,8 +241,9 @@ TEST(CrossValidate, ShrinksFoldsForTinyData) {
   d.add({0.1}, 0);
   d.add({0.9}, 1);
   Rng rng(17);
-  const Confusion c = cross_validate(NaiveBayes(), d, 10, rng);
-  EXPECT_GT(c.total(), 0u);
+  const CvResult cv = cross_validate(NaiveBayes(), d, 10, rng);
+  EXPECT_GT(cv.confusion.total(), 0u);
+  EXPECT_LE(cv.folds_used, cv.folds_requested);
 }
 
 TEST(FeatureSelect, RanksInformativeFirst) {

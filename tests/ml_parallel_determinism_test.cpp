@@ -1,0 +1,199 @@
+// The parallel training engine's determinism contract: cross_validate and
+// forward_select must produce bit-identical confusions/selections at 1, 2
+// and 8 threads, DatasetView must be observationally equivalent to a
+// materialized copy, and degenerate folds must be counted, not silently
+// dropped. Carries the "tsan" ctest label for the -DHPCAP_TSAN=ON build.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/evaluate.h"
+#include "ml/feature_select.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+#include "ml/tan.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace hpcap::ml {
+namespace {
+
+struct ThreadCapGuard {
+  std::size_t saved = util::max_threads();
+  ~ThreadCapGuard() { util::set_max_threads(saved); }
+};
+
+// Two informative attributes, several noise ones; both classes present.
+Dataset mixed_data(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d({"sig1", "noise1", "sig2", "noise2", "noise3", "noise4"});
+  for (int i = 0; i < n; ++i) {
+    const int y = i % 2;
+    d.add({y + rng.normal(0.0, 0.3), rng.uniform(),
+           0.5 * y + rng.normal(0.0, 0.4), rng.uniform(), rng.normal(),
+           rng.exponential(1.0)},
+          y);
+  }
+  return d;
+}
+
+bool same_confusion(const Confusion& a, const Confusion& b) {
+  return a.tp == b.tp && a.tn == b.tn && a.fp == b.fp && a.fn == b.fn;
+}
+
+TEST(ParallelDeterminism, CrossValidateIdenticalAcrossThreadCounts) {
+  ThreadCapGuard guard;
+  const Dataset d = mixed_data(240, 101);
+
+  util::set_max_threads(1);
+  Rng base_rng(7);
+  const CvResult serial = cross_validate(Tan(), d, 10, base_rng);
+  ASSERT_GT(serial.confusion.total(), 0u);
+
+  for (std::size_t threads : {2u, 8u}) {
+    util::set_max_threads(threads);
+    Rng rng(7);
+    const CvResult parallel = cross_validate(Tan(), d, 10, rng);
+    EXPECT_TRUE(same_confusion(serial.confusion, parallel.confusion))
+        << "threads=" << threads;
+    EXPECT_EQ(serial.folds_used, parallel.folds_used);
+    EXPECT_EQ(serial.folds_requested, parallel.folds_requested);
+  }
+}
+
+TEST(ParallelDeterminism, CrossValidateIdenticalForEveryLearner) {
+  ThreadCapGuard guard;
+  const Dataset d = mixed_data(120, 103);
+  const std::vector<LearnerKind> kinds = {
+      LearnerKind::kLinearRegression, LearnerKind::kNaiveBayes,
+      LearnerKind::kSvm, LearnerKind::kTan};
+  for (const auto kind : kinds) {
+    const auto proto = make_learner(kind);
+    util::set_max_threads(1);
+    Rng r1(11);
+    const CvResult serial = cross_validate(*proto, d, 5, r1);
+    util::set_max_threads(8);
+    Rng r8(11);
+    const CvResult parallel = cross_validate(*proto, d, 5, r8);
+    EXPECT_TRUE(same_confusion(serial.confusion, parallel.confusion))
+        << proto->name();
+  }
+}
+
+TEST(ParallelDeterminism, ForwardSelectIdenticalAcrossThreadCounts) {
+  ThreadCapGuard guard;
+  const Dataset d = mixed_data(300, 107);
+  FeatureSelectOptions opts;
+  opts.cv_folds = 5;
+
+  util::set_max_threads(1);
+  Rng r1(23);
+  const auto serial = forward_select(Tan(), d, opts, r1);
+  ASSERT_FALSE(serial.empty());
+
+  for (std::size_t threads : {2u, 8u}) {
+    util::set_max_threads(threads);
+    Rng rng(23);
+    EXPECT_EQ(forward_select(Tan(), d, opts, rng), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DatasetViewEquivalence, IdentityViewMatchesDataset) {
+  const Dataset d = mixed_data(50, 109);
+  const DatasetView v(d);
+  ASSERT_EQ(v.size(), d.size());
+  EXPECT_EQ(v.dim(), d.dim());
+  EXPECT_EQ(v.positives(), d.positives());
+  EXPECT_EQ(v.attribute_names(), d.attribute_names());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(v.label(i), d.label(i));
+    EXPECT_EQ(v.row(i).data(), d.row(i).data());  // zero-copy: same block
+  }
+  EXPECT_EQ(v.column(2), d.column(2));
+}
+
+TEST(DatasetViewEquivalence, SelectedViewMatchesMaterializedSubset) {
+  const Dataset d = mixed_data(60, 113);
+  const std::vector<std::size_t> rows = {7, 3, 44, 3, 0, 59};
+  const DatasetView v(d, rows);
+  const Dataset copy = d.subset(rows);
+  ASSERT_EQ(v.size(), copy.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v.label(i), copy.label(i));
+    for (std::size_t a = 0; a < v.dim(); ++a)
+      EXPECT_DOUBLE_EQ(v.row(i)[a], copy.row(i)[a]);
+  }
+  EXPECT_EQ(v.positives(), copy.positives());
+  // materialize() deep-copies to an identical standalone dataset.
+  const Dataset m = v.materialize();
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(m.label(i), copy.label(i));
+}
+
+TEST(DatasetViewEquivalence, FittingOnViewMatchesFittingOnCopy) {
+  const Dataset d = mixed_data(150, 127);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < d.size(); i += 2) rows.push_back(i);
+  const DatasetView view(d, rows);
+  const Dataset copy = d.subset(rows);
+
+  const std::vector<LearnerKind> kinds = {
+      LearnerKind::kLinearRegression, LearnerKind::kNaiveBayes,
+      LearnerKind::kSvm, LearnerKind::kTan};
+  for (const auto kind : kinds) {
+    auto on_view = make_learner(kind);
+    auto on_copy = make_learner(kind);
+    on_view->fit(view);
+    on_copy->fit(copy);
+    for (std::size_t i = 0; i < d.size(); ++i)
+      EXPECT_DOUBLE_EQ(on_view->predict_score(d.row(i)),
+                       on_copy->predict_score(d.row(i)))
+          << on_view->name() << " row " << i;
+  }
+}
+
+TEST(DatasetViewEquivalence, SelectComposesOnBaseRows) {
+  const Dataset d = mixed_data(30, 131);
+  const DatasetView half(d, {0, 2, 4, 6, 8, 10});
+  const DatasetView quarter = half.select({1, 3, 5});
+  ASSERT_EQ(quarter.size(), 3u);
+  // Indices resolve through the parent view to base rows 2, 6, 10.
+  EXPECT_EQ(quarter.row(0).data(), d.row(2).data());
+  EXPECT_EQ(quarter.row(1).data(), d.row(6).data());
+  EXPECT_EQ(quarter.row(2).data(), d.row(10).data());
+  EXPECT_THROW(half.select({6}), std::out_of_range);
+}
+
+TEST(CrossValidateFolds, ReportsDegenerateFoldsInsteadOfSilence) {
+  // Exactly one positive among 40 instances: the fold holding it trains
+  // on a one-class split and must be skipped — visibly, via folds_used,
+  // not silently as before.
+  Dataset d({"a"});
+  Rng gen(137);
+  for (int i = 0; i < 40; ++i) {
+    const int y = i == 0 ? 1 : 0;
+    d.add({y + gen.normal(0.0, 0.1)}, y);
+  }
+  Rng rng(139);
+  const CvResult cv = cross_validate(NaiveBayes(), d, 10, rng);
+  EXPECT_EQ(cv.folds_requested, 10);
+  EXPECT_EQ(cv.folds_used, 9);
+  EXPECT_EQ(cv.folds_skipped(), 1);
+  // The pooled confusion only covers instances from non-skipped folds.
+  EXPECT_EQ(cv.confusion.total(), 36u);
+}
+
+TEST(CrossValidateFolds, NoCopyFoldLoopStillPoolsEverything) {
+  ThreadCapGuard guard;
+  util::set_max_threads(8);
+  const Dataset d = mixed_data(100, 149);
+  Rng rng(151);
+  const CvResult cv = cross_validate(NaiveBayes(), d, 10, rng);
+  EXPECT_EQ(cv.confusion.total(), 100u);
+  EXPECT_EQ(cv.folds_used, 10);
+}
+
+}  // namespace
+}  // namespace hpcap::ml

@@ -1,0 +1,116 @@
+// Thread pool and parallel_for/parallel_map contract tests. These carry
+// the "tsan" ctest label: run them from a -DHPCAP_TSAN=ON build to check
+// the pool under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace hpcap::util {
+namespace {
+
+// Restores the process-wide thread cap on scope exit so tests can't leak
+// their setting into each other.
+struct ThreadCapGuard {
+  std::size_t saved = max_threads();
+  ~ThreadCapGuard() { set_max_threads(saved); }
+};
+
+TEST(ThreadPool, DrainsQueueBeforeJoining) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workers(), 3u);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&ran] { ran.fetch_add(1); });
+  }  // destructor drains the queue, then joins
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCapGuard guard;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_max_threads(threads);
+    std::vector<std::atomic<int>> hits(997);
+    parallel_for(hits.size(), [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroAndOneIndexDegenerate) {
+  ThreadCapGuard guard;
+  set_max_threads(8);
+  int calls = 0;
+  parallel_for(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelMap, ResultsInIndexOrder) {
+  ThreadCapGuard guard;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_max_threads(threads);
+    const auto out =
+        parallel_map(256, [](std::size_t i) { return 3 * i + 1; });
+    ASSERT_EQ(out.size(), 256u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+  }
+}
+
+TEST(ParallelMap, MoveOnlyResults) {
+  ThreadCapGuard guard;
+  set_max_threads(4);
+  const auto out = parallel_map(
+      16, [](std::size_t i) { return std::make_unique<int>(int(i)); });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(*out[i], static_cast<int>(i));
+}
+
+TEST(ParallelFor, PropagatesException) {
+  ThreadCapGuard guard;
+  for (std::size_t threads : {1u, 4u}) {
+    set_max_threads(threads);
+    EXPECT_THROW(parallel_for(64,
+                              [](std::size_t i) {
+                                if (i == 13)
+                                  throw std::runtime_error("boom");
+                              }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, NestedRegionsRunSerially) {
+  ThreadCapGuard guard;
+  set_max_threads(4);
+  EXPECT_FALSE(in_parallel_region());
+  std::vector<int> outer_saw_nested(8, 0);
+  parallel_for(8, [&outer_saw_nested](std::size_t i) {
+    // Inside a region the nested loop must execute inline on this worker.
+    outer_saw_nested[i] = in_parallel_region() ? 1 : 0;
+    std::vector<int> inner(32, 0);
+    parallel_for(inner.size(), [&inner](std::size_t j) { inner[j] = 1; });
+    for (int v : inner) ASSERT_EQ(v, 1);
+  });
+  EXPECT_FALSE(in_parallel_region());
+  for (int saw : outer_saw_nested) EXPECT_EQ(saw, 1);
+}
+
+TEST(ParallelConfig, MaxThreadsRoundTrips) {
+  ThreadCapGuard guard;
+  set_max_threads(5);
+  EXPECT_EQ(max_threads(), 5u);
+  set_max_threads(0);  // reset to hardware default
+  EXPECT_EQ(max_threads(), hardware_threads());
+  EXPECT_GE(hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcap::util
