@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_coordinated.dir/bench_fig4_coordinated.cpp.o"
+  "CMakeFiles/bench_fig4_coordinated.dir/bench_fig4_coordinated.cpp.o.d"
+  "bench_fig4_coordinated"
+  "bench_fig4_coordinated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_coordinated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_synopsis.dir/bench_table1_synopsis.cpp.o"
+  "CMakeFiles/bench_table1_synopsis.dir/bench_table1_synopsis.cpp.o.d"
+  "bench_table1_synopsis"
+  "bench_table1_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

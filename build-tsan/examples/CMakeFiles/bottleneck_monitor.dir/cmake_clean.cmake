@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_monitor.dir/bottleneck_monitor.cpp.o"
+  "CMakeFiles/bottleneck_monitor.dir/bottleneck_monitor.cpp.o.d"
+  "bottleneck_monitor"
+  "bottleneck_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/testbed/CMakeFiles/hpcap_testbed.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mtier/CMakeFiles/hpcap_mtier.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/hpcap_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/counters/CMakeFiles/hpcap_counters.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tpcw/CMakeFiles/hpcap_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/hpcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/hpcap_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/hpcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

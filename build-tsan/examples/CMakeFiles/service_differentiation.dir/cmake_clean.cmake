@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_differentiation.dir/service_differentiation.cpp.o"
+  "CMakeFiles/service_differentiation.dir/service_differentiation.cpp.o.d"
+  "service_differentiation"
+  "service_differentiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_differentiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

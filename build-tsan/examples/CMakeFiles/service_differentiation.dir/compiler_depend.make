@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for service_differentiation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/hpcap_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/hpcap_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/coordinated.cpp" "src/core/CMakeFiles/hpcap_core.dir/coordinated.cpp.o" "gcc" "src/core/CMakeFiles/hpcap_core.dir/coordinated.cpp.o.d"
+  "/root/repo/src/core/labeling.cpp" "src/core/CMakeFiles/hpcap_core.dir/labeling.cpp.o" "gcc" "src/core/CMakeFiles/hpcap_core.dir/labeling.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/hpcap_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/hpcap_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/online_adapt.cpp" "src/core/CMakeFiles/hpcap_core.dir/online_adapt.cpp.o" "gcc" "src/core/CMakeFiles/hpcap_core.dir/online_adapt.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/hpcap_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/hpcap_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/productivity.cpp" "src/core/CMakeFiles/hpcap_core.dir/productivity.cpp.o" "gcc" "src/core/CMakeFiles/hpcap_core.dir/productivity.cpp.o.d"
+  "/root/repo/src/core/synopsis.cpp" "src/core/CMakeFiles/hpcap_core.dir/synopsis.cpp.o" "gcc" "src/core/CMakeFiles/hpcap_core.dir/synopsis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ml/CMakeFiles/hpcap_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/counters/CMakeFiles/hpcap_counters.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/hpcap_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/hpcap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

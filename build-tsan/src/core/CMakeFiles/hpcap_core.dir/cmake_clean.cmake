@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcap_core.dir/admission.cpp.o"
+  "CMakeFiles/hpcap_core.dir/admission.cpp.o.d"
+  "CMakeFiles/hpcap_core.dir/coordinated.cpp.o"
+  "CMakeFiles/hpcap_core.dir/coordinated.cpp.o.d"
+  "CMakeFiles/hpcap_core.dir/labeling.cpp.o"
+  "CMakeFiles/hpcap_core.dir/labeling.cpp.o.d"
+  "CMakeFiles/hpcap_core.dir/model_io.cpp.o"
+  "CMakeFiles/hpcap_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/hpcap_core.dir/online_adapt.cpp.o"
+  "CMakeFiles/hpcap_core.dir/online_adapt.cpp.o.d"
+  "CMakeFiles/hpcap_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hpcap_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hpcap_core.dir/productivity.cpp.o"
+  "CMakeFiles/hpcap_core.dir/productivity.cpp.o.d"
+  "CMakeFiles/hpcap_core.dir/synopsis.cpp.o"
+  "CMakeFiles/hpcap_core.dir/synopsis.cpp.o.d"
+  "libhpcap_core.a"
+  "libhpcap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

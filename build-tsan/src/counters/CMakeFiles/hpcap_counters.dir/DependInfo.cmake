@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counters/hpc_model.cpp" "src/counters/CMakeFiles/hpcap_counters.dir/hpc_model.cpp.o" "gcc" "src/counters/CMakeFiles/hpcap_counters.dir/hpc_model.cpp.o.d"
+  "/root/repo/src/counters/metric_catalog.cpp" "src/counters/CMakeFiles/hpcap_counters.dir/metric_catalog.cpp.o" "gcc" "src/counters/CMakeFiles/hpcap_counters.dir/metric_catalog.cpp.o.d"
+  "/root/repo/src/counters/os_model.cpp" "src/counters/CMakeFiles/hpcap_counters.dir/os_model.cpp.o" "gcc" "src/counters/CMakeFiles/hpcap_counters.dir/os_model.cpp.o.d"
+  "/root/repo/src/counters/overhead.cpp" "src/counters/CMakeFiles/hpcap_counters.dir/overhead.cpp.o" "gcc" "src/counters/CMakeFiles/hpcap_counters.dir/overhead.cpp.o.d"
+  "/root/repo/src/counters/perfctr.cpp" "src/counters/CMakeFiles/hpcap_counters.dir/perfctr.cpp.o" "gcc" "src/counters/CMakeFiles/hpcap_counters.dir/perfctr.cpp.o.d"
+  "/root/repo/src/counters/sampler.cpp" "src/counters/CMakeFiles/hpcap_counters.dir/sampler.cpp.o" "gcc" "src/counters/CMakeFiles/hpcap_counters.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/hpcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/hpcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

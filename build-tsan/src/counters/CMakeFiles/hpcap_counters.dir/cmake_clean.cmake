@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcap_counters.dir/hpc_model.cpp.o"
+  "CMakeFiles/hpcap_counters.dir/hpc_model.cpp.o.d"
+  "CMakeFiles/hpcap_counters.dir/metric_catalog.cpp.o"
+  "CMakeFiles/hpcap_counters.dir/metric_catalog.cpp.o.d"
+  "CMakeFiles/hpcap_counters.dir/os_model.cpp.o"
+  "CMakeFiles/hpcap_counters.dir/os_model.cpp.o.d"
+  "CMakeFiles/hpcap_counters.dir/overhead.cpp.o"
+  "CMakeFiles/hpcap_counters.dir/overhead.cpp.o.d"
+  "CMakeFiles/hpcap_counters.dir/perfctr.cpp.o"
+  "CMakeFiles/hpcap_counters.dir/perfctr.cpp.o.d"
+  "CMakeFiles/hpcap_counters.dir/sampler.cpp.o"
+  "CMakeFiles/hpcap_counters.dir/sampler.cpp.o.d"
+  "libhpcap_counters.a"
+  "libhpcap_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcap_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

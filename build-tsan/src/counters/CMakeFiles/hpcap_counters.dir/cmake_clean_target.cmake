@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcap_counters.a"
+)

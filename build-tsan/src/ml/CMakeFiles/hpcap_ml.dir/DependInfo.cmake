@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/discretize.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/discretize.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/discretize.cpp.o.d"
+  "/root/repo/src/ml/evaluate.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/evaluate.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/evaluate.cpp.o.d"
+  "/root/repo/src/ml/feature_select.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/feature_select.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/feature_select.cpp.o.d"
+  "/root/repo/src/ml/info.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/info.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/info.cpp.o.d"
+  "/root/repo/src/ml/linreg.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/linreg.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/linreg.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/svm.cpp.o.d"
+  "/root/repo/src/ml/tan.cpp" "src/ml/CMakeFiles/hpcap_ml.dir/tan.cpp.o" "gcc" "src/ml/CMakeFiles/hpcap_ml.dir/tan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/hpcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcap_ml.dir/classifier.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/dataset.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/discretize.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/discretize.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/evaluate.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/evaluate.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/feature_select.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/feature_select.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/info.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/info.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/linreg.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/linreg.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/serialize.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/svm.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/svm.cpp.o.d"
+  "CMakeFiles/hpcap_ml.dir/tan.cpp.o"
+  "CMakeFiles/hpcap_ml.dir/tan.cpp.o.d"
+  "libhpcap_ml.a"
+  "libhpcap_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcap_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcap_mtier.dir/pipeline.cpp.o"
+  "CMakeFiles/hpcap_mtier.dir/pipeline.cpp.o.d"
+  "libhpcap_mtier.a"
+  "libhpcap_mtier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcap_mtier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcap_mtier.
+# This may be replaced when dependencies are built.

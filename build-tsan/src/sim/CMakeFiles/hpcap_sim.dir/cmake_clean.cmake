@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcap_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hpcap_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hpcap_sim.dir/request.cpp.o"
+  "CMakeFiles/hpcap_sim.dir/request.cpp.o.d"
+  "CMakeFiles/hpcap_sim.dir/tier.cpp.o"
+  "CMakeFiles/hpcap_sim.dir/tier.cpp.o.d"
+  "libhpcap_sim.a"
+  "libhpcap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcap_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/hpcap_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/hpcap_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/hpcap_testbed.dir/testbed.cpp.o.d"
+  "CMakeFiles/hpcap_testbed.dir/trace.cpp.o"
+  "CMakeFiles/hpcap_testbed.dir/trace.cpp.o.d"
+  "libhpcap_testbed.a"
+  "libhpcap_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcap_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcw/interactions.cpp" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/interactions.cpp.o" "gcc" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/interactions.cpp.o.d"
+  "/root/repo/src/tpcw/mix.cpp" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/mix.cpp.o" "gcc" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/mix.cpp.o.d"
+  "/root/repo/src/tpcw/open_loop.cpp" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/open_loop.cpp.o" "gcc" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/open_loop.cpp.o.d"
+  "/root/repo/src/tpcw/rbe.cpp" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/rbe.cpp.o" "gcc" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/rbe.cpp.o.d"
+  "/root/repo/src/tpcw/request_factory.cpp" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/request_factory.cpp.o" "gcc" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/request_factory.cpp.o.d"
+  "/root/repo/src/tpcw/schedule.cpp" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/schedule.cpp.o" "gcc" "src/tpcw/CMakeFiles/hpcap_tpcw.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/hpcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/hpcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

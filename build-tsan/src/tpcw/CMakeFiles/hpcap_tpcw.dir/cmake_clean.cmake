@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcap_tpcw.dir/interactions.cpp.o"
+  "CMakeFiles/hpcap_tpcw.dir/interactions.cpp.o.d"
+  "CMakeFiles/hpcap_tpcw.dir/mix.cpp.o"
+  "CMakeFiles/hpcap_tpcw.dir/mix.cpp.o.d"
+  "CMakeFiles/hpcap_tpcw.dir/open_loop.cpp.o"
+  "CMakeFiles/hpcap_tpcw.dir/open_loop.cpp.o.d"
+  "CMakeFiles/hpcap_tpcw.dir/rbe.cpp.o"
+  "CMakeFiles/hpcap_tpcw.dir/rbe.cpp.o.d"
+  "CMakeFiles/hpcap_tpcw.dir/request_factory.cpp.o"
+  "CMakeFiles/hpcap_tpcw.dir/request_factory.cpp.o.d"
+  "CMakeFiles/hpcap_tpcw.dir/schedule.cpp.o"
+  "CMakeFiles/hpcap_tpcw.dir/schedule.cpp.o.d"
+  "libhpcap_tpcw.a"
+  "libhpcap_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcap_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

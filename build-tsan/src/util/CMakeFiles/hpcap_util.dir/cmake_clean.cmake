@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcap_util.dir/csv.cpp.o"
+  "CMakeFiles/hpcap_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hpcap_util.dir/log.cpp.o"
+  "CMakeFiles/hpcap_util.dir/log.cpp.o.d"
+  "CMakeFiles/hpcap_util.dir/matrix.cpp.o"
+  "CMakeFiles/hpcap_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/hpcap_util.dir/parallel.cpp.o"
+  "CMakeFiles/hpcap_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/hpcap_util.dir/rng.cpp.o"
+  "CMakeFiles/hpcap_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hpcap_util.dir/stats.cpp.o"
+  "CMakeFiles/hpcap_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hpcap_util.dir/table.cpp.o"
+  "CMakeFiles/hpcap_util.dir/table.cpp.o.d"
+  "libhpcap_util.a"
+  "libhpcap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_classifier_test.dir/ml_classifier_test.cpp.o"
+  "CMakeFiles/ml_classifier_test.dir/ml_classifier_test.cpp.o.d"
+  "ml_classifier_test"
+  "ml_classifier_test.pdb"
+  "ml_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

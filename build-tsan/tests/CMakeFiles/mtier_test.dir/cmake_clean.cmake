@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtier_test.dir/mtier_test.cpp.o"
+  "CMakeFiles/mtier_test.dir/mtier_test.cpp.o.d"
+  "mtier_test"
+  "mtier_test.pdb"
+  "mtier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

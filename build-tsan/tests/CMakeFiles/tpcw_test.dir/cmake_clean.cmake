@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcw_test.dir/tpcw_test.cpp.o"
+  "CMakeFiles/tpcw_test.dir/tpcw_test.cpp.o.d"
+  "tpcw_test"
+  "tpcw_test.pdb"
+  "tpcw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util_parallel_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ml_parallel_determinism_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util_matrix_table_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tpcw_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/counters_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ml_dataset_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ml_classifier_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mtier_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcapctl.dir/hpcapctl.cpp.o"
+  "CMakeFiles/hpcapctl.dir/hpcapctl.cpp.o.d"
+  "hpcapctl"
+  "hpcapctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcapctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

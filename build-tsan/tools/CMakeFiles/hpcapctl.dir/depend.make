@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcapctl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.capacity "/root/repo/build-tsan/tools/hpcapctl" "capacity" "--mix" "shopping")
+set_tests_properties(cli.capacity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.collect "/root/repo/build-tsan/tools/hpcapctl" "collect" "--out" "cli_trace.csv" "--workload" "ordering")
+set_tests_properties(cli.collect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.train_evaluate_monitor "/usr/bin/cmake" "-DHPCAPCTL=/root/repo/build-tsan/tools/hpcapctl" "-P" "/root/repo/tools/cli_roundtrip.cmake")
+set_tests_properties(cli.train_evaluate_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.rejects_unknown_command "/root/repo/build-tsan/tools/hpcapctl" "frobnicate")
+set_tests_properties(cli.rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
