@@ -99,7 +99,12 @@ void CoordinatedPredictor::train(const std::vector<int>& synopsis_predictions,
     push_history(history_signal(synopsis_predictions));
 }
 
-void CoordinatedPredictor::reset_history() { history_ = 0; }
+void CoordinatedPredictor::reset_history() {
+  history_ = 0;
+  last_confident_ = Decision{};
+  have_confident_ = false;
+  staleness_ = 0;
+}
 
 int CoordinatedPredictor::decide(int hc_value) const {
   if (hc_value > opts_.delta) return 1;
@@ -107,10 +112,8 @@ int CoordinatedPredictor::decide(int hc_value) const {
   return opts_.scheme == TieScheme::kPessimistic ? 1 : 0;
 }
 
-CoordinatedPredictor::Decision CoordinatedPredictor::predict(
-    const std::vector<int>& synopsis_predictions) {
-  if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses)
-    throw std::invalid_argument("CoordinatedPredictor::predict: GPV width");
+CoordinatedPredictor::Decision CoordinatedPredictor::evaluate(
+    const std::vector<int>& synopsis_predictions) const {
   const std::size_t gpv = pack_gpv(synopsis_predictions);
   const int hc = lht_[gpv][history_];
   const bool trained_cell = touched_[gpv][history_] != 0;
@@ -169,10 +172,90 @@ CoordinatedPredictor::Decision CoordinatedPredictor::predict(
           std::max_element(bv.begin(), bv.end()) - bv.begin());
     }
   }
+  return d;
+}
+
+void CoordinatedPredictor::note_decision(const Decision& d) {
+  if (d.confident) {
+    last_confident_ = d;
+    have_confident_ = true;
+  }
+}
+
+CoordinatedPredictor::Decision CoordinatedPredictor::predict(
+    const std::vector<int>& synopsis_predictions) {
+  if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses)
+    throw std::invalid_argument("CoordinatedPredictor::predict: GPV width");
+  Decision d = evaluate(synopsis_predictions);
   push_history(opts_.history_source == HistorySource::kSelfPredictions
                    ? d.state
                    : history_signal(synopsis_predictions));
+  staleness_ = 0;
+  note_decision(d);
   return d;
+}
+
+CoordinatedPredictor::Decision CoordinatedPredictor::stale_fallback() {
+  ++staleness_;
+  Decision d;
+  if (have_confident_) {
+    d = last_confident_;
+  } else {
+    // Never had a confident decision to coast on: the φ tie scheme is the
+    // only defensible default.
+    d.state = opts_.scheme == TieScheme::kPessimistic ? 1 : 0;
+    d.confident = false;
+    d.hc = 0;
+    d.bottleneck_tier = -1;
+  }
+  d.degraded = true;
+  d.staleness = staleness_;
+  return d;
+}
+
+CoordinatedPredictor::Decision CoordinatedPredictor::predict_masked(
+    const std::vector<int>& synopsis_predictions,
+    const std::vector<std::uint8_t>& valid) {
+  if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses ||
+      valid.size() != synopsis_predictions.size())
+    throw std::invalid_argument(
+        "CoordinatedPredictor::predict_masked: GPV/mask width");
+
+  std::vector<std::size_t> masked;
+  for (std::size_t i = 0; i < valid.size(); ++i)
+    if (!valid[i]) masked.push_back(i);
+  if (masked.empty()) return predict(synopsis_predictions);
+  if (masked.size() == valid.size()) return stale_fallback();
+
+  // GPV masking: consult the tables under every completion of the unknown
+  // bits (m <= 16, and in practice only a tier's worth of bits is masked,
+  // so the enumeration is tiny). A consensus across completions means the
+  // corrupted synopses could not have changed the answer.
+  std::vector<int> completed = synopsis_predictions;
+  for (std::size_t i : masked) completed[i] = 0;
+  Decision base = evaluate(completed);
+  bool consensus = true;
+  for (std::size_t code = 1;
+       consensus && code < (std::size_t{1} << masked.size()); ++code) {
+    for (std::size_t b = 0; b < masked.size(); ++b)
+      completed[masked[b]] = (code >> b) & 1 ? 1 : 0;
+    if (evaluate(completed).state != base.state) consensus = false;
+  }
+  if (!consensus) return stale_fallback();
+
+  // Fresh, data-grounded decision: advance the history register on the
+  // valid bits only (an abstained synopsis cannot have "fired").
+  std::vector<int> valid_votes;
+  valid_votes.reserve(valid.size() - masked.size());
+  for (std::size_t i = 0; i < valid.size(); ++i)
+    if (valid[i]) valid_votes.push_back(synopsis_predictions[i]);
+  push_history(opts_.history_source == HistorySource::kSelfPredictions
+                   ? base.state
+                   : history_signal(valid_votes));
+  staleness_ = 0;
+  note_decision(base);
+  base.degraded = true;
+  return base;
 }
 
 void CoordinatedPredictor::mark_outcome(

@@ -116,11 +116,38 @@ class CoordinatedPredictor {
     bool confident = false;  // |Hc| > δ (φ was not needed)
     int hc = 0;
     int bottleneck_tier = -1;  // -1 unless state == 1
+    // Degraded-mode bookkeeping (predict_masked): true when the decision
+    // was not computed from a fully valid GPV, and how many consecutive
+    // windows the predictor has been coasting on its last confident
+    // decision (0 = this decision is grounded in current data).
+    bool degraded = false;
+    int staleness = 0;
   };
 
   // Makes the coordinated decision for the interval and advances the
   // online history register with it.
   Decision predict(const std::vector<int>& synopsis_predictions);
+
+  // Degraded-mode decision: `valid[i]` marks whether synopsis i's input
+  // row survived validation; invalid synopses *abstain* and their GPV bits
+  // are unknown. Policy:
+  //  * all bits valid — identical to predict() (bit-for-bit, including
+  //    history evolution), staleness resets to 0;
+  //  * some bits masked — the GPT is consulted under every completion of
+  //    the unknown bits; if all completions agree on the state, that
+  //    consensus is returned (degraded, staleness 0) and the history
+  //    register advances on the valid bits only;
+  //  * no valid bits, or the completions disagree — fall back to the last
+  //    confident decision (degraded, staleness incremented); the history
+  //    register holds, so garbage never trains or pollutes temporal state.
+  // The fallback before any confident decision exists is the φ tie scheme
+  // with no named bottleneck. Throws on width mismatch.
+  Decision predict_masked(const std::vector<int>& synopsis_predictions,
+                          const std::vector<std::uint8_t>& valid);
+
+  // Consecutive predict_masked fallbacks since the last data-grounded
+  // decision (mirrors Decision::staleness of the latest decision).
+  int staleness() const noexcept { return staleness_; }
 
   // Optional online adaptation: once ground truth for the *previous*
   // prediction becomes known, reinforce the tables with it.
@@ -150,6 +177,10 @@ class CoordinatedPredictor {
   void push_history(int outcome);
   int majority(const std::vector<int>& votes) const;
   int history_signal(const std::vector<int>& votes) const;
+  // The pure decision function: predict() minus history mutation.
+  Decision evaluate(const std::vector<int>& synopsis_predictions) const;
+  void note_decision(const Decision& d);
+  Decision stale_fallback();
 
   Options opts_;
   int hc_cap_;
@@ -166,6 +197,11 @@ class CoordinatedPredictor {
   std::vector<double> global_bv_;
   std::size_t history_ = 0;   // h-bit shift register
   std::size_t history_mask_;
+  // Degraded-mode state (predict_masked): the most recent confident
+  // decision to coast on, and how long we have been coasting.
+  Decision last_confident_{};
+  bool have_confident_ = false;
+  int staleness_ = 0;
 };
 
 }  // namespace hpcap::core

@@ -1,9 +1,31 @@
 #include "core/online_adapt.h"
 
+#include <stdexcept>
+
+#include "util/log.h"
+
 namespace hpcap::core {
+
+OnlineAdapter::OnlineAdapter(CapacityMonitor& monitor,
+                             std::size_t max_pending)
+    : monitor_(monitor), max_pending_(max_pending) {
+  if (max_pending_ == 0)
+    throw std::invalid_argument("OnlineAdapter: max_pending must be > 0");
+}
 
 CoordinatedPredictor::Decision OnlineAdapter::observe(
     const std::vector<std::vector<double>>& tier_rows) {
+  if (pending_votes_.size() >= max_pending_) {
+    pending_votes_.pop_front();
+    ++shed_;
+    // Warn on the first shed and then once per max_pending_ sheds — a dead
+    // truth feed would otherwise emit one line per window, forever.
+    if (shed_ == 1 || shed_ % max_pending_ == 0) {
+      HPCAP_WARN << "OnlineAdapter: pending-truth queue full ("
+                 << max_pending_ << "); shed oldest window (total shed "
+                 << shed_ << ") — is the ground-truth feed stalled?";
+    }
+  }
   pending_votes_.push_back(monitor_.synopsis_votes(tier_rows));
   return monitor_.predictor().predict(pending_votes_.back());
 }

@@ -11,6 +11,7 @@
 // behind. bench_ablation quantifies the effect on unknown-mix traffic.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -20,22 +21,39 @@ namespace hpcap::core {
 
 class OnlineAdapter {
  public:
-  explicit OnlineAdapter(CapacityMonitor& monitor) : monitor_(monitor) {}
+  // Default bound on unreported windows. In a healthy deployment truth
+  // arrives a few windows late; thousands of pending windows means the
+  // truth feed is dead, and an unbounded queue would grow forever.
+  static constexpr std::size_t kDefaultMaxPending = 1024;
+
+  explicit OnlineAdapter(CapacityMonitor& monitor,
+                         std::size_t max_pending = kDefaultMaxPending);
 
   // Makes the (zero-lag) decision for a window and queues its votes for
-  // later reinforcement.
+  // later reinforcement. If the queue is full the *oldest* unreported
+  // window is shed (with a warning): stale votes reinforce a regime that
+  // has already drifted away, so the newest windows are the ones worth
+  // keeping.
   CoordinatedPredictor::Decision observe(
       const std::vector<std::vector<double>>& tier_rows);
 
   // Reports the eventual ground truth of the *oldest unreported* window,
-  // in observation order. No-op if nothing is pending.
+  // in observation order. No-op if nothing is pending. Note that after a
+  // shed, the oldest unreported window is no longer the oldest observed
+  // one — callers pairing truths to windows positionally should resync
+  // via shed_windows().
   void report_truth(int label, int bottleneck_tier = -1);
 
   std::size_t pending() const noexcept { return pending_votes_.size(); }
+  std::size_t max_pending() const noexcept { return max_pending_; }
+  // Total windows shed because the queue was full.
+  std::uint64_t shed_windows() const noexcept { return shed_; }
 
  private:
   CapacityMonitor& monitor_;
+  std::size_t max_pending_;
   std::deque<std::vector<int>> pending_votes_;
+  std::uint64_t shed_ = 0;
 };
 
 }  // namespace hpcap::core

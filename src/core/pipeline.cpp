@@ -68,4 +68,23 @@ CoordinatedPredictor::Decision CapacityMonitor::observe(
   return predictor_.predict(synopsis_votes(tier_rows));
 }
 
+CoordinatedPredictor::Decision CapacityMonitor::observe_masked(
+    const std::vector<std::vector<double>>& tier_rows,
+    const std::vector<std::uint8_t>& tier_valid) {
+  std::vector<int> votes(synopses_.size(), 0);
+  std::vector<std::uint8_t> valid(synopses_.size(), 0);
+  for (std::size_t s = 0; s < synopses_.size(); ++s) {
+    const auto t = static_cast<std::size_t>(synopses_[s].spec().tier_index);
+    if (t >= tier_rows.size() || t >= tier_valid.size())
+      throw std::out_of_range("CapacityMonitor: missing tier row");
+    if (tier_valid[t]) {
+      // Only validated rows reach a classifier; an abstaining synopsis's
+      // vote slot stays 0 and is masked out of the GPV.
+      votes[s] = synopses_[s].predict(tier_rows[t]);
+      valid[s] = 1;
+    }
+  }
+  return predictor_.predict_masked(votes, valid);
+}
+
 }  // namespace hpcap::core

@@ -59,6 +59,16 @@ class CapacityMonitor {
   CoordinatedPredictor::Decision observe(
       const std::vector<std::vector<double>>& tier_rows);
 
+  // Degraded-mode decision: `tier_valid[t]` marks whether tier t's row
+  // survived validation (core/validate.h). Synopses watching an invalid
+  // tier abstain — their classifier never sees the row — and the
+  // coordinated predictor decides under GPV masking with a stale-decision
+  // fallback (CoordinatedPredictor::predict_masked). With an all-valid
+  // mask this is bit-identical to observe().
+  CoordinatedPredictor::Decision observe_masked(
+      const std::vector<std::vector<double>>& tier_rows,
+      const std::vector<std::uint8_t>& tier_valid);
+
   // The raw per-synopsis votes for a window (GPV bits, for diagnostics).
   std::vector<int> synopsis_votes(
       const std::vector<std::vector<double>>& tier_rows) const;

@@ -1,0 +1,83 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcap::core {
+
+RowValidator::RowValidator(Options opts) : opts_(opts) {
+  if (opts_.max_abs <= 0.0)
+    throw std::invalid_argument("RowValidator: max_abs must be > 0");
+  if (opts_.fit_margin < 0.0)
+    throw std::invalid_argument("RowValidator: fit_margin must be >= 0");
+}
+
+void RowValidator::fit(const ml::Dataset& training) {
+  if (training.empty())
+    throw std::invalid_argument("RowValidator::fit: empty training set");
+  const std::size_t dim = training.dim();
+  std::vector<double> lo(dim, 0.0), hi(dim, 0.0);
+  for (std::size_t i = 0; i < training.size(); ++i) {
+    const auto row = training.row(i);
+    for (std::size_t a = 0; a < dim; ++a) {
+      if (i == 0 || row[a] < lo[a]) lo[a] = row[a];
+      if (i == 0 || row[a] > hi[a]) hi[a] = row[a];
+    }
+  }
+  if (!lo_.empty() && lo_.size() != dim)
+    throw std::invalid_argument("RowValidator::fit: dimension changed");
+  const bool merge = !lo_.empty();
+  lo_.resize(dim);
+  hi_.resize(dim);
+  for (std::size_t a = 0; a < dim; ++a) {
+    // Widen by margin * span (with a floor so constant metrics still get
+    // slack) — test traffic legitimately exceeds the training envelope,
+    // garbage exceeds it by orders of magnitude. Repeated fit() calls
+    // (e.g. one per tier's training set) take the union of the ranges.
+    const double span = std::max(hi[a] - lo[a], std::abs(hi[a]) + 1.0);
+    const double wlo = lo[a] - opts_.fit_margin * span;
+    const double whi = hi[a] + opts_.fit_margin * span;
+    lo_[a] = merge ? std::min(lo_[a], wlo) : wlo;
+    hi_[a] = merge ? std::max(hi_[a], whi) : whi;
+  }
+  opts_.dim = dim;
+}
+
+RowVerdict RowValidator::validate(std::span<const double> row) {
+  ++stats_.checked;
+  if (opts_.dim != 0 && row.size() != opts_.dim) {
+    ++stats_.rejected;
+    ++stats_.wrong_dimension;
+    return RowVerdict::kWrongDimension;
+  }
+  for (double v : row) {
+    if (!std::isfinite(v)) {
+      ++stats_.rejected;
+      ++stats_.non_finite;
+      return RowVerdict::kNonFinite;
+    }
+  }
+  for (std::size_t a = 0; a < row.size(); ++a) {
+    const bool absurd = std::abs(row[a]) > opts_.max_abs;
+    const bool implausible =
+        !lo_.empty() && a < lo_.size() &&
+        (row[a] < lo_[a] || row[a] > hi_[a]);
+    if (absurd || implausible) {
+      ++stats_.rejected;
+      ++stats_.out_of_range;
+      return RowVerdict::kOutOfRange;
+    }
+  }
+  return RowVerdict::kValid;
+}
+
+std::vector<std::uint8_t> RowValidator::validate_tiers(
+    const std::vector<std::vector<double>>& tier_rows) {
+  std::vector<std::uint8_t> valid(tier_rows.size(), 0);
+  for (std::size_t t = 0; t < tier_rows.size(); ++t)
+    valid[t] = validate(tier_rows[t]) == RowVerdict::kValid ? 1 : 0;
+  return valid;
+}
+
+}  // namespace hpcap::core

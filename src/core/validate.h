@@ -1,0 +1,77 @@
+// Metric-row validation — the gate between the sampling path and the
+// synopses.
+//
+// A synopsis projects a full-catalog row and runs classifier arithmetic on
+// it; NaN, Inf or absurd garbage values silently poison every downstream
+// probability, and a mispredicted decision derived from garbage looks
+// exactly like a confident one. RowValidator decides whether a row is fit
+// to vote on at all. Rows that fail do not reach the synopses — the
+// affected tier's synopses *abstain* for the window and the coordinated
+// predictor falls back (see CoordinatedPredictor::predict_masked).
+//
+// Validation is conservative by design: on clean data every check passes,
+// so the validated path is bit-identical to the unvalidated one (the
+// equivalence the fault tests assert). Optional per-metric plausibility
+// bounds (fit() over training data) tighten the net for finite-but-absurd
+// garbage that slips past the non-finite and absolute-magnitude checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace hpcap::core {
+
+enum class RowVerdict {
+  kValid = 0,
+  kWrongDimension,  // row width != expected metric count
+  kNonFinite,       // NaN or Inf entry
+  kOutOfRange,      // |value| above the absolute or fitted bound
+};
+
+class RowValidator {
+ public:
+  struct Options {
+    std::size_t dim = 0;     // expected row width; 0 = accept any width
+    double max_abs = 1e18;   // absolute plausibility ceiling, any metric
+    // Margin applied to fitted per-metric ranges: a value outside
+    // [lo - margin*span, hi + margin*span] of the training range is
+    // implausible. Only used after fit().
+    double fit_margin = 8.0;
+  };
+
+  RowValidator() = default;
+  explicit RowValidator(Options opts);
+
+  // Learns per-metric [min, max] plausibility ranges from a training set
+  // (rows assumed clean). Also pins the expected dimension.
+  void fit(const ml::Dataset& training);
+
+  // Verdict for one full-catalog row. Counts outcomes in stats().
+  RowVerdict validate(std::span<const double> row);
+
+  // Per-tier convenience: verdicts for a window's tier rows, as the 0/1
+  // validity mask CapacityMonitor::observe_masked expects.
+  std::vector<std::uint8_t> validate_tiers(
+      const std::vector<std::vector<double>>& tier_rows);
+
+  struct Stats {
+    std::uint64_t checked = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t wrong_dimension = 0;
+    std::uint64_t non_finite = 0;
+    std::uint64_t out_of_range = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  const Options& options() const noexcept { return opts_; }
+  bool fitted() const noexcept { return !lo_.empty(); }
+
+ private:
+  Options opts_;
+  std::vector<double> lo_, hi_;  // fitted plausibility bounds (with margin)
+  Stats stats_;
+};
+
+}  // namespace hpcap::core

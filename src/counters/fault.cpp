@@ -1,0 +1,110 @@
+#include "counters/fault.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace hpcap::counters {
+
+FaultPlan FaultPlan::mixed(double rate, std::uint64_t seed) {
+  if (rate < 0.0 || rate > 1.0)
+    throw std::invalid_argument("FaultPlan::mixed: rate must be in [0, 1]");
+  FaultPlan plan;
+  plan.drop_rate = rate;
+  plan.garbage_rate = 0.5 * rate;
+  plan.spike_rate = 0.5 * rate;
+  plan.stuck_rate = 0.25 * rate;
+  // Rare but long: one blackout per ~1/(rate/20) ticks, long enough that
+  // an affected window is discarded rather than averaged short.
+  plan.blackout_rate = rate / 20.0;
+  plan.blackout_duration = 20;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t stream_salt)
+    : plan_(plan), rng_(Rng(plan.seed).split(stream_salt)) {
+  const auto check = [](double p, const char* what) {
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument(std::string("FaultInjector: ") + what +
+                                  " must be in [0, 1]");
+  };
+  check(plan_.drop_rate, "drop_rate");
+  check(plan_.blackout_rate, "blackout_rate");
+  check(plan_.stuck_rate, "stuck_rate");
+  check(plan_.garbage_rate, "garbage_rate");
+  check(plan_.spike_rate, "spike_rate");
+  if (plan_.blackout_duration < 1 || plan_.stuck_duration < 1)
+    throw std::invalid_argument("FaultInjector: durations must be >= 1");
+}
+
+FaultInjector::SampleFate FaultInjector::step() {
+  ++stats_.ticks;
+  if (blackout_left_ > 0) {
+    --blackout_left_;
+    ++stats_.blackout_ticks;
+    return SampleFate::kBlackout;
+  }
+  if (plan_.blackout_rate > 0.0 && rng_.bernoulli(plan_.blackout_rate)) {
+    ++stats_.blackouts;
+    ++stats_.blackout_ticks;
+    blackout_left_ = plan_.blackout_duration - 1;
+    return SampleFate::kBlackout;
+  }
+  if (plan_.drop_rate > 0.0 && rng_.bernoulli(plan_.drop_rate)) {
+    ++stats_.dropped;
+    return SampleFate::kDropped;
+  }
+  return SampleFate::kOk;
+}
+
+void FaultInjector::perturb(std::vector<double>& row) {
+  if (row.empty()) return;
+  if (stuck_value_.empty()) {
+    stuck_value_.assign(row.size(), 0.0);
+    stuck_left_.assign(row.size(), 0);
+  }
+  if (row.size() != stuck_value_.size())
+    throw std::invalid_argument("FaultInjector::perturb: row width changed");
+
+  // Ongoing stuck episodes override the fresh read.
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (stuck_left_[i] > 0) {
+      --stuck_left_[i];
+      row[i] = stuck_value_[i];
+    }
+  }
+  if (plan_.stuck_rate > 0.0 && rng_.bernoulli(plan_.stuck_rate)) {
+    const std::size_t i = rng_.uniform_u64(row.size());
+    stuck_value_[i] = row[i];
+    stuck_left_[i] = plan_.stuck_duration;
+    ++stats_.stuck;
+  }
+  if (plan_.garbage_rate > 0.0 && rng_.bernoulli(plan_.garbage_rate)) {
+    const std::size_t i = rng_.uniform_u64(row.size());
+    switch (rng_.uniform_u64(4)) {
+      case 0:
+        row[i] = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 1:
+        row[i] = std::numeric_limits<double>::infinity();
+        break;
+      case 2:
+        // An uninitialized-buffer style read: huge finite junk.
+        row[i] = 1e30 * (0.5 + rng_.uniform());
+        break;
+      default:
+        row[i] = -row[i] - rng_.uniform(0.0, 1e6);
+        break;
+    }
+    ++stats_.garbage;
+  }
+  if (plan_.spike_rate > 0.0 && rng_.bernoulli(plan_.spike_rate)) {
+    const std::size_t i = rng_.uniform_u64(row.size());
+    row[i] *= plan_.spike_magnitude * (0.5 + rng_.uniform());
+    ++stats_.spikes;
+  }
+}
+
+}  // namespace hpcap::counters

@@ -1,0 +1,106 @@
+// Fault injection for the counter sampling path.
+//
+// Real PMC reads are noisy and error-prone: multiplexing leaves gaps,
+// NetBurst counters are 40 bits wide and wrap mid-run, a wedged perfctr
+// driver returns stuck or garbage values, and a saturated tier can miss
+// whole stretches of its 1 Hz sampling schedule. The paper's pitch is that
+// HPC-based monitoring keeps working when application-level signals are
+// unreliable — which only holds if the monitor survives unreliable
+// *counters* too. FaultPlan/FaultInjector reproduce those failure modes
+// deterministically (seeded, simulation-independent) so every downstream
+// layer — InstanceAggregator, RowValidator, synopsis abstention, the
+// coordinated predictor's stale-decision fallback — can be exercised and
+// measured (bench_faults) instead of trusted.
+//
+// Injection is purely observational: it perturbs what the collectors
+// *report*, never what the simulated tiers *do*, so ground-truth labels
+// are identical with and without faults and accuracy degradation curves
+// are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hpcap::counters {
+
+// Rates are per sampling tick (per metric row for row-scoped faults).
+// A default-constructed plan injects nothing.
+struct FaultPlan {
+  // Whole-sample faults (the read never happens).
+  double drop_rate = 0.0;      // P(this tick's sample is lost)
+  double blackout_rate = 0.0;  // P(entering a whole-tier blackout)
+  int blackout_duration = 20;  // ticks a blackout lasts
+
+  // Row-scoped faults (the read happens but lies).
+  double stuck_rate = 0.0;     // P(one metric freezes at its current value)
+  int stuck_duration = 5;      // ticks a stuck metric keeps repeating
+  double garbage_rate = 0.0;   // P(one metric reads NaN/Inf/absurd junk)
+  double spike_rate = 0.0;     // P(one metric spikes by ~spike_magnitude x)
+  double spike_magnitude = 100.0;
+
+  std::uint64_t seed = 0x0FA417;
+
+  bool enabled() const noexcept {
+    return drop_rate > 0.0 || blackout_rate > 0.0 || stuck_rate > 0.0 ||
+           garbage_rate > 0.0 || spike_rate > 0.0;
+  }
+
+  // The benchmark's one-knob mixed plan: `rate` is the headline fault
+  // intensity (e.g. 0.05 for "5% faults"), split across all fault kinds in
+  // fixed proportions so sweeps move every failure mode together.
+  static FaultPlan mixed(double rate, std::uint64_t seed = 0x0FA417);
+};
+
+// Counts of injected faults, for reporting and plan verification.
+struct FaultStats {
+  std::uint64_t ticks = 0;           // step() calls
+  std::uint64_t dropped = 0;         // isolated lost samples
+  std::uint64_t blackout_ticks = 0;  // samples lost to blackouts
+  std::uint64_t blackouts = 0;       // blackout episodes entered
+  std::uint64_t stuck = 0;           // stuck episodes started
+  std::uint64_t garbage = 0;         // garbage values written
+  std::uint64_t spikes = 0;          // spike multipliers applied
+
+  std::uint64_t lost_samples() const noexcept {
+    return dropped + blackout_ticks;
+  }
+};
+
+// Stateful per-stream perturber; make one per (tier, level) sample stream.
+// Deterministic: the fault sequence depends only on (plan.seed, salt) and
+// the order of step()/perturb() calls.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t stream_salt);
+
+  enum class SampleFate {
+    kOk,        // the sample is read (perturb() may still corrupt it)
+    kDropped,   // isolated loss: this tick's sample never arrives
+    kBlackout,  // tier-wide outage: no samples until the blackout ends
+  };
+
+  // Advances the per-tick state machine (blackout countdown, drop draw).
+  SampleFate step();
+
+  // Applies row-scoped faults (stuck, garbage, spike) in place. Call only
+  // for kOk ticks. The row's dimension fixes the stuck-state width on
+  // first use and must stay constant.
+  void perturb(std::vector<double>& row);
+
+  bool in_blackout() const noexcept { return blackout_left_ > 0; }
+  const FaultStats& stats() const noexcept { return stats_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  int blackout_left_ = 0;
+  // Per-metric stuck state: value to repeat and ticks remaining.
+  std::vector<double> stuck_value_;
+  std::vector<int> stuck_left_;
+  FaultStats stats_;
+};
+
+}  // namespace hpcap::counters

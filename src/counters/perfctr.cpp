@@ -21,7 +21,9 @@ void PerfctrEmulator::advance(const sim::Tier::IntervalStats& stats) {
   const auto sample = model_.synthesize(stats);
   for (std::size_t e = 0; e < kPerfctrEventCount; ++e) {
     const double v = sample[kCatalogIndex[e]];
-    counts_[e] += v > 0.0 ? static_cast<std::uint64_t>(v) : 0u;
+    counts_[e] =
+        (counts_[e] + (v > 0.0 ? static_cast<std::uint64_t>(v) : 0u)) &
+        kCounterMask;
   }
 }
 
@@ -29,13 +31,14 @@ std::array<double, kPerfctrEventCount> PerfctrEmulator::rates(
     const PerfctrCounts& before, const PerfctrCounts& after,
     double elapsed_seconds) {
   if (elapsed_seconds <= 0.0)
-    throw std::invalid_argument("PerfctrEmulator::rates: elapsed <= 0");
+    throw std::invalid_argument(
+        "PerfctrEmulator::rates: elapsed_seconds must be > 0 (got a "
+        "non-positive interval; differencing needs a real elapsed time)");
   std::array<double, kPerfctrEventCount> out{};
   for (std::size_t e = 0; e < kPerfctrEventCount; ++e) {
-    if (after[e] < before[e])
-      throw std::invalid_argument(
-          "PerfctrEmulator::rates: counters went backwards");
-    out[e] = static_cast<double>(after[e] - before[e]) / elapsed_seconds;
+    // Modulo-2^40 subtraction: an apparent backwards step is a wrap.
+    const std::uint64_t delta = (after[e] - before[e]) & kCounterMask;
+    out[e] = static_cast<double>(delta) / elapsed_seconds;
   }
   return out;
 }

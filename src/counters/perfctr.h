@@ -50,15 +50,28 @@ using PerfctrCounts = std::array<std::uint64_t, kPerfctrEventCount>;
 
 class PerfctrEmulator {
  public:
+  // NetBurst IA32_PMCx counters are 40 bits wide: a busy 2+ GHz part wraps
+  // a cycle counter every ~5-9 minutes, so any differencing consumer must
+  // be wraparound-correct. The emulator reproduces the width faithfully.
+  static constexpr int kCounterBits = 40;
+  static constexpr std::uint64_t kCounterMask =
+      (std::uint64_t{1} << kCounterBits) - 1;
+
   PerfctrEmulator(sim::Tier::Config tier, std::uint64_t seed);
 
-  // Accumulates one sampling interval's activity into the counters.
+  // Accumulates one sampling interval's activity into the counters
+  // (modulo 2^40, as the hardware does).
   void advance(const sim::Tier::IntervalStats& stats);
 
-  // Reads the cumulative counters (monotone, like real PMCs).
+  // Reads the cumulative counters (monotone modulo the counter width).
   PerfctrCounts read() const noexcept { return counts_; }
 
-  // Differences two snapshots into per-second event rates.
+  // Differences two snapshots into per-second event rates. An `after`
+  // snapshot numerically below `before` is a counter that wrapped since
+  // the last read; the delta is corrected modulo 2^kCounterBits (valid as
+  // long as fewer than one full wrap elapsed between snapshots — at 1 Hz
+  // sampling the paper's tool is orders of magnitude inside that bound).
+  // Throws std::invalid_argument if elapsed_seconds <= 0.
   static std::array<double, kPerfctrEventCount> rates(
       const PerfctrCounts& before, const PerfctrCounts& after,
       double elapsed_seconds);

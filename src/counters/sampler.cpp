@@ -1,32 +1,99 @@
 #include "counters/sampler.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace hpcap::counters {
 
 InstanceAggregator::InstanceAggregator(std::size_t dim,
-                                       int samples_per_instance)
-    : dim_(dim), window_(samples_per_instance), sum_(dim, 0.0) {
+                                       int samples_per_instance,
+                                       double max_missing_fraction,
+                                       int trimmed_samples)
+    : dim_(dim),
+      window_(samples_per_instance),
+      trim_(trimmed_samples) {
   if (samples_per_instance <= 0)
     throw std::invalid_argument("InstanceAggregator: window must be > 0");
+  if (max_missing_fraction < 0.0 || max_missing_fraction >= 1.0)
+    throw std::invalid_argument(
+        "InstanceAggregator: max_missing_fraction must be in [0, 1)");
+  if (trimmed_samples < 0 || 2 * trimmed_samples >= samples_per_instance)
+    throw std::invalid_argument(
+        "InstanceAggregator: trimmed_samples must leave a non-empty core");
+  max_missing_ = static_cast<int>(max_missing_fraction *
+                                  static_cast<double>(window_));
+  buffer_.reserve(static_cast<std::size_t>(window_));
+}
+
+InstanceAggregator::SlotResult InstanceAggregator::add_slot(
+    const std::vector<double>& sample) {
+  if (sample.size() != dim_)
+    throw std::invalid_argument("InstanceAggregator: dimension mismatch");
+  const bool finite =
+      std::all_of(sample.begin(), sample.end(),
+                  [](double v) { return std::isfinite(v); });
+  if (!finite) return mark_missing();
+  ++slots_;
+  buffer_.push_back(sample);
+  return close_if_full();
+}
+
+InstanceAggregator::SlotResult InstanceAggregator::mark_missing() {
+  ++slots_;
+  ++missing_;
+  return close_if_full();
+}
+
+InstanceAggregator::SlotResult InstanceAggregator::close_if_full() {
+  SlotResult r;
+  if (slots_ < window_) return r;
+  r.window_closed = true;
+  r.missing = missing_;
+  const int present = static_cast<int>(buffer_.size());
+  // Too many gaps (or too few survivors to trim): the window is not a
+  // faithful 30 s average — discard it rather than averaging short.
+  if (missing_ > max_missing_ || present <= 2 * trim_) {
+    ++windows_discarded_;
+    reset();
+    return r;
+  }
+  r.valid = true;
+  std::vector<double> instance(dim_, 0.0);
+  if (trim_ == 0) {
+    for (const auto& row : buffer_)
+      for (std::size_t i = 0; i < dim_; ++i) instance[i] += row[i];
+    for (std::size_t i = 0; i < dim_; ++i)
+      instance[i] /= static_cast<double>(present);
+  } else {
+    std::vector<double> column(static_cast<std::size_t>(present));
+    for (std::size_t i = 0; i < dim_; ++i) {
+      for (int s = 0; s < present; ++s)
+        column[static_cast<std::size_t>(s)] =
+            buffer_[static_cast<std::size_t>(s)][i];
+      std::sort(column.begin(), column.end());
+      double sum = 0.0;
+      for (int s = trim_; s < present - trim_; ++s)
+        sum += column[static_cast<std::size_t>(s)];
+      instance[i] = sum / static_cast<double>(present - 2 * trim_);
+    }
+  }
+  r.instance = std::move(instance);
+  reset();
+  return r;
 }
 
 std::optional<std::vector<double>> InstanceAggregator::add(
     const std::vector<double>& sample) {
-  if (sample.size() != dim_)
-    throw std::invalid_argument("InstanceAggregator: dimension mismatch");
-  for (std::size_t i = 0; i < dim_; ++i) sum_[i] += sample[i];
-  if (++count_ < window_) return std::nullopt;
-  std::vector<double> instance(dim_);
-  for (std::size_t i = 0; i < dim_; ++i)
-    instance[i] = sum_[i] / static_cast<double>(window_);
-  reset();
-  return instance;
+  auto r = add_slot(sample);
+  if (r.window_closed && r.valid) return std::move(r.instance);
+  return std::nullopt;
 }
 
 void InstanceAggregator::reset() {
-  count_ = 0;
-  sum_.assign(dim_, 0.0);
+  slots_ = 0;
+  missing_ = 0;
+  buffer_.clear();
 }
 
 }  // namespace hpcap::counters

@@ -8,6 +8,7 @@
 // asserted.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -17,25 +18,72 @@
 namespace hpcap::counters {
 
 // Averages fixed-size windows of samples into instances.
+//
+// Gap-aware: a window is a run of *slots* (ticks), not of successful
+// samples. A dropped read (mark_missing) or a sample carrying non-finite
+// values consumes a slot without contributing data, so windows stay
+// aligned across tiers and levels even under faults. When a window closes
+// with too many missing slots the instance is discarded — an average over
+// a handful of surviving samples is not a 30 s instance and must not be
+// passed off as one — and windows_discarded() counts the loss. Optional
+// per-metric trimming (trimmed_samples > 0) drops the k highest and k
+// lowest surviving samples per metric before averaging, which bounds the
+// damage a spike or garbage outlier can do to the window mean. With no
+// missing slots and trim 0 the result is bit-identical to a plain mean.
 class InstanceAggregator {
  public:
-  InstanceAggregator(std::size_t dim, int samples_per_instance);
+  // `max_missing_fraction`: a closing window with more than
+  // floor(fraction * window) missing slots is discarded.
+  // `trimmed_samples`: per-metric count trimmed from each extreme.
+  InstanceAggregator(std::size_t dim, int samples_per_instance,
+                     double max_missing_fraction = 0.5,
+                     int trimmed_samples = 0);
 
-  // Adds one sample; returns the averaged instance when a window fills.
+  // Outcome of one slot (see add_slot / mark_missing).
+  struct SlotResult {
+    bool window_closed = false;
+    bool valid = false;  // instance usable (enough surviving samples)
+    int missing = 0;     // missing slots in the closed window
+    std::optional<std::vector<double>> instance;  // set iff closed && valid
+  };
+
+  // Adds one sample slot. A sample with any non-finite entry is treated
+  // as a missing slot (a garbage read is a failed read). Throws
+  // std::invalid_argument on dimension mismatch.
+  SlotResult add_slot(const std::vector<double>& sample);
+
+  // Consumes one slot with no sample (dropped read, tier blackout).
+  SlotResult mark_missing();
+
+  // Legacy interface: returns the averaged instance when a window fills
+  // (and survives the missing-slot check).
   std::optional<std::vector<double>> add(const std::vector<double>& sample);
 
   // Discards any partial window (e.g. at a workload-segment boundary, so
   // instances never straddle two regimes).
   void reset();
 
-  int samples_buffered() const noexcept { return count_; }
+  int samples_buffered() const noexcept { return slots_; }
+  int missing_in_window() const noexcept { return missing_; }
   int window() const noexcept { return window_; }
+  int max_missing() const noexcept { return max_missing_; }
+  std::uint64_t windows_discarded() const noexcept {
+    return windows_discarded_;
+  }
 
  private:
+  SlotResult close_if_full();
+
   std::size_t dim_;
   int window_;
-  int count_ = 0;
-  std::vector<double> sum_;
+  int max_missing_;
+  int trim_;
+  int slots_ = 0;    // slots consumed in the current window
+  int missing_ = 0;  // missing slots among them
+  // Surviving samples of the open window, in arrival order (so the
+  // untrimmed mean sums in exactly the order the old running-sum did).
+  std::vector<std::vector<double>> buffer_;
+  std::uint64_t windows_discarded_ = 0;
 };
 
 // A collector = metric model + per-sample CPU cost on the monitored tier.

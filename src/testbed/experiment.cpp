@@ -330,6 +330,11 @@ ml::Dataset make_dataset(const std::vector<InstanceRecord>& records,
   for (std::size_t i = 0; i < records.size() && i < labels.size(); ++i) {
     const auto& grid = hpc ? records[i].hpc : records[i].os;
     if (grid.empty()) continue;  // collector was off for this run
+    // Skip tiers whose window was discarded under fault injection: the
+    // stored row is a zero placeholder, not a measurement.
+    const auto& valid = hpc ? records[i].hpc_valid : records[i].os_valid;
+    if (!valid.empty() && !valid.at(static_cast<std::size_t>(tier)))
+      continue;
     d.add(grid.at(static_cast<std::size_t>(tier)), labels[i]);
   }
   return d;
@@ -338,6 +343,14 @@ ml::Dataset make_dataset(const std::vector<InstanceRecord>& records,
 std::vector<std::vector<double>> monitor_rows(const InstanceRecord& rec,
                                               const std::string& level) {
   return level == "hpc" ? rec.hpc : rec.os;
+}
+
+std::vector<std::uint8_t> monitor_row_validity(const InstanceRecord& rec,
+                                               const std::string& level) {
+  const auto& mask = level == "hpc" ? rec.hpc_valid : rec.os_valid;
+  if (!mask.empty()) return mask;
+  const auto& rows = level == "hpc" ? rec.hpc : rec.os;
+  return std::vector<std::uint8_t>(rows.size(), 1);
 }
 
 core::CapacityMonitor build_monitor(

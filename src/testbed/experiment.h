@@ -4,6 +4,7 @@
 // recorded instances into per-(tier, level) ML datasets.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -143,6 +144,13 @@ core::CapacityMonitor build_monitor(
 // Rows for one instance in the layout CapacityMonitor::observe expects.
 std::vector<std::vector<double>> monitor_rows(const InstanceRecord& rec,
                                               const std::string& level);
+
+// Per-tier validity mask for the same rows (all 1s when the record
+// predates fault awareness, i.e. its mask is empty). Pair with
+// CapacityMonitor::observe_masked to keep discarded windows' placeholder
+// rows away from the synopses.
+std::vector<std::uint8_t> monitor_row_validity(const InstanceRecord& rec,
+                                               const std::string& level);
 
 // Per-tier HPC metric series + throughput reference restricted to the
 // *stressed* region of a run (any tier utilization >= min_utilization) —

@@ -1,6 +1,7 @@
 #include "testbed/testbed.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -79,11 +80,35 @@ Testbed::Testbed(TestbedConfig cfg)
         os_params[static_cast<std::size_t>(t)],
         cfg_.seed * 257 + static_cast<std::uint64_t>(t)));
     hpc_agg_.emplace_back(counters::hpc_catalog().size(),
-                          cfg_.samples_per_instance);
+                          cfg_.samples_per_instance,
+                          cfg_.max_missing_fraction, cfg_.aggregator_trim);
     os_agg_.emplace_back(counters::os_catalog().size(),
-                         cfg_.samples_per_instance);
+                         cfg_.samples_per_instance,
+                         cfg_.max_missing_fraction, cfg_.aggregator_trim);
+    if (cfg_.faults.enabled()) {
+      hpc_faults_.emplace_back(cfg_.faults,
+                               0x1000u + static_cast<std::uint64_t>(t));
+      os_faults_.emplace_back(cfg_.faults,
+                              0x2000u + static_cast<std::uint64_t>(t));
+    }
   }
   window_.reset(kNumTiers);
+}
+
+counters::FaultStats Testbed::fault_stats(const std::string& level,
+                                          int tier) const {
+  if (tier < 0 || tier >= kNumTiers)
+    throw std::out_of_range("Testbed::fault_stats: tier");
+  const auto& streams = level == "hpc" ? hpc_faults_ : os_faults_;
+  if (streams.empty()) return counters::FaultStats{};
+  return streams[static_cast<std::size_t>(tier)].stats();
+}
+
+std::uint64_t Testbed::discarded_windows(const std::string& level) const {
+  const auto& aggs = level == "hpc" ? hpc_agg_ : os_agg_;
+  std::uint64_t total = 0;
+  for (const auto& a : aggs) total += a.windows_discarded();
+  return total;
 }
 
 sim::Tier& Testbed::tier(int index) {
@@ -184,6 +209,39 @@ void Testbed::sampling_tick() {
 
   std::optional<std::vector<std::vector<double>>> hpc_instance;
   std::optional<std::vector<std::vector<double>>> os_instance;
+  std::vector<std::uint8_t> hpc_valid(tiers_.size(), 1);
+  std::vector<std::uint8_t> os_valid(tiers_.size(), 1);
+  std::vector<int> hpc_missing(tiers_.size(), 0);
+  std::vector<int> os_missing(tiers_.size(), 0);
+  bool hpc_closed = false;
+  bool os_closed = false;
+
+  // Routes one tier/level sample through its fault stream (if any) and its
+  // gap-aware aggregator. The collector has already synthesized `v`; a
+  // dropped or blacked-out read loses the sample *after* collection, so
+  // the collectors' internal randomness — and therefore the underlying
+  // metric streams — are identical across every fault plan.
+  const auto ingest = [&](counters::FaultInjector* inj,
+                          counters::InstanceAggregator& agg,
+                          std::vector<double> v,
+                          std::vector<std::vector<double>>& sample_rows) {
+    bool lost = false;
+    if (inj != nullptr) {
+      const auto fate = inj->step();
+      if (fate == counters::FaultInjector::SampleFate::kOk) {
+        inj->perturb(v);
+      } else {
+        lost = true;
+      }
+    }
+    if (lost) {
+      sample_rows.emplace_back(v.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+      return agg.mark_missing();
+    }
+    sample_rows.push_back(v);
+    return agg.add_slot(v);
+  };
 
   for (std::size_t t = 0; t < tiers_.size(); ++t) {
     const auto& s = stats[t];
@@ -198,11 +256,18 @@ void Testbed::sampling_tick() {
       if (cfg_.charge_collection_cost)
         counters::charge_collection_cost(
             *tiers_[t], counters::HpcCollector::cost_per_sample());
-      auto v = hpc_collectors_[t]->collect(s);
-      sample.hpc.push_back(v);
-      if (auto inst = hpc_agg_[t].add(v)) {
+      const auto slot =
+          ingest(hpc_faults_.empty() ? nullptr : &hpc_faults_[t],
+                 hpc_agg_[t], hpc_collectors_[t]->collect(s), sample.hpc);
+      if (slot.window_closed) {
+        hpc_closed = true;
+        hpc_valid[t] = slot.valid ? 1 : 0;
+        hpc_missing[t] = slot.missing;
         if (!hpc_instance) hpc_instance.emplace(tiers_.size());
-        (*hpc_instance)[t] = std::move(*inst);
+        (*hpc_instance)[t] =
+            slot.valid ? std::move(*slot.instance)
+                       : std::vector<double>(counters::hpc_catalog().size(),
+                                             0.0);
       }
     }
     if (cfg_.collect_os) {
@@ -221,21 +286,30 @@ void Testbed::sampling_tick() {
       g.blocked_fraction = (static_cast<int>(t) == kDbTier)
                                ? 0.97 * fp / (fp + 40.0)
                                : 0.15 * fp / (fp + 800.0);
-      auto v = os_collectors_[t]->collect(s, g);
-      sample.os.push_back(v);
-      if (auto inst = os_agg_[t].add(v)) {
+      const auto slot =
+          ingest(os_faults_.empty() ? nullptr : &os_faults_[t], os_agg_[t],
+                 os_collectors_[t]->collect(s, g), sample.os);
+      if (slot.window_closed) {
+        os_closed = true;
+        os_valid[t] = slot.valid ? 1 : 0;
+        os_missing[t] = slot.missing;
         if (!os_instance) os_instance.emplace(tiers_.size());
-        (*os_instance)[t] = std::move(*inst);
+        (*os_instance)[t] =
+            slot.valid ? std::move(*slot.instance)
+                       : std::vector<double>(counters::os_catalog().size(),
+                                             0.0);
       }
     }
   }
   samples_.push_back(std::move(sample));
 
   // A full 30 s window closed on this tick (when any collector is active,
-  // its aggregator defines the cadence; with none, fall back to tick
-  // counting so overhead baselines still produce instances).
+  // its aggregator defines the cadence — every slot consumes one tick, so
+  // the aggregators stay in lockstep even when samples are lost; with no
+  // collectors, fall back to tick counting so overhead baselines still
+  // produce instances).
   const bool window_closed =
-      hpc_instance.has_value() || os_instance.has_value() ||
+      hpc_closed || os_closed ||
       (!cfg_.collect_hpc && !cfg_.collect_os &&
        window_.ticks >= cfg_.samples_per_instance);
   if (!window_closed) return;
@@ -244,6 +318,14 @@ void Testbed::sampling_tick() {
   rec.end_time = eq_.now();
   if (hpc_instance) rec.hpc = std::move(*hpc_instance);
   if (os_instance) rec.os = std::move(*os_instance);
+  if (hpc_closed) {
+    rec.hpc_valid = std::move(hpc_valid);
+    rec.hpc_missing = std::move(hpc_missing);
+  }
+  if (os_closed) {
+    rec.os_valid = std::move(os_valid);
+    rec.os_missing = std::move(os_missing);
+  }
   const double window_seconds =
       static_cast<double>(window_.ticks) * cfg_.sample_period;
   rec.health.throughput =

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/labeling.h"
+#include "counters/fault.h"
 #include "counters/sampler.h"
 #include "sim/event_queue.h"
 #include "sim/tier.h"
@@ -48,6 +49,18 @@ struct TestbedConfig {
   bool collect_os = true;
   // Charge collector CPU to the sampled tiers (the §V.D experiment).
   bool charge_collection_cost = false;
+  // Counter-fault injection (counters/fault.h). Default: no faults — the
+  // recorded metrics are then bit-identical to a fault-free build. Faults
+  // perturb only what the collectors *report*; the simulation (and so the
+  // ground-truth labels) is untouched.
+  counters::FaultPlan faults;
+  // Gap handling for the 30-sample windows: a window missing more than
+  // this fraction of its samples is discarded, not averaged short.
+  double max_missing_fraction = 0.5;
+  // Per-metric samples trimmed from each extreme of a window before
+  // averaging (0 = plain mean, bit-identical to the historical behavior).
+  // Raise to 1-2 under fault injection to bound outlier damage.
+  int aggregator_trim = 0;
   std::uint64_t seed = 42;
 
   // The paper's hardware: P4 2.0 GHz front end (512 MB), Pentium D
@@ -69,6 +82,15 @@ struct InstanceRecord {
   double end_time = 0.0;
   std::vector<std::vector<double>> hpc;  // [tier][metric], window averages
   std::vector<std::vector<double>> os;
+  // Per-tier window quality (set when the collector is active; empty ==
+  // everything valid, for records predating fault awareness). A 0 entry
+  // means the tier's window was discarded (too many missing samples) and
+  // its row above is a zero placeholder that must not reach a synopsis.
+  std::vector<std::uint8_t> hpc_valid;
+  std::vector<std::uint8_t> os_valid;
+  // Missing samples per tier in this window (diagnostics).
+  std::vector<int> hpc_missing;
+  std::vector<int> os_missing;
   core::WindowHealth health;             // app-level telemetry, same window
   double offered_rate = 0.0;             // requests issued / s
   int ebs = 0;
@@ -109,6 +131,13 @@ class Testbed {
   std::uint64_t rejected_requests() const noexcept { return rejected_; }
   std::uint64_t completed_requests() const noexcept { return completed_; }
 
+  // Injected-fault accounting per (level, tier); zeros when the plan is
+  // disabled. `level` is "hpc" or "os".
+  counters::FaultStats fault_stats(const std::string& level,
+                                   int tier) const;
+  // Windows discarded for excessive gaps, per level (both tiers).
+  std::uint64_t discarded_windows(const std::string& level) const;
+
   const TestbedConfig& config() const noexcept { return cfg_; }
   sim::EventQueue& events() noexcept { return eq_; }
   sim::Tier& tier(int index);
@@ -136,6 +165,10 @@ class Testbed {
   std::vector<std::unique_ptr<counters::OsCollector>> os_collectors_;
   std::vector<counters::InstanceAggregator> hpc_agg_;
   std::vector<counters::InstanceAggregator> os_agg_;
+  // One fault stream per (level, tier); empty when cfg_.faults is
+  // disabled (the fault-free path draws no fault randomness at all).
+  std::vector<counters::FaultInjector> hpc_faults_;
+  std::vector<counters::FaultInjector> os_faults_;
 
   // Window accumulation for health/bottleneck annotation.
   struct WindowAccum {

@@ -1,0 +1,390 @@
+// Degraded-mode behavior of the core layer: RowValidator gating,
+// CoordinatedPredictor::predict_masked (GPV masking + stale-decision
+// fallback), CapacityMonitor::observe_masked, and the bounded
+// OnlineAdapter queue.
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/online_adapt.h"
+#include "core/pipeline.h"
+#include "core/validate.h"
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace hpcap::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// -- RowValidator --------------------------------------------------------
+
+TEST(RowValidator, CleanRowsPass) {
+  RowValidator v;
+  const std::vector<double> row{1.0, -2.5, 1e6, 0.0};
+  EXPECT_EQ(v.validate(row), RowVerdict::kValid);
+  EXPECT_EQ(v.stats().checked, 1u);
+  EXPECT_EQ(v.stats().rejected, 0u);
+}
+
+TEST(RowValidator, RejectsNonFiniteAndAbsurd) {
+  RowValidator v;
+  EXPECT_EQ(v.validate(std::vector<double>{1.0, kNaN}),
+            RowVerdict::kNonFinite);
+  EXPECT_EQ(v.validate(std::vector<double>{kInf, 1.0}),
+            RowVerdict::kNonFinite);
+  EXPECT_EQ(v.validate(std::vector<double>{1e30, 1.0}),
+            RowVerdict::kOutOfRange);
+  EXPECT_EQ(v.validate(std::vector<double>{-1e30}),
+            RowVerdict::kOutOfRange);
+  EXPECT_EQ(v.stats().rejected, 4u);
+  EXPECT_EQ(v.stats().non_finite, 2u);
+  EXPECT_EQ(v.stats().out_of_range, 2u);
+}
+
+TEST(RowValidator, EnforcesDimensionWhenPinned) {
+  RowValidator::Options opts;
+  opts.dim = 3;
+  RowValidator v(opts);
+  EXPECT_EQ(v.validate(std::vector<double>{1.0, 2.0}),
+            RowVerdict::kWrongDimension);
+  EXPECT_EQ(v.validate(std::vector<double>{1.0, 2.0, 3.0}),
+            RowVerdict::kValid);
+}
+
+TEST(RowValidator, FittedRangesCatchFiniteGarbage) {
+  ml::Dataset d({"a", "b"});
+  for (int i = 0; i < 50; ++i)
+    d.add({100.0 + i, 0.5}, i % 2);
+  RowValidator v;
+  v.fit(d);
+  EXPECT_TRUE(v.fitted());
+  // Inside the (margin-widened) training envelope: fine. 8x the span
+  // beyond it: implausible, even though well under max_abs.
+  EXPECT_EQ(v.validate(std::vector<double>{120.0, 0.5}), RowVerdict::kValid);
+  EXPECT_EQ(v.validate(std::vector<double>{1e9, 0.5}),
+            RowVerdict::kOutOfRange);
+  EXPECT_EQ(v.validate(std::vector<double>{120.0, -1e9}),
+            RowVerdict::kOutOfRange);
+  // Fitting also pins the dimension.
+  EXPECT_EQ(v.validate(std::vector<double>{120.0}),
+            RowVerdict::kWrongDimension);
+}
+
+TEST(RowValidator, RepeatedFitTakesTheUnion) {
+  ml::Dataset low({"a"});
+  low.add({0.0}, 0);
+  low.add({1.0}, 1);
+  ml::Dataset high({"a"});
+  high.add({1000.0}, 0);
+  high.add({1001.0}, 1);
+  RowValidator v;
+  v.fit(low);
+  EXPECT_EQ(v.validate(std::vector<double>{1000.0}),
+            RowVerdict::kOutOfRange);
+  v.fit(high);
+  // After merging, both regimes validate.
+  EXPECT_EQ(v.validate(std::vector<double>{0.5}), RowVerdict::kValid);
+  EXPECT_EQ(v.validate(std::vector<double>{1000.5}), RowVerdict::kValid);
+
+  ml::Dataset wider({"a", "b"});
+  wider.add({1.0, 2.0}, 0);
+  wider.add({2.0, 3.0}, 1);
+  EXPECT_THROW(v.fit(wider), std::invalid_argument);
+}
+
+TEST(RowValidator, ValidateTiersBuildsTheMask) {
+  RowValidator v;
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 2.0}, {kNaN, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(v.validate_tiers(rows),
+            (std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(RowValidator, ValidatesOptions) {
+  RowValidator::Options opts;
+  opts.max_abs = 0.0;
+  EXPECT_THROW(RowValidator{opts}, std::invalid_argument);
+  opts = RowValidator::Options{};
+  opts.fit_margin = -1.0;
+  EXPECT_THROW(RowValidator{opts}, std::invalid_argument);
+  RowValidator v;
+  ml::Dataset empty({"a"});
+  EXPECT_THROW(v.fit(empty), std::invalid_argument);
+}
+
+// -- CoordinatedPredictor::predict_masked --------------------------------
+
+CoordinatedPredictor::Options masked_options(int history_bits = 0) {
+  CoordinatedPredictor::Options opts;
+  opts.num_synopses = 2;
+  opts.num_tiers = 2;
+  opts.history_bits = history_bits;
+  opts.delta = 1;
+  opts.synopsis_tiers = {0, 1};
+  return opts;
+}
+
+// Trains a clean separation: any GPV with bit 1 set is overloaded (db
+// bottleneck), {1, 0} is overloaded (app bottleneck), {0, 0} healthy.
+CoordinatedPredictor trained_predictor(int history_bits = 0) {
+  CoordinatedPredictor p(masked_options(history_bits));
+  for (int i = 0; i < 8; ++i) {
+    p.train({1, 1}, 1, 1);
+    p.train({0, 1}, 1, 1);
+    p.train({1, 0}, 1, 0);
+    p.train({0, 0}, 0, -1);
+  }
+  p.reset_history();
+  return p;
+}
+
+TEST(PredictMasked, AllValidIsBitIdenticalToPredict) {
+  CoordinatedPredictor plain = trained_predictor(2);
+  CoordinatedPredictor masked = trained_predictor(2);
+  const std::vector<std::vector<int>> stream = {
+      {0, 0}, {1, 1}, {0, 1}, {1, 0}, {0, 0}, {1, 1}};
+  const std::vector<std::uint8_t> all_valid{1, 1};
+  for (const auto& votes : stream) {
+    const auto a = plain.predict(votes);
+    const auto b = masked.predict_masked(votes, all_valid);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.confident, b.confident);
+    EXPECT_EQ(a.hc, b.hc);
+    EXPECT_EQ(a.bottleneck_tier, b.bottleneck_tier);
+    EXPECT_FALSE(b.degraded);
+    EXPECT_EQ(b.staleness, 0);
+    EXPECT_EQ(plain.current_history(), masked.current_history());
+  }
+}
+
+TEST(PredictMasked, ConsensusAcrossCompletionsIsAFreshDecision) {
+  CoordinatedPredictor p = trained_predictor();
+  // Bit 0 abstains; the valid bit says the db synopsis fired. Both
+  // completions ({0,1} and {1,1}) are trained overloaded -> consensus.
+  const auto d = p.predict_masked({0, 1}, {0, 1});
+  EXPECT_EQ(d.state, 1);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.staleness, 0);
+  EXPECT_EQ(p.staleness(), 0);
+}
+
+TEST(PredictMasked, DisagreementFallsBackToLastConfident) {
+  CoordinatedPredictor p = trained_predictor();
+  // Ground a confident overload decision first.
+  const auto grounded = p.predict({1, 1});
+  ASSERT_EQ(grounded.state, 1);
+  ASSERT_TRUE(grounded.confident);
+  const int grounded_bottleneck = grounded.bottleneck_tier;
+  // Bit 0 abstains and the db bit is quiet: completions {0,0} (healthy)
+  // and {1,0} (overloaded) disagree -> coast on the last confident call.
+  const auto d1 = p.predict_masked({0, 0}, {0, 1});
+  EXPECT_EQ(d1.state, 1);
+  EXPECT_TRUE(d1.degraded);
+  EXPECT_EQ(d1.staleness, 1);
+  EXPECT_EQ(d1.bottleneck_tier, grounded_bottleneck);
+  // Still dark: staleness keeps counting.
+  const auto d2 = p.predict_masked({0, 0}, {0, 0});
+  EXPECT_EQ(d2.state, 1);
+  EXPECT_EQ(d2.staleness, 2);
+  EXPECT_EQ(p.staleness(), 2);
+  // Data returns: a grounded decision resets the staleness clock.
+  const auto d3 = p.predict_masked({0, 0}, {1, 1});
+  EXPECT_FALSE(d3.degraded);
+  EXPECT_EQ(d3.staleness, 0);
+  EXPECT_EQ(p.staleness(), 0);
+}
+
+TEST(PredictMasked, FullBlackoutFallsBack) {
+  CoordinatedPredictor p = trained_predictor();
+  const auto grounded = p.predict({0, 0});
+  ASSERT_EQ(grounded.state, 0);
+  ASSERT_TRUE(grounded.confident);
+  const auto d = p.predict_masked({1, 1}, {0, 0});  // votes are garbage
+  EXPECT_EQ(d.state, 0);  // garbage ignored; last confident answer rules
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.staleness, 1);
+}
+
+TEST(PredictMasked, FallbackBeforeAnyConfidenceUsesTieScheme) {
+  CoordinatedPredictor optimistic(masked_options());
+  auto d = optimistic.predict_masked({1, 1}, {0, 0});
+  EXPECT_EQ(d.state, 0);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.bottleneck_tier, -1);
+
+  auto opts = masked_options();
+  opts.scheme = TieScheme::kPessimistic;
+  CoordinatedPredictor pessimistic(opts);
+  EXPECT_EQ(pessimistic.predict_masked({1, 1}, {0, 0}).state, 1);
+}
+
+TEST(PredictMasked, FallbackHoldsTheHistoryRegister) {
+  CoordinatedPredictor p = trained_predictor(3);
+  p.predict({1, 1});
+  p.predict({1, 1});
+  const std::size_t before = p.current_history();
+  p.predict_masked({0, 0}, {0, 0});  // blackout: no data, no history push
+  EXPECT_EQ(p.current_history(), before);
+  p.predict_masked({1, 1}, {1, 1});  // grounded again: history moves
+  EXPECT_NE(p.current_history(), before);
+}
+
+TEST(PredictMasked, ResetHistoryClearsDegradedState) {
+  CoordinatedPredictor p = trained_predictor();
+  p.predict({1, 1});
+  p.predict_masked({0, 0}, {0, 0});
+  ASSERT_EQ(p.staleness(), 1);
+  p.reset_history();
+  EXPECT_EQ(p.staleness(), 0);
+  // The stale fallback no longer remembers the pre-reset decision.
+  EXPECT_EQ(p.predict_masked({0, 0}, {0, 0}).state, 0);  // φ optimistic
+}
+
+TEST(PredictMasked, WidthMismatchThrows) {
+  CoordinatedPredictor p = trained_predictor();
+  EXPECT_THROW(p.predict_masked({1}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(p.predict_masked({1, 1}, {1}), std::invalid_argument);
+}
+
+// -- CapacityMonitor::observe_masked -------------------------------------
+
+ml::Dataset separable_dataset() {
+  ml::Dataset d({"m0", "m1", "m2"});
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    const int y = i % 2;
+    d.add({y + rng.normal(0.0, 0.2), rng.uniform(), rng.uniform()}, y);
+  }
+  return d;
+}
+
+CapacityMonitor small_monitor(int delta = 1) {
+  SynopsisBuilder builder;
+  std::vector<Synopsis> synopses;
+  synopses.push_back(builder.build(
+      separable_dataset(), {"mix", "app", 0, "hpc", ml::LearnerKind::kTan}));
+  synopses.push_back(builder.build(
+      separable_dataset(), {"mix", "db", 1, "hpc", ml::LearnerKind::kTan}));
+  CoordinatedPredictor::Options opts;
+  opts.num_tiers = 2;
+  opts.history_bits = 0;
+  opts.delta = delta;
+  CapacityMonitor monitor(std::move(synopses), opts);
+  const std::vector<std::vector<double>> hot = {{1.0, 0.5, 0.5},
+                                                {1.0, 0.5, 0.5}};
+  const std::vector<std::vector<double>> cold = {{0.0, 0.5, 0.5},
+                                                 {0.0, 0.5, 0.5}};
+  for (int i = 0; i < 8; ++i) {
+    monitor.train_instance(hot, 1, 1);
+    monitor.train_instance(cold, 0, -1);
+  }
+  monitor.end_training_run();
+  return monitor;
+}
+
+TEST(ObserveMasked, AllValidMatchesObserve) {
+  CapacityMonitor a = small_monitor();
+  CapacityMonitor b = small_monitor();
+  const std::vector<std::vector<double>> rows = {{1.0, 0.5, 0.5},
+                                                 {1.0, 0.5, 0.5}};
+  const auto da = a.observe(rows);
+  const auto db = b.observe_masked(rows, {1, 1});
+  EXPECT_EQ(da.state, db.state);
+  EXPECT_EQ(da.hc, db.hc);
+  EXPECT_FALSE(db.degraded);
+}
+
+TEST(ObserveMasked, InvalidTierRowNeverReachesItsSynopsis) {
+  CapacityMonitor monitor = small_monitor();
+  // Tier 1's row is poison; with the mask it must not be touched. If the
+  // synopsis *were* consulted, NaN arithmetic would throw off the vote —
+  // the decision must come out of the masked-GPV path instead.
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 0.5, 0.5}, {kNaN, kNaN, kNaN}};
+  const auto d = monitor.observe_masked(rows, {1, 0});
+  EXPECT_TRUE(d.degraded);
+  // Both completions of tier 1's bit were trained only at {0,0} and
+  // {1,1}; with bit 0 = 1 the completions are {1,0} (unseen -> majority)
+  // and {1,1} (overloaded). Whatever the outcome, it is well-defined and
+  // never NaN-derived.
+  EXPECT_TRUE(d.state == 0 || d.state == 1);
+}
+
+TEST(ObserveMasked, MaskWidthMustMatchTiers) {
+  CapacityMonitor monitor = small_monitor();
+  const std::vector<std::vector<double>> rows = {{1.0, 0.5, 0.5},
+                                                 {1.0, 0.5, 0.5}};
+  EXPECT_THROW(monitor.observe_masked(rows, {1}), std::out_of_range);
+}
+
+// -- OnlineAdapter bounded queue -----------------------------------------
+
+TEST(OnlineAdapterBounds, ReportTruthOnEmptyQueueIsANoOp) {
+  CapacityMonitor monitor = small_monitor();
+  OnlineAdapter adapter(monitor);
+  EXPECT_EQ(adapter.pending(), 0u);
+  EXPECT_NO_THROW(adapter.report_truth(1, 0));
+  EXPECT_EQ(adapter.pending(), 0u);
+}
+
+TEST(OnlineAdapterBounds, ShedsOldestWhenFull) {
+  CapacityMonitor monitor = small_monitor();
+  OnlineAdapter adapter(monitor, 2);
+  EXPECT_EQ(adapter.max_pending(), 2u);
+  const std::vector<std::vector<double>> hot = {{1.0, 0.5, 0.5},
+                                                {1.0, 0.5, 0.5}};
+  const std::vector<std::vector<double>> cold = {{0.0, 0.5, 0.5},
+                                                 {0.0, 0.5, 0.5}};
+  // Two hot windows fill the queue; two cold ones push the hot ones out.
+  adapter.observe(hot);
+  adapter.observe(hot);
+  EXPECT_EQ(adapter.pending(), 2u);
+  EXPECT_EQ(adapter.shed_windows(), 0u);
+  adapter.observe(cold);
+  adapter.observe(cold);
+  EXPECT_EQ(adapter.pending(), 2u);
+  EXPECT_EQ(adapter.shed_windows(), 2u);
+
+  // The survivors are the *cold* windows: reporting truth now reinforces
+  // the cold GPV, not the shed hot one. (Truth says "overloaded" so the
+  // cold cell — trained to saturation at the negative cap — must move up.)
+  const std::size_t cold_gpv = CoordinatedPredictor::pack_gpv(
+      monitor.synopsis_votes(cold));
+  const std::size_t hot_gpv = CoordinatedPredictor::pack_gpv(
+      monitor.synopsis_votes(hot));
+  const int cold_hc_before = monitor.predictor().hc(cold_gpv, 0);
+  const int hot_hc_before = monitor.predictor().hc(hot_gpv, 0);
+  adapter.report_truth(1, 1);
+  adapter.report_truth(1, 1);
+  EXPECT_EQ(adapter.pending(), 0u);
+  EXPECT_GT(monitor.predictor().hc(cold_gpv, 0), cold_hc_before);
+  EXPECT_EQ(monitor.predictor().hc(hot_gpv, 0), hot_hc_before);
+}
+
+TEST(OnlineAdapterBounds, InterleavedObserveAndReportStayPaired) {
+  CapacityMonitor monitor = small_monitor();
+  OnlineAdapter adapter(monitor, 4);
+  const std::vector<std::vector<double>> hot = {{1.0, 0.5, 0.5},
+                                                {1.0, 0.5, 0.5}};
+  for (int i = 0; i < 10; ++i) {
+    adapter.observe(hot);
+    if (i % 2 == 1) adapter.report_truth(1, 1);
+  }
+  // 10 observed, 5 reported, capacity 4: the queue hits the bound twice
+  // (at i = 7 and i = 9) and ends with a report having just drained one.
+  EXPECT_EQ(adapter.pending(), 3u);
+  EXPECT_EQ(adapter.shed_windows(), 2u);
+}
+
+TEST(OnlineAdapterBounds, RejectsZeroCapacity) {
+  CapacityMonitor monitor = small_monitor();
+  EXPECT_THROW(OnlineAdapter(monitor, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcap::core

@@ -1,0 +1,313 @@
+// Unit tests for the counter fault-injection layer: FaultPlan /
+// FaultInjector semantics and the gap-aware InstanceAggregator that has to
+// survive what the injector produces.
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "counters/fault.h"
+#include "counters/sampler.h"
+
+namespace hpcap::counters {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// -- FaultPlan -----------------------------------------------------------
+
+TEST(FaultPlan, DefaultPlanInjectsNothing) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  FaultInjector inj(plan, 7);
+  std::vector<double> row{1.0, 2.0, 3.0};
+  const auto original = row;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(inj.step(), FaultInjector::SampleFate::kOk);
+    inj.perturb(row);
+    EXPECT_EQ(row, original);
+  }
+  EXPECT_EQ(inj.stats().lost_samples(), 0u);
+  EXPECT_EQ(inj.stats().garbage, 0u);
+  EXPECT_EQ(inj.stats().spikes, 0u);
+  EXPECT_EQ(inj.stats().stuck, 0u);
+}
+
+TEST(FaultPlan, MixedSplitsTheHeadlineRate) {
+  const FaultPlan plan = FaultPlan::mixed(0.08, 99);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.08);
+  EXPECT_DOUBLE_EQ(plan.garbage_rate, 0.04);
+  EXPECT_DOUBLE_EQ(plan.spike_rate, 0.04);
+  EXPECT_DOUBLE_EQ(plan.stuck_rate, 0.02);
+  EXPECT_DOUBLE_EQ(plan.blackout_rate, 0.08 / 20.0);
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_FALSE(FaultPlan::mixed(0.0).enabled());
+  EXPECT_THROW(FaultPlan::mixed(-0.01), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::mixed(1.01), std::invalid_argument);
+}
+
+TEST(FaultInjector, RejectsInvalidPlans) {
+  FaultPlan bad;
+  bad.drop_rate = 1.5;
+  EXPECT_THROW(FaultInjector(bad, 0), std::invalid_argument);
+  bad = FaultPlan{};
+  bad.garbage_rate = -0.1;
+  EXPECT_THROW(FaultInjector(bad, 0), std::invalid_argument);
+  bad = FaultPlan{};
+  bad.drop_rate = 0.1;
+  bad.blackout_duration = 0;
+  EXPECT_THROW(FaultInjector(bad, 0), std::invalid_argument);
+}
+
+// -- FaultInjector determinism and behavior ------------------------------
+
+TEST(FaultInjector, DeterministicPerSeedAndSalt) {
+  const FaultPlan plan = FaultPlan::mixed(0.2, 1234);
+  FaultInjector a(plan, 5), b(plan, 5), c(plan, 6);
+  bool salted_stream_differs = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto fa = a.step();
+    EXPECT_EQ(fa, b.step());
+    if (fa != c.step()) salted_stream_differs = true;
+    std::vector<double> ra{10.0, 20.0, 30.0, 40.0};
+    auto rb = ra;
+    if (fa == FaultInjector::SampleFate::kOk) {
+      a.perturb(ra);
+      b.perturb(rb);
+      for (std::size_t m = 0; m < ra.size(); ++m) {
+        if (std::isnan(ra[m]))
+          EXPECT_TRUE(std::isnan(rb[m]));
+        else
+          EXPECT_EQ(ra[m], rb[m]);
+      }
+    }
+  }
+  EXPECT_TRUE(salted_stream_differs);
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().garbage, b.stats().garbage);
+}
+
+TEST(FaultInjector, DropRateIsRoughlyHonored) {
+  FaultPlan plan;
+  plan.drop_rate = 0.10;
+  FaultInjector inj(plan, 3);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) inj.step();
+  const double observed =
+      static_cast<double>(inj.stats().dropped) / static_cast<double>(n);
+  EXPECT_NEAR(observed, 0.10, 0.01);
+  EXPECT_EQ(inj.stats().ticks, static_cast<std::uint64_t>(n));
+}
+
+TEST(FaultInjector, BlackoutsLastTheConfiguredDuration) {
+  FaultPlan plan;
+  plan.blackout_rate = 0.02;
+  plan.blackout_duration = 7;
+  FaultInjector inj(plan, 11);
+  int current_run = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (inj.step() == FaultInjector::SampleFate::kBlackout) {
+      ++current_run;
+      EXPECT_TRUE(inj.in_blackout() || current_run % 7 == 0);
+    } else if (current_run > 0) {
+      // Episodes last exactly 7 ticks; back-to-back episodes chain into
+      // runs that are still multiples of 7.
+      EXPECT_EQ(current_run % 7, 0);
+      current_run = 0;
+    }
+  }
+  EXPECT_GT(inj.stats().blackouts, 0u);
+  EXPECT_EQ(inj.stats().blackout_ticks, 7 * inj.stats().blackouts);
+}
+
+TEST(FaultInjector, StuckMetricRepeatsItsFrozenValue) {
+  FaultPlan plan;
+  plan.stuck_rate = 1.0;  // freeze a metric on the very first perturb
+  plan.stuck_duration = 3;
+  FaultInjector inj(plan, 2);
+  std::vector<double> row{100.0};
+  inj.step();
+  inj.perturb(row);  // freezes metric 0 at 100.0
+  for (int i = 0; i < 3; ++i) {
+    row[0] = 555.0 + i;  // fresh (different) reads...
+    inj.step();
+    inj.perturb(row);
+    EXPECT_EQ(row[0], 100.0);  // ...overridden by the stuck value
+  }
+  EXPECT_GE(inj.stats().stuck, 1u);
+}
+
+TEST(FaultInjector, GarbageAndSpikesCorruptExactlyOneMetric) {
+  FaultPlan plan;
+  plan.garbage_rate = 1.0;
+  FaultInjector inj(plan, 13);
+  int corrupted_total = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row{1.0, 2.0, 3.0, 4.0, 5.0};
+    inj.step();
+    inj.perturb(row);
+    int corrupted = 0;
+    for (std::size_t m = 0; m < row.size(); ++m)
+      if (row[m] != static_cast<double>(m + 1)) ++corrupted;
+    EXPECT_EQ(corrupted, 1);
+    corrupted_total += corrupted;
+  }
+  EXPECT_EQ(corrupted_total, 200);
+  EXPECT_EQ(inj.stats().garbage, 200u);
+
+  FaultPlan spiky;
+  spiky.spike_rate = 1.0;
+  spiky.spike_magnitude = 100.0;
+  FaultInjector sp(spiky, 14);
+  std::vector<double> row{2.0, 2.0};
+  sp.step();
+  sp.perturb(row);
+  // Exactly one metric multiplied by ~[50, 150]x.
+  const bool first_spiked = row[0] != 2.0;
+  const double spiked = first_spiked ? row[0] : row[1];
+  const double other = first_spiked ? row[1] : row[0];
+  EXPECT_EQ(other, 2.0);
+  EXPECT_GE(spiked, 2.0 * 50.0);
+  EXPECT_LE(spiked, 2.0 * 150.0);
+}
+
+TEST(FaultInjector, PerturbRejectsChangedRowWidth) {
+  FaultPlan plan;
+  plan.stuck_rate = 0.5;
+  FaultInjector inj(plan, 1);
+  std::vector<double> row{1.0, 2.0};
+  inj.step();
+  inj.perturb(row);
+  std::vector<double> wider{1.0, 2.0, 3.0};
+  EXPECT_THROW(inj.perturb(wider), std::invalid_argument);
+}
+
+// -- Gap-aware InstanceAggregator ----------------------------------------
+
+TEST(GapAggregator, CleanWindowMatchesLegacyMean) {
+  InstanceAggregator legacy(2, 3);
+  InstanceAggregator slots(2, 3, 0.5, 0);
+  std::optional<std::vector<double>> legacy_out;
+  InstanceAggregator::SlotResult slot_out;
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<double> s{1.0 + i, 10.0 * (i + 1)};
+    legacy_out = legacy.add(s);
+    slot_out = slots.add_slot(s);
+  }
+  ASSERT_TRUE(legacy_out.has_value());
+  ASSERT_TRUE(slot_out.window_closed);
+  ASSERT_TRUE(slot_out.valid);
+  EXPECT_EQ(slot_out.missing, 0);
+  ASSERT_TRUE(slot_out.instance.has_value());
+  // Bit-identical, not just approximately equal: same summation order.
+  EXPECT_EQ(*slot_out.instance, *legacy_out);
+}
+
+TEST(GapAggregator, MissingSlotsConsumeTheWindow) {
+  InstanceAggregator agg(1, 4, 0.5, 0);  // max_missing = 2
+  EXPECT_FALSE(agg.add_slot({2.0}).window_closed);
+  EXPECT_FALSE(agg.mark_missing().window_closed);
+  EXPECT_FALSE(agg.add_slot({4.0}).window_closed);
+  const auto r = agg.add_slot({6.0});
+  ASSERT_TRUE(r.window_closed);
+  EXPECT_TRUE(r.valid);  // 1 missing <= 2 allowed
+  EXPECT_EQ(r.missing, 1);
+  ASSERT_TRUE(r.instance.has_value());
+  EXPECT_DOUBLE_EQ((*r.instance)[0], (2.0 + 4.0 + 6.0) / 3.0);
+  EXPECT_EQ(agg.samples_buffered(), 0);  // window reset after close
+}
+
+TEST(GapAggregator, NonFiniteSampleIsAMissingSlot) {
+  InstanceAggregator agg(2, 2, 0.5, 0);  // max_missing = 1
+  EXPECT_FALSE(agg.add_slot({1.0, kNaN}).window_closed);
+  EXPECT_EQ(agg.missing_in_window(), 1);
+  const auto r = agg.add_slot({3.0, 5.0});
+  ASSERT_TRUE(r.window_closed);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.missing, 1);
+  // The NaN row contributed nothing; the mean is the one clean sample.
+  EXPECT_DOUBLE_EQ((*r.instance)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*r.instance)[1], 5.0);
+}
+
+TEST(GapAggregator, TooManyMissingDiscardsTheWindow) {
+  InstanceAggregator agg(1, 4, 0.25, 0);  // max_missing = 1
+  agg.mark_missing();
+  agg.mark_missing();
+  agg.add_slot({1.0});
+  const auto r = agg.add_slot({2.0});
+  ASSERT_TRUE(r.window_closed);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.missing, 2);
+  EXPECT_FALSE(r.instance.has_value());
+  EXPECT_EQ(agg.windows_discarded(), 1u);
+  // The next, clean window is unaffected.
+  agg.add_slot({10.0});
+  agg.add_slot({10.0});
+  agg.add_slot({10.0});
+  const auto ok = agg.add_slot({10.0});
+  EXPECT_TRUE(ok.valid);
+  EXPECT_DOUBLE_EQ((*ok.instance)[0], 10.0);
+  EXPECT_EQ(agg.windows_discarded(), 1u);
+}
+
+TEST(GapAggregator, TrimmedMeanShrugsOffASpike) {
+  InstanceAggregator plain(1, 5, 0.5, 0);
+  InstanceAggregator trimmed(1, 5, 0.5, 1);
+  InstanceAggregator::SlotResult rp, rt;
+  const std::vector<double> samples{10.0, 11.0, 10000.0, 9.0, 10.0};
+  for (double s : samples) {
+    rp = plain.add_slot({s});
+    rt = trimmed.add_slot({s});
+  }
+  ASSERT_TRUE(rp.valid);
+  ASSERT_TRUE(rt.valid);
+  EXPECT_GT((*rp.instance)[0], 1000.0);  // spike dominates the plain mean
+  // Trimmed: drop min (9) and max (10000), mean of {10, 11, 10}.
+  EXPECT_DOUBLE_EQ((*rt.instance)[0], 31.0 / 3.0);
+}
+
+TEST(GapAggregator, TrimmingNeedsEnoughSurvivors) {
+  // window 5, trim 2 from each end: 4 survivors needed at minimum + 1.
+  InstanceAggregator agg(1, 5, 0.8, 2);  // max_missing = 4
+  agg.mark_missing();  // 4 survivors left — trimming would eat them all
+  for (int i = 0; i < 3; ++i) agg.add_slot({1.0});
+  const auto r = agg.add_slot({1.0});
+  ASSERT_TRUE(r.window_closed);
+  EXPECT_FALSE(r.valid);  // present (4) <= 2 * trim (4)
+  EXPECT_EQ(agg.windows_discarded(), 1u);
+}
+
+TEST(GapAggregator, ValidatesConstruction) {
+  EXPECT_THROW(InstanceAggregator(1, 4, -0.1, 0), std::invalid_argument);
+  EXPECT_THROW(InstanceAggregator(1, 4, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(InstanceAggregator(1, 4, 0.5, 2), std::invalid_argument);
+  EXPECT_THROW(InstanceAggregator(1, 0), std::invalid_argument);
+}
+
+TEST(GapAggregator, DimensionMismatchThrowsOnSlotPath) {
+  InstanceAggregator agg(3, 4);
+  EXPECT_THROW(agg.add_slot({1.0}), std::invalid_argument);
+  EXPECT_THROW(agg.add({1.0, 2.0}), std::invalid_argument);
+  EXPECT_NO_THROW(agg.add_slot({1.0, 2.0, 3.0}));
+}
+
+TEST(GapAggregator, ResetDiscardsGapStateToo) {
+  InstanceAggregator agg(1, 4, 0.5, 0);
+  agg.mark_missing();
+  agg.add_slot({5.0});
+  agg.reset();
+  EXPECT_EQ(agg.samples_buffered(), 0);
+  EXPECT_EQ(agg.missing_in_window(), 0);
+  for (int i = 0; i < 3; ++i) agg.add_slot({2.0});
+  const auto r = agg.add_slot({2.0});
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.missing, 0);
+  EXPECT_DOUBLE_EQ((*r.instance)[0], 2.0);
+}
+
+}  // namespace
+}  // namespace hpcap::counters

@@ -1,0 +1,201 @@
+// End-to-end chaos tests for the fault-injection harness: a monitor
+// trained fault-free must (a) behave bit-identically when the fault
+// machinery is engaged but no faults fire, and (b) keep most of its
+// accuracy — and never emit a garbage-derived decision — when 5% of all
+// counter samples are dropped, stuck, spiked or corrupted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/validate.h"
+#include "ml/evaluate.h"
+#include "testbed/experiment.h"
+
+namespace hpcap {
+namespace {
+
+using testbed::CollectedRun;
+using testbed::TestbedConfig;
+
+struct ChaosFixture {
+  TestbedConfig cfg = TestbedConfig::paper_defaults();
+  std::shared_ptr<const tpcw::Mix> browsing =
+      std::make_shared<const tpcw::Mix>(tpcw::browsing_mix());
+  std::shared_ptr<const tpcw::Mix> ordering =
+      std::make_shared<const tpcw::Mix>(tpcw::ordering_mix());
+  CollectedRun train_browsing;
+  CollectedRun train_ordering;
+  CollectedRun test_clean;  // fault-free testing run
+  core::CapacityMonitor monitor;
+  core::RowValidator validator;
+
+  ChaosFixture()
+      : train_browsing(testbed::collect(
+            testbed::training_schedule(browsing, cfg), cfg)),
+        train_ordering(testbed::collect(
+            testbed::training_schedule(ordering, cfg), cfg)),
+        test_clean(testbed::collect(
+            testbed::testing_schedule(ordering, test_config()), test_config())),
+        monitor(testbed::build_monitor(
+            {{"ordering", &train_ordering}, {"browsing", &train_browsing}},
+            "hpc", ml::LearnerKind::kTan, monitor_options())) {
+    // Plausibility ranges from both tiers' training rows (union).
+    for (int tier = 0; tier < testbed::kNumTiers; ++tier) {
+      validator.fit(testbed::make_dataset(train_browsing.instances, tier,
+                                          "hpc", train_browsing.labels));
+      validator.fit(testbed::make_dataset(train_ordering.instances, tier,
+                                          "hpc", train_ordering.labels));
+    }
+  }
+
+  TestbedConfig test_config() const {
+    TestbedConfig t = cfg;
+    t.seed = cfg.seed + 101;
+    return t;
+  }
+
+  static core::CoordinatedPredictor::Options monitor_options() {
+    core::CoordinatedPredictor::Options opts;
+    opts.num_tiers = testbed::kNumTiers;
+    return opts;
+  }
+};
+
+ChaosFixture& fixture() {
+  static ChaosFixture f;
+  return f;
+}
+
+// The decision stream for a run through the fault-aware path: validity =
+// per-tier window mask AND row-validator verdict.
+std::vector<core::CoordinatedPredictor::Decision> masked_decisions(
+    core::CapacityMonitor& monitor, core::RowValidator& validator,
+    const CollectedRun& run) {
+  monitor.predictor().reset_history();
+  std::vector<core::CoordinatedPredictor::Decision> out;
+  out.reserve(run.instances.size());
+  for (const auto& rec : run.instances) {
+    const auto rows = testbed::monitor_rows(rec, "hpc");
+    auto valid = testbed::monitor_row_validity(rec, "hpc");
+    for (std::size_t t = 0; t < rows.size() && t < valid.size(); ++t)
+      if (valid[t] &&
+          validator.validate(rows[t]) != core::RowVerdict::kValid)
+        valid[t] = 0;
+    out.push_back(monitor.observe_masked(rows, valid));
+  }
+  return out;
+}
+
+TEST(FaultChaos, DisabledFaultPathIsBitIdentical) {
+  auto& f = fixture();
+  // Pass 1: the plain pre-fault-awareness path.
+  f.monitor.predictor().reset_history();
+  std::vector<core::CoordinatedPredictor::Decision> plain;
+  for (const auto& rec : f.test_clean.instances)
+    plain.push_back(f.monitor.observe(testbed::monitor_rows(rec, "hpc")));
+
+  // Pass 2: the full fault-aware path (masks, validator, observe_masked)
+  // over the same fault-free run.
+  const auto before = f.validator.stats().rejected;
+  const auto masked = masked_decisions(f.monitor, f.validator, f.test_clean);
+  // Nothing was rejected on clean data...
+  EXPECT_EQ(f.validator.stats().rejected, before);
+  // ...and every decision matches bit for bit.
+  ASSERT_EQ(masked.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(masked[i].state, plain[i].state) << "instance " << i;
+    EXPECT_EQ(masked[i].confident, plain[i].confident) << "instance " << i;
+    EXPECT_EQ(masked[i].hc, plain[i].hc) << "instance " << i;
+    EXPECT_EQ(masked[i].bottleneck_tier, plain[i].bottleneck_tier)
+        << "instance " << i;
+    EXPECT_FALSE(masked[i].degraded) << "instance " << i;
+    EXPECT_EQ(masked[i].staleness, 0) << "instance " << i;
+  }
+  // The clean run's window masks say "all valid" everywhere.
+  for (const auto& rec : f.test_clean.instances)
+    for (auto v : testbed::monitor_row_validity(rec, "hpc"))
+      EXPECT_EQ(v, 1);
+}
+
+TEST(FaultChaos, FivePercentMixedFaultsRetainNinetyPercentAccuracy) {
+  auto& f = fixture();
+
+  // The same testing schedule and simulation seed, but 5% of all counter
+  // samples fault. Injection is observational, so the simulated site —
+  // and therefore the ground-truth labels — are identical to test_clean.
+  TestbedConfig chaos_cfg = f.test_config();
+  chaos_cfg.faults = counters::FaultPlan::mixed(0.05);
+  chaos_cfg.aggregator_trim = 2;  // bound spike/garbage damage per window
+  testbed::Testbed bed(chaos_cfg);
+  bed.run(testbed::testing_schedule(f.ordering, chaos_cfg));
+  CollectedRun chaos;
+  chaos.instances = bed.instances();
+  chaos.labels = testbed::health_labels(chaos.instances);
+
+  // Ground truth is fault-invariant.
+  ASSERT_EQ(chaos.instances.size(), f.test_clean.instances.size());
+  EXPECT_EQ(chaos.labels, f.test_clean.labels);
+
+  // The plan really fired.
+  std::uint64_t lost = 0, ticks = 0;
+  for (int t = 0; t < testbed::kNumTiers; ++t) {
+    const auto s = bed.fault_stats("hpc", t);
+    lost += s.lost_samples();
+    ticks += s.ticks;
+  }
+  ASSERT_GT(ticks, 0u);
+  ASSERT_GT(lost, 0u);
+  // Expected loss: 5% isolated drops + ~5% blackout ticks
+  // (rate/20 episodes x 20 ticks each), minus overlap.
+  const double lost_frac =
+      static_cast<double>(lost) / static_cast<double>(ticks);
+  EXPECT_GT(lost_frac, 0.04);
+  EXPECT_LT(lost_frac, 0.20);
+
+  // Fault-free accuracy baseline vs accuracy under chaos.
+  const auto clean_decisions =
+      masked_decisions(f.monitor, f.validator, f.test_clean);
+  const auto chaos_decisions =
+      masked_decisions(f.monitor, f.validator, chaos);
+  ml::Confusion clean_c, chaos_c;
+  int degraded = 0;
+  for (std::size_t i = 0; i < chaos_decisions.size(); ++i) {
+    clean_c.add(f.test_clean.labels[i], clean_decisions[i].state);
+    chaos_c.add(chaos.labels[i], chaos_decisions[i].state);
+    degraded += chaos_decisions[i].degraded;
+    // Never a garbage-derived decision: states are crisp 0/1 and any
+    // decision made without full data is flagged.
+    ASSERT_TRUE(chaos_decisions[i].state == 0 ||
+                chaos_decisions[i].state == 1);
+    ASSERT_GE(chaos_decisions[i].staleness, 0);
+    if (chaos_decisions[i].staleness > 0)
+      EXPECT_TRUE(chaos_decisions[i].degraded);
+  }
+  const double clean_ba = clean_c.balanced_accuracy();
+  const double chaos_ba = chaos_c.balanced_accuracy();
+  EXPECT_GT(clean_ba, 0.7);
+  // Acceptance bar: >= 90% of the fault-free coordinated accuracy.
+  EXPECT_GE(chaos_ba, 0.90 * clean_ba)
+      << "clean BA " << clean_ba << ", chaos BA " << chaos_ba;
+  // The degraded machinery was actually exercised (blackouts long enough
+  // to void a window exist in the mixed plan).
+  EXPECT_GT(bed.discarded_windows("hpc") + bed.discarded_windows("os"), 0u);
+  EXPECT_GE(degraded, 1);
+}
+
+TEST(FaultChaos, FaultStatsAccessorsValidate) {
+  auto& f = fixture();
+  testbed::Testbed bed(f.cfg);
+  EXPECT_THROW(bed.fault_stats("hpc", -1), std::out_of_range);
+  EXPECT_THROW(bed.fault_stats("hpc", testbed::kNumTiers),
+               std::out_of_range);
+  // Disabled plan: all-zero stats, no discards.
+  EXPECT_EQ(bed.fault_stats("hpc", 0).ticks, 0u);
+  EXPECT_EQ(bed.discarded_windows("hpc"), 0u);
+  EXPECT_EQ(bed.discarded_windows("os"), 0u);
+}
+
+}  // namespace
+}  // namespace hpcap
