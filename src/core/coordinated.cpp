@@ -22,13 +22,11 @@ CoordinatedPredictor::CoordinatedPredictor(Options opts) : opts_(opts) {
                                   << opts_.num_synopses;
   const std::size_t lht_entries = std::size_t{1} << opts_.history_bits;
   history_mask_ = lht_entries - 1;
-  lht_.assign(gpt_entries, std::vector<int>(lht_entries, 0));
-  touched_.assign(gpt_entries,
-                  std::vector<std::uint8_t>(lht_entries, 0));
-  bpt_.assign(gpt_entries,
-              std::vector<double>(static_cast<std::size_t>(opts_.num_tiers),
-                                  0.0));
+  lht_.assign(gpt_entries * lht_entries, 0);
+  touched_.assign(gpt_entries * lht_entries, 0);
+  bpt_.assign(gpt_entries * static_cast<std::size_t>(opts_.num_tiers), 0.0);
   global_bv_.assign(static_cast<std::size_t>(opts_.num_tiers), 0.0);
+  tier_votes_scratch_.assign(static_cast<std::size_t>(opts_.num_tiers), 0);
 }
 
 std::size_t CoordinatedPredictor::pack_gpv(
@@ -46,16 +44,17 @@ void CoordinatedPredictor::push_history(int outcome) {
 
 void CoordinatedPredictor::update_tables(std::size_t gpv, int label,
                                          int bottleneck_tier) {
-  int& hc = lht_[gpv][history_];
+  int& hc = lht_[lht_index(gpv, history_)];
   hc = label == 1 ? std::min(hc + 1, hc_cap_) : std::max(hc - 1, -hc_cap_);
-  touched_[gpv][history_] = 1;
+  touched_[lht_index(gpv, history_)] = 1;
 
   // BPT training (§III.D): only overloaded instances carry bottleneck
   // information; the annotated tier's vote rises, all others fall.
   if (label == 1 && bottleneck_tier >= 0 &&
       bottleneck_tier < opts_.num_tiers) {
-    auto& bv = bpt_[gpv];
-    for (std::size_t t = 0; t < bv.size(); ++t) {
+    double* bv = bpt_.data() + bpt_index(gpv);
+    for (std::size_t t = 0;
+         t < static_cast<std::size_t>(opts_.num_tiers); ++t) {
       const double delta =
           (static_cast<int>(t) == bottleneck_tier) ? 1.0 : -1.0;
       bv[t] += delta;
@@ -91,7 +90,7 @@ void CoordinatedPredictor::train(const std::vector<int>& synopsis_predictions,
   const std::size_t gpv = pack_gpv(synopsis_predictions);
   // With self-prediction history, closed-loop passes decide from the
   // *current* table state before the update, as online prediction would.
-  const int own_decision = decide(lht_[gpv][history_]);
+  const int own_decision = decide(lht_[lht_index(gpv, history_)]);
   update_tables(gpv, label, bottleneck_tier);
   if (opts_.history_source == HistorySource::kSelfPredictions)
     push_history(teacher_forced ? label : own_decision);
@@ -115,8 +114,8 @@ int CoordinatedPredictor::decide(int hc_value) const {
 CoordinatedPredictor::Decision CoordinatedPredictor::evaluate(
     const std::vector<int>& synopsis_predictions) const {
   const std::size_t gpv = pack_gpv(synopsis_predictions);
-  const int hc = lht_[gpv][history_];
-  const bool trained_cell = touched_[gpv][history_] != 0;
+  const int hc = lht_[lht_index(gpv, history_)];
+  const bool trained_cell = touched_[lht_index(gpv, history_)] != 0;
 
   Decision d;
   d.hc = hc;
@@ -138,15 +137,16 @@ CoordinatedPredictor::Decision CoordinatedPredictor::evaluate(
     d.state = decide(hc);
   }
   if (d.state == 1) {
-    const auto& bv = bpt_[gpv];
+    const double* bv = bpt_.data() + bpt_index(gpv);
+    const double* bv_end = bv + static_cast<std::size_t>(opts_.num_tiers);
     const bool bv_empty =
-        std::all_of(bv.begin(), bv.end(), [](double b) { return b == 0.0; });
+        std::all_of(bv, bv_end, [](double b) { return b == 0.0; });
     if (bv_empty && !opts_.synopsis_tiers.empty()) {
       // No bottleneck votes for this GPV: name the tier whose synopses
       // contributed the most positive bits; with no positive bits at all,
       // fall back to the globally most common bottleneck.
-      std::vector<int> tier_votes(
-          static_cast<std::size_t>(opts_.num_tiers), 0);
+      std::vector<int>& tier_votes = tier_votes_scratch_;
+      tier_votes.assign(static_cast<std::size_t>(opts_.num_tiers), 0);
       int total_votes = 0;
       for (std::size_t i = 0; i < synopsis_predictions.size() &&
                               i < opts_.synopsis_tiers.size();
@@ -168,8 +168,7 @@ CoordinatedPredictor::Decision CoordinatedPredictor::evaluate(
       }
     } else {
       // λb = argmax_i b_i over the GPV's Bottleneck Vector.
-      d.bottleneck_tier = static_cast<int>(
-          std::max_element(bv.begin(), bv.end()) - bv.begin());
+      d.bottleneck_tier = static_cast<int>(std::max_element(bv, bv_end) - bv);
     }
   }
   return d;
@@ -268,12 +267,18 @@ void CoordinatedPredictor::mark_outcome(
 }
 
 int CoordinatedPredictor::hc(std::size_t gpv, std::size_t history) const {
-  return lht_.at(gpv).at(history);
+  if (gpv >= gpt_size() || history >= lht_size())
+    throw std::out_of_range("CoordinatedPredictor::hc: index");
+  return lht_[lht_index(gpv, history)];
 }
 
-const std::vector<double>& CoordinatedPredictor::bottleneck_votes(
+std::vector<double> CoordinatedPredictor::bottleneck_votes(
     std::size_t gpv) const {
-  return bpt_.at(gpv);
+  if (gpv >= gpt_size())
+    throw std::out_of_range("CoordinatedPredictor::bottleneck_votes: gpv");
+  const double* bv = bpt_.data() + bpt_index(gpv);
+  return std::vector<double>(
+      bv, bv + static_cast<std::size_t>(opts_.num_tiers));
 }
 
 }  // namespace hpcap::core

@@ -157,8 +157,12 @@ class CoordinatedPredictor {
   // --- introspection (tests, ablation benches) -------------------------
   const Options& options() const noexcept { return opts_; }
   int hc(std::size_t gpv, std::size_t history) const;
-  const std::vector<double>& bottleneck_votes(std::size_t gpv) const;
-  std::size_t gpt_size() const noexcept { return lht_.size(); }
+  // A copy of the gpv's Bottleneck Vector (the table is stored flat; a
+  // stable reference into it would pin the layout into the API).
+  std::vector<double> bottleneck_votes(std::size_t gpv) const;
+  std::size_t gpt_size() const noexcept {
+    return std::size_t{1} << opts_.num_synopses;
+  }
   std::size_t lht_size() const noexcept {
     return std::size_t{1} << opts_.history_bits;
   }
@@ -182,16 +186,28 @@ class CoordinatedPredictor {
   void note_decision(const Decision& d);
   Decision stale_fallback();
 
+  // Flat-table indexing: the GPT/LHT/BPT are contiguous arrays rather than
+  // vector-of-vectors, so the per-interval lookup is one multiply-add and
+  // one cache line, and the observe path performs no allocation.
+  std::size_t lht_index(std::size_t gpv, std::size_t history) const noexcept {
+    return gpv * lht_size() + history;
+  }
+  std::size_t bpt_index(std::size_t gpv) const noexcept {
+    return gpv * static_cast<std::size_t>(opts_.num_tiers);
+  }
+
   Options opts_;
   int hc_cap_;
-  // lht_[gpv][history] = Hc.
-  std::vector<std::vector<int>> lht_;
+  // Hc for (gpv, history) lives at lht_[gpv * lht_size() + history].
+  std::vector<int> lht_;
   // Which cells have ever been trained (an Hc of 0 can also mean
-  // "balanced evidence", which should still use λ, not the fallback).
-  std::vector<std::vector<std::uint8_t>> touched_;
-  // bpt_[gpv] = per-tier vote vector (double: votes can be fractional
-  // under future weighting schemes; integer updates in this paper).
-  std::vector<std::vector<double>> bpt_;
+  // "balanced evidence", which should still use λ, not the fallback);
+  // same indexing as lht_.
+  std::vector<std::uint8_t> touched_;
+  // Per-tier vote vector for gpv at bpt_[gpv * num_tiers .. +num_tiers)
+  // (double: votes can be fractional under future weighting schemes;
+  // integer updates in this paper).
+  std::vector<double> bpt_;
   // Cumulative bottleneck votes across all GPVs — last-resort fallback
   // when neither the GPV's BV nor the synopsis votes can name a tier.
   std::vector<double> global_bv_;
@@ -202,6 +218,9 @@ class CoordinatedPredictor {
   Decision last_confident_{};
   bool have_confident_ = false;
   int staleness_ = 0;
+  // Scratch for the unseen-cell majority fallback (sized num_tiers at
+  // construction); mutable so the const evaluate() stays allocation-free.
+  mutable std::vector<int> tier_votes_scratch_;
 };
 
 }  // namespace hpcap::core

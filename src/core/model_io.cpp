@@ -65,15 +65,11 @@ void CoordinatedPredictor::save(std::ostream& os) const {
      << static_cast<int>(opts_.history_source) << ' ';
   write_size(os, opts_.synopsis_tiers.size());
   for (int t : opts_.synopsis_tiers) os << t << ' ';
-  for (const auto& row : lht_) {
-    for (int hc : row) os << hc << ' ';
-  }
-  for (const auto& row : touched_) {
-    for (int t : row) os << t << ' ';
-  }
-  for (const auto& bv : bpt_) {
-    for (double b : bv) write_double(os, b);
-  }
+  // The tables are stored flat in row-major (gpv-major) order, which is
+  // exactly the v1 on-disk order — one linear sweep each.
+  for (int hc : lht_) os << hc << ' ';
+  for (int t : touched_) os << t << ' ';
+  for (double b : bpt_) write_double(os, b);
   for (double b : global_bv_) write_double(os, b);
   os << history_ << ' ';
 }
@@ -94,17 +90,14 @@ CoordinatedPredictor CoordinatedPredictor::load(std::istream& is) {
     if (!(is >> t)) throw std::runtime_error("load_predictor: tiers");
 
   CoordinatedPredictor p(opts);
-  for (auto& row : p.lht_)
-    for (int& hc : row)
-      if (!(is >> hc)) throw std::runtime_error("load_predictor: lht");
-  for (auto& row : p.touched_)
-    for (auto& t : row) {
-      int v;
-      if (!(is >> v)) throw std::runtime_error("load_predictor: touched");
-      t = static_cast<std::uint8_t>(v);
-    }
-  for (auto& bv : p.bpt_)
-    for (double& b : bv) b = read_double(is);
+  for (int& hc : p.lht_)
+    if (!(is >> hc)) throw std::runtime_error("load_predictor: lht");
+  for (auto& t : p.touched_) {
+    int v;
+    if (!(is >> v)) throw std::runtime_error("load_predictor: touched");
+    t = static_cast<std::uint8_t>(v);
+  }
+  for (double& b : p.bpt_) b = read_double(is);
   for (double& b : p.global_bv_) b = read_double(is);
   if (!(is >> p.history_))
     throw std::runtime_error("load_predictor: history");

@@ -1,5 +1,8 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -9,9 +12,27 @@ namespace hpcap::core {
 
 std::vector<Synopsis> build_synopsis_bank(const SynopsisBuilder& builder,
                                           std::vector<SynopsisTask> tasks) {
-  return util::parallel_map(tasks.size(), [&](std::size_t i) {
-    return builder.build(tasks[i].training, tasks[i].spec);
+  // Dispatch the heaviest training sets first (longest-processing-time
+  // order): build cost scales with rows x attributes, and a big build
+  // claimed last would strand the pool's tail behind one worker. Results
+  // still land in task order, and each slot's value depends only on its
+  // own task, so the bank is identical at every thread count.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&tasks](std::size_t a, std::size_t b) {
+                     return tasks[a].training.size() * tasks[a].training.dim() >
+                            tasks[b].training.size() * tasks[b].training.dim();
+                   });
+  std::vector<std::optional<Synopsis>> slots(tasks.size());
+  util::parallel_for(order.size(), [&](std::size_t k) {
+    const std::size_t i = order[k];
+    slots[i].emplace(builder.build(tasks[i].training, tasks[i].spec));
   });
+  std::vector<Synopsis> out;
+  out.reserve(slots.size());
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
 }
 
 namespace {
@@ -41,6 +62,19 @@ CapacityMonitor::CapacityMonitor(std::vector<Synopsis> synopses,
         "CapacityMonitor: predictor GPV width != synopsis count");
 }
 
+const std::vector<int>& CapacityMonitor::fill_votes(
+    const std::vector<std::vector<double>>& tier_rows) {
+  votes_scratch_.clear();
+  votes_scratch_.reserve(synopses_.size());
+  for (const auto& syn : synopses_) {
+    const auto t = static_cast<std::size_t>(syn.spec().tier_index);
+    if (t >= tier_rows.size())
+      throw std::out_of_range("CapacityMonitor: missing tier row");
+    votes_scratch_.push_back(syn.predict(tier_rows[t]));
+  }
+  return votes_scratch_;
+}
+
 std::vector<int> CapacityMonitor::synopsis_votes(
     const std::vector<std::vector<double>>& tier_rows) const {
   std::vector<int> votes;
@@ -57,7 +91,7 @@ std::vector<int> CapacityMonitor::synopsis_votes(
 void CapacityMonitor::train_instance(
     const std::vector<std::vector<double>>& tier_rows, int label,
     int bottleneck_tier, bool teacher_forced) {
-  predictor_.train(synopsis_votes(tier_rows), label, bottleneck_tier,
+  predictor_.train(fill_votes(tier_rows), label, bottleneck_tier,
                    teacher_forced);
 }
 
@@ -65,14 +99,14 @@ void CapacityMonitor::end_training_run() { predictor_.reset_history(); }
 
 CoordinatedPredictor::Decision CapacityMonitor::observe(
     const std::vector<std::vector<double>>& tier_rows) {
-  return predictor_.predict(synopsis_votes(tier_rows));
+  return predictor_.predict(fill_votes(tier_rows));
 }
 
 CoordinatedPredictor::Decision CapacityMonitor::observe_masked(
     const std::vector<std::vector<double>>& tier_rows,
     const std::vector<std::uint8_t>& tier_valid) {
-  std::vector<int> votes(synopses_.size(), 0);
-  std::vector<std::uint8_t> valid(synopses_.size(), 0);
+  votes_scratch_.assign(synopses_.size(), 0);
+  valid_scratch_.assign(synopses_.size(), 0);
   for (std::size_t s = 0; s < synopses_.size(); ++s) {
     const auto t = static_cast<std::size_t>(synopses_[s].spec().tier_index);
     if (t >= tier_rows.size() || t >= tier_valid.size())
@@ -80,11 +114,11 @@ CoordinatedPredictor::Decision CapacityMonitor::observe_masked(
     if (tier_valid[t]) {
       // Only validated rows reach a classifier; an abstaining synopsis's
       // vote slot stays 0 and is masked out of the GPV.
-      votes[s] = synopses_[s].predict(tier_rows[t]);
-      valid[s] = 1;
+      votes_scratch_[s] = synopses_[s].predict(tier_rows[t]);
+      valid_scratch_[s] = 1;
     }
   }
-  return predictor_.predict_masked(votes, valid);
+  return predictor_.predict_masked(votes_scratch_, valid_scratch_);
 }
 
 }  // namespace hpcap::core

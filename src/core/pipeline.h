@@ -80,8 +80,16 @@ class CapacityMonitor {
   }
 
  private:
+  // Fills votes_scratch_ with the per-synopsis votes; the returned
+  // reference stays valid until the next fill. Keeps the per-interval
+  // observe/train paths allocation-free in steady state.
+  const std::vector<int>& fill_votes(
+      const std::vector<std::vector<double>>& tier_rows);
+
   std::vector<Synopsis> synopses_;
   CoordinatedPredictor predictor_;
+  std::vector<int> votes_scratch_;
+  std::vector<std::uint8_t> valid_scratch_;
 };
 
 }  // namespace hpcap::core

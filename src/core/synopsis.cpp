@@ -19,9 +19,10 @@ Synopsis::Synopsis(SynopsisSpec spec, std::vector<std::size_t> attributes,
     throw std::invalid_argument("Synopsis: requires >= 1 attribute");
 }
 
-std::vector<double> Synopsis::project(
+std::span<const double> Synopsis::project(
     std::span<const double> full_row) const {
-  std::vector<double> out;
+  thread_local std::vector<double> out;
+  out.clear();
   out.reserve(attributes_.size());
   for (std::size_t a : attributes_) {
     if (a >= full_row.size())

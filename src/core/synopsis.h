@@ -53,7 +53,11 @@ class Synopsis {
   std::string id() const;  // "ordering/app/hpc/TAN"
 
  private:
-  std::vector<double> project(std::span<const double> full_row) const;
+  // Projects the full-catalog row onto this synopsis's attributes into a
+  // thread-local scratch buffer — the returned span is valid until the
+  // next project() on the same thread. Keeps predict() allocation-free in
+  // steady state (the observe hot path runs every sampling interval).
+  std::span<const double> project(std::span<const double> full_row) const;
 
   SynopsisSpec spec_;
   std::vector<std::size_t> attributes_;

@@ -91,7 +91,7 @@ void mdl_split(const std::vector<std::pair<double, int>>& values,
 
 Discretizer Discretizer::equal_frequency(const DatasetView& d, int bins) {
   std::vector<std::vector<double>> cuts(d.dim());
-  if (bins < 2 || d.empty()) return Discretizer(std::move(cuts));
+  if (bins < 2 || d.empty()) return Discretizer(cuts);
   for (std::size_t a = 0; a < d.dim(); ++a) {
     std::vector<double> col = d.column(a);
     std::sort(col.begin(), col.end());
@@ -106,7 +106,7 @@ Discretizer Discretizer::equal_frequency(const DatasetView& d, int bins) {
       if (c.empty() || cut > c.back()) c.push_back(cut);
     }
   }
-  return Discretizer(std::move(cuts));
+  return Discretizer(cuts);
 }
 
 Discretizer Discretizer::mdl(const DatasetView& d) {
@@ -119,35 +119,50 @@ Discretizer Discretizer::mdl(const DatasetView& d) {
     mdl_split(values, 0, values.size(), cuts[a], 0);
     std::sort(cuts[a].begin(), cuts[a].end());
   }
-  return Discretizer(std::move(cuts));
+  return Discretizer(cuts);
 }
 
 Discretizer Discretizer::mdl_with_fallback(const DatasetView& d,
                                            int fallback_bins) {
-  Discretizer out = mdl(d);
+  const Discretizer supervised = mdl(d);
   const Discretizer ef = equal_frequency(d, fallback_bins);
-  for (std::size_t a = 0; a < out.cuts_.size(); ++a)
-    if (out.cuts_[a].empty()) out.cuts_[a] = ef.cuts_[a];
-  return out;
+  std::vector<std::vector<double>> cuts(supervised.dim());
+  for (std::size_t a = 0; a < cuts.size(); ++a) {
+    cuts[a] = supervised.bins(a) > 1 ? supervised.cut_points(a)
+                                     : ef.cut_points(a);
+  }
+  return Discretizer(cuts);
+}
+
+Discretizer::Discretizer(const std::vector<std::vector<double>>& cuts) {
+  offsets_.reserve(cuts.size() + 1);
+  offsets_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& c : cuts) total += c.size();
+  cuts_.reserve(total);
+  for (const auto& c : cuts) {
+    cuts_.insert(cuts_.end(), c.begin(), c.end());
+    offsets_.push_back(cuts_.size());
+  }
 }
 
 std::size_t Discretizer::max_bins() const noexcept {
   std::size_t m = 1;
-  for (const auto& c : cuts_) m = std::max(m, c.size() + 1);
+  for (std::size_t a = 0; a + 1 < offsets_.size(); ++a)
+    m = std::max(m, offsets_[a + 1] - offsets_[a] + 1);
   return m;
 }
 
-std::size_t Discretizer::bin_of(std::size_t attr, double v) const {
-  const auto& c = cuts_.at(attr);
-  return static_cast<std::size_t>(
-      std::upper_bound(c.begin(), c.end(), v) - c.begin());
+std::vector<double> Discretizer::cut_points(std::size_t attr) const {
+  check_attr(attr);
+  return {cuts_.begin() + static_cast<std::ptrdiff_t>(offsets_[attr]),
+          cuts_.begin() + static_cast<std::ptrdiff_t>(offsets_[attr + 1])};
 }
 
 std::vector<std::size_t> Discretizer::transform(
     std::span<const double> row) const {
-  std::vector<std::size_t> out(cuts_.size());
-  for (std::size_t a = 0; a < cuts_.size(); ++a)
-    out[a] = bin_of(a, row[a]);
+  std::vector<std::size_t> out(dim());
+  for (std::size_t a = 0; a < out.size(); ++a) out[a] = bin_of(a, row[a]);
   return out;
 }
 

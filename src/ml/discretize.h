@@ -8,15 +8,21 @@
 //    stopping criterion (the method WEKA's discretization filter and its
 //    NaiveBayes/TAN pipeline use), used when fitting the Bayesian models.
 //
-// A fitted Discretizer stores per-attribute ascending cut points;
-// bin_of(attr, v) returns the 0-based bin via binary search. Attributes
-// for which no informative cut exists get a single bin (the learners treat
-// them as uninformative rather than failing).
+// A fitted Discretizer stores per-attribute ascending cut points in one
+// flat array with a per-attribute offset table; bin_of(attr, v) is a
+// branch-light binary search over the attribute's contiguous cut range
+// (two loads to find the range, no per-attribute vector indirection).
+// Attributes for which no informative cut exists get a single bin (the
+// learners treat them as uninformative rather than failing). The online
+// observe path calls bin_of per attribute per interval, so it allocates
+// nothing.
 #pragma once
 
-#include <iosfwd>
+#include <algorithm>
 #include <cstddef>
+#include <iosfwd>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "ml/dataset.h"
@@ -40,31 +46,47 @@ class Discretizer {
   static Discretizer mdl_with_fallback(const DatasetView& d,
                                        int fallback_bins = 2);
 
-  std::size_t dim() const noexcept { return cuts_.size(); }
+  std::size_t dim() const noexcept { return offsets_.size() - 1; }
   // Number of bins for an attribute (cuts + 1).
-  std::size_t bins(std::size_t attr) const { return cuts_.at(attr).size() + 1; }
+  std::size_t bins(std::size_t attr) const {
+    check_attr(attr);
+    return offsets_[attr + 1] - offsets_[attr] + 1;
+  }
   // Largest bin count over all attributes.
   std::size_t max_bins() const noexcept;
 
-  // 0-based bin index of value v for attribute `attr`.
-  std::size_t bin_of(std::size_t attr, double v) const;
+  // 0-based bin index of value v for attribute `attr`: binary search over
+  // the attribute's contiguous cut range. Allocation-free.
+  std::size_t bin_of(std::size_t attr, double v) const {
+    check_attr(attr);
+    const double* first = cuts_.data() + offsets_[attr];
+    const double* last = cuts_.data() + offsets_[attr + 1];
+    return static_cast<std::size_t>(std::upper_bound(first, last, v) -
+                                    first);
+  }
 
   // Discretizes a full row.
   std::vector<std::size_t> transform(std::span<const double> row) const;
 
-  const std::vector<double>& cut_points(std::size_t attr) const {
-    return cuts_.at(attr);
-  }
+  // The ascending cut points of one attribute (a copy; the storage is one
+  // flat array shared by all attributes).
+  std::vector<double> cut_points(std::size_t attr) const;
 
   // Persistence (see ml/serialize.h for the format conventions).
   void save(std::ostream& os) const;
   static Discretizer load(std::istream& is);
 
  private:
-  explicit Discretizer(std::vector<std::vector<double>> cuts)
-      : cuts_(std::move(cuts)) {}
+  explicit Discretizer(const std::vector<std::vector<double>>& cuts);
 
-  std::vector<std::vector<double>> cuts_;  // ascending, per attribute
+  void check_attr(std::size_t attr) const {
+    if (attr + 1 >= offsets_.size())
+      throw std::out_of_range("Discretizer: attribute index");
+  }
+
+  // cuts_[offsets_[a] .. offsets_[a+1]) = attribute a's ascending cuts.
+  std::vector<double> cuts_;
+  std::vector<std::size_t> offsets_;  // size dim() + 1
 };
 
 }  // namespace hpcap::ml

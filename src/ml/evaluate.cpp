@@ -65,8 +65,18 @@ CvResult cross_validate(const Classifier& prototype, const DatasetView& d,
     Confusion confusion;
     bool used = false;
   };
+  // Cost hint: fitting one fold touches ~rows x dim cells a handful of
+  // times (discretizer sorts, table counts). Small CVs — the inner loops
+  // of forward selection evaluate dozens of them on candidate subsets —
+  // fall under the inline threshold and never pay pool dispatch; only
+  // full-width CVs on real training sets fan out.
+  const double ns_per_fold =
+      static_cast<double>(d.size()) * static_cast<double>(d.dim()) * 200.0;
+  const std::size_t grain =
+      util::grain_for_cost(fold_rows.size(), ns_per_fold);
   const auto outcomes = util::parallel_map(
-      fold_rows.size(), [&](std::size_t held) -> FoldOutcome {
+      fold_rows.size(),
+      [&](std::size_t held) -> FoldOutcome {
         std::vector<std::size_t> train_rows;
         for (std::size_t f = 0; f < fold_rows.size(); ++f)
           if (f != held)
@@ -80,7 +90,8 @@ CvResult cross_validate(const Classifier& prototype, const DatasetView& d,
         auto clf = prototype.clone();
         clf->fit(train);
         return {evaluate(*clf, d.select(fold_rows[held])), true};
-      });
+      },
+      grain);
 
   CvResult result;
   result.folds_requested = static_cast<int>(fold_rows.size());

@@ -42,13 +42,21 @@ std::vector<std::size_t> forward_select(const Classifier& prototype,
   // scores are stale). Selections are therefore identical at every thread
   // count; speculation only costs wasted trials after an accept, and the
   // window never extends past the patience budget serial execution had.
+  //
+  // Speculation only pays when the window's trials genuinely overlap in
+  // time. Inside an enclosing parallel region (synopsis-bank builds fan
+  // out one task per worker) nested loops run inline, so a wide window
+  // would evaluate — and then discard — extra full CVs serially; drop to
+  // a window of 1 there.
+  const std::size_t speculation =
+      util::in_parallel_region() ? 1 : std::max<std::size_t>(1, util::max_threads());
   while (pos < ranked.size() &&
          static_cast<int>(selected.size()) < opts.max_attributes &&
          misses < opts.patience) {
     const std::size_t window =
         std::min({ranked.size() - pos,
                   static_cast<std::size_t>(opts.patience - misses),
-                  std::max<std::size_t>(1, util::max_threads())});
+                  speculation});
     const auto scores = util::parallel_map(window, [&](std::size_t k) {
       const std::size_t cand = ranked[pos + k];
       std::vector<std::size_t> trial = selected;

@@ -15,15 +15,19 @@ void NaiveBayes::fit(const DatasetView& d) {
   log_prior_[0] = std::log((n0 + laplace_) / (n + 2.0 * laplace_));
   log_prior_[1] = std::log((n1 + laplace_) / (n + 2.0 * laplace_));
 
-  log_cond_.assign(d.dim(), {});
+  cond_offsets_.assign(d.dim() + 1, 0);
+  for (std::size_t a = 0; a < d.dim(); ++a)
+    cond_offsets_[a + 1] = cond_offsets_[a] + disc_->bins(a) * 2;
+  log_cond_.assign(cond_offsets_.back(), 0.0);
+  std::vector<double> counts;
   for (std::size_t a = 0; a < d.dim(); ++a) {
     const std::size_t bins = disc_->bins(a);
-    std::vector<double> counts(bins * 2, 0.0);
+    counts.assign(bins * 2, 0.0);
     for (std::size_t i = 0; i < d.size(); ++i) {
       const std::size_t b = disc_->bin_of(a, d.row(i)[a]);
       counts[b * 2 + static_cast<std::size_t>(d.label(i))] += 1.0;
     }
-    std::vector<double> lc(bins * 2, 0.0);
+    double* lc = log_cond_.data() + cond_offsets_[a];
     const double class_tot[2] = {n0, n1};
     for (std::size_t c = 0; c < 2; ++c) {
       const double denom =
@@ -31,17 +35,18 @@ void NaiveBayes::fit(const DatasetView& d) {
       for (std::size_t b = 0; b < bins; ++b)
         lc[b * 2 + c] = std::log((counts[b * 2 + c] + laplace_) / denom);
     }
-    log_cond_[a] = std::move(lc);
   }
 }
 
 double NaiveBayes::predict_score(std::span<const double> x) const {
   if (!disc_) throw std::logic_error("NaiveBayes: not fitted");
   double lp[2] = {log_prior_[0], log_prior_[1]};
-  for (std::size_t a = 0; a < log_cond_.size() && a < x.size(); ++a) {
+  const std::size_t dim = cond_offsets_.size() - 1;
+  for (std::size_t a = 0; a < dim && a < x.size(); ++a) {
     const std::size_t b = disc_->bin_of(a, x[a]);
-    lp[0] += log_cond_[a][b * 2 + 0];
-    lp[1] += log_cond_[a][b * 2 + 1];
+    const double* lc = log_cond_.data() + cond_offsets_[a] + b * 2;
+    lp[0] += lc[0];
+    lp[1] += lc[1];
   }
   // Softmax over the two log-joints.
   const double m = std::max(lp[0], lp[1]);

@@ -37,8 +37,13 @@ class NaiveBayes final : public Classifier {
   double laplace_;
   std::optional<Discretizer> disc_;
   double log_prior_[2] = {0.0, 0.0};
-  // log P(A_a = bin | C = c): per attribute, bins * 2 layout.
-  std::vector<std::vector<double>> log_cond_;
+  // log P(A_a = bin | C = c), every attribute's (bins × 2) table packed
+  // into one flat block: attribute a's entry for (bin, c) lives at
+  // log_cond_[cond_offsets_[a] + bin * 2 + c]. Prediction adds log
+  // probabilities straight out of this block — no per-attribute vector
+  // hop, no allocation.
+  std::vector<double> log_cond_;
+  std::vector<std::size_t> cond_offsets_;  // size dim + 1
 };
 
 }  // namespace hpcap::ml

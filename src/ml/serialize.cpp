@@ -78,10 +78,11 @@ using namespace io;
 
 void Discretizer::save(std::ostream& os) const {
   write_tag(os, "disc");
-  write_size(os, cuts_.size());
-  for (const auto& c : cuts_) {
-    write_size(os, c.size());
-    for (double v : c) write_double(os, v);
+  write_size(os, dim());
+  for (std::size_t a = 0; a < dim(); ++a) {
+    write_size(os, offsets_[a + 1] - offsets_[a]);
+    for (std::size_t k = offsets_[a]; k < offsets_[a + 1]; ++k)
+      write_double(os, cuts_[k]);
   }
 }
 
@@ -92,7 +93,7 @@ Discretizer Discretizer::load(std::istream& is) {
     c.resize(read_size(is));
     for (double& v : c) v = read_double(is);
   }
-  return Discretizer(std::move(cuts));
+  return Discretizer(cuts);
 }
 
 // --- LinearRegression ---------------------------------------------------
@@ -127,8 +128,14 @@ void NaiveBayes::save(std::ostream& os) const {
   disc_->save(os);
   write_double(os, log_prior_[0]);
   write_double(os, log_prior_[1]);
-  write_size(os, log_cond_.size());
-  for (const auto& t : log_cond_) write_vector(os, t);
+  // Per-attribute tables on disk (format v1); in memory they are one flat
+  // block sliced by cond_offsets_.
+  write_size(os, cond_offsets_.size() - 1);
+  for (std::size_t a = 0; a + 1 < cond_offsets_.size(); ++a) {
+    write_size(os, cond_offsets_[a + 1] - cond_offsets_[a]);
+    for (std::size_t k = cond_offsets_[a]; k < cond_offsets_[a + 1]; ++k)
+      write_double(os, log_cond_[k]);
+  }
 }
 
 NaiveBayes NaiveBayes::load(std::istream& is) {
@@ -137,8 +144,13 @@ NaiveBayes NaiveBayes::load(std::istream& is) {
   out.disc_ = Discretizer::load(is);
   out.log_prior_[0] = read_double(is);
   out.log_prior_[1] = read_double(is);
-  out.log_cond_.resize(read_size(is));
-  for (auto& t : out.log_cond_) t = read_vector(is);
+  const std::size_t attrs = read_size(is);
+  out.cond_offsets_.assign(attrs + 1, 0);
+  for (std::size_t a = 0; a < attrs; ++a) {
+    const std::vector<double> t = read_vector(is);
+    out.log_cond_.insert(out.log_cond_.end(), t.begin(), t.end());
+    out.cond_offsets_[a + 1] = out.log_cond_.size();
+  }
   return out;
 }
 
@@ -153,8 +165,14 @@ void Tan::save(std::ostream& os) const {
   for (int p : parent_) os << p << ' ';
   write_double(os, log_prior_[0]);
   write_double(os, log_prior_[1]);
-  write_size(os, log_cond_.size());
-  for (const auto& t : log_cond_) write_vector(os, t);
+  // Per-attribute tables on disk (format v1); in memory they are one flat
+  // block sliced by cond_offsets_.
+  write_size(os, cond_offsets_.size() - 1);
+  for (std::size_t a = 0; a + 1 < cond_offsets_.size(); ++a) {
+    write_size(os, cond_offsets_[a + 1] - cond_offsets_[a]);
+    for (std::size_t k = cond_offsets_[a]; k < cond_offsets_[a + 1]; ++k)
+      write_double(os, log_cond_[k]);
+  }
   write_size(os, parent_bins_.size());
   for (std::size_t b : parent_bins_) write_size(os, b);
 }
@@ -168,8 +186,13 @@ Tan Tan::load(std::istream& is) {
     if (!(is >> p)) throw std::runtime_error("tan load: parents");
   out.log_prior_[0] = read_double(is);
   out.log_prior_[1] = read_double(is);
-  out.log_cond_.resize(read_size(is));
-  for (auto& t : out.log_cond_) t = read_vector(is);
+  const std::size_t attrs = read_size(is);
+  out.cond_offsets_.assign(attrs + 1, 0);
+  for (std::size_t a = 0; a < attrs; ++a) {
+    const std::vector<double> t = read_vector(is);
+    out.log_cond_.insert(out.log_cond_.end(), t.begin(), t.end());
+    out.cond_offsets_[a + 1] = out.log_cond_.size();
+  }
   out.parent_bins_.resize(read_size(is));
   for (auto& b : out.parent_bins_) b = read_size(is);
   return out;
@@ -185,8 +208,14 @@ void Svm::save(std::ostream& os) const {
   write_double(os, gamma_);
   write_vector(os, mean_);
   write_vector(os, scale_);
-  write_size(os, sv_x_.size());
-  for (const auto& sv : sv_x_) write_vector(os, sv);
+  // On-disk format is unchanged (one vector per support vector); the
+  // in-memory layout is a flat dim_-strided block.
+  write_size(os, alpha_y_.size());
+  for (std::size_t i = 0; i < alpha_y_.size(); ++i) {
+    write_size(os, dim_);
+    for (std::size_t a = 0; a < dim_; ++a)
+      write_double(os, sv_x_[i * dim_ + a]);
+  }
   write_vector(os, alpha_y_);
   write_double(os, b_);
 }
@@ -200,8 +229,15 @@ Svm Svm::load(std::istream& is) {
   out.gamma_ = read_double(is);
   out.mean_ = read_vector(is);
   out.scale_ = read_vector(is);
-  out.sv_x_.resize(read_size(is));
-  for (auto& sv : out.sv_x_) sv = read_vector(is);
+  out.dim_ = out.mean_.size();
+  const std::size_t svs = read_size(is);
+  out.sv_x_.reserve(svs * out.dim_);
+  for (std::size_t i = 0; i < svs; ++i) {
+    const std::vector<double> sv = read_vector(is);
+    if (sv.size() != out.dim_)
+      throw std::runtime_error("svm load: support-vector width");
+    out.sv_x_.insert(out.sv_x_.end(), sv.begin(), sv.end());
+  }
   out.alpha_y_ = read_vector(is);
   out.b_ = read_double(is);
   out.fitted_ = true;

@@ -2,32 +2,114 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
 #include <stdexcept>
 
-#include "util/matrix.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace hpcap::ml {
 
-double Svm::kernel(std::span<const double> a, std::span<const double> b) const {
-  if (opts_.kernel == Kernel::kLinear) return dot(a, b);
-  return std::exp(-gamma_ * squared_distance(a, b));
+namespace {
+
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+// Kernel rows on demand with a capped LRU replacement policy, for
+// training sets too large for the dense n×n matrix. Misses cost O(n·d);
+// eviction scans the (small) slot table, which is noise next to a miss.
+// Pointer stability: a row() result stays valid across one subsequent
+// row() call (capacity >= 2 and the previous row is the most recently
+// used, so it is evicted last) — exactly the i-then-j access pattern of
+// an SMO pair update.
+class KernelRowCache {
+ public:
+  template <typename KernelFn>
+  KernelRowCache(std::size_t n, std::size_t capacity, KernelFn&& fill)
+      : n_(n),
+        capacity_(std::max<std::size_t>(capacity, 2)),
+        fill_(std::forward<KernelFn>(fill)),
+        buf_(std::min(capacity_, n) * n),
+        owner_(std::min(capacity_, n), kNoSlot),
+        stamp_(std::min(capacity_, n), 0),
+        slot_of_(n, kNoSlot) {}
+
+  const double* row(std::size_t i) {
+    ++tick_;
+    std::size_t slot = slot_of_[i];
+    if (slot == kNoSlot) {
+      slot = victim();
+      if (owner_[slot] != kNoSlot) slot_of_[owner_[slot]] = kNoSlot;
+      owner_[slot] = i;
+      slot_of_[i] = slot;
+      fill_(i, buf_.data() + slot * n_);
+      ++misses_;
+    }
+    stamp_[slot] = tick_;
+    return buf_.data() + slot * n_;
+  }
+
+  std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  std::size_t victim() const {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < owner_.size(); ++s) {
+      if (owner_[s] == kNoSlot) return s;
+      if (stamp_[s] < stamp_[best]) best = s;
+    }
+    return best;
+  }
+
+  std::size_t n_;
+  std::size_t capacity_;
+  std::function<void(std::size_t, double*)> fill_;
+  std::vector<double> buf_;
+  std::vector<std::size_t> owner_;   // slot -> row index
+  std::vector<std::uint64_t> stamp_;  // slot -> last-use tick
+  std::vector<std::size_t> slot_of_;  // row index -> slot
+  std::uint64_t tick_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace
+
+double Svm::kernel_raw(const double* a, const double* b,
+                       std::size_t p) const noexcept {
+  if (opts_.kernel == Kernel::kLinear) {
+    double s = 0.0;
+    for (std::size_t t = 0; t < p; ++t) s += a[t] * b[t];
+    return s;
+  }
+  double sq = 0.0;
+  for (std::size_t t = 0; t < p; ++t) {
+    const double dv = a[t] - b[t];
+    sq += dv * dv;
+  }
+  return std::exp(-gamma_ * sq);
 }
 
-std::vector<double> Svm::standardize(std::span<const double> x) const {
-  std::vector<double> out(mean_.size());
+void Svm::standardize_into(std::span<const double> x,
+                           std::vector<double>& out) const {
+  out.resize(mean_.size());
   for (std::size_t a = 0; a < mean_.size(); ++a) {
-    const double v = a < x.size() ? x[a] : 0.0;
+    // A short row is missing trailing attributes; impute the training
+    // mean, which standardizes to the neutral 0 (raw 0.0 would smuggle in
+    // -mean/scale, a spurious extreme value).
+    const double v = a < x.size() ? x[a] : mean_[a];
     out[a] = (v - mean_[a]) / scale_[a];
   }
-  return out;
 }
 
 void Svm::fit(const DatasetView& d) {
   if (d.empty()) throw std::invalid_argument("Svm: empty data");
   const std::size_t n = d.size();
   const std::size_t p = d.dim();
+  dim_ = p;
+  audit_divergence_ = 0.0;
 
   mean_.assign(p, 0.0);
   scale_.assign(p, 1.0);
@@ -38,10 +120,14 @@ void Svm::fit(const DatasetView& d) {
     scale_[a] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
   }
 
-  std::vector<std::vector<double>> x(n);
+  // Standardized training rows in one flat row-major block.
+  std::vector<double> x(n * p);
   std::vector<double> y(n);
   for (std::size_t i = 0; i < n; ++i) {
-    x[i] = standardize(d.row(i));
+    const auto row = d.row(i);
+    double* out = x.data() + i * p;
+    for (std::size_t a = 0; a < p; ++a)
+      out[a] = (row[a] - mean_[a]) / scale_[a];
     y[i] = d.label(i) == 1 ? 1.0 : -1.0;
   }
 
@@ -49,11 +135,55 @@ void Svm::fit(const DatasetView& d) {
                ? opts_.gamma
                : 1.0 / static_cast<double>(std::max<std::size_t>(p, 1));
 
-  // Kernel cache.
-  Matrix k(n, n);
+  const auto xrow = [&x, p](std::size_t i) { return x.data() + i * p; };
+
+  // Diagonal is always materialized (eta needs it on every update).
+  std::vector<double> diag(n);
   for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = i; j < n; ++j)
-      k(i, j) = k(j, i) = kernel(x[i], x[j]);
+    diag[i] = kernel_raw(xrow(i), xrow(i), p);
+
+  // Kernel storage: dense symmetric fill for ordinary synopsis-sized sets,
+  // LRU row cache beyond dense_kernel_limit.
+  const bool dense = n <= opts_.dense_kernel_limit;
+  std::vector<double> kmat;
+  std::unique_ptr<KernelRowCache> kcache;
+  if (dense) {
+    kmat.resize(n * n);
+    // Row bands over the upper triangle; each entry is a pure function of
+    // its row pair, so the fill is identical at every thread count. The
+    // grain keeps small fits inline (no pool traffic).
+    const double ns_per_row =
+        0.5 * static_cast<double>(n) *
+        (2.0 * static_cast<double>(p) +
+         (opts_.kernel == Kernel::kRbf ? 12.0 : 2.0));
+    util::parallel_for_chunked(
+        n, util::grain_for_cost(n, ns_per_row),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            double* out = kmat.data() + i * n;
+            out[i] = diag[i];
+            for (std::size_t j = i + 1; j < n; ++j)
+              out[j] = kernel_raw(xrow(i), xrow(j), p);
+          }
+        });
+    // Mirror the triangle so every row is contiguous for the E updates.
+    for (std::size_t i = 1; i < n; ++i)
+      for (std::size_t j = 0; j < i; ++j) kmat[i * n + j] = kmat[j * n + i];
+  } else {
+    std::size_t cap = opts_.kernel_cache_rows;
+    if (cap == 0)
+      cap = std::max<std::size_t>(
+          64, opts_.dense_kernel_limit * opts_.dense_kernel_limit / n);
+    kcache = std::make_unique<KernelRowCache>(
+        n, std::min(cap, n), [&, this](std::size_t i, double* out) {
+          const double* xi = xrow(i);
+          for (std::size_t k = 0; k < n; ++k)
+            out[k] = kernel_raw(xi, xrow(k), p);
+        });
+  }
+  const auto krow = [&](std::size_t i) -> const double* {
+    return dense ? kmat.data() + i * n : kcache->row(i);
+  };
 
   std::vector<double> alpha(n, 0.0);
   double b = 0.0;
@@ -61,11 +191,78 @@ void Svm::fit(const DatasetView& d) {
   const double tol = opts_.tol;
   Rng rng(opts_.seed);
 
-  auto f = [&](std::size_t i) {
-    double s = b;
-    for (std::size_t j = 0; j < n; ++j)
-      if (alpha[j] != 0.0) s += alpha[j] * y[j] * k(i, j);
-    return s;
+  // Error cache: E[i] = f(i) - y[i]. With all alphas 0 and b 0, f == 0.
+  std::vector<double> e(n);
+  for (std::size_t i = 0; i < n; ++i) e[i] = -y[i];
+
+  // Independent full recomputation of f(k) - y[k], for the audit hook.
+  const auto audit = [&] {
+    for (std::size_t k = 0; k < n; ++k) {
+      double f = b;
+      for (std::size_t m = 0; m < n; ++m)
+        if (alpha[m] != 0.0)
+          f += alpha[m] * y[m] * kernel_raw(xrow(m), xrow(k), p);
+      audit_divergence_ =
+          std::max(audit_divergence_, std::abs(e[k] - (f - y[k])));
+    }
+  };
+
+  // One SMO pair update; returns false when the pair cannot make
+  // progress (clipped window empty, non-negative curvature, step below
+  // threshold).
+  const auto try_update = [&](std::size_t i, std::size_t j) {
+    if (i == j) return false;
+    const double e_i = e[i];
+    const double e_j = e[j];
+    const double ai_old = alpha[i];
+    const double aj_old = alpha[j];
+    double lo, hi;
+    if (y[i] != y[j]) {
+      lo = std::max(0.0, aj_old - ai_old);
+      hi = std::min(c, c + aj_old - ai_old);
+    } else {
+      lo = std::max(0.0, ai_old + aj_old - c);
+      hi = std::min(c, ai_old + aj_old);
+    }
+    if (lo >= hi) return false;
+    const double* row_i = krow(i);
+    const double k_ij = row_i[j];
+    const double eta = 2.0 * k_ij - diag[i] - diag[j];
+    if (eta >= 0.0) return false;
+    double aj = aj_old - y[j] * (e_i - e_j) / eta;
+    aj = std::clamp(aj, lo, hi);
+    if (std::abs(aj - aj_old) < 1e-6) return false;
+    const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+    alpha[i] = ai;
+    alpha[j] = aj;
+
+    const double dai = ai - ai_old;
+    const double daj = aj - aj_old;
+    const double b1 =
+        b - e_i - y[i] * dai * diag[i] - y[j] * daj * k_ij;
+    const double b2 =
+        b - e_j - y[i] * dai * k_ij - y[j] * daj * diag[j];
+    double b_new;
+    if (ai > 0.0 && ai < c)
+      b_new = b1;
+    else if (aj > 0.0 && aj < c)
+      b_new = b2;
+    else
+      b_new = 0.5 * (b1 + b2);
+    const double db = b_new - b;
+    b = b_new;
+
+    // Fold the two rank-one kernel contributions and the bias shift into
+    // the cache: O(n) instead of recomputing any f from scratch. row_i
+    // stays valid across the row(j) fetch (see KernelRowCache).
+    const double wi = y[i] * dai;
+    const double wj = y[j] * daj;
+    const double* row_j = krow(j);
+    for (std::size_t k = 0; k < n; ++k)
+      e[k] += wi * row_i[k] + wj * row_j[k] + db;
+
+    if (opts_.audit_error_cache) audit();
+    return true;
   };
 
   int passes = 0;
@@ -74,55 +271,50 @@ void Svm::fit(const DatasetView& d) {
     int changed = 0;
     for (std::size_t i = 0; i < n && iterations < opts_.max_iterations;
          ++i, ++iterations) {
-      const double e_i = f(i) - y[i];
+      const double e_i = e[i];
       const bool violates = (y[i] * e_i < -tol && alpha[i] < c) ||
                             (y[i] * e_i > tol && alpha[i] > 0.0);
       if (!violates) continue;
-      std::size_t j = rng.uniform_u64(n - 1);
-      if (j >= i) ++j;
-      const double e_j = f(j) - y[j];
 
-      const double ai_old = alpha[i];
-      const double aj_old = alpha[j];
-      double lo, hi;
-      if (y[i] != y[j]) {
-        lo = std::max(0.0, aj_old - ai_old);
-        hi = std::min(c, c + aj_old - ai_old);
-      } else {
-        lo = std::max(0.0, ai_old + aj_old - c);
-        hi = std::min(c, ai_old + aj_old);
+      // Working-set heuristic: the partner with the largest |E_i - E_j|
+      // promises the largest step along the constraint. Ties break to the
+      // lowest index, keeping the scan deterministic.
+      std::size_t best_j = i;
+      double best_gap = -1.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k == i) continue;
+        const double gap = std::abs(e_i - e[k]);
+        if (gap > best_gap) {
+          best_gap = gap;
+          best_j = k;
+        }
       }
-      if (lo >= hi) continue;
-      const double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
-      if (eta >= 0.0) continue;
-      double aj = aj_old - y[j] * (e_i - e_j) / eta;
-      aj = std::clamp(aj, lo, hi);
-      if (std::abs(aj - aj_old) < 1e-6) continue;
-      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
-      alpha[i] = ai;
-      alpha[j] = aj;
-
-      const double b1 = b - e_i - y[i] * (ai - ai_old) * k(i, i) -
-                        y[j] * (aj - aj_old) * k(i, j);
-      const double b2 = b - e_j - y[i] * (ai - ai_old) * k(i, j) -
-                        y[j] * (aj - aj_old) * k(j, j);
-      if (ai > 0.0 && ai < c)
-        b = b1;
-      else if (aj > 0.0 && aj < c)
-        b = b2;
-      else
-        b = 0.5 * (b1 + b2);
-      ++changed;
+      if (best_j != i && try_update(i, best_j)) {
+        ++changed;
+        continue;
+      }
+      // The heuristic partner was unable to move (clipped or flat
+      // curvature): fall back to seeded random partners, as simplified
+      // SMO would.
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        std::size_t j = rng.uniform_u64(n - 1);
+        if (j >= i) ++j;
+        if (j != best_j && try_update(i, j)) {
+          ++changed;
+          break;
+        }
+      }
     }
     passes = changed == 0 ? passes + 1 : 0;
   }
 
-  // Keep only support vectors.
+  // Keep only support vectors, packed flat.
   sv_x_.clear();
   alpha_y_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     if (alpha[i] > 1e-9) {
-      sv_x_.push_back(std::move(x[i]));
+      const double* xi = xrow(i);
+      sv_x_.insert(sv_x_.end(), xi, xi + p);
       alpha_y_.push_back(alpha[i] * y[i]);
     }
   }
@@ -130,22 +322,26 @@ void Svm::fit(const DatasetView& d) {
   fitted_ = true;
 }
 
-double Svm::decision(std::span<const double> x_std) const {
+double Svm::decision(const double* x_std) const noexcept {
   double s = b_;
-  for (std::size_t i = 0; i < sv_x_.size(); ++i)
-    s += alpha_y_[i] * kernel(sv_x_[i], x_std);
+  const double* sv = sv_x_.data();
+  for (std::size_t i = 0; i < alpha_y_.size(); ++i, sv += dim_)
+    s += alpha_y_[i] * kernel_raw(sv, x_std, dim_);
   return s;
 }
 
 double Svm::predict_score(std::span<const double> x) const {
   if (!fitted_) throw std::logic_error("Svm: not fitted");
-  const std::vector<double> xs = standardize(x);
+  // Reused scratch: the online observe path calls this every interval and
+  // must not allocate (after the buffer's first growth).
+  thread_local std::vector<double> xs;
+  standardize_into(x, xs);
   // Logistic squashing of the margin gives a usable [0,1] score.
-  return 1.0 / (1.0 + std::exp(-2.0 * decision(xs)));
+  return 1.0 / (1.0 + std::exp(-2.0 * decision(xs.data())));
 }
 
 std::size_t Svm::support_vector_count() const noexcept {
-  return sv_x_.size();
+  return alpha_y_.size();
 }
 
 }  // namespace hpcap::ml

@@ -60,16 +60,22 @@ void Tan::fit(const DatasetView& d) {
   log_prior_[0] = std::log((n0 + laplace_) / (n + 2.0 * laplace_));
   log_prior_[1] = std::log((n1 + laplace_) / (n + 2.0 * laplace_));
 
-  // Conditional tables P(A_a | parent_bin, C).
-  log_cond_.assign(p, {});
+  // Conditional tables P(A_a | parent_bin, C), packed flat.
   parent_bins_.assign(p, 1);
+  cond_offsets_.assign(p + 1, 0);
   for (std::size_t a = 0; a < p; ++a) {
-    const std::size_t bins = disc_->bins(a);
     const std::size_t pbins =
         parent_[a] >= 0 ? disc_->bins(static_cast<std::size_t>(parent_[a]))
                         : 1;
     parent_bins_[a] = pbins;
-    std::vector<double> counts(bins * pbins * 2, 0.0);
+    cond_offsets_[a + 1] = cond_offsets_[a] + disc_->bins(a) * pbins * 2;
+  }
+  log_cond_.assign(cond_offsets_.back(), 0.0);
+  std::vector<double> counts;
+  for (std::size_t a = 0; a < p; ++a) {
+    const std::size_t bins = disc_->bins(a);
+    const std::size_t pbins = parent_bins_[a];
+    counts.assign(bins * pbins * 2, 0.0);
     for (std::size_t i = 0; i < d.size(); ++i) {
       const std::size_t b = disc_->bin_of(a, d.row(i)[a]);
       const std::size_t pb =
@@ -80,7 +86,7 @@ void Tan::fit(const DatasetView& d) {
       counts[(b * pbins + pb) * 2 + static_cast<std::size_t>(d.label(i))] +=
           1.0;
     }
-    std::vector<double> lc(bins * pbins * 2, 0.0);
+    double* lc = log_cond_.data() + cond_offsets_[a];
     for (std::size_t pb = 0; pb < pbins; ++pb) {
       for (std::size_t c = 0; c < 2; ++c) {
         double tot = 0.0;
@@ -93,14 +99,14 @@ void Tan::fit(const DatasetView& d) {
                        denom);
       }
     }
-    log_cond_[a] = std::move(lc);
   }
 }
 
 double Tan::predict_score(std::span<const double> x) const {
   if (!disc_) throw std::logic_error("Tan: not fitted");
   double lp[2] = {log_prior_[0], log_prior_[1]};
-  for (std::size_t a = 0; a < log_cond_.size() && a < x.size(); ++a) {
+  const std::size_t dim = cond_offsets_.size() - 1;
+  for (std::size_t a = 0; a < dim && a < x.size(); ++a) {
     const std::size_t b = disc_->bin_of(a, x[a]);
     const std::size_t pbins = parent_bins_[a];
     const std::size_t pb =
@@ -108,8 +114,10 @@ double Tan::predict_score(std::span<const double> x) const {
             ? disc_->bin_of(static_cast<std::size_t>(parent_[a]),
                             x[static_cast<std::size_t>(parent_[a])])
             : 0;
-    lp[0] += log_cond_[a][(b * pbins + pb) * 2 + 0];
-    lp[1] += log_cond_[a][(b * pbins + pb) * 2 + 1];
+    const double* lc =
+        log_cond_.data() + cond_offsets_[a] + (b * pbins + pb) * 2;
+    lp[0] += lc[0];
+    lp[1] += lc[1];
   }
   const double m = std::max(lp[0], lp[1]);
   const double e0 = std::exp(lp[0] - m);

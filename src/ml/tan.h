@@ -47,9 +47,14 @@ class Tan final : public Classifier {
   std::optional<Discretizer> disc_;
   std::vector<int> parent_;
   double log_prior_[2] = {0.0, 0.0};
-  // For attribute a: table indexed [own_bin][parent_bin][class], flattened;
-  // root attributes use parent_bin = 0 with a single parent bin.
-  std::vector<std::vector<double>> log_cond_;
+  // For attribute a: table indexed [own_bin][parent_bin][class]; root
+  // attributes use parent_bin = 0 with a single parent bin. All attribute
+  // tables are packed into one flat block — attribute a's entry lives at
+  // log_cond_[cond_offsets_[a] + (own_bin * parent_bins_[a] + parent_bin)
+  // * 2 + c] — so prediction walks contiguous memory with no
+  // per-attribute vector hop and no allocation.
+  std::vector<double> log_cond_;
+  std::vector<std::size_t> cond_offsets_;  // size dim + 1
   std::vector<std::size_t> parent_bins_;  // bins of each attribute's parent
 };
 

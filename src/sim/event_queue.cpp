@@ -5,8 +5,52 @@
 
 namespace hpcap::sim {
 
+// Both sifts use the classic "hole" technique: the element being placed
+// is held aside and ancestors/descendants are *moved* into the gap, one
+// move per level instead of swap's three. Events carry a std::function,
+// so the move count is what the sift costs.
+void EventQueue::sift_up(std::size_t i) {
+  Event ev = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], ev)) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(ev);
+}
+
+EventQueue::Event EventQueue::pop_earliest() {
+  Event ev = std::move(heap_.front());
+  const std::size_t n = heap_.size() - 1;
+  if (n == 0) {
+    heap_.pop_back();
+    return ev;
+  }
+  // Bottom-up pop: the displaced last element almost always belongs near
+  // a leaf, so walk the min-child path all the way down (one comparison
+  // per level), drop it there, and let sift_up fix the rare overshoot —
+  // cheaper than a textbook top-down sift, which pays an extra
+  // belongs-here comparison at every level.
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t first = left;
+    if (left + 1 < n && later(heap_[left], heap_[left + 1])) first = left + 1;
+    heap_[i] = std::move(heap_[first]);
+    i = first;
+  }
+  heap_[i] = std::move(last);
+  sift_up(i);
+  return ev;
+}
+
 void EventQueue::schedule_at(SimTime t, Callback cb) {
-  heap_.push(Event{std::max(t, now_), next_seq_++, std::move(cb)});
+  heap_.push_back(Event{std::max(t, now_), next_seq_++, std::move(cb)});
+  sift_up(heap_.size() - 1);
 }
 
 void EventQueue::schedule_after(SimTime dt, Callback cb) {
@@ -15,10 +59,7 @@ void EventQueue::schedule_after(SimTime dt, Callback cb) {
 
 bool EventQueue::run_one() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; moving the callback out requires the
-  // const_cast idiom. The event is popped immediately after.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  Event ev = pop_earliest();
   now_ = ev.time;
   ++executed_;
   ev.cb();
@@ -26,7 +67,7 @@ bool EventQueue::run_one() {
 }
 
 void EventQueue::run_until(SimTime t) {
-  while (!heap_.empty() && heap_.top().time <= t) run_one();
+  while (!heap_.empty() && heap_.front().time <= t) run_one();
   now_ = std::max(now_, t);
 }
 

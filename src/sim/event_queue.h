@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace hpcap::sim {
@@ -47,14 +46,20 @@ class EventQueue {
     std::uint64_t seq;  // tie-breaker: FIFO among equal-time events
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  // Strict-weak "fires later than": heap_[0] is the next event to run.
+  static bool later(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  void sift_up(std::size_t i);
+  // Removes and returns the earliest event. Non-const by design:
+  // std::priority_queue's const top() forces the move-out-via-const_cast
+  // idiom, which this in-house binary heap over a flat vector avoids.
+  Event pop_earliest();
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Binary min-heap (by `later`) laid out in the usual implicit-tree
+  // order: children of i at 2i+1 / 2i+2.
+  std::vector<Event> heap_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -90,6 +90,20 @@ std::size_t max_threads() noexcept {
 
 bool in_parallel_region() noexcept { return t_in_region; }
 
+std::size_t grain_for_cost(std::size_t n, double ns_per_item) noexcept {
+  // One claimed chunk should carry at least ~200 us of work, so chunk
+  // dispatch (an atomic op plus occasional pool wakeup) stays well under
+  // 1% of the loop. A loop with fewer than two such chunks of total work
+  // is not worth the pool at all: grain == n makes run_chunked inline it.
+  constexpr double kMinChunkNs = 200'000.0;
+  if (n == 0) return 1;
+  if (ns_per_item <= 0.0) return n;
+  const double total = ns_per_item * static_cast<double>(n);
+  if (total < 2.0 * kMinChunkNs) return n;
+  const auto grain = static_cast<std::size_t>(kMinChunkNs / ns_per_item);
+  return std::min(n, std::max<std::size_t>(std::size_t{1}, grain));
+}
+
 namespace detail {
 
 namespace {
@@ -97,7 +111,8 @@ struct Shared {
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::size_t n = 0;
-  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::mutex mu;
   std::condition_variable cv;
   std::size_t finished = 0;
@@ -105,28 +120,34 @@ struct Shared {
 };
 }  // namespace
 
-void run_indexed(std::size_t n,
-                 const std::function<void(std::size_t)>& body) {
+void run_chunked(std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  const std::size_t t = std::min(max_threads(), n);
+  if (grain == 0) grain = 1;
+  // Workers can do useful work only if there is more than one chunk; a
+  // loop that fits in one grain runs inline, untouched by the pool.
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t t = std::min(max_threads(), chunks);
   if (t <= 1 || t_in_region) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    body(0, n);
     return;
   }
 
   const auto shared = std::make_shared<Shared>();
   shared->n = n;
+  shared->grain = grain;
   shared->body = &body;
   auto worker = [shared] {
     const bool prev = t_in_region;
     t_in_region = true;
     for (;;) {
       if (shared->failed.load(std::memory_order_relaxed)) break;
-      const std::size_t i =
-          shared->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= shared->n) break;
+      const std::size_t b =
+          shared->next.fetch_add(shared->grain, std::memory_order_relaxed);
+      if (b >= shared->n) break;
+      const std::size_t e = std::min(b + shared->grain, shared->n);
       try {
-        (*shared->body)(i);
+        (*shared->body)(b, e);
       } catch (...) {
         std::lock_guard<std::mutex> lock(shared->mu);
         if (!shared->error) shared->error = std::current_exception();

@@ -11,6 +11,14 @@
 //    nondeterministic, but callers only ever write to per-index slots and
 //    reduce on the calling thread afterwards, which makes the *result*
 //    schedule-independent.
+//  * Granularity: every helper takes an optional `grain` — the minimum
+//    number of consecutive indices a worker claims at once. Workers claim
+//    whole chunks with a single atomic op, so a loop of a million cheap
+//    bodies costs ~n/grain atomic ops, not n. A loop with n <= grain runs
+//    inline on the caller with no pool traffic at all, which is how tiny
+//    loops are kept off the pool. grain_for_cost(n, ns_per_item) derives a
+//    grain from a per-item cost hint (target: >= ~200 us of work per
+//    chunk).
 //  * Nested regions run serially: a body that itself calls parallel_for
 //    executes that inner loop inline on its worker. This keeps one level
 //    of parallelism (the outermost), avoids pool deadlock, and changes no
@@ -22,10 +30,11 @@
 //    hardware_threads(). Call it only between parallel regions.
 //
 // Only the ML layer (cross-validation, attribute selection, synopsis bank
-// construction) uses this. sim::EventQueue and everything driven by it
-// stay single-threaded by design — see docs/API.md.
+// construction, SVM kernel fill) uses this. sim::EventQueue and everything
+// driven by it stay single-threaded by design — see docs/API.md.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -64,24 +73,48 @@ std::size_t max_threads() noexcept;
 // True on threads currently executing inside a parallel_for body.
 bool in_parallel_region() noexcept;
 
+// Grain (minimum chunk size) for a loop of n items costing ~ns_per_item
+// nanoseconds each, sized so one claimed chunk amortizes pool dispatch
+// (>= ~200 us of work). A loop whose *total* work is under two chunks
+// gets grain == n, i.e. runs inline.
+std::size_t grain_for_cost(std::size_t n, double ns_per_item) noexcept;
+
 namespace detail {
-void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
+// Executes body(begin, end) over chunks of >= grain consecutive indices.
+void run_chunked(std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body);
 }  // namespace detail
 
+// Chunked range-parallel loop: body(begin, end) over consecutive index
+// ranges of at least `grain` items. The cheapest way to parallelize a
+// cheap-per-index loop — the body amortizes chunk dispatch itself.
 template <typename F>
-void parallel_for(std::size_t n, F&& body) {
+void parallel_for_chunked(std::size_t n, std::size_t grain, F&& body) {
+  const std::function<void(std::size_t, std::size_t)> fn =
+      std::forward<F>(body);
+  detail::run_chunked(n, grain, fn);
+}
+
+template <typename F>
+void parallel_for(std::size_t n, F&& body, std::size_t grain = 1) {
+  // Per-index API on top of the chunked runner; one std::function hop per
+  // chunk, not per index.
   const std::function<void(std::size_t)> fn = std::forward<F>(body);
-  detail::run_indexed(n, fn);
+  detail::run_chunked(n, grain,
+                      [&fn](std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) fn(i);
+                      });
 }
 
 // Maps fn over [0, n) and returns the results in index order. The result
 // type only needs to be movable (Synopsis, Confusion, ...).
 template <typename F>
-auto parallel_map(std::size_t n, F&& fn)
+auto parallel_map(std::size_t n, F&& fn, std::size_t grain = 1)
     -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
   using R = std::decay_t<decltype(fn(std::size_t{}))>;
   std::vector<std::optional<R>> slots(n);
-  parallel_for(n, [&slots, &fn](std::size_t i) { slots[i].emplace(fn(i)); });
+  parallel_for(
+      n, [&slots, &fn](std::size_t i) { slots[i].emplace(fn(i)); }, grain);
   std::vector<R> out;
   out.reserve(n);
   for (auto& s : slots) out.push_back(std::move(*s));

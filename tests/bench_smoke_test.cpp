@@ -1,0 +1,82 @@
+// Bench-smoke regression guard (ctest -L bench-smoke).
+//
+// The seed's parallel synopsis-bank build was *slower* than serial
+// (BENCH_parallel.json recorded a 0.83x "speedup") because per-index pool
+// dispatch outweighed the work on small tasks. This guard trains a
+// miniature bank serially and with 2 threads and fails if the parallel
+// build costs more than 1.1x the serial wall time — catching any future
+// re-introduction of per-item dispatch overhead, regardless of how many
+// cores the machine running the suite actually has.
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace hpcap::core {
+namespace {
+
+ml::Dataset mini_training(std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (int a = 0; a < 6; ++a) names.push_back("m" + std::to_string(a));
+  ml::Dataset d(names);
+  Rng rng(seed);
+  for (int i = 0; i < 240; ++i) {
+    const int y = i % 2;
+    std::vector<double> row;
+    for (int a = 0; a < 6; ++a)
+      row.push_back((a % 2 == 0 ? y : 0) + rng.normal(0.0, 0.3));
+    d.add(std::move(row), y);
+  }
+  return d;
+}
+
+std::vector<SynopsisTask> mini_tasks() {
+  std::vector<SynopsisTask> tasks;
+  const char* tiers[] = {"web", "app", "db"};
+  for (int t = 0; t < 3; ++t)
+    for (int w = 0; w < 2; ++w) {
+      SynopsisTask task{mini_training(100 + 10 * t + w),
+                        {"mix" + std::to_string(w), tiers[t], t, "hpc",
+                         ml::LearnerKind::kTan}};
+      tasks.push_back(std::move(task));
+    }
+  return tasks;
+}
+
+double build_ms(std::size_t threads) {
+  util::set_max_threads(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto bank = build_synopsis_bank(SynopsisBuilder(), mini_tasks());
+  const auto t1 = std::chrono::steady_clock::now();
+  util::set_max_threads(0);
+  EXPECT_EQ(bank.size(), 6u);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+TEST(BenchSmoke, ParallelBankBuildDoesNotRegressPastSerial) {
+  // Best of 3 per mode smooths scheduler noise; the guard is a ratio, so
+  // it holds on any machine — including single-CPU containers, where a
+  // well-granulated parallel build should cost the same as serial, not
+  // more.
+  double serial = 1e300, parallel = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    serial = std::min(serial, build_ms(1));
+    parallel = std::min(parallel, build_ms(2));
+  }
+  RecordProperty("serial_ms", std::to_string(serial));
+  RecordProperty("parallel2_ms", std::to_string(parallel));
+  // 1 ms of additive slack keeps sub-millisecond jitter from mattering if
+  // the miniature build ever becomes very fast.
+  EXPECT_LE(parallel, serial * 1.1 + 1.0)
+      << "2-thread bank build took " << parallel << " ms vs " << serial
+      << " ms serial — parallel dispatch overhead regressed";
+}
+
+}  // namespace
+}  // namespace hpcap::core

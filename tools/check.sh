@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# One-command verification gate: the default build + full suite, the
+# bench-smoke parallel-overhead guard, and the sanitizer suites that the
+# tsan/asan ctest labels mark.
+#
+# Usage: tools/check.sh [fast|full]
+#   fast (default) - default build: full ctest + bench-smoke label
+#   full           - fast, plus -DHPCAP_TSAN=ON (ctest -L tsan) and
+#                    -DHPCAP_ASAN=ON (ctest -L asan) builds
+#
+# Exits non-zero on the first failing step. Build trees: build/,
+# build-tsan/, build-asan/ under the repo root.
+set -euo pipefail
+
+mode="${1:-fast}"
+case "$mode" in
+  fast|full) ;;
+  *) echo "usage: $0 [fast|full]" >&2; exit 2 ;;
+esac
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "default build"
+cmake -B "$root/build" -S "$root" >/dev/null
+cmake --build "$root/build" -j "$jobs"
+
+step "full test suite"
+ctest --test-dir "$root/build" --output-on-failure
+
+step "bench-smoke guard (parallel overhead)"
+ctest --test-dir "$root/build" -L bench-smoke --output-on-failure
+
+if [ "$mode" = "full" ]; then
+  step "tsan build + ctest -L tsan"
+  cmake -B "$root/build-tsan" -S "$root" -DHPCAP_TSAN=ON >/dev/null
+  cmake --build "$root/build-tsan" -j "$jobs"
+  ctest --test-dir "$root/build-tsan" -L tsan --output-on-failure
+
+  step "asan build + ctest -L asan"
+  cmake -B "$root/build-asan" -S "$root" -DHPCAP_ASAN=ON >/dev/null
+  cmake --build "$root/build-asan" -j "$jobs"
+  ctest --test-dir "$root/build-asan" -L asan --output-on-failure
+fi
+
+step "all checks passed ($mode)"
