@@ -1,0 +1,261 @@
+// Wire-path overhead of hpcapd: throughput and decision latency of the
+// full loopback stack (encode -> TCP -> FrameAssembler -> aggregation ->
+// observe_masked -> DECISION -> decode) versus the in-process pipeline.
+//
+// Two phases:
+//   * throughput — one agent streams batched sampling ticks as fast as
+//     the daemon accepts them; reported as per-tier samples/sec. The
+//     monitor's reason to exist is negligible overhead, so the wire must
+//     sustain far more than the 1 Hz x a-few-tiers a real site produces
+//     (shape target: >= 50k samples/sec).
+//   * latency — window = 1, one tick per round trip; the distribution of
+//     send-to-decision times gives the added decision delay (p50/p99).
+//
+// Usage: bench_net_loopback [--json PATH] [--ticks N]
+//   --json PATH   output record (default: BENCH_net.json)
+//   --ticks N     throughput-phase sampling ticks (default: 60000)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/monitor_source.h"
+#include "core/pipeline.h"
+#include "counters/metric_catalog.h"
+#include "net/client.h"
+#include "net/event_loop.h"
+#include "net/server.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace hpcap;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::size_t catalog_dim() { return counters::hpc_catalog().size(); }
+
+ml::Dataset tier_dataset(std::uint64_t seed) {
+  const std::size_t dim = catalog_dim();
+  std::vector<std::string> names(dim);
+  for (std::size_t i = 0; i < dim; ++i) names[i] = "m" + std::to_string(i);
+  ml::Dataset d(names);
+  Rng rng(seed);
+  std::vector<double> row(dim);
+  for (int i = 0; i < 160; ++i) {
+    const int y = i % 2;
+    for (auto& v : row) v = rng.uniform();
+    row[0] = y + rng.normal(0.0, 0.2);
+    row[2] = y + rng.normal(0.0, 0.3);
+    d.add(row, y);
+  }
+  return d;
+}
+
+std::string make_bundle() {
+  core::SynopsisBuilder builder;
+  std::vector<core::Synopsis> synopses;
+  synopses.push_back(builder.build(
+      tier_dataset(17), {"mix", "app", 0, "hpc", ml::LearnerKind::kTan}));
+  synopses.push_back(builder.build(
+      tier_dataset(19), {"mix", "db", 1, "hpc", ml::LearnerKind::kTan}));
+  core::CoordinatedPredictor::Options opts;
+  opts.num_tiers = 2;
+  opts.synopsis_tiers = {0, 1};
+  core::CapacityMonitor monitor(std::move(synopses), opts);
+  Rng rng(23);
+  std::vector<std::vector<double>> rows(2, std::vector<double>(catalog_dim()));
+  for (int i = 0; i < 40; ++i) {
+    const int label = i % 2;
+    for (auto& r : rows) {
+      for (auto& v : r) v = rng.uniform();
+      r[0] = label + rng.normal(0.0, 0.2);
+      r[2] = label + rng.normal(0.0, 0.3);
+    }
+    monitor.train_instance(rows, label, label ? 1 : -1);
+  }
+  monitor.end_training_run();
+  std::ostringstream os;
+  core::save_monitor(os, monitor);
+  return os.str();
+}
+
+net::Tick make_tick(int num_tiers, int level, Rng& rng) {
+  net::Tick tick;
+  tick.tiers.resize(static_cast<std::size_t>(num_tiers));
+  for (auto& slot : tick.tiers) {
+    slot.present = true;
+    slot.values.resize(catalog_dim());
+    for (auto& v : slot.values) v = rng.uniform();
+    slot.values[0] = level + rng.normal(0.0, 0.2);
+    slot.values[2] = level + rng.normal(0.0, 0.3);
+  }
+  return tick;
+}
+
+struct Daemon {
+  core::MonitorSource source;
+  net::EventLoop loop;
+  std::optional<net::Server> server;
+  std::thread thread;
+  std::atomic<bool> want_stop{false};
+
+  explicit Daemon(std::string bundle)
+      : source(core::MonitorSource::from_bytes(std::move(bundle))) {
+    net::ServerConfig cfg;
+    cfg.num_tiers = 2;
+    server.emplace(loop, source, cfg);
+    loop.set_wake_handler([this] {
+      if (want_stop.exchange(false)) server->begin_shutdown();
+    });
+    server->start();
+    thread = std::thread([this] { loop.run(); });
+  }
+  ~Daemon() {
+    want_stop = true;
+    loop.wake();
+    thread.join();
+  }
+};
+
+net::Client connect_agent(const Daemon& daemon, std::uint16_t window) {
+  net::Client client;
+  client.connect("127.0.0.1", daemon.server->port());
+  net::HelloRequest hello;
+  hello.agent = "bench";
+  hello.level = "hpc";
+  hello.num_tiers = 2;
+  hello.window = window;
+  const auto reply = client.hello(hello);
+  if (!reply.accepted) {
+    std::fprintf(stderr, "bench_net_loopback: hello rejected: %s\n",
+                 reply.message.c_str());
+    std::exit(1);
+  }
+  return client;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_net.json";
+  int ticks = 60000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
+      ticks = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--ticks N]\n", argv[0]);
+      return 2;
+    }
+  }
+  constexpr int kTiers = 2;
+  constexpr std::uint16_t kWindow = 4;
+  constexpr int kBatch = 500;
+  ticks = std::max(ticks, kBatch);
+
+  std::printf("training bench model...\n");
+  Daemon daemon(make_bundle());
+
+  // --- throughput phase --------------------------------------------------
+  // Pre-encode nothing: tick construction is part of the agent's cost in
+  // production too, but keep it out of the timed region to isolate the
+  // wire + daemon pipeline.
+  Rng rng(101);
+  std::vector<net::Tick> stream;
+  stream.reserve(static_cast<std::size_t>(ticks));
+  for (int i = 0; i < ticks; ++i)
+    stream.push_back(make_tick(kTiers, (i / 200) % 2, rng));
+
+  net::Client agent = connect_agent(daemon, kWindow);
+  std::size_t decisions = 0;
+  const std::size_t want_decisions =
+      static_cast<std::size_t>(ticks) / kWindow;
+  const auto t0 = Clock::now();
+  for (int start = 0; start < ticks; start += kBatch) {
+    net::SampleBatch batch;
+    batch.first_tick = static_cast<std::uint32_t>(start);
+    const int end = std::min(start + kBatch, ticks);
+    batch.ticks.assign(stream.begin() + start, stream.begin() + end);
+    agent.send_batch(batch);
+    decisions += agent.drain_decisions().size();
+  }
+  while (decisions < want_decisions) {
+    (void)agent.next_decision();
+    ++decisions;
+  }
+  const double throughput_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const double samples_per_sec =
+      static_cast<double>(ticks) * kTiers / throughput_s;
+
+  // --- latency phase -----------------------------------------------------
+  // window = 1: every tick produces a decision, so one send + one receive
+  // is a full decision round trip.
+  net::Client probe = connect_agent(daemon, 1);
+  constexpr int kProbes = 2000;
+  std::vector<double> rtt_us;
+  rtt_us.reserve(kProbes);
+  for (int i = 0; i < kProbes; ++i) {
+    net::SampleBatch batch;
+    batch.first_tick = static_cast<std::uint32_t>(i);
+    batch.ticks.push_back(stream[static_cast<std::size_t>(i)]);
+    const auto s0 = Clock::now();
+    probe.send_batch(batch);
+    (void)probe.next_decision();
+    rtt_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - s0).count());
+  }
+  std::sort(rtt_us.begin(), rtt_us.end());
+  const auto quantile = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * (rtt_us.size() - 1));
+    return rtt_us[idx];
+  };
+  const double p50 = quantile(0.50);
+  const double p99 = quantile(0.99);
+
+  const bool met = samples_per_sec >= 50000.0;
+  TextTable table("hpcapd loopback wire-path overhead");
+  table.set_header({"phase", "metric", "value"});
+  table.add_row({"throughput", "sampling ticks", std::to_string(ticks)});
+  table.add_row({"throughput", "samples/sec (per-tier slots)",
+                 TextTable::num(samples_per_sec, 0)});
+  table.add_row({"throughput", "decisions", std::to_string(decisions)});
+  table.add_separator();
+  table.add_row({"latency", "decision round trips",
+                 std::to_string(kProbes)});
+  table.add_row({"latency", "p50 (us)", TextTable::num(p50, 1)});
+  table.add_row({"latency", "p99 (us)", TextTable::num(p99, 1)});
+  table.add_note("shape target: >= 50k samples/sec over loopback");
+  table.add_note(
+      "latency = send_batch + aggregate + observe_masked + DECISION rtt");
+  std::printf("%s\n", table.render().c_str());
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"net_loopback\",\n"
+                 "  \"tiers\": %d,\n"
+                 "  \"window\": %u,\n"
+                 "  \"ticks\": %d,\n"
+                 "  \"samples_per_sec\": %.0f,\n"
+                 "  \"decisions\": %llu,\n"
+                 "  \"latency_p50_us\": %.1f,\n"
+                 "  \"latency_p99_us\": %.1f,\n"
+                 "  \"throughput_target_met\": %s\n"
+                 "}\n",
+                 kTiers, kWindow, ticks, samples_per_sec,
+                 static_cast<unsigned long long>(decisions), p50, p99,
+                 met ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return met ? 0 : 1;
+}

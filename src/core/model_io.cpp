@@ -35,6 +35,12 @@ void save_synopsis(std::ostream& os, const Synopsis& synopsis) {
   ml::save_classifier(os, synopsis.classifier());
 }
 
+// Structural ceilings for hostile-input checks (see ml/serialize.cpp):
+// a corrupt count must fail with a clear error, not drive the allocator.
+constexpr std::size_t kMaxSynopsisAttrs = 1 << 12;
+constexpr std::size_t kMaxMonitorSynopses = 256;
+constexpr int kMaxPredictorTiers = 64;
+
 Synopsis load_synopsis(std::istream& is) {
   expect_tag(is, "synopsis");
   expect_tag(is, "v1");
@@ -43,8 +49,11 @@ Synopsis load_synopsis(std::istream& is) {
   spec.tier = read_string(is);
   if (!(is >> spec.tier_index))
     throw std::runtime_error("load_synopsis: tier index");
+  if (spec.tier_index < 0 || spec.tier_index >= kMaxPredictorTiers)
+    throw std::runtime_error("load_synopsis: tier index out of range");
   spec.level = read_string(is);
-  std::vector<std::size_t> attrs(read_size(is));
+  std::vector<std::size_t> attrs(
+      read_count(is, kMaxSynopsisAttrs, "synopsis attribute"));
   for (auto& a : attrs) a = read_size(is);
   std::vector<std::string> names(attrs.size());
   for (auto& n : names) n = read_string(is);
@@ -82,10 +91,26 @@ CoordinatedPredictor CoordinatedPredictor::load(std::istream& is) {
   if (!(is >> opts.num_synopses >> opts.num_tiers >> opts.history_bits >>
         opts.delta >> scheme >> opts.hc_saturation >> unseen >> source))
     throw std::runtime_error("load_predictor: options");
+  // Validate every option that sizes a table *before* the constructor
+  // runs, so a corrupt stream yields a clear runtime_error instead of an
+  // invalid_argument or a gigabyte allocation.
+  if (opts.num_synopses < 1 || opts.num_synopses > 16)
+    throw std::runtime_error("load_predictor: num_synopses out of range");
+  if (opts.num_tiers < 1 || opts.num_tiers > kMaxPredictorTiers)
+    throw std::runtime_error("load_predictor: num_tiers out of range");
+  if (opts.history_bits < 0 || opts.history_bits > 12)
+    throw std::runtime_error("load_predictor: history_bits out of range");
+  if (opts.delta < 0 || opts.delta > 1000000)
+    throw std::runtime_error("load_predictor: delta out of range");
+  if (opts.hc_saturation < 0 || opts.hc_saturation > 1000000)
+    throw std::runtime_error("load_predictor: hc_saturation out of range");
+  if (unseen < 0 || unseen > 1 || source < 0 || source > 2)
+    throw std::runtime_error("load_predictor: policy out of range");
   opts.scheme = scheme ? TieScheme::kPessimistic : TieScheme::kOptimistic;
   opts.unseen = static_cast<UnseenCellPolicy>(unseen);
   opts.history_source = static_cast<HistorySource>(source);
-  opts.synopsis_tiers.resize(read_size(is));
+  opts.synopsis_tiers.resize(
+      read_count(is, 16, "predictor synopsis tier"));
   for (int& t : opts.synopsis_tiers)
     if (!(is >> t)) throw std::runtime_error("load_predictor: tiers");
 
@@ -125,7 +150,7 @@ CapacityMonitor load_monitor(std::istream& is) {
   expect_tag(is, "hpcap-monitor");
   expect_tag(is, "v1");
   std::vector<Synopsis> synopses;
-  const std::size_t n = read_size(is);
+  const std::size_t n = read_count(is, kMaxMonitorSynopses, "synopsis");
   synopses.reserve(n);
   for (std::size_t i = 0; i < n; ++i) synopses.push_back(load_synopsis(is));
   CoordinatedPredictor predictor = CoordinatedPredictor::load(is);

@@ -1,9 +1,11 @@
 #include "ml/serialize.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "ml/discretize.h"
 #include "ml/linreg.h"
@@ -33,14 +35,34 @@ void write_double(std::ostream& os, double v) {
 double read_double(std::istream& is) {
   std::string tok;
   if (!(is >> tok)) throw std::runtime_error("model load: missing double");
-  return std::strtod(tok.c_str(), nullptr);
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0')
+    throw std::runtime_error("model load: bad double '" + tok + "'");
+  return v;
 }
 
 void write_size(std::ostream& os, std::size_t v) { os << v << ' '; }
 
 std::size_t read_size(std::istream& is) {
-  std::size_t v = 0;
-  if (!(is >> v)) throw std::runtime_error("model load: missing size");
+  // Parse through a signed token first: istream extraction into an
+  // unsigned type happily wraps "-1" to SIZE_MAX, which turns a one-byte
+  // corruption into a multi-gigabyte resize downstream.
+  std::string tok;
+  if (!(is >> tok)) throw std::runtime_error("model load: missing size");
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0' || v < 0)
+    throw std::runtime_error("model load: bad size '" + tok + "'");
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t read_count(std::istream& is, std::size_t max, const char* what) {
+  const std::size_t v = read_size(is);
+  if (v > max)
+    throw std::runtime_error("model load: " + std::string(what) + " count " +
+                             std::to_string(v) + " exceeds limit " +
+                             std::to_string(max));
   return v;
 }
 
@@ -49,7 +71,7 @@ void write_string(std::ostream& os, const std::string& s) {
 }
 
 std::string read_string(std::istream& is) {
-  const std::size_t n = read_size(is);
+  const std::size_t n = read_count(is, kMaxStringBytes, "string byte");
   is.get();  // the single separator after the length
   std::string s(n, '\0');
   is.read(s.data(), static_cast<std::streamsize>(n));
@@ -58,13 +80,20 @@ std::string read_string(std::istream& is) {
 }
 
 namespace {
+// Structural ceilings for the hostile-input checks below. Real models are
+// orders of magnitude smaller (dozens of attributes, a few thousand
+// support vectors); these only exist so a corrupt count fails cleanly
+// instead of driving an absurd allocation.
+constexpr std::size_t kMaxAttributes = 1 << 12;
+constexpr std::size_t kMaxVectorElems = 1 << 20;
+
 void write_vector(std::ostream& os, const std::vector<double>& v) {
   write_size(os, v.size());
   for (double x : v) write_double(os, x);
 }
 
 std::vector<double> read_vector(std::istream& is) {
-  std::vector<double> v(read_size(is));
+  std::vector<double> v(read_count(is, kMaxVectorElems, "vector element"));
   for (double& x : v) x = read_double(is);
   return v;
 }
@@ -88,9 +117,10 @@ void Discretizer::save(std::ostream& os) const {
 
 Discretizer Discretizer::load(std::istream& is) {
   expect_tag(is, "disc");
-  std::vector<std::vector<double>> cuts(read_size(is));
+  std::vector<std::vector<double>> cuts(
+      read_count(is, kMaxAttributes, "discretizer attribute"));
   for (auto& c : cuts) {
-    c.resize(read_size(is));
+    c.resize(read_count(is, kMaxVectorElems, "discretizer cut"));
     for (double& v : c) v = read_double(is);
   }
   return Discretizer(cuts);
@@ -144,7 +174,7 @@ NaiveBayes NaiveBayes::load(std::istream& is) {
   out.disc_ = Discretizer::load(is);
   out.log_prior_[0] = read_double(is);
   out.log_prior_[1] = read_double(is);
-  const std::size_t attrs = read_size(is);
+  const std::size_t attrs = read_count(is, kMaxAttributes, "naive attribute");
   out.cond_offsets_.assign(attrs + 1, 0);
   for (std::size_t a = 0; a < attrs; ++a) {
     const std::vector<double> t = read_vector(is);
@@ -181,19 +211,19 @@ Tan Tan::load(std::istream& is) {
   expect_tag(is, "tan");
   Tan out(read_double(is));
   out.disc_ = Discretizer::load(is);
-  out.parent_.resize(read_size(is));
+  out.parent_.resize(read_count(is, kMaxAttributes, "tan parent"));
   for (int& p : out.parent_)
     if (!(is >> p)) throw std::runtime_error("tan load: parents");
   out.log_prior_[0] = read_double(is);
   out.log_prior_[1] = read_double(is);
-  const std::size_t attrs = read_size(is);
+  const std::size_t attrs = read_count(is, kMaxAttributes, "tan attribute");
   out.cond_offsets_.assign(attrs + 1, 0);
   for (std::size_t a = 0; a < attrs; ++a) {
     const std::vector<double> t = read_vector(is);
     out.log_cond_.insert(out.log_cond_.end(), t.begin(), t.end());
     out.cond_offsets_[a + 1] = out.log_cond_.size();
   }
-  out.parent_bins_.resize(read_size(is));
+  out.parent_bins_.resize(read_count(is, kMaxAttributes, "tan parent bin"));
   for (auto& b : out.parent_bins_) b = read_size(is);
   return out;
 }
@@ -230,7 +260,7 @@ Svm Svm::load(std::istream& is) {
   out.mean_ = read_vector(is);
   out.scale_ = read_vector(is);
   out.dim_ = out.mean_.size();
-  const std::size_t svs = read_size(is);
+  const std::size_t svs = read_count(is, kMaxVectorElems, "support vector");
   out.sv_x_.reserve(svs * out.dim_);
   for (std::size_t i = 0; i < svs; ++i) {
     const std::vector<double> sv = read_vector(is);

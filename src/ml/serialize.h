@@ -14,8 +14,10 @@
 // learners' serializers).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <string>
 
 #include "ml/classifier.h"
 
@@ -31,15 +33,24 @@ std::unique_ptr<Classifier> load_classifier(std::istream& is);
 
 namespace io {
 
-// Shared low-level helpers (used by core-layer serializers too).
+// Shared low-level helpers (used by core-layer serializers too). All
+// readers throw std::runtime_error on truncated, malformed or hostile
+// input — counts are bounds-checked *before* any allocation they drive,
+// so a corrupt stream cannot demand gigabytes.
 void write_tag(std::ostream& os, const char* tag);
 void expect_tag(std::istream& is, const char* tag);
 void write_double(std::ostream& os, double v);
 double read_double(std::istream& is);
 void write_size(std::ostream& os, std::size_t v);
 std::size_t read_size(std::istream& is);
+// read_size with an upper bound; `what` names the field in the error.
+std::size_t read_count(std::istream& is, std::size_t max, const char* what);
 void write_string(std::ostream& os, const std::string& s);
 std::string read_string(std::istream& is);
+
+// Hard ceiling on any serialized string (names, tags). Far above anything
+// the format writes, far below anything that could hurt.
+inline constexpr std::size_t kMaxStringBytes = std::size_t{1} << 20;
 
 }  // namespace io
 }  // namespace hpcap::ml

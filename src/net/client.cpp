@@ -1,0 +1,217 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace hpcap::net {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("net::Client: " + what);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      assembler_(std::move(other.assembler_)),
+      decisions_(std::move(other.decisions_)) {
+  other.fd_ = -1;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     double timeout_seconds) {
+  if (fd_ >= 0) fail("already connected");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail(std::string("socket: ") + std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    fail("bad host address '" + host + "' (use a dotted IPv4 address)");
+  }
+
+  // Nonblocking connect so the timeout is honored.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    fail(std::string("connect: ") + std::strerror(err));
+  }
+  if (rc != 0) {
+    pollfd p{fd, POLLOUT, 0};
+    const int ready =
+        ::poll(&p, 1, static_cast<int>(timeout_seconds * 1000.0));
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (ready > 0)
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (ready <= 0 || soerr != 0) {
+      ::close(fd);
+      fail(ready <= 0 ? "connect timed out"
+                      : std::string("connect: ") + std::strerror(soerr));
+    }
+  }
+  // Back to blocking for writes; reads poll() explicitly.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_all(const std::vector<std::uint8_t>& bytes) {
+  if (fd_ < 0) fail("not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool Client::fill(double timeout_seconds) {
+  pollfd p{fd_, POLLIN, 0};
+  const int ready =
+      ::poll(&p, 1, static_cast<int>(timeout_seconds * 1000.0));
+  if (ready < 0) {
+    if (errno == EINTR) return true;
+    fail(std::string("poll: ") + std::strerror(errno));
+  }
+  if (ready == 0) fail("timed out waiting for the daemon");
+  std::uint8_t buf[65536];
+  const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+      return true;
+    fail(std::string("recv: ") + std::strerror(errno));
+  }
+  if (n == 0) return false;
+  assembler_.append(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+Frame Client::await_frame(FrameType want, double timeout_seconds) {
+  const double deadline = monotonic_seconds() + timeout_seconds;
+  for (;;) {
+    while (auto frame = assembler_.next()) {
+      if (frame->type == FrameType::kDecision) {
+        decisions_.push_back(decode_decision(frame->payload));
+        continue;
+      }
+      if (frame->type != want)
+        throw ProtocolError("net::Client: unexpected frame type");
+      return std::move(*frame);
+    }
+    const double left = deadline - monotonic_seconds();
+    if (left <= 0.0) fail("timed out waiting for the daemon");
+    if (!fill(left)) fail("daemon closed the connection");
+  }
+}
+
+HelloReply Client::hello(const HelloRequest& req, double timeout_seconds) {
+  send_all(encode_hello_request(req));
+  const Frame frame = await_frame(FrameType::kHello, timeout_seconds);
+  return decode_hello_reply(frame.payload);
+}
+
+void Client::send_batch(const SampleBatch& batch) {
+  send_all(encode_sample_batch(batch));
+}
+
+std::vector<DecisionFrame> Client::drain_decisions() {
+  // Pull in whatever the kernel already has, without blocking.
+  if (fd_ >= 0) {
+    pollfd p{fd_, POLLIN, 0};
+    while (::poll(&p, 1, 0) > 0 && (p.revents & POLLIN)) {
+      std::uint8_t buf[65536];
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      assembler_.append(buf, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof buf)) break;
+    }
+    while (auto frame = assembler_.next()) {
+      if (frame->type != FrameType::kDecision)
+        throw ProtocolError("net::Client: unexpected frame type");
+      decisions_.push_back(decode_decision(frame->payload));
+    }
+  }
+  std::vector<DecisionFrame> out(decisions_.begin(), decisions_.end());
+  decisions_.clear();
+  return out;
+}
+
+DecisionFrame Client::next_decision(double timeout_seconds) {
+  const double deadline = monotonic_seconds() + timeout_seconds;
+  for (;;) {
+    if (!decisions_.empty()) {
+      DecisionFrame d = decisions_.front();
+      decisions_.pop_front();
+      return d;
+    }
+    while (auto frame = assembler_.next()) {
+      if (frame->type != FrameType::kDecision)
+        throw ProtocolError("net::Client: unexpected frame type");
+      decisions_.push_back(decode_decision(frame->payload));
+    }
+    if (!decisions_.empty()) continue;
+    const double left = deadline - monotonic_seconds();
+    if (left <= 0.0) fail("timed out waiting for a decision");
+    if (!fill(left)) fail("daemon closed the connection");
+  }
+}
+
+StatsReply Client::stats(double timeout_seconds) {
+  send_all(encode_stats_request());
+  const Frame frame = await_frame(FrameType::kStats, timeout_seconds);
+  return decode_stats_reply(frame.payload);
+}
+
+ReloadReply Client::reload(const std::string& path,
+                           double timeout_seconds) {
+  ReloadRequest req;
+  req.path = path;
+  send_all(encode_reload_request(req));
+  const Frame frame = await_frame(FrameType::kReload, timeout_seconds);
+  return decode_reload_reply(frame.payload);
+}
+
+void Client::shutdown_server(double timeout_seconds) {
+  send_all(encode_shutdown());
+  (void)await_frame(FrameType::kShutdown, timeout_seconds);
+}
+
+}  // namespace hpcap::net

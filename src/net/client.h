@@ -1,0 +1,68 @@
+// Client side of the hpcapd wire protocol — what a tier agent (or
+// `hpcapctl stream`) links against.
+//
+// Deliberately simple: one blocking TCP connection, synchronous
+// round-trips for control frames, and a local buffer for DECISION frames
+// that arrive interleaved with control replies (the daemon streams
+// decisions as windows close, regardless of what else is in flight).
+// Single-threaded use only.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace hpcap::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+
+  // Throws std::runtime_error on refusal/timeout.
+  void connect(const std::string& host, std::uint16_t port,
+               double timeout_seconds = 5.0);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  // Handshake round-trip. Throws ProtocolError on a malformed reply and
+  // std::runtime_error on transport failure; a *rejected* hello returns
+  // normally with accepted == false so the caller can report the reason.
+  HelloReply hello(const HelloRequest& req, double timeout_seconds = 10.0);
+
+  // Ships one batch of sampling ticks (blocking write).
+  void send_batch(const SampleBatch& batch);
+
+  // All decisions that have already arrived, without blocking.
+  std::vector<DecisionFrame> drain_decisions();
+  // Blocks until the next DECISION (buffered ones first). Throws
+  // std::runtime_error on timeout or connection loss.
+  DecisionFrame next_decision(double timeout_seconds = 10.0);
+
+  // Control round-trips; DECISION frames arriving first are buffered.
+  StatsReply stats(double timeout_seconds = 10.0);
+  ReloadReply reload(const std::string& path = "",
+                     double timeout_seconds = 30.0);
+  // Requests daemon shutdown and waits for the ack.
+  void shutdown_server(double timeout_seconds = 10.0);
+
+ private:
+  void send_all(const std::vector<std::uint8_t>& bytes);
+  // Reads until a frame of `want` arrives (buffering DECISIONs), or
+  // throws on timeout/disconnect.
+  Frame await_frame(FrameType want, double timeout_seconds);
+  // Pulls whatever is readable into the assembler. Returns false on EOF.
+  bool fill(double timeout_seconds);
+
+  int fd_ = -1;
+  FrameAssembler assembler_;
+  std::deque<DecisionFrame> decisions_;
+};
+
+}  // namespace hpcap::net

@@ -1,0 +1,175 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace hpcap::net {
+
+namespace {
+
+void set_nonblocking_cloexec(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  if (::pipe(wake_pipe_) != 0)
+    throw std::runtime_error(std::string("EventLoop: pipe: ") +
+                             std::strerror(errno));
+  set_nonblocking_cloexec(wake_pipe_[0]);
+  set_nonblocking_cloexec(wake_pipe_[1]);
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+int EventLoop::find_fd(int fd) const {
+  for (std::size_t i = 0; i < fds_.size(); ++i)
+    if (fds_[i].fd == fd && !fds_[i].dead) return static_cast<int>(i);
+  return -1;
+}
+
+void EventLoop::add_fd(int fd, bool want_read, bool want_write,
+                       IoCallback cb) {
+  if (find_fd(fd) >= 0)
+    throw std::invalid_argument("EventLoop::add_fd: fd already registered");
+  FdEntry e;
+  e.fd = fd;
+  e.events = static_cast<short>((want_read ? POLLIN : 0) |
+                                (want_write ? POLLOUT : 0));
+  e.cb = std::move(cb);
+  fds_.push_back(std::move(e));
+}
+
+void EventLoop::set_interest(int fd, bool want_read, bool want_write) {
+  const int i = find_fd(fd);
+  if (i < 0)
+    throw std::invalid_argument("EventLoop::set_interest: unknown fd");
+  fds_[static_cast<std::size_t>(i)].events = static_cast<short>(
+      (want_read ? POLLIN : 0) | (want_write ? POLLOUT : 0));
+}
+
+void EventLoop::remove_fd(int fd) {
+  const int i = find_fd(fd);
+  if (i < 0) return;
+  fds_[static_cast<std::size_t>(i)].dead = true;
+  have_dead_fds_ = true;
+}
+
+EventLoop::TimerId EventLoop::add_timer(double delay_seconds,
+                                        std::function<void()> cb) {
+  Timer t;
+  t.id = next_timer_id_++;
+  t.deadline = now() + std::max(0.0, delay_seconds);
+  t.cb = std::move(cb);
+  const auto pos = std::lower_bound(
+      timers_.begin(), timers_.end(), t, [](const Timer& a, const Timer& b) {
+        return a.deadline != b.deadline ? a.deadline < b.deadline
+                                        : a.id < b.id;
+      });
+  const TimerId id = t.id;
+  timers_.insert(pos, std::move(t));
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  std::erase_if(timers_, [id](const Timer& t) { return t.id == id; });
+}
+
+double EventLoop::now() const { return monotonic_seconds(); }
+
+int EventLoop::poll_timeout_ms() const {
+  if (timers_.empty()) return 500;  // bounded so stop()/wake stay snappy
+  const double wait = timers_.front().deadline - now();
+  if (wait <= 0.0) return 0;
+  return static_cast<int>(std::min(500.0, std::ceil(wait * 1000.0)));
+}
+
+void EventLoop::dispatch_timers() {
+  // Fire every timer whose deadline has passed. Callbacks may add or
+  // cancel timers; re-scan from the sorted front each round.
+  const double t = now();
+  while (!timers_.empty() && timers_.front().deadline <= t) {
+    Timer timer = std::move(timers_.front());
+    timers_.erase(timers_.begin());
+    timer.cb();
+  }
+}
+
+void EventLoop::run() {
+  running_ = true;
+  std::vector<pollfd> pfds;
+  while (running_) {
+    pfds.clear();
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (const FdEntry& e : fds_)
+      if (!e.dead) pfds.push_back(pollfd{e.fd, e.events, 0});
+
+    const int rc = ::poll(pfds.data(), pfds.size(), poll_timeout_ms());
+    if (rc < 0 && errno != EINTR)
+      throw std::runtime_error(std::string("EventLoop: poll: ") +
+                               std::strerror(errno));
+
+    dispatch_timers();
+
+    if (rc > 0) {
+      // Wake pipe first: drain, then notify.
+      if (pfds[0].revents & POLLIN) {
+        std::uint8_t buf[64];
+        while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        }
+        if (wake_handler_) wake_handler_();
+      }
+      for (const pollfd& p : pfds) {
+        if (p.fd == wake_pipe_[0] || p.revents == 0) continue;
+        const int i = find_fd(p.fd);
+        if (i < 0) continue;  // removed by an earlier callback this round
+        const bool readable =
+            (p.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0;
+        const bool writable = (p.revents & POLLOUT) != 0;
+        // The callback may remove fds (including its own); find_fd skips
+        // dead entries, and the sweep below reclaims them.
+        fds_[static_cast<std::size_t>(i)].cb(readable, writable);
+      }
+    }
+
+    if (have_dead_fds_) {
+      std::erase_if(fds_, [](const FdEntry& e) { return e.dead; });
+      have_dead_fds_ = false;
+    }
+  }
+}
+
+void EventLoop::stop() { running_ = false; }
+
+void EventLoop::wake() noexcept {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  [[maybe_unused]] const auto rc = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void EventLoop::set_wake_handler(std::function<void()> handler) {
+  wake_handler_ = std::move(handler);
+}
+
+}  // namespace hpcap::net

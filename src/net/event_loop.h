@@ -1,0 +1,88 @@
+// Single-threaded poll(2)-based event loop — the concurrency model of
+// hpcapd.
+//
+// One thread owns every socket: readiness callbacks, one-shot timers and
+// deferred tasks all run on the loop thread, so connection state needs no
+// locks. The only cross-thread (and async-signal-safe) entry point is
+// wake(), a self-pipe write that interrupts poll(); a signal handler or
+// another thread uses it to get the loop's attention, and the loop then
+// runs its wake handler (e.g. hpcapd's SIGHUP model reload).
+//
+// poll() rather than epoll keeps the loop portable and dependency-free;
+// at the daemon's scale (tens of agent connections, 1 Hz samples) the
+// O(fds) scan is irrelevant next to the per-frame work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hpcap::net {
+
+class EventLoop {
+ public:
+  // `readable`/`writable` report which requested interests fired; an
+  // error/hangup condition on the fd is reported as readable so the
+  // callback's read() observes it.
+  using IoCallback = std::function<void(bool readable, bool writable)>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` (must be unique; the loop does not own or close it).
+  void add_fd(int fd, bool want_read, bool want_write, IoCallback cb);
+  void set_interest(int fd, bool want_read, bool want_write);
+  // Safe to call from inside the fd's own callback; dispatch for the
+  // removed fd is suppressed for the rest of the iteration.
+  void remove_fd(int fd);
+
+  // One-shot timer on the loop's monotonic clock. Callbacks run on the
+  // loop thread in deadline order.
+  TimerId add_timer(double delay_seconds, std::function<void()> cb);
+  void cancel_timer(TimerId id);
+
+  // Seconds on the loop's monotonic clock (also valid off-thread).
+  double now() const;
+
+  // Runs until stop(). Dispatches io, timers, then wake notifications.
+  void run();
+  // Ends run() after the current iteration. Loop-thread only; from other
+  // threads use wake() with a handler that calls stop().
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  // Async-signal-safe and thread-safe: interrupts the current poll() and
+  // makes the loop invoke the wake handler.
+  void wake() noexcept;
+  void set_wake_handler(std::function<void()> handler);
+
+ private:
+  struct FdEntry {
+    int fd = -1;
+    short events = 0;
+    IoCallback cb;
+    bool dead = false;
+  };
+  struct Timer {
+    TimerId id = 0;
+    double deadline = 0.0;
+    std::function<void()> cb;
+  };
+
+  int find_fd(int fd) const;
+  int poll_timeout_ms() const;
+  void dispatch_timers();
+
+  std::vector<FdEntry> fds_;
+  std::vector<Timer> timers_;  // kept sorted by (deadline, id)
+  TimerId next_timer_id_ = 1;
+  int wake_pipe_[2] = {-1, -1};
+  std::function<void()> wake_handler_;
+  bool running_ = false;
+  bool have_dead_fds_ = false;
+};
+
+}  // namespace hpcap::net

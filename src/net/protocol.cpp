@@ -1,0 +1,394 @@
+#include "net/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace hpcap::net {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw ProtocolError("wire protocol: " + what);
+}
+
+std::size_t checked_count(std::uint64_t n, std::size_t cap,
+                          const char* what) {
+  if (n > cap)
+    malformed(std::string(what) + " count " + std::to_string(n) +
+              " exceeds cap " + std::to_string(cap));
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+// --- writer --------------------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  if (s.size() > kMaxString)
+    throw ProtocolError("wire protocol: string too long to encode");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// --- reader --------------------------------------------------------------
+
+std::uint8_t PayloadReader::read_u8() {
+  if (remaining() < 1) malformed("truncated u8");
+  return data_[pos_++];
+}
+
+std::uint16_t PayloadReader::read_u16() {
+  if (remaining() < 2) malformed("truncated u16");
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t PayloadReader::read_u32() {
+  if (remaining() < 4) malformed("truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::read_u64() {
+  if (remaining() < 8) malformed("truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::int32_t PayloadReader::read_i32() {
+  return static_cast<std::int32_t>(read_u32());
+}
+
+double PayloadReader::read_f64() {
+  return std::bit_cast<double>(read_u64());
+}
+
+std::string PayloadReader::read_string() {
+  const std::size_t n = checked_count(read_u32(), kMaxString, "string");
+  if (remaining() < n) malformed("truncated string body");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void PayloadReader::expect_done(const char* what) const {
+  if (remaining() != 0)
+    malformed(std::string(what) + ": " + std::to_string(remaining()) +
+              " trailing bytes");
+}
+
+// --- framing -------------------------------------------------------------
+
+std::optional<FrameHeader> peek_header(
+    std::span<const std::uint8_t> buffer) {
+  if (buffer.size() < kHeaderSize) return std::nullopt;
+  PayloadReader r(buffer.first(kHeaderSize));
+  const std::uint32_t magic = r.read_u32();
+  if (magic != kMagic) malformed("bad magic");
+  FrameHeader h;
+  h.version = r.read_u8();
+  if (h.version != kProtocolVersion)
+    malformed("unsupported protocol version " + std::to_string(h.version));
+  const std::uint8_t type = r.read_u8();
+  if (type < 1 || type > 6)
+    malformed("unknown frame type " + std::to_string(type));
+  h.type = static_cast<FrameType>(type);
+  if (r.read_u16() != 0) malformed("nonzero reserved field");
+  h.payload_size = r.read_u32();
+  if (h.payload_size > kMaxPayload)
+    malformed("payload size " + std::to_string(h.payload_size) +
+              " exceeds cap");
+  return h;
+}
+
+std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayload)
+    throw ProtocolError("wire protocol: payload too large to encode");
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  put_u32(out, kMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+// --- HELLO ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_hello_request(const HelloRequest& req) {
+  std::vector<std::uint8_t> p;
+  put_string(p, req.agent);
+  put_string(p, req.level);
+  put_u16(p, req.num_tiers);
+  put_u16(p, req.window);
+  return encode_frame(FrameType::kHello, p);
+}
+
+HelloRequest decode_hello_request(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  HelloRequest req;
+  req.agent = r.read_string();
+  req.level = r.read_string();
+  req.num_tiers = r.read_u16();
+  req.window = r.read_u16();
+  r.expect_done("HELLO request");
+  return req;
+}
+
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& rep) {
+  std::vector<std::uint8_t> p;
+  put_u8(p, rep.accepted ? 1 : 0);
+  put_string(p, rep.message);
+  put_u16(p, rep.num_tiers);
+  put_u16(p, rep.window);
+  put_u32(p, rep.model_version);
+  if (rep.dims.size() > kMaxTiers)
+    throw ProtocolError("wire protocol: too many tiers to encode");
+  put_u16(p, static_cast<std::uint16_t>(rep.dims.size()));
+  for (std::uint16_t d : rep.dims) put_u16(p, d);
+  return encode_frame(FrameType::kHello, p);
+}
+
+HelloReply decode_hello_reply(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  HelloReply rep;
+  rep.accepted = r.read_u8() != 0;
+  rep.message = r.read_string();
+  rep.num_tiers = r.read_u16();
+  rep.window = r.read_u16();
+  rep.model_version = r.read_u32();
+  const std::size_t n = checked_count(r.read_u16(), kMaxTiers, "tier");
+  rep.dims.resize(n);
+  for (auto& d : rep.dims) d = r.read_u16();
+  r.expect_done("HELLO reply");
+  return rep;
+}
+
+// --- SAMPLE_BATCH --------------------------------------------------------
+
+std::vector<std::uint8_t> encode_sample_batch(const SampleBatch& batch) {
+  if (batch.ticks.size() > kMaxTicksPerBatch)
+    throw ProtocolError("wire protocol: too many ticks to encode");
+  std::vector<std::uint8_t> p;
+  put_u32(p, batch.first_tick);
+  put_u16(p, static_cast<std::uint16_t>(batch.ticks.size()));
+  for (const Tick& tick : batch.ticks) {
+    if (tick.tiers.size() > kMaxTiers)
+      throw ProtocolError("wire protocol: too many tiers to encode");
+    put_u16(p, static_cast<std::uint16_t>(tick.tiers.size()));
+    for (const TierSlot& slot : tick.tiers) {
+      put_u8(p, slot.present ? 1 : 0);
+      if (!slot.present) continue;
+      if (slot.values.size() > kMaxRowDim)
+        throw ProtocolError("wire protocol: row too wide to encode");
+      put_u16(p, static_cast<std::uint16_t>(slot.values.size()));
+      for (double v : slot.values) put_f64(p, v);
+    }
+  }
+  return encode_frame(FrameType::kSampleBatch, p);
+}
+
+SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  SampleBatch batch;
+  batch.first_tick = r.read_u32();
+  const std::size_t ticks =
+      checked_count(r.read_u16(), kMaxTicksPerBatch, "tick");
+  batch.ticks.resize(ticks);
+  for (Tick& tick : batch.ticks) {
+    const std::size_t tiers = checked_count(r.read_u16(), kMaxTiers, "tier");
+    tick.tiers.resize(tiers);
+    for (TierSlot& slot : tick.tiers) {
+      slot.present = r.read_u8() != 0;
+      if (!slot.present) continue;
+      const std::size_t dim = checked_count(r.read_u16(), kMaxRowDim, "row");
+      // Truncation is caught per-value by the reader; the cap above bounds
+      // the resize before any allocation happens.
+      slot.values.resize(dim);
+      for (double& v : slot.values) v = r.read_f64();
+    }
+  }
+  r.expect_done("SAMPLE_BATCH");
+  return batch;
+}
+
+// --- DECISION ------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_decision(const DecisionFrame& d) {
+  std::vector<std::uint8_t> p;
+  put_u32(p, d.window_index);
+  put_u8(p, d.state);
+  put_u8(p, d.confident);
+  put_u8(p, d.degraded);
+  put_u8(p, 0);
+  put_i32(p, d.hc);
+  put_i32(p, d.bottleneck_tier);
+  put_i32(p, d.staleness);
+  return encode_frame(FrameType::kDecision, p);
+}
+
+DecisionFrame decode_decision(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  DecisionFrame d;
+  d.window_index = r.read_u32();
+  d.state = r.read_u8();
+  d.confident = r.read_u8();
+  d.degraded = r.read_u8();
+  if (r.read_u8() != 0) malformed("DECISION: nonzero reserved byte");
+  d.hc = r.read_i32();
+  d.bottleneck_tier = r.read_i32();
+  d.staleness = r.read_i32();
+  r.expect_done("DECISION");
+  return d;
+}
+
+// --- STATS ---------------------------------------------------------------
+
+std::uint64_t StatsReply::value(const std::string& key) const {
+  for (const auto& [k, v] : entries)
+    if (k == key) return v;
+  return 0;
+}
+
+std::vector<std::uint8_t> encode_stats_request() {
+  return encode_frame(FrameType::kStats, {});
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& rep) {
+  if (rep.entries.size() > kMaxStatsEntries)
+    throw ProtocolError("wire protocol: too many stats entries to encode");
+  std::vector<std::uint8_t> p;
+  put_u32(p, static_cast<std::uint32_t>(rep.entries.size()));
+  for (const auto& [key, value] : rep.entries) {
+    put_string(p, key);
+    put_u64(p, value);
+  }
+  return encode_frame(FrameType::kStats, p);
+}
+
+StatsReply decode_stats_reply(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  StatsReply rep;
+  const std::size_t n =
+      checked_count(r.read_u32(), kMaxStatsEntries, "stats entry");
+  rep.entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string key = r.read_string();
+    const std::uint64_t value = r.read_u64();
+    rep.entries.emplace_back(std::move(key), value);
+  }
+  r.expect_done("STATS reply");
+  return rep;
+}
+
+// --- RELOAD --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_reload_request(const ReloadRequest& req) {
+  std::vector<std::uint8_t> p;
+  put_string(p, req.path);
+  return encode_frame(FrameType::kReload, p);
+}
+
+ReloadRequest decode_reload_request(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  ReloadRequest req;
+  req.path = r.read_string();
+  r.expect_done("RELOAD request");
+  return req;
+}
+
+std::vector<std::uint8_t> encode_reload_reply(const ReloadReply& rep) {
+  std::vector<std::uint8_t> p;
+  put_u8(p, rep.ok ? 1 : 0);
+  put_u32(p, rep.model_version);
+  put_string(p, rep.message);
+  return encode_frame(FrameType::kReload, p);
+}
+
+ReloadReply decode_reload_reply(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  ReloadReply rep;
+  rep.ok = r.read_u8() != 0;
+  rep.model_version = r.read_u32();
+  rep.message = r.read_string();
+  r.expect_done("RELOAD reply");
+  return rep;
+}
+
+// --- SHUTDOWN ------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_shutdown() {
+  return encode_frame(FrameType::kShutdown, {});
+}
+
+// --- FrameAssembler ------------------------------------------------------
+
+void FrameAssembler::append(const std::uint8_t* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow without bound on a long-lived connection.
+  if (start_ > 4096 && start_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(start_));
+    start_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameAssembler::next() {
+  const std::span<const std::uint8_t> pending(buf_.data() + start_,
+                                              buf_.size() - start_);
+  const auto header = peek_header(pending);
+  if (!header) return std::nullopt;
+  const std::size_t total = kHeaderSize + header->payload_size;
+  if (pending.size() < total) return std::nullopt;
+  Frame frame;
+  frame.type = header->type;
+  frame.payload.assign(pending.begin() + kHeaderSize,
+                       pending.begin() + static_cast<std::ptrdiff_t>(total));
+  start_ += total;
+  if (start_ == buf_.size()) {
+    buf_.clear();
+    start_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace hpcap::net

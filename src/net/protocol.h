@@ -1,0 +1,240 @@
+// hpcapd wire protocol v1 — the deployable boundary of the monitor.
+//
+// Agents on the web/app/db tiers push 1 Hz counter samples to the
+// monitoring daemon over TCP; the daemon streams per-window Decisions
+// back. Frames are length-prefixed and versioned so either side can
+// reject peers it does not understand instead of misreading them:
+//
+//   header (12 bytes, all integers little-endian on the wire):
+//     u32 magic        0x48504341 ("ACPH" on the wire, "HPCA" as a word)
+//     u8  version      kProtocolVersion
+//     u8  type         FrameType
+//     u16 reserved     must be 0
+//     u32 payload_size <= kMaxPayload
+//   payload (payload_size bytes, layout per frame type below)
+//
+// Encoding is explicit byte-at-a-time little-endian — no struct casts, no
+// host-endianness leaks — and every decode is bounds-checked: a malformed
+// frame (bad magic, unknown version/type, oversized or truncated payload,
+// out-of-bounds count) throws ProtocolError and never reads past the
+// buffer. Strings and repeated sections carry explicit counts with hard
+// caps, so a hostile length field cannot trigger a huge allocation.
+//
+// Frame types and payloads (req = agent->daemon, rep = daemon->agent):
+//
+//   HELLO req:  str agent, str level("hpc"|"os"), u16 num_tiers, u16 window
+//   HELLO rep:  u8 accepted, str message, u16 num_tiers, u16 window,
+//               u32 model_version, u16 ntiers, u16 dim[ntiers]
+//   SAMPLE_BATCH req: u32 first_tick, u16 tick_count, then per tick:
+//               u16 tier_count, per tier: u8 present,
+//               present ? (u16 dim, f64 values[dim]) : ()
+//               A missing slot (present=0) maps to
+//               InstanceAggregator::mark_missing — dropped read / blackout.
+//   DECISION rep: u32 window_index, u8 state, u8 confident, u8 degraded,
+//               u8 reserved, i32 hc, i32 bottleneck_tier, i32 staleness
+//   STATS req:  empty.  STATS rep: u32 count, count x (str key, u64 value)
+//   RELOAD req: str path ("" = reload the daemon's original model path)
+//   RELOAD rep: u8 ok, u32 model_version, str message
+//   SHUTDOWN:   empty both ways (rep is the ack; daemon then drains and
+//               exits)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpcap::net {
+
+inline constexpr std::uint32_t kMagic = 0x48504341u;  // "HPCA"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+// The on-disk model bundle format the daemon loads (core/model_io.h).
+inline constexpr const char* kModelFormatVersion = "v1";
+
+inline constexpr std::size_t kHeaderSize = 12;
+inline constexpr std::size_t kMaxPayload = std::size_t{4} << 20;  // 4 MiB
+// Decode-side caps: a length field above these is malformed, full stop.
+inline constexpr std::size_t kMaxString = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxRowDim = 4096;
+inline constexpr std::size_t kMaxTiers = 64;
+inline constexpr std::size_t kMaxTicksPerBatch = 65535;
+inline constexpr std::size_t kMaxStatsEntries = 1024;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kSampleBatch = 2,
+  kDecision = 3,
+  kStats = 4,
+  kReload = 5,
+  kShutdown = 6,
+};
+
+// Thrown on any malformed input: bad header, truncated payload, count
+// above cap, trailing garbage. Catching it means "drop this peer".
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FrameHeader {
+  std::uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kHello;
+  std::uint32_t payload_size = 0;
+};
+
+// Parses the 12-byte header at the front of `buffer`. Returns nullopt if
+// fewer than kHeaderSize bytes are available yet; throws ProtocolError if
+// the bytes are present but not a valid header.
+std::optional<FrameHeader> peek_header(
+    std::span<const std::uint8_t> buffer);
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> payload;
+};
+
+// --- low-level little-endian writer / bounds-checked reader -------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v);
+void put_f64(std::vector<std::uint8_t>& out, double v);  // IEEE-754 bits
+void put_string(std::vector<std::uint8_t>& out, const std::string& s);
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> data)
+      : data_(data) {}
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32();
+  double read_f64();
+  std::string read_string();  // u32 length (<= kMaxString) + bytes
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  // Throws ProtocolError if the payload has trailing bytes — a frame must
+  // decode exactly.
+  void expect_done(const char* what) const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Wraps an encoded payload in a framed header.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload);
+
+// --- frame structs -------------------------------------------------------
+
+struct HelloRequest {
+  std::string agent;       // free-form agent identity (diagnostics)
+  std::string level;       // "hpc" or "os"
+  std::uint16_t num_tiers = 0;
+  std::uint16_t window = 0;  // samples per instance for this session
+};
+
+struct HelloReply {
+  bool accepted = false;
+  std::string message;      // rejection reason / greeting
+  std::uint16_t num_tiers = 0;
+  std::uint16_t window = 0;
+  std::uint32_t model_version = 0;
+  std::vector<std::uint16_t> dims;  // expected row width per tier
+};
+
+// One tier's slot within a sampling tick. `present == false` models a
+// dropped read or blackout tick: the slot is consumed with no data.
+struct TierSlot {
+  bool present = false;
+  std::vector<double> values;
+};
+
+struct Tick {
+  std::vector<TierSlot> tiers;
+};
+
+struct SampleBatch {
+  std::uint32_t first_tick = 0;  // sequence number of ticks[0]
+  std::vector<Tick> ticks;
+};
+
+struct DecisionFrame {
+  std::uint32_t window_index = 0;
+  std::uint8_t state = 0;
+  std::uint8_t confident = 0;
+  std::uint8_t degraded = 0;
+  std::int32_t hc = 0;
+  std::int32_t bottleneck_tier = -1;
+  std::int32_t staleness = 0;
+};
+
+struct StatsReply {
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+
+  // Convenience lookup; returns 0 when absent.
+  std::uint64_t value(const std::string& key) const;
+};
+
+struct ReloadRequest {
+  std::string path;  // "" = reload the daemon's original model source
+};
+
+struct ReloadReply {
+  bool ok = false;
+  std::uint32_t model_version = 0;
+  std::string message;
+};
+
+// --- encode (full frame) / decode (payload only) -------------------------
+
+std::vector<std::uint8_t> encode_hello_request(const HelloRequest& req);
+HelloRequest decode_hello_request(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& rep);
+HelloReply decode_hello_reply(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_sample_batch(const SampleBatch& batch);
+SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_decision(const DecisionFrame& d);
+DecisionFrame decode_decision(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_stats_request();
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& rep);
+StatsReply decode_stats_reply(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_reload_request(const ReloadRequest& req);
+ReloadRequest decode_reload_request(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_reload_reply(const ReloadReply& rep);
+ReloadReply decode_reload_reply(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_shutdown();
+
+// --- incremental stream parsing ------------------------------------------
+
+// Accumulates raw socket bytes and yields complete frames. Throws
+// ProtocolError from next() on malformed input (the caller should then
+// drop the connection — after a framing error the stream position is
+// unrecoverable).
+class FrameAssembler {
+ public:
+  void append(const std::uint8_t* data, std::size_t n);
+  std::optional<Frame> next();
+  std::size_t buffered() const noexcept { return buf_.size() - start_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t start_ = 0;  // consumed prefix; compacted lazily
+};
+
+}  // namespace hpcap::net

@@ -1,0 +1,646 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/validate.h"
+#include "counters/metric_catalog.h"
+#include "counters/sampler.h"
+#include "util/log.h"
+
+namespace hpcap::net {
+
+namespace {
+
+void set_nonblocking_cloexec(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+}
+
+std::size_t level_dim(const std::string& level) {
+  if (level == "hpc") return counters::hpc_catalog().size();
+  if (level == "os") return counters::os_catalog().size();
+  return 0;
+}
+
+}  // namespace
+
+// One agent connection. Before HELLO it is just a socket with deadlines;
+// after HELLO it owns the full per-stream pipeline (aggregators, validator,
+// private monitor instance).
+struct Server::Connection {
+  enum class State { kAwaitHello, kStreaming };
+
+  int fd = -1;
+  State state = State::kAwaitHello;
+  double created = 0.0;
+  double last_activity = 0.0;
+  FrameAssembler assembler;
+
+  struct OutFrame {
+    FrameType type;
+    std::vector<std::uint8_t> bytes;
+    std::size_t offset = 0;
+  };
+  std::deque<OutFrame> write_queue;
+  bool want_write = false;
+  bool close_after_flush = false;
+  std::uint64_t sheds = 0;  // for the rate-limited shed warning
+
+  // Session (valid once state == kStreaming).
+  std::string agent;
+  std::string level;
+  std::uint16_t window = 0;
+  std::size_t dim = 0;
+  std::uint32_t model_version = 0;
+  std::optional<core::CapacityMonitor> monitor;
+  std::optional<core::RowValidator> validator;
+  std::vector<counters::InstanceAggregator> aggregators;
+  // Scratch reused across windows: per-tier rows + validity mask.
+  std::vector<std::vector<double>> rows;
+  std::vector<std::uint8_t> mask;
+  std::uint32_t window_index = 0;
+};
+
+Server::Server(EventLoop& loop, core::MonitorSource& source,
+               ServerConfig cfg)
+    : loop_(loop), source_(source), cfg_(std::move(cfg)) {
+  if (cfg_.num_tiers < 1 ||
+      cfg_.num_tiers > static_cast<int>(kMaxTiers))
+    throw std::invalid_argument("Server: num_tiers out of range");
+  if (cfg_.max_write_queue < 2)
+    throw std::invalid_argument("Server: max_write_queue must be >= 2");
+}
+
+Server::~Server() {
+  for (auto& [fd, conn] : conns_) {
+    loop_.remove_fd(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("Server: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  set_nonblocking_cloexec(listen_fd_);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Server: bad bind address '" +
+                             cfg_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("Server: bind/listen: ") +
+                             std::strerror(err));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  loop_.add_fd(listen_fd_, true, false,
+               [this](bool readable, bool) {
+                 if (readable) accept_ready();
+               });
+  arm_sweep();
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      HPCAP_WARN << "hpcapd: accept failed: " << std::strerror(errno);
+      return;
+    }
+    if (draining_) {
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking_cloexec(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (cfg_.socket_sndbuf > 0)
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &cfg_.socket_sndbuf,
+                   sizeof cfg_.socket_sndbuf);
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->created = conn->last_activity = loop_.now();
+    conns_.emplace(fd, std::move(conn));
+    ++stats_.connections_accepted;
+    loop_.add_fd(fd, true, false, [this, fd](bool r, bool w) {
+      handle_io(fd, r, w);
+    });
+  }
+}
+
+void Server::handle_io(int fd, bool readable, bool writable) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+
+  if (writable) {
+    flush_writes(*it->second);
+    it = conns_.find(fd);  // flush may have closed it
+    if (it == conns_.end()) return;
+  }
+
+  if (!readable) return;
+  Connection& c = *it->second;
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      c.last_activity = loop_.now();
+      c.assembler.append(buf, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      close_connection(fd, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(fd, "read error");
+    return;
+  }
+
+  try {
+    for (;;) {
+      // The frame handler can close the connection (protocol violation)
+      // or even begin shutdown; re-validate the fd every iteration.
+      const auto again = conns_.find(fd);
+      if (again == conns_.end()) return;
+      auto frame = again->second->assembler.next();
+      if (!frame) break;
+      ++stats_.frames_in;
+      handle_frame(*again->second, *frame);
+    }
+  } catch (const ProtocolError& e) {
+    ++stats_.malformed_frames;
+    HPCAP_WARN << "hpcapd: dropping fd " << fd << ": " << e.what();
+    close_connection(fd, "malformed frame");
+  }
+}
+
+void Server::handle_frame(Connection& c, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      handle_hello(c, decode_hello_request(frame.payload));
+      return;
+    case FrameType::kSampleBatch:
+      handle_batch(c, decode_sample_batch(frame.payload));
+      return;
+    case FrameType::kStats: {
+      PayloadReader r(frame.payload);
+      r.expect_done("STATS request");
+      handle_stats(c);
+      return;
+    }
+    case FrameType::kReload:
+      handle_reload(c, decode_reload_request(frame.payload));
+      return;
+    case FrameType::kShutdown: {
+      PayloadReader r(frame.payload);
+      r.expect_done("SHUTDOWN request");
+      handle_shutdown(c);
+      return;
+    }
+    case FrameType::kDecision:
+      // Decisions flow daemon -> agent only.
+      throw ProtocolError("wire protocol: DECISION frame from agent");
+  }
+  throw ProtocolError("wire protocol: unhandled frame type");
+}
+
+void Server::handle_hello(Connection& c, const HelloRequest& req) {
+  ++stats_.hellos;
+  HelloReply rep;
+  rep.num_tiers = static_cast<std::uint16_t>(cfg_.num_tiers);
+  rep.model_version = source_.version();
+
+  const std::size_t dim = level_dim(req.level);
+  if (c.state != Connection::State::kAwaitHello) {
+    rep.message = "duplicate HELLO";
+  } else if (dim == 0) {
+    rep.message = "unknown metric level '" + req.level + "'";
+  } else if (req.num_tiers != cfg_.num_tiers) {
+    rep.message = "tier count mismatch: agent " +
+                  std::to_string(req.num_tiers) + ", daemon " +
+                  std::to_string(cfg_.num_tiers);
+  } else if (req.window < 1 || req.window > cfg_.max_window) {
+    rep.message = "window out of range";
+  } else {
+    try {
+      c.monitor.emplace(source_.instantiate());
+      c.monitor->predictor().reset_history();
+    } catch (const std::exception& e) {
+      c.monitor.reset();
+      rep.message = std::string("model instantiation failed: ") + e.what();
+    }
+  }
+
+  if (!c.monitor) {
+    ++stats_.hellos_rejected;
+    rep.accepted = false;
+    c.close_after_flush = true;
+    enqueue(c, FrameType::kHello, encode_hello_reply(rep));
+    return;
+  }
+
+  c.state = Connection::State::kStreaming;
+  c.agent = req.agent;
+  c.level = req.level;
+  c.window = req.window;
+  c.dim = dim;
+  c.model_version = source_.version();
+  core::RowValidator::Options vopts;
+  vopts.dim = dim;
+  vopts.max_abs = cfg_.validator_max_abs;
+  c.validator.emplace(vopts);
+  c.aggregators.reserve(static_cast<std::size_t>(cfg_.num_tiers));
+  for (int t = 0; t < cfg_.num_tiers; ++t)
+    c.aggregators.emplace_back(dim, req.window, cfg_.max_missing_fraction,
+                               cfg_.aggregator_trim);
+  c.rows.assign(static_cast<std::size_t>(cfg_.num_tiers),
+                std::vector<double>(dim, 0.0));
+  c.mask.assign(static_cast<std::size_t>(cfg_.num_tiers), 0);
+
+  rep.accepted = true;
+  rep.window = req.window;
+  rep.message = "hpcapd ready";
+  rep.dims.assign(static_cast<std::size_t>(cfg_.num_tiers),
+                  static_cast<std::uint16_t>(dim));
+  enqueue(c, FrameType::kHello, encode_hello_reply(rep));
+  HPCAP_INFO << "hpcapd: agent '" << c.agent << "' streaming " << c.level
+             << " level, window " << c.window << ", model v"
+             << c.model_version;
+}
+
+void Server::handle_batch(Connection& c, const SampleBatch& batch) {
+  if (c.state != Connection::State::kStreaming)
+    throw ProtocolError("wire protocol: SAMPLE_BATCH before HELLO");
+  const std::size_t tiers = static_cast<std::size_t>(cfg_.num_tiers);
+  for (const Tick& tick : batch.ticks) {
+    if (tick.tiers.size() != tiers)
+      throw ProtocolError("wire protocol: tick tier count mismatch");
+    ++stats_.ticks_in;
+    bool closed = false;
+    for (std::size_t t = 0; t < tiers; ++t) {
+      const TierSlot& slot = tick.tiers[t];
+      counters::InstanceAggregator::SlotResult result;
+      if (slot.present) {
+        if (slot.values.size() != c.dim)
+          throw ProtocolError("wire protocol: slot width mismatch");
+        ++stats_.slots_present;
+        result = c.aggregators[t].add_slot(slot.values);
+      } else {
+        ++stats_.slots_missing;
+        result = c.aggregators[t].mark_missing();
+      }
+      if (!result.window_closed) continue;
+      closed = true;
+      // All tiers consume one slot per tick, so their windows close on
+      // the same tick; stash this tier's row + validity for the decision.
+      if (result.valid) {
+        c.rows[t] = std::move(*result.instance);
+        const auto verdict = c.validator->validate(c.rows[t]);
+        c.mask[t] = verdict == core::RowVerdict::kValid ? 1 : 0;
+        if (!c.mask[t]) ++stats_.rows_rejected;
+      } else {
+        // Too many missing slots: a zero placeholder that must never
+        // reach a synopsis (the mask keeps it abstaining).
+        std::fill(c.rows[t].begin(), c.rows[t].end(), 0.0);
+        c.mask[t] = 0;
+        ++stats_.windows_discarded;
+      }
+    }
+    if (closed) finish_window(c);
+  }
+}
+
+void Server::finish_window(Connection& c) {
+  ++stats_.windows;
+  const auto d = c.monitor->observe_masked(c.rows, c.mask);
+  DecisionFrame frame;
+  frame.window_index = c.window_index++;
+  frame.state = static_cast<std::uint8_t>(d.state);
+  frame.confident = d.confident ? 1 : 0;
+  frame.degraded = d.degraded ? 1 : 0;
+  frame.hc = d.hc;
+  frame.bottleneck_tier = d.bottleneck_tier;
+  frame.staleness = d.staleness;
+  ++stats_.decisions;
+  enqueue(c, FrameType::kDecision, encode_decision(frame));
+}
+
+StatsReply Server::build_stats() const {
+  StatsReply rep;
+  rep.entries = {
+      {"protocol_version", kProtocolVersion},
+      {"model_version", source_.version()},
+      {"num_tiers", static_cast<std::uint64_t>(cfg_.num_tiers)},
+      {"connections_active", conns_.size()},
+      {"connections_accepted", stats_.connections_accepted},
+      {"connections_closed", stats_.connections_closed},
+      {"timeouts", stats_.timeouts},
+      {"frames_in", stats_.frames_in},
+      {"frames_out", stats_.frames_out},
+      {"malformed_frames", stats_.malformed_frames},
+      {"hellos", stats_.hellos},
+      {"hellos_rejected", stats_.hellos_rejected},
+      {"ticks_in", stats_.ticks_in},
+      {"slots_present", stats_.slots_present},
+      {"slots_missing", stats_.slots_missing},
+      {"windows", stats_.windows},
+      {"windows_discarded", stats_.windows_discarded},
+      {"rows_rejected", stats_.rows_rejected},
+      {"decisions", stats_.decisions},
+      {"decisions_shed", stats_.decisions_shed},
+      {"reloads", stats_.reloads},
+      {"reload_failures", stats_.reload_failures},
+  };
+  return rep;
+}
+
+void Server::handle_stats(Connection& c) {
+  enqueue(c, FrameType::kStats, encode_stats_reply(build_stats()));
+}
+
+void Server::handle_reload(Connection& c, const ReloadRequest& req) {
+  ReloadReply rep;
+  try {
+    source_.swap_from_file(req.path);
+    ++stats_.reloads;
+    rep.ok = true;
+    rep.message = "model reloaded";
+    HPCAP_INFO << "hpcapd: model reloaded (v" << source_.version() << ")";
+  } catch (const std::exception& e) {
+    ++stats_.reload_failures;
+    rep.ok = false;
+    rep.message = e.what();
+    HPCAP_WARN << "hpcapd: reload failed, keeping current model: "
+               << e.what();
+  }
+  rep.model_version = source_.version();
+  enqueue(c, FrameType::kReload, encode_reload_reply(rep));
+}
+
+void Server::request_reload() {
+  try {
+    source_.swap_from_file();
+    ++stats_.reloads;
+    HPCAP_INFO << "hpcapd: SIGHUP reload ok (model v" << source_.version()
+               << ")";
+  } catch (const std::exception& e) {
+    ++stats_.reload_failures;
+    HPCAP_WARN << "hpcapd: SIGHUP reload failed, keeping current model: "
+               << e.what();
+  }
+}
+
+void Server::handle_shutdown(Connection& c) {
+  c.close_after_flush = true;
+  enqueue(c, FrameType::kShutdown, encode_shutdown());
+  begin_shutdown();
+}
+
+void Server::begin_shutdown() {
+  if (draining_) return;
+  draining_ = true;
+  HPCAP_INFO << "hpcapd: shutting down (" << conns_.size()
+             << " connections to drain)";
+  if (listen_fd_ >= 0) {
+    loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  loop_.cancel_timer(sweep_timer_);
+  std::vector<int> to_close;
+  for (auto& [fd, conn] : conns_) {
+    if (conn->write_queue.empty())
+      to_close.push_back(fd);
+    else
+      conn->close_after_flush = true;
+  }
+  for (int fd : to_close) close_connection(fd, "shutdown");
+  if (conns_.empty()) {
+    loop_.stop();
+    return;
+  }
+  loop_.add_timer(cfg_.shutdown_grace, [this] {
+    std::vector<int> fds;
+    fds.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) fds.push_back(fd);
+    for (int fd : fds) close_connection(fd, "shutdown grace expired");
+    loop_.stop();
+  });
+}
+
+void Server::enqueue(Connection& c, FrameType type,
+                     std::vector<std::uint8_t> frame) {
+  if (c.close_after_flush && type == FrameType::kDecision) return;
+  if (c.write_queue.size() >= cfg_.max_write_queue) {
+    // Backpressure: shed the oldest queued DECISION (stale by the time a
+    // stalled agent reads it); control frames always survive.
+    bool shed = false;
+    for (auto it = c.write_queue.begin(); it != c.write_queue.end(); ++it) {
+      if (it->type == FrameType::kDecision && it->offset == 0) {
+        c.write_queue.erase(it);
+        shed = true;
+        break;
+      }
+    }
+    if (!shed && type == FrameType::kDecision) {
+      // Queue full of unsheddable frames: drop the newcomer instead.
+      ++stats_.decisions_shed;
+      return;
+    }
+    if (shed) {
+      ++stats_.decisions_shed;
+      if (c.sheds++ % 1024 == 0) {
+        HPCAP_WARN << "hpcapd: fd " << c.fd
+                   << " not draining decisions; shedding oldest (total "
+                   << (c.sheds) << ")";
+      }
+    }
+  }
+  Connection::OutFrame out;
+  out.type = type;
+  out.bytes = std::move(frame);
+  c.write_queue.push_back(std::move(out));
+  flush_writes(c);
+}
+
+void Server::flush_writes(Connection& c) {
+  const int fd = c.fd;
+  while (!c.write_queue.empty()) {
+    Connection::OutFrame& front = c.write_queue.front();
+    const ssize_t n =
+        ::send(fd, front.bytes.data() + front.offset,
+               front.bytes.size() - front.offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      front.offset += static_cast<std::size_t>(n);
+      if (front.offset == front.bytes.size()) {
+        ++stats_.frames_out;
+        c.write_queue.pop_front();
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(fd, "write error");
+    return;
+  }
+  const bool want_write = !c.write_queue.empty();
+  if (want_write != c.want_write) {
+    c.want_write = want_write;
+    loop_.set_interest(fd, true, want_write);
+  }
+  if (!want_write && c.close_after_flush) close_connection(fd, "flushed");
+}
+
+void Server::close_connection(int fd, const char* why) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  HPCAP_DEBUG << "hpcapd: closing fd " << fd << " (" << why << ")";
+  loop_.remove_fd(fd);
+  ::close(fd);
+  conns_.erase(it);
+  ++stats_.connections_closed;
+  if (draining_ && conns_.empty()) loop_.stop();
+}
+
+void Server::arm_sweep() {
+  sweep_timer_ = loop_.add_timer(cfg_.sweep_period, [this] {
+    sweep_deadlines();
+    if (!draining_) arm_sweep();
+  });
+}
+
+void Server::sweep_deadlines() {
+  const double now = loop_.now();
+  std::vector<int> expired;
+  for (auto& [fd, conn] : conns_) {
+    const bool half_open =
+        conn->state == Connection::State::kAwaitHello &&
+        now - conn->created > cfg_.handshake_timeout;
+    const bool idle = now - conn->last_activity > cfg_.idle_timeout;
+    if (half_open || idle) expired.push_back(fd);
+  }
+  for (int fd : expired) {
+    ++stats_.timeouts;
+    close_connection(fd, "deadline expired");
+  }
+}
+
+// --- daemon runner -------------------------------------------------------
+
+namespace {
+
+std::atomic<EventLoop*> g_signal_loop{nullptr};
+volatile std::sig_atomic_t g_got_term = 0;
+volatile std::sig_atomic_t g_got_hup = 0;
+
+void on_term(int) {
+  g_got_term = 1;
+  if (EventLoop* loop = g_signal_loop.load()) loop->wake();
+}
+
+void on_hup(int) {
+  g_got_hup = 1;
+  if (EventLoop* loop = g_signal_loop.load()) loop->wake();
+}
+
+}  // namespace
+
+int run_daemon(const ServerConfig& cfg, const std::string& model_path,
+               bool install_signals) {
+  core::MonitorSource source = [&] {
+    try {
+      return core::MonitorSource::from_file(model_path);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("hpcapd: ") + e.what());
+    }
+  }();
+
+  EventLoop loop;
+  Server server(loop, source, cfg);
+  server.start();
+
+  if (install_signals) {
+    g_signal_loop.store(&loop);
+    std::signal(SIGINT, on_term);
+    std::signal(SIGTERM, on_term);
+    std::signal(SIGHUP, on_hup);
+    std::signal(SIGPIPE, SIG_IGN);
+  }
+  loop.set_wake_handler([&] {
+    if (g_got_hup) {
+      g_got_hup = 0;
+      server.request_reload();
+    }
+    if (g_got_term) {
+      g_got_term = 0;
+      server.begin_shutdown();
+    }
+  });
+
+  std::printf("hpcapd listening on %s:%u (model v%u, protocol v%u)\n",
+              cfg.bind_address.c_str(), server.port(), source.version(),
+              kProtocolVersion);
+  std::fflush(stdout);
+  loop.run();
+
+  if (install_signals) {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGHUP, SIG_DFL);
+    g_signal_loop.store(nullptr);
+  }
+  const auto& s = server.stats();
+  std::printf(
+      "hpcapd exiting: %llu decisions (%llu shed), %llu windows, "
+      "%llu connections\n",
+      static_cast<unsigned long long>(s.decisions),
+      static_cast<unsigned long long>(s.decisions_shed),
+      static_cast<unsigned long long>(s.windows),
+      static_cast<unsigned long long>(s.connections_accepted));
+  return 0;
+}
+
+}  // namespace hpcap::net

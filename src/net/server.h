@@ -1,0 +1,152 @@
+// hpcapd — the streaming capacity-monitoring daemon.
+//
+// One poll()-based event-loop thread serves every agent connection. A
+// connection is one monitored sample stream: the agent HELLOs with its
+// metric level, tier count and window size, then pushes per-tier 1 Hz
+// slots in SAMPLE_BATCH frames. The session feeds each slot through a
+// per-tier counters::InstanceAggregator (gap-aware 30 s windowing), gates
+// every closed window row through core::RowValidator, and hands the rows
+// and validity mask to its own CapacityMonitor::observe_masked — exactly
+// the in-process degraded-mode pipeline, behind a socket. Each DECISION
+// produced streams straight back to the agent.
+//
+// Decisions over the wire are bit-identical to the in-process pipeline on
+// the same stream: every session gets a private monitor instance (from
+// core::MonitorSource, history freshly reset), so concurrent agents
+// cannot perturb each other's predictor state.
+//
+// Flow control: the per-connection write queue is bounded. When an agent
+// stops draining its socket, the oldest queued DECISION frames are shed
+// with a warning — a stale decision is worthless by the time a stalled
+// agent would read it — mirroring core::OnlineAdapter::max_pending.
+// Control replies (HELLO/STATS/RELOAD/SHUTDOWN) are never shed.
+//
+// Lifecycle: RELOAD frames (and SIGHUP via Server::request_reload) swap
+// the model source atomically; live sessions keep the instance they
+// HELLOed with (their predictor history must stay coherent) and no
+// connection is dropped — new sessions get the new model generation.
+// SHUTDOWN drains queued frames and stops the loop. Half-open sockets
+// that never HELLO and idle streams are reaped by deadline sweeps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/monitor_source.h"
+#include "net/event_loop.h"
+#include "net/protocol.h"
+
+namespace hpcap::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; Server::port() has the result
+  int num_tiers = 2;
+  // Seconds a connection may sit without a completed HELLO (half-open)
+  // and without any inbound traffic (idle) before being closed.
+  double handshake_timeout = 10.0;
+  double idle_timeout = 300.0;
+  double sweep_period = 1.0;      // deadline-sweep cadence
+  double shutdown_grace = 5.0;    // drain budget after SHUTDOWN
+  // Backpressure bound: max frames queued toward one agent before the
+  // oldest DECISION frames are shed.
+  std::size_t max_write_queue = 256;
+  // SO_SNDBUF for accepted sockets; 0 = OS default. Tests shrink it so a
+  // non-draining agent hits the write-queue bound quickly.
+  int socket_sndbuf = 0;
+  // Session validation knobs (see core/validate.h, counters/sampler.h).
+  double validator_max_abs = 1e18;
+  double max_missing_fraction = 0.5;
+  int aggregator_trim = 0;
+  // Window sizes an agent may request in HELLO.
+  std::uint16_t max_window = 3600;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t hellos = 0;
+  std::uint64_t hellos_rejected = 0;
+  std::uint64_t ticks_in = 0;
+  std::uint64_t slots_present = 0;
+  std::uint64_t slots_missing = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t windows_discarded = 0;  // per-tier windows failing the gap check
+  std::uint64_t rows_rejected = 0;      // per-tier rows failing RowValidator
+  std::uint64_t decisions = 0;
+  std::uint64_t decisions_shed = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t reload_failures = 0;
+};
+
+class Server {
+ public:
+  // The server borrows `loop` and `source`; both must outlive it.
+  Server(EventLoop& loop, core::MonitorSource& source, ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds and listens; throws std::runtime_error on socket failure.
+  void start();
+  std::uint16_t port() const noexcept { return port_; }
+
+  // SIGHUP path: reloads the model from the source's original path.
+  // Loop-thread only (hpcapd calls it from the loop's wake handler).
+  void request_reload();
+
+  // Graceful stop: refuse new connections, flush queued frames, then stop
+  // the loop (hard deadline cfg.shutdown_grace). Loop-thread only.
+  void begin_shutdown();
+
+  const ServerStats& stats() const noexcept { return stats_; }
+  std::size_t active_connections() const noexcept { return conns_.size(); }
+  bool draining() const noexcept { return draining_; }
+
+ private:
+  struct Connection;
+
+  void accept_ready();
+  void handle_io(int fd, bool readable, bool writable);
+  void handle_frame(Connection& c, const Frame& frame);
+  void handle_hello(Connection& c, const HelloRequest& req);
+  void handle_batch(Connection& c, const SampleBatch& batch);
+  void handle_stats(Connection& c);
+  void handle_reload(Connection& c, const ReloadRequest& req);
+  void handle_shutdown(Connection& c);
+  void finish_window(Connection& c);
+
+  // `frame` must be a full encoded frame. DECISION frames are sheddable;
+  // everything else is control traffic and always survives.
+  void enqueue(Connection& c, FrameType type, std::vector<std::uint8_t> frame);
+  void flush_writes(Connection& c);
+  void close_connection(int fd, const char* why);
+  void sweep_deadlines();
+  void arm_sweep();
+  StatsReply build_stats() const;
+
+  EventLoop& loop_;
+  core::MonitorSource& source_;
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  ServerStats stats_;
+  bool draining_ = false;
+  EventLoop::TimerId sweep_timer_ = 0;
+};
+
+// Shared daemon runner for `hpcapd` and `hpcapctl serve`: loads the model,
+// builds loop + server, installs SIGINT/SIGTERM (graceful stop) and SIGHUP
+// (model reload) handlers when `install_signals`, prints the listening
+// address, and runs until stopped. Returns the process exit code.
+int run_daemon(const ServerConfig& cfg, const std::string& model_path,
+               bool install_signals);
+
+}  // namespace hpcap::net

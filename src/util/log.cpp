@@ -11,6 +11,7 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 // Serializes sink writes so pool workers (util/parallel.h) cannot
 // interleave characters of concurrent lines.
 std::mutex g_sink_mu;
+LogSink g_sink;  // empty = stderr; guarded by g_sink_mu
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,9 +32,18 @@ LogLevel log_level() noexcept {
   return g_level.load(std::memory_order_relaxed);
 }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::cerr << '[' << level_name(level) << "] " << message << '\n';
 }
 

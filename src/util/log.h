@@ -7,6 +7,7 @@
 // the thread schedule.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -18,8 +19,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-// Emits one line to stderr as "[LEVEL] message".
+// Emits one line to the sink as "[LEVEL] message".
 void log_line(LogLevel level, const std::string& message);
+
+// Replaces the stderr sink (tests, daemons redirecting to a file). The
+// sink is invoked under the logger's mutex — one call at a time, lines
+// never interleave. An empty function restores stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 class LogStream {

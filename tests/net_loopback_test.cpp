@@ -1,0 +1,589 @@
+// End-to-end loopback tests for hpcapd: a real Server on a real TCP
+// socket, driven by the client library, checked against the in-process
+// pipeline.
+//
+// The central claim of src/net/ is that putting the monitor behind a
+// socket changes nothing about its decisions: for the same slot stream,
+// the DECISION frames coming back over the wire are bit-identical to
+// running InstanceAggregator -> RowValidator -> observe_masked in
+// process. These tests assert exactly that — across concurrent
+// connections, with 5% mixed fault injection, and across a RELOAD that
+// swaps the model mid-stream (live sessions keep their instance; no
+// connection drops).
+//
+// The server runs on its own thread; the test thread talks to it only
+// through sockets, MonitorSource (thread-safe), and EventLoop::wake —
+// the suite carries the tsan label to prove that split is sound.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/monitor_source.h"
+#include "core/pipeline.h"
+#include "core/validate.h"
+#include "counters/fault.h"
+#include "counters/metric_catalog.h"
+#include "counters/sampler.h"
+#include "net/client.h"
+#include "net/event_loop.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "util/rng.h"
+
+namespace hpcap {
+namespace {
+
+using net::DecisionFrame;
+using net::SampleBatch;
+using net::Tick;
+
+// --- model fixture --------------------------------------------------------
+
+// Rows are full hpc-catalog width (what an agent ships); the synopses
+// project the first few metrics, as trained synopses project a feature
+// subset of the catalog.
+std::size_t catalog_dim() { return counters::hpc_catalog().size(); }
+
+ml::Dataset tier_dataset(std::uint64_t seed) {
+  const std::size_t dim = catalog_dim();
+  std::vector<std::string> names(dim);
+  for (std::size_t i = 0; i < dim; ++i) names[i] = "m" + std::to_string(i);
+  ml::Dataset d(names);
+  Rng rng(seed);
+  std::vector<double> row(dim);
+  for (int i = 0; i < 240; ++i) {
+    const int y = i % 2;
+    for (std::size_t k = 0; k < dim; ++k) row[k] = rng.uniform();
+    row[0] = y + rng.normal(0.0, 0.2);
+    row[2] = y + rng.normal(0.0, 0.3);
+    d.add(row, y);
+  }
+  return d;
+}
+
+core::CapacityMonitor make_trained_monitor(std::uint64_t seed) {
+  core::SynopsisBuilder builder;
+  std::vector<core::Synopsis> synopses;
+  synopses.push_back(builder.build(
+      tier_dataset(seed), {"mix", "app", 0, "hpc", ml::LearnerKind::kTan}));
+  synopses.push_back(builder.build(
+      tier_dataset(seed + 2),
+      {"mix", "db", 1, "hpc", ml::LearnerKind::kTan}));
+  core::CoordinatedPredictor::Options opts;
+  opts.num_tiers = 2;
+  opts.synopsis_tiers = {0, 1};
+  core::CapacityMonitor monitor(std::move(synopses), opts);
+  Rng rng(seed + 5);
+  std::vector<std::vector<double>> rows(2, std::vector<double>(catalog_dim()));
+  for (int i = 0; i < 60; ++i) {
+    const int label = i % 2;
+    for (auto& r : rows) {
+      for (auto& v : r) v = rng.uniform();
+      r[0] = label + rng.normal(0.0, 0.2);
+      r[2] = label + rng.normal(0.0, 0.3);
+    }
+    monitor.train_instance(rows, label, label ? 1 : -1);
+  }
+  monitor.end_training_run();
+  return monitor;
+}
+
+std::string serialize(const core::CapacityMonitor& monitor) {
+  std::ostringstream os;
+  core::save_monitor(os, monitor);
+  return os.str();
+}
+
+// Synopsis construction dominates test time (forward selection with
+// 10-fold CV per candidate attribute), so the two model bundles the suite
+// needs are built once and reused.
+const std::string& bundle_a() {
+  static const std::string bytes = serialize(make_trained_monitor(33));
+  return bytes;
+}
+const std::string& bundle_b() {
+  static const std::string bytes = serialize(make_trained_monitor(72));
+  return bytes;
+}
+
+// --- server harness -------------------------------------------------------
+
+// Owns the loop thread. The test thread must not touch Server members
+// while the loop runs; it communicates via sockets and the wake flags.
+struct Harness {
+  core::MonitorSource source;
+  net::EventLoop loop;
+  std::optional<net::Server> server;
+  std::thread thread;
+  std::atomic<bool> want_stop{false};
+
+  Harness(core::MonitorSource src, net::ServerConfig cfg)
+      : source(std::move(src)) {
+    server.emplace(loop, source, cfg);
+    loop.set_wake_handler([this] {
+      if (want_stop.exchange(false)) server->begin_shutdown();
+    });
+    server->start();
+    thread = std::thread([this] { loop.run(); });
+  }
+
+  ~Harness() { stop(); }
+
+  void stop() {
+    if (!thread.joinable()) return;
+    want_stop = true;
+    loop.wake();
+    thread.join();
+  }
+
+  std::uint16_t port() const { return server->port(); }
+};
+
+// --- in-process reference pipeline ---------------------------------------
+
+// Mirrors the server's per-connection session exactly (server.cpp
+// handle_batch/finish_window): same aggregators, same validator, same
+// private monitor instance, same window bookkeeping.
+struct ReferenceSession {
+  core::CapacityMonitor monitor;
+  core::RowValidator validator;
+  std::vector<counters::InstanceAggregator> aggregators;
+  std::vector<std::vector<double>> rows;
+  std::vector<std::uint8_t> mask;
+  std::uint32_t window_index = 0;
+  std::vector<DecisionFrame> decisions;
+
+  ReferenceSession(const core::MonitorSource& source, int num_tiers,
+                   int window, const net::ServerConfig& cfg)
+      : monitor(source.instantiate()) {
+    monitor.predictor().reset_history();
+    core::RowValidator::Options vopts;
+    vopts.dim = catalog_dim();
+    vopts.max_abs = cfg.validator_max_abs;
+    validator = core::RowValidator(vopts);
+    for (int t = 0; t < num_tiers; ++t)
+      aggregators.emplace_back(catalog_dim(), window,
+                               cfg.max_missing_fraction, cfg.aggregator_trim);
+    rows.assign(static_cast<std::size_t>(num_tiers),
+                std::vector<double>(catalog_dim(), 0.0));
+    mask.assign(static_cast<std::size_t>(num_tiers), 0);
+  }
+
+  void feed(const Tick& tick) {
+    bool closed = false;
+    for (std::size_t t = 0; t < tick.tiers.size(); ++t) {
+      const auto& slot = tick.tiers[t];
+      counters::InstanceAggregator::SlotResult result;
+      if (slot.present)
+        result = aggregators[t].add_slot(slot.values);
+      else
+        result = aggregators[t].mark_missing();
+      if (!result.window_closed) continue;
+      closed = true;
+      if (result.valid) {
+        rows[t] = std::move(*result.instance);
+        mask[t] =
+            validator.validate(rows[t]) == core::RowVerdict::kValid ? 1 : 0;
+      } else {
+        std::fill(rows[t].begin(), rows[t].end(), 0.0);
+        mask[t] = 0;
+      }
+    }
+    if (!closed) return;
+    const auto d = monitor.observe_masked(rows, mask);
+    DecisionFrame frame;
+    frame.window_index = window_index++;
+    frame.state = static_cast<std::uint8_t>(d.state);
+    frame.confident = d.confident ? 1 : 0;
+    frame.degraded = d.degraded ? 1 : 0;
+    frame.hc = d.hc;
+    frame.bottleneck_tier = d.bottleneck_tier;
+    frame.staleness = d.staleness;
+    decisions.push_back(frame);
+  }
+};
+
+// --- deterministic slot streams ------------------------------------------
+
+// A reproducible stream of sampling ticks; fault_rate > 0 runs every tier
+// through counters::FaultInjector with FaultPlan::mixed — dropped slots,
+// blackouts, stuck/garbage/spiked rows — exactly the degraded regime the
+// in-process pipeline is tested under.
+std::vector<Tick> make_stream(int num_tiers, int ticks, double fault_rate,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<counters::FaultInjector> injectors;
+  if (fault_rate > 0.0) {
+    for (int t = 0; t < num_tiers; ++t)
+      injectors.emplace_back(counters::FaultPlan::mixed(fault_rate, seed),
+                             0x6b43a9b5 + static_cast<std::uint64_t>(t));
+  }
+  std::vector<Tick> stream(static_cast<std::size_t>(ticks));
+  for (int i = 0; i < ticks; ++i) {
+    Tick& tick = stream[static_cast<std::size_t>(i)];
+    tick.tiers.resize(static_cast<std::size_t>(num_tiers));
+    const int level = (i / 200) % 2;  // alternating load regimes
+    for (int t = 0; t < num_tiers; ++t) {
+      std::vector<double> row(catalog_dim());
+      for (auto& v : row) v = rng.uniform();
+      row[0] = level + rng.normal(0.0, 0.2);
+      row[2] = level + rng.normal(0.0, 0.3);
+      auto& slot = tick.tiers[static_cast<std::size_t>(t)];
+      if (!injectors.empty()) {
+        const auto fate = injectors[static_cast<std::size_t>(t)].step();
+        if (fate != counters::FaultInjector::SampleFate::kOk) continue;
+        injectors[static_cast<std::size_t>(t)].perturb(row);
+      }
+      slot.present = true;
+      slot.values = std::move(row);
+    }
+  }
+  return stream;
+}
+
+void expect_identical(const std::vector<DecisionFrame>& wire,
+                      const std::vector<DecisionFrame>& ref,
+                      const char* who) {
+  ASSERT_EQ(wire.size(), ref.size()) << who;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(wire[i].window_index, ref[i].window_index) << who << " @" << i;
+    ASSERT_EQ(wire[i].state, ref[i].state) << who << " @" << i;
+    ASSERT_EQ(wire[i].confident, ref[i].confident) << who << " @" << i;
+    ASSERT_EQ(wire[i].degraded, ref[i].degraded) << who << " @" << i;
+    ASSERT_EQ(wire[i].hc, ref[i].hc) << who << " @" << i;
+    ASSERT_EQ(wire[i].bottleneck_tier, ref[i].bottleneck_tier)
+        << who << " @" << i;
+    ASSERT_EQ(wire[i].staleness, ref[i].staleness) << who << " @" << i;
+  }
+}
+
+net::ServerConfig test_config() {
+  net::ServerConfig cfg;
+  cfg.num_tiers = 2;
+  cfg.shutdown_grace = 1.0;
+  cfg.sweep_period = 0.1;
+  return cfg;
+}
+
+// --- the headline test ----------------------------------------------------
+
+TEST(NetLoopback, WireDecisionsBitIdenticalAcrossConcurrentConnections) {
+  constexpr int kClients = 3;
+  constexpr int kTicks = 10000;  // sampling intervals per connection
+  constexpr int kWindow = 4;
+  constexpr int kBatch = 250;
+
+  const net::ServerConfig cfg = test_config();
+  Harness h(core::MonitorSource::from_bytes(bundle_a()), cfg);
+
+  // Per client: its own slot stream (client 0 clean, 1 and 2 with 5%
+  // mixed faults), a wire connection, and a reference session.
+  std::vector<std::vector<Tick>> streams;
+  std::vector<net::Client> clients(kClients);
+  std::vector<ReferenceSession> refs;
+  std::vector<std::vector<DecisionFrame>> wire(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    streams.push_back(make_stream(cfg.num_tiers, kTicks, c == 0 ? 0.0 : 0.05,
+                                  1000 + static_cast<std::uint64_t>(c)));
+    refs.emplace_back(h.source, cfg.num_tiers, kWindow, cfg);
+    clients[c].connect("127.0.0.1", h.port());
+    net::HelloRequest hello;
+    hello.agent = "loopback-" + std::to_string(c);
+    hello.level = "hpc";
+    hello.num_tiers = static_cast<std::uint16_t>(cfg.num_tiers);
+    hello.window = kWindow;
+    const auto reply = clients[c].hello(hello);
+    ASSERT_TRUE(reply.accepted) << reply.message;
+    ASSERT_EQ(reply.model_version, 1u);
+    ASSERT_EQ(reply.dims.size(), 2u);
+    ASSERT_EQ(reply.dims[0], catalog_dim());
+  }
+
+  // Interleave the three connections batch by batch so they are streaming
+  // concurrently, draining decisions as they arrive (which also keeps the
+  // server's write queues far from the shed bound).
+  for (int start = 0; start < kTicks; start += kBatch) {
+    for (int c = 0; c < kClients; ++c) {
+      SampleBatch batch;
+      batch.first_tick = static_cast<std::uint32_t>(start);
+      batch.ticks.assign(streams[c].begin() + start,
+                         streams[c].begin() + start + kBatch);
+      clients[c].send_batch(batch);
+      for (int i = start; i < start + kBatch; ++i) refs[c].feed(streams[c][i]);
+      for (const auto& d : clients[c].drain_decisions()) wire[c].push_back(d);
+    }
+  }
+  const std::size_t expected = kTicks / kWindow;
+  for (int c = 0; c < kClients; ++c) {
+    while (wire[c].size() < expected)
+      wire[c].push_back(clients[c].next_decision());
+    ASSERT_EQ(refs[c].decisions.size(), expected);
+    expect_identical(wire[c], refs[c].decisions,
+                     ("client " + std::to_string(c)).c_str());
+  }
+
+  // The daemon agrees it served every window of every client.
+  const auto stats = clients[0].stats();
+  EXPECT_EQ(stats.value("ticks_in"),
+            static_cast<std::uint64_t>(kClients) * kTicks);
+  EXPECT_EQ(stats.value("decisions"),
+            static_cast<std::uint64_t>(kClients) * expected);
+  EXPECT_EQ(stats.value("decisions_shed"), 0u);
+  EXPECT_EQ(stats.value("connections_active"),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.value("protocol_version"), net::kProtocolVersion);
+}
+
+// --- RELOAD lifecycle -----------------------------------------------------
+
+TEST(NetLoopback, ReloadMidStreamKeepsSessionsAndDropsNoConnections) {
+  constexpr int kTicks = 2000;
+  constexpr int kWindow = 2;
+  const std::string model_path = "net_loopback_reload_model.tmp";
+  {
+    std::ofstream f(model_path);
+    f << bundle_a();
+  }
+  const net::ServerConfig cfg = test_config();
+  Harness h(core::MonitorSource::from_file(model_path), cfg);
+
+  std::vector<net::Client> clients(2);
+  std::vector<ReferenceSession> refs;
+  std::vector<std::vector<DecisionFrame>> wire(2);
+  std::vector<std::vector<Tick>> streams;
+  for (int c = 0; c < 2; ++c) {
+    streams.push_back(
+        make_stream(cfg.num_tiers, kTicks, 0.05, 400 + static_cast<std::uint64_t>(c)));
+    refs.emplace_back(h.source, cfg.num_tiers, kWindow, cfg);
+    clients[c].connect("127.0.0.1", h.port());
+    const auto reply = clients[c].hello(
+        {"reload-client", "hpc", static_cast<std::uint16_t>(cfg.num_tiers),
+         kWindow});
+    ASSERT_TRUE(reply.accepted) << reply.message;
+    ASSERT_EQ(reply.model_version, 1u);
+  }
+
+  const auto pump = [&](int from, int to) {
+    for (int c = 0; c < 2; ++c) {
+      SampleBatch batch;
+      batch.first_tick = static_cast<std::uint32_t>(from);
+      batch.ticks.assign(streams[c].begin() + from, streams[c].begin() + to);
+      clients[c].send_batch(batch);
+      for (int i = from; i < to; ++i) refs[c].feed(streams[c][i]);
+      for (const auto& d : clients[c].drain_decisions()) wire[c].push_back(d);
+    }
+  };
+
+  pump(0, kTicks / 2);
+
+  // Swap the model file for a *different* trained bundle and RELOAD over
+  // the wire, mid-stream.
+  {
+    std::ofstream f(model_path);
+    f << bundle_b();
+  }
+  const auto ack = clients[0].reload("");
+  ASSERT_TRUE(ack.ok) << ack.message;
+  EXPECT_EQ(ack.model_version, 2u);
+
+  // A corrupt replacement must be rejected and change nothing.
+  {
+    std::ofstream f(model_path + ".bad");
+    f << "hpcap-monitor v1 2 garbage";
+  }
+  const auto bad = clients[0].reload(model_path + ".bad");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.model_version, 2u);
+
+  // Both live sessions continue on their original model instance:
+  // decisions stay bit-identical to the reference built from model v1.
+  pump(kTicks / 2, kTicks);
+  const std::size_t expected = kTicks / kWindow;
+  for (int c = 0; c < 2; ++c) {
+    while (wire[c].size() < expected)
+      wire[c].push_back(clients[c].next_decision());
+    expect_identical(wire[c], refs[c].decisions, "reload survivor");
+    EXPECT_TRUE(clients[c].connected());
+  }
+
+  // No connection was dropped by either reload, and a *new* session gets
+  // the new model generation.
+  const auto stats = clients[0].stats();
+  EXPECT_EQ(stats.value("connections_closed"), 0u);
+  EXPECT_EQ(stats.value("reloads"), 1u);
+  EXPECT_EQ(stats.value("reload_failures"), 1u);
+  EXPECT_EQ(stats.value("model_version"), 2u);
+  net::Client late;
+  late.connect("127.0.0.1", h.port());
+  const auto late_reply = late.hello(
+      {"late", "hpc", static_cast<std::uint16_t>(cfg.num_tiers), kWindow});
+  ASSERT_TRUE(late_reply.accepted);
+  EXPECT_EQ(late_reply.model_version, 2u);
+
+  std::remove(model_path.c_str());
+  std::remove((model_path + ".bad").c_str());
+}
+
+// --- backpressure ---------------------------------------------------------
+
+namespace raw {
+
+int connect_to(std::uint16_t port, int rcvbuf) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf > 0)
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+void send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Reads until EOF or timeout; returns true iff the peer closed.
+bool wait_for_eof(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  std::uint8_t buf[4096];
+  const double deadline_ms = timeout_ms;
+  double waited = 0;
+  while (waited < deadline_ms) {
+    const int r = ::poll(&p, 1, 100);
+    waited += 100;
+    if (r <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) return true;
+    if (n < 0) return false;
+  }
+  return false;
+}
+
+}  // namespace raw
+
+TEST(NetLoopback, NonDrainingAgentShedsOldestDecisionsNotControlFrames) {
+  net::ServerConfig cfg = test_config();
+  cfg.max_write_queue = 8;
+  cfg.socket_sndbuf = 4096;  // tiny in-flight budget -> queue fills fast
+  Harness h(core::MonitorSource::from_bytes(bundle_a()),
+            cfg);
+
+  // A raw socket with a tiny receive buffer that HELLOs, then streams
+  // window-per-tick samples and never reads: every tick yields a DECISION
+  // the agent does not drain.
+  const int fd = raw::connect_to(h.port(), 2048);
+  raw::send_all(fd, net::encode_hello_request(
+                        {"stalled", "hpc",
+                         static_cast<std::uint16_t>(cfg.num_tiers), 1}));
+  const auto stream = make_stream(cfg.num_tiers, 4000, 0.0, 77);
+  for (int start = 0; start < 4000; start += 500) {
+    SampleBatch batch;
+    batch.first_tick = static_cast<std::uint32_t>(start);
+    batch.ticks.assign(stream.begin() + start, stream.begin() + start + 500);
+    raw::send_all(fd, net::encode_sample_batch(batch));
+  }
+
+  // A healthy second connection observes the shedding through STATS (a
+  // control frame, which is never shed even on the stalled connection).
+  net::Client observer;
+  observer.connect("127.0.0.1", h.port());
+  std::uint64_t shed = 0;
+  for (int i = 0; i < 100 && shed == 0; ++i) {
+    shed = observer.stats().value("decisions_shed");
+    if (shed == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GT(shed, 0u) << "stalled agent never triggered decision shedding";
+  const auto stats = observer.stats();
+  EXPECT_EQ(stats.value("windows"), 4000u);
+  EXPECT_LT(stats.value("decisions_shed"), 4000u);  // shed, not discarded all
+  ::close(fd);
+}
+
+// --- connection hygiene ---------------------------------------------------
+
+TEST(NetLoopback, HalfOpenConnectionsAreReapedByHandshakeTimeout) {
+  net::ServerConfig cfg = test_config();
+  cfg.handshake_timeout = 0.2;
+  cfg.sweep_period = 0.05;
+  Harness h(core::MonitorSource::from_bytes(bundle_a()),
+            cfg);
+  const int fd = raw::connect_to(h.port(), 0);
+  // Never HELLO: the deadline sweep must close us.
+  EXPECT_TRUE(raw::wait_for_eof(fd, 5000));
+  ::close(fd);
+}
+
+TEST(NetLoopback, MalformedBytesCloseTheConnection) {
+  Harness h(core::MonitorSource::from_bytes(bundle_a()),
+            test_config());
+  const int fd = raw::connect_to(h.port(), 0);
+  const std::vector<std::uint8_t> junk(64, 0x5A);
+  raw::send_all(fd, junk);
+  EXPECT_TRUE(raw::wait_for_eof(fd, 5000));
+  ::close(fd);
+}
+
+TEST(NetLoopback, HelloRejectsBadLevelTiersAndWindow) {
+  const net::ServerConfig cfg = test_config();
+  Harness h(core::MonitorSource::from_bytes(bundle_a()),
+            cfg);
+  {
+    net::Client c;
+    c.connect("127.0.0.1", h.port());
+    const auto r = c.hello({"x", "quantum", 2, 1});
+    EXPECT_FALSE(r.accepted);
+    EXPECT_NE(r.message.find("level"), std::string::npos);
+  }
+  {
+    net::Client c;
+    c.connect("127.0.0.1", h.port());
+    const auto r = c.hello({"x", "hpc", 5, 1});
+    EXPECT_FALSE(r.accepted);
+    EXPECT_NE(r.message.find("tier"), std::string::npos);
+  }
+  {
+    net::Client c;
+    c.connect("127.0.0.1", h.port());
+    const auto r = c.hello({"x", "hpc", 2, 0});
+    EXPECT_FALSE(r.accepted);
+    EXPECT_NE(r.message.find("window"), std::string::npos);
+  }
+}
+
+TEST(NetLoopback, ShutdownAcksDrainsAndStopsTheLoop) {
+  Harness h(core::MonitorSource::from_bytes(bundle_a()),
+            test_config());
+  net::Client c;
+  c.connect("127.0.0.1", h.port());
+  const auto reply = c.hello({"x", "hpc", 2, 1});
+  ASSERT_TRUE(reply.accepted);
+  c.shutdown_server();  // waits for the SHUTDOWN ack
+  h.thread.join();      // loop exits once connections drain
+  EXPECT_EQ(h.server->active_connections(), 0u);
+  EXPECT_TRUE(h.server->draining());
+}
+
+}  // namespace
+}  // namespace hpcap

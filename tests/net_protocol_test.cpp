@@ -1,0 +1,334 @@
+// Wire-protocol unit tests: encode/decode round trips for every frame
+// type, golden little-endian byte layouts (so the format is pinned, not
+// just self-consistent), malformed-input rejection, and incremental
+// stream assembly. The decode paths must throw ProtocolError on any
+// hostile input — truncation, oversized counts, trailing garbage — and
+// never read out of bounds (this suite carries the asan label).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace hpcap::net {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Strips the 12-byte header off a full encoded frame.
+Bytes payload_of(const Bytes& frame) {
+  return Bytes(frame.begin() + kHeaderSize, frame.end());
+}
+
+TEST(NetProtocol, GoldenHeaderLayout) {
+  const Bytes frame = encode_stats_request();
+  ASSERT_EQ(frame.size(), kHeaderSize);
+  // magic 0x48504341 little-endian = "ACPH" on the wire.
+  const Bytes expected = {0x41, 0x43, 0x50, 0x48,  // magic
+                          0x01,                    // version
+                          0x04,                    // type = STATS
+                          0x00, 0x00,              // reserved
+                          0x00, 0x00, 0x00, 0x00}; // payload_size
+  EXPECT_EQ(frame, expected);
+}
+
+TEST(NetProtocol, GoldenHelloRequestBytes) {
+  HelloRequest req;
+  req.agent = "a";
+  req.level = "os";
+  req.num_tiers = 2;
+  req.window = 0x1234;
+  const Bytes frame = encode_hello_request(req);
+  const Bytes expected = {
+      0x41, 0x43, 0x50, 0x48, 0x01, 0x01, 0x00, 0x00,  // header
+      0x0f, 0x00, 0x00, 0x00,                          // payload = 15
+      0x01, 0x00, 0x00, 0x00, 'a',                     // str agent
+      0x02, 0x00, 0x00, 0x00, 'o',  's',               // str level
+      0x02, 0x00,                                      // u16 num_tiers
+      0x34, 0x12,                                      // u16 window (LE)
+  };
+  EXPECT_EQ(frame, expected);
+}
+
+TEST(NetProtocol, GoldenF64Encoding) {
+  Bytes out;
+  put_f64(out, 1.0);  // IEEE-754: 0x3FF0000000000000
+  const Bytes expected = {0, 0, 0, 0, 0, 0, 0xF0, 0x3F};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(NetProtocol, HelloRoundTrip) {
+  HelloRequest req;
+  req.agent = "app-tier-agent";
+  req.level = "hpc";
+  req.num_tiers = 2;
+  req.window = 30;
+  const auto back = decode_hello_request(payload_of(encode_hello_request(req)));
+  EXPECT_EQ(back.agent, req.agent);
+  EXPECT_EQ(back.level, req.level);
+  EXPECT_EQ(back.num_tiers, req.num_tiers);
+  EXPECT_EQ(back.window, req.window);
+
+  HelloReply rep;
+  rep.accepted = true;
+  rep.message = "hpcapd ready";
+  rep.num_tiers = 2;
+  rep.window = 30;
+  rep.model_version = 7;
+  rep.dims = {20, 20};
+  const auto rback = decode_hello_reply(payload_of(encode_hello_reply(rep)));
+  EXPECT_EQ(rback.accepted, rep.accepted);
+  EXPECT_EQ(rback.message, rep.message);
+  EXPECT_EQ(rback.model_version, rep.model_version);
+  EXPECT_EQ(rback.dims, rep.dims);
+}
+
+TEST(NetProtocol, SampleBatchRoundTripPreservesBitPatterns) {
+  SampleBatch batch;
+  batch.first_tick = 0xDEADBEEF;
+  batch.ticks.resize(3);
+  for (int i = 0; i < 3; ++i) batch.ticks[i].tiers.resize(2);
+  batch.ticks[0].tiers[0] = {true, {1.0, -0.0, 1e-300, 2.5}};
+  batch.ticks[0].tiers[1] = {false, {}};
+  batch.ticks[1].tiers[0] = {
+      true,
+      {std::numeric_limits<double>::quiet_NaN(),
+       std::numeric_limits<double>::infinity(), -1e308, 0.1}};
+  batch.ticks[1].tiers[1] = {true, {0.0, 0.0, 0.0, 0.0}};
+  batch.ticks[2].tiers[0] = {false, {}};
+  batch.ticks[2].tiers[1] = {true, {5.0, 6.0, 7.0, 8.0}};
+
+  const auto back =
+      decode_sample_batch(payload_of(encode_sample_batch(batch)));
+  ASSERT_EQ(back.first_tick, batch.first_tick);
+  ASSERT_EQ(back.ticks.size(), batch.ticks.size());
+  for (std::size_t i = 0; i < batch.ticks.size(); ++i) {
+    ASSERT_EQ(back.ticks[i].tiers.size(), batch.ticks[i].tiers.size());
+    for (std::size_t t = 0; t < 2; ++t) {
+      const auto& a = batch.ticks[i].tiers[t];
+      const auto& b = back.ticks[i].tiers[t];
+      ASSERT_EQ(b.present, a.present);
+      ASSERT_EQ(b.values.size(), a.values.size());
+      for (std::size_t k = 0; k < a.values.size(); ++k) {
+        // Bit-exact including NaN payloads and signed zero.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(b.values[k]),
+                  std::bit_cast<std::uint64_t>(a.values[k]));
+      }
+    }
+  }
+}
+
+TEST(NetProtocol, DecisionRoundTrip) {
+  DecisionFrame d;
+  d.window_index = 41;
+  d.state = 1;
+  d.confident = 1;
+  d.degraded = 1;
+  d.hc = -13;
+  d.bottleneck_tier = -1;
+  d.staleness = 1 << 20;
+  const auto back = decode_decision(payload_of(encode_decision(d)));
+  EXPECT_EQ(back.window_index, d.window_index);
+  EXPECT_EQ(back.state, d.state);
+  EXPECT_EQ(back.confident, d.confident);
+  EXPECT_EQ(back.degraded, d.degraded);
+  EXPECT_EQ(back.hc, d.hc);
+  EXPECT_EQ(back.bottleneck_tier, d.bottleneck_tier);
+  EXPECT_EQ(back.staleness, d.staleness);
+}
+
+TEST(NetProtocol, StatsAndReloadRoundTrip) {
+  StatsReply stats;
+  stats.entries = {{"decisions", 123456789012345ull}, {"windows", 0}};
+  const auto sback = decode_stats_reply(payload_of(encode_stats_reply(stats)));
+  EXPECT_EQ(sback.entries, stats.entries);
+  EXPECT_EQ(sback.value("decisions"), 123456789012345ull);
+  EXPECT_EQ(sback.value("absent-key"), 0u);
+
+  ReloadRequest req{"/models/new.hpcap"};
+  EXPECT_EQ(decode_reload_request(payload_of(encode_reload_request(req))).path,
+            req.path);
+  ReloadReply rep{true, 3, "model reloaded"};
+  const auto rback =
+      decode_reload_reply(payload_of(encode_reload_reply(rep)));
+  EXPECT_EQ(rback.ok, rep.ok);
+  EXPECT_EQ(rback.model_version, rep.model_version);
+  EXPECT_EQ(rback.message, rep.message);
+}
+
+// --- malformed input ------------------------------------------------------
+
+TEST(NetProtocol, HeaderRejectsBadMagicVersionTypeReserved) {
+  Bytes good = encode_stats_request();
+  {
+    Bytes bad = good;
+    bad[0] ^= 0xFF;
+    EXPECT_THROW(peek_header(bad), ProtocolError);
+  }
+  {
+    Bytes bad = good;
+    bad[4] = 2;  // future protocol version
+    EXPECT_THROW(peek_header(bad), ProtocolError);
+  }
+  {
+    Bytes bad = good;
+    bad[5] = 0;  // frame type below range
+    EXPECT_THROW(peek_header(bad), ProtocolError);
+    bad[5] = 7;  // above range
+    EXPECT_THROW(peek_header(bad), ProtocolError);
+  }
+  {
+    Bytes bad = good;
+    bad[6] = 1;  // reserved must be zero
+    EXPECT_THROW(peek_header(bad), ProtocolError);
+  }
+  {
+    Bytes bad = good;
+    bad[11] = 0xFF;  // payload_size far above kMaxPayload
+    EXPECT_THROW(peek_header(bad), ProtocolError);
+  }
+  // Fewer than 12 bytes is not an error — just not a header yet.
+  EXPECT_FALSE(peek_header({good.data(), kHeaderSize - 1}).has_value());
+}
+
+TEST(NetProtocol, EveryTruncationOfEveryFrameThrows) {
+  HelloReply rep;
+  rep.accepted = true;
+  rep.message = "msg";
+  rep.dims = {4, 4};
+  SampleBatch batch;
+  batch.ticks.resize(2);
+  batch.ticks[0].tiers = {{true, {1.0, 2.0}}, {false, {}}};
+  batch.ticks[1].tiers = {{true, {3.0, 4.0}}, {true, {5.0, 6.0}}};
+  StatsReply stats;
+  stats.entries = {{"k", 1}};
+
+  const std::vector<Bytes> payloads = {
+      payload_of(encode_hello_request({"a", "hpc", 2, 30})),
+      payload_of(encode_hello_reply(rep)),
+      payload_of(encode_sample_batch(batch)),
+      payload_of(encode_decision({})),
+      payload_of(encode_stats_reply(stats)),
+      payload_of(encode_reload_request({"p"})),
+      payload_of(encode_reload_reply({true, 1, "ok"})),
+  };
+  const auto decoders = std::vector<void (*)(std::span<const std::uint8_t>)>{
+      [](std::span<const std::uint8_t> p) { decode_hello_request(p); },
+      [](std::span<const std::uint8_t> p) { decode_hello_reply(p); },
+      [](std::span<const std::uint8_t> p) { decode_sample_batch(p); },
+      [](std::span<const std::uint8_t> p) { decode_decision(p); },
+      [](std::span<const std::uint8_t> p) { decode_stats_reply(p); },
+      [](std::span<const std::uint8_t> p) { decode_reload_request(p); },
+      [](std::span<const std::uint8_t> p) { decode_reload_reply(p); },
+  };
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    for (std::size_t cut = 0; cut < payloads[i].size(); ++cut) {
+      EXPECT_THROW(
+          decoders[i]({payloads[i].data(), cut}), ProtocolError)
+          << "frame " << i << " truncated at " << cut << " did not throw";
+    }
+  }
+}
+
+TEST(NetProtocol, TrailingGarbageThrows) {
+  Bytes p = payload_of(encode_decision({}));
+  p.push_back(0);
+  EXPECT_THROW(decode_decision(p), ProtocolError);
+}
+
+TEST(NetProtocol, HostileCountsThrowBeforeAllocation) {
+  {
+    // String length claims ~4 GiB with a 4-byte body.
+    Bytes p;
+    put_u32(p, 0xFFFFFFFFu);
+    put_u32(p, 0);
+    EXPECT_THROW(decode_reload_request(p), ProtocolError);
+  }
+  {
+    // Tier count above kMaxTiers inside a batch.
+    Bytes p;
+    put_u32(p, 0);                                         // first_tick
+    put_u16(p, 1);                                         // tick_count
+    put_u16(p, static_cast<std::uint16_t>(kMaxTiers + 1)); // tier_count
+    EXPECT_THROW(decode_sample_batch(p), ProtocolError);
+  }
+  {
+    // Row dim above kMaxRowDim.
+    Bytes p;
+    put_u32(p, 0);
+    put_u16(p, 1);
+    put_u16(p, 1);
+    put_u8(p, 1);                                            // present
+    put_u16(p, static_cast<std::uint16_t>(kMaxRowDim + 1));  // dim
+    EXPECT_THROW(decode_sample_batch(p), ProtocolError);
+  }
+  {
+    // Stats entry count above cap.
+    Bytes p;
+    put_u32(p, static_cast<std::uint32_t>(kMaxStatsEntries + 1));
+    EXPECT_THROW(decode_stats_reply(p), ProtocolError);
+  }
+  {
+    // Oversized string refuses to encode, too.
+    ReloadRequest req;
+    req.path.assign(kMaxString + 1, 'x');
+    EXPECT_THROW(encode_reload_request(req), ProtocolError);
+  }
+}
+
+TEST(NetProtocol, DecisionRejectsNonzeroReservedByte) {
+  Bytes p = payload_of(encode_decision({}));
+  p[7] = 1;  // the u8 reserved slot after state/confident/degraded
+  EXPECT_THROW(decode_decision(p), ProtocolError);
+}
+
+// --- FrameAssembler -------------------------------------------------------
+
+TEST(NetProtocol, AssemblerYieldsFramesFedByteAtATime) {
+  const Bytes f1 = encode_hello_request({"a", "hpc", 2, 30});
+  const Bytes f2 = encode_stats_request();
+  Bytes stream = f1;
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  FrameAssembler asm_;
+  std::vector<Frame> got;
+  for (std::uint8_t b : stream) {
+    asm_.append(&b, 1);
+    while (auto f = asm_.next()) got.push_back(std::move(*f));
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].type, FrameType::kHello);
+  EXPECT_EQ(got[1].type, FrameType::kStats);
+  EXPECT_EQ(got[0].payload.size(), f1.size() - kHeaderSize);
+  EXPECT_EQ(got[1].payload.size(), 0u);
+  EXPECT_EQ(asm_.buffered(), 0u);
+  const auto req = decode_hello_request(got[0].payload);
+  EXPECT_EQ(req.agent, "a");
+}
+
+TEST(NetProtocol, AssemblerThrowsOnCorruptStream) {
+  FrameAssembler asm_;
+  const Bytes junk(64, 0x5A);
+  asm_.append(junk.data(), junk.size());
+  EXPECT_THROW(asm_.next(), ProtocolError);
+}
+
+TEST(NetProtocol, AssemblerSurvivesManyFramesWithoutGrowth) {
+  FrameAssembler asm_;
+  const Bytes f = encode_stats_request();
+  for (int i = 0; i < 10000; ++i) {
+    asm_.append(f.data(), f.size());
+    const auto got = asm_.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->type, FrameType::kStats);
+  }
+  EXPECT_EQ(asm_.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace hpcap::net

@@ -177,6 +177,124 @@ TEST(Serialize, MonitorRoundTrip) {
   EXPECT_EQ(a.hc, b.hc);
 }
 
+// --- hostile / corrupt stream handling ---------------------------------
+//
+// A model file is deployment input (hpcapd --model, RELOAD frames), so
+// the loaders must fail with a clear runtime_error on any truncated or
+// corrupted stream — never crash, hang, or attempt a huge allocation.
+
+core::CapacityMonitor make_small_monitor() {
+  std::vector<core::Synopsis> synopses;
+  synopses.push_back(make_synopsis());
+  synopses.push_back(make_synopsis());
+  core::CoordinatedPredictor::Options opts;
+  opts.num_tiers = 2;
+  core::CapacityMonitor monitor(std::move(synopses), opts);
+  const std::vector<std::vector<double>> rows = {{1.0, 0.3, 0.6},
+                                                 {0.1, 0.4, 0.0}};
+  for (int i = 0; i < 30; ++i) monitor.train_instance(rows, i % 2, 0);
+  return monitor;
+}
+
+TEST(SerializeHostile, EveryMonitorTruncationThrowsGracefully) {
+  std::stringstream ss;
+  core::save_monitor(ss, make_small_monitor());
+  const std::string full = ss.str();
+  // Cutting the bundle at any of a spread of points must throw — never
+  // return a half-loaded monitor and never die on the allocator.
+  for (std::size_t cut = 0; cut < full.size(); cut += 97) {
+    std::stringstream is(full.substr(0, cut));
+    EXPECT_THROW(core::load_monitor(is), std::runtime_error)
+        << "truncation at byte " << cut << " did not throw";
+  }
+}
+
+// Corrupts the first occurrence of `needle` after `skip` bytes with
+// `replacement` and expects load_monitor to reject the stream.
+void expect_corruption_rejected(const std::string& full,
+                                const std::string& needle,
+                                const std::string& replacement,
+                                std::size_t skip = 0) {
+  const std::size_t at = full.find(needle, skip);
+  ASSERT_NE(at, std::string::npos) << "token '" << needle << "' not found";
+  std::string corrupt = full;
+  corrupt.replace(at, needle.size(), replacement);
+  std::stringstream is(corrupt);
+  EXPECT_THROW(core::load_monitor(is), std::runtime_error)
+      << "corruption '" << needle << "' -> '" << replacement << "' accepted";
+}
+
+TEST(SerializeHostile, HugeOrNegativeCountsAreRejectedBeforeAllocation) {
+  std::stringstream ss;
+  core::save_monitor(ss, make_small_monitor());
+  const std::string full = ss.str();
+  // The synopsis count follows the bundle header; a hostile count must be
+  // bounds-checked before it drives a resize.
+  const std::size_t header = full.find("v1 ") + 3;
+  expect_corruption_rejected(full, "2 ", "987654321098 ", header);
+  expect_corruption_rejected(full, "2 ", "-2 ", header);
+  // Corrupting a classifier-internal count deep in the stream.
+  const std::size_t tan = full.find("tan ");
+  ASSERT_NE(tan, std::string::npos);
+  expect_corruption_rejected(full, "disc ", "disc 99999999999 ", tan);
+}
+
+TEST(SerializeHostile, MalformedNumbersAreRejected) {
+  std::stringstream ss;
+  core::save_monitor(ss, make_small_monitor());
+  const std::string full = ss.str();
+  // Hex-float doubles: replace one with a non-numeric token.
+  const std::size_t hex = full.find("0x");
+  ASSERT_NE(hex, std::string::npos);
+  std::string corrupt = full;
+  corrupt.replace(hex, 2, "zz");
+  std::stringstream is(corrupt);
+  EXPECT_THROW(core::load_monitor(is), std::runtime_error);
+}
+
+TEST(SerializeHostile, PredictorOptionBoundsAreEnforced) {
+  core::CoordinatedPredictor::Options opts;
+  opts.num_synopses = 2;
+  opts.num_tiers = 2;
+  core::CoordinatedPredictor p(opts);
+  std::stringstream ss;
+  p.save(ss);
+  const std::string full = ss.str();
+  // Options line: num_synopses num_tiers history_bits delta scheme ...
+  const auto corrupt_field = [&](int field, const std::string& value) {
+    std::istringstream tokens(full);
+    std::ostringstream out;
+    std::string tok;
+    // "predictor v1" then the option fields.
+    for (int i = 0; tokens >> tok; ++i)
+      out << (i == 2 + field ? value : tok) << ' ';
+    std::stringstream is(out.str());
+    EXPECT_THROW(core::load_predictor(is), std::runtime_error)
+        << "field " << field << " = " << value << " accepted";
+  };
+  corrupt_field(0, "31");   // num_synopses > 16: 2^31 GPT entries
+  corrupt_field(1, "9999"); // num_tiers
+  corrupt_field(2, "40");   // history_bits: 2^40 LHT entries
+  corrupt_field(3, "-1");   // delta
+  corrupt_field(6, "7");    // unseen policy
+  corrupt_field(7, "-3");   // history source
+}
+
+TEST(SerializeHostile, EmptyAndGarbageStreamsThrow) {
+  {
+    std::stringstream is("");
+    EXPECT_THROW(core::load_monitor(is), std::runtime_error);
+  }
+  {
+    std::stringstream is("hpcap-monitor v2 1");
+    EXPECT_THROW(core::load_monitor(is), std::runtime_error);
+  }
+  {
+    std::stringstream is(std::string(4096, 'A'));
+    EXPECT_THROW(core::load_monitor(is), std::runtime_error);
+  }
+}
+
 TEST(Serialize, MonitorWidthMismatchThrows) {
   std::vector<core::Synopsis> one;
   one.push_back(make_synopsis());

@@ -1,0 +1,173 @@
+// util::Logger under concurrent callers — runs in the tsan ctest label.
+//
+// The logger is the one piece of global mutable state every subsystem
+// (parallel pool workers, the hpcapd event loop, signal-adjacent wake
+// handlers) touches, so it gets its own race test: concurrent writers
+// must never tear lines, level changes must be safe mid-stream, and
+// set_log_sink must be swappable while other threads log.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.h"
+
+namespace hpcap {
+namespace {
+
+// RAII: capture log output for one test, restoring stderr + level after.
+class CapturedLog {
+ public:
+  CapturedLog() : saved_level_(log_level()) {
+    set_log_level(LogLevel::kDebug);
+    set_log_sink([this](LogLevel level, const std::string& message) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.emplace_back(level, message);
+    });
+  }
+  ~CapturedLog() {
+    set_log_sink({});
+    set_log_level(saved_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> lines() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  LogLevel saved_level_;
+  std::mutex mu_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+TEST(Logger, SinkReceivesLevelAndMessage) {
+  CapturedLog capture;
+  HPCAP_INFO << "hello " << 42;
+  HPCAP_ERROR << "boom";
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, LogLevel::kInfo);
+  EXPECT_EQ(lines[0].second, "hello 42");
+  EXPECT_EQ(lines[1].first, LogLevel::kError);
+  EXPECT_EQ(lines[1].second, "boom");
+}
+
+TEST(Logger, LevelFiltersBelowThreshold) {
+  CapturedLog capture;
+  set_log_level(LogLevel::kWarn);
+  HPCAP_DEBUG << "dropped";
+  HPCAP_INFO << "dropped";
+  HPCAP_WARN << "kept-warn";
+  HPCAP_ERROR << "kept-error";
+  set_log_level(LogLevel::kOff);
+  HPCAP_ERROR << "dropped while off";
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].second, "kept-warn");
+  EXPECT_EQ(lines[1].second, "kept-error");
+}
+
+TEST(Logger, RestoringEmptySinkFallsBackToStderr) {
+  // Nothing to assert about stderr contents here; the point is that
+  // logging through the default path after a sink reset neither crashes
+  // nor invokes the old sink.
+  std::atomic<int> calls{0};
+  set_log_sink([&](LogLevel, const std::string&) { ++calls; });
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  HPCAP_ERROR << "to sink";
+  set_log_sink({});
+  HPCAP_ERROR << "to stderr";
+  set_log_level(saved);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// The tsan centerpiece: writers on several threads, each emitting
+// distinct payloads, while another thread flips the level and yet another
+// swaps the sink. Every delivered line must be exactly one payload —
+// never a torn or interleaved string.
+TEST(Logger, ConcurrentWritersNeverTearLines) {
+  constexpr int kThreads = 4;
+  constexpr int kLines = 500;
+
+  std::mutex mu;
+  std::vector<std::string> delivered;
+  set_log_level(LogLevel::kDebug);
+  set_log_sink([&](LogLevel, const std::string& message) {
+    std::lock_guard<std::mutex> lock(mu);
+    delivered.push_back(message);
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        HPCAP_WARN << "writer-" << t << "-line-" << i << "-payload-"
+                   << std::string(32, 'a' + static_cast<char>(t));
+      }
+    });
+  }
+  // Concurrent level churn between two levels that both pass the kWarn
+  // writers, so every line is still delivered while the atomic is racing.
+  std::thread churner([] {
+    for (int i = 0; i < 2000; ++i)
+      set_log_level(i % 2 ? LogLevel::kDebug : LogLevel::kInfo);
+  });
+  for (auto& w : writers) w.join();
+  churner.join();
+  set_log_sink({});
+  set_log_level(LogLevel::kWarn);
+
+  ASSERT_EQ(delivered.size(),
+            static_cast<std::size_t>(kThreads) * kLines);
+  std::set<std::string> unique(delivered.begin(), delivered.end());
+  EXPECT_EQ(unique.size(), delivered.size()) << "duplicate delivery";
+  for (const auto& line : delivered) {
+    // Reconstruct the exact expected payload from the line's indices; any
+    // tearing/interleaving breaks the format.
+    int t = -1, i = -1;
+    ASSERT_EQ(std::sscanf(line.c_str(), "writer-%d-line-%d-", &t, &i), 2)
+        << "torn line: " << line;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    std::ostringstream expect;
+    expect << "writer-" << t << "-line-" << i << "-payload-"
+           << std::string(32, 'a' + static_cast<char>(t));
+    EXPECT_EQ(line, expect.str());
+  }
+}
+
+// Sink replacement racing active writers: each message lands in exactly
+// one sink (old or new), none are lost to the swap itself.
+TEST(Logger, SinkSwapUnderFireLosesNothing) {
+  set_log_level(LogLevel::kDebug);
+  std::atomic<int> sink_a{0};
+  std::atomic<int> sink_b{0};
+  set_log_sink([&](LogLevel, const std::string&) { ++sink_a; });
+
+  constexpr int kMessages = 2000;
+  std::thread writer([] {
+    for (int i = 0; i < kMessages; ++i) HPCAP_INFO << "msg-" << i;
+  });
+  std::thread swapper([&] {
+    for (int i = 0; i < 200; ++i) {
+      set_log_sink([&](LogLevel, const std::string&) { ++sink_b; });
+      set_log_sink([&](LogLevel, const std::string&) { ++sink_a; });
+    }
+  });
+  writer.join();
+  swapper.join();
+  set_log_sink({});
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(sink_a.load() + sink_b.load(), kMessages);
+}
+
+}  // namespace
+}  // namespace hpcap

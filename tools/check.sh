@@ -4,7 +4,7 @@
 # tsan/asan ctest labels mark.
 #
 # Usage: tools/check.sh [fast|full]
-#   fast (default) - default build: full ctest + bench-smoke label
+#   fast (default) - default build: full ctest + bench-smoke + net labels
 #   full           - fast, plus -DHPCAP_TSAN=ON (ctest -L tsan) and
 #                    -DHPCAP_ASAN=ON (ctest -L asan) builds
 #
@@ -33,16 +33,21 @@ ctest --test-dir "$root/build" --output-on-failure
 step "bench-smoke guard (parallel overhead)"
 ctest --test-dir "$root/build" -L bench-smoke --output-on-failure
 
+step "net suite (hpcapd wire protocol + loopback)"
+ctest --test-dir "$root/build" -L net --output-on-failure
+
 if [ "$mode" = "full" ]; then
-  step "tsan build + ctest -L tsan"
+  step "tsan build + ctest -L tsan (includes net loopback/swap suites)"
   cmake -B "$root/build-tsan" -S "$root" -DHPCAP_TSAN=ON >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs"
   ctest --test-dir "$root/build-tsan" -L tsan --output-on-failure
+  ctest --test-dir "$root/build-tsan" -L net --output-on-failure
 
-  step "asan build + ctest -L asan"
+  step "asan build + ctest -L asan (includes net protocol/loopback suites)"
   cmake -B "$root/build-asan" -S "$root" -DHPCAP_ASAN=ON >/dev/null
   cmake --build "$root/build-asan" -j "$jobs"
   ctest --test-dir "$root/build-asan" -L asan --output-on-failure
+  ctest --test-dir "$root/build-asan" -L net --output-on-failure
 fi
 
 step "all checks passed ($mode)"

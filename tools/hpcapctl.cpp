@@ -19,20 +19,35 @@
 //   collect   --out FILE --workload W [--recipe train|test] [--seed N]
 //       Runs a workload and archives the labeled 30 s instances as CSV
 //       (testbed/trace.h format) for offline analysis.
+//   serve     --model FILE [--port N] [--bind ADDR] [--num-tiers K] ...
+//       Runs the hpcapd capacity-monitoring daemon in the foreground
+//       (same wire protocol and signals as the hpcapd binary).
+//   stream    --port N --trace FILE [--host ADDR] [--level hpc|os]
+//             [--window W] [--batch B] [--stats] [--shutdown]
+//       Replays an archived trace (collect) over the socket to a running
+//       daemon and prints the decisions it streams back.
 //
+// `hpcapctl --version` prints the wire-protocol and model-format
+// versions, so agents and daemons can be checked for compatibility.
+// Unknown subcommands and unrecognized flags exit non-zero with usage.
 // Everything is deterministic given --seed.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "core/model_io.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
 #include "testbed/trace.h"
 #include "ml/evaluate.h"
 #include "testbed/experiment.h"
+#include "util/log.h"
 #include "util/table.h"
 
 using namespace hpcap;
@@ -70,6 +85,23 @@ class Args {
     return v ? std::stod(*v) : def;
   }
   bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  // Every subcommand declares its flag set; anything else is a typo the
+  // user should hear about rather than a silently ignored option.
+  bool reject_unknown(const char* cmd,
+                      std::initializer_list<const char*> allowed) const {
+    bool ok = true;
+    for (const auto& [key, value] : values_) {
+      bool known = false;
+      for (const char* a : allowed) known = known || key == a;
+      if (!known) {
+        std::fprintf(stderr, "%s: unrecognized flag '--%s'\n", cmd,
+                     key.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
 
  private:
   std::map<std::string, std::string> values_;
@@ -287,11 +319,164 @@ int cmd_collect(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const auto model = args.get("model");
+  if (!model) {
+    std::fprintf(stderr, "serve: --model FILE is required\n");
+    return 2;
+  }
+  net::ServerConfig cfg;
+  cfg.port = static_cast<std::uint16_t>(args.num_or("port", 0));
+  cfg.bind_address = args.get_or("bind", cfg.bind_address);
+  cfg.num_tiers =
+      static_cast<int>(args.num_or("num-tiers", testbed::kNumTiers));
+  cfg.idle_timeout = args.num_or("idle-timeout", cfg.idle_timeout);
+  cfg.handshake_timeout =
+      args.num_or("handshake-timeout", cfg.handshake_timeout);
+  cfg.max_write_queue = static_cast<std::size_t>(
+      args.num_or("max-write-queue", static_cast<double>(cfg.max_write_queue)));
+  if (args.has("verbose")) set_log_level(LogLevel::kInfo);
+  try {
+    return net::run_daemon(cfg, *model, /*install_signals=*/true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_stream(const Args& args) {
+  const auto trace_path = args.get("trace");
+  const auto port = args.get("port");
+  if (!trace_path || !port) {
+    std::fprintf(stderr, "stream: --trace FILE and --port N are required\n");
+    return 2;
+  }
+  const std::string host = args.get_or("host", "127.0.0.1");
+  const std::string level = args.get_or("level", "hpc");
+  const int window = static_cast<int>(args.num_or("window", 1));
+  const int batch = static_cast<int>(args.num_or("batch", 64));
+  const bool quiet = args.has("quiet");
+
+  std::ifstream f(*trace_path);
+  if (!f) {
+    std::fprintf(stderr, "stream: cannot open '%s'\n", trace_path->c_str());
+    return 1;
+  }
+  std::vector<int> labels;
+  const auto records = testbed::read_trace(f, &labels);
+  if (records.empty()) {
+    std::fprintf(stderr, "stream: trace has no instances\n");
+    return 1;
+  }
+
+  try {
+    net::Client client;
+    client.connect(host, static_cast<std::uint16_t>(std::stod(*port)));
+    net::HelloRequest hello;
+    hello.agent = args.get_or("agent", "hpcapctl-stream");
+    hello.level = level;
+    hello.num_tiers = static_cast<std::uint16_t>(records[0].hpc.size());
+    hello.window = static_cast<std::uint16_t>(window);
+    const auto reply = client.hello(hello);
+    if (!reply.accepted) {
+      std::fprintf(stderr, "stream: daemon rejected HELLO: %s\n",
+                   reply.message.c_str());
+      return 1;
+    }
+    std::printf("connected to %s:%s — model v%u, window %d, %zu instances\n",
+                host.c_str(), port->c_str(), reply.model_version, window,
+                records.size());
+
+    // Each archived instance becomes one sampling tick; with the default
+    // --window 1 every tick closes a window, so decisions line up 1:1
+    // with the trace's labeled instances.
+    ml::Confusion confusion;
+    std::size_t decisions = 0, degraded = 0;
+    const auto consume = [&](const net::DecisionFrame& d) {
+      // A window spans `window` consecutive trace instances; score the
+      // decision against the label of the window's first instance.
+      const std::size_t first = static_cast<std::size_t>(d.window_index) *
+                                static_cast<std::size_t>(window);
+      const int truth = first < labels.size() ? labels[first] : -1;
+      if (truth >= 0) confusion.add(truth, d.state);
+      degraded += d.degraded != 0;
+      ++decisions;
+      if (!quiet)
+        std::printf("window %5u  %-8s hc=%+d%s%s\n", d.window_index,
+                    d.state ? "OVERLOAD" : "healthy", d.hc,
+                    d.state && d.bottleneck_tier >= 0
+                        ? (" bottleneck=tier" +
+                           std::to_string(d.bottleneck_tier))
+                              .c_str()
+                        : "",
+                    d.degraded ? " [degraded]" : "");
+    };
+
+    net::SampleBatch pending;
+    std::uint32_t tick = 0;
+    for (const auto& rec : records) {
+      net::Tick t;
+      const auto rows = testbed::monitor_rows(rec, level);
+      const auto validity = testbed::monitor_row_validity(rec, level);
+      t.tiers.resize(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        t.tiers[i].present = validity[i] != 0;
+        if (t.tiers[i].present) t.tiers[i].values = rows[i];
+      }
+      if (pending.ticks.empty()) pending.first_tick = tick;
+      pending.ticks.push_back(std::move(t));
+      ++tick;
+      if (static_cast<int>(pending.ticks.size()) >= batch) {
+        client.send_batch(pending);
+        pending.ticks.clear();
+        for (const auto& d : client.drain_decisions()) consume(d);
+      }
+    }
+    if (!pending.ticks.empty()) client.send_batch(pending);
+
+    const std::size_t expected =
+        records.size() / static_cast<std::size_t>(window);
+    while (decisions < expected) consume(client.next_decision());
+
+    std::printf("%zu decisions (%zu degraded)\n", decisions, degraded);
+    if (confusion.tp + confusion.fn + confusion.fp + confusion.tn > 0)
+      std::printf("vs trace labels: BA %.3f (TPR %.3f, TNR %.3f)\n",
+                  confusion.balanced_accuracy(), confusion.tpr(),
+                  confusion.tnr());
+    if (args.has("stats")) {
+      const auto stats = client.stats();
+      TextTable t("daemon stats");
+      t.set_header({"counter", "value"});
+      for (const auto& [key, value] : stats.entries)
+        t.add_row({key, std::to_string(value)});
+      std::printf("%s", t.render().c_str());
+    }
+    if (args.has("shutdown")) {
+      client.shutdown_server();
+      std::printf("daemon shut down\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream: %s\n", e.what());
+    return 1;
+  }
+}
+
 void usage() {
-  std::fprintf(stderr,
-               "usage: hpcapctl <capacity|train|evaluate|monitor|collect> "
-               "[--flag value ...]\n"
-               "see the header of tools/hpcapctl.cpp for details\n");
+  std::fprintf(
+      stderr,
+      "usage: hpcapctl "
+      "<capacity|train|evaluate|monitor|collect|serve|stream> "
+      "[--flag value ...]\n"
+      "       hpcapctl --version\n"
+      "see the header of tools/hpcapctl.cpp for details\n");
+}
+
+int print_version() {
+  std::printf("hpcapctl protocol v%u, model format %s\n",
+              static_cast<unsigned>(net::kProtocolVersion),
+              net::kModelFormatVersion);
+  return 0;
 }
 
 }  // namespace
@@ -302,12 +487,43 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--version" || cmd == "version") return print_version();
   const Args args(argc, argv);
-  if (cmd == "capacity") return cmd_capacity(args);
-  if (cmd == "train") return cmd_train(args);
-  if (cmd == "evaluate") return cmd_evaluate(args);
-  if (cmd == "monitor") return cmd_monitor(args);
-  if (cmd == "collect") return cmd_collect(args);
+  const auto run = [&](const char* name,
+                       std::initializer_list<const char*> allowed,
+                       int (*fn)(const Args&)) {
+    if (!args.reject_unknown(name, allowed)) {
+      usage();
+      return 2;
+    }
+    return fn(args);
+  };
+  if (cmd == "capacity")
+    return run("capacity", {"mix", "skew", "seed"}, cmd_capacity);
+  if (cmd == "train")
+    return run("train",
+               {"out", "level", "learner", "seed", "history-bits", "delta",
+                "pessimistic"},
+               cmd_train);
+  if (cmd == "evaluate")
+    return run("evaluate", {"model", "workload", "seed"}, cmd_evaluate);
+  if (cmd == "monitor")
+    return run("monitor", {"model", "workload", "duration", "seed"},
+               cmd_monitor);
+  if (cmd == "collect")
+    return run("collect", {"out", "workload", "recipe", "seed"},
+               cmd_collect);
+  if (cmd == "serve")
+    return run("serve",
+               {"model", "port", "bind", "num-tiers", "idle-timeout",
+                "handshake-timeout", "max-write-queue", "verbose"},
+               cmd_serve);
+  if (cmd == "stream")
+    return run("stream",
+               {"host", "port", "trace", "level", "window", "batch",
+                "agent", "stats", "shutdown", "quiet"},
+               cmd_stream);
+  std::fprintf(stderr, "hpcapctl: unknown subcommand '%s'\n", cmd.c_str());
   usage();
   return 2;
 }

@@ -1,0 +1,106 @@
+// hpcapd — the streaming capacity-monitoring daemon (src/net/).
+//
+// Loads a trained monitor bundle (hpcapctl train) and serves the hpcap
+// wire protocol: agents connect, HELLO with their metric level and window
+// size, stream per-tier counter samples, and receive per-window
+// overload/bottleneck Decisions. SIGHUP re-loads the model file in place
+// (validated before the swap; live sessions and connections survive);
+// SIGINT/SIGTERM drain and exit.
+//
+//   hpcapd --model FILE [--port N] [--bind ADDR] [--num-tiers K]
+//          [--idle-timeout S] [--handshake-timeout S]
+//          [--max-write-queue N] [--log-level debug|info|warn|error]
+//          [--version]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/server.h"
+#include "util/log.h"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: hpcapd --model FILE [--port N] [--bind ADDR]\n"
+               "              [--num-tiers K] [--idle-timeout S]\n"
+               "              [--handshake-timeout S] [--max-write-queue N]\n"
+               "              [--log-level debug|info|warn|error]\n"
+               "       hpcapd --version\n");
+}
+
+bool parse_log_level(const std::string& name, hpcap::LogLevel* out) {
+  if (name == "debug") *out = hpcap::LogLevel::kDebug;
+  else if (name == "info") *out = hpcap::LogLevel::kInfo;
+  else if (name == "warn") *out = hpcap::LogLevel::kWarn;
+  else if (name == "error") *out = hpcap::LogLevel::kError;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpcap::net::ServerConfig cfg;
+  std::string model;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hpcapd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--version") {
+      std::printf("hpcapd protocol v%u, model format %s\n",
+                  static_cast<unsigned>(hpcap::net::kProtocolVersion),
+                  hpcap::net::kModelFormatVersion);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--model") {
+      model = value();
+    } else if (arg == "--port") {
+      cfg.port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--bind") {
+      cfg.bind_address = value();
+    } else if (arg == "--num-tiers") {
+      cfg.num_tiers = std::atoi(value());
+    } else if (arg == "--idle-timeout") {
+      cfg.idle_timeout = std::atof(value());
+    } else if (arg == "--handshake-timeout") {
+      cfg.handshake_timeout = std::atof(value());
+    } else if (arg == "--max-write-queue") {
+      cfg.max_write_queue = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--log-level") {
+      hpcap::LogLevel level;
+      if (!parse_log_level(value(), &level)) {
+        std::fprintf(stderr, "hpcapd: unknown log level\n");
+        return 2;
+      }
+      hpcap::set_log_level(level);
+    } else {
+      std::fprintf(stderr, "hpcapd: unknown argument '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (model.empty()) {
+    std::fprintf(stderr, "hpcapd: --model FILE is required\n");
+    usage(stderr);
+    return 2;
+  }
+
+  try {
+    return hpcap::net::run_daemon(cfg, model, /*install_signals=*/true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
