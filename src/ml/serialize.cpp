@@ -261,6 +261,13 @@ Svm Svm::load(std::istream& is) {
   out.scale_ = read_vector(is);
   out.dim_ = out.mean_.size();
   const std::size_t svs = read_count(is, kMaxVectorElems, "support vector");
+  // Bound the svs*dim product before reserving: both factors pass the
+  // per-count cap, but a hostile pair can still multiply out to terabytes.
+  if (out.dim_ != 0 && svs > kMaxVectorElems / out.dim_)
+    throw std::runtime_error(
+        "model load: support-vector matrix " + std::to_string(svs) + "x" +
+        std::to_string(out.dim_) + " exceeds limit " +
+        std::to_string(kMaxVectorElems));
   out.sv_x_.reserve(svs * out.dim_);
   for (std::size_t i = 0; i < svs; ++i) {
     const std::vector<double> sv = read_vector(is);

@@ -58,6 +58,7 @@ void EventLoop::add_fd(int fd, bool want_read, bool want_write,
   e.events = static_cast<short>((want_read ? POLLIN : 0) |
                                 (want_write ? POLLOUT : 0));
   e.cb = std::move(cb);
+  e.gen = next_fd_gen_++;
   fds_.push_back(std::move(e));
 }
 
@@ -119,11 +120,17 @@ void EventLoop::dispatch_timers() {
 void EventLoop::run() {
   running_ = true;
   std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> gens;  // registration stamp per pfds slot
   while (running_) {
     pfds.clear();
+    gens.clear();
     pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    gens.push_back(0);
     for (const FdEntry& e : fds_)
-      if (!e.dead) pfds.push_back(pollfd{e.fd, e.events, 0});
+      if (!e.dead) {
+        pfds.push_back(pollfd{e.fd, e.events, 0});
+        gens.push_back(e.gen);
+      }
 
     const int rc = ::poll(pfds.data(), pfds.size(), poll_timeout_ms());
     if (rc < 0 && errno != EINTR)
@@ -140,16 +147,23 @@ void EventLoop::run() {
         }
         if (wake_handler_) wake_handler_();
       }
-      for (const pollfd& p : pfds) {
-        if (p.fd == wake_pipe_[0] || p.revents == 0) continue;
+      for (std::size_t k = 1; k < pfds.size(); ++k) {
+        const pollfd& p = pfds[k];
+        if (p.revents == 0) continue;
         const int i = find_fd(p.fd);
         if (i < 0) continue;  // removed by an earlier callback this round
+        // An earlier callback may have closed this fd number and a new
+        // registration reused it: these revents belong to the old socket,
+        // so only the registration that was polled gets them.
+        if (fds_[static_cast<std::size_t>(i)].gen != gens[k]) continue;
         const bool readable =
             (p.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0;
         const bool writable = (p.revents & POLLOUT) != 0;
-        // The callback may remove fds (including its own); find_fd skips
-        // dead entries, and the sweep below reclaims them.
-        fds_[static_cast<std::size_t>(i)].cb(readable, writable);
+        // Invoke through a copy: the callback may remove fds or add new
+        // ones, and an add_fd push_back can reallocate fds_, destroying
+        // the entry (and the std::function) mid-invocation.
+        const IoCallback cb = fds_[static_cast<std::size_t>(i)].cb;
+        cb(readable, writable);
       }
     }
 

@@ -65,6 +65,10 @@ class EventLoop {
     short events = 0;
     IoCallback cb;
     bool dead = false;
+    // Registration stamp: an fd number freed by a callback and reused by
+    // a new registration in the same poll round must not receive the old
+    // socket's revents.
+    std::uint64_t gen = 0;
   };
   struct Timer {
     TimerId id = 0;
@@ -79,6 +83,7 @@ class EventLoop {
   std::vector<FdEntry> fds_;
   std::vector<Timer> timers_;  // kept sorted by (deadline, id)
   TimerId next_timer_id_ = 1;
+  std::uint64_t next_fd_gen_ = 1;
   int wake_pipe_[2] = {-1, -1};
   std::function<void()> wake_handler_;
   bool running_ = false;

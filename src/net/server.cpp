@@ -61,6 +61,12 @@ struct Server::Connection {
   std::deque<OutFrame> write_queue;
   bool want_write = false;
   bool close_after_flush = false;
+  // Marked dead (send failure, queue overflow, flushed close) but not yet
+  // destroyed: handlers up the stack may still hold references, so the
+  // actual close is deferred to handle_io. doom_reason is always a
+  // string literal.
+  bool doomed = false;
+  const char* doom_reason = "";
   std::uint64_t sheds = 0;  // for the rate-limited shed warning
 
   // Session (valid once state == kStreaming).
@@ -118,6 +124,18 @@ void Server::start() {
     throw std::runtime_error("Server: bad bind address '" +
                              cfg_.bind_address + "'");
   }
+  // The wire protocol has no peer authentication, so control frames
+  // (RELOAD/SHUTDOWN) are only honored on a loopback bind unless the
+  // operator opts in explicitly.
+  const bool loopback = (ntohl(addr.sin_addr.s_addr) >> 24) == 127;
+  control_allowed_ =
+      cfg_.control_policy == ControlPolicy::kAllow ||
+      (cfg_.control_policy == ControlPolicy::kAuto && loopback);
+  if (!loopback && cfg_.control_policy == ControlPolicy::kAuto) {
+    HPCAP_INFO << "hpcapd: non-loopback bind " << cfg_.bind_address
+               << ": RELOAD/SHUTDOWN frames disabled"
+               << " (ControlPolicy::kAllow overrides)";
+  }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
           0 ||
       ::listen(listen_fd_, 64) != 0) {
@@ -174,8 +192,10 @@ void Server::handle_io(int fd, bool readable, bool writable) {
 
   if (writable) {
     flush_writes(*it->second);
-    it = conns_.find(fd);  // flush may have closed it
-    if (it == conns_.end()) return;
+    if (it->second->doomed) {
+      close_connection(fd, it->second->doom_reason);
+      return;
+    }
   }
 
   if (!readable) return;
@@ -201,14 +221,22 @@ void Server::handle_io(int fd, bool readable, bool writable) {
 
   try {
     for (;;) {
-      // The frame handler can close the connection (protocol violation)
-      // or even begin shutdown; re-validate the fd every iteration.
+      // A frame handler can doom the connection (send failure, queue
+      // overflow, rejected HELLO already flushed), close it outright
+      // (shutdown drain), or begin shutdown; re-validate the fd every
+      // iteration and destroy doomed connections only here, where no
+      // handler still holds a reference into them.
       const auto again = conns_.find(fd);
       if (again == conns_.end()) return;
-      auto frame = again->second->assembler.next();
+      Connection& live = *again->second;
+      if (live.doomed) {
+        close_connection(fd, live.doom_reason);
+        return;
+      }
+      auto frame = live.assembler.next();
       if (!frame) break;
       ++stats_.frames_in;
-      handle_frame(*again->second, *frame);
+      handle_frame(live, *frame);
     }
   } catch (const ProtocolError& e) {
     ++stats_.malformed_frames;
@@ -349,7 +377,12 @@ void Server::handle_batch(Connection& c, const SampleBatch& batch) {
         ++stats_.windows_discarded;
       }
     }
-    if (closed) finish_window(c);
+    if (closed) {
+      finish_window(c);
+      // The decision send may have failed (peer vanished mid-batch);
+      // stop feeding a dead session. handle_io closes it.
+      if (c.doomed) return;
+    }
   }
 }
 
@@ -391,6 +424,8 @@ StatsReply Server::build_stats() const {
       {"rows_rejected", stats_.rows_rejected},
       {"decisions", stats_.decisions},
       {"decisions_shed", stats_.decisions_shed},
+      {"write_queue_overflows", stats_.write_queue_overflows},
+      {"control_rejected", stats_.control_rejected},
       {"reloads", stats_.reloads},
       {"reload_failures", stats_.reload_failures},
   };
@@ -403,6 +438,15 @@ void Server::handle_stats(Connection& c) {
 
 void Server::handle_reload(Connection& c, const ReloadRequest& req) {
   ReloadReply rep;
+  if (!control_allowed_) {
+    ++stats_.control_rejected;
+    rep.ok = false;
+    rep.model_version = source_.version();
+    rep.message = "remote control disabled on this bind";
+    HPCAP_WARN << "hpcapd: RELOAD refused (control policy)";
+    enqueue(c, FrameType::kReload, encode_reload_reply(rep));
+    return;
+  }
   try {
     source_.swap_from_file(req.path);
     ++stats_.reloads;
@@ -434,6 +478,12 @@ void Server::request_reload() {
 }
 
 void Server::handle_shutdown(Connection& c) {
+  if (!control_allowed_) {
+    ++stats_.control_rejected;
+    HPCAP_WARN << "hpcapd: SHUTDOWN refused (control policy); dropping peer";
+    doom(c, "unauthorized SHUTDOWN");
+    return;
+  }
   c.close_after_flush = true;
   enqueue(c, FrameType::kShutdown, encode_shutdown());
   begin_shutdown();
@@ -473,6 +523,7 @@ void Server::begin_shutdown() {
 
 void Server::enqueue(Connection& c, FrameType type,
                      std::vector<std::uint8_t> frame) {
+  if (c.doomed) return;
   if (c.close_after_flush && type == FrameType::kDecision) return;
   if (c.write_queue.size() >= cfg_.max_write_queue) {
     // Backpressure: shed the oldest queued DECISION (stale by the time a
@@ -485,18 +536,27 @@ void Server::enqueue(Connection& c, FrameType type,
         break;
       }
     }
-    if (!shed && type == FrameType::kDecision) {
-      // Queue full of unsheddable frames: drop the newcomer instead.
-      ++stats_.decisions_shed;
+    if (!shed) {
+      if (type == FrameType::kDecision) {
+        // Queue full of unsheddable frames: drop the newcomer instead.
+        ++stats_.decisions_shed;
+        return;
+      }
+      // A control reply with the queue full of control frames: the peer
+      // streams requests without ever reading its socket. The queue
+      // bound is a promise about daemon memory, so the connection is
+      // dropped rather than the queue grown.
+      ++stats_.write_queue_overflows;
+      HPCAP_WARN << "hpcapd: fd " << c.fd
+                 << " write queue full of control frames; dropping peer";
+      doom(c, "write queue overflow");
       return;
     }
-    if (shed) {
-      ++stats_.decisions_shed;
-      if (c.sheds++ % 1024 == 0) {
-        HPCAP_WARN << "hpcapd: fd " << c.fd
-                   << " not draining decisions; shedding oldest (total "
-                   << (c.sheds) << ")";
-      }
+    ++stats_.decisions_shed;
+    if (c.sheds++ % 1024 == 0) {
+      HPCAP_WARN << "hpcapd: fd " << c.fd
+                 << " not draining decisions; shedding oldest (total "
+                 << (c.sheds) << ")";
     }
   }
   Connection::OutFrame out;
@@ -507,6 +567,7 @@ void Server::enqueue(Connection& c, FrameType type,
 }
 
 void Server::flush_writes(Connection& c) {
+  if (c.doomed) return;
   const int fd = c.fd;
   while (!c.write_queue.empty()) {
     Connection::OutFrame& front = c.write_queue.front();
@@ -523,7 +584,10 @@ void Server::flush_writes(Connection& c) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    close_connection(fd, "write error");
+    // EPIPE/ECONNRESET from a vanished peer: callers (often deep inside
+    // handle_batch) still reference this Connection, so never destroy it
+    // here — mark it and let handle_io close it.
+    doom(c, "write error");
     return;
   }
   const bool want_write = !c.write_queue.empty();
@@ -531,7 +595,14 @@ void Server::flush_writes(Connection& c) {
     c.want_write = want_write;
     loop_.set_interest(fd, true, want_write);
   }
-  if (!want_write && c.close_after_flush) close_connection(fd, "flushed");
+  if (!want_write && c.close_after_flush) doom(c, "flushed");
+}
+
+void Server::doom(Connection& c, const char* why) {
+  if (c.doomed) return;
+  c.doomed = true;
+  c.doom_reason = why;
+  c.write_queue.clear();
 }
 
 void Server::close_connection(int fd, const char* why) {

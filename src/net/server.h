@@ -19,13 +19,19 @@
 // stops draining its socket, the oldest queued DECISION frames are shed
 // with a warning — a stale decision is worthless by the time a stalled
 // agent would read it — mirroring core::OnlineAdapter::max_pending.
-// Control replies (HELLO/STATS/RELOAD/SHUTDOWN) are never shed.
+// Control replies (HELLO/STATS/RELOAD/SHUTDOWN) are never shed; if the
+// queue fills with control frames a peer refuses to read, the connection
+// is dropped instead, so the bound holds unconditionally.
 //
 // Lifecycle: RELOAD frames (and SIGHUP via Server::request_reload) swap
 // the model source atomically; live sessions keep the instance they
 // HELLOed with (their predictor history must stay coherent) and no
 // connection is dropped — new sessions get the new model generation.
-// SHUTDOWN drains queued frames and stops the loop. Half-open sockets
+// SHUTDOWN drains queued frames and stops the loop. RELOAD and SHUTDOWN
+// are control-plane operations: by default they are honored only when
+// the daemon is bound to a loopback address (ControlPolicy::kAuto) —
+// the protocol has no peer authentication, so a non-loopback bind
+// refuses them unless the operator opts in explicitly. Half-open sockets
 // that never HELLO and idle streams are reaped by deadline sweeps.
 #pragma once
 
@@ -39,6 +45,11 @@
 #include "net/protocol.h"
 
 namespace hpcap::net {
+
+// Who may issue RELOAD/SHUTDOWN control frames. kAuto honors them only
+// when the daemon is bound to a loopback address; kAllow and kDeny
+// override that in either direction.
+enum class ControlPolicy { kAuto, kAllow, kDeny };
 
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
@@ -62,6 +73,8 @@ struct ServerConfig {
   int aggregator_trim = 0;
   // Window sizes an agent may request in HELLO.
   std::uint16_t max_window = 3600;
+  // RELOAD/SHUTDOWN authorization (see ControlPolicy above).
+  ControlPolicy control_policy = ControlPolicy::kAuto;
 };
 
 struct ServerStats {
@@ -81,6 +94,8 @@ struct ServerStats {
   std::uint64_t rows_rejected = 0;      // per-tier rows failing RowValidator
   std::uint64_t decisions = 0;
   std::uint64_t decisions_shed = 0;
+  std::uint64_t write_queue_overflows = 0;  // peers dropped for a full queue
+  std::uint64_t control_rejected = 0;  // RELOAD/SHUTDOWN refused by policy
   std::uint64_t reloads = 0;
   std::uint64_t reload_failures = 0;
 };
@@ -123,9 +138,15 @@ class Server {
   void finish_window(Connection& c);
 
   // `frame` must be a full encoded frame. DECISION frames are sheddable;
-  // everything else is control traffic and always survives.
+  // everything else is control traffic and survives unless the queue is
+  // full of unread control frames, which dooms the connection.
   void enqueue(Connection& c, FrameType type, std::vector<std::uint8_t> frame);
+  // Neither enqueue nor flush_writes ever destroys the Connection —
+  // frame handlers up the stack still hold references into it. A send
+  // failure (or a drained close_after_flush queue) only marks it doomed;
+  // handle_io performs the close once the handler stack has unwound.
   void flush_writes(Connection& c);
+  void doom(Connection& c, const char* why);
   void close_connection(int fd, const char* why);
   void sweep_deadlines();
   void arm_sweep();
@@ -139,6 +160,7 @@ class Server {
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
   ServerStats stats_;
   bool draining_ = false;
+  bool control_allowed_ = true;  // resolved from control_policy in start()
   EventLoop::TimerId sweep_timer_ = 0;
 };
 

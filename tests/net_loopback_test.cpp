@@ -23,6 +23,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -476,7 +478,28 @@ bool wait_for_eof(int fd, int timeout_ms) {
     if (r <= 0) continue;
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n == 0) return true;
+    if (n < 0 && errno == EINTR) continue;  // sanitizers interrupt syscalls
     if (n < 0) return false;
+  }
+  return false;
+}
+
+// Like wait_for_eof but also accepts an abortive close: a daemon that
+// drops a misbehaving peer may close with replies still undelivered,
+// which surfaces as ECONNRESET rather than a clean EOF.
+bool wait_for_disconnect(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  std::uint8_t buf[4096];
+  const double deadline_ms = timeout_ms;
+  double waited = 0;
+  while (waited < deadline_ms) {
+    const int r = ::poll(&p, 1, 100);
+    waited += 100;
+    if (r <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) return true;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return errno == ECONNRESET || errno == EPIPE;
   }
   return false;
 }
@@ -519,6 +542,136 @@ TEST(NetLoopback, NonDrainingAgentShedsOldestDecisionsNotControlFrames) {
   EXPECT_EQ(stats.value("windows"), 4000u);
   EXPECT_LT(stats.value("decisions_shed"), 4000u);  // shed, not discarded all
   ::close(fd);
+}
+
+// A peer that streams control requests while never reading its socket
+// must not grow the daemon's write queue without bound: once the queue is
+// full of unsheddable control frames, the connection is dropped.
+TEST(NetLoopback, ControlFloodFromNonReadingPeerIsDropped) {
+  net::ServerConfig cfg = test_config();
+  cfg.max_write_queue = 8;
+  cfg.socket_sndbuf = 4096;
+  Harness h(core::MonitorSource::from_bytes(bundle_a()), cfg);
+
+  const int fd = raw::connect_to(h.port(), 2048);
+  std::vector<std::uint8_t> flood;
+  for (int i = 0; i < 2000; ++i) {
+    const auto frame = net::encode_stats_request();
+    flood.insert(flood.end(), frame.begin(), frame.end());
+  }
+  raw::send_all(fd, flood);
+
+  // While this socket stays unread, the in-flight budget (sndbuf + the
+  // peer's rcvbuf) caps out and every further reply lands in the write
+  // queue, so the overflow is inevitable; observe it through a healthy
+  // second connection before touching the flooded socket.
+  net::Client observer;
+  observer.connect("127.0.0.1", h.port());
+  std::uint64_t overflows = 0;
+  for (int i = 0; i < 100 && overflows == 0; ++i) {
+    overflows = observer.stats().value("write_queue_overflows");
+    if (overflows == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(overflows, 1u)
+      << "daemon kept queueing control replies for a non-reading peer";
+  // The misbehaving connection was dropped (the abortive close may
+  // surface as ECONNRESET rather than EOF), and the daemon still serves
+  // new sessions.
+  EXPECT_TRUE(raw::wait_for_disconnect(fd, 5000));
+  ::close(fd);
+  const auto reply = observer.hello({"post-flood", "hpc", 2, 1});
+  EXPECT_TRUE(reply.accepted) << reply.message;
+}
+
+// Regression for a use-after-free: a peer that disconnects mid-batch made
+// the decision send fail with EPIPE/ECONNRESET inside handle_batch's tick
+// loop; the old code destroyed the Connection from inside flush_writes
+// while the loop kept dereferencing it. Now a failed send only marks the
+// connection doomed and the close happens after the handler unwinds —
+// this test (under the asan label) hammers exactly that window.
+TEST(NetLoopback, PeerVanishingMidBatchLeavesServerHealthy) {
+  net::ServerConfig cfg = test_config();
+  cfg.max_write_queue = 8;
+  cfg.socket_sndbuf = 4096;
+  Harness h(core::MonitorSource::from_bytes(bundle_a()), cfg);
+
+  const auto stream = make_stream(cfg.num_tiers, 2000, 0.0, 913);
+  // Vary the delay between shipping the batches and the RST so the reset
+  // lands at different points of the server's tick loop.
+  for (const int delay_us : {0, 500, 2000, 8000}) {
+    const int fd = raw::connect_to(h.port(), 2048);
+    raw::send_all(fd, net::encode_hello_request(
+                          {"vanisher", "hpc",
+                           static_cast<std::uint16_t>(cfg.num_tiers), 1}));
+    // window=1: every tick closes a window and emits a DECISION, so the
+    // write path is exercised continuously while the batches process.
+    for (int start = 0; start < 2000; start += 500) {
+      SampleBatch batch;
+      batch.first_tick = static_cast<std::uint32_t>(start);
+      batch.ticks.assign(stream.begin() + start, stream.begin() + start + 500);
+      raw::send_all(fd, net::encode_sample_batch(batch));
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    // Abortive close: unread decision bytes make the kernel send RST, so
+    // the daemon's next send inside the tick loop fails hard.
+    const linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    ::close(fd);
+  }
+
+  // Whatever point each RST hit, the daemon must still be alive, closed
+  // the dead sessions, and serve a fresh stream correctly.
+  net::Client after;
+  after.connect("127.0.0.1", h.port());
+  const auto reply = after.hello({"survivor", "hpc", 2, 1});
+  ASSERT_TRUE(reply.accepted) << reply.message;
+  std::uint64_t closed = 0;
+  for (int i = 0; i < 100 && closed < 4; ++i) {
+    closed = after.stats().value("connections_closed");
+    if (closed < 4) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(closed, 4u);
+  ReferenceSession ref(h.source, cfg.num_tiers, 1, cfg);
+  const auto tail = make_stream(cfg.num_tiers, 8, 0.0, 914);
+  SampleBatch batch;
+  batch.ticks = tail;
+  after.send_batch(batch);
+  for (const auto& tick : tail) ref.feed(tick);
+  std::vector<DecisionFrame> wire;
+  while (wire.size() < ref.decisions.size())
+    wire.push_back(after.next_decision());
+  expect_identical(wire, ref.decisions, "post-vanish survivor");
+}
+
+// --- control-plane authorization ------------------------------------------
+
+TEST(NetLoopback, ControlPolicyDenyRefusesReloadAndShutdown) {
+  net::ServerConfig cfg = test_config();
+  cfg.control_policy = net::ControlPolicy::kDeny;
+  Harness h(core::MonitorSource::from_bytes(bundle_a()), cfg);
+
+  // RELOAD gets an explicit refusal reply; the model is untouched.
+  net::Client c;
+  c.connect("127.0.0.1", h.port());
+  const auto ack = c.reload("/tmp/should-not-be-read.model");
+  EXPECT_FALSE(ack.ok);
+  EXPECT_NE(ack.message.find("disabled"), std::string::npos) << ack.message;
+  EXPECT_EQ(ack.model_version, 1u);
+
+  // SHUTDOWN is refused by dropping the peer; the daemon keeps serving.
+  const int fd = raw::connect_to(h.port(), 0);
+  raw::send_all(fd, net::encode_shutdown());
+  EXPECT_TRUE(raw::wait_for_eof(fd, 5000));
+  ::close(fd);
+
+  net::Client after;
+  after.connect("127.0.0.1", h.port());
+  const auto stats = after.stats();
+  EXPECT_EQ(stats.value("control_rejected"), 2u);
+  EXPECT_EQ(stats.value("reloads"), 0u);
+  const auto reply = after.hello({"still-serving", "hpc", 2, 1});
+  EXPECT_TRUE(reply.accepted) << reply.message;
 }
 
 // --- connection hygiene ---------------------------------------------------

@@ -280,6 +280,29 @@ TEST(SerializeHostile, PredictorOptionBoundsAreEnforced) {
   corrupt_field(7, "-3");   // history source
 }
 
+// An SVM stream whose support-vector count and dimension each pass their
+// individual caps can still multiply out to a terabyte-scale reserve;
+// the product must be rejected before any allocation happens.
+TEST(SerializeHostile, SvmSupportVectorProductBoundedBeforeAllocation) {
+  std::ostringstream os;
+  os << "hpcap-classifier v1 3 SVM svm 1 1.0 0.5 ";
+  // mean_ (sets dim_ = 1024) and scale_: all zeros.
+  for (int rep = 0; rep < 2; ++rep) {
+    os << "1024 ";
+    for (int i = 0; i < 1024; ++i) os << "0 ";
+  }
+  // svs = 2^20 passes the per-count cap; 2^20 x 1024 does not.
+  os << "1048576 ";
+  std::stringstream is(os.str());
+  try {
+    ml::load_classifier(is);
+    FAIL() << "hostile svs x dim product accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds limit"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SerializeHostile, EmptyAndGarbageStreamsThrow) {
   {
     std::stringstream is("");

@@ -335,6 +335,18 @@ int cmd_serve(const Args& args) {
       args.num_or("handshake-timeout", cfg.handshake_timeout);
   cfg.max_write_queue = static_cast<std::size_t>(
       args.num_or("max-write-queue", static_cast<double>(cfg.max_write_queue)));
+  const std::string control = args.get_or("control", "auto");
+  if (control == "auto")
+    cfg.control_policy = net::ControlPolicy::kAuto;
+  else if (control == "allow")
+    cfg.control_policy = net::ControlPolicy::kAllow;
+  else if (control == "deny")
+    cfg.control_policy = net::ControlPolicy::kDeny;
+  else {
+    std::fprintf(stderr, "serve: unknown control policy '%s'\n",
+                 control.c_str());
+    return 2;
+  }
   if (args.has("verbose")) set_log_level(LogLevel::kInfo);
   try {
     return net::run_daemon(cfg, *model, /*install_signals=*/true);
@@ -516,7 +528,7 @@ int main(int argc, char** argv) {
   if (cmd == "serve")
     return run("serve",
                {"model", "port", "bind", "num-tiers", "idle-timeout",
-                "handshake-timeout", "max-write-queue", "verbose"},
+                "handshake-timeout", "max-write-queue", "control", "verbose"},
                cmd_serve);
   if (cmd == "stream")
     return run("stream",

@@ -9,8 +9,13 @@
 //
 //   hpcapd --model FILE [--port N] [--bind ADDR] [--num-tiers K]
 //          [--idle-timeout S] [--handshake-timeout S]
-//          [--max-write-queue N] [--log-level debug|info|warn|error]
-//          [--version]
+//          [--max-write-queue N] [--control auto|allow|deny]
+//          [--log-level debug|info|warn|error] [--version]
+//
+// RELOAD/SHUTDOWN frames carry no peer authentication, so by default
+// (--control auto) they are honored only on a loopback bind; --control
+// allow opts a non-loopback bind in, --control deny refuses them even
+// on loopback (SIGHUP/SIGTERM still work).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +32,7 @@ void usage(std::FILE* to) {
                "usage: hpcapd --model FILE [--port N] [--bind ADDR]\n"
                "              [--num-tiers K] [--idle-timeout S]\n"
                "              [--handshake-timeout S] [--max-write-queue N]\n"
+               "              [--control auto|allow|deny]\n"
                "              [--log-level debug|info|warn|error]\n"
                "       hpcapd --version\n");
 }
@@ -77,6 +83,19 @@ int main(int argc, char** argv) {
       cfg.handshake_timeout = std::atof(value());
     } else if (arg == "--max-write-queue") {
       cfg.max_write_queue = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--control") {
+      const std::string policy = value();
+      if (policy == "auto")
+        cfg.control_policy = hpcap::net::ControlPolicy::kAuto;
+      else if (policy == "allow")
+        cfg.control_policy = hpcap::net::ControlPolicy::kAllow;
+      else if (policy == "deny")
+        cfg.control_policy = hpcap::net::ControlPolicy::kDeny;
+      else {
+        std::fprintf(stderr, "hpcapd: unknown control policy '%s'\n",
+                     policy.c_str());
+        return 2;
+      }
     } else if (arg == "--log-level") {
       hpcap::LogLevel level;
       if (!parse_log_level(value(), &level)) {
