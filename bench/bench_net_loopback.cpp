@@ -150,7 +150,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
-      ticks = std::atoi(argv[++i]);
+      char* end = nullptr;
+      ticks = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "bench_net_loopback: --ticks needs an integer\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "usage: %s [--json PATH] [--ticks N]\n", argv[0]);
       return 2;
@@ -215,7 +220,8 @@ int main(int argc, char** argv) {
   }
   std::sort(rtt_us.begin(), rtt_us.end());
   const auto quantile = [&](double q) {
-    const auto idx = static_cast<std::size_t>(q * (rtt_us.size() - 1));
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(rtt_us.size() - 1));
     return rtt_us[idx];
   };
   const double p50 = quantile(0.50);

@@ -21,9 +21,19 @@ void PerfctrEmulator::advance(const sim::Tier::IntervalStats& stats) {
   const auto sample = model_.synthesize(stats);
   for (std::size_t e = 0; e < kPerfctrEventCount; ++e) {
     const double v = sample[kCatalogIndex[e]];
-    counts_[e] =
-        (counts_[e] + (v > 0.0 ? static_cast<std::uint64_t>(v) : 0u)) &
-        kCounterMask;
+    // Guarded float→integer conversion: the plain cast is undefined for
+    // NaN and for values >= 2^64, and corrupted interval records (the
+    // fault layer's +Inf / 1e30 garbage class) do reach this path. NaN
+    // fails both comparisons and counts nothing; anything at or above
+    // the counter width saturates at the mask — a junk read cannot
+    // carry more than one full wrap of information.
+    std::uint64_t inc = 0;
+    if (v >= static_cast<double>(kCounterMask)) {
+      inc = kCounterMask;
+    } else if (v > 0.0) {
+      inc = static_cast<std::uint64_t>(v);
+    }
+    counts_[e] = (counts_[e] + inc) & kCounterMask;
   }
 }
 

@@ -60,7 +60,11 @@ class PerfctrEmulator {
   PerfctrEmulator(sim::Tier::Config tier, std::uint64_t seed);
 
   // Accumulates one sampling interval's activity into the counters
-  // (modulo 2^40, as the hardware does).
+  // (modulo 2^40, as the hardware does). Garbage samples are defined
+  // behavior: NaN counts nothing, and a value at or above the counter
+  // width (the fault layer's +Inf / 1e30 junk class) saturates the
+  // increment at kCounterMask instead of hitting an undefined
+  // float→integer cast.
   void advance(const sim::Tier::IntervalStats& stats);
 
   // Reads the cumulative counters (monotone modulo the counter width).

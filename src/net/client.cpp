@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 namespace hpcap::net {
@@ -21,6 +22,19 @@ double monotonic_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// ::poll takes int milliseconds; the raw double→int cast is undefined
+// once timeout_seconds*1000 leaves int's range, and the value arrives
+// from caller/CLI flags (anything over ~24.8 days used to be UB).
+// Saturate at INT_MAX ms; NaN and non-positive values poll with zero
+// wait so the caller's deadline loop stays in charge.
+int poll_timeout_ms(double timeout_seconds) {
+  const double ms = timeout_seconds * 1000.0;
+  if (!(ms > 0.0)) return 0;
+  if (ms >= static_cast<double>(std::numeric_limits<int>::max()))
+    return std::numeric_limits<int>::max();
+  return static_cast<int>(ms);
 }
 
 [[noreturn]] void fail(const std::string& what) {
@@ -63,8 +77,7 @@ void Client::connect(const std::string& host, std::uint16_t port,
   }
   if (rc != 0) {
     pollfd p{fd, POLLOUT, 0};
-    const int ready =
-        ::poll(&p, 1, static_cast<int>(timeout_seconds * 1000.0));
+    const int ready = ::poll(&p, 1, poll_timeout_ms(timeout_seconds));
     int soerr = 0;
     socklen_t len = sizeof soerr;
     if (ready > 0)
@@ -105,8 +118,7 @@ void Client::send_all(const std::vector<std::uint8_t>& bytes) {
 
 bool Client::fill(double timeout_seconds) {
   pollfd p{fd_, POLLIN, 0};
-  const int ready =
-      ::poll(&p, 1, static_cast<int>(timeout_seconds * 1000.0));
+  const int ready = ::poll(&p, 1, poll_timeout_ms(timeout_seconds));
   if (ready < 0) {
     if (errno == EINTR) return true;
     fail(std::string("poll: ") + std::strerror(errno));

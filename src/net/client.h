@@ -25,7 +25,10 @@ class Client {
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept;
 
-  // Throws std::runtime_error on refusal/timeout.
+  // Throws std::runtime_error on refusal/timeout. Every timeout_seconds
+  // below saturates at INT_MAX milliseconds (~24.8 days) — pass a huge
+  // value for "effectively forever" — and NaN or non-positive values
+  // mean a zero-wait poll (an immediate timeout if nothing is pending).
   void connect(const std::string& host, std::uint16_t port,
                double timeout_seconds = 5.0);
   void close();

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "counters/hpc_model.h"
 #include "counters/metric_catalog.h"
@@ -388,6 +389,43 @@ TEST(Perfctr, AdvanceStaysWithinCounterWidth) {
   const auto counts = dev.read();
   for (std::size_t e = 0; e < kPerfctrEventCount; ++e)
     EXPECT_LE(counts[e], PerfctrEmulator::kCounterMask);
+}
+
+TEST(Perfctr, AdvanceSaturatesGarbageSamplesWithoutUndefinedCasts) {
+  // Regression: a corrupted interval record — the fault layer's
+  // "garbage" class produces exactly this shape (+Inf, NaN, 1e30-style
+  // uninitialized-buffer junk) — used to flow into an unguarded
+  // double→uint64 cast in advance(). That cast is undefined behavior
+  // once the value is NaN or ≥ 2^64, and -fsanitize=float-cast-overflow
+  // aborts on it. The emulator must instead saturate the per-interval
+  // increment at the counter mask (a junk read cannot carry more than
+  // one full wrap of information) and count NaN as nothing.
+  sim::Tier::IntervalStats junk{};
+  junk.duration = 1.0;
+
+  {
+    PerfctrEmulator dev(test_tier(), 29);
+    junk.instr_done = 1e30;  // huge finite junk, far above 2^64
+    dev.advance(junk);
+    const auto counts = dev.read();
+    EXPECT_EQ(counts[kEvtInstrRetired], PerfctrEmulator::kCounterMask);
+    for (std::size_t e = 0; e < kPerfctrEventCount; ++e)
+      EXPECT_LE(counts[e], PerfctrEmulator::kCounterMask);
+  }
+  {
+    PerfctrEmulator dev(test_tier(), 29);
+    junk.instr_done = std::numeric_limits<double>::infinity();
+    dev.advance(junk);
+    EXPECT_EQ(dev.read()[kEvtInstrRetired], PerfctrEmulator::kCounterMask);
+  }
+  {
+    PerfctrEmulator dev(test_tier(), 29);
+    junk.instr_done = std::numeric_limits<double>::quiet_NaN();
+    dev.advance(junk);
+    // NaN fails every ordering comparison: it must count as zero, not
+    // trip the conversion.
+    EXPECT_EQ(dev.read()[kEvtInstrRetired], 0u);
+  }
 }
 
 TEST(Perfctr, CatalogMappingIsValid) {

@@ -170,8 +170,9 @@ TEST(FaultChaos, FivePercentMixedFaultsRetainNinetyPercentAccuracy) {
     ASSERT_TRUE(chaos_decisions[i].state == 0 ||
                 chaos_decisions[i].state == 1);
     ASSERT_GE(chaos_decisions[i].staleness, 0);
-    if (chaos_decisions[i].staleness > 0)
+    if (chaos_decisions[i].staleness > 0) {
       EXPECT_TRUE(chaos_decisions[i].degraded);
+    }
   }
   const double clean_ba = clean_c.balanced_accuracy();
   const double chaos_ba = chaos_c.balanced_accuracy();

@@ -109,8 +109,8 @@ INSTANTIATE_TEST_SUITE_P(Learners, AllLearnersTest,
                                            LearnerKind::kNaiveBayes,
                                            LearnerKind::kSvm,
                                            LearnerKind::kTan),
-                         [](const auto& info) {
-                           return learner_name(info.param);
+                         [](const auto& param_info) {
+                           return learner_name(param_info.param);
                          });
 
 TEST(LinearRegression, FailsOnXor) {

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -350,6 +351,34 @@ TEST(NetLoopback, WireDecisionsBitIdenticalAcrossConcurrentConnections) {
   EXPECT_EQ(stats.value("protocol_version"), net::kProtocolVersion);
 }
 
+TEST(NetLoopback, HugeTimeoutsClampInsteadOfUndefinedCast) {
+  // Regression: Client converted timeout_seconds to ::poll milliseconds
+  // with a raw double→int cast, which is undefined behavior once the
+  // product leaves int's range — reachable from the CLI with any
+  // --handshake-timeout over ~24.8 days (INT_MAX ms). The conversion
+  // now saturates, so an effectively-infinite timeout still connects
+  // and handshakes promptly against a live daemon.
+  const net::ServerConfig cfg = test_config();
+  Harness h(core::MonitorSource::from_bytes(bundle_a()), cfg);
+
+  net::Client client;
+  client.connect("127.0.0.1", h.port(), 1e18);
+  net::HelloRequest hello;
+  hello.agent = "huge-timeout";
+  hello.level = "hpc";
+  hello.num_tiers = static_cast<std::uint16_t>(cfg.num_tiers);
+  hello.window = 4;
+  const auto reply = client.hello(hello, 1e18);
+  ASSERT_TRUE(reply.accepted) << reply.message;
+  // And the other direction: a NaN timeout must degrade to a zero-wait
+  // poll (an immediate "timed out"), never an unbounded block or UB.
+  // No samples were sent, so no DECISION can ever arrive — the throw is
+  // deterministic.
+  EXPECT_THROW(
+      client.next_decision(std::numeric_limits<double>::quiet_NaN()),
+      std::runtime_error);
+}
+
 // --- RELOAD lifecycle -----------------------------------------------------
 
 TEST(NetLoopback, ReloadMidStreamKeepsSessionsAndDropsNoConnections) {
@@ -530,14 +559,35 @@ TEST(NetLoopback, NonDrainingAgentShedsOldestDecisionsNotControlFrames) {
 
   // A healthy second connection observes the shedding through STATS (a
   // control frame, which is never shed even on the stalled connection).
+  // It completes a HELLO so the server's handshake timeout cannot drop
+  // it while it waits out the stalled stream under sanitizer slowdown.
   net::Client observer;
   observer.connect("127.0.0.1", h.port());
+  ASSERT_TRUE(observer
+                  .hello({"observer", "hpc",
+                          static_cast<std::uint16_t>(cfg.num_tiers), 1})
+                  .accepted);
   std::uint64_t shed = 0;
   for (int i = 0; i < 100 && shed == 0; ++i) {
     shed = observer.stats().value("decisions_shed");
     if (shed == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   EXPECT_GT(shed, 0u) << "stalled agent never triggered decision shedding";
+  // Shedding starts after only max_write_queue windows, while the server
+  // is still digesting the 4000-tick stream — keep polling until it has
+  // consumed all of it before asserting on the totals. The wait is
+  // progress-based, not wall-clock-based: under sanitizer slowdown and
+  // parallel test load the drain can take arbitrarily long, so only a
+  // server that stops making progress for 10 s ends the loop early.
+  std::uint64_t windows = 0;
+  int stalled_polls = 0;
+  while (windows < 4000 && stalled_polls < 200) {
+    const std::uint64_t now = observer.stats().value("windows");
+    stalled_polls = now == windows ? stalled_polls + 1 : 0;
+    windows = now;
+    if (windows < 4000)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
   const auto stats = observer.stats();
   EXPECT_EQ(stats.value("windows"), 4000u);
   EXPECT_LT(stats.value("decisions_shed"), 4000u);  // shed, not discarded all

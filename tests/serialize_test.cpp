@@ -59,8 +59,8 @@ INSTANTIATE_TEST_SUITE_P(AllLearners, RoundTripTest,
                                            ml::LearnerKind::kNaiveBayes,
                                            ml::LearnerKind::kSvm,
                                            ml::LearnerKind::kTan),
-                         [](const auto& info) {
-                           return ml::learner_name(info.param);
+                         [](const auto& param_info) {
+                           return ml::learner_name(param_info.param);
                          });
 
 TEST(Serialize, UnfittedClassifierRefusesToSave) {

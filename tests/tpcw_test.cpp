@@ -413,7 +413,6 @@ TEST(OpenLoop, RateIndependentOfServiceSpeed) {
 TEST(OpenLoop, MmppBurstsRaiseArrivals) {
   sim::EventQueue eq;
   RequestFactory factory(5);
-  FakeServer server{eq, 0.001};
   OpenLoopConfig quiet;
   quiet.rate_rps = 20.0;
   OpenLoopConfig bursty = quiet;

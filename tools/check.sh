@@ -1,27 +1,50 @@
 #!/usr/bin/env bash
 # One-command verification gate: the default build + full suite, the
-# bench-smoke parallel-overhead guard, and the sanitizer suites that the
-# tsan/asan ctest labels mark.
+# bench-smoke parallel-overhead guard, the static-analysis gate, and the
+# sanitizer suites that the tsan/asan/ubsan ctest labels mark.
 #
-# Usage: tools/check.sh [fast|full]
+# Usage: tools/check.sh [fast|full|lint]
 #   fast (default) - default build: full ctest + bench-smoke + net labels
-#   full           - fast, plus -DHPCAP_TSAN=ON (ctest -L tsan) and
-#                    -DHPCAP_ASAN=ON (ctest -L asan) builds
+#   full           - fast, plus -DHPCAP_TSAN=ON (ctest -L tsan),
+#                    -DHPCAP_ASAN=ON (ctest -L asan) and
+#                    -DHPCAP_UBSAN=ON (ctest -L ubsan) builds
+#   lint           - static analysis only: build + run hpcap_lint
+#                    (self-test, then the whole tree) and clang-tidy over
+#                    src/ when clang-tidy is installed
 #
 # Exits non-zero on the first failing step. Build trees: build/,
-# build-tsan/, build-asan/ under the repo root.
+# build-tsan/, build-asan/, build-ubsan/ under the repo root.
 set -euo pipefail
 
 mode="${1:-fast}"
 case "$mode" in
-  fast|full) ;;
-  *) echo "usage: $0 [fast|full]" >&2; exit 2 ;;
+  fast|full|lint) ;;
+  *) echo "usage: $0 [fast|full|lint]" >&2; exit 2 ;;
 esac
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 step() { printf '\n== %s ==\n' "$*"; }
+
+if [ "$mode" = "lint" ]; then
+  step "configure + build hpcap_lint"
+  cmake -B "$root/build" -S "$root" >/dev/null
+  cmake --build "$root/build" -j "$jobs" --target hpcap_lint
+
+  step "hpcap_lint self-test (every rule fires on seeded violations)"
+  "$root/build/tools/hpcap_lint" --self-test
+
+  step "hpcap_lint over the tree"
+  "$root/build/tools/hpcap_lint" --root "$root"
+
+  step "clang-tidy over src/ (skips with a notice when not installed)"
+  cmake -DSOURCE_DIR="$root" -DBUILD_DIR="$root/build" \
+        -P "$root/tools/clang_tidy_check.cmake"
+
+  step "all checks passed (lint)"
+  exit 0
+fi
 
 step "default build"
 cmake -B "$root/build" -S "$root" >/dev/null
@@ -48,6 +71,11 @@ if [ "$mode" = "full" ]; then
   cmake --build "$root/build-asan" -j "$jobs"
   ctest --test-dir "$root/build-asan" -L asan --output-on-failure
   ctest --test-dir "$root/build-asan" -L net --output-on-failure
+
+  step "ubsan build + ctest -L ubsan (net + ml + counters decode paths)"
+  cmake -B "$root/build-ubsan" -S "$root" -DHPCAP_UBSAN=ON >/dev/null
+  cmake --build "$root/build-ubsan" -j "$jobs"
+  ctest --test-dir "$root/build-ubsan" -L ubsan --output-on-failure
 fi
 
 step "all checks passed ($mode)"

@@ -1,0 +1,977 @@
+// hpcap_lint — the project's bespoke invariant checker.
+//
+// A deliberately small token/line-level linter (no libclang, C++17 only)
+// that enforces the repo's correctness contracts where a compiler cannot:
+//
+//   banned-function   strcpy/sprintf/atoi/rand/std::time and friends are
+//                     forbidden; rand/srand/time are additionally allowed
+//                     inside src/sim/ and src/util/rng (seed plumbing).
+//   no-const-cast     const_cast is forbidden in src/.
+//   no-naked-new      naked new/delete expressions are forbidden in src/
+//                     (use std::make_unique / containers; `= delete` and
+//                     `operator new/delete` declarations are exempt).
+//   bounded-decode    in the decode surfaces (src/net/protocol.*,
+//                     src/ml/serialize.*, src/core/model_io.*) every
+//                     resize/reserve/assign must take a count that passed
+//                     through the read_count()/checked_count() guard
+//                     pattern — a raw read_u32() or an unguarded variable
+//                     feeding an allocation is a finding.
+//   unordered-output  iterating a std::unordered_map/set while producing
+//                     serialized or wire output (put_*/write_*/encode_*/
+//                     save/operator<<) leaks nondeterministic order into
+//                     bytes the determinism contract says are stable.
+//   pragma-once       every header's first code line is #pragma once.
+//   include-hygiene   no duplicate includes, no "../" includes, no C
+//                     headers with <cXXX> equivalents, and a src/ .cpp
+//                     includes its own header first.
+//
+// Escape hatch: a comment containing `hpcap-lint: allow(rule-a, rule-b)`
+// (or allow(all)) suppresses those rules on its own line, or on the next
+// line when the comment stands alone. Every allow should carry a
+// justification in the surrounding comment.
+//
+// `hpcap_lint --self-test` runs an embedded suite that seeds each
+// violation class and asserts the rule fires (and that a clean twin and
+// an allow()'d twin do not).
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Scrubber: per-line view of the source with comment bodies and
+// string/char-literal contents blanked out (structure preserved), plus the
+// comment text per line (for allow() directives).
+// ---------------------------------------------------------------------------
+
+struct FileText {
+  std::vector<std::string> raw;      // original text (for #include paths)
+  std::vector<std::string> code;     // literals/comments blanked
+  std::vector<std::string> comment;  // comment text, concatenated per line
+};
+
+FileText scrub(const std::string& content) {
+  FileText out;
+  {
+    std::string line;
+    for (char c : content) {
+      if (c == '\n') {
+        out.raw.push_back(line);
+        line.clear();
+      } else {
+        line += c;
+      }
+    }
+    out.raw.push_back(line);
+  }
+  std::string code_line, comment_line;
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for raw strings: )delim"
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLine) st = St::kCode;
+      out.code.push_back(code_line);
+      out.comment.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string? look back for R (and optional encoding prefix).
+          bool raw = false;
+          if (!code_line.empty() && code_line.back() == 'R') {
+            std::size_t j = code_line.size();
+            // u8R, uR, UR, LR all end in R immediately before the quote.
+            raw = j < 2 || !(std::isalnum(static_cast<unsigned char>(
+                                 code_line[j - 2])) ||
+                             code_line[j - 2] == '_');
+            raw = raw || code_line[j - 2] == 'u' || code_line[j - 2] == 'U' ||
+                  code_line[j - 2] == 'L' || code_line[j - 2] == '8';
+          }
+          if (raw) {
+            raw_delim = ")";
+            std::size_t j = i + 1;
+            while (j < n && content[j] != '(' && content[j] != '\n') {
+              raw_delim += content[j];
+              ++j;
+            }
+            raw_delim += '"';
+            st = St::kRaw;
+          } else {
+            st = St::kStr;
+          }
+          code_line += '"';
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are not char literals.
+          const bool digit_sep =
+              !code_line.empty() &&
+              std::isdigit(static_cast<unsigned char>(code_line.back())) &&
+              std::isalnum(static_cast<unsigned char>(next));
+          if (digit_sep) {
+            code_line += '\'';
+          } else {
+            st = St::kChar;
+            code_line += '\'';
+          }
+        } else {
+          code_line += c;
+        }
+        break;
+      case St::kLine:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case St::kRaw: {
+        // Match the closing )delim" sequence.
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            if (i + k < n && content[i + k] == '\n') break;
+            code_line += ' ';
+          }
+          code_line.back() = '"';
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  out.code.push_back(code_line);
+  out.comment.push_back(comment_line);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small token helpers over the scrubbed code.
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Token {
+  std::string text;
+  std::size_t col = 0;  // 0-based start column
+};
+
+std::vector<Token> identifiers(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (ident_char(line[i])) {
+      std::size_t j = i;
+      while (j < line.size() && ident_char(line[j])) ++j;
+      out.push_back({line.substr(i, j - i), i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+char next_nonspace(const std::string& line, std::size_t from) {
+  for (std::size_t i = from; i < line.size(); ++i)
+    if (!std::isspace(static_cast<unsigned char>(line[i]))) return line[i];
+  return '\0';
+}
+
+char prev_nonspace(const std::string& line, std::size_t before) {
+  for (std::size_t i = before; i-- > 0;)
+    if (!std::isspace(static_cast<unsigned char>(line[i]))) return line[i];
+  return '\0';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// allow() directives.
+// ---------------------------------------------------------------------------
+
+// allows[line] = set of rule names suppressed on that 0-based line.
+std::vector<std::set<std::string>> parse_allows(const FileText& text) {
+  std::vector<std::set<std::string>> allows(text.code.size());
+  for (std::size_t i = 0; i < text.comment.size(); ++i) {
+    const std::string& c = text.comment[i];
+    const std::size_t at = c.find("hpcap-lint:");
+    if (at == std::string::npos) continue;
+    const std::size_t open = c.find("allow(", at);
+    if (open == std::string::npos) continue;
+    const std::size_t close = c.find(')', open);
+    if (close == std::string::npos) continue;
+    std::set<std::string> rules;
+    std::string list = c.substr(open + 6, close - open - 6);
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      item = trim(item);
+      if (!item.empty()) rules.insert(item);
+    }
+    allows[i].insert(rules.begin(), rules.end());
+    // A comment-only line covers the next line of code too.
+    if (trim(text.code[i]).empty() && i + 1 < allows.size())
+      allows[i + 1].insert(rules.begin(), rules.end());
+  }
+  return allows;
+}
+
+bool allowed(const std::vector<std::set<std::string>>& allows,
+             std::size_t line0, const std::string& rule) {
+  if (line0 >= allows.size()) return false;
+  return allows[line0].count(rule) > 0 || allows[line0].count("all") > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule implementations. Paths are repo-relative with forward slashes.
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+  std::string path;
+  const FileText& text;
+  const std::vector<std::set<std::string>>& allows;
+  std::vector<Finding>& findings;
+
+  void report(std::size_t line0, const std::string& rule,
+              const std::string& msg) {
+    if (allowed(allows, line0, rule)) return;
+    findings.push_back({path, line0 + 1, rule, msg});
+  }
+};
+
+bool in_src(const std::string& p) { return starts_with(p, "src/"); }
+
+bool seed_exempt(const std::string& p) {
+  // The simulator clock and the project Rng are the sanctioned seed
+  // plumbing; everything else injects time/randomness through them.
+  return starts_with(p, "src/sim/") || contains(p, "src/util/rng");
+}
+
+bool decode_scope(const std::string& p) {
+  return starts_with(p, "src/net/protocol.") ||
+         starts_with(p, "src/ml/serialize.") ||
+         starts_with(p, "src/core/model_io.");
+}
+
+void rule_banned_function(Ctx& ctx) {
+  const std::string& p = ctx.path;
+  if (!(in_src(p) || starts_with(p, "tools/") || starts_with(p, "bench/")))
+    return;
+  static const std::set<std::string> kAlways = {
+      "strcpy", "strcat",  "sprintf", "vsprintf", "gets",
+      "atoi",   "atol",    "atoll",   "atof"};
+  static const std::set<std::string> kSeed = {"rand", "srand", "rand_r",
+                                              "time"};
+  static const std::map<std::string, std::string> kWhy = {
+      {"strcpy", "unbounded copy; use std::string or std::snprintf"},
+      {"strcat", "unbounded append; use std::string"},
+      {"sprintf", "unbounded format; use std::snprintf"},
+      {"vsprintf", "unbounded format; use std::vsnprintf"},
+      {"gets", "unbounded read; removed from the language"},
+      {"atoi", "silent on garbage/overflow; use std::strtol and check end"},
+      {"atol", "silent on garbage/overflow; use std::strtol and check end"},
+      {"atoll", "silent on garbage/overflow; use std::strtoll and check end"},
+      {"atof", "silent on garbage; use std::strtod and check end"},
+      {"rand", "hidden global state breaks determinism; use util::Rng"},
+      {"srand", "hidden global state breaks determinism; use util::Rng"},
+      {"rand_r", "non-reproducible; use util::Rng"},
+      {"time", "wall clock leaks nondeterminism; use sim/loop time"},
+  };
+  for (std::size_t i = 0; i < ctx.text.code.size(); ++i) {
+    const std::string& line = ctx.text.code[i];
+    for (const Token& t : identifiers(line)) {
+      const bool always = kAlways.count(t.text) > 0;
+      const bool seed = kSeed.count(t.text) > 0 && !seed_exempt(p);
+      if (!always && !seed) continue;
+      // Must look like a call, and not a member / suffix of another name.
+      if (next_nonspace(line, t.col + t.text.size()) != '(') continue;
+      const char before = prev_nonspace(line, t.col);
+      if (before == '.' || before == '>') continue;  // obj.time(, obj->rand(
+      ctx.report(i, "banned-function",
+                 "banned function '" + t.text + "': " + kWhy.at(t.text));
+    }
+  }
+}
+
+void rule_no_const_cast(Ctx& ctx) {
+  if (!in_src(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.text.code.size(); ++i)
+    for (const Token& t : identifiers(ctx.text.code[i]))
+      if (t.text == "const_cast")
+        ctx.report(i, "no-const-cast",
+                   "const_cast is forbidden in src/ — restructure ownership "
+                   "or make the accessor non-const");
+}
+
+void rule_no_naked_new(Ctx& ctx) {
+  if (!in_src(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.text.code.size(); ++i) {
+    const std::string& line = ctx.text.code[i];
+    const auto toks = identifiers(line);
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+      const Token& t = toks[k];
+      if (t.text != "new" && t.text != "delete") continue;
+      // `operator new` / `operator delete` declarations are fine.
+      if (k > 0 && toks[k - 1].text == "operator") continue;
+      // `= delete;` / `= delete(` (deleted functions) are fine.
+      if (t.text == "delete" && prev_nonspace(line, t.col) == '=') continue;
+      ctx.report(i, "no-naked-new",
+                 "naked '" + t.text +
+                     "' in src/ — use std::make_unique, containers, or an "
+                     "RAII owner");
+    }
+  }
+}
+
+// Collect the balanced-paren argument text of a call starting at the '('.
+// Returns the argument text (parens excluded) or nullopt-ish empty+false
+// if unbalanced within `max_lines`.
+bool call_argument(const std::vector<std::string>& code, std::size_t line0,
+                   std::size_t open_col, std::size_t max_lines,
+                   std::string* out) {
+  int depth = 0;
+  std::string arg;
+  for (std::size_t l = line0; l < code.size() && l < line0 + max_lines; ++l) {
+    const std::string& s = code[l];
+    std::size_t start = (l == line0) ? open_col : 0;
+    for (std::size_t i = start; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          *out = arg;
+          return true;
+        }
+      }
+      if (depth >= 1) arg += c;
+    }
+    arg += ' ';
+  }
+  return false;
+}
+
+void rule_bounded_decode(Ctx& ctx) {
+  if (!decode_scope(ctx.path)) return;
+  const auto& code = ctx.text.code;
+
+  // Guarded identifiers: anything on a line that visibly bounds a count —
+  // read_count()/checked_count() guards, or sizes of already-materialized
+  // containers (.size()/.length()/remaining()).
+  std::set<std::string> guarded;
+  for (const std::string& line : code) {
+    if (contains(line, "read_count(") || contains(line, "checked_count(") ||
+        contains(line, ".size(") || contains(line, ".length(") ||
+        contains(line, "remaining("))
+      for (const Token& t : identifiers(line)) guarded.insert(t.text);
+  }
+
+  static const char* kRawReads[] = {
+      "read_u8(",  "read_u16(", "read_u32(",    "read_u64(",
+      "read_i32(", "read_f64(", "read_size(",   "read_double(",
+      "strtol(",   "strtoll(",  "strtoul(",     "strtoull("};
+  static const std::set<std::string> kNeutral = {
+      "std",    "size_t",   "uint8_t",  "uint16_t", "uint32_t", "uint64_t",
+      "int8_t", "int16_t",  "int32_t",  "int64_t",  "ptrdiff_t",
+      "sizeof", "static_cast", "const", "true",     "false",    "char",
+      "int",    "long",     "unsigned", "double",   "float",    "auto"};
+
+  static const char* kAllocCalls[] = {".resize(", ".reserve(", ".assign("};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const char* pat : kAllocCalls) {
+      std::size_t at = 0;
+      while ((at = code[i].find(pat, at)) != std::string::npos) {
+        const std::size_t open = at + std::strlen(pat) - 1;
+        std::string arg;
+        if (!call_argument(code, i, open, 10, &arg)) {
+          ++at;
+          continue;
+        }
+        at = open + 1;
+        // Iterator-range assigns are not count allocations.
+        if (contains(arg, "begin(")) continue;
+        // The guard itself inside the argument bounds it.
+        if (contains(arg, "read_count(") || contains(arg, "checked_count("))
+          continue;
+        bool raw = false;
+        for (const char* r : kRawReads)
+          if (contains(arg, r)) raw = true;
+        if (raw) {
+          ctx.report(i, "bounded-decode",
+                     "allocation sized by a raw stream read — bound the "
+                     "count with read_count()/checked_count() first");
+          continue;
+        }
+        for (const Token& t : identifiers(arg)) {
+          if (kNeutral.count(t.text)) continue;
+          if (std::isdigit(static_cast<unsigned char>(t.text[0]))) continue;
+          // kConstant-style compile-time caps.
+          if (t.text.size() >= 2 && t.text[0] == 'k' &&
+              std::isupper(static_cast<unsigned char>(t.text[1])))
+            continue;
+          // Function calls (size(), min(), ...) — the callee name itself
+          // is not a count variable.
+          const std::size_t after = arg.find_first_not_of(
+              " \t", t.col + t.text.size());
+          if (after != std::string::npos && arg[after] == '(') continue;
+          if (guarded.count(t.text)) continue;
+          ctx.report(i, "bounded-decode",
+                     "count '" + t.text +
+                         "' feeds an allocation but never passed through "
+                         "read_count()/checked_count()");
+        }
+      }
+    }
+  }
+}
+
+void rule_unordered_output(Ctx& ctx) {
+  if (!in_src(ctx.path)) return;
+  const auto& code = ctx.text.code;
+
+  // Names declared with an unordered container type (single-line decls —
+  // the project's style keeps declarations on one line).
+  std::set<std::string> unordered_names;
+  for (const std::string& line : code) {
+    if (!contains(line, "unordered_map<") && !contains(line, "unordered_set<"))
+      continue;
+    const auto toks = identifiers(line);
+    if (toks.empty()) continue;
+    // Declaration-ish lines end in ';' '{' or '=...'; take the last
+    // identifier before any initializer as the variable name.
+    const std::string t = trim(line);
+    if (t.empty() || (t.back() != ';' && t.back() != '{')) continue;
+    unordered_names.insert(toks.back().text);
+  }
+  if (unordered_names.empty()) return;
+
+  static const char* kSinks[] = {"put_",   "write_", "encode_", "serialize",
+                                 ".save(", "<<"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    const std::size_t for_at = line.find("for");
+    if (for_at == std::string::npos) continue;
+    // Whole-word "for".
+    if ((for_at > 0 && ident_char(line[for_at - 1])) ||
+        (for_at + 3 < line.size() && ident_char(line[for_at + 3])))
+      continue;
+    const std::size_t open = line.find('(', for_at);
+    if (open == std::string::npos) continue;
+    std::string head;
+    if (!call_argument(code, i, open, 4, &head)) continue;
+    const std::size_t colon = head.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string range = head.substr(colon + 1);
+    bool over_unordered = false;
+    for (const Token& t : identifiers(range))
+      if (unordered_names.count(t.text)) over_unordered = true;
+    if (!over_unordered) continue;
+    // Scan the loop body: braces from the statement end, or one statement.
+    std::string body;
+    {
+      int depth = 0;
+      bool seen_brace = false;
+      std::size_t scanned = 0;
+      for (std::size_t l = i; l < code.size() && scanned < 200; ++l, ++scanned) {
+        const std::string& s = code[l];
+        std::size_t start = (l == i) ? line.find(')', open) : 0;
+        if (l == i && start == std::string::npos) start = line.size();
+        for (std::size_t k2 = start; k2 < s.size(); ++k2) {
+          const char c = s[k2];
+          if (c == '{') {
+            ++depth;
+            seen_brace = true;
+          } else if (c == '}') {
+            --depth;
+          } else if (c == ';' && !seen_brace) {
+            depth = -1;  // single-statement body ended
+          }
+          if (seen_brace || depth >= 0) body += c;
+          if ((seen_brace && depth == 0 && c == '}') || depth < 0) {
+            l = code.size();
+            break;
+          }
+        }
+        body += ' ';
+      }
+    }
+    for (const char* s : kSinks) {
+      if (contains(body, s)) {
+        ctx.report(i, "unordered-output",
+                   "iteration over unordered container feeds serialized or "
+                   "wire output — order is nondeterministic; copy to a "
+                   "sorted container first");
+        break;
+      }
+    }
+  }
+}
+
+void rule_pragma_once(Ctx& ctx) {
+  if (ctx.path.size() < 2 ||
+      ctx.path.compare(ctx.path.size() - 2, 2, ".h") != 0)
+    return;
+  for (std::size_t i = 0; i < ctx.text.code.size(); ++i) {
+    const std::string t = trim(ctx.text.code[i]);
+    if (t.empty()) continue;
+    if (t != "#pragma once")
+      ctx.report(i, "pragma-once",
+                 "header's first code line must be #pragma once");
+    return;
+  }
+  // Header with no code at all: still missing the guard.
+  ctx.report(0, "pragma-once", "header is missing #pragma once");
+}
+
+void rule_include_hygiene(Ctx& ctx) {
+  static const std::set<std::string> kCHeaders = {
+      "assert.h", "ctype.h",  "errno.h",  "float.h",  "inttypes.h",
+      "limits.h", "locale.h", "math.h",   "setjmp.h", "signal.h",
+      "stdarg.h", "stddef.h", "stdint.h", "stdio.h",  "stdlib.h",
+      "string.h", "time.h",   "wchar.h"};
+  std::set<std::string> seen;
+  // (line, path, index-among-all-includes) for quoted project includes.
+  struct Quoted {
+    std::size_t line;
+    std::string path;
+    std::size_t order;
+  };
+  std::vector<Quoted> quoted;
+  std::size_t include_count = 0;
+  for (std::size_t i = 0; i < ctx.text.code.size(); ++i) {
+    if (!starts_with(trim(ctx.text.code[i]), "#include")) continue;
+    // Use the raw text: the scrubber blanks quoted include paths.
+    const std::string t = trim(ctx.text.raw[i]);
+    const std::string inc = trim(t.substr(8));
+    if (inc.empty()) continue;
+    if (!seen.insert(inc).second)
+      ctx.report(i, "include-hygiene", "duplicate include " + inc);
+    const std::string inner =
+        inc.size() >= 2 ? inc.substr(1, inc.size() - 2) : "";
+    if (contains(inner, "../"))
+      ctx.report(i, "include-hygiene",
+                 "relative \"../\" include — include project headers as "
+                 "\"dir/file.h\" from the src/ root");
+    if (inc[0] == '<' && kCHeaders.count(inner))
+      ctx.report(i, "include-hygiene",
+                 "C header <" + inner + "> — use the <c...> equivalent");
+    if (inc[0] == '"') quoted.push_back({i, inner, include_count});
+    ++include_count;
+  }
+  // src/ .cpp files include their own header first (interface-first
+  // ordering also proves the header is self-contained).
+  if (in_src(ctx.path) && ctx.path.size() > 4 &&
+      ctx.path.compare(ctx.path.size() - 4, 4, ".cpp") == 0) {
+    const fs::path p(ctx.path);
+    const std::string expected =
+        p.parent_path().filename().string() + "/" + p.stem().string() + ".h";
+    for (const Quoted& q : quoted) {
+      if (q.path == expected && q.order != 0) {
+        ctx.report(q.line, "include-hygiene",
+                   "a source file includes its own header (\"" + expected +
+                       "\") first");
+        break;
+      }
+    }
+  }
+}
+
+const char* kAllRules[] = {"banned-function", "no-const-cast",
+                           "no-naked-new",    "bounded-decode",
+                           "unordered-output", "pragma-once",
+                           "include-hygiene"};
+
+std::vector<Finding> lint_content(const std::string& rel_path,
+                                  const std::string& content) {
+  std::vector<Finding> findings;
+  const FileText text = scrub(content);
+  const auto allows = parse_allows(text);
+  Ctx ctx{rel_path, text, allows, findings};
+  rule_banned_function(ctx);
+  rule_no_const_cast(ctx);
+  rule_no_naked_new(ctx);
+  rule_bounded_decode(ctx);
+  rule_unordered_output(ctx);
+  rule_pragma_once(ctx);
+  rule_include_hygiene(ctx);
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking.
+// ---------------------------------------------------------------------------
+
+bool lintable_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+std::vector<fs::path> collect_files(const fs::path& root) {
+  static const char* kDirs[] = {"src", "tools", "bench", "tests"};
+  std::vector<fs::path> files;
+  for (const char* d : kDirs) {
+    const fs::path dir = root / d;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() &&
+          starts_with(it->path().filename().string(), "build")) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable_file(it->path()))
+        files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int lint_tree(const fs::path& root, const std::vector<std::string>& only) {
+  std::vector<fs::path> files;
+  if (only.empty()) {
+    files = collect_files(root);
+  } else {
+    for (const std::string& f : only) files.emplace_back(f);
+  }
+  std::size_t total = 0, scanned = 0;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "hpcap_lint: cannot read %s\n", f.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string rel = fs::relative(f, root).generic_string();
+    if (starts_with(rel, "./")) rel = rel.substr(2);
+    const auto findings = lint_content(rel, ss.str());
+    ++scanned;
+    for (const Finding& v : findings) {
+      ++total;
+      std::printf("%s:%zu: [%s] %s\n", v.path.c_str(), v.line,
+                  v.rule.c_str(), v.message.c_str());
+    }
+  }
+  if (total == 0) {
+    std::printf("hpcap_lint: %zu files clean\n", scanned);
+    return 0;
+  }
+  std::printf("hpcap_lint: %zu violation(s) in %zu files scanned\n", total,
+              scanned);
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: seed each violation class, assert the rule fires; assert the
+// clean twin and the allow()'d twin do not.
+// ---------------------------------------------------------------------------
+
+struct Case {
+  const char* name;
+  const char* path;
+  const char* source;
+  const char* expect_rule;  // nullptr = expect clean
+};
+
+const Case kCases[] = {
+    // banned-function
+    {"banned.sprintf", "src/core/x.cpp",
+     "void f(char* b){ sprintf(b, \"%d\", 1); }\n", "banned-function"},
+    {"banned.atoi", "tools/x.cpp", "int f(const char* s){ return atoi(s); }\n",
+     "banned-function"},
+    {"banned.rand", "src/ml/x.cpp", "int f(){ return rand(); }\n",
+     "banned-function"},
+    {"banned.std_time", "src/core/x.cpp",
+     "#include <ctime>\nlong f(){ return std::time(nullptr); }\n",
+     "banned-function"},
+    {"banned.rand_ok_in_sim", "src/sim/x.cpp", "int f(){ return rand(); }\n",
+     nullptr},
+    {"banned.member_time_ok", "src/core/x.cpp",
+     "double f(Clock& c){ return c.time(); }\n", nullptr},
+    {"banned.snprintf_ok", "src/core/x.cpp",
+     "void f(char* b){ std::snprintf(b, 4, \"x\"); }\n", nullptr},
+    {"banned.in_comment_ok", "src/core/x.cpp",
+     "// never call sprintf(buf, ...) here\nint f();\n", nullptr},
+    {"banned.in_string_ok", "src/core/x.cpp",
+     "const char* kMsg = \"do not use atoi(x)\";\n", nullptr},
+    {"banned.allow", "src/core/x.cpp",
+     "// hpcap-lint: allow(banned-function) — exemplar in a test fixture\n"
+     "int f(const char* s){ return atoi(s); }\n",
+     nullptr},
+
+    // no-const-cast
+    {"constcast.fires", "src/sim/x.cpp",
+     "int* f(const int* p){ return const_cast<int*>(p); }\n",
+     "no-const-cast"},
+    {"constcast.tools_ok", "tools/x.cpp",
+     "int* f(const int* p){ return const_cast<int*>(p); }\n", nullptr},
+    {"constcast.allow", "src/sim/x.cpp",
+     "int* f(const int* p){ return const_cast<int*>(p); }"
+     "  // hpcap-lint: allow(no-const-cast)\n",
+     nullptr},
+
+    // no-naked-new
+    {"nakednew.new", "src/core/x.cpp", "int* f(){ return new int(3); }\n",
+     "no-naked-new"},
+    {"nakednew.delete", "src/core/x.cpp", "void f(int* p){ delete p; }\n",
+     "no-naked-new"},
+    {"nakednew.deleted_fn_ok", "src/core/x.cpp",
+     "struct S { S(const S&) = delete; };\n", nullptr},
+    {"nakednew.operator_ok", "tests/x.cpp",
+     "void* operator new(std::size_t n);\n", nullptr},
+    {"nakednew.tests_ok", "tests/x.cpp", "int* f(){ return new int(3); }\n",
+     nullptr},
+
+    // bounded-decode
+    {"decode.raw_read", "src/net/protocol.cpp",
+     "void f(PayloadReader& r, std::vector<int>& v){"
+     " v.resize(r.read_u32()); }\n",
+     "bounded-decode"},
+    {"decode.unguarded_var", "src/ml/serialize.cpp",
+     "void f(PayloadReader& r, std::vector<int>& v){\n"
+     "  std::size_t n = r.read_u32();\n"
+     "  v.resize(n);\n}\n",
+     "bounded-decode"},
+    {"decode.guarded_ok", "src/net/protocol.cpp",
+     "void f(PayloadReader& r, std::vector<int>& v){\n"
+     "  const std::size_t n = checked_count(r.read_u32(), kMaxTiers, \"t\");\n"
+     "  v.resize(n);\n}\n",
+     nullptr},
+    {"decode.inline_guard_ok", "src/ml/serialize.cpp",
+     "void f(std::istream& is, std::vector<double>& v){\n"
+     "  v.resize(read_count(is, kMaxVectorElems, \"elem\"));\n}\n",
+     nullptr},
+    {"decode.size_of_existing_ok", "src/net/protocol.cpp",
+     "void f(std::vector<int>& v, const std::vector<int>& w){"
+     " v.reserve(w.size() + kHeaderSize); }\n",
+     nullptr},
+    {"decode.iterator_assign_ok", "src/net/protocol.cpp",
+     "void f(std::vector<int>& v, const std::vector<int>& w){"
+     " v.assign(w.begin() + 2, w.end()); }\n",
+     nullptr},
+    {"decode.out_of_scope_ok", "src/core/synopsis.cpp",
+     "void f(std::vector<int>& v, std::size_t n){ v.resize(n); }\n", nullptr},
+    {"decode.allow", "src/net/protocol.cpp",
+     "void f(PayloadReader& r, std::vector<int>& v){\n"
+     "  // hpcap-lint: allow(bounded-decode) — n is bounded by caller\n"
+     "  v.resize(r.read_u32());\n}\n",
+     nullptr},
+
+    // unordered-output
+    {"unordered.fires", "src/core/x.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<std::string, int> m_;\n"
+     "void f(std::ostream& os){\n"
+     "  for (const auto& [k, v] : m_) { os << k << v; }\n}\n",
+     "unordered-output"},
+    {"unordered.put_fires", "src/net/x.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> m_;\n"
+     "void f(std::vector<std::uint8_t>& out){\n"
+     "  for (const auto& [k, v] : m_) put_u32(out, v);\n}\n",
+     "unordered-output"},
+    {"unordered.no_sink_ok", "src/net/x.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> m_;\n"
+     "int f(){ int s = 0; for (const auto& [k, v] : m_) { s += v; }"
+     " return s; }\n",
+     nullptr},
+    {"unordered.ordered_map_ok", "src/core/x.cpp",
+     "#include <map>\n"
+     "std::map<std::string, int> m_;\n"
+     "void f(std::ostream& os){ for (const auto& [k, v] : m_) os << k; }\n",
+     nullptr},
+    {"unordered.allow", "src/core/x.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<std::string, int> m_;\n"
+     "void f(std::ostream& os){\n"
+     "  // hpcap-lint: allow(unordered-output) — debug dump, order-free\n"
+     "  for (const auto& [k, v] : m_) { os << k; }\n}\n",
+     nullptr},
+
+    // pragma-once
+    {"pragma.missing", "src/core/x.h", "int f();\n", "pragma-once"},
+    {"pragma.not_first", "src/core/x.h",
+     "#include <vector>\n#pragma once\nint f();\n", "pragma-once"},
+    {"pragma.ok", "src/core/x.h",
+     "// comment first is fine\n#pragma once\nint f();\n", nullptr},
+    {"pragma.cpp_exempt", "src/core/x.cpp", "int f() { return 1; }\n",
+     nullptr},
+
+    // include-hygiene
+    {"include.duplicate", "src/core/x.cpp",
+     "#include \"core/x.h\"\n#include <vector>\n#include <vector>\n",
+     "include-hygiene"},
+    {"include.relative", "src/core/x.cpp",
+     "#include \"core/x.h\"\n#include \"../ml/svm.h\"\n", "include-hygiene"},
+    {"include.c_header", "src/core/x.cpp",
+     "#include \"core/x.h\"\n#include <stdlib.h>\n", "include-hygiene"},
+    {"include.own_header_not_first", "src/core/x.cpp",
+     "#include <vector>\n#include \"core/x.h\"\n", "include-hygiene"},
+    {"include.own_header_first_ok", "src/core/x.cpp",
+     "#include \"core/x.h\"\n#include <vector>\n#include <cstdlib>\n",
+     nullptr},
+};
+
+int self_test() {
+  int failures = 0;
+  for (const Case& c : kCases) {
+    const auto findings = lint_content(c.path, c.source);
+    bool ok;
+    std::string detail;
+    if (c.expect_rule == nullptr) {
+      ok = findings.empty();
+      for (const Finding& f : findings)
+        detail += " unexpected [" + f.rule + "] at line " +
+                  std::to_string(f.line) + ": " + f.message;
+    } else {
+      ok = false;
+      for (const Finding& f : findings)
+        if (f.rule == c.expect_rule) ok = true;
+      if (!ok) {
+        detail = " expected a [" + std::string(c.expect_rule) + "] finding";
+        for (const Finding& f : findings) detail += "; got [" + f.rule + "]";
+        if (findings.empty()) detail += "; got none";
+      }
+    }
+    std::printf("%-32s %s%s\n", c.name, ok ? "PASS" : "FAIL",
+                detail.c_str());
+    if (!ok) ++failures;
+  }
+  const std::size_t n = sizeof(kCases) / sizeof(kCases[0]);
+  std::printf("hpcap_lint self-test: %zu cases, %d failure(s)\n", n,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: hpcap_lint [--root DIR] [FILE...]\n"
+               "       hpcap_lint --self-test\n"
+               "       hpcap_lint --list-rules\n"
+               "\n"
+               "Lints src/, tools/, bench/ and tests/ under --root (default:\n"
+               "current directory) against the project invariants. Explicit\n"
+               "FILE arguments restrict the scan. Exit: 0 clean, 1 findings,\n"
+               "2 usage/io error.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") return self_test();
+    if (arg == "--list-rules") {
+      for (const char* r : kAllRules) std::printf("%s\n", r);
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        usage(stderr);
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "hpcap_lint: unknown flag '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  std::error_code ec;
+  const fs::path canon = fs::canonical(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "hpcap_lint: bad --root '%s'\n", root.c_str());
+    return 2;
+  }
+  return lint_tree(canon, files);
+}

@@ -143,7 +143,8 @@ tpcw::WorkloadSchedule parse_workload(const std::string& name,
 
 int cmd_capacity(const Args& args) {
   testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
-  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", cfg.seed));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.num_or("seed", static_cast<double>(cfg.seed)));
   const auto mix =
       parse_mix(args.get_or("mix", "shopping"), args.num_or("skew", 0.0));
   const auto cap = testbed::measure_capacity(*mix, cfg);
@@ -169,7 +170,8 @@ int cmd_train(const Args& args) {
     return 2;
   }
   testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
-  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", cfg.seed));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.num_or("seed", static_cast<double>(cfg.seed)));
   const std::string level = args.get_or("level", "hpc");
   const auto learner = parse_learner(args.get_or("learner", "TAN"));
 
@@ -297,7 +299,8 @@ int cmd_collect(const Args& args) {
     return 2;
   }
   testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
-  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", cfg.seed));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.num_or("seed", static_cast<double>(cfg.seed)));
   const std::string workload = args.get_or("workload", "shopping");
   const std::string recipe = args.get_or("recipe", "test");
 

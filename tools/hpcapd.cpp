@@ -37,6 +37,28 @@ void usage(std::FILE* to) {
                "       hpcapd --version\n");
 }
 
+// Strict numeric parsing: a flag value that is not entirely a number is a
+// usage error, not a silent zero (hpcap-lint banned-function contract).
+long parse_long(const char* flag, const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "hpcapd: %s needs an integer, got '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_double(const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "hpcapd: %s needs a number, got '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
 bool parse_log_level(const std::string& name, hpcap::LogLevel* out) {
   if (name == "debug") *out = hpcap::LogLevel::kDebug;
   else if (name == "info") *out = hpcap::LogLevel::kInfo;
@@ -72,17 +94,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--model") {
       model = value();
     } else if (arg == "--port") {
-      cfg.port = static_cast<std::uint16_t>(std::atoi(value()));
+      cfg.port = static_cast<std::uint16_t>(parse_long("--port", value()));
     } else if (arg == "--bind") {
       cfg.bind_address = value();
     } else if (arg == "--num-tiers") {
-      cfg.num_tiers = std::atoi(value());
+      cfg.num_tiers = static_cast<int>(parse_long("--num-tiers", value()));
     } else if (arg == "--idle-timeout") {
-      cfg.idle_timeout = std::atof(value());
+      cfg.idle_timeout = parse_double("--idle-timeout", value());
     } else if (arg == "--handshake-timeout") {
-      cfg.handshake_timeout = std::atof(value());
+      cfg.handshake_timeout = parse_double("--handshake-timeout", value());
     } else if (arg == "--max-write-queue") {
-      cfg.max_write_queue = static_cast<std::size_t>(std::atol(value()));
+      cfg.max_write_queue =
+          static_cast<std::size_t>(parse_long("--max-write-queue", value()));
     } else if (arg == "--control") {
       const std::string policy = value();
       if (policy == "auto")
