@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -230,6 +231,46 @@ void BM_CoordinatedDecision(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(monitor.observe(rows));
 }
 BENCHMARK(BM_CoordinatedDecision);
+
+void BM_ObserveMany(benchmark::State& state) {
+  // The batched observe path over the same 4-synopsis monitor: one
+  // observe_many call per `batch` windows through a contiguous row-major
+  // WindowBlock. Arg(1) prices the batched entry point's fixed overhead
+  // against BM_CoordinatedDecision; the sweep shows where amortization of
+  // the cut search and table walks saturates. items = per-tier samples,
+  // so the reported rate inverts to ns/sample.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  core::SynopsisBuilder builder;
+  std::vector<core::Synopsis> synopses;
+  const ml::Dataset d = learner_data(200);
+  for (int i = 0; i < 4; ++i)
+    synopses.push_back(builder.build(
+        d, {"mix", i % 2 ? "db" : "app", i % 2, "hpc",
+            ml::LearnerKind::kTan}));
+  core::CoordinatedPredictor::Options opts;
+  opts.num_tiers = 2;
+  core::CapacityMonitor monitor(std::move(synopses), opts);
+  const std::vector<std::vector<double>> rows = {
+      {0.2, -0.1, 0.4, 0.0, 0.3, -0.2}, {0.5, 0.1, -0.4, 0.2, 0.1, 0.0}};
+  for (int i = 0; i < 50; ++i) monitor.train_instance(rows, i % 2, i % 2);
+  Rng rng(9);
+  std::vector<double> block_rows;
+  block_rows.reserve(batch * 2 * 6);
+  for (std::size_t w = 0; w < batch; ++w)
+    for (const auto& base : rows)
+      for (const double v : base)
+        block_rows.push_back(v + rng.normal(0.0, 0.05));
+  const core::WindowBlock block{block_rows.data(), batch, 2, 6};
+  std::vector<core::CoordinatedPredictor::Decision> out(batch);
+  for (auto _ : state) {
+    monitor.observe_many(block, std::span(out.data(), batch));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch) * 2);
+  state.SetLabel("batch=" + std::to_string(batch));
+}
+BENCHMARK(BM_ObserveMany)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_CoordinatedDecisionMasked(benchmark::State& state) {
   // Degraded-mode observe with one tier's row invalidated: GPV masking

@@ -3,11 +3,17 @@
 // observe_masked -> DECISION -> decode) versus the in-process pipeline.
 //
 // Two phases:
-//   * throughput — one agent streams batched sampling ticks as fast as
-//     the daemon accepts them; reported as per-tier samples/sec. The
-//     monitor's reason to exist is negligible overhead, so the wire must
-//     sustain far more than the 1 Hz x a-few-tiers a real site produces
-//     (shape target: >= 50k samples/sec).
+//   * throughput — one agent streams the same tick stream at several
+//     frame granularities (batch_ticks = ticks per SAMPLE_BATCH frame);
+//     reported as per-tier samples/sec per config. The monitor's reason
+//     to exist is negligible overhead, so the wire must sustain far more
+//     than the 1 Hz x a-few-tiers a real site produces (shape target:
+//     >= 50k samples/sec at the largest batch). Every config's DECISION
+//     stream is checked field-for-field against an in-process reference
+//     that drives the identical aggregation + validation pipeline
+//     through the *scalar* observe_masked loop — batching, at both the
+//     wire and the observe layer, must not change a single decision
+//     (identical_output per config in the JSON).
 //   * latency — window = 1, one tick per round trip; the distribution of
 //     send-to-decision times gives the added decision delay (p50/p99).
 //
@@ -27,7 +33,9 @@
 #include "core/model_io.h"
 #include "core/monitor_source.h"
 #include "core/pipeline.h"
+#include "core/validate.h"
 #include "counters/metric_catalog.h"
+#include "counters/sampler.h"
 #include "net/client.h"
 #include "net/event_loop.h"
 #include "net/server.h"
@@ -141,6 +149,120 @@ net::Client connect_agent(const Daemon& daemon, std::uint16_t window) {
   return client;
 }
 
+// The in-process reference pipeline: the same bundle instantiated
+// locally and driven tick by tick through the daemon's aggregation +
+// validation stages (same ServerConfig knobs) but the scalar
+// observe_masked loop. Every wire config must reproduce this stream
+// exactly — the daemon's batched predict_masked_many and frame
+// coalescing are pure performance optimizations.
+std::vector<net::DecisionFrame> reference_decisions(
+    const std::string& bundle, const std::vector<net::Tick>& stream,
+    int num_tiers, std::uint16_t window) {
+  auto source = core::MonitorSource::from_bytes(bundle);
+  core::CapacityMonitor monitor = source.instantiate();
+  monitor.predictor().reset_history();
+  const std::size_t dim = catalog_dim();
+  const net::ServerConfig cfg;  // knob defaults match the Daemon's
+  core::RowValidator::Options vopts;
+  vopts.dim = dim;
+  vopts.max_abs = cfg.validator_max_abs;
+  core::RowValidator validator(vopts);
+  std::vector<counters::InstanceAggregator> aggs;
+  for (int t = 0; t < num_tiers; ++t)
+    aggs.emplace_back(dim, window, cfg.max_missing_fraction,
+                      cfg.aggregator_trim);
+  const auto tiers = static_cast<std::size_t>(num_tiers);
+  std::vector<std::vector<double>> rows(tiers, std::vector<double>(dim));
+  std::vector<std::uint8_t> mask(tiers, 0);
+  std::vector<net::DecisionFrame> out;
+  for (const net::Tick& tick : stream) {
+    bool closed = false;
+    for (std::size_t t = 0; t < tiers; ++t) {
+      const auto result = tick.tiers[t].present
+                              ? aggs[t].add_slot_view(tick.tiers[t].values)
+                              : aggs[t].mark_missing_view();
+      if (!result.window_closed) continue;
+      closed = true;
+      if (result.valid) {
+        std::copy(result.instance.begin(), result.instance.end(),
+                  rows[t].begin());
+        mask[t] = validator.validate({rows[t].data(), dim}) ==
+                          core::RowVerdict::kValid
+                      ? 1
+                      : 0;
+      } else {
+        std::fill(rows[t].begin(), rows[t].end(), 0.0);
+        mask[t] = 0;
+      }
+    }
+    if (!closed) continue;
+    const auto d = monitor.observe_masked(rows, mask);
+    net::DecisionFrame f;
+    f.window_index = static_cast<std::uint32_t>(out.size());
+    f.state = static_cast<std::uint8_t>(d.state);
+    f.confident = d.confident ? 1 : 0;
+    f.degraded = d.degraded ? 1 : 0;
+    f.hc = d.hc;
+    f.bottleneck_tier = d.bottleneck_tier;
+    f.staleness = d.staleness;
+    out.push_back(f);
+  }
+  return out;
+}
+
+bool same_decision(const net::DecisionFrame& a, const net::DecisionFrame& b) {
+  return a.window_index == b.window_index && a.state == b.state &&
+         a.confident == b.confident && a.degraded == b.degraded &&
+         a.hc == b.hc && a.bottleneck_tier == b.bottleneck_tier &&
+         a.staleness == b.staleness;
+}
+
+struct ThroughputResult {
+  int batch_ticks = 0;
+  double samples_per_sec = 0.0;
+  std::size_t decisions = 0;
+  bool identical_output = false;
+};
+
+// Streams `stream` to a fresh agent connection in frames of `batch_ticks`
+// ticks, timing send-to-last-decision, and verifies the decision stream
+// against the reference. Frame assembly (tick copies) happens before the
+// clock starts — the timed region is encode + TCP + daemon + decode.
+ThroughputResult run_throughput(
+    const Daemon& daemon, const std::vector<net::Tick>& stream,
+    int batch_ticks, std::uint16_t window, int kTiers,
+    const std::vector<net::DecisionFrame>& reference) {
+  const int ticks = static_cast<int>(stream.size());
+  std::vector<net::SampleBatch> frames;
+  for (int start = 0; start < ticks; start += batch_ticks) {
+    net::SampleBatch batch;
+    batch.first_tick = static_cast<std::uint32_t>(start);
+    const int end = std::min(start + batch_ticks, ticks);
+    batch.ticks.assign(stream.begin() + start, stream.begin() + end);
+    frames.push_back(std::move(batch));
+  }
+  net::Client agent = connect_agent(daemon, window);
+  std::vector<net::DecisionFrame> got;
+  got.reserve(reference.size());
+  const auto t0 = Clock::now();
+  for (const net::SampleBatch& batch : frames) {
+    agent.send_batch(batch);
+    for (auto& d : agent.drain_decisions()) got.push_back(d);
+  }
+  while (got.size() < reference.size()) got.push_back(agent.next_decision());
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  ThroughputResult r;
+  r.batch_ticks = batch_ticks;
+  r.samples_per_sec = static_cast<double>(ticks) * kTiers / seconds;
+  r.decisions = got.size();
+  r.identical_output = got.size() == reference.size();
+  for (std::size_t i = 0; r.identical_output && i < got.size(); ++i)
+    r.identical_output = same_decision(got[i], reference[i]);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,39 +289,39 @@ int main(int argc, char** argv) {
   ticks = std::max(ticks, kBatch);
 
   std::printf("training bench model...\n");
-  Daemon daemon(make_bundle());
+  const std::string bundle = make_bundle();
+  Daemon daemon(bundle);
 
   // --- throughput phase --------------------------------------------------
   // Pre-encode nothing: tick construction is part of the agent's cost in
   // production too, but keep it out of the timed region to isolate the
-  // wire + daemon pipeline.
+  // wire + daemon pipeline. Each batch_ticks config replays the same
+  // stream over a fresh connection (fresh per-connection monitor), so
+  // the decision streams are directly comparable to the reference.
   Rng rng(101);
   std::vector<net::Tick> stream;
   stream.reserve(static_cast<std::size_t>(ticks));
   for (int i = 0; i < ticks; ++i)
     stream.push_back(make_tick(kTiers, (i / 200) % 2, rng));
 
-  net::Client agent = connect_agent(daemon, kWindow);
-  std::size_t decisions = 0;
-  const std::size_t want_decisions =
-      static_cast<std::size_t>(ticks) / kWindow;
-  const auto t0 = Clock::now();
-  for (int start = 0; start < ticks; start += kBatch) {
-    net::SampleBatch batch;
-    batch.first_tick = static_cast<std::uint32_t>(start);
-    const int end = std::min(start + kBatch, ticks);
-    batch.ticks.assign(stream.begin() + start, stream.begin() + end);
-    agent.send_batch(batch);
-    decisions += agent.drain_decisions().size();
-  }
-  while (decisions < want_decisions) {
-    (void)agent.next_decision();
-    ++decisions;
-  }
-  const double throughput_s =
-      std::chrono::duration<double>(Clock::now() - t0).count();
-  const double samples_per_sec =
-      static_cast<double>(ticks) * kTiers / throughput_s;
+  std::printf("computing in-process reference decisions...\n");
+  const auto r0 = Clock::now();
+  const std::vector<net::DecisionFrame> reference =
+      reference_decisions(bundle, stream, kTiers, kWindow);
+  std::printf("reference: %.0f samples/sec in-process\n",
+              static_cast<double>(ticks) * kTiers /
+                  std::chrono::duration<double>(Clock::now() - r0).count());
+
+  const int batch_sweep[] = {1, 16, kBatch};
+  std::vector<ThroughputResult> configs;
+  for (const int b : batch_sweep)
+    configs.push_back(
+        run_throughput(daemon, stream, b, kWindow, kTiers, reference));
+  const ThroughputResult& headline = configs.back();
+  const double samples_per_sec = headline.samples_per_sec;
+  const std::size_t decisions = headline.decisions;
+  bool identical_all = true;
+  for (const auto& r : configs) identical_all = identical_all && r.identical_output;
 
   // --- latency phase -----------------------------------------------------
   // window = 1: every tick produces a decision, so one send + one receive
@@ -227,12 +349,16 @@ int main(int argc, char** argv) {
   const double p50 = quantile(0.50);
   const double p99 = quantile(0.99);
 
-  const bool met = samples_per_sec >= 50000.0;
+  const bool met = samples_per_sec >= 50000.0 && identical_all;
   TextTable table("hpcapd loopback wire-path overhead");
   table.set_header({"phase", "metric", "value"});
   table.add_row({"throughput", "sampling ticks", std::to_string(ticks)});
-  table.add_row({"throughput", "samples/sec (per-tier slots)",
-                 TextTable::num(samples_per_sec, 0)});
+  for (const auto& r : configs)
+    table.add_row({"throughput",
+                   "samples/sec @ batch_ticks=" + std::to_string(r.batch_ticks),
+                   TextTable::num(r.samples_per_sec, 0) +
+                       (r.identical_output ? "  (output identical)"
+                                           : "  (OUTPUT DIVERGED)")});
   table.add_row({"throughput", "decisions", std::to_string(decisions)});
   table.add_separator();
   table.add_row({"latency", "decision round trips",
@@ -251,14 +377,28 @@ int main(int argc, char** argv) {
                  "  \"tiers\": %d,\n"
                  "  \"window\": %u,\n"
                  "  \"ticks\": %d,\n"
+                 "  \"configs\": [\n",
+                 kTiers, kWindow, ticks);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const auto& r = configs[i];
+      std::fprintf(f,
+                   "    {\"batch_ticks\": %d, \"samples_per_sec\": %.0f, "
+                   "\"identical_output\": %s}%s\n",
+                   r.batch_ticks, r.samples_per_sec,
+                   r.identical_output ? "true" : "false",
+                   i + 1 < configs.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
                  "  \"samples_per_sec\": %.0f,\n"
                  "  \"decisions\": %llu,\n"
+                 "  \"identical_output\": %s,\n"
                  "  \"latency_p50_us\": %.1f,\n"
                  "  \"latency_p99_us\": %.1f,\n"
                  "  \"throughput_target_met\": %s\n"
                  "}\n",
-                 kTiers, kWindow, ticks, samples_per_sec,
-                 static_cast<unsigned long long>(decisions), p50, p99,
+                 samples_per_sec, static_cast<unsigned long long>(decisions),
+                 identical_all ? "true" : "false", p50, p99,
                  met ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());

@@ -31,6 +31,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -231,26 +232,64 @@ int main(int argc, char** argv) {
   // --- online observe cost (ns per interval decision) ------------------
   // A monitor of the four HPC/TAN synopses — the paper's recommended
   // deployment — trained on the browsing run, then timed over the test
-  // windows in steady state.
+  // windows in steady state: once through the scalar observe loop, once
+  // through observe_many at batch 16 over a contiguous WindowBlock. Two
+  // identically-built monitors see the identical window sequence, so the
+  // batched path's decisions must match the scalar path's field for
+  // field (batched_identical_output in BENCH_hotpath.json).
   double observe_ns = 0.0;
+  double observe_many16_ns = 0.0;
+  bool batched_identical = true;
   std::uint64_t observe_count = 0;
   {
-    std::vector<core::Synopsis> mon_syns;
-    for (auto& syn : bank4)
-      if (syn.spec().level == "hpc" && syn.classifier().name() == "TAN")
-        mon_syns.push_back(std::move(syn));
-    core::CoordinatedPredictor::Options mopts;
-    mopts.num_tiers = testbed::kNumTiers;
-    for (const auto& s : mon_syns)
-      mopts.synopsis_tiers.push_back(s.spec().tier_index);
-    core::CapacityMonitor monitor(std::move(mon_syns), mopts);
-    const auto& trun = train.at("browsing");
-    for (std::size_t i = 0; i < trun.instances.size(); ++i)
-      monitor.train_instance(trun.instances[i].hpc, trun.labels[i],
-                             trun.labels[i] ? testbed::kDbTier : -1);
-    monitor.end_training_run();
+    const auto make_monitor = [&] {
+      std::vector<core::Synopsis> mon_syns;
+      for (const auto& task : tasks)
+        if (task.spec.level == "hpc" &&
+            task.spec.learner == ml::LearnerKind::kTan)
+          mon_syns.push_back(builder.build(task.training, task.spec));
+      core::CoordinatedPredictor::Options mopts;
+      mopts.num_tiers = testbed::kNumTiers;
+      for (const auto& s : mon_syns)
+        mopts.synopsis_tiers.push_back(s.spec().tier_index);
+      core::CapacityMonitor monitor(std::move(mon_syns), mopts);
+      const auto& trun = train.at("browsing");
+      for (std::size_t i = 0; i < trun.instances.size(); ++i)
+        monitor.train_instance(trun.instances[i].hpc, trun.labels[i],
+                               trun.labels[i] ? testbed::kDbTier : -1);
+      monitor.end_training_run();
+      return monitor;
+    };
+    core::CapacityMonitor monitor = make_monitor();
+    core::CapacityMonitor batched_monitor = make_monitor();
+
+    // The same test windows flattened into the row-major block layout
+    // observe_many consumes (window w tier t at flat[(w*nt + t)*dim]).
+    const std::size_t nt = static_cast<std::size_t>(testbed::kNumTiers);
+    std::vector<const std::vector<std::vector<double>>*> wins;
+    for (const auto& test : tests)
+      for (const auto& inst : test.instances) wins.push_back(&inst.hpc);
+    const std::size_t dim = wins.empty() ? 0 : wins[0]->front().size();
+    std::vector<double> flat;
+    flat.reserve(wins.size() * nt * dim);
+    for (const auto* w : wins)
+      for (const auto& row : *w) flat.insert(flat.end(), row.begin(), row.end());
+    constexpr std::size_t kBatch = 16;
+    std::vector<core::CoordinatedPredictor::Decision> outbuf(kBatch);
+    const auto batched_pass = [&](auto&& per_decision) {
+      for (std::size_t w = 0; w < wins.size(); w += kBatch) {
+        const std::size_t n = std::min(kBatch, wins.size() - w);
+        const core::WindowBlock block{flat.data() + w * nt * dim, n, nt,
+                                      dim};
+        batched_monitor.observe_many(block, std::span(outbuf.data(), n));
+        per_decision(n);
+      }
+    };
+
     for (const auto& test : tests)  // warm-up: scratch buffers settle
       for (const auto& inst : test.instances) (void)monitor.observe(inst.hpc);
+    batched_pass([](std::size_t) {});
+
     const double o0 = now_ms();
     for (int rep = 0; rep < 20; ++rep) {
       for (const auto& test : tests) {
@@ -263,6 +302,32 @@ int main(int argc, char** argv) {
     observe_ns = observe_count
                      ? (now_ms() - o0) * 1e6 / static_cast<double>(observe_count)
                      : 0.0;
+
+    const double b0 = now_ms();
+    std::uint64_t batched_count = 0;
+    for (int rep = 0; rep < 20; ++rep)
+      batched_pass([&](std::size_t n) { batched_count += n; });
+    observe_many16_ns =
+        batched_count
+            ? (now_ms() - b0) * 1e6 / static_cast<double>(batched_count)
+            : 0.0;
+
+    // Both monitors have consumed the identical window history, so one
+    // more pass per path must produce identical decisions.
+    std::vector<core::CoordinatedPredictor::Decision> dscalar;
+    for (const auto* w : wins) dscalar.push_back(monitor.observe(*w));
+    std::size_t at = 0;
+    batched_pass([&](std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i, ++at) {
+        const auto& a = outbuf[i];
+        const auto& b = dscalar[at];
+        batched_identical =
+            batched_identical && a.state == b.state &&
+            a.confident == b.confident && a.hc == b.hc &&
+            a.bottleneck_tier == b.bottleneck_tier &&
+            a.degraded == b.degraded && a.staleness == b.staleness;
+      }
+    });
   }
 
   struct Key {
@@ -344,9 +409,12 @@ int main(int argc, char** argv) {
                " hardware thread(s); speedup > 1 requires > 1 core");
   std::printf("%s\n", par.render().c_str());
   std::printf("online observe: %.0f ns per interval decision (%llu "
-              "decisions timed)\n\n",
+              "decisions timed); observe_many batch 16: %.0f ns (%s)\n\n",
               observe_ns,
-              static_cast<unsigned long long>(observe_count));
+              static_cast<unsigned long long>(observe_count),
+              observe_many16_ns,
+              batched_identical ? "output identical to scalar"
+                                : "OUTPUT DIVERGED");
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
@@ -401,15 +469,19 @@ int main(int argc, char** argv) {
                  "  \"bank_parallel4_ms\": %.3f,\n"
                  "  \"bank_speedup4\": %.3f,\n"
                  "  \"observe_ns\": %.1f,\n"
+                 "  \"observe_many16_ns\": %.1f,\n"
                  "  \"observe_count\": %llu,\n"
-                 "  \"identical_output\": %s\n"
+                 "  \"identical_output\": %s,\n"
+                 "  \"batched_identical_output\": %s\n"
                  "}\n",
                  svm_build_mean, svm_seed_build_ms, svm_reduction, serial_ms,
                  parallel2_ms, speedup2, parallel4_ms, speedup4, observe_ns,
+                 observe_many16_ns,
                  static_cast<unsigned long long>(observe_count),
-                 identical ? "true" : "false");
+                 identical ? "true" : "false",
+                 batched_identical ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", hotpath_path.c_str());
   }
-  return identical ? 0 : 1;
+  return identical && batched_identical ? 0 : 1;
 }

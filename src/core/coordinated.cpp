@@ -29,8 +29,7 @@ CoordinatedPredictor::CoordinatedPredictor(Options opts) : opts_(opts) {
   tier_votes_scratch_.assign(static_cast<std::size_t>(opts_.num_tiers), 0);
 }
 
-std::size_t CoordinatedPredictor::pack_gpv(
-    const std::vector<int>& predictions) {
+std::size_t CoordinatedPredictor::pack_gpv(std::span<const int> predictions) {
   std::size_t gpv = 0;
   for (std::size_t i = 0; i < predictions.size(); ++i)
     if (predictions[i]) gpv |= std::size_t{1} << i;
@@ -63,7 +62,7 @@ void CoordinatedPredictor::update_tables(std::size_t gpv, int label,
   }
 }
 
-int CoordinatedPredictor::majority(const std::vector<int>& votes) const {
+int CoordinatedPredictor::majority(std::span<const int> votes) const {
   int ones = 0;
   for (int v : votes) ones += v != 0;
   const int n = static_cast<int>(votes.size());
@@ -72,8 +71,7 @@ int CoordinatedPredictor::majority(const std::vector<int>& votes) const {
   return opts_.scheme == TieScheme::kPessimistic ? 1 : 0;
 }
 
-int CoordinatedPredictor::history_signal(
-    const std::vector<int>& votes) const {
+int CoordinatedPredictor::history_signal(std::span<const int> votes) const {
   if (opts_.history_source == HistorySource::kSynopsisMajority)
     return majority(votes);
   // kSynopsisAny
@@ -82,7 +80,7 @@ int CoordinatedPredictor::history_signal(
   return 0;
 }
 
-void CoordinatedPredictor::train(const std::vector<int>& synopsis_predictions,
+void CoordinatedPredictor::train(std::span<const int> synopsis_predictions,
                                  int label, int bottleneck_tier,
                                  bool teacher_forced) {
   if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses)
@@ -112,7 +110,7 @@ int CoordinatedPredictor::decide(int hc_value) const {
 }
 
 CoordinatedPredictor::Decision CoordinatedPredictor::evaluate(
-    const std::vector<int>& synopsis_predictions) const {
+    std::span<const int> synopsis_predictions) const {
   const std::size_t gpv = pack_gpv(synopsis_predictions);
   const int hc = lht_[lht_index(gpv, history_)];
   const bool trained_cell = touched_[lht_index(gpv, history_)] != 0;
@@ -182,7 +180,7 @@ void CoordinatedPredictor::note_decision(const Decision& d) {
 }
 
 CoordinatedPredictor::Decision CoordinatedPredictor::predict(
-    const std::vector<int>& synopsis_predictions) {
+    std::span<const int> synopsis_predictions) {
   if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses)
     throw std::invalid_argument("CoordinatedPredictor::predict: GPV width");
   Decision d = evaluate(synopsis_predictions);
@@ -213,14 +211,17 @@ CoordinatedPredictor::Decision CoordinatedPredictor::stale_fallback() {
 }
 
 CoordinatedPredictor::Decision CoordinatedPredictor::predict_masked(
-    const std::vector<int>& synopsis_predictions,
-    const std::vector<std::uint8_t>& valid) {
+    std::span<const int> synopsis_predictions,
+    std::span<const std::uint8_t> valid) {
   if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses ||
       valid.size() != synopsis_predictions.size())
     throw std::invalid_argument(
         "CoordinatedPredictor::predict_masked: GPV/mask width");
 
-  std::vector<std::size_t> masked;
+  // Member scratch throughout: the degraded path runs every interval when
+  // a tier's samples go missing, so it must not allocate in steady state.
+  std::vector<std::size_t>& masked = masked_scratch_;
+  masked.clear();
   for (std::size_t i = 0; i < valid.size(); ++i)
     if (!valid[i]) masked.push_back(i);
   if (masked.empty()) return predict(synopsis_predictions);
@@ -230,7 +231,8 @@ CoordinatedPredictor::Decision CoordinatedPredictor::predict_masked(
   // bits (m <= 16, and in practice only a tier's worth of bits is masked,
   // so the enumeration is tiny). A consensus across completions means the
   // corrupted synopses could not have changed the answer.
-  std::vector<int> completed = synopsis_predictions;
+  std::vector<int>& completed = completed_scratch_;
+  completed.assign(synopsis_predictions.begin(), synopsis_predictions.end());
   for (std::size_t i : masked) completed[i] = 0;
   Decision base = evaluate(completed);
   bool consensus = true;
@@ -244,8 +246,8 @@ CoordinatedPredictor::Decision CoordinatedPredictor::predict_masked(
 
   // Fresh, data-grounded decision: advance the history register on the
   // valid bits only (an abstained synopsis cannot have "fired").
-  std::vector<int> valid_votes;
-  valid_votes.reserve(valid.size() - masked.size());
+  std::vector<int>& valid_votes = valid_votes_scratch_;
+  valid_votes.clear();
   for (std::size_t i = 0; i < valid.size(); ++i)
     if (valid[i]) valid_votes.push_back(synopsis_predictions[i]);
   push_history(opts_.history_source == HistorySource::kSelfPredictions
@@ -258,7 +260,7 @@ CoordinatedPredictor::Decision CoordinatedPredictor::predict_masked(
 }
 
 void CoordinatedPredictor::mark_outcome(
-    const std::vector<int>& synopsis_predictions, int label,
+    std::span<const int> synopsis_predictions, int label,
     int bottleneck_tier) {
   if (static_cast<int>(synopsis_predictions.size()) != opts_.num_synopses)
     throw std::invalid_argument(

@@ -28,7 +28,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 namespace hpcap::core {
@@ -103,8 +105,16 @@ class CoordinatedPredictor {
   // results", §III.C). Train with one teacher-forced pass followed by
   // closed-loop passes; training only teacher-forced leaves the online
   // predictor reading history cells it never populated.
-  void train(const std::vector<int>& synopsis_predictions, int label,
+  void train(std::span<const int> synopsis_predictions, int label,
              int bottleneck_tier = -1, bool teacher_forced = true);
+  // Braced-list convenience (std::span has no initializer_list
+  // constructor until C++26): train({1, 0, 1}, ...).
+  void train(std::initializer_list<int> synopsis_predictions, int label,
+             int bottleneck_tier = -1, bool teacher_forced = true) {
+    train(std::span<const int>(synopsis_predictions.begin(),
+                               synopsis_predictions.size()),
+          label, bottleneck_tier, teacher_forced);
+  }
 
   // Resets the history register between training runs / deployment so one
   // workload's tail does not leak into the next (table contents persist).
@@ -126,7 +136,11 @@ class CoordinatedPredictor {
 
   // Makes the coordinated decision for the interval and advances the
   // online history register with it.
-  Decision predict(const std::vector<int>& synopsis_predictions);
+  Decision predict(std::span<const int> synopsis_predictions);
+  Decision predict(std::initializer_list<int> synopsis_predictions) {
+    return predict(std::span<const int>(synopsis_predictions.begin(),
+                                        synopsis_predictions.size()));
+  }
 
   // Degraded-mode decision: `valid[i]` marks whether synopsis i's input
   // row survived validation; invalid synopses *abstain* and their GPV bits
@@ -142,8 +156,15 @@ class CoordinatedPredictor {
   //    register holds, so garbage never trains or pollutes temporal state.
   // The fallback before any confident decision exists is the φ tie scheme
   // with no named bottleneck. Throws on width mismatch.
-  Decision predict_masked(const std::vector<int>& synopsis_predictions,
-                          const std::vector<std::uint8_t>& valid);
+  Decision predict_masked(std::span<const int> synopsis_predictions,
+                          std::span<const std::uint8_t> valid);
+  Decision predict_masked(std::initializer_list<int> synopsis_predictions,
+                          std::initializer_list<std::uint8_t> valid) {
+    return predict_masked(
+        std::span<const int>(synopsis_predictions.begin(),
+                             synopsis_predictions.size()),
+        std::span<const std::uint8_t>(valid.begin(), valid.size()));
+  }
 
   // Consecutive predict_masked fallbacks since the last data-grounded
   // decision (mirrors Decision::staleness of the latest decision).
@@ -151,8 +172,14 @@ class CoordinatedPredictor {
 
   // Optional online adaptation: once ground truth for the *previous*
   // prediction becomes known, reinforce the tables with it.
-  void mark_outcome(const std::vector<int>& synopsis_predictions, int label,
+  void mark_outcome(std::span<const int> synopsis_predictions, int label,
                     int bottleneck_tier = -1);
+  void mark_outcome(std::initializer_list<int> synopsis_predictions,
+                    int label, int bottleneck_tier = -1) {
+    mark_outcome(std::span<const int>(synopsis_predictions.begin(),
+                                      synopsis_predictions.size()),
+                 label, bottleneck_tier);
+  }
 
   // --- introspection (tests, ablation benches) -------------------------
   const Options& options() const noexcept { return opts_; }
@@ -169,7 +196,11 @@ class CoordinatedPredictor {
   std::size_t current_history() const noexcept { return history_; }
 
   // Packs an m-bit GPV from per-synopsis predictions (bit i = synopsis i).
-  static std::size_t pack_gpv(const std::vector<int>& predictions);
+  static std::size_t pack_gpv(std::span<const int> predictions);
+  static std::size_t pack_gpv(std::initializer_list<int> predictions) {
+    return pack_gpv(
+        std::span<const int>(predictions.begin(), predictions.size()));
+  }
 
   // Persistence of options + learned tables (see core/model_io.h).
   void save(std::ostream& os) const;
@@ -179,10 +210,10 @@ class CoordinatedPredictor {
   void update_tables(std::size_t gpv, int label, int bottleneck_tier);
   int decide(int hc_value) const;
   void push_history(int outcome);
-  int majority(const std::vector<int>& votes) const;
-  int history_signal(const std::vector<int>& votes) const;
+  int majority(std::span<const int> votes) const;
+  int history_signal(std::span<const int> votes) const;
   // The pure decision function: predict() minus history mutation.
-  Decision evaluate(const std::vector<int>& synopsis_predictions) const;
+  Decision evaluate(std::span<const int> synopsis_predictions) const;
   void note_decision(const Decision& d);
   Decision stale_fallback();
 
@@ -221,6 +252,12 @@ class CoordinatedPredictor {
   // Scratch for the unseen-cell majority fallback (sized num_tiers at
   // construction); mutable so the const evaluate() stays allocation-free.
   mutable std::vector<int> tier_votes_scratch_;
+  // predict_masked scratch (masked-bit list, completion workspace, valid
+  // vote gather); member-owned so the degraded path is allocation-free in
+  // steady state too. Never serialized.
+  std::vector<std::size_t> masked_scratch_;
+  std::vector<int> completed_scratch_;
+  std::vector<int> valid_votes_scratch_;
 };
 
 }  // namespace hpcap::core

@@ -102,6 +102,71 @@ CoordinatedPredictor::Decision CapacityMonitor::observe(
   return predictor_.predict(fill_votes(tier_rows));
 }
 
+void CapacityMonitor::observe_many(
+    const WindowBlock& block, std::span<CoordinatedPredictor::Decision> out) {
+  observe_block(block, nullptr, /*masked=*/false, out);
+}
+
+void CapacityMonitor::predict_masked_many(
+    const WindowBlock& block, const std::uint8_t* valid,
+    std::span<CoordinatedPredictor::Decision> out) {
+  observe_block(block, valid, /*masked=*/true, out);
+}
+
+// hpcap-lint: hot-path
+void CapacityMonitor::observe_block(
+    const WindowBlock& block, const std::uint8_t* valid, bool masked,
+    std::span<CoordinatedPredictor::Decision> out) {
+  const std::size_t W = block.num_windows;
+  const std::size_t T = block.num_tiers;
+  const std::size_t m = synopses_.size();
+  if (out.size() < W)
+    throw std::invalid_argument("CapacityMonitor: output span too small");
+  if (W == 0) return;
+  if (block.data == nullptr || T == 0 || block.dim == 0)
+    throw std::invalid_argument("CapacityMonitor: empty window block");
+
+  // Stage 1 — synopsis-major vote fill: each synopsis projects and scores
+  // every window of its tier in one batch-kernel call. Invalid windows'
+  // vote slots stay 0, matching observe_masked's abstention convention.
+  votes_block_.assign(m * W, 0);
+  if (masked) valid_block_.resize(m * W);
+  for (std::size_t s = 0; s < m; ++s) {
+    const auto t = static_cast<std::size_t>(synopses_[s].spec().tier_index);
+    if (t >= T) throw std::out_of_range("CapacityMonitor: missing tier row");
+    const std::uint8_t* valid_col = nullptr;
+    if (masked) {
+      std::uint8_t* vc = valid_block_.data() + s * W;
+      if (valid) {
+        for (std::size_t w = 0; w < W; ++w) vc[w] = valid[w * T + t] ? 1 : 0;
+      } else {
+        std::fill(vc, vc + W, std::uint8_t{1});
+      }
+      valid_col = vc;
+    }
+    synopses_[s].predict_many(block.data + t * block.dim, T * block.dim,
+                              block.dim, W, valid_col,
+                              votes_block_.data() + s * W);
+  }
+
+  // Stage 2 — the coordinated predictor is stateful (h-bit history
+  // register, staleness), so windows feed it sequentially in block order;
+  // this reproduces the scalar path's history evolution exactly.
+  votes_scratch_.resize(m);
+  if (masked) valid_scratch_.resize(m);
+  for (std::size_t w = 0; w < W; ++w) {
+    for (std::size_t s = 0; s < m; ++s)
+      votes_scratch_[s] = votes_block_[s * W + w];
+    if (masked) {
+      for (std::size_t s = 0; s < m; ++s)
+        valid_scratch_[s] = valid_block_[s * W + w];
+      out[w] = predictor_.predict_masked(votes_scratch_, valid_scratch_);
+    } else {
+      out[w] = predictor_.predict(votes_scratch_);
+    }
+  }
+}
+
 CoordinatedPredictor::Decision CapacityMonitor::observe_masked(
     const std::vector<std::vector<double>>& tier_rows,
     const std::vector<std::uint8_t>& tier_valid) {

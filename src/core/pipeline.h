@@ -33,6 +33,17 @@ struct SynopsisTask {
 std::vector<Synopsis> build_synopsis_bank(const SynopsisBuilder& builder,
                                           std::vector<SynopsisTask> tasks);
 
+// A contiguous row-major block of windows for batched observation:
+// window w's row for tier t starts at data[(w * num_tiers + t) * dim],
+// so one window is num_tiers consecutive rows and the whole block is one
+// allocation-friendly slab.
+struct WindowBlock {
+  const double* data = nullptr;
+  std::size_t num_windows = 0;
+  std::size_t num_tiers = 0;
+  std::size_t dim = 0;
+};
+
 class CapacityMonitor {
  public:
   // `synopses` order defines GPV bit order. Options' num_synopses is
@@ -69,6 +80,23 @@ class CapacityMonitor {
       const std::vector<std::vector<double>>& tier_rows,
       const std::vector<std::uint8_t>& tier_valid);
 
+  // Batched observe: decides every window of `block` into out[0..W).
+  // Amortizes the per-synopsis dispatch — each synopsis projects and
+  // scores the whole batch through its classifier's batch kernel before
+  // the (stateful, sequential) coordinated predictor consumes the votes
+  // window by window in block order. out[w] is bit-identical to calling
+  // observe() per window, including history evolution. Allocation-free
+  // after scratch buffers warm.
+  void observe_many(const WindowBlock& block,
+                    std::span<CoordinatedPredictor::Decision> out);
+
+  // Batched observe_masked: valid[w * num_tiers + t] gates window w's
+  // tier-t row (nullptr = all valid). Bit-identical to per-window
+  // observe_masked, including degraded/stale fallbacks.
+  void predict_masked_many(const WindowBlock& block,
+                           const std::uint8_t* valid,
+                           std::span<CoordinatedPredictor::Decision> out);
+
   // The raw per-synopsis votes for a window (GPV bits, for diagnostics).
   std::vector<int> synopsis_votes(
       const std::vector<std::vector<double>>& tier_rows) const;
@@ -86,10 +114,19 @@ class CapacityMonitor {
   const std::vector<int>& fill_votes(
       const std::vector<std::vector<double>>& tier_rows);
 
+  // Shared kernel of observe_many / predict_masked_many.
+  void observe_block(const WindowBlock& block, const std::uint8_t* valid,
+                     bool masked,
+                     std::span<CoordinatedPredictor::Decision> out);
+
   std::vector<Synopsis> synopses_;
   CoordinatedPredictor predictor_;
   std::vector<int> votes_scratch_;
   std::vector<std::uint8_t> valid_scratch_;
+  // Batched-path scratch, synopsis-major: synopsis s's vote/valid flag
+  // for window w lives at [s * num_windows + w].
+  std::vector<int> votes_block_;
+  std::vector<std::uint8_t> valid_block_;
 };
 
 }  // namespace hpcap::core

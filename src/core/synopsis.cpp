@@ -40,6 +40,38 @@ double Synopsis::predict_score(std::span<const double> full_row) const {
   return classifier_->predict_score(project(full_row));
 }
 
+// hpcap-lint: hot-path
+void Synopsis::predict_many(const double* rows, std::size_t row_stride,
+                            std::size_t row_width, std::size_t count,
+                            const std::uint8_t* valid, int* votes) const {
+  const std::size_t nattr = attributes_.size();
+  static thread_local std::vector<double> proj;
+  static thread_local std::vector<double> scores;
+  static thread_local std::vector<std::uint32_t> idx;
+  proj.resize(count * nattr);
+  scores.resize(count);
+  idx.resize(count);
+  // Gather the valid rows' projections into one dense block so the
+  // classifier's batch kernel sees contiguous row-major input.
+  std::size_t k = 0;
+  for (std::size_t w = 0; w < count; ++w) {
+    if (valid && !valid[w]) continue;
+    const double* row = rows + w * row_stride;
+    double* out = proj.data() + k * nattr;
+    for (std::size_t j = 0; j < nattr; ++j) {
+      const std::size_t a = attributes_[j];
+      if (a >= row_width)
+        throw std::out_of_range("Synopsis: row narrower than catalog");
+      out[j] = row[a];
+    }
+    idx[k++] = static_cast<std::uint32_t>(w);
+  }
+  if (k == 0) return;
+  classifier_->predict_score_many(proj.data(), nattr, k, scores.data());
+  for (std::size_t i = 0; i < k; ++i)
+    votes[idx[i]] = scores[i] >= 0.5 ? 1 : 0;
+}
+
 std::string Synopsis::id() const {
   return spec_.workload + "/" + spec_.tier + "/" + spec_.level + "/" +
          classifier_->name();

@@ -9,6 +9,8 @@
 // uniform: every component exchanges full catalog-layout vectors.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -49,6 +51,17 @@ class Synopsis {
   // `full_row` is in the level's full catalog layout.
   int predict(std::span<const double> full_row) const;
   double predict_score(std::span<const double> full_row) const;
+
+  // Batched predict over `count` full-catalog rows starting at `rows`,
+  // consecutive rows `row_stride` doubles apart, each `row_width` wide.
+  // valid (may be nullptr = all valid) gates each row; votes[w] is written
+  // only for valid rows (invalid slots are left untouched). Valid rows'
+  // projections are gathered into one contiguous block and scored with
+  // the classifier's batch kernel — vote w is bit-identical to
+  // predict(row w). Allocation-free after thread-local scratch warms.
+  void predict_many(const double* rows, std::size_t row_stride,
+                    std::size_t row_width, std::size_t count,
+                    const std::uint8_t* valid, int* votes) const;
 
   std::string id() const;  // "ordering/app/hpc/TAN"
 

@@ -23,34 +23,40 @@ InstanceAggregator::InstanceAggregator(std::size_t dim,
         "InstanceAggregator: trimmed_samples must leave a non-empty core");
   max_missing_ = static_cast<int>(max_missing_fraction *
                                   static_cast<double>(window_));
-  buffer_.reserve(static_cast<std::size_t>(window_));
+  buffer_.assign(static_cast<std::size_t>(window_) * dim_, 0.0);
+  instance_.assign(dim_, 0.0);
+  column_.reserve(static_cast<std::size_t>(window_));
 }
 
-InstanceAggregator::SlotResult InstanceAggregator::add_slot(
-    const std::vector<double>& sample) {
+// hpcap-lint: hot-path
+InstanceAggregator::SlotView InstanceAggregator::add_slot_view(
+    std::span<const double> sample) {
   if (sample.size() != dim_)
     throw std::invalid_argument("InstanceAggregator: dimension mismatch");
   const bool finite =
       std::all_of(sample.begin(), sample.end(),
                   [](double v) { return std::isfinite(v); });
-  if (!finite) return mark_missing();
+  if (!finite) return mark_missing_view();
   ++slots_;
-  buffer_.push_back(sample);
+  std::copy(sample.begin(), sample.end(),
+            buffer_.begin() + static_cast<std::size_t>(rows_) * dim_);
+  ++rows_;
   return close_if_full();
 }
 
-InstanceAggregator::SlotResult InstanceAggregator::mark_missing() {
+InstanceAggregator::SlotView InstanceAggregator::mark_missing_view() {
   ++slots_;
   ++missing_;
   return close_if_full();
 }
 
-InstanceAggregator::SlotResult InstanceAggregator::close_if_full() {
-  SlotResult r;
+// hpcap-lint: hot-path
+InstanceAggregator::SlotView InstanceAggregator::close_if_full() {
+  SlotView r;
   if (slots_ < window_) return r;
   r.window_closed = true;
   r.missing = missing_;
-  const int present = static_cast<int>(buffer_.size());
+  const int present = rows_;
   // Too many gaps (or too few survivors to trim): the window is not a
   // faithful 30 s average — discard it rather than averaging short.
   if (missing_ > max_missing_ || present <= 2 * trim_) {
@@ -59,28 +65,53 @@ InstanceAggregator::SlotResult InstanceAggregator::close_if_full() {
     return r;
   }
   r.valid = true;
-  std::vector<double> instance(dim_, 0.0);
+  std::fill(instance_.begin(), instance_.end(), 0.0);
   if (trim_ == 0) {
-    for (const auto& row : buffer_)
-      for (std::size_t i = 0; i < dim_; ++i) instance[i] += row[i];
+    // Row-major accumulation in arrival order — the same FP addition
+    // sequence as the legacy vector-of-rows loop, so means stay
+    // bit-identical across the storage change.
+    for (int s = 0; s < present; ++s) {
+      const double* row = buffer_.data() + static_cast<std::size_t>(s) * dim_;
+      for (std::size_t i = 0; i < dim_; ++i) instance_[i] += row[i];
+    }
     for (std::size_t i = 0; i < dim_; ++i)
-      instance[i] /= static_cast<double>(present);
+      instance_[i] /= static_cast<double>(present);
   } else {
-    std::vector<double> column(static_cast<std::size_t>(present));
+    column_.resize(static_cast<std::size_t>(present));
     for (std::size_t i = 0; i < dim_; ++i) {
       for (int s = 0; s < present; ++s)
-        column[static_cast<std::size_t>(s)] =
-            buffer_[static_cast<std::size_t>(s)][i];
-      std::sort(column.begin(), column.end());
+        column_[static_cast<std::size_t>(s)] =
+            buffer_[static_cast<std::size_t>(s) * dim_ + i];
+      std::sort(column_.begin(), column_.end());
       double sum = 0.0;
       for (int s = trim_; s < present - trim_; ++s)
-        sum += column[static_cast<std::size_t>(s)];
-      instance[i] = sum / static_cast<double>(present - 2 * trim_);
+        sum += column_[static_cast<std::size_t>(s)];
+      instance_[i] = sum / static_cast<double>(present - 2 * trim_);
     }
   }
-  r.instance = std::move(instance);
+  r.instance = instance_;
   reset();
   return r;
+}
+
+InstanceAggregator::SlotResult InstanceAggregator::to_result(
+    const SlotView& v) {
+  SlotResult r;
+  r.window_closed = v.window_closed;
+  r.valid = v.valid;
+  r.missing = v.missing;
+  if (v.window_closed && v.valid)
+    r.instance.emplace(v.instance.begin(), v.instance.end());
+  return r;
+}
+
+InstanceAggregator::SlotResult InstanceAggregator::add_slot(
+    const std::vector<double>& sample) {
+  return to_result(add_slot_view(sample));
+}
+
+InstanceAggregator::SlotResult InstanceAggregator::mark_missing() {
+  return to_result(mark_missing_view());
 }
 
 std::optional<std::vector<double>> InstanceAggregator::add(
@@ -93,7 +124,7 @@ std::optional<std::vector<double>> InstanceAggregator::add(
 void InstanceAggregator::reset() {
   slots_ = 0;
   missing_ = 0;
-  buffer_.clear();
+  rows_ = 0;
 }
 
 }  // namespace hpcap::counters

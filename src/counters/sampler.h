@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "counters/hpc_model.h"
@@ -47,12 +48,28 @@ class InstanceAggregator {
     std::optional<std::vector<double>> instance;  // set iff closed && valid
   };
 
+  // Zero-copy outcome of one slot: `instance` (non-empty iff closed &&
+  // valid) is a span into a reusable member buffer, valid until the next
+  // add_slot*/mark_missing* call on this aggregator. The daemon's batch
+  // path copies the span straight into its window block without the
+  // per-window vector the legacy SlotResult materializes.
+  struct SlotView {
+    bool window_closed = false;
+    bool valid = false;
+    int missing = 0;
+    std::span<const double> instance;
+  };
+
   // Adds one sample slot. A sample with any non-finite entry is treated
   // as a missing slot (a garbage read is a failed read). Throws
   // std::invalid_argument on dimension mismatch.
-  SlotResult add_slot(const std::vector<double>& sample);
+  SlotView add_slot_view(std::span<const double> sample);
 
   // Consumes one slot with no sample (dropped read, tier blackout).
+  SlotView mark_missing_view();
+
+  // Legacy copying interface (wraps the view variants).
+  SlotResult add_slot(const std::vector<double>& sample);
   SlotResult mark_missing();
 
   // Legacy interface: returns the averaged instance when a window fills
@@ -72,7 +89,8 @@ class InstanceAggregator {
   }
 
  private:
-  SlotResult close_if_full();
+  SlotView close_if_full();
+  static SlotResult to_result(const SlotView& v);
 
   std::size_t dim_;
   int window_;
@@ -80,9 +98,13 @@ class InstanceAggregator {
   int trim_;
   int slots_ = 0;    // slots consumed in the current window
   int missing_ = 0;  // missing slots among them
-  // Surviving samples of the open window, in arrival order (so the
-  // untrimmed mean sums in exactly the order the old running-sum did).
-  std::vector<std::vector<double>> buffer_;
+  int rows_ = 0;     // surviving samples buffered
+  // Surviving samples of the open window in one flat row-major slab
+  // (sized window_ * dim_ once at construction), in arrival order — the
+  // untrimmed mean sums in exactly the order the old running-sum did.
+  std::vector<double> buffer_;
+  std::vector<double> instance_;  // SlotView::instance backing store
+  std::vector<double> column_;    // per-metric gather scratch for trimming
   std::uint64_t windows_discarded_ = 0;
 };
 

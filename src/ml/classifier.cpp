@@ -9,6 +9,12 @@
 
 namespace hpcap::ml {
 
+void Classifier::predict_score_many(const double* rows, std::size_t dim,
+                                    std::size_t count, double* out) const {
+  for (std::size_t w = 0; w < count; ++w)
+    out[w] = predict_score({rows + w * dim, dim});
+}
+
 std::unique_ptr<Classifier> make_learner(LearnerKind kind) {
   switch (kind) {
     case LearnerKind::kLinearRegression:

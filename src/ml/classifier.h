@@ -7,6 +7,7 @@
 // cross-validation and forward attribute selection retrain per fold.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <string>
@@ -25,6 +26,14 @@ class Classifier {
 
   // Estimated probability (or calibrated score) that the row's class is 1.
   virtual double predict_score(std::span<const double> x) const = 0;
+
+  // Scores `count` rows stored contiguously row-major at `rows` (each row
+  // `dim` doubles wide) into out[0..count). The base implementation loops
+  // predict_score; the table-driven learners override it with batch
+  // kernels that hoist per-attribute dispatch out of the per-row loop.
+  // Contract: out[w] is bit-identical to predict_score(row w) for every w.
+  virtual void predict_score_many(const double* rows, std::size_t dim,
+                                  std::size_t count, double* out) const;
 
   int predict(std::span<const double> x) const {
     return predict_score(x) >= 0.5 ? 1 : 0;

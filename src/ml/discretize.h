@@ -65,6 +65,18 @@ class Discretizer {
                                     first);
   }
 
+  // Contiguous ascending cut range of one attribute, for batch kernels
+  // that hoist the range lookup out of a per-row loop. bin_of(attr, v)
+  // == upper_bound(first, last, v) - first for the returned pair.
+  struct CutRange {
+    const double* first;
+    const double* last;
+  };
+  CutRange cut_range(std::size_t attr) const {
+    check_attr(attr);
+    return {cuts_.data() + offsets_[attr], cuts_.data() + offsets_[attr + 1]};
+  }
+
   // Discretizes a full row.
   std::vector<std::size_t> transform(std::span<const double> row) const;
 

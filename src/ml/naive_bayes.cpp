@@ -1,7 +1,9 @@
 #include "ml/naive_bayes.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace hpcap::ml {
 
@@ -53,6 +55,39 @@ double NaiveBayes::predict_score(std::span<const double> x) const {
   const double e0 = std::exp(lp[0] - m);
   const double e1 = std::exp(lp[1] - m);
   return e1 / (e0 + e1);
+}
+
+// hpcap-lint: hot-path
+void NaiveBayes::predict_score_many(const double* rows, std::size_t dim,
+                                    std::size_t count, double* out) const {
+  if (!disc_) throw std::logic_error("NaiveBayes: not fitted");
+  const std::size_t d = std::min(cond_offsets_.size() - 1, dim);
+  static thread_local std::vector<double> lp;
+  lp.resize(count * 2);
+  for (std::size_t w = 0; w < count; ++w) {
+    lp[w * 2 + 0] = log_prior_[0];
+    lp[w * 2 + 1] = log_prior_[1];
+  }
+  // Column walk: the cut range and table base load once per attribute,
+  // not once per (row, attribute). Each row still accumulates its log
+  // probabilities in ascending attribute order — the same addition
+  // sequence as predict_score, hence bit-identical sums.
+  for (std::size_t a = 0; a < d; ++a) {
+    const auto [first, last] = disc_->cut_range(a);
+    const double* table = log_cond_.data() + cond_offsets_[a];
+    for (std::size_t w = 0; w < count; ++w) {
+      const std::size_t b = static_cast<std::size_t>(
+          std::upper_bound(first, last, rows[w * dim + a]) - first);
+      lp[w * 2 + 0] += table[b * 2 + 0];
+      lp[w * 2 + 1] += table[b * 2 + 1];
+    }
+  }
+  for (std::size_t w = 0; w < count; ++w) {
+    const double m = std::max(lp[w * 2], lp[w * 2 + 1]);
+    const double e0 = std::exp(lp[w * 2] - m);
+    const double e1 = std::exp(lp[w * 2 + 1] - m);
+    out[w] = e1 / (e0 + e1);
+  }
 }
 
 }  // namespace hpcap::ml

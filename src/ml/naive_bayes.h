@@ -24,6 +24,12 @@ class NaiveBayes final : public Classifier {
 
   void fit(const DatasetView& d) override;
   double predict_score(std::span<const double> x) const override;
+  // Batch kernel: walks each attribute's cut range and conditional table
+  // once per column instead of once per row; per-row log-prob additions
+  // stay in attribute order, so results are bit-identical to the scalar
+  // predict_score.
+  void predict_score_many(const double* rows, std::size_t dim,
+                          std::size_t count, double* out) const override;
   bool fitted() const noexcept override { return disc_.has_value(); }
   std::unique_ptr<Classifier> clone() const override {
     return std::make_unique<NaiveBayes>(laplace_);

@@ -340,6 +340,46 @@ double Svm::predict_score(std::span<const double> x) const {
   return 1.0 / (1.0 + std::exp(-2.0 * decision(xs.data())));
 }
 
+// hpcap-lint: hot-path
+void Svm::predict_score_many(const double* rows, std::size_t dim,
+                             std::size_t count, double* out) const {
+  if (!fitted_) throw std::logic_error("Svm: not fitted");
+  static thread_local std::vector<double> xs;
+  static thread_local std::vector<double> acc;
+  xs.resize(count * dim_);
+  acc.resize(count);
+  // Standardize the whole block up front (same per-element math as
+  // standardize_into, including mean imputation for short rows).
+  for (std::size_t w = 0; w < count; ++w) {
+    double* xw = xs.data() + w * dim_;
+    const double* rw = rows + w * dim;
+    for (std::size_t a = 0; a < dim_; ++a) {
+      const double v = a < dim ? rw[a] : mean_[a];
+      xw[a] = (v - mean_[a]) / scale_[a];
+    }
+  }
+  for (std::size_t w = 0; w < count; ++w) acc[w] = b_;
+  // Blocked SV walk: each block of support vectors stays hot in cache
+  // while it is applied to every window. Within a row the additions still
+  // happen in ascending SV index order (acc[w] carries across blocks), so
+  // the decision value is the same FP sum as the scalar path.
+  constexpr std::size_t kSvBlock = 32;
+  const std::size_t nsv = alpha_y_.size();
+  for (std::size_t i0 = 0; i0 < nsv; i0 += kSvBlock) {
+    const std::size_t i1 = std::min(i0 + kSvBlock, nsv);
+    for (std::size_t w = 0; w < count; ++w) {
+      const double* xw = xs.data() + w * dim_;
+      double s = acc[w];
+      const double* sv = sv_x_.data() + i0 * dim_;
+      for (std::size_t i = i0; i < i1; ++i, sv += dim_)
+        s += alpha_y_[i] * kernel_raw(sv, xw, dim_);
+      acc[w] = s;
+    }
+  }
+  for (std::size_t w = 0; w < count; ++w)
+    out[w] = 1.0 / (1.0 + std::exp(-2.0 * acc[w]));
+}
+
 std::size_t Svm::support_vector_count() const noexcept {
   return alpha_y_.size();
 }

@@ -62,6 +62,14 @@ class Svm final : public Classifier {
 
   void fit(const DatasetView& d) override;
   double predict_score(std::span<const double> x) const override;
+  // Batch kernel: standardizes the whole block once, then walks the
+  // support vectors in cache-friendly blocks — each SV row is streamed
+  // against every window in the batch before moving on, instead of
+  // re-reading the full SV set per window. Per-row accumulation stays in
+  // SV index order, so decision values are bit-identical to the scalar
+  // predict_score.
+  void predict_score_many(const double* rows, std::size_t dim,
+                          std::size_t count, double* out) const override;
   bool fitted() const noexcept override { return fitted_; }
   std::unique_ptr<Classifier> clone() const override {
     return std::make_unique<Svm>(opts_);

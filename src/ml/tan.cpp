@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "ml/info.h"
 
@@ -123,6 +125,55 @@ double Tan::predict_score(std::span<const double> x) const {
   const double e0 = std::exp(lp[0] - m);
   const double e1 = std::exp(lp[1] - m);
   return e1 / (e0 + e1);
+}
+
+// hpcap-lint: hot-path
+void Tan::predict_score_many(const double* rows, std::size_t dim,
+                             std::size_t count, double* out) const {
+  if (!disc_) throw std::logic_error("Tan: not fitted");
+  const std::size_t d = std::min(cond_offsets_.size() - 1, dim);
+  static thread_local std::vector<std::uint32_t> bins;
+  static thread_local std::vector<double> lp;
+  bins.resize(count * d);
+  lp.resize(count * 2);
+  // Pass 1: discretize every cell once, column by column (cut range loads
+  // once per attribute). The scalar path repeats the parent attribute's
+  // binary search for every child that points at it; here each cell is
+  // searched exactly once and reused.
+  for (std::size_t a = 0; a < d; ++a) {
+    const auto [first, last] = disc_->cut_range(a);
+    for (std::size_t w = 0; w < count; ++w)
+      bins[w * d + a] = static_cast<std::uint32_t>(
+          std::upper_bound(first, last, rows[w * dim + a]) - first);
+  }
+  for (std::size_t w = 0; w < count; ++w) {
+    lp[w * 2 + 0] = log_prior_[0];
+    lp[w * 2 + 1] = log_prior_[1];
+  }
+  // Pass 2: accumulate log P(A_a = bin | parent_bin, C) in ascending
+  // attribute order per row — the same addition sequence as the scalar
+  // predict_score, hence bit-identical sums.
+  for (std::size_t a = 0; a < d; ++a) {
+    const std::size_t pbins = parent_bins_[a];
+    const int pa = parent_[a];
+    const double* table = log_cond_.data() + cond_offsets_[a];
+    for (std::size_t w = 0; w < count; ++w) {
+      const std::size_t b = bins[w * d + a];
+      const std::size_t pb =
+          (pa >= 0 && static_cast<std::size_t>(pa) < d)
+              ? bins[w * d + static_cast<std::size_t>(pa)]
+              : 0;
+      const double* lc = table + (b * pbins + pb) * 2;
+      lp[w * 2 + 0] += lc[0];
+      lp[w * 2 + 1] += lc[1];
+    }
+  }
+  for (std::size_t w = 0; w < count; ++w) {
+    const double m = std::max(lp[w * 2], lp[w * 2 + 1]);
+    const double e0 = std::exp(lp[w * 2] - m);
+    const double e1 = std::exp(lp[w * 2 + 1] - m);
+    out[w] = e1 / (e0 + e1);
+  }
 }
 
 }  // namespace hpcap::ml

@@ -29,6 +29,13 @@ class Tan final : public Classifier {
 
   void fit(const DatasetView& d) override;
   double predict_score(std::span<const double> x) const override;
+  // Batch kernel: discretizes every (row, attribute) cell once in a first
+  // pass, then reuses the cached bins for both own- and parent-bin table
+  // lookups — the scalar path re-runs the parent's binary search per
+  // attribute. Per-row additions stay in attribute order: bit-identical
+  // to predict_score.
+  void predict_score_many(const double* rows, std::size_t dim,
+                          std::size_t count, double* out) const override;
   bool fitted() const noexcept override { return disc_.has_value(); }
   std::unique_ptr<Classifier> clone() const override {
     return std::make_unique<Tan>(laplace_);

@@ -48,7 +48,8 @@ Client::~Client() { close(); }
 Client::Client(Client&& other) noexcept
     : fd_(other.fd_),
       assembler_(std::move(other.assembler_)),
-      decisions_(std::move(other.decisions_)) {
+      decisions_(std::move(other.decisions_)),
+      send_scratch_(std::move(other.send_scratch_)) {
   other.fd_ = -1;
 }
 
@@ -102,7 +103,7 @@ void Client::close() {
   }
 }
 
-void Client::send_all(const std::vector<std::uint8_t>& bytes) {
+void Client::send_all(std::span<const std::uint8_t> bytes) {
   if (fd_ < 0) fail("not connected");
   std::size_t off = 0;
   while (off < bytes.size()) {
@@ -139,14 +140,20 @@ bool Client::fill(double timeout_seconds) {
 Frame Client::await_frame(FrameType want, double timeout_seconds) {
   const double deadline = monotonic_seconds() + timeout_seconds;
   for (;;) {
-    while (auto frame = assembler_.next()) {
+    while (auto frame = assembler_.next_ref()) {
       if (frame->type == FrameType::kDecision) {
+        // DECISIONs decode straight off the receive buffer — no payload
+        // copy for the frames that dominate a streaming session.
         decisions_.push_back(decode_decision(frame->payload));
         continue;
       }
       if (frame->type != want)
         throw ProtocolError("net::Client: unexpected frame type");
-      return std::move(*frame);
+      // Control replies are rare; copy the payload out so the caller
+      // owns it independent of the assembler's buffer.
+      return Frame{frame->type,
+                   std::vector<std::uint8_t>(frame->payload.begin(),
+                                             frame->payload.end())};
     }
     const double left = deadline - monotonic_seconds();
     if (left <= 0.0) fail("timed out waiting for the daemon");
@@ -161,7 +168,20 @@ HelloReply Client::hello(const HelloRequest& req, double timeout_seconds) {
 }
 
 void Client::send_batch(const SampleBatch& batch) {
-  send_all(encode_sample_batch(batch));
+  // Reuse one encode buffer across batches: after the first few sends the
+  // scratch reaches its high-water capacity and the encode+write path
+  // stops allocating (the old path built a fresh vector per batch).
+  send_scratch_.clear();
+  encode_sample_batch_into(batch, send_scratch_);
+  send_all(send_scratch_);
+}
+
+void Client::buffer_decisions() {
+  while (auto frame = assembler_.next_ref()) {
+    if (frame->type != FrameType::kDecision)
+      throw ProtocolError("net::Client: unexpected frame type");
+    decisions_.push_back(decode_decision(frame->payload));
+  }
 }
 
 std::vector<DecisionFrame> Client::drain_decisions() {
@@ -175,11 +195,7 @@ std::vector<DecisionFrame> Client::drain_decisions() {
       assembler_.append(buf, static_cast<std::size_t>(n));
       if (n < static_cast<ssize_t>(sizeof buf)) break;
     }
-    while (auto frame = assembler_.next()) {
-      if (frame->type != FrameType::kDecision)
-        throw ProtocolError("net::Client: unexpected frame type");
-      decisions_.push_back(decode_decision(frame->payload));
-    }
+    buffer_decisions();
   }
   std::vector<DecisionFrame> out(decisions_.begin(), decisions_.end());
   decisions_.clear();
@@ -194,11 +210,7 @@ DecisionFrame Client::next_decision(double timeout_seconds) {
       decisions_.pop_front();
       return d;
     }
-    while (auto frame = assembler_.next()) {
-      if (frame->type != FrameType::kDecision)
-        throw ProtocolError("net::Client: unexpected frame type");
-      decisions_.push_back(decode_decision(frame->payload));
-    }
+    buffer_decisions();
     if (!decisions_.empty()) continue;
     const double left = deadline - monotonic_seconds();
     if (left <= 0.0) fail("timed out waiting for a decision");

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,7 +40,9 @@ class Client {
   // normally with accepted == false so the caller can report the reason.
   HelloReply hello(const HelloRequest& req, double timeout_seconds = 10.0);
 
-  // Ships one batch of sampling ticks (blocking write).
+  // Ships one batch of sampling ticks (blocking write). Encodes into a
+  // member scratch buffer, so a steady-state streaming loop performs no
+  // allocation once the buffer reaches its high-water size.
   void send_batch(const SampleBatch& batch);
 
   // All decisions that have already arrived, without blocking.
@@ -56,16 +59,20 @@ class Client {
   void shutdown_server(double timeout_seconds = 10.0);
 
  private:
-  void send_all(const std::vector<std::uint8_t>& bytes);
+  void send_all(std::span<const std::uint8_t> bytes);
   // Reads until a frame of `want` arrives (buffering DECISIONs), or
   // throws on timeout/disconnect.
   Frame await_frame(FrameType want, double timeout_seconds);
   // Pulls whatever is readable into the assembler. Returns false on EOF.
   bool fill(double timeout_seconds);
+  // Drains complete frames from the assembler into decisions_ (zero-copy
+  // decode); throws ProtocolError on a non-DECISION frame.
+  void buffer_decisions();
 
   int fd_ = -1;
   FrameAssembler assembler_;
   std::deque<DecisionFrame> decisions_;
+  std::vector<std::uint8_t> send_scratch_;  // send_batch encode buffer
 };
 
 }  // namespace hpcap::net

@@ -50,6 +50,24 @@ void put_f64(std::vector<std::uint8_t>& out, double v) {
   put_u64(out, std::bit_cast<std::uint64_t>(v));
 }
 
+void put_f64_array(std::vector<std::uint8_t>& out,
+                   std::span<const double> vals) {
+  if (vals.empty()) return;
+  const std::size_t at = out.size();
+  out.resize(at + vals.size() * 8);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data() + at, vals.data(), vals.size() * 8);
+  } else {
+    std::uint8_t* dst = out.data() + at;
+    for (const double v : vals) {
+      const auto u = std::bit_cast<std::uint64_t>(v);
+      for (int i = 0; i < 8; ++i)
+        dst[i] = static_cast<std::uint8_t>((u >> (8 * i)) & 0xff);
+      dst += 8;
+    }
+  }
+}
+
 void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
   if (s.size() > kMaxString)
     throw ProtocolError("wire protocol: string too long to encode");
@@ -96,6 +114,28 @@ std::int32_t PayloadReader::read_i32() {
 
 double PayloadReader::read_f64() {
   return std::bit_cast<double>(read_u64());
+}
+
+void PayloadReader::skip_f64(std::size_t n) {
+  // Same failure as n read_f64 calls: the first value that cannot be
+  // fully read reports a truncated u64.
+  if (remaining() < n * 8) malformed("truncated u64");
+  pos_ += n * 8;
+}
+
+void PayloadReader::read_f64_array(double* dst, std::size_t n) {
+  if (remaining() < n * 8) malformed("truncated u64");
+  if constexpr (std::endian::native == std::endian::little) {
+    if (n != 0) std::memcpy(dst, data_.data() + pos_, n * 8);
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t u = 0;
+      for (int i = 0; i < 8; ++i)
+        u |= static_cast<std::uint64_t>(data_[pos_ + v * 8 + i]) << (8 * i);
+      dst[v] = std::bit_cast<double>(u);
+    }
+  }
+  pos_ += n * 8;
 }
 
 std::string PayloadReader::read_string() {
@@ -151,15 +191,50 @@ std::vector<std::uint8_t> encode_frame(
   return out;
 }
 
+namespace {
+
+// In-place framing for the encode_*_into family: begin_frame appends the
+// 12-byte header with a zero payload-size placeholder and returns the
+// placeholder's offset; end_frame patches the size once the payload has
+// been appended. Produces byte-identical frames to encode_frame without
+// a separate payload vector.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type) {
+  put_u32(out, kMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);
+  const std::size_t size_off = out.size();
+  put_u32(out, 0);
+  return size_off;
+}
+
+void end_frame(std::vector<std::uint8_t>& out, std::size_t size_off) {
+  const std::size_t payload = out.size() - size_off - 4;
+  if (payload > kMaxPayload)
+    throw ProtocolError("wire protocol: payload too large to encode");
+  for (int i = 0; i < 4; ++i)
+    out[size_off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((payload >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
 // --- HELLO ---------------------------------------------------------------
 
+void encode_hello_request_into(const HelloRequest& req,
+                               std::vector<std::uint8_t>& out) {
+  const std::size_t f = begin_frame(out, FrameType::kHello);
+  put_string(out, req.agent);
+  put_string(out, req.level);
+  put_u16(out, req.num_tiers);
+  put_u16(out, req.window);
+  end_frame(out, f);
+}
+
 std::vector<std::uint8_t> encode_hello_request(const HelloRequest& req) {
-  std::vector<std::uint8_t> p;
-  put_string(p, req.agent);
-  put_string(p, req.level);
-  put_u16(p, req.num_tiers);
-  put_u16(p, req.window);
-  return encode_frame(FrameType::kHello, p);
+  std::vector<std::uint8_t> out;
+  encode_hello_request_into(req, out);
+  return out;
 }
 
 HelloRequest decode_hello_request(std::span<const std::uint8_t> payload) {
@@ -173,18 +248,25 @@ HelloRequest decode_hello_request(std::span<const std::uint8_t> payload) {
   return req;
 }
 
-std::vector<std::uint8_t> encode_hello_reply(const HelloReply& rep) {
-  std::vector<std::uint8_t> p;
-  put_u8(p, rep.accepted ? 1 : 0);
-  put_string(p, rep.message);
-  put_u16(p, rep.num_tiers);
-  put_u16(p, rep.window);
-  put_u32(p, rep.model_version);
+void encode_hello_reply_into(const HelloReply& rep,
+                             std::vector<std::uint8_t>& out) {
+  const std::size_t f = begin_frame(out, FrameType::kHello);
+  put_u8(out, rep.accepted ? 1 : 0);
+  put_string(out, rep.message);
+  put_u16(out, rep.num_tiers);
+  put_u16(out, rep.window);
+  put_u32(out, rep.model_version);
   if (rep.dims.size() > kMaxTiers)
     throw ProtocolError("wire protocol: too many tiers to encode");
-  put_u16(p, static_cast<std::uint16_t>(rep.dims.size()));
-  for (std::uint16_t d : rep.dims) put_u16(p, d);
-  return encode_frame(FrameType::kHello, p);
+  put_u16(out, static_cast<std::uint16_t>(rep.dims.size()));
+  for (std::uint16_t d : rep.dims) put_u16(out, d);
+  end_frame(out, f);
+}
+
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& rep) {
+  std::vector<std::uint8_t> out;
+  encode_hello_reply_into(rep, out);
+  return out;
 }
 
 HelloReply decode_hello_reply(std::span<const std::uint8_t> payload) {
@@ -204,65 +286,145 @@ HelloReply decode_hello_reply(std::span<const std::uint8_t> payload) {
 
 // --- SAMPLE_BATCH --------------------------------------------------------
 
-std::vector<std::uint8_t> encode_sample_batch(const SampleBatch& batch) {
+// hpcap-lint: hot-path
+void encode_sample_batch_into(const SampleBatch& batch,
+                              std::vector<std::uint8_t>& out) {
   if (batch.ticks.size() > kMaxTicksPerBatch)
     throw ProtocolError("wire protocol: too many ticks to encode");
-  std::vector<std::uint8_t> p;
-  put_u32(p, batch.first_tick);
-  put_u16(p, static_cast<std::uint16_t>(batch.ticks.size()));
+  const std::size_t f = begin_frame(out, FrameType::kSampleBatch);
+  put_u32(out, batch.first_tick);
+  put_u16(out, static_cast<std::uint16_t>(batch.ticks.size()));
   for (const Tick& tick : batch.ticks) {
     if (tick.tiers.size() > kMaxTiers)
       throw ProtocolError("wire protocol: too many tiers to encode");
-    put_u16(p, static_cast<std::uint16_t>(tick.tiers.size()));
+    put_u16(out, static_cast<std::uint16_t>(tick.tiers.size()));
     for (const TierSlot& slot : tick.tiers) {
-      put_u8(p, slot.present ? 1 : 0);
+      put_u8(out, slot.present ? 1 : 0);
       if (!slot.present) continue;
       if (slot.values.size() > kMaxRowDim)
         throw ProtocolError("wire protocol: row too wide to encode");
-      put_u16(p, static_cast<std::uint16_t>(slot.values.size()));
-      for (double v : slot.values) put_f64(p, v);
+      put_u16(out, static_cast<std::uint16_t>(slot.values.size()));
+      put_f64_array(out, slot.values);
     }
   }
-  return encode_frame(FrameType::kSampleBatch, p);
+  end_frame(out, f);
+}
+
+std::vector<std::uint8_t> encode_sample_batch(const SampleBatch& batch) {
+  std::vector<std::uint8_t> out;
+  encode_sample_batch_into(batch, out);
+  return out;
+}
+
+// hpcap-lint: hot-path
+SampleBatchView decode_sample_batch_view(
+    std::span<const std::uint8_t> payload, BatchArena& arena) {
+  // Pass 1 — scan: validate structure and count ticks/slots/values so the
+  // arena arrays can be sized exactly once (no growth reallocation, and a
+  // hostile count never drives a speculative over-allocation).
+  std::size_t total_slots = 0;
+  std::size_t total_values = 0;
+  std::uint32_t first_tick = 0;
+  std::size_t num_ticks = 0;
+  {
+    PayloadReader scan(payload);
+    first_tick = scan.read_u32();
+    num_ticks = checked_count(scan.read_u16(), kMaxTicksPerBatch, "tick");
+    for (std::size_t t = 0; t < num_ticks; ++t) {
+      const std::size_t tiers =
+          checked_count(scan.read_u16(), kMaxTiers, "tier");
+      total_slots += tiers;
+      for (std::size_t i = 0; i < tiers; ++i) {
+        if (scan.read_u8() == 0) continue;
+        const std::size_t dim =
+            checked_count(scan.read_u16(), kMaxRowDim, "row");
+        scan.skip_f64(dim);
+        total_values += dim;
+      }
+    }
+    scan.expect_done("SAMPLE_BATCH");
+  }
+
+  // Pass 2 — fill by index into the exactly-sized arena. resize() only
+  // allocates until each array reaches its high-water mark; after that a
+  // connection's steady-state decodes are allocation-free.
+  arena.ticks_.resize(num_ticks);
+  // Both counts are bounded by the scanned payload itself — every slot
+  // costs at least one byte and every value eight — so neither can
+  // exceed kMaxPayload regardless of what the length fields claim.
+  arena.slots_.resize(total_slots);    // hpcap-lint: allow(bounded-decode)
+  arena.values_.resize(total_values);  // hpcap-lint: allow(bounded-decode)
+  PayloadReader r(payload);
+  SampleBatchView batch;
+  batch.first_tick = r.read_u32();
+  (void)r.read_u16();  // tick count, validated in pass 1
+  std::size_t slot_at = 0;
+  std::size_t value_at = 0;
+  for (std::size_t t = 0; t < num_ticks; ++t) {
+    const std::size_t tiers = r.read_u16();
+    TierSlotView* tick_slots = arena.slots_.data() + slot_at;
+    for (std::size_t i = 0; i < tiers; ++i) {
+      TierSlotView& slot = tick_slots[i];
+      slot.present = r.read_u8() != 0;
+      if (!slot.present) {
+        slot.values = {};
+        continue;
+      }
+      const std::size_t dim = r.read_u16();
+      double* vals = arena.values_.data() + value_at;
+      r.read_f64_array(vals, dim);
+      slot.values = {vals, dim};
+      value_at += dim;
+    }
+    arena.ticks_[t].tiers = {tick_slots, tiers};
+    slot_at += tiers;
+  }
+  batch.ticks = {arena.ticks_.data(), num_ticks};
+  batch.first_tick = first_tick;
+  return batch;
 }
 
 SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload) {
-  PayloadReader r(payload);
+  // One validation implementation: decode through a local arena, then
+  // deep-copy the views into the owning struct.
+  BatchArena arena;
+  const SampleBatchView view = decode_sample_batch_view(payload, arena);
   SampleBatch batch;
-  batch.first_tick = r.read_u32();
-  const std::size_t ticks =
-      checked_count(r.read_u16(), kMaxTicksPerBatch, "tick");
-  batch.ticks.resize(ticks);
-  for (Tick& tick : batch.ticks) {
-    const std::size_t tiers = checked_count(r.read_u16(), kMaxTiers, "tier");
-    tick.tiers.resize(tiers);
-    for (TierSlot& slot : tick.tiers) {
-      slot.present = r.read_u8() != 0;
-      if (!slot.present) continue;
-      const std::size_t dim = checked_count(r.read_u16(), kMaxRowDim, "row");
-      // Truncation is caught per-value by the reader; the cap above bounds
-      // the resize before any allocation happens.
-      slot.values.resize(dim);
-      for (double& v : slot.values) v = r.read_f64();
+  batch.first_tick = view.first_tick;
+  batch.ticks.resize(view.ticks.size());
+  for (std::size_t t = 0; t < view.ticks.size(); ++t) {
+    const TickView& tv = view.ticks[t];
+    batch.ticks[t].tiers.resize(tv.tiers.size());
+    for (std::size_t i = 0; i < tv.tiers.size(); ++i) {
+      batch.ticks[t].tiers[i].present = tv.tiers[i].present;
+      batch.ticks[t].tiers[i].values.assign(tv.tiers[i].values.begin(),
+                                            tv.tiers[i].values.end());
     }
   }
-  r.expect_done("SAMPLE_BATCH");
   return batch;
 }
 
 // --- DECISION ------------------------------------------------------------
 
+// hpcap-lint: hot-path
+void encode_decision_into(const DecisionFrame& d,
+                          std::vector<std::uint8_t>& out) {
+  const std::size_t f = begin_frame(out, FrameType::kDecision);
+  put_u32(out, d.window_index);
+  put_u8(out, d.state);
+  put_u8(out, d.confident);
+  put_u8(out, d.degraded);
+  put_u8(out, 0);
+  put_i32(out, d.hc);
+  put_i32(out, d.bottleneck_tier);
+  put_i32(out, d.staleness);
+  end_frame(out, f);
+}
+
 std::vector<std::uint8_t> encode_decision(const DecisionFrame& d) {
-  std::vector<std::uint8_t> p;
-  put_u32(p, d.window_index);
-  put_u8(p, d.state);
-  put_u8(p, d.confident);
-  put_u8(p, d.degraded);
-  put_u8(p, 0);
-  put_i32(p, d.hc);
-  put_i32(p, d.bottleneck_tier);
-  put_i32(p, d.staleness);
-  return encode_frame(FrameType::kDecision, p);
+  std::vector<std::uint8_t> out;
+  encode_decision_into(d, out);
+  return out;
 }
 
 DecisionFrame decode_decision(std::span<const std::uint8_t> payload) {
@@ -288,20 +450,31 @@ std::uint64_t StatsReply::value(const std::string& key) const {
   return 0;
 }
 
+void encode_stats_request_into(std::vector<std::uint8_t>& out) {
+  end_frame(out, begin_frame(out, FrameType::kStats));
+}
+
 std::vector<std::uint8_t> encode_stats_request() {
   return encode_frame(FrameType::kStats, {});
 }
 
-std::vector<std::uint8_t> encode_stats_reply(const StatsReply& rep) {
+void encode_stats_reply_into(const StatsReply& rep,
+                             std::vector<std::uint8_t>& out) {
   if (rep.entries.size() > kMaxStatsEntries)
     throw ProtocolError("wire protocol: too many stats entries to encode");
-  std::vector<std::uint8_t> p;
-  put_u32(p, static_cast<std::uint32_t>(rep.entries.size()));
+  const std::size_t f = begin_frame(out, FrameType::kStats);
+  put_u32(out, static_cast<std::uint32_t>(rep.entries.size()));
   for (const auto& [key, value] : rep.entries) {
-    put_string(p, key);
-    put_u64(p, value);
+    put_string(out, key);
+    put_u64(out, value);
   }
-  return encode_frame(FrameType::kStats, p);
+  end_frame(out, f);
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& rep) {
+  std::vector<std::uint8_t> out;
+  encode_stats_reply_into(rep, out);
+  return out;
 }
 
 StatsReply decode_stats_reply(std::span<const std::uint8_t> payload) {
@@ -321,10 +494,17 @@ StatsReply decode_stats_reply(std::span<const std::uint8_t> payload) {
 
 // --- RELOAD --------------------------------------------------------------
 
+void encode_reload_request_into(const ReloadRequest& req,
+                                std::vector<std::uint8_t>& out) {
+  const std::size_t f = begin_frame(out, FrameType::kReload);
+  put_string(out, req.path);
+  end_frame(out, f);
+}
+
 std::vector<std::uint8_t> encode_reload_request(const ReloadRequest& req) {
-  std::vector<std::uint8_t> p;
-  put_string(p, req.path);
-  return encode_frame(FrameType::kReload, p);
+  std::vector<std::uint8_t> out;
+  encode_reload_request_into(req, out);
+  return out;
 }
 
 ReloadRequest decode_reload_request(std::span<const std::uint8_t> payload) {
@@ -335,12 +515,19 @@ ReloadRequest decode_reload_request(std::span<const std::uint8_t> payload) {
   return req;
 }
 
+void encode_reload_reply_into(const ReloadReply& rep,
+                              std::vector<std::uint8_t>& out) {
+  const std::size_t f = begin_frame(out, FrameType::kReload);
+  put_u8(out, rep.ok ? 1 : 0);
+  put_u32(out, rep.model_version);
+  put_string(out, rep.message);
+  end_frame(out, f);
+}
+
 std::vector<std::uint8_t> encode_reload_reply(const ReloadReply& rep) {
-  std::vector<std::uint8_t> p;
-  put_u8(p, rep.ok ? 1 : 0);
-  put_u32(p, rep.model_version);
-  put_string(p, rep.message);
-  return encode_frame(FrameType::kReload, p);
+  std::vector<std::uint8_t> out;
+  encode_reload_reply_into(rep, out);
+  return out;
 }
 
 ReloadReply decode_reload_reply(std::span<const std::uint8_t> payload) {
@@ -359,12 +546,24 @@ std::vector<std::uint8_t> encode_shutdown() {
   return encode_frame(FrameType::kShutdown, {});
 }
 
+void encode_shutdown_into(std::vector<std::uint8_t>& out) {
+  end_frame(out, begin_frame(out, FrameType::kShutdown));
+}
+
 // --- FrameAssembler ------------------------------------------------------
 
+// hpcap-lint: hot-path
 void FrameAssembler::append(const std::uint8_t* data, std::size_t n) {
-  // Compact once the consumed prefix dominates, so the buffer does not
-  // grow without bound on a long-lived connection.
-  if (start_ > 4096 && start_ > buf_.size() / 2) {
+  // All bookkeeping that moves or drops bytes happens here, never in
+  // next_ref(): spans handed out since the last append stay valid until
+  // this call.
+  if (start_ == buf_.size()) {
+    // Everything consumed: restart at the front (capacity retained).
+    buf_.clear();
+    start_ = 0;
+  } else if (start_ > 4096 && start_ > buf_.size() / 2) {
+    // Compact once the consumed prefix dominates, so the buffer does not
+    // grow without bound on a long-lived connection.
     buf_.erase(buf_.begin(),
                buf_.begin() + static_cast<std::ptrdiff_t>(start_));
     start_ = 0;
@@ -372,22 +571,27 @@ void FrameAssembler::append(const std::uint8_t* data, std::size_t n) {
   buf_.insert(buf_.end(), data, data + n);
 }
 
-std::optional<Frame> FrameAssembler::next() {
+// hpcap-lint: hot-path
+std::optional<FrameRef> FrameAssembler::next_ref() {
   const std::span<const std::uint8_t> pending(buf_.data() + start_,
                                               buf_.size() - start_);
   const auto header = peek_header(pending);
   if (!header) return std::nullopt;
   const std::size_t total = kHeaderSize + header->payload_size;
   if (pending.size() < total) return std::nullopt;
-  Frame frame;
+  FrameRef frame;
   frame.type = header->type;
-  frame.payload.assign(pending.begin() + kHeaderSize,
-                       pending.begin() + static_cast<std::ptrdiff_t>(total));
+  frame.payload = pending.subspan(kHeaderSize, header->payload_size);
   start_ += total;
-  if (start_ == buf_.size()) {
-    buf_.clear();
-    start_ = 0;
-  }
+  return frame;
+}
+
+std::optional<Frame> FrameAssembler::next() {
+  const auto ref = next_ref();
+  if (!ref) return std::nullopt;
+  Frame frame;
+  frame.type = ref->type;
+  frame.payload.assign(ref->payload.begin(), ref->payload.end());
   return frame;
 }
 

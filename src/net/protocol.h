@@ -96,6 +96,15 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+// Zero-copy frame handle: `payload` points into the FrameAssembler's
+// receive buffer and stays valid until the next append() on that
+// assembler (decode it, or copy it out, before reading more bytes from
+// the socket).
+struct FrameRef {
+  FrameType type = FrameType::kHello;
+  std::span<const std::uint8_t> payload;
+};
+
 // --- low-level little-endian writer / bounds-checked reader -------------
 
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
@@ -104,6 +113,12 @@ void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
 void put_i32(std::vector<std::uint8_t>& out, std::int32_t v);
 void put_f64(std::vector<std::uint8_t>& out, double v);  // IEEE-754 bits
+// Bulk f64 encode: one resize + memcpy on little-endian hosts (the wire
+// byte order), a per-value store loop elsewhere. Equivalent bytes to
+// calling put_f64 per value; the sample-batch hot path depends on the
+// bulk form to keep wire CPU below the pipeline's.
+void put_f64_array(std::vector<std::uint8_t>& out,
+                   std::span<const double> vals);
 void put_string(std::vector<std::uint8_t>& out, const std::string& s);
 
 class PayloadReader {
@@ -118,6 +133,15 @@ class PayloadReader {
   std::int32_t read_i32();
   double read_f64();
   std::string read_string();  // u32 length (<= kMaxString) + bytes
+
+  // Skips n f64 values without materializing them (the batch decoder's
+  // counting pass). Throws exactly like n read_f64 calls would.
+  void skip_f64(std::size_t n);
+
+  // Bulk f64 decode into dst[0..n): one bounds check + memcpy on
+  // little-endian hosts, a per-value loop elsewhere. Same values and the
+  // same failure behavior as n read_f64 calls.
+  void read_f64_array(double* dst, std::size_t n);
 
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   // Throws ProtocolError if the payload has trailing bytes — a frame must
@@ -194,47 +218,117 @@ struct ReloadReply {
   std::string message;
 };
 
+// --- zero-copy SAMPLE_BATCH views ----------------------------------------
+
+// Span-based mirrors of TierSlot/Tick/SampleBatch. All spans point into
+// the BatchArena passed to decode_sample_batch_view and stay valid until
+// that arena's next decode (or destruction).
+struct TierSlotView {
+  bool present = false;
+  std::span<const double> values;
+};
+
+struct TickView {
+  std::span<const TierSlotView> tiers;
+};
+
+struct SampleBatchView {
+  std::uint32_t first_tick = 0;
+  std::span<const TickView> ticks;
+};
+
+// Reusable backing store for decoded SAMPLE_BATCH frames. A connection
+// keeps one arena and decodes every incoming batch through it: after the
+// first few frames the arrays reach their high-water size and decoding
+// allocates nothing (the decoder sizes them with exact counts from a
+// scan pass, never by growth).
+class BatchArena {
+ public:
+  BatchArena() = default;
+
+ private:
+  friend SampleBatchView decode_sample_batch_view(
+      std::span<const std::uint8_t> payload, BatchArena& arena);
+  std::vector<double> values_;
+  std::vector<TierSlotView> slots_;
+  std::vector<TickView> ticks_;
+};
+
+// Decodes a SAMPLE_BATCH payload into `arena`, returning spans into it.
+// Validation (caps, truncation, trailing bytes) is identical to
+// decode_sample_batch — same errors, same messages.
+SampleBatchView decode_sample_batch_view(
+    std::span<const std::uint8_t> payload, BatchArena& arena);
+
 // --- encode (full frame) / decode (payload only) -------------------------
+//
+// Every frame type has two encoders producing identical bytes: the
+// `encode_*` value form returns a fresh vector; the `encode_*_into` form
+// appends the framed bytes to `out` (not clearing it first), so callers
+// on the hot path can reuse one scratch buffer — or pack several frames
+// back to back for a single scatter-gather write.
 
 std::vector<std::uint8_t> encode_hello_request(const HelloRequest& req);
+void encode_hello_request_into(const HelloRequest& req,
+                               std::vector<std::uint8_t>& out);
 HelloRequest decode_hello_request(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_hello_reply(const HelloReply& rep);
+void encode_hello_reply_into(const HelloReply& rep,
+                             std::vector<std::uint8_t>& out);
 HelloReply decode_hello_reply(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_sample_batch(const SampleBatch& batch);
+void encode_sample_batch_into(const SampleBatch& batch,
+                              std::vector<std::uint8_t>& out);
 SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_decision(const DecisionFrame& d);
+void encode_decision_into(const DecisionFrame& d,
+                          std::vector<std::uint8_t>& out);
 DecisionFrame decode_decision(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_stats_request();
+void encode_stats_request_into(std::vector<std::uint8_t>& out);
 std::vector<std::uint8_t> encode_stats_reply(const StatsReply& rep);
+void encode_stats_reply_into(const StatsReply& rep,
+                             std::vector<std::uint8_t>& out);
 StatsReply decode_stats_reply(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_reload_request(const ReloadRequest& req);
+void encode_reload_request_into(const ReloadRequest& req,
+                                std::vector<std::uint8_t>& out);
 ReloadRequest decode_reload_request(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_reload_reply(const ReloadReply& rep);
+void encode_reload_reply_into(const ReloadReply& rep,
+                              std::vector<std::uint8_t>& out);
 ReloadReply decode_reload_reply(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_shutdown();
+void encode_shutdown_into(std::vector<std::uint8_t>& out);
 
 // --- incremental stream parsing ------------------------------------------
 
 // Accumulates raw socket bytes and yields complete frames. Throws
-// ProtocolError from next() on malformed input (the caller should then
-// drop the connection — after a framing error the stream position is
-// unrecoverable).
+// ProtocolError from next()/next_ref() on malformed input (the caller
+// should then drop the connection — after a framing error the stream
+// position is unrecoverable).
+//
+// next_ref() is the zero-copy form: the returned FrameRef's payload is a
+// span into the receive buffer, valid across further next_ref() calls
+// but invalidated by the next append(). next() copies the payload out
+// and has no lifetime string attached.
 class FrameAssembler {
  public:
   void append(const std::uint8_t* data, std::size_t n);
   std::optional<Frame> next();
+  std::optional<FrameRef> next_ref();
   std::size_t buffered() const noexcept { return buf_.size() - start_; }
 
  private:
   std::vector<std::uint8_t> buf_;
-  std::size_t start_ = 0;  // consumed prefix; compacted lazily
+  std::size_t start_ = 0;  // consumed prefix; reset/compacted in append()
 };
 
 }  // namespace hpcap::net

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,10 +16,12 @@
 #include <cstring>
 #include <deque>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "core/pipeline.h"
 #include "core/validate.h"
 #include "counters/metric_catalog.h"
 #include "counters/sampler.h"
@@ -38,6 +41,18 @@ std::size_t level_dim(const std::string& level) {
   if (level == "os") return counters::os_catalog().size();
   return 0;
 }
+
+// Windows accumulated in the block scratch before a predict_masked_many
+// flush. Bounds both decision latency within a giant SAMPLE_BATCH frame
+// and the number of DECISION frames queued between flushes (well under
+// the max_write_queue floor of 2... the default 256).
+constexpr std::size_t kObserveBlock = 32;
+
+// Recycled outbound encode buffers kept per connection.
+constexpr std::size_t kSparePool = 8;
+
+// Frames covered by one scatter-gather ::sendmsg.
+constexpr std::size_t kMaxIov = 64;
 
 }  // namespace
 
@@ -59,6 +74,9 @@ struct Server::Connection {
     std::size_t offset = 0;
   };
   std::deque<OutFrame> write_queue;
+  // Fully-sent (or shed) frame buffers, cleared but with capacity intact,
+  // waiting to be reused by the next encode (bounded by kSparePool).
+  std::vector<std::vector<std::uint8_t>> spares;
   bool want_write = false;
   bool close_after_flush = false;
   // Marked dead (send failure, queue overflow, flushed close) but not yet
@@ -78,9 +96,17 @@ struct Server::Connection {
   std::optional<core::CapacityMonitor> monitor;
   std::optional<core::RowValidator> validator;
   std::vector<counters::InstanceAggregator> aggregators;
-  // Scratch reused across windows: per-tier rows + validity mask.
-  std::vector<std::vector<double>> rows;
-  std::vector<std::uint8_t> mask;
+  // Zero-copy SAMPLE_BATCH decode backing store; reaches its high-water
+  // size after a few frames and then decodes allocation-free.
+  BatchArena arena;
+  // Window-block scratch: up to kObserveBlock closed windows accumulate
+  // here (row-major, window w tier t at block[(w*T + t)*dim]) with a
+  // per-tier validity mask, then one predict_masked_many call decides
+  // them all. Sized once at HELLO.
+  std::vector<double> block;
+  std::vector<std::uint8_t> block_valid;
+  std::vector<core::CoordinatedPredictor::Decision> block_out;
+  std::size_t block_windows = 0;
   std::uint32_t window_index = 0;
 };
 
@@ -233,7 +259,10 @@ void Server::handle_io(int fd, bool readable, bool writable) {
         close_connection(fd, live.doom_reason);
         return;
       }
-      auto frame = live.assembler.next();
+      // Zero-copy dispatch: the FrameRef payload is a span into the
+      // assembler's buffer, valid through handle_frame (nothing appends
+      // to this assembler until the next recv above).
+      auto frame = live.assembler.next_ref();
       if (!frame) break;
       ++stats_.frames_in;
       handle_frame(live, *frame);
@@ -242,16 +271,25 @@ void Server::handle_io(int fd, bool readable, bool writable) {
     ++stats_.malformed_frames;
     HPCAP_WARN << "hpcapd: dropping fd " << fd << ": " << e.what();
     close_connection(fd, "malformed frame");
+    return;
   }
+
+  // Deferred flush: every frame handled this wakeup enqueued its output
+  // without writing; one scatter-gather flush ships the lot. Re-find the
+  // fd first — a handler may have closed or doomed the connection.
+  const auto fin = conns_.find(fd);
+  if (fin == conns_.end()) return;
+  flush_writes(*fin->second);
+  if (fin->second->doomed) close_connection(fd, fin->second->doom_reason);
 }
 
-void Server::handle_frame(Connection& c, const Frame& frame) {
+void Server::handle_frame(Connection& c, const FrameRef& frame) {
   switch (frame.type) {
     case FrameType::kHello:
       handle_hello(c, decode_hello_request(frame.payload));
       return;
     case FrameType::kSampleBatch:
-      handle_batch(c, decode_sample_batch(frame.payload));
+      handle_batch(c, frame.payload);
       return;
     case FrameType::kStats: {
       PayloadReader r(frame.payload);
@@ -306,7 +344,9 @@ void Server::handle_hello(Connection& c, const HelloRequest& req) {
     ++stats_.hellos_rejected;
     rep.accepted = false;
     c.close_after_flush = true;
-    enqueue(c, FrameType::kHello, encode_hello_reply(rep));
+    auto buf = take_spare(c);
+    encode_hello_reply_into(rep, buf);
+    enqueue(c, FrameType::kHello, std::move(buf));
     return;
   }
 
@@ -324,81 +364,105 @@ void Server::handle_hello(Connection& c, const HelloRequest& req) {
   for (int t = 0; t < cfg_.num_tiers; ++t)
     c.aggregators.emplace_back(dim, req.window, cfg_.max_missing_fraction,
                                cfg_.aggregator_trim);
-  c.rows.assign(static_cast<std::size_t>(cfg_.num_tiers),
-                std::vector<double>(dim, 0.0));
-  c.mask.assign(static_cast<std::size_t>(cfg_.num_tiers), 0);
+  const auto tiers = static_cast<std::size_t>(cfg_.num_tiers);
+  c.block.assign(kObserveBlock * tiers * dim, 0.0);
+  c.block_valid.assign(kObserveBlock * tiers, 0);
+  c.block_out.resize(kObserveBlock);
+  c.block_windows = 0;
 
   rep.accepted = true;
   rep.window = req.window;
   rep.message = "hpcapd ready";
-  rep.dims.assign(static_cast<std::size_t>(cfg_.num_tiers),
-                  static_cast<std::uint16_t>(dim));
-  enqueue(c, FrameType::kHello, encode_hello_reply(rep));
+  rep.dims.assign(tiers, static_cast<std::uint16_t>(dim));
+  auto buf = take_spare(c);
+  encode_hello_reply_into(rep, buf);
+  enqueue(c, FrameType::kHello, std::move(buf));
   HPCAP_INFO << "hpcapd: agent '" << c.agent << "' streaming " << c.level
              << " level, window " << c.window << ", model v"
              << c.model_version;
 }
 
-void Server::handle_batch(Connection& c, const SampleBatch& batch) {
+// hpcap-lint: hot-path
+void Server::handle_batch(Connection& c,
+                          std::span<const std::uint8_t> payload) {
   if (c.state != Connection::State::kStreaming)
     throw ProtocolError("wire protocol: SAMPLE_BATCH before HELLO");
+  const SampleBatchView batch = decode_sample_batch_view(payload, c.arena);
   const std::size_t tiers = static_cast<std::size_t>(cfg_.num_tiers);
-  for (const Tick& tick : batch.ticks) {
+  for (const TickView& tick : batch.ticks) {
     if (tick.tiers.size() != tiers)
       throw ProtocolError("wire protocol: tick tier count mismatch");
     ++stats_.ticks_in;
     bool closed = false;
+    double* wrows = c.block.data() + c.block_windows * tiers * c.dim;
+    std::uint8_t* wmask = c.block_valid.data() + c.block_windows * tiers;
     for (std::size_t t = 0; t < tiers; ++t) {
-      const TierSlot& slot = tick.tiers[t];
-      counters::InstanceAggregator::SlotResult result;
+      const TierSlotView& slot = tick.tiers[t];
+      counters::InstanceAggregator::SlotView result;
       if (slot.present) {
         if (slot.values.size() != c.dim)
           throw ProtocolError("wire protocol: slot width mismatch");
         ++stats_.slots_present;
-        result = c.aggregators[t].add_slot(slot.values);
+        result = c.aggregators[t].add_slot_view(slot.values);
       } else {
         ++stats_.slots_missing;
-        result = c.aggregators[t].mark_missing();
+        result = c.aggregators[t].mark_missing_view();
       }
       if (!result.window_closed) continue;
       closed = true;
       // All tiers consume one slot per tick, so their windows close on
-      // the same tick; stash this tier's row + validity for the decision.
+      // the same tick; copy this tier's row + validity into the block.
+      double* row = wrows + t * c.dim;
       if (result.valid) {
-        c.rows[t] = std::move(*result.instance);
-        const auto verdict = c.validator->validate(c.rows[t]);
-        c.mask[t] = verdict == core::RowVerdict::kValid ? 1 : 0;
-        if (!c.mask[t]) ++stats_.rows_rejected;
+        std::copy(result.instance.begin(), result.instance.end(), row);
+        const auto verdict = c.validator->validate({row, c.dim});
+        wmask[t] = verdict == core::RowVerdict::kValid ? 1 : 0;
+        if (!wmask[t]) ++stats_.rows_rejected;
       } else {
         // Too many missing slots: a zero placeholder that must never
         // reach a synopsis (the mask keeps it abstaining).
-        std::fill(c.rows[t].begin(), c.rows[t].end(), 0.0);
-        c.mask[t] = 0;
+        std::fill(row, row + c.dim, 0.0);
+        wmask[t] = 0;
         ++stats_.windows_discarded;
       }
     }
-    if (closed) {
-      finish_window(c);
+    if (closed && ++c.block_windows == kObserveBlock) {
+      flush_decisions(c);
       // The decision send may have failed (peer vanished mid-batch);
       // stop feeding a dead session. handle_io closes it.
       if (c.doomed) return;
     }
   }
+  flush_decisions(c);
 }
 
-void Server::finish_window(Connection& c) {
-  ++stats_.windows;
-  const auto d = c.monitor->observe_masked(c.rows, c.mask);
-  DecisionFrame frame;
-  frame.window_index = c.window_index++;
-  frame.state = static_cast<std::uint8_t>(d.state);
-  frame.confident = d.confident ? 1 : 0;
-  frame.degraded = d.degraded ? 1 : 0;
-  frame.hc = d.hc;
-  frame.bottleneck_tier = d.bottleneck_tier;
-  frame.staleness = d.staleness;
-  ++stats_.decisions;
-  enqueue(c, FrameType::kDecision, encode_decision(frame));
+// hpcap-lint: hot-path
+void Server::flush_decisions(Connection& c) {
+  const std::size_t W = c.block_windows;
+  if (W == 0) return;
+  c.block_windows = 0;
+  const core::WindowBlock block{c.block.data(), W,
+                                static_cast<std::size_t>(cfg_.num_tiers),
+                                c.dim};
+  c.monitor->predict_masked_many(block, c.block_valid.data(),
+                                 std::span(c.block_out.data(), W));
+  stats_.windows += W;
+  stats_.decisions += W;
+  for (std::size_t w = 0; w < W; ++w) {
+    const auto& d = c.block_out[w];
+    DecisionFrame frame;
+    frame.window_index = c.window_index++;
+    frame.state = static_cast<std::uint8_t>(d.state);
+    frame.confident = d.confident ? 1 : 0;
+    frame.degraded = d.degraded ? 1 : 0;
+    frame.hc = d.hc;
+    frame.bottleneck_tier = d.bottleneck_tier;
+    frame.staleness = d.staleness;
+    auto buf = take_spare(c);
+    encode_decision_into(frame, buf);
+    enqueue(c, FrameType::kDecision, std::move(buf));
+  }
+  flush_writes(c);
 }
 
 StatsReply Server::build_stats() const {
@@ -433,7 +497,9 @@ StatsReply Server::build_stats() const {
 }
 
 void Server::handle_stats(Connection& c) {
-  enqueue(c, FrameType::kStats, encode_stats_reply(build_stats()));
+  auto buf = take_spare(c);
+  encode_stats_reply_into(build_stats(), buf);
+  enqueue(c, FrameType::kStats, std::move(buf));
 }
 
 void Server::handle_reload(Connection& c, const ReloadRequest& req) {
@@ -444,7 +510,9 @@ void Server::handle_reload(Connection& c, const ReloadRequest& req) {
     rep.model_version = source_.version();
     rep.message = "remote control disabled on this bind";
     HPCAP_WARN << "hpcapd: RELOAD refused (control policy)";
-    enqueue(c, FrameType::kReload, encode_reload_reply(rep));
+    auto buf = take_spare(c);
+    encode_reload_reply_into(rep, buf);
+    enqueue(c, FrameType::kReload, std::move(buf));
     return;
   }
   try {
@@ -461,7 +529,9 @@ void Server::handle_reload(Connection& c, const ReloadRequest& req) {
                << e.what();
   }
   rep.model_version = source_.version();
-  enqueue(c, FrameType::kReload, encode_reload_reply(rep));
+  auto buf = take_spare(c);
+  encode_reload_reply_into(rep, buf);
+  enqueue(c, FrameType::kReload, std::move(buf));
 }
 
 void Server::request_reload() {
@@ -485,7 +555,9 @@ void Server::handle_shutdown(Connection& c) {
     return;
   }
   c.close_after_flush = true;
-  enqueue(c, FrameType::kShutdown, encode_shutdown());
+  auto buf = take_spare(c);
+  encode_shutdown_into(buf);
+  enqueue(c, FrameType::kShutdown, std::move(buf));
   begin_shutdown();
 }
 
@@ -531,6 +603,10 @@ void Server::enqueue(Connection& c, FrameType type,
     bool shed = false;
     for (auto it = c.write_queue.begin(); it != c.write_queue.end(); ++it) {
       if (it->type == FrameType::kDecision && it->offset == 0) {
+        if (c.spares.size() < kSparePool) {
+          it->bytes.clear();
+          c.spares.push_back(std::move(it->bytes));
+        }
         c.write_queue.erase(it);
         shed = true;
         break;
@@ -563,21 +639,54 @@ void Server::enqueue(Connection& c, FrameType type,
   out.type = type;
   out.bytes = std::move(frame);
   c.write_queue.push_back(std::move(out));
-  flush_writes(c);
 }
 
+std::vector<std::uint8_t> Server::take_spare(Connection& c) {
+  if (c.spares.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(c.spares.back());
+  c.spares.pop_back();
+  buf.clear();
+  return buf;
+}
+
+// hpcap-lint: hot-path
 void Server::flush_writes(Connection& c) {
   if (c.doomed) return;
   const int fd = c.fd;
   while (!c.write_queue.empty()) {
-    Connection::OutFrame& front = c.write_queue.front();
-    const ssize_t n =
-        ::send(fd, front.bytes.data() + front.offset,
-               front.bytes.size() - front.offset, MSG_NOSIGNAL);
+    // Gather every queued frame (up to kMaxIov) into one ::sendmsg: a
+    // block of decisions — or a control reply riding behind them —
+    // leaves in a single syscall.
+    iovec iov[kMaxIov];
+    std::size_t n_iov = 0;
+    for (auto it = c.write_queue.begin();
+         it != c.write_queue.end() && n_iov < kMaxIov; ++it) {
+      iov[n_iov].iov_base = it->bytes.data() + it->offset;
+      iov[n_iov].iov_len = it->bytes.size() - it->offset;
+      ++n_iov;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(n_iov);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      front.offset += static_cast<std::size_t>(n);
-      if (front.offset == front.bytes.size()) {
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        Connection::OutFrame& front = c.write_queue.front();
+        const std::size_t remain = front.bytes.size() - front.offset;
+        if (left < remain) {
+          front.offset += left;
+          break;
+        }
+        left -= remain;
         ++stats_.frames_out;
+        if (c.spares.size() < kSparePool) {
+          front.bytes.clear();
+          // Bounded recycling pool — the push_back stops at kSparePool
+          // entries and each element's capacity is reused thereafter.
+          // hpcap-lint: allow(hot-path-alloc)
+          c.spares.push_back(std::move(front.bytes));
+        }
         c.write_queue.pop_front();
       }
       continue;

@@ -6,9 +6,18 @@
 // slots in SAMPLE_BATCH frames. The session feeds each slot through a
 // per-tier counters::InstanceAggregator (gap-aware 30 s windowing), gates
 // every closed window row through core::RowValidator, and hands the rows
-// and validity mask to its own CapacityMonitor::observe_masked — exactly
-// the in-process degraded-mode pipeline, behind a socket. Each DECISION
-// produced streams straight back to the agent.
+// and validity mask to its own CapacityMonitor — exactly the in-process
+// degraded-mode pipeline, behind a socket. Each DECISION produced streams
+// straight back to the agent.
+//
+// The receive path is zero-copy end to end: frames are dispatched as
+// FrameRef spans into the connection's assembler buffer, SAMPLE_BATCH
+// payloads decode through a per-connection BatchArena (no per-tick
+// allocation after warmup), closed windows accumulate in a contiguous
+// WindowBlock scratch, and decisions for up to kObserveBlock windows are
+// computed in one CapacityMonitor::predict_masked_many call. Outbound
+// frames encode into recycled buffers and flush with one scatter-gather
+// ::sendmsg covering every queued frame.
 //
 // Decisions over the wire are bit-identical to the in-process pipeline on
 // the same stream: every session gets a private monitor instance (from
@@ -37,8 +46,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/monitor_source.h"
 #include "net/event_loop.h"
@@ -129,17 +140,25 @@ class Server {
 
   void accept_ready();
   void handle_io(int fd, bool readable, bool writable);
-  void handle_frame(Connection& c, const Frame& frame);
+  void handle_frame(Connection& c, const FrameRef& frame);
   void handle_hello(Connection& c, const HelloRequest& req);
-  void handle_batch(Connection& c, const SampleBatch& batch);
+  void handle_batch(Connection& c, std::span<const std::uint8_t> payload);
   void handle_stats(Connection& c);
   void handle_reload(Connection& c, const ReloadRequest& req);
   void handle_shutdown(Connection& c);
-  void finish_window(Connection& c);
+  // Decides every window accumulated in the connection's block scratch
+  // (one predict_masked_many call), enqueues the DECISION frames, and
+  // flushes them in one scatter-gather write.
+  void flush_decisions(Connection& c);
+  // Pops a recycled outbound buffer (cleared, capacity retained) or a
+  // fresh one; returned to the pool by flush_writes once fully sent.
+  std::vector<std::uint8_t> take_spare(Connection& c);
 
   // `frame` must be a full encoded frame. DECISION frames are sheddable;
   // everything else is control traffic and survives unless the queue is
-  // full of unread control frames, which dooms the connection.
+  // full of unread control frames, which dooms the connection. Does NOT
+  // flush: callers batch frames and flush once (handle_io flushes after
+  // the frame loop; flush_decisions flushes per window block).
   void enqueue(Connection& c, FrameType type, std::vector<std::uint8_t> frame);
   // Neither enqueue nor flush_writes ever destroys the Connection —
   // frame handlers up the stack still hold references into it. A send

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-command verification gate: the default build + full suite, the
-# bench-smoke parallel-overhead guard, the static-analysis gate, and the
-# sanitizer suites that the tsan/asan/ubsan ctest labels mark.
+# bench-smoke guards (parallel overhead, batched-observe speedup,
+# loopback wire batching), the static-analysis gate, and the sanitizer
+# suites that the tsan/asan/ubsan ctest labels mark.
 #
 # Usage: tools/check.sh [fast|full|lint]
 #   fast (default) - default build: full ctest + bench-smoke + net labels
@@ -53,7 +54,7 @@ cmake --build "$root/build" -j "$jobs"
 step "full test suite"
 ctest --test-dir "$root/build" --output-on-failure
 
-step "bench-smoke guard (parallel overhead)"
+step "bench-smoke guards (parallel overhead, batched observe, wire batching)"
 ctest --test-dir "$root/build" -L bench-smoke --output-on-failure
 
 step "net suite (hpcapd wire protocol + loopback)"

@@ -657,10 +657,79 @@ void rule_include_hygiene(Ctx& ctx) {
   }
 }
 
+// Functions annotated `// hpcap-lint: hot-path` (the comment goes on or
+// directly above the signature) promise steady-state allocation freedom.
+// Inside their bodies:
+//   * constructing a local std::vector is banned unless the declaration
+//     line carries thread_local or static (the house scratch pattern);
+//   * .push_back( / .emplace_back( growth is banned — pre-size a scratch
+//     buffer and write by index instead.
+// .resize()/.assign() on persistent scratch are fine (capacity is reused
+// after warmup); a justified exception takes
+// `// hpcap-lint: allow(hot-path-alloc)`.
+void rule_hot_path_alloc(Ctx& ctx) {
+  const std::string& p = ctx.path;
+  if (!(in_src(p) || starts_with(p, "tools/") || starts_with(p, "bench/")))
+    return;
+  const auto& code = ctx.text.code;
+  const auto& comment = ctx.text.comment;
+  for (std::size_t i = 0; i < comment.size(); ++i) {
+    const std::size_t at = comment[i].find("hpcap-lint:");
+    if (at == std::string::npos) continue;
+    const std::string rest = comment[i].substr(at + 11);
+    if (!contains(rest, "hot-path") || contains(rest, "allow(")) continue;
+    // Opening brace of the annotated function: the first '{' at or after
+    // the annotation (signatures wrap, so look a few lines ahead).
+    std::size_t open_line = code.size();
+    std::size_t open_col = 0;
+    for (std::size_t l = i; l < code.size() && l < i + 20; ++l) {
+      const std::size_t c = code[l].find('{');
+      if (c != std::string::npos) {
+        open_line = l;
+        open_col = c;
+        break;
+      }
+    }
+    if (open_line == code.size()) continue;
+    // Brace-match to the end of the body (literals/comments are blanked
+    // in the scrubbed view, so raw brace counting is exact).
+    int depth = 0;
+    std::size_t end_line = code.size() - 1;
+    bool done = false;
+    for (std::size_t l = open_line; l < code.size() && !done; ++l) {
+      for (std::size_t k = (l == open_line ? open_col : 0);
+           k < code[l].size(); ++k) {
+        if (code[l][k] == '{') {
+          ++depth;
+        } else if (code[l][k] == '}' && --depth == 0) {
+          end_line = l;
+          done = true;
+          break;
+        }
+      }
+    }
+    // Scan strictly after the opening-brace line, so vector-typed
+    // parameters and return types never trip the rule.
+    for (std::size_t l = open_line + 1; l <= end_line && l < code.size();
+         ++l) {
+      const std::string& s = code[l];
+      if (contains(s, "std::vector<") && !contains(s, "thread_local") &&
+          !contains(s, "static "))
+        ctx.report(l, "hot-path-alloc",
+                   "local std::vector constructed in a hot-path function — "
+                   "use thread_local/static or member scratch");
+      if (contains(s, ".push_back(") || contains(s, ".emplace_back("))
+        ctx.report(l, "hot-path-alloc",
+                   "container growth in a hot-path function — pre-size "
+                   "scratch and write by index instead");
+    }
+  }
+}
+
 const char* kAllRules[] = {"banned-function", "no-const-cast",
                            "no-naked-new",    "bounded-decode",
                            "unordered-output", "pragma-once",
-                           "include-hygiene"};
+                           "include-hygiene", "hot-path-alloc"};
 
 std::vector<Finding> lint_content(const std::string& rel_path,
                                   const std::string& content) {
@@ -675,6 +744,7 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   rule_unordered_output(ctx);
   rule_pragma_once(ctx);
   rule_include_hygiene(ctx);
+  rule_hot_path_alloc(ctx);
   return findings;
 }
 
@@ -892,6 +962,44 @@ const Case kCases[] = {
      "#include <vector>\n#include \"core/x.h\"\n", "include-hygiene"},
     {"include.own_header_first_ok", "src/core/x.cpp",
      "#include \"core/x.h\"\n#include <vector>\n#include <cstdlib>\n",
+     nullptr},
+
+    // hot-path-alloc
+    {"hotpath.local_vector_fires", "src/core/x.cpp",
+     "// hpcap-lint: hot-path\n"
+     "void f(std::size_t n, double* out){\n"
+     "  std::vector<double> tmp(n);\n"
+     "  out[0] = tmp[0];\n}\n",
+     "hot-path-alloc"},
+    {"hotpath.push_back_fires", "src/net/x.cpp",
+     "// hpcap-lint: hot-path\n"
+     "void f(std::vector<int>& scratch, int v){\n"
+     "  scratch.push_back(v);\n}\n",
+     "hot-path-alloc"},
+    {"hotpath.thread_local_ok", "src/core/x.cpp",
+     "// hpcap-lint: hot-path\n"
+     "void f(std::size_t n, double* out){\n"
+     "  thread_local std::vector<double> tmp;\n"
+     "  tmp.resize(n);\n"
+     "  out[0] = tmp[0];\n}\n",
+     nullptr},
+    {"hotpath.unannotated_ok", "src/core/x.cpp",
+     "void f(std::size_t n, double* out){\n"
+     "  std::vector<double> tmp(n);\n"
+     "  tmp.push_back(1.0);\n"
+     "  out[0] = tmp[0];\n}\n",
+     nullptr},
+    {"hotpath.vector_param_ok", "src/net/x.cpp",
+     "// hpcap-lint: hot-path\n"
+     "void f(const std::vector<double>& in,\n"
+     "       std::vector<double>& out) {\n"
+     "  out.resize(in.size());\n}\n",
+     nullptr},
+    {"hotpath.allow", "src/net/x.cpp",
+     "// hpcap-lint: hot-path\n"
+     "void f(std::vector<int>& pool, int v){\n"
+     "  // hpcap-lint: allow(hot-path-alloc) — bounded recycling pool\n"
+     "  pool.push_back(v);\n}\n",
      nullptr},
 };
 

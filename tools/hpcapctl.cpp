@@ -31,6 +31,7 @@
 // versions, so agents and daemons can be checked for compatibility.
 // Unknown subcommands and unrecognized flags exit non-zero with usage.
 // Everything is deterministic given --seed.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -369,7 +370,7 @@ int cmd_stream(const Args& args) {
   const std::string host = args.get_or("host", "127.0.0.1");
   const std::string level = args.get_or("level", "hpc");
   const int window = static_cast<int>(args.num_or("window", 1));
-  const int batch = static_cast<int>(args.num_or("batch", 64));
+  const int batch = std::max(1, static_cast<int>(args.num_or("batch", 64)));
   const bool quiet = args.has("quiet");
 
   std::ifstream f(*trace_path);
@@ -427,27 +428,35 @@ int cmd_stream(const Args& args) {
                     d.degraded ? " [degraded]" : "");
     };
 
+    // The batch's tick/slot vectors are sized once and overwritten in
+    // place each round, so the steady-state encode+send loop reuses both
+    // this storage and the client's internal encode scratch.
     net::SampleBatch pending;
+    pending.ticks.resize(static_cast<std::size_t>(batch));
+    std::size_t used = 0;
     std::uint32_t tick = 0;
     for (const auto& rec : records) {
-      net::Tick t;
+      if (used == 0) pending.first_tick = tick;
+      net::Tick& t = pending.ticks[used++];
       const auto rows = testbed::monitor_rows(rec, level);
       const auto validity = testbed::monitor_row_validity(rec, level);
       t.tiers.resize(rows.size());
       for (std::size_t i = 0; i < rows.size(); ++i) {
         t.tiers[i].present = validity[i] != 0;
-        if (t.tiers[i].present) t.tiers[i].values = rows[i];
+        if (t.tiers[i].present)
+          t.tiers[i].values.assign(rows[i].begin(), rows[i].end());
       }
-      if (pending.ticks.empty()) pending.first_tick = tick;
-      pending.ticks.push_back(std::move(t));
       ++tick;
-      if (static_cast<int>(pending.ticks.size()) >= batch) {
+      if (used == static_cast<std::size_t>(batch)) {
         client.send_batch(pending);
-        pending.ticks.clear();
+        used = 0;
         for (const auto& d : client.drain_decisions()) consume(d);
       }
     }
-    if (!pending.ticks.empty()) client.send_batch(pending);
+    if (used > 0) {
+      pending.ticks.resize(used);  // final partial batch
+      client.send_batch(pending);
+    }
 
     const std::size_t expected =
         records.size() / static_cast<std::size_t>(window);
