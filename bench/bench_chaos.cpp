@@ -1,25 +1,20 @@
-// Wire-path overhead of hpcapd: throughput and decision latency of the
-// full loopback stack (encode -> TCP -> FrameAssembler -> aggregation ->
-// observe_masked -> DECISION -> decode) versus the in-process pipeline.
+// Resilience cost of the wire layer under seeded chaos: the loopback
+// agent -> hpcapd stream from bench_net_loopback, with a ChaosProxy in
+// the middle injecting ChaosPlan::mixed(rate) faults, swept over rates.
 //
-// Two phases:
-//   * throughput — one agent streams the same tick stream at several
-//     frame granularities (batch_ticks = ticks per SAMPLE_BATCH frame);
-//     reported as per-tier samples/sec per config. The monitor's reason
-//     to exist is negligible overhead, so the wire must sustain far more
-//     than the 1 Hz x a-few-tiers a real site produces (shape target:
-//     >= 50k samples/sec at the largest batch). Every config's DECISION
-//     stream is checked field-for-field against an in-process reference
-//     that drives the identical aggregation + validation pipeline
-//     through the *scalar* observe_masked loop — batching, at both the
-//     wire and the observe layer, must not change a single decision
-//     (identical_output per config in the JSON).
-//   * latency — window = 1, one tick per round trip; the distribution of
-//     send-to-decision times gives the added decision delay (p50/p99).
+// Per rate the record reports:
+//   * identical_output — whether the DECISION stream still matched the
+//     fault-free in-process reference bit for bit (the ISSUE 7 headline:
+//     this must stay true at every rate; chaos may cost time, never
+//     correctness),
+//   * reconnects and total/mean recovery seconds (the client's own
+//     outage clock), and
+//   * effective samples/sec — throughput including all stalls, backoff
+//     sleeps and replay, i.e. what resilience actually costs.
 //
-// Usage: bench_net_loopback [--json PATH] [--ticks N]
-//   --json PATH   output record (default: BENCH_net.json)
-//   --ticks N     throughput-phase sampling ticks (default: 60000)
+// Usage: bench_chaos [--json PATH] [--ticks N]
+//   --json PATH   output record (default: BENCH_chaos.json)
+//   --ticks N     sampling ticks per rate (default: 20000)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +31,7 @@
 #include "core/validate.h"
 #include "counters/metric_catalog.h"
 #include "counters/sampler.h"
+#include "net/chaos.h"
 #include "net/client.h"
 #include "net/event_loop.h"
 #include "net/server.h"
@@ -132,29 +128,7 @@ struct Daemon {
   }
 };
 
-net::Client connect_agent(const Daemon& daemon, std::uint16_t window) {
-  net::Client client;
-  client.connect("127.0.0.1", daemon.server->port());
-  net::HelloRequest hello;
-  hello.agent = "bench";
-  hello.level = "hpc";
-  hello.num_tiers = 2;
-  hello.window = window;
-  const auto reply = client.hello(hello);
-  if (!reply.accepted) {
-    std::fprintf(stderr, "bench_net_loopback: hello rejected: %s\n",
-                 reply.message.c_str());
-    std::exit(1);
-  }
-  return client;
-}
-
-// The in-process reference pipeline: the same bundle instantiated
-// locally and driven tick by tick through the daemon's aggregation +
-// validation stages (same ServerConfig knobs) but the scalar
-// observe_masked loop. Every wire config must reproduce this stream
-// exactly — the daemon's batched predict_masked_many and frame
-// coalescing are pure performance optimizations.
+// Fault-free in-process reference (identical knobs to the Daemon).
 std::vector<net::DecisionFrame> reference_decisions(
     const std::string& bundle, const std::vector<net::Tick>& stream,
     int num_tiers, std::uint16_t window) {
@@ -162,7 +136,7 @@ std::vector<net::DecisionFrame> reference_decisions(
   core::CapacityMonitor monitor = source.instantiate();
   monitor.predictor().reset_history();
   const std::size_t dim = catalog_dim();
-  const net::ServerConfig cfg;  // knob defaults match the Daemon's
+  const net::ServerConfig cfg;
   core::RowValidator::Options vopts;
   vopts.dim = dim;
   vopts.max_abs = cfg.validator_max_abs;
@@ -217,35 +191,54 @@ bool same_decision(const net::DecisionFrame& a, const net::DecisionFrame& b) {
          a.staleness == b.staleness;
 }
 
-struct ThroughputResult {
-  int batch_ticks = 0;
-  double samples_per_sec = 0.0;
-  std::size_t decisions = 0;
+struct ChaosResult {
+  double rate = 0.0;
   bool identical_output = false;
+  double samples_per_sec = 0.0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t replayed_batches = 0;
+  std::uint64_t deduped_decisions = 0;
+  double total_recovery_s = 0.0;
+  double mean_recovery_s = 0.0;
+  std::uint64_t faults = 0;  // total injected fault events
 };
 
-// Streams `stream` to a fresh agent connection in frames of `batch_ticks`
-// ticks, timing send-to-last-decision, and verifies the decision stream
-// against the reference. Frame assembly (tick copies) happens before the
-// clock starts — the timed region is encode + TCP + daemon + decode.
-ThroughputResult run_throughput(
-    const Daemon& daemon, const std::vector<net::Tick>& stream,
-    int batch_ticks, std::uint16_t window, int kTiers,
-    const std::vector<net::DecisionFrame>& reference) {
+ChaosResult run_rate(const Daemon& daemon,
+                     const std::vector<net::Tick>& stream, double rate,
+                     std::uint16_t window, int batch_ticks,
+                     const std::vector<net::DecisionFrame>& reference) {
+  net::ChaosPlan plan = net::ChaosPlan::mixed(rate);
+  net::ChaosProxy proxy(plan, daemon.server->port());
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 16;
+  policy.initial_backoff = 0.002;  // bench the mechanism, not the sleeps
+  policy.max_backoff = 0.05;
+  policy.deadline = 60.0;
+  net::Client agent;
+  agent.set_retry_policy(policy);
+  agent.connect("127.0.0.1", proxy.port());
+  net::HelloRequest hello;
+  hello.agent = "bench-chaos";
+  hello.level = "hpc";
+  hello.num_tiers = 2;
+  hello.window = window;
+  const auto reply = agent.hello(hello);
+  if (!reply.accepted) {
+    std::fprintf(stderr, "bench_chaos: hello rejected: %s\n",
+                 reply.message.c_str());
+    std::exit(1);
+  }
+
   const int ticks = static_cast<int>(stream.size());
-  std::vector<net::SampleBatch> frames;
+  std::vector<net::DecisionFrame> got;
+  got.reserve(reference.size());
+  const auto t0 = Clock::now();
   for (int start = 0; start < ticks; start += batch_ticks) {
     net::SampleBatch batch;
     batch.first_tick = static_cast<std::uint32_t>(start);
     const int end = std::min(start + batch_ticks, ticks);
     batch.ticks.assign(stream.begin() + start, stream.begin() + end);
-    frames.push_back(std::move(batch));
-  }
-  net::Client agent = connect_agent(daemon, window);
-  std::vector<net::DecisionFrame> got;
-  got.reserve(reference.size());
-  const auto t0 = Clock::now();
-  for (net::SampleBatch& batch : frames) {
     agent.send_batch(batch);
     for (auto& d : agent.drain_decisions()) got.push_back(d);
   }
@@ -253,21 +246,32 @@ ThroughputResult run_throughput(
   const double seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
-  ThroughputResult r;
-  r.batch_ticks = batch_ticks;
-  r.samples_per_sec = static_cast<double>(ticks) * kTiers / seconds;
-  r.decisions = got.size();
+  ChaosResult r;
+  r.rate = rate;
+  r.samples_per_sec = static_cast<double>(ticks) * 2 / seconds;
   r.identical_output = got.size() == reference.size();
   for (std::size_t i = 0; r.identical_output && i < got.size(); ++i)
     r.identical_output = same_decision(got[i], reference[i]);
+  const auto info = agent.session();
+  r.reconnects = info.reconnects;
+  r.replayed_batches = info.replayed_batches;
+  r.deduped_decisions = info.deduped_decisions;
+  r.total_recovery_s = info.total_recovery_seconds;
+  r.mean_recovery_s =
+      info.reconnects ? info.total_recovery_seconds /
+                            static_cast<double>(info.reconnects)
+                      : 0.0;
+  const auto cs = proxy.stats();
+  r.faults = cs.resets + cs.stalls + cs.partial_writes + cs.corrupted_bytes +
+             cs.short_reads + cs.partitions;
   return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path = "BENCH_net.json";
-  int ticks = 60000;
+  std::string json_path = "BENCH_chaos.json";
+  int ticks = 20000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -275,7 +279,7 @@ int main(int argc, char** argv) {
       char* end = nullptr;
       ticks = static_cast<int>(std::strtol(argv[++i], &end, 10));
       if (end == argv[i] || *end != '\0') {
-        std::fprintf(stderr, "bench_net_loopback: --ticks needs an integer\n");
+        std::fprintf(stderr, "bench_chaos: --ticks needs an integer\n");
         return 2;
       }
     } else {
@@ -285,123 +289,86 @@ int main(int argc, char** argv) {
   }
   constexpr int kTiers = 2;
   constexpr std::uint16_t kWindow = 4;
-  constexpr int kBatch = 500;
+  constexpr int kBatch = 250;
   ticks = std::max(ticks, kBatch);
 
   std::printf("training bench model...\n");
   const std::string bundle = make_bundle();
   Daemon daemon(bundle);
 
-  // --- throughput phase --------------------------------------------------
-  // Pre-encode nothing: tick construction is part of the agent's cost in
-  // production too, but keep it out of the timed region to isolate the
-  // wire + daemon pipeline. Each batch_ticks config replays the same
-  // stream over a fresh connection (fresh per-connection monitor), so
-  // the decision streams are directly comparable to the reference.
   Rng rng(101);
   std::vector<net::Tick> stream;
   stream.reserve(static_cast<std::size_t>(ticks));
   for (int i = 0; i < ticks; ++i)
     stream.push_back(make_tick(kTiers, (i / 200) % 2, rng));
-
   std::printf("computing in-process reference decisions...\n");
-  const auto r0 = Clock::now();
   const std::vector<net::DecisionFrame> reference =
       reference_decisions(bundle, stream, kTiers, kWindow);
-  std::printf("reference: %.0f samples/sec in-process\n",
-              static_cast<double>(ticks) * kTiers /
-                  std::chrono::duration<double>(Clock::now() - r0).count());
 
-  const int batch_sweep[] = {1, 16, kBatch};
-  std::vector<ThroughputResult> configs;
-  for (const int b : batch_sweep)
-    configs.push_back(
-        run_throughput(daemon, stream, b, kWindow, kTiers, reference));
-  const ThroughputResult& headline = configs.back();
-  const double samples_per_sec = headline.samples_per_sec;
-  const std::size_t decisions = headline.decisions;
-  bool identical_all = true;
-  for (const auto& r : configs) identical_all = identical_all && r.identical_output;
-
-  // --- latency phase -----------------------------------------------------
-  // window = 1: every tick produces a decision, so one send + one receive
-  // is a full decision round trip.
-  net::Client probe = connect_agent(daemon, 1);
-  constexpr int kProbes = 2000;
-  std::vector<double> rtt_us;
-  rtt_us.reserve(kProbes);
-  for (int i = 0; i < kProbes; ++i) {
-    net::SampleBatch batch;
-    batch.first_tick = static_cast<std::uint32_t>(i);
-    batch.ticks.push_back(stream[static_cast<std::size_t>(i)]);
-    const auto s0 = Clock::now();
-    probe.send_batch(batch);
-    (void)probe.next_decision();
-    rtt_us.push_back(
-        std::chrono::duration<double, std::micro>(Clock::now() - s0).count());
+  const double rates[] = {0.0, 0.02, 0.05, 0.1};
+  std::vector<ChaosResult> results;
+  for (const double rate : rates) {
+    std::printf("streaming %d ticks at chaos rate %.2f...\n", ticks, rate);
+    results.push_back(
+        run_rate(daemon, stream, rate, kWindow, kBatch, reference));
   }
-  std::sort(rtt_us.begin(), rtt_us.end());
-  const auto quantile = [&](double q) {
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(rtt_us.size() - 1));
-    return rtt_us[idx];
-  };
-  const double p50 = quantile(0.50);
-  const double p99 = quantile(0.99);
 
-  const bool met = samples_per_sec >= 50000.0 && identical_all;
-  TextTable table("hpcapd loopback wire-path overhead");
-  table.set_header({"phase", "metric", "value"});
-  table.add_row({"throughput", "sampling ticks", std::to_string(ticks)});
-  for (const auto& r : configs)
-    table.add_row({"throughput",
-                   "samples/sec @ batch_ticks=" + std::to_string(r.batch_ticks),
-                   TextTable::num(r.samples_per_sec, 0) +
-                       (r.identical_output ? "  (output identical)"
-                                           : "  (OUTPUT DIVERGED)")});
-  table.add_row({"throughput", "decisions", std::to_string(decisions)});
-  table.add_separator();
-  table.add_row({"latency", "decision round trips",
-                 std::to_string(kProbes)});
-  table.add_row({"latency", "p50 (us)", TextTable::num(p50, 1)});
-  table.add_row({"latency", "p99 (us)", TextTable::num(p99, 1)});
-  table.add_note("shape target: >= 50k samples/sec over loopback");
-  table.add_note(
-      "latency = send_batch + aggregate + observe_masked + DECISION rtt");
+  bool identical_all = true;
+  for (const auto& r : results) identical_all &= r.identical_output;
+
+  TextTable table("wire resilience under seeded chaos (ChaosPlan::mixed)");
+  table.set_header({"rate", "identical", "samples/s", "reconnects",
+                    "replayed", "recovery s", "faults"});
+  for (const auto& r : results)
+    table.add_row({TextTable::num(r.rate, 2),
+                   r.identical_output ? "yes" : "NO",
+                   TextTable::num(r.samples_per_sec, 0),
+                   std::to_string(r.reconnects),
+                   std::to_string(r.replayed_batches),
+                   TextTable::num(r.total_recovery_s, 3),
+                   std::to_string(r.faults)});
+  table.add_note("identical = DECISION stream bit-identical to fault-free");
+  table.add_note("chaos may cost throughput and recovery time, never "
+                 "correctness");
   std::printf("%s\n", table.render().c_str());
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
                  "{\n"
-                 "  \"bench\": \"net_loopback\",\n"
+                 "  \"bench\": \"chaos\",\n"
                  "  \"tiers\": %d,\n"
                  "  \"window\": %u,\n"
                  "  \"ticks\": %d,\n"
+                 "  \"batch_ticks\": %d,\n"
                  "  \"configs\": [\n",
-                 kTiers, kWindow, ticks);
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      const auto& r = configs[i];
-      std::fprintf(f,
-                   "    {\"batch_ticks\": %d, \"samples_per_sec\": %.0f, "
-                   "\"identical_output\": %s}%s\n",
-                   r.batch_ticks, r.samples_per_sec,
-                   r.identical_output ? "true" : "false",
-                   i + 1 < configs.size() ? "," : "");
+                 kTiers, kWindow, ticks, kBatch);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"rate\": %.2f, \"identical_output\": %s, "
+          "\"samples_per_sec\": %.0f, \"reconnects\": %llu, "
+          "\"replayed_batches\": %llu, \"deduped_decisions\": %llu, "
+          "\"total_recovery_s\": %.4f, \"mean_recovery_s\": %.4f, "
+          "\"faults\": %llu}%s\n",
+          r.rate, r.identical_output ? "true" : "false", r.samples_per_sec,
+          static_cast<unsigned long long>(r.reconnects),
+          static_cast<unsigned long long>(r.replayed_batches),
+          static_cast<unsigned long long>(r.deduped_decisions),
+          r.total_recovery_s, r.mean_recovery_s,
+          static_cast<unsigned long long>(r.faults),
+          i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f,
                  "  ],\n"
-                 "  \"samples_per_sec\": %.0f,\n"
-                 "  \"decisions\": %llu,\n"
-                 "  \"identical_output\": %s,\n"
-                 "  \"latency_p50_us\": %.1f,\n"
-                 "  \"latency_p99_us\": %.1f,\n"
-                 "  \"throughput_target_met\": %s\n"
+                 "  \"identical_output\": %s\n"
                  "}\n",
-                 samples_per_sec, static_cast<unsigned long long>(decisions),
-                 identical_all ? "true" : "false", p50, p99,
-                 met ? "true" : "false");
+                 identical_all ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "bench_chaos: cannot write %s\n", json_path.c_str());
+    return 1;
   }
-  return met ? 0 : 1;
+  return identical_all ? 0 : 1;
 }

@@ -1,0 +1,324 @@
+#include "net/chaos.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/posix_io.h"
+
+namespace hpcap::net {
+
+namespace {
+
+void check_rate(double p, const char* what) {
+  if (!(p >= 0.0) || p > 1.0)
+    throw std::invalid_argument(std::string("ChaosPlan: ") + what +
+                                " must be in [0, 1]");
+}
+
+void sleep_ms(double ms) {
+  if (ms > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+// Hard reset: SO_LINGER{on, 0} turns close() into an RST, which is what
+// a crashed peer or a stateful middlebox timing out looks like — the
+// client sees ECONNRESET, not an orderly FIN.
+void arm_reset(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+}
+
+}  // namespace
+
+ChaosPlan ChaosPlan::mixed(double rate, std::uint64_t seed) {
+  if (!(rate >= 0.0) || rate > 1.0)
+    throw std::invalid_argument("ChaosPlan::mixed: rate must be in [0, 1]");
+  ChaosPlan plan;
+  plan.corrupt_rate = rate;
+  plan.partial_rate = rate;
+  plan.short_read_rate = rate;
+  plan.stall_rate = 0.5 * rate;
+  plan.stall_ms = 5.0;
+  // Rare but expensive: each reset or partition forces a reconnect or a
+  // visible delivery gap, so one per ~20 chunks of headline rate keeps a
+  // 10k-window run finishing in test time while still exercising resume
+  // dozens of times.
+  plan.reset_rate = rate;  // per connection, not per chunk
+  plan.partition_rate = rate / 20.0;
+  plan.partition_ms = 20.0;
+  plan.seed = seed;
+  return plan;
+}
+
+// One accepted connection: the downstream (client-facing) socket, the
+// upstream (server-facing) socket, and the pump thread moving bytes
+// between them. Sockets are shut down by kill/stop paths but only ever
+// *closed* after the pump thread is joined, so a racing shutdown() can
+// never hit a recycled descriptor.
+struct ChaosProxy::Link {
+  int down_fd = -1;
+  int up_fd = -1;
+  std::uint64_t id = 0;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+ChaosProxy::ChaosProxy(ChaosPlan plan, std::uint16_t upstream_port,
+                       const std::string& upstream_host)
+    : plan_(plan),
+      upstream_host_(upstream_host),
+      upstream_port_(upstream_port) {
+  check_rate(plan_.reset_rate, "reset_rate");
+  check_rate(plan_.stall_rate, "stall_rate");
+  check_rate(plan_.partial_rate, "partial_rate");
+  check_rate(plan_.corrupt_rate, "corrupt_rate");
+  check_rate(plan_.short_read_rate, "short_read_rate");
+  check_rate(plan_.partition_rate, "partition_rate");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("ChaosProxy: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw std::runtime_error(std::string("ChaosProxy: bind/listen: ") +
+                             std::strerror(err));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ChaosProxy::~ChaosProxy() {
+  stop_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& link : links_) {
+      ::shutdown(link->down_fd, SHUT_RDWR);
+      ::shutdown(link->up_fd, SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& link : links_) {
+    if (link->thread.joinable()) link->thread.join();
+    ::close(link->down_fd);
+    ::close(link->up_fd);
+  }
+  links_.clear();
+  ::close(listen_fd_);
+}
+
+void ChaosProxy::kill_connections() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& link : links_) {
+    if (link->done.load()) continue;
+    arm_reset(link->down_fd);
+    ::shutdown(link->down_fd, SHUT_RDWR);
+    ::shutdown(link->up_fd, SHUT_RDWR);
+    counters_.killed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ChaosStats ChaosProxy::stats() const {
+  ChaosStats s;
+  s.connections = counters_.connections.load();
+  s.chunks = counters_.chunks.load();
+  s.bytes_forwarded = counters_.bytes_forwarded.load();
+  s.resets = counters_.resets.load();
+  s.stalls = counters_.stalls.load();
+  s.partial_writes = counters_.partial_writes.load();
+  s.corrupted_bytes = counters_.corrupted_bytes.load();
+  s.short_reads = counters_.short_reads.load();
+  s.partitions = counters_.partitions.load();
+  s.killed = counters_.killed.load();
+  return s;
+}
+
+// Join finished pump threads and close their sockets. Must run on every
+// accept_loop tick, not just on new connections: a pump that died on a
+// fault leaves its peer's last send() blocked on a full TCP window, and
+// only a close() (armed to RST) tears the window down and unblocks it.
+// Reaping lazily on accept would livelock an idle proxy.
+void ChaosProxy::reap_done_links() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& l : links_) {
+    if (l->done.load() && l->thread.joinable()) {
+      l->thread.join();
+      arm_reset(l->down_fd);
+      arm_reset(l->up_fd);
+      ::close(l->down_fd);
+      ::close(l->up_fd);
+      l->down_fd = l->up_fd = -1;
+    }
+  }
+  std::erase_if(links_, [](const std::unique_ptr<Link>& l) {
+    return l->down_fd < 0 && l->up_fd < 0;
+  });
+}
+
+void ChaosProxy::accept_loop() {
+  while (!stop_.load()) {
+    reap_done_links();
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int ready = io::poll_retry(&p, 1, 50);
+    if (stop_.load()) break;
+    if (ready <= 0) continue;
+    const int down = ::accept(listen_fd_, nullptr, nullptr);
+    if (down < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket is gone
+    }
+    // Dial the real server. Loopback: a blocking connect resolves
+    // immediately or fails immediately.
+    const int up = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(upstream_port_);
+    if (up < 0 ||
+        ::inet_pton(AF_INET, upstream_host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(up, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(down);
+      if (up >= 0) ::close(up);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(down, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ::setsockopt(up, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto link = std::make_unique<Link>();
+    link->down_fd = down;
+    link->up_fd = up;
+    counters_.connections.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      link->id = next_link_id_++;
+      Link* raw = link.get();
+      raw->thread = std::thread([this, raw] { pump(*raw); });
+      links_.push_back(std::move(link));
+    }
+  }
+}
+
+void ChaosProxy::pump(Link& link) {
+  // Per-link fault stream: depends only on (plan.seed, accept ordinal),
+  // so a schedule replays exactly under the same seed and arrival order.
+  Rng rng = Rng(plan_.seed).split(link.id);
+  const bool doomed = rng.bernoulli(plan_.reset_rate);
+  const std::uint64_t reset_budget =
+      doomed ? 1 + rng.uniform_u64(plan_.reset_after_max) : 0;
+  std::uint64_t forwarded = 0;
+  std::uint8_t buf[16384];
+
+  // Runs until either peer closes, a fault kills the link, or the proxy
+  // shuts both sockets down; every blocking wait is a bounded poll or a
+  // bounded sleep.  // hpcap-lint: allow(net-retry-bound)
+  for (;;) {
+    if (stop_.load()) break;
+    if (blackhole_.load()) {
+      // Total partition: hold the sockets open, move nothing. Bytes pile
+      // up in kernel buffers until the client gives up or we heal.
+      sleep_ms(2.0);
+      continue;
+    }
+    pollfd fds[2] = {{link.down_fd, POLLIN, 0}, {link.up_fd, POLLIN, 0}};
+    const int ready = io::poll_retry(fds, 2, 50);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+
+    bool dead = false;
+    for (int i = 0; i < 2 && !dead; ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const int src = i == 0 ? link.down_fd : link.up_fd;
+      const int dst = i == 0 ? link.up_fd : link.down_fd;
+
+      std::size_t cap = sizeof buf;
+      if (rng.bernoulli(plan_.short_read_rate)) {
+        cap = 1 + static_cast<std::size_t>(rng.uniform_u64(16));
+        counters_.short_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+      const ssize_t n = io::recv_retry(src, buf, cap, 0);
+      if (n <= 0) {
+        dead = true;
+        break;
+      }
+      counters_.chunks.fetch_add(1, std::memory_order_relaxed);
+
+      if (rng.bernoulli(plan_.stall_rate)) {
+        counters_.stalls.fetch_add(1, std::memory_order_relaxed);
+        sleep_ms(plan_.stall_ms);
+      }
+      if (rng.bernoulli(plan_.partition_rate)) {
+        // Single pump thread per link: sleeping here freezes both
+        // directions at once — a symmetric partition episode.
+        counters_.partitions.fetch_add(1, std::memory_order_relaxed);
+        sleep_ms(plan_.partition_ms);
+      }
+      if (rng.bernoulli(plan_.corrupt_rate)) {
+        const std::size_t at =
+            static_cast<std::size_t>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+        buf[at] ^= static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+        counters_.corrupted_bytes.fetch_add(1, std::memory_order_relaxed);
+      }
+
+      if (doomed && forwarded + static_cast<std::uint64_t>(n) > reset_budget) {
+        // Budget exhausted: the current chunk is lost and both sides get
+        // an RST — exactly the mid-frame truncation resume must absorb.
+        arm_reset(link.down_fd);
+        counters_.resets.fetch_add(1, std::memory_order_relaxed);
+        dead = true;
+        break;
+      }
+      forwarded += static_cast<std::uint64_t>(n);
+      counters_.bytes_forwarded.fetch_add(static_cast<std::uint64_t>(n),
+                                          std::memory_order_relaxed);
+
+      std::size_t off = 0;
+      std::size_t split = static_cast<std::size_t>(n);
+      if (n > 1 && rng.bernoulli(plan_.partial_rate)) {
+        split = 1 + static_cast<std::size_t>(
+                        rng.uniform_u64(static_cast<std::uint64_t>(n - 1)));
+        counters_.partial_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+      while (off < static_cast<std::size_t>(n) && !dead) {
+        const std::size_t want =
+            off < split ? split - off : static_cast<std::size_t>(n) - off;
+        const ssize_t w = io::send_retry(dst, buf + off, want, MSG_NOSIGNAL);
+        if (w <= 0) {
+          dead = true;
+          break;
+        }
+        off += static_cast<std::size_t>(w);
+        // Breathe between the two halves of a sheared write so the far
+        // end's read loop actually observes the seam.
+        if (off == split && off < static_cast<std::size_t>(n)) sleep_ms(1.0);
+      }
+    }
+    if (dead) break;
+  }
+  ::shutdown(link.down_fd, SHUT_RDWR);
+  ::shutdown(link.up_fd, SHUT_RDWR);
+  link.done.store(true);
+}
+
+}  // namespace hpcap::net

@@ -1,0 +1,89 @@
+// Signal-safe wrappers for the raw POSIX calls the wire layer makes.
+//
+// Every read/recv/write/send/sendmsg/poll in src/net/ goes through these
+// helpers so an EINTR (a signal landing mid-transfer — profilers, timers,
+// SIGCHLD from a supervisor) can never be misread as a peer failure or a
+// timeout. The wrappers retry EINTR and nothing else: EAGAIN/EWOULDBLOCK
+// still surface to the caller, because what "would block" means is the
+// caller's policy (the server's nonblocking reactor re-arms poll, the
+// client's blocking paths wait on a deadline).
+//
+// poll_retry additionally recomputes the remaining timeout across EINTR
+// from CLOCK_MONOTONIC, so a signal storm cannot stretch a bounded wait
+// into an unbounded one — nor truncate it to zero.
+#pragma once
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <ctime>
+
+namespace hpcap::net::io {
+
+inline double monotonic_seconds() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// poll(2) that retries EINTR with the timeout shrunk by elapsed time.
+// timeout_ms < 0 waits forever; returns exactly like poll otherwise.
+inline int poll_retry(pollfd* fds, nfds_t nfds, int timeout_ms) noexcept {
+  if (timeout_ms < 0) {
+    for (;;) {  // hpcap-lint: allow(net-retry-bound)
+      const int rc = ::poll(fds, nfds, -1);
+      if (rc >= 0 || errno != EINTR) return rc;
+    }
+  }
+  const double deadline =
+      monotonic_seconds() + static_cast<double>(timeout_ms) / 1000.0;
+  int remaining = timeout_ms;
+  for (;;) {
+    const int rc = ::poll(fds, nfds, remaining);
+    if (rc >= 0 || errno != EINTR) return rc;
+    const double left = deadline - monotonic_seconds();
+    if (left <= 0.0) return 0;  // timed out across the interruption
+    remaining = static_cast<int>(left * 1000.0) + 1;
+  }
+}
+
+// read(2) retrying EINTR. On a nonblocking fd EAGAIN passes through.
+inline ssize_t read_retry(int fd, void* buf, std::size_t n) noexcept {
+  for (;;) {
+    const ssize_t rc = ::read(fd, buf, n);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+// recv(2) retrying EINTR.
+inline ssize_t recv_retry(int fd, void* buf, std::size_t n,
+                          int flags) noexcept {
+  for (;;) {
+    const ssize_t rc = ::recv(fd, buf, n, flags);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+// send(2) retrying EINTR. Callers pass MSG_NOSIGNAL themselves so a dead
+// peer surfaces as EPIPE, never as a process-killing SIGPIPE.
+inline ssize_t send_retry(int fd, const void* buf, std::size_t n,
+                          int flags) noexcept {
+  for (;;) {
+    const ssize_t rc = ::send(fd, buf, n, flags);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+// sendmsg(2) retrying EINTR (the scatter-gather flush path).
+inline ssize_t sendmsg_retry(int fd, const msghdr* msg, int flags) noexcept {
+  for (;;) {
+    const ssize_t rc = ::sendmsg(fd, msg, flags);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+}  // namespace hpcap::net::io

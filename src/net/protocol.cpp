@@ -1,5 +1,6 @@
 #include "net/protocol.h"
 
+#include <array>
 #include <bit>
 #include <cstring>
 
@@ -19,7 +20,32 @@ std::size_t checked_count(std::uint64_t n, std::size_t cap,
   return static_cast<std::size_t>(n);
 }
 
+void check_version(std::uint8_t version) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion)
+    throw ProtocolError("wire protocol: cannot encode for protocol version " +
+                        std::to_string(version));
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
 }  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) c = kCrcTable[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
 
 // --- writer --------------------------------------------------------------
 
@@ -162,10 +188,11 @@ std::optional<FrameHeader> peek_header(
   if (magic != kMagic) malformed("bad magic");
   FrameHeader h;
   h.version = r.read_u8();
-  if (h.version != kProtocolVersion)
+  if (h.version < kMinProtocolVersion || h.version > kProtocolVersion)
     malformed("unsupported protocol version " + std::to_string(h.version));
   const std::uint8_t type = r.read_u8();
-  if (type < 1 || type > 6)
+  const std::uint8_t max_type = h.version >= 2 ? 7 : 6;
+  if (type < 1 || type > max_type)
     malformed("unknown frame type " + std::to_string(type));
   h.type = static_cast<FrameType>(type);
   if (r.read_u16() != 0) malformed("nonzero reserved field");
@@ -176,31 +203,19 @@ std::optional<FrameHeader> peek_header(
   return h;
 }
 
-std::vector<std::uint8_t> encode_frame(
-    FrameType type, std::span<const std::uint8_t> payload) {
-  if (payload.size() > kMaxPayload)
-    throw ProtocolError("wire protocol: payload too large to encode");
-  std::vector<std::uint8_t> out;
-  out.reserve(kHeaderSize + payload.size());
-  put_u32(out, kMagic);
-  put_u8(out, kProtocolVersion);
-  put_u8(out, static_cast<std::uint8_t>(type));
-  put_u16(out, 0);
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
-}
-
 namespace {
 
 // In-place framing for the encode_*_into family: begin_frame appends the
 // 12-byte header with a zero payload-size placeholder and returns the
 // placeholder's offset; end_frame patches the size once the payload has
-// been appended. Produces byte-identical frames to encode_frame without
-// a separate payload vector.
-std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type) {
+// been appended and, for v2, appends the CRC-32 trailer over the whole
+// frame. Produces byte-identical frames to encode_frame without a
+// separate payload vector.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type,
+                        std::uint8_t version) {
+  check_version(version);
   put_u32(out, kMagic);
-  put_u8(out, kProtocolVersion);
+  put_u8(out, version);
   put_u8(out, static_cast<std::uint8_t>(type));
   put_u16(out, 0);
   const std::size_t size_off = out.size();
@@ -208,49 +223,81 @@ std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type) {
   return size_off;
 }
 
-void end_frame(std::vector<std::uint8_t>& out, std::size_t size_off) {
+void end_frame(std::vector<std::uint8_t>& out, std::size_t size_off,
+               std::uint8_t version) {
   const std::size_t payload = out.size() - size_off - 4;
   if (payload > kMaxPayload)
     throw ProtocolError("wire protocol: payload too large to encode");
   for (int i = 0; i < 4; ++i)
     out[size_off + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>((payload >> (8 * i)) & 0xff);
+  if (version >= 2) {
+    const std::size_t frame_at = size_off - (kHeaderSize - 4);
+    const std::uint32_t c =
+        crc32({out.data() + frame_at, out.size() - frame_at});
+    put_u32(out, c);
+  }
 }
 
 }  // namespace
 
+std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::span<const std::uint8_t> payload,
+    std::uint8_t version) {
+  if (payload.size() > kMaxPayload)
+    throw ProtocolError("wire protocol: payload too large to encode");
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size() + kCrcSize);
+  const std::size_t f = begin_frame(out, type, version);
+  out.insert(out.end(), payload.begin(), payload.end());
+  end_frame(out, f, version);
+  return out;
+}
+
 // --- HELLO ---------------------------------------------------------------
 
 void encode_hello_request_into(const HelloRequest& req,
-                               std::vector<std::uint8_t>& out) {
-  const std::size_t f = begin_frame(out, FrameType::kHello);
+                               std::vector<std::uint8_t>& out,
+                               std::uint8_t version) {
+  const std::size_t f = begin_frame(out, FrameType::kHello, version);
   put_string(out, req.agent);
   put_string(out, req.level);
   put_u16(out, req.num_tiers);
   put_u16(out, req.window);
-  end_frame(out, f);
+  if (version >= 2) {
+    put_u64(out, req.resume_token);
+    put_u32(out, req.resume_from_window);
+  }
+  end_frame(out, f, version);
 }
 
-std::vector<std::uint8_t> encode_hello_request(const HelloRequest& req) {
+std::vector<std::uint8_t> encode_hello_request(const HelloRequest& req,
+                                               std::uint8_t version) {
   std::vector<std::uint8_t> out;
-  encode_hello_request_into(req, out);
+  encode_hello_request_into(req, out, version);
   return out;
 }
 
-HelloRequest decode_hello_request(std::span<const std::uint8_t> payload) {
+HelloRequest decode_hello_request(std::span<const std::uint8_t> payload,
+                                  std::uint8_t version) {
   PayloadReader r(payload);
   HelloRequest req;
   req.agent = r.read_string();
   req.level = r.read_string();
   req.num_tiers = r.read_u16();
   req.window = r.read_u16();
+  if (version >= 2) {
+    req.resume_token = r.read_u64();
+    req.resume_from_window = r.read_u32();
+  }
   r.expect_done("HELLO request");
   return req;
 }
 
 void encode_hello_reply_into(const HelloReply& rep,
-                             std::vector<std::uint8_t>& out) {
-  const std::size_t f = begin_frame(out, FrameType::kHello);
+                             std::vector<std::uint8_t>& out,
+                             std::uint8_t version) {
+  const std::size_t f = begin_frame(out, FrameType::kHello, version);
   put_u8(out, rep.accepted ? 1 : 0);
   put_string(out, rep.message);
   put_u16(out, rep.num_tiers);
@@ -260,16 +307,23 @@ void encode_hello_reply_into(const HelloReply& rep,
     throw ProtocolError("wire protocol: too many tiers to encode");
   put_u16(out, static_cast<std::uint16_t>(rep.dims.size()));
   for (std::uint16_t d : rep.dims) put_u16(out, d);
-  end_frame(out, f);
+  if (version >= 2) {
+    put_u64(out, rep.session_token);
+    put_u64(out, rep.last_applied_seq);
+    put_u8(out, rep.resumed ? 1 : 0);
+  }
+  end_frame(out, f, version);
 }
 
-std::vector<std::uint8_t> encode_hello_reply(const HelloReply& rep) {
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& rep,
+                                             std::uint8_t version) {
   std::vector<std::uint8_t> out;
-  encode_hello_reply_into(rep, out);
+  encode_hello_reply_into(rep, out, version);
   return out;
 }
 
-HelloReply decode_hello_reply(std::span<const std::uint8_t> payload) {
+HelloReply decode_hello_reply(std::span<const std::uint8_t> payload,
+                              std::uint8_t version) {
   PayloadReader r(payload);
   HelloReply rep;
   rep.accepted = r.read_u8() != 0;
@@ -280,6 +334,11 @@ HelloReply decode_hello_reply(std::span<const std::uint8_t> payload) {
   const std::size_t n = checked_count(r.read_u16(), kMaxTiers, "tier");
   rep.dims.resize(n);
   for (auto& d : rep.dims) d = r.read_u16();
+  if (version >= 2) {
+    rep.session_token = r.read_u64();
+    rep.last_applied_seq = r.read_u64();
+    rep.resumed = r.read_u8() != 0;
+  }
   r.expect_done("HELLO reply");
   return rep;
 }
@@ -288,10 +347,12 @@ HelloReply decode_hello_reply(std::span<const std::uint8_t> payload) {
 
 // hpcap-lint: hot-path
 void encode_sample_batch_into(const SampleBatch& batch,
-                              std::vector<std::uint8_t>& out) {
+                              std::vector<std::uint8_t>& out,
+                              std::uint8_t version) {
   if (batch.ticks.size() > kMaxTicksPerBatch)
     throw ProtocolError("wire protocol: too many ticks to encode");
-  const std::size_t f = begin_frame(out, FrameType::kSampleBatch);
+  const std::size_t f = begin_frame(out, FrameType::kSampleBatch, version);
+  if (version >= 2) put_u64(out, batch.batch_seq);
   put_u32(out, batch.first_tick);
   put_u16(out, static_cast<std::uint16_t>(batch.ticks.size()));
   for (const Tick& tick : batch.ticks) {
@@ -307,27 +368,31 @@ void encode_sample_batch_into(const SampleBatch& batch,
       put_f64_array(out, slot.values);
     }
   }
-  end_frame(out, f);
+  end_frame(out, f, version);
 }
 
-std::vector<std::uint8_t> encode_sample_batch(const SampleBatch& batch) {
+std::vector<std::uint8_t> encode_sample_batch(const SampleBatch& batch,
+                                              std::uint8_t version) {
   std::vector<std::uint8_t> out;
-  encode_sample_batch_into(batch, out);
+  encode_sample_batch_into(batch, out, version);
   return out;
 }
 
 // hpcap-lint: hot-path
 SampleBatchView decode_sample_batch_view(
-    std::span<const std::uint8_t> payload, BatchArena& arena) {
+    std::span<const std::uint8_t> payload, BatchArena& arena,
+    std::uint8_t version) {
   // Pass 1 — scan: validate structure and count ticks/slots/values so the
   // arena arrays can be sized exactly once (no growth reallocation, and a
   // hostile count never drives a speculative over-allocation).
   std::size_t total_slots = 0;
   std::size_t total_values = 0;
+  std::uint64_t batch_seq = 0;
   std::uint32_t first_tick = 0;
   std::size_t num_ticks = 0;
   {
     PayloadReader scan(payload);
+    if (version >= 2) batch_seq = scan.read_u64();
     first_tick = scan.read_u32();
     num_ticks = checked_count(scan.read_u16(), kMaxTicksPerBatch, "tick");
     for (std::size_t t = 0; t < num_ticks; ++t) {
@@ -356,6 +421,7 @@ SampleBatchView decode_sample_batch_view(
   arena.values_.resize(total_values);  // hpcap-lint: allow(bounded-decode)
   PayloadReader r(payload);
   SampleBatchView batch;
+  if (version >= 2) (void)r.read_u64();  // batch_seq, read in pass 1
   batch.first_tick = r.read_u32();
   (void)r.read_u16();  // tick count, validated in pass 1
   std::size_t slot_at = 0;
@@ -380,16 +446,20 @@ SampleBatchView decode_sample_batch_view(
     slot_at += tiers;
   }
   batch.ticks = {arena.ticks_.data(), num_ticks};
+  batch.batch_seq = batch_seq;
   batch.first_tick = first_tick;
   return batch;
 }
 
-SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload) {
+SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload,
+                                std::uint8_t version) {
   // One validation implementation: decode through a local arena, then
   // deep-copy the views into the owning struct.
   BatchArena arena;
-  const SampleBatchView view = decode_sample_batch_view(payload, arena);
+  const SampleBatchView view = decode_sample_batch_view(payload, arena,
+                                                        version);
   SampleBatch batch;
+  batch.batch_seq = view.batch_seq;
   batch.first_tick = view.first_tick;
   batch.ticks.resize(view.ticks.size());
   for (std::size_t t = 0; t < view.ticks.size(); ++t) {
@@ -408,8 +478,9 @@ SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload) {
 
 // hpcap-lint: hot-path
 void encode_decision_into(const DecisionFrame& d,
-                          std::vector<std::uint8_t>& out) {
-  const std::size_t f = begin_frame(out, FrameType::kDecision);
+                          std::vector<std::uint8_t>& out,
+                          std::uint8_t version) {
+  const std::size_t f = begin_frame(out, FrameType::kDecision, version);
   put_u32(out, d.window_index);
   put_u8(out, d.state);
   put_u8(out, d.confident);
@@ -418,12 +489,13 @@ void encode_decision_into(const DecisionFrame& d,
   put_i32(out, d.hc);
   put_i32(out, d.bottleneck_tier);
   put_i32(out, d.staleness);
-  end_frame(out, f);
+  end_frame(out, f, version);
 }
 
-std::vector<std::uint8_t> encode_decision(const DecisionFrame& d) {
+std::vector<std::uint8_t> encode_decision(const DecisionFrame& d,
+                                          std::uint8_t version) {
   std::vector<std::uint8_t> out;
-  encode_decision_into(d, out);
+  encode_decision_into(d, out, version);
   return out;
 }
 
@@ -442,6 +514,34 @@ DecisionFrame decode_decision(std::span<const std::uint8_t> payload) {
   return d;
 }
 
+// --- ACK (v2 only) -------------------------------------------------------
+
+void encode_ack_into(const AckFrame& ack, std::vector<std::uint8_t>& out,
+                     std::uint8_t version) {
+  if (version < 2)
+    throw ProtocolError("wire protocol: ACK frames require protocol v2");
+  const std::size_t f = begin_frame(out, FrameType::kAck, version);
+  put_u64(out, ack.last_applied_seq);
+  put_u32(out, ack.next_window);
+  end_frame(out, f, version);
+}
+
+std::vector<std::uint8_t> encode_ack(const AckFrame& ack,
+                                     std::uint8_t version) {
+  std::vector<std::uint8_t> out;
+  encode_ack_into(ack, out, version);
+  return out;
+}
+
+AckFrame decode_ack(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  AckFrame ack;
+  ack.last_applied_seq = r.read_u64();
+  ack.next_window = r.read_u32();
+  r.expect_done("ACK");
+  return ack;
+}
+
 // --- STATS ---------------------------------------------------------------
 
 std::uint64_t StatsReply::value(const std::string& key) const {
@@ -450,30 +550,33 @@ std::uint64_t StatsReply::value(const std::string& key) const {
   return 0;
 }
 
-void encode_stats_request_into(std::vector<std::uint8_t>& out) {
-  end_frame(out, begin_frame(out, FrameType::kStats));
+void encode_stats_request_into(std::vector<std::uint8_t>& out,
+                               std::uint8_t version) {
+  end_frame(out, begin_frame(out, FrameType::kStats, version), version);
 }
 
-std::vector<std::uint8_t> encode_stats_request() {
-  return encode_frame(FrameType::kStats, {});
+std::vector<std::uint8_t> encode_stats_request(std::uint8_t version) {
+  return encode_frame(FrameType::kStats, {}, version);
 }
 
 void encode_stats_reply_into(const StatsReply& rep,
-                             std::vector<std::uint8_t>& out) {
+                             std::vector<std::uint8_t>& out,
+                             std::uint8_t version) {
   if (rep.entries.size() > kMaxStatsEntries)
     throw ProtocolError("wire protocol: too many stats entries to encode");
-  const std::size_t f = begin_frame(out, FrameType::kStats);
+  const std::size_t f = begin_frame(out, FrameType::kStats, version);
   put_u32(out, static_cast<std::uint32_t>(rep.entries.size()));
   for (const auto& [key, value] : rep.entries) {
     put_string(out, key);
     put_u64(out, value);
   }
-  end_frame(out, f);
+  end_frame(out, f, version);
 }
 
-std::vector<std::uint8_t> encode_stats_reply(const StatsReply& rep) {
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& rep,
+                                             std::uint8_t version) {
   std::vector<std::uint8_t> out;
-  encode_stats_reply_into(rep, out);
+  encode_stats_reply_into(rep, out, version);
   return out;
 }
 
@@ -495,15 +598,17 @@ StatsReply decode_stats_reply(std::span<const std::uint8_t> payload) {
 // --- RELOAD --------------------------------------------------------------
 
 void encode_reload_request_into(const ReloadRequest& req,
-                                std::vector<std::uint8_t>& out) {
-  const std::size_t f = begin_frame(out, FrameType::kReload);
+                                std::vector<std::uint8_t>& out,
+                                std::uint8_t version) {
+  const std::size_t f = begin_frame(out, FrameType::kReload, version);
   put_string(out, req.path);
-  end_frame(out, f);
+  end_frame(out, f, version);
 }
 
-std::vector<std::uint8_t> encode_reload_request(const ReloadRequest& req) {
+std::vector<std::uint8_t> encode_reload_request(const ReloadRequest& req,
+                                                std::uint8_t version) {
   std::vector<std::uint8_t> out;
-  encode_reload_request_into(req, out);
+  encode_reload_request_into(req, out, version);
   return out;
 }
 
@@ -516,17 +621,19 @@ ReloadRequest decode_reload_request(std::span<const std::uint8_t> payload) {
 }
 
 void encode_reload_reply_into(const ReloadReply& rep,
-                              std::vector<std::uint8_t>& out) {
-  const std::size_t f = begin_frame(out, FrameType::kReload);
+                              std::vector<std::uint8_t>& out,
+                              std::uint8_t version) {
+  const std::size_t f = begin_frame(out, FrameType::kReload, version);
   put_u8(out, rep.ok ? 1 : 0);
   put_u32(out, rep.model_version);
   put_string(out, rep.message);
-  end_frame(out, f);
+  end_frame(out, f, version);
 }
 
-std::vector<std::uint8_t> encode_reload_reply(const ReloadReply& rep) {
+std::vector<std::uint8_t> encode_reload_reply(const ReloadReply& rep,
+                                              std::uint8_t version) {
   std::vector<std::uint8_t> out;
-  encode_reload_reply_into(rep, out);
+  encode_reload_reply_into(rep, out, version);
   return out;
 }
 
@@ -542,12 +649,13 @@ ReloadReply decode_reload_reply(std::span<const std::uint8_t> payload) {
 
 // --- SHUTDOWN ------------------------------------------------------------
 
-std::vector<std::uint8_t> encode_shutdown() {
-  return encode_frame(FrameType::kShutdown, {});
+std::vector<std::uint8_t> encode_shutdown(std::uint8_t version) {
+  return encode_frame(FrameType::kShutdown, {}, version);
 }
 
-void encode_shutdown_into(std::vector<std::uint8_t>& out) {
-  end_frame(out, begin_frame(out, FrameType::kShutdown));
+void encode_shutdown_into(std::vector<std::uint8_t>& out,
+                          std::uint8_t version) {
+  end_frame(out, begin_frame(out, FrameType::kShutdown, version), version);
 }
 
 // --- FrameAssembler ------------------------------------------------------
@@ -577,9 +685,21 @@ std::optional<FrameRef> FrameAssembler::next_ref() {
                                               buf_.size() - start_);
   const auto header = peek_header(pending);
   if (!header) return std::nullopt;
-  const std::size_t total = kHeaderSize + header->payload_size;
+  const std::size_t trailer = header->version >= 2 ? kCrcSize : 0;
+  const std::size_t total = kHeaderSize + header->payload_size + trailer;
   if (pending.size() < total) return std::nullopt;
+  if (trailer != 0) {
+    const std::size_t body = kHeaderSize + header->payload_size;
+    const std::uint32_t want = crc32(pending.first(body));
+    std::uint32_t got = 0;
+    for (int i = 0; i < 4; ++i)
+      got |= static_cast<std::uint32_t>(pending[body +
+                                                static_cast<std::size_t>(i)])
+             << (8 * i);
+    if (want != got) malformed("frame checksum mismatch");
+  }
   FrameRef frame;
+  frame.version = header->version;
   frame.type = header->type;
   frame.payload = pending.subspan(kHeaderSize, header->payload_size);
   start_ += total;
@@ -590,6 +710,7 @@ std::optional<Frame> FrameAssembler::next() {
   const auto ref = next_ref();
   if (!ref) return std::nullopt;
   Frame frame;
+  frame.version = ref->version;
   frame.type = ref->type;
   frame.payload.assign(ref->payload.begin(), ref->payload.end());
   return frame;

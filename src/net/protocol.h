@@ -1,4 +1,4 @@
-// hpcapd wire protocol v1 — the deployable boundary of the monitor.
+// hpcapd wire protocol — the deployable boundary of the monitor.
 //
 // Agents on the web/app/db tiers push 1 Hz counter samples to the
 // monitoring daemon over TCP; the daemon streams per-window Decisions
@@ -7,26 +7,39 @@
 //
 //   header (12 bytes, all integers little-endian on the wire):
 //     u32 magic        0x48504341 ("ACPH" on the wire, "HPCA" as a word)
-//     u8  version      kProtocolVersion
+//     u8  version      1 or 2 (kProtocolVersion = 2)
 //     u8  type         FrameType
 //     u16 reserved     must be 0
 //     u32 payload_size <= kMaxPayload
 //   payload (payload_size bytes, layout per frame type below)
+//   v2 only: u32 crc32 trailer over header + payload (IEEE/zlib
+//   polynomial). A frame whose checksum does not match is malformed —
+//   this is what lets a resilient client treat silent byte corruption
+//   like a dropped connection instead of feeding garbage to the model.
 //
 // Encoding is explicit byte-at-a-time little-endian — no struct casts, no
 // host-endianness leaks — and every decode is bounds-checked: a malformed
 // frame (bad magic, unknown version/type, oversized or truncated payload,
-// out-of-bounds count) throws ProtocolError and never reads past the
-// buffer. Strings and repeated sections carry explicit counts with hard
-// caps, so a hostile length field cannot trigger a huge allocation.
+// out-of-bounds count, checksum mismatch) throws ProtocolError and never
+// reads past the buffer. Strings and repeated sections carry explicit
+// counts with hard caps, so a hostile length field cannot trigger a huge
+// allocation.
 //
-// Frame types and payloads (req = agent->daemon, rep = daemon->agent):
+// Frame types and payloads (req = agent->daemon, rep = daemon->agent).
+// Fields marked [v2] exist only in version-2 frames; a v1 frame of the
+// same type omits them and decodes them to their zero values:
 //
-//   HELLO req:  str agent, str level("hpc"|"os"), u16 num_tiers, u16 window
+//   HELLO req:  str agent, str level("hpc"|"os"), u16 num_tiers, u16 window,
+//               [v2] u64 resume_token (0 = new session),
+//               [v2] u32 resume_from_window (first DECISION window the
+//               client still needs when resuming)
 //   HELLO rep:  u8 accepted, str message, u16 num_tiers, u16 window,
-//               u32 model_version, u16 ntiers, u16 dim[ntiers]
-//   SAMPLE_BATCH req: u32 first_tick, u16 tick_count, then per tick:
-//               u16 tier_count, per tier: u8 present,
+//               u32 model_version, u16 ntiers, u16 dim[ntiers],
+//               [v2] u64 session_token, [v2] u64 last_applied_seq,
+//               [v2] u8 resumed
+//   SAMPLE_BATCH req: [v2] u64 batch_seq (1-based, strictly increasing
+//               per session), u32 first_tick, u16 tick_count, then per
+//               tick: u16 tier_count, per tier: u8 present,
 //               present ? (u16 dim, f64 values[dim]) : ()
 //               A missing slot (present=0) maps to
 //               InstanceAggregator::mark_missing — dropped read / blackout.
@@ -37,6 +50,15 @@
 //   RELOAD rep: u8 ok, u32 model_version, str message
 //   SHUTDOWN:   empty both ways (rep is the ack; daemon then drains and
 //               exits)
+//   ACK rep [v2 only]: u64 last_applied_seq, u32 next_window — the
+//               daemon's cumulative acknowledgement; the client prunes
+//               its replay buffer of SAMPLE_BATCH frames up to and
+//               including last_applied_seq.
+//
+// Version negotiation: the daemon answers every request in the version
+// of the request's frame header, and a session runs at the version of
+// its HELLO — so a v1 agent talking to a v2 daemon never sees a v2
+// frame, and sequence/ACK/resume machinery simply does not engage.
 #pragma once
 
 #include <cstdint>
@@ -50,11 +72,13 @@
 namespace hpcap::net {
 
 inline constexpr std::uint32_t kMagic = 0x48504341u;  // "HPCA"
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 // The on-disk model bundle format the daemon loads (core/model_io.h).
 inline constexpr const char* kModelFormatVersion = "v1";
 
 inline constexpr std::size_t kHeaderSize = 12;
+inline constexpr std::size_t kCrcSize = 4;  // v2 frame trailer
 inline constexpr std::size_t kMaxPayload = std::size_t{4} << 20;  // 4 MiB
 // Decode-side caps: a length field above these is malformed, full stop.
 inline constexpr std::size_t kMaxString = std::size_t{1} << 20;
@@ -70,14 +94,21 @@ enum class FrameType : std::uint8_t {
   kStats = 4,
   kReload = 5,
   kShutdown = 6,
+  kAck = 7,  // v2 only
 };
 
 // Thrown on any malformed input: bad header, truncated payload, count
-// above cap, trailing garbage. Catching it means "drop this peer".
+// above cap, trailing garbage, checksum mismatch. Catching it means
+// "drop this peer".
 class ProtocolError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) over `data`. The v2
+// frame trailer; exposed so tests and the chaos harness can forge or
+// verify frames byte-for-byte.
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
 
 struct FrameHeader {
   std::uint8_t version = kProtocolVersion;
@@ -92,6 +123,7 @@ std::optional<FrameHeader> peek_header(
     std::span<const std::uint8_t> buffer);
 
 struct Frame {
+  std::uint8_t version = kProtocolVersion;
   FrameType type = FrameType::kHello;
   std::vector<std::uint8_t> payload;
 };
@@ -101,6 +133,7 @@ struct Frame {
 // assembler (decode it, or copy it out, before reading more bytes from
 // the socket).
 struct FrameRef {
+  std::uint8_t version = kProtocolVersion;
   FrameType type = FrameType::kHello;
   std::span<const std::uint8_t> payload;
 };
@@ -153,9 +186,10 @@ class PayloadReader {
   std::size_t pos_ = 0;
 };
 
-// Wraps an encoded payload in a framed header.
+// Wraps an encoded payload in a framed header (+ CRC trailer for v2).
 std::vector<std::uint8_t> encode_frame(FrameType type,
-                                       std::span<const std::uint8_t> payload);
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version = kProtocolVersion);
 
 // --- frame structs -------------------------------------------------------
 
@@ -164,6 +198,10 @@ struct HelloRequest {
   std::string level;       // "hpc" or "os"
   std::uint16_t num_tiers = 0;
   std::uint16_t window = 0;  // samples per instance for this session
+  // v2 resume handshake; both zero on a fresh session and always zero
+  // when the frame is encoded/decoded as v1.
+  std::uint64_t resume_token = 0;
+  std::uint32_t resume_from_window = 0;
 };
 
 struct HelloReply {
@@ -173,6 +211,11 @@ struct HelloReply {
   std::uint16_t window = 0;
   std::uint32_t model_version = 0;
   std::vector<std::uint16_t> dims;  // expected row width per tier
+  // v2 session identity: the token the client presents to resume, and
+  // the highest batch_seq the daemon has fully applied for it.
+  std::uint64_t session_token = 0;
+  std::uint64_t last_applied_seq = 0;
+  bool resumed = false;
 };
 
 // One tier's slot within a sampling tick. `present == false` models a
@@ -187,6 +230,7 @@ struct Tick {
 };
 
 struct SampleBatch {
+  std::uint64_t batch_seq = 0;   // v2: 1-based per-session sequence
   std::uint32_t first_tick = 0;  // sequence number of ticks[0]
   std::vector<Tick> ticks;
 };
@@ -199,6 +243,12 @@ struct DecisionFrame {
   std::int32_t hc = 0;
   std::int32_t bottleneck_tier = -1;
   std::int32_t staleness = 0;
+};
+
+// v2 cumulative acknowledgement (daemon -> agent).
+struct AckFrame {
+  std::uint64_t last_applied_seq = 0;
+  std::uint32_t next_window = 0;  // next DECISION window the daemon emits
 };
 
 struct StatsReply {
@@ -233,6 +283,7 @@ struct TickView {
 };
 
 struct SampleBatchView {
+  std::uint64_t batch_seq = 0;
   std::uint32_t first_tick = 0;
   std::span<const TickView> ticks;
 };
@@ -248,7 +299,8 @@ class BatchArena {
 
  private:
   friend SampleBatchView decode_sample_batch_view(
-      std::span<const std::uint8_t> payload, BatchArena& arena);
+      std::span<const std::uint8_t> payload, BatchArena& arena,
+      std::uint8_t version);
   std::vector<double> values_;
   std::vector<TierSlotView> slots_;
   std::vector<TickView> ticks_;
@@ -258,7 +310,8 @@ class BatchArena {
 // Validation (caps, truncation, trailing bytes) is identical to
 // decode_sample_batch — same errors, same messages.
 SampleBatchView decode_sample_batch_view(
-    std::span<const std::uint8_t> payload, BatchArena& arena);
+    std::span<const std::uint8_t> payload, BatchArena& arena,
+    std::uint8_t version = kProtocolVersion);
 
 // --- encode (full frame) / decode (payload only) -------------------------
 //
@@ -267,53 +320,85 @@ SampleBatchView decode_sample_batch_view(
 // appends the framed bytes to `out` (not clearing it first), so callers
 // on the hot path can reuse one scratch buffer — or pack several frames
 // back to back for a single scatter-gather write.
+//
+// All encoders and version-dependent decoders take the wire version the
+// frame is (to be) carried at; v1 silently omits the v2 fields so a
+// negotiated-v1 session emits byte-identical frames to a v1 build.
 
-std::vector<std::uint8_t> encode_hello_request(const HelloRequest& req);
+std::vector<std::uint8_t> encode_hello_request(
+    const HelloRequest& req, std::uint8_t version = kProtocolVersion);
 void encode_hello_request_into(const HelloRequest& req,
-                               std::vector<std::uint8_t>& out);
-HelloRequest decode_hello_request(std::span<const std::uint8_t> payload);
+                               std::vector<std::uint8_t>& out,
+                               std::uint8_t version = kProtocolVersion);
+HelloRequest decode_hello_request(std::span<const std::uint8_t> payload,
+                                  std::uint8_t version = kProtocolVersion);
 
-std::vector<std::uint8_t> encode_hello_reply(const HelloReply& rep);
+std::vector<std::uint8_t> encode_hello_reply(
+    const HelloReply& rep, std::uint8_t version = kProtocolVersion);
 void encode_hello_reply_into(const HelloReply& rep,
-                             std::vector<std::uint8_t>& out);
-HelloReply decode_hello_reply(std::span<const std::uint8_t> payload);
+                             std::vector<std::uint8_t>& out,
+                             std::uint8_t version = kProtocolVersion);
+HelloReply decode_hello_reply(std::span<const std::uint8_t> payload,
+                              std::uint8_t version = kProtocolVersion);
 
-std::vector<std::uint8_t> encode_sample_batch(const SampleBatch& batch);
+std::vector<std::uint8_t> encode_sample_batch(
+    const SampleBatch& batch, std::uint8_t version = kProtocolVersion);
 void encode_sample_batch_into(const SampleBatch& batch,
-                              std::vector<std::uint8_t>& out);
-SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload);
+                              std::vector<std::uint8_t>& out,
+                              std::uint8_t version = kProtocolVersion);
+SampleBatch decode_sample_batch(std::span<const std::uint8_t> payload,
+                                std::uint8_t version = kProtocolVersion);
 
-std::vector<std::uint8_t> encode_decision(const DecisionFrame& d);
+std::vector<std::uint8_t> encode_decision(
+    const DecisionFrame& d, std::uint8_t version = kProtocolVersion);
 void encode_decision_into(const DecisionFrame& d,
-                          std::vector<std::uint8_t>& out);
+                          std::vector<std::uint8_t>& out,
+                          std::uint8_t version = kProtocolVersion);
 DecisionFrame decode_decision(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> encode_stats_request();
-void encode_stats_request_into(std::vector<std::uint8_t>& out);
-std::vector<std::uint8_t> encode_stats_reply(const StatsReply& rep);
+std::vector<std::uint8_t> encode_ack(
+    const AckFrame& ack, std::uint8_t version = kProtocolVersion);
+void encode_ack_into(const AckFrame& ack, std::vector<std::uint8_t>& out,
+                     std::uint8_t version = kProtocolVersion);
+AckFrame decode_ack(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_stats_request(
+    std::uint8_t version = kProtocolVersion);
+void encode_stats_request_into(std::vector<std::uint8_t>& out,
+                               std::uint8_t version = kProtocolVersion);
+std::vector<std::uint8_t> encode_stats_reply(
+    const StatsReply& rep, std::uint8_t version = kProtocolVersion);
 void encode_stats_reply_into(const StatsReply& rep,
-                             std::vector<std::uint8_t>& out);
+                             std::vector<std::uint8_t>& out,
+                             std::uint8_t version = kProtocolVersion);
 StatsReply decode_stats_reply(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> encode_reload_request(const ReloadRequest& req);
+std::vector<std::uint8_t> encode_reload_request(
+    const ReloadRequest& req, std::uint8_t version = kProtocolVersion);
 void encode_reload_request_into(const ReloadRequest& req,
-                                std::vector<std::uint8_t>& out);
+                                std::vector<std::uint8_t>& out,
+                                std::uint8_t version = kProtocolVersion);
 ReloadRequest decode_reload_request(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> encode_reload_reply(const ReloadReply& rep);
+std::vector<std::uint8_t> encode_reload_reply(
+    const ReloadReply& rep, std::uint8_t version = kProtocolVersion);
 void encode_reload_reply_into(const ReloadReply& rep,
-                              std::vector<std::uint8_t>& out);
+                              std::vector<std::uint8_t>& out,
+                              std::uint8_t version = kProtocolVersion);
 ReloadReply decode_reload_reply(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> encode_shutdown();
-void encode_shutdown_into(std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> encode_shutdown(
+    std::uint8_t version = kProtocolVersion);
+void encode_shutdown_into(std::vector<std::uint8_t>& out,
+                          std::uint8_t version = kProtocolVersion);
 
 // --- incremental stream parsing ------------------------------------------
 
 // Accumulates raw socket bytes and yields complete frames. Throws
 // ProtocolError from next()/next_ref() on malformed input (the caller
 // should then drop the connection — after a framing error the stream
-// position is unrecoverable).
+// position is unrecoverable). v2 frames are checksum-verified here, so
+// every payload a decoder sees has already survived the CRC.
 //
 // next_ref() is the zero-copy form: the returned FrameRef's payload is a
 // span into the receive buffer, valid across further next_ref() calls

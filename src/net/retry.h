@@ -1,0 +1,81 @@
+// Reconnect/backoff policy for resilient wire sessions.
+//
+// A RetryPolicy bounds every retry loop in src/net/ three ways at once:
+// a cap on attempts, an exponential (seeded-jittered) per-attempt delay
+// with a ceiling, and an overall wall-clock deadline budget per outage.
+// The jitter is drawn from an explicit Rng seed so a chaos run's
+// reconnect schedule is as reproducible as everything else in hpcap —
+// two runs with the same seeds back off at the same instants.
+//
+// Backoff sequence for attempt k (0-based):
+//   base_k = min(initial_backoff * multiplier^k, max_backoff)
+//   delay_k = base_k * (1 + jitter * u),  u ~ Uniform[-1, 1)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace hpcap::net {
+
+struct RetryPolicy {
+  int max_attempts = 8;             // reconnect attempts per outage
+  double initial_backoff = 0.05;    // seconds before the first retry
+  double backoff_multiplier = 2.0;  // exponential growth per attempt
+  double max_backoff = 2.0;         // per-attempt delay ceiling (seconds)
+  double jitter = 0.25;             // +/- fraction of the base delay
+  double deadline = 60.0;           // wall-clock budget per outage (seconds)
+  // Max wire silence tolerated while batches sit unacknowledged before
+  // the client forces a reconnect and retransmits them. This is the
+  // at-least-once retransmit timer: a fault can truncate the tail of an
+  // otherwise healthy stream (the daemon holds a partial frame, the
+  // client holds unACKed batches, and neither side will ever send
+  // another byte), and only a timer breaks that silence. <= 0 disables
+  // the watchdog. Keep it above the daemon's worst-case ACK latency;
+  // a spurious fire costs one reconnect + resume, never duplicates.
+  double ack_timeout = 2.0;
+  std::uint64_t seed = 0xB0FF5EEDULL;
+
+  // No resilience: the first transport error is final.
+  static RetryPolicy none() noexcept {
+    RetryPolicy p;
+    p.max_attempts = 0;
+    return p;
+  }
+
+  bool enabled() const noexcept { return max_attempts > 0; }
+};
+
+// Per-outage backoff schedule. Construct one when an outage starts (the
+// salt keeps concurrent sessions' jitter streams independent), then call
+// next_delay() before each reconnect attempt until exhausted() — the
+// caller also checks the policy deadline against its own clock, since
+// only it knows how long connect() itself blocked.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy, std::uint64_t salt = 0) noexcept
+      : policy_(policy), rng_(Rng(policy.seed).split(salt)) {}
+
+  // Seconds to sleep before the next attempt; advances the schedule.
+  double next_delay() noexcept {
+    double base = policy_.initial_backoff;
+    for (int i = 0; i < attempt_ && base < policy_.max_backoff; ++i)
+      base *= policy_.backoff_multiplier;
+    base = std::min(base, policy_.max_backoff);
+    ++attempt_;
+    const double u = rng_.uniform(-1.0, 1.0);
+    const double delay = base * (1.0 + policy_.jitter * u);
+    return std::max(delay, 0.0);
+  }
+
+  int attempts() const noexcept { return attempt_; }
+  bool exhausted() const noexcept { return attempt_ >= policy_.max_attempts; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace hpcap::net

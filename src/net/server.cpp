@@ -25,7 +25,9 @@
 #include "core/validate.h"
 #include "counters/metric_catalog.h"
 #include "counters/sampler.h"
+#include "net/posix_io.h"
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace hpcap::net {
 
@@ -56,9 +58,47 @@ constexpr std::size_t kMaxIov = 64;
 
 }  // namespace
 
-// One agent connection. Before HELLO it is just a socket with deadlines;
-// after HELLO it owns the full per-stream pipeline (aggregators, validator,
-// private monitor instance).
+// The stream state of one agent session: the per-tier pipeline plus the
+// v2 exactly-once bookkeeping. Owned by a Connection while its socket is
+// up; detaches into Server::lingering_ when a v2 peer vanishes so a
+// reconnecting client can resume it.
+struct Server::Session {
+  std::uint64_t token = 0;   // resume identity; 0 on v1 (not resumable)
+  std::uint8_t version = 1;  // wire version of the HELLO that made it
+  std::string agent;
+  std::string level;
+  std::uint16_t window = 0;
+  std::size_t dim = 0;
+  std::uint32_t model_version = 0;
+  std::optional<core::CapacityMonitor> monitor;
+  std::optional<core::RowValidator> validator;
+  std::vector<counters::InstanceAggregator> aggregators;
+  // Zero-copy SAMPLE_BATCH decode backing store; reaches its high-water
+  // size after a few frames and then decodes allocation-free.
+  BatchArena arena;
+  // Window-block scratch: up to kObserveBlock closed windows accumulate
+  // here (row-major, window w tier t at block[(w*T + t)*dim]) with a
+  // per-tier validity mask, then one predict_masked_many call decides
+  // them all. Sized once at HELLO.
+  std::vector<double> block;
+  std::vector<std::uint8_t> block_valid;
+  std::vector<core::CoordinatedPredictor::Decision> block_out;
+  std::size_t block_windows = 0;
+  std::uint32_t window_index = 0;
+
+  // v2 exactly-once state: highest batch sequence applied (cumulative —
+  // anything at or below it is a replay and is deduped), plus the
+  // retained-DECISION ring for resume replay. replay_first_window is the
+  // window_index of replay.front().
+  std::uint64_t last_applied_seq = 0;
+  std::deque<DecisionFrame> replay;
+  std::uint32_t replay_first_window = 0;
+  double detached_at = 0.0;  // linger clock; set when parked
+};
+
+// One agent connection: the socket half of a session. Before HELLO it is
+// just a socket with deadlines; after HELLO it owns (or, on resume,
+// readopts) a Session.
 struct Server::Connection {
   enum class State { kAwaitHello, kStreaming };
 
@@ -87,37 +127,27 @@ struct Server::Connection {
   const char* doom_reason = "";
   std::uint64_t sheds = 0;  // for the rate-limited shed warning
 
-  // Session (valid once state == kStreaming).
-  std::string agent;
-  std::string level;
-  std::uint16_t window = 0;
-  std::size_t dim = 0;
-  std::uint32_t model_version = 0;
-  std::optional<core::CapacityMonitor> monitor;
-  std::optional<core::RowValidator> validator;
-  std::vector<counters::InstanceAggregator> aggregators;
-  // Zero-copy SAMPLE_BATCH decode backing store; reaches its high-water
-  // size after a few frames and then decodes allocation-free.
-  BatchArena arena;
-  // Window-block scratch: up to kObserveBlock closed windows accumulate
-  // here (row-major, window w tier t at block[(w*T + t)*dim]) with a
-  // per-tier validity mask, then one predict_masked_many call decides
-  // them all. Sized once at HELLO.
-  std::vector<double> block;
-  std::vector<std::uint8_t> block_valid;
-  std::vector<core::CoordinatedPredictor::Decision> block_out;
-  std::size_t block_windows = 0;
-  std::uint32_t window_index = 0;
+  std::unique_ptr<Session> session;  // valid once state == kStreaming
+
+  // Resume replay cursor: while `replaying`, retained decisions from
+  // `replay_next` onward are fed into the write queue at a watermark
+  // (feed_replay) and freshly produced decisions are only recorded in
+  // the ring — direct enqueue would jump the queue and break ordering.
+  bool replaying = false;
+  std::uint32_t replay_next = 0;
 };
 
 Server::Server(EventLoop& loop, core::MonitorSource& source,
                ServerConfig cfg)
-    : loop_(loop), source_(source), cfg_(std::move(cfg)) {
+    : loop_(loop), source_(source), cfg_(std::move(cfg)),
+      token_state_(cfg_.token_seed) {
   if (cfg_.num_tiers < 1 ||
       cfg_.num_tiers > static_cast<int>(kMaxTiers))
     throw std::invalid_argument("Server: num_tiers out of range");
   if (cfg_.max_write_queue < 2)
     throw std::invalid_argument("Server: max_write_queue must be >= 2");
+  if (cfg_.decision_replay < 1)
+    throw std::invalid_argument("Server: decision_replay must be >= 1");
 }
 
 Server::~Server() {
@@ -186,7 +216,8 @@ void Server::accept_ready() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       HPCAP_WARN << "hpcapd: accept failed: " << std::strerror(errno);
       return;
     }
@@ -228,7 +259,7 @@ void Server::handle_io(int fd, bool readable, bool writable) {
   Connection& c = *it->second;
   std::uint8_t buf[65536];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    const ssize_t n = io::recv_retry(fd, buf, sizeof buf, 0);
     if (n > 0) {
       c.last_activity = loop_.now();
       c.assembler.append(buf, static_cast<std::size_t>(n));
@@ -240,7 +271,6 @@ void Server::handle_io(int fd, bool readable, bool writable) {
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
     close_connection(fd, "read error");
     return;
   }
@@ -286,183 +316,356 @@ void Server::handle_io(int fd, bool readable, bool writable) {
 void Server::handle_frame(Connection& c, const FrameRef& frame) {
   switch (frame.type) {
     case FrameType::kHello:
-      handle_hello(c, decode_hello_request(frame.payload));
+      handle_hello(c, decode_hello_request(frame.payload, frame.version),
+                   frame.version);
       return;
     case FrameType::kSampleBatch:
-      handle_batch(c, frame.payload);
+      handle_batch(c, frame.payload, frame.version);
       return;
     case FrameType::kStats: {
       PayloadReader r(frame.payload);
       r.expect_done("STATS request");
-      handle_stats(c);
+      handle_stats(c, frame.version);
       return;
     }
     case FrameType::kReload:
-      handle_reload(c, decode_reload_request(frame.payload));
+      handle_reload(c, decode_reload_request(frame.payload), frame.version);
       return;
     case FrameType::kShutdown: {
       PayloadReader r(frame.payload);
       r.expect_done("SHUTDOWN request");
-      handle_shutdown(c);
+      handle_shutdown(c, frame.version);
       return;
     }
     case FrameType::kDecision:
       // Decisions flow daemon -> agent only.
       throw ProtocolError("wire protocol: DECISION frame from agent");
+    case FrameType::kAck:
+      // ACKs flow daemon -> agent only.
+      throw ProtocolError("wire protocol: ACK frame from agent");
   }
   throw ProtocolError("wire protocol: unhandled frame type");
 }
 
-void Server::handle_hello(Connection& c, const HelloRequest& req) {
+void Server::handle_hello(Connection& c, const HelloRequest& req,
+                          std::uint8_t version) {
   ++stats_.hellos;
   HelloReply rep;
   rep.num_tiers = static_cast<std::uint16_t>(cfg_.num_tiers);
   rep.model_version = source_.version();
+  const auto tiers = static_cast<std::size_t>(cfg_.num_tiers);
 
-  const std::size_t dim = level_dim(req.level);
-  if (c.state != Connection::State::kAwaitHello) {
-    rep.message = "duplicate HELLO";
-  } else if (dim == 0) {
-    rep.message = "unknown metric level '" + req.level + "'";
-  } else if (req.num_tiers != cfg_.num_tiers) {
-    rep.message = "tier count mismatch: agent " +
-                  std::to_string(req.num_tiers) + ", daemon " +
-                  std::to_string(cfg_.num_tiers);
-  } else if (req.window < 1 || req.window > cfg_.max_window) {
-    rep.message = "window out of range";
-  } else {
-    try {
-      c.monitor.emplace(source_.instantiate());
-      c.monitor->predictor().reset_history();
-    } catch (const std::exception& e) {
-      c.monitor.reset();
-      rep.message = std::string("model instantiation failed: ") + e.what();
-    }
-  }
-
-  if (!c.monitor) {
+  const auto send_reject = [&](const std::string& message) {
     ++stats_.hellos_rejected;
     rep.accepted = false;
+    rep.message = message;
     c.close_after_flush = true;
     auto buf = take_spare(c);
-    encode_hello_reply_into(rep, buf);
+    encode_hello_reply_into(rep, buf, version);
     enqueue(c, FrameType::kHello, std::move(buf));
+  };
+
+  if (c.state != Connection::State::kAwaitHello) {
+    send_reject("duplicate HELLO");
     return;
   }
 
-  c.state = Connection::State::kStreaming;
-  c.agent = req.agent;
-  c.level = req.level;
-  c.window = req.window;
-  c.dim = dim;
-  c.model_version = source_.version();
+  if (version >= 2 && req.resume_token != 0) {
+    // Resume: reattach a lingering session instead of building one.
+    // The token may still be attached to a connection the daemon hasn't
+    // noticed is dead (the client can observe a fault and reconnect
+    // before the stale socket reports EOF here). The client proved
+    // ownership by presenting the token, so steal the session: closing
+    // the stale connection parks it into lingering_ for the lookup
+    // below.
+    if (lingering_.count(req.resume_token) == 0) {
+      for (const auto& [stale_fd, stale] : conns_) {
+        if (stale.get() != &c && stale->session &&
+            stale->session->token == req.resume_token) {
+          close_connection(stale_fd, "superseded by session resume");
+          break;
+        }
+      }
+    }
+    const auto it = lingering_.find(req.resume_token);
+    const char* why = nullptr;
+    if (it == lingering_.end()) {
+      why = "unknown or expired resume token";
+    } else if (it->second->level != req.level ||
+               it->second->window != req.window ||
+               req.num_tiers != cfg_.num_tiers) {
+      why = "resume parameters do not match the original session";
+    } else if (req.resume_from_window < it->second->replay_first_window ||
+               req.resume_from_window > it->second->window_index) {
+      why = "resume point outside the retained decision window";
+    }
+    if (why != nullptr) {
+      ++stats_.resume_rejected;
+      send_reject(why);
+      return;
+    }
+    c.session = std::move(it->second);
+    lingering_.erase(it);
+    Session& s = *c.session;
+    c.state = Connection::State::kStreaming;
+    c.replaying = req.resume_from_window < s.window_index;
+    c.replay_next = req.resume_from_window;
+    ++stats_.sessions_resumed;
+    rep.accepted = true;
+    rep.window = s.window;
+    rep.model_version = s.model_version;
+    rep.message = "session resumed";
+    rep.dims.assign(tiers, static_cast<std::uint16_t>(s.dim));
+    rep.session_token = s.token;
+    rep.last_applied_seq = s.last_applied_seq;
+    rep.resumed = true;
+    auto buf = take_spare(c);
+    encode_hello_reply_into(rep, buf, version);
+    enqueue(c, FrameType::kHello, std::move(buf));
+    HPCAP_INFO << "hpcapd: agent '" << s.agent << "' resumed session (seq "
+               << s.last_applied_seq << ", replay from window "
+               << req.resume_from_window << " of " << s.window_index << ")";
+    return;
+  }
+
+  const std::size_t dim = level_dim(req.level);
+  auto session = std::make_unique<Session>();
+  std::string why;
+  if (dim == 0) {
+    why = "unknown metric level '" + req.level + "'";
+  } else if (req.num_tiers != cfg_.num_tiers) {
+    why = "tier count mismatch: agent " + std::to_string(req.num_tiers) +
+          ", daemon " + std::to_string(cfg_.num_tiers);
+  } else if (req.window < 1 || req.window > cfg_.max_window) {
+    why = "window out of range";
+  } else {
+    try {
+      session->monitor.emplace(source_.instantiate());
+      session->monitor->predictor().reset_history();
+    } catch (const std::exception& e) {
+      session->monitor.reset();
+      why = std::string("model instantiation failed: ") + e.what();
+    }
+  }
+  if (!session->monitor) {
+    send_reject(why);
+    return;
+  }
+
+  Session& s = *session;
+  s.version = version;
+  s.token = version >= 2 ? next_token() : 0;
+  s.agent = req.agent;
+  s.level = req.level;
+  s.window = req.window;
+  s.dim = dim;
+  s.model_version = source_.version();
   core::RowValidator::Options vopts;
   vopts.dim = dim;
   vopts.max_abs = cfg_.validator_max_abs;
-  c.validator.emplace(vopts);
-  c.aggregators.reserve(static_cast<std::size_t>(cfg_.num_tiers));
+  s.validator.emplace(vopts);
+  s.aggregators.reserve(tiers);
   for (int t = 0; t < cfg_.num_tiers; ++t)
-    c.aggregators.emplace_back(dim, req.window, cfg_.max_missing_fraction,
+    s.aggregators.emplace_back(dim, req.window, cfg_.max_missing_fraction,
                                cfg_.aggregator_trim);
-  const auto tiers = static_cast<std::size_t>(cfg_.num_tiers);
-  c.block.assign(kObserveBlock * tiers * dim, 0.0);
-  c.block_valid.assign(kObserveBlock * tiers, 0);
-  c.block_out.resize(kObserveBlock);
-  c.block_windows = 0;
+  s.block.assign(kObserveBlock * tiers * dim, 0.0);
+  s.block_valid.assign(kObserveBlock * tiers, 0);
+  s.block_out.resize(kObserveBlock);
+  c.session = std::move(session);
+  c.state = Connection::State::kStreaming;
 
   rep.accepted = true;
   rep.window = req.window;
   rep.message = "hpcapd ready";
   rep.dims.assign(tiers, static_cast<std::uint16_t>(dim));
+  rep.session_token = s.token;
+  rep.last_applied_seq = 0;
+  rep.resumed = false;
   auto buf = take_spare(c);
-  encode_hello_reply_into(rep, buf);
+  encode_hello_reply_into(rep, buf, version);
   enqueue(c, FrameType::kHello, std::move(buf));
-  HPCAP_INFO << "hpcapd: agent '" << c.agent << "' streaming " << c.level
-             << " level, window " << c.window << ", model v"
-             << c.model_version;
+  HPCAP_INFO << "hpcapd: agent '" << s.agent << "' streaming " << s.level
+             << " level, window " << s.window << ", model v"
+             << s.model_version << ", protocol v"
+             << static_cast<int>(version);
 }
 
 // hpcap-lint: hot-path
 void Server::handle_batch(Connection& c,
-                          std::span<const std::uint8_t> payload) {
+                          std::span<const std::uint8_t> payload,
+                          std::uint8_t version) {
   if (c.state != Connection::State::kStreaming)
     throw ProtocolError("wire protocol: SAMPLE_BATCH before HELLO");
-  const SampleBatchView batch = decode_sample_batch_view(payload, c.arena);
+  Session& s = *c.session;
+  if (version != s.version)
+    throw ProtocolError("wire protocol: SAMPLE_BATCH version mismatch");
+  const SampleBatchView batch =
+      decode_sample_batch_view(payload, s.arena, version);
   const std::size_t tiers = static_cast<std::size_t>(cfg_.num_tiers);
+
+  if (s.version >= 2) {
+    if (batch.batch_seq == 0)
+      throw ProtocolError("wire protocol: zero batch sequence");
+    if (batch.batch_seq <= s.last_applied_seq) {
+      // A replay of a batch already applied (client retransmitting after
+      // resume): acknowledge it again and touch nothing else — this is
+      // the dedup half of exactly-once.
+      ++stats_.batches_deduped;
+      enqueue_ack(c);
+      return;
+    }
+    if (batch.batch_seq != s.last_applied_seq + 1)
+      throw ProtocolError("wire protocol: batch sequence gap: expected " +
+                          std::to_string(s.last_applied_seq + 1) + ", got " +
+                          std::to_string(batch.batch_seq));
+  }
+
+  // Structural pre-validation so the application loop below cannot throw
+  // midway: a batch is applied whole or not at all, which exactly-once
+  // semantics depend on (last_applied_seq covers entire batches).
   for (const TickView& tick : batch.ticks) {
     if (tick.tiers.size() != tiers)
       throw ProtocolError("wire protocol: tick tier count mismatch");
+    for (const TierSlotView& slot : tick.tiers)
+      if (slot.present && slot.values.size() != s.dim)
+        throw ProtocolError("wire protocol: slot width mismatch");
+  }
+
+  for (const TickView& tick : batch.ticks) {
     ++stats_.ticks_in;
     bool closed = false;
-    double* wrows = c.block.data() + c.block_windows * tiers * c.dim;
-    std::uint8_t* wmask = c.block_valid.data() + c.block_windows * tiers;
+    double* wrows = s.block.data() + s.block_windows * tiers * s.dim;
+    std::uint8_t* wmask = s.block_valid.data() + s.block_windows * tiers;
     for (std::size_t t = 0; t < tiers; ++t) {
       const TierSlotView& slot = tick.tiers[t];
       counters::InstanceAggregator::SlotView result;
       if (slot.present) {
-        if (slot.values.size() != c.dim)
-          throw ProtocolError("wire protocol: slot width mismatch");
         ++stats_.slots_present;
-        result = c.aggregators[t].add_slot_view(slot.values);
+        result = s.aggregators[t].add_slot_view(slot.values);
       } else {
         ++stats_.slots_missing;
-        result = c.aggregators[t].mark_missing_view();
+        result = s.aggregators[t].mark_missing_view();
       }
       if (!result.window_closed) continue;
       closed = true;
       // All tiers consume one slot per tick, so their windows close on
       // the same tick; copy this tier's row + validity into the block.
-      double* row = wrows + t * c.dim;
+      double* row = wrows + t * s.dim;
       if (result.valid) {
         std::copy(result.instance.begin(), result.instance.end(), row);
-        const auto verdict = c.validator->validate({row, c.dim});
+        const auto verdict = s.validator->validate({row, s.dim});
         wmask[t] = verdict == core::RowVerdict::kValid ? 1 : 0;
         if (!wmask[t]) ++stats_.rows_rejected;
       } else {
         // Too many missing slots: a zero placeholder that must never
         // reach a synopsis (the mask keeps it abstaining).
-        std::fill(row, row + c.dim, 0.0);
+        std::fill(row, row + s.dim, 0.0);
         wmask[t] = 0;
         ++stats_.windows_discarded;
       }
     }
-    if (closed && ++c.block_windows == kObserveBlock) {
-      flush_decisions(c);
-      // The decision send may have failed (peer vanished mid-batch);
-      // stop feeding a dead session. handle_io closes it.
-      if (c.doomed) return;
-    }
+    // Note: the batch is applied whole even if a decision flush dooms the
+    // connection (peer vanished mid-batch) — enqueue/flush no-op on a
+    // doomed connection, and stopping midway would leave the session
+    // state covering a fraction of a sequence number.
+    if (closed && ++s.block_windows == kObserveBlock) flush_decisions(c);
   }
   flush_decisions(c);
+
+  if (s.version >= 2) {
+    s.last_applied_seq = batch.batch_seq;
+    enqueue_ack(c);
+  }
 }
 
 // hpcap-lint: hot-path
 void Server::flush_decisions(Connection& c) {
-  const std::size_t W = c.block_windows;
+  Session& s = *c.session;
+  const std::size_t W = s.block_windows;
   if (W == 0) return;
-  c.block_windows = 0;
-  const core::WindowBlock block{c.block.data(), W,
+  s.block_windows = 0;
+  const core::WindowBlock block{s.block.data(), W,
                                 static_cast<std::size_t>(cfg_.num_tiers),
-                                c.dim};
-  c.monitor->predict_masked_many(block, c.block_valid.data(),
-                                 std::span(c.block_out.data(), W));
+                                s.dim};
+  s.monitor->predict_masked_many(block, s.block_valid.data(),
+                                 std::span(s.block_out.data(), W));
   stats_.windows += W;
   stats_.decisions += W;
   for (std::size_t w = 0; w < W; ++w) {
-    const auto& d = c.block_out[w];
+    const auto& d = s.block_out[w];
     DecisionFrame frame;
-    frame.window_index = c.window_index++;
+    frame.window_index = s.window_index++;
     frame.state = static_cast<std::uint8_t>(d.state);
     frame.confident = d.confident ? 1 : 0;
     frame.degraded = d.degraded ? 1 : 0;
     frame.hc = d.hc;
     frame.bottleneck_tier = d.bottleneck_tier;
     frame.staleness = d.staleness;
-    auto buf = take_spare(c);
-    encode_decision_into(frame, buf);
-    enqueue(c, FrameType::kDecision, std::move(buf));
+    if (s.version >= 2) {
+      // Retain for resume replay. The ring is bounded by decision_replay
+      // (the pop below) and DecisionFrame is trivially copyable, so the
+      // deque stops allocating once it reaches its high-water size.
+      // hpcap-lint: allow(hot-path-alloc)
+      s.replay.push_back(frame);
+      if (s.replay.size() > cfg_.decision_replay) {
+        s.replay.pop_front();
+        ++s.replay_first_window;
+      }
+    }
+    if (!c.replaying) {
+      auto buf = take_spare(c);
+      encode_decision_into(frame, buf, s.version);
+      enqueue(c, FrameType::kDecision, std::move(buf));
+    }
   }
   flush_writes(c);
+}
+
+void Server::enqueue_ack(Connection& c) {
+  if (c.doomed) return;
+  Session& s = *c.session;
+  AckFrame ack;
+  ack.last_applied_seq = s.last_applied_seq;
+  ack.next_window = s.window_index;
+  // Cumulative ACKs make stacked ones redundant: overwrite a queued,
+  // not-yet-started ACK in place instead of growing the queue.
+  for (auto it = c.write_queue.rbegin(); it != c.write_queue.rend(); ++it) {
+    if (it->type == FrameType::kAck && it->offset == 0) {
+      it->bytes.clear();
+      encode_ack_into(ack, it->bytes, s.version);
+      return;
+    }
+  }
+  auto buf = take_spare(c);
+  encode_ack_into(ack, buf, s.version);
+  enqueue(c, FrameType::kAck, std::move(buf));
+}
+
+void Server::feed_replay(Connection& c) {
+  if (!c.replaying || c.doomed) return;
+  Session& s = *c.session;
+  const std::size_t watermark =
+      std::max<std::size_t>(cfg_.max_write_queue / 2, 1);
+  while (c.write_queue.size() < watermark) {
+    if (c.replay_next >= s.window_index) {
+      // Caught up: fresh decisions enqueue directly again.
+      c.replaying = false;
+      return;
+    }
+    if (c.replay_next < s.replay_first_window) {
+      // The ring dropped decisions this client still needs (it fell more
+      // than decision_replay windows behind while replaying); stream
+      // continuity is unrecoverable on this connection.
+      doom(c, "resume replay overrun");
+      return;
+    }
+    const std::size_t idx =
+        static_cast<std::size_t>(c.replay_next - s.replay_first_window);
+    auto buf = take_spare(c);
+    encode_decision_into(s.replay[idx], buf, s.version);
+    enqueue(c, FrameType::kDecision, std::move(buf));
+    ++c.replay_next;
+  }
 }
 
 StatsReply Server::build_stats() const {
@@ -492,17 +695,24 @@ StatsReply Server::build_stats() const {
       {"control_rejected", stats_.control_rejected},
       {"reloads", stats_.reloads},
       {"reload_failures", stats_.reload_failures},
+      {"sessions_lingering", lingering_.size()},
+      {"sessions_detached", stats_.sessions_detached},
+      {"sessions_resumed", stats_.sessions_resumed},
+      {"sessions_expired", stats_.sessions_expired},
+      {"resume_rejected", stats_.resume_rejected},
+      {"batches_deduped", stats_.batches_deduped},
   };
   return rep;
 }
 
-void Server::handle_stats(Connection& c) {
+void Server::handle_stats(Connection& c, std::uint8_t version) {
   auto buf = take_spare(c);
-  encode_stats_reply_into(build_stats(), buf);
+  encode_stats_reply_into(build_stats(), buf, version);
   enqueue(c, FrameType::kStats, std::move(buf));
 }
 
-void Server::handle_reload(Connection& c, const ReloadRequest& req) {
+void Server::handle_reload(Connection& c, const ReloadRequest& req,
+                           std::uint8_t version) {
   ReloadReply rep;
   if (!control_allowed_) {
     ++stats_.control_rejected;
@@ -511,7 +721,7 @@ void Server::handle_reload(Connection& c, const ReloadRequest& req) {
     rep.message = "remote control disabled on this bind";
     HPCAP_WARN << "hpcapd: RELOAD refused (control policy)";
     auto buf = take_spare(c);
-    encode_reload_reply_into(rep, buf);
+    encode_reload_reply_into(rep, buf, version);
     enqueue(c, FrameType::kReload, std::move(buf));
     return;
   }
@@ -530,7 +740,7 @@ void Server::handle_reload(Connection& c, const ReloadRequest& req) {
   }
   rep.model_version = source_.version();
   auto buf = take_spare(c);
-  encode_reload_reply_into(rep, buf);
+  encode_reload_reply_into(rep, buf, version);
   enqueue(c, FrameType::kReload, std::move(buf));
 }
 
@@ -547,7 +757,7 @@ void Server::request_reload() {
   }
 }
 
-void Server::handle_shutdown(Connection& c) {
+void Server::handle_shutdown(Connection& c, std::uint8_t version) {
   if (!control_allowed_) {
     ++stats_.control_rejected;
     HPCAP_WARN << "hpcapd: SHUTDOWN refused (control policy); dropping peer";
@@ -556,7 +766,7 @@ void Server::handle_shutdown(Connection& c) {
   }
   c.close_after_flush = true;
   auto buf = take_spare(c);
-  encode_shutdown_into(buf);
+  encode_shutdown_into(buf, version);
   enqueue(c, FrameType::kShutdown, std::move(buf));
   begin_shutdown();
 }
@@ -566,6 +776,8 @@ void Server::begin_shutdown() {
   draining_ = true;
   HPCAP_INFO << "hpcapd: shutting down (" << conns_.size()
              << " connections to drain)";
+  // Lingering sessions have nothing left to resume against.
+  lingering_.clear();
   if (listen_fd_ >= 0) {
     loop_.remove_fd(listen_fd_);
     ::close(listen_fd_);
@@ -598,8 +810,24 @@ void Server::enqueue(Connection& c, FrameType type,
   if (c.doomed) return;
   if (c.close_after_flush && type == FrameType::kDecision) return;
   if (c.write_queue.size() >= cfg_.max_write_queue) {
-    // Backpressure: shed the oldest queued DECISION (stale by the time a
-    // stalled agent reads it); control frames always survive.
+    // A resumable v2 session is promised exactly-once decision delivery,
+    // and shedding on a connection that stays up would be a silent gap
+    // the client can never detect — it would wait forever for a window
+    // that is not coming. Drop the connection instead: the decisions are
+    // already in the replay ring, and reconnect + resume redelivers
+    // them. (decision_replay >= max_write_queue keeps the gap coverable;
+    // both are daemon-side knobs.)
+    if (c.session && c.session->version >= 2 && c.session->token != 0 &&
+        cfg_.session_linger > 0 && !draining_) {
+      ++stats_.write_queue_overflows;
+      HPCAP_WARN << "hpcapd: fd " << c.fd
+                 << " not draining decisions; dropping resumable session "
+                    "for replay on reconnect";
+      doom(c, "write queue overflow");
+      return;
+    }
+    // v1 (no resume protocol): shed the oldest queued DECISION (stale by
+    // the time a stalled agent reads it); control frames always survive.
     bool shed = false;
     for (auto it = c.write_queue.begin(); it != c.write_queue.end(); ++it) {
       if (it->type == FrameType::kDecision && it->offset == 0) {
@@ -653,6 +881,8 @@ std::vector<std::uint8_t> Server::take_spare(Connection& c) {
 void Server::flush_writes(Connection& c) {
   if (c.doomed) return;
   const int fd = c.fd;
+  feed_replay(c);
+  if (c.doomed) return;
   while (!c.write_queue.empty()) {
     // Gather every queued frame (up to kMaxIov) into one ::sendmsg: a
     // block of decisions — or a control reply riding behind them —
@@ -668,7 +898,7 @@ void Server::flush_writes(Connection& c) {
     msghdr msg{};
     msg.msg_iov = iov;
     msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(n_iov);
-    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    const ssize_t n = io::sendmsg_retry(fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       std::size_t left = static_cast<std::size_t>(n);
       while (left > 0) {
@@ -689,10 +919,12 @@ void Server::flush_writes(Connection& c) {
         }
         c.write_queue.pop_front();
       }
+      // Top the queue back up from the replay ring as it drains.
+      feed_replay(c);
+      if (c.doomed) return;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
     // EPIPE/ECONNRESET from a vanished peer: callers (often deep inside
     // handle_batch) still reference this Connection, so never destroy it
     // here — mark it and let handle_io close it.
@@ -714,9 +946,39 @@ void Server::doom(Connection& c, const char* why) {
   c.write_queue.clear();
 }
 
+std::uint64_t Server::next_token() {
+  std::uint64_t token = 0;
+  while (token == 0 || lingering_.count(token) != 0)
+    token = splitmix64(token_state_);
+  return token;
+}
+
 void Server::close_connection(int fd, const char* why) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  Connection& c = *it->second;
+  // Park resumable v2 sessions instead of destroying their stream state;
+  // the linger sweep (or a resuming client) decides their fate.
+  if (c.session && c.session->version >= 2 && c.session->token != 0 &&
+      cfg_.session_linger > 0 && !draining_) {
+    Session& s = *c.session;
+    s.detached_at = loop_.now();
+    ++stats_.sessions_detached;
+    if (lingering_.size() >= cfg_.max_lingering) {
+      auto oldest = lingering_.begin();
+      for (auto li = lingering_.begin(); li != lingering_.end(); ++li)
+        if (li->second->detached_at < oldest->second->detached_at)
+          oldest = li;
+      ++stats_.sessions_expired;
+      HPCAP_WARN << "hpcapd: lingering-session cap reached; expiring agent '"
+                 << oldest->second->agent << "' early";
+      lingering_.erase(oldest);
+    }
+    HPCAP_DEBUG << "hpcapd: parking session for agent '" << s.agent
+                << "' (" << why << "), resumable for " << cfg_.session_linger
+                << "s";
+    lingering_.emplace(s.token, std::move(it->second->session));
+  }
   HPCAP_DEBUG << "hpcapd: closing fd " << fd << " (" << why << ")";
   loop_.remove_fd(fd);
   ::close(fd);
@@ -745,6 +1007,20 @@ void Server::sweep_deadlines() {
   for (int fd : expired) {
     ++stats_.timeouts;
     close_connection(fd, "deadline expired");
+  }
+  // Reap lingering sessions nobody came back for: their aggregator and
+  // predictor state flushes and the resume token dies with them.
+  for (auto it = lingering_.begin(); it != lingering_.end();) {
+    if (now - it->second->detached_at > cfg_.session_linger) {
+      ++stats_.sessions_expired;
+      HPCAP_INFO << "hpcapd: session for agent '" << it->second->agent
+                 << "' expired unresumed (" << it->second->window_index
+                 << " windows decided, seq "
+                 << it->second->last_applied_seq << ")";
+      it = lingering_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -815,11 +1091,13 @@ int run_daemon(const ServerConfig& cfg, const std::string& model_path,
   const auto& s = server.stats();
   std::printf(
       "hpcapd exiting: %llu decisions (%llu shed), %llu windows, "
-      "%llu connections\n",
+      "%llu connections, %llu resumes (%llu sessions expired)\n",
       static_cast<unsigned long long>(s.decisions),
       static_cast<unsigned long long>(s.decisions_shed),
       static_cast<unsigned long long>(s.windows),
-      static_cast<unsigned long long>(s.connections_accepted));
+      static_cast<unsigned long long>(s.connections_accepted),
+      static_cast<unsigned long long>(s.sessions_resumed),
+      static_cast<unsigned long long>(s.sessions_expired));
   return 0;
 }
 

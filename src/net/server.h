@@ -1,8 +1,8 @@
 // hpcapd — the streaming capacity-monitoring daemon.
 //
 // One poll()-based event-loop thread serves every agent connection. A
-// connection is one monitored sample stream: the agent HELLOs with its
-// metric level, tier count and window size, then pushes per-tier 1 Hz
+// connection carries one monitored sample stream: the agent HELLOs with
+// its metric level, tier count and window size, then pushes per-tier 1 Hz
 // slots in SAMPLE_BATCH frames. The session feeds each slot through a
 // per-tier counters::InstanceAggregator (gap-aware 30 s windowing), gates
 // every closed window row through core::RowValidator, and hands the rows
@@ -10,9 +10,23 @@
 // degraded-mode pipeline, behind a socket. Each DECISION produced streams
 // straight back to the agent.
 //
+// Sessions and connections are distinct objects: the Connection is the
+// socket (deadlines, assembler, write queue) and the Session is the
+// stream state (aggregators, validator, monitor, sequence bookkeeping).
+// On a v2 connection the session survives its socket — when the peer
+// vanishes, the session detaches into a linger map for
+// cfg.session_linger seconds, and a client reconnecting with the resume
+// token from HELLO_ACK reattaches it: the daemon reports its
+// last-applied batch sequence, dedups any batches the client replays,
+// and re-streams retained DECISIONs from the client's resume window. The
+// result is exactly-once application end to end — the decision stream
+// across any disconnect/reconnect schedule is bit-identical to a run
+// with no failures. Sessions nobody reclaims are expired by the sweep
+// (`sessions_expired` in STATS).
+//
 // The receive path is zero-copy end to end: frames are dispatched as
 // FrameRef spans into the connection's assembler buffer, SAMPLE_BATCH
-// payloads decode through a per-connection BatchArena (no per-tick
+// payloads decode through a per-session BatchArena (no per-tick
 // allocation after warmup), closed windows accumulate in a contiguous
 // WindowBlock scratch, and decisions for up to kObserveBlock windows are
 // computed in one CapacityMonitor::predict_masked_many call. Outbound
@@ -28,9 +42,14 @@
 // stops draining its socket, the oldest queued DECISION frames are shed
 // with a warning — a stale decision is worthless by the time a stalled
 // agent would read it — mirroring core::OnlineAdapter::max_pending.
-// Control replies (HELLO/STATS/RELOAD/SHUTDOWN) are never shed; if the
-// queue fills with control frames a peer refuses to read, the connection
-// is dropped instead, so the bound holds unconditionally.
+// (On v2 a shed decision is not gone for good: it stays in the session's
+// replay ring, and a client that spots the gap resumes and re-fetches
+// it.) Control replies (HELLO/STATS/RELOAD/SHUTDOWN/ACK) are never shed;
+// if the queue fills with control frames a peer refuses to read, the
+// connection is dropped instead, so the bound holds unconditionally.
+// Resume replay is fed through a cursor at a queue watermark rather than
+// enqueued wholesale, so reattaching far behind cannot overflow the
+// bound either.
 //
 // Lifecycle: RELOAD frames (and SIGHUP via Server::request_reload) swap
 // the model source atomically; live sessions keep the instance they
@@ -42,6 +61,11 @@
 // the protocol has no peer authentication, so a non-loopback bind
 // refuses them unless the operator opts in explicitly. Half-open sockets
 // that never HELLO and idle streams are reaped by deadline sweeps.
+//
+// Version negotiation: every control reply is encoded at the version of
+// the request's frame header, and a session runs at the version of its
+// HELLO — a v1 agent never sees a v2 frame and gets the PR 4 behavior
+// unchanged (no sequencing, no ACKs, no resume).
 #pragma once
 
 #include <cstdint>
@@ -86,6 +110,19 @@ struct ServerConfig {
   std::uint16_t max_window = 3600;
   // RELOAD/SHUTDOWN authorization (see ControlPolicy above).
   ControlPolicy control_policy = ControlPolicy::kAuto;
+
+  // --- v2 session resume ---------------------------------------------
+  // Seconds a detached v2 session waits for its client to resume before
+  // being expired (<= 0 disables lingering entirely).
+  double session_linger = 30.0;
+  // DECISION frames retained per session for resume replay; a client
+  // whose resume point has fallen out of this ring cannot resume.
+  std::size_t decision_replay = 8192;
+  // Cap on simultaneously lingering sessions; the oldest is expired
+  // early when the cap is hit.
+  std::size_t max_lingering = 256;
+  // Seed for resume-token generation (identity, not security).
+  std::uint64_t token_seed = 0x7C0FFEEULL;
 };
 
 struct ServerStats {
@@ -109,6 +146,12 @@ struct ServerStats {
   std::uint64_t control_rejected = 0;  // RELOAD/SHUTDOWN refused by policy
   std::uint64_t reloads = 0;
   std::uint64_t reload_failures = 0;
+  // v2 session resume.
+  std::uint64_t sessions_detached = 0;  // sessions parked on disconnect
+  std::uint64_t sessions_resumed = 0;
+  std::uint64_t sessions_expired = 0;   // linger deadline passed, state freed
+  std::uint64_t resume_rejected = 0;    // bad/expired token or mismatched ask
+  std::uint64_t batches_deduped = 0;    // replayed batches skipped by seq
 };
 
 class Server {
@@ -133,23 +176,35 @@ class Server {
 
   const ServerStats& stats() const noexcept { return stats_; }
   std::size_t active_connections() const noexcept { return conns_.size(); }
+  std::size_t lingering_sessions() const noexcept { return lingering_.size(); }
   bool draining() const noexcept { return draining_; }
 
  private:
+  struct Session;
   struct Connection;
 
   void accept_ready();
   void handle_io(int fd, bool readable, bool writable);
   void handle_frame(Connection& c, const FrameRef& frame);
-  void handle_hello(Connection& c, const HelloRequest& req);
-  void handle_batch(Connection& c, std::span<const std::uint8_t> payload);
-  void handle_stats(Connection& c);
-  void handle_reload(Connection& c, const ReloadRequest& req);
-  void handle_shutdown(Connection& c);
-  // Decides every window accumulated in the connection's block scratch
-  // (one predict_masked_many call), enqueues the DECISION frames, and
-  // flushes them in one scatter-gather write.
+  void handle_hello(Connection& c, const HelloRequest& req,
+                    std::uint8_t version);
+  void handle_batch(Connection& c, std::span<const std::uint8_t> payload,
+                    std::uint8_t version);
+  void handle_stats(Connection& c, std::uint8_t version);
+  void handle_reload(Connection& c, const ReloadRequest& req,
+                     std::uint8_t version);
+  void handle_shutdown(Connection& c, std::uint8_t version);
+  // Decides every window accumulated in the session's block scratch
+  // (one predict_masked_many call), records them in the replay ring,
+  // enqueues the DECISION frames, and flushes them in one scatter-gather
+  // write.
   void flush_decisions(Connection& c);
+  // Coalesced cumulative ACK: overwrites a still-unsent queued ACK
+  // instead of stacking new ones.
+  void enqueue_ack(Connection& c);
+  // Resume replay pump: while the connection is replaying retained
+  // decisions, tops the write queue up to a watermark from the ring.
+  void feed_replay(Connection& c);
   // Pops a recycled outbound buffer (cleared, capacity retained) or a
   // fresh one; returned to the pool by flush_writes once fully sent.
   std::vector<std::uint8_t> take_spare(Connection& c);
@@ -169,6 +224,7 @@ class Server {
   void close_connection(int fd, const char* why);
   void sweep_deadlines();
   void arm_sweep();
+  std::uint64_t next_token();
   StatsReply build_stats() const;
 
   EventLoop& loop_;
@@ -177,6 +233,9 @@ class Server {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  // Detached v2 sessions awaiting resume, keyed by resume token.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Session>> lingering_;
+  std::uint64_t token_state_ = 0;
   ServerStats stats_;
   bool draining_ = false;
   bool control_allowed_ = true;  // resolved from control_policy in start()

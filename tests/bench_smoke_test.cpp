@@ -342,7 +342,10 @@ TEST(BenchSmoke, LoopbackBatchedBeatsUnbatchedTicks) {
     std::size_t decisions = 0;
     const auto t0 = std::chrono::steady_clock::now();
     for (const auto& frame : frames) {
-      agent.send_batch(frame);
+      // Fresh copy per send: the v2 client stamps batch_seq into the
+      // frame, and re-sending a stamped sequence would be deduped.
+      net::SampleBatch outgoing = frame;
+      agent.send_batch(outgoing);
       decisions += agent.drain_decisions().size();
     }
     while (decisions < kWantDecisions) {

@@ -1,0 +1,39 @@
+# Deflake guard for the chaos suite: run the headline bit-identical test
+# twice, in two separate processes, with the same seeds, and diff the
+# decision streams each run dumps via HPCAP_CHAOS_DUMP. Any divergence
+# means some nondeterminism (scheduling, fd ordering, uninitialized
+# state) leaked into the decision path — exactly the class of bug that
+# later shows up as a once-a-month flake.
+#
+# HPCAP_CHAOS_TICKS trims the run length: determinism does not need the
+# full 10k-tick soak the single-process assertion uses.
+#
+# Inputs: -DCHAOS_TEST=<path to net_chaos_test>
+
+set(filter
+    "--gtest_filter=NetChaos.MixedChaosDecisionStreamBitIdenticalToCleanRun")
+set(ENV{HPCAP_CHAOS_TICKS} "3000")
+
+foreach(run 1 2)
+  set(dump "${CMAKE_CURRENT_BINARY_DIR}/chaos_double_run_${run}.txt")
+  set(ENV{HPCAP_CHAOS_DUMP} "${dump}")
+  execute_process(COMMAND ${CHAOS_TEST} ${filter}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "chaos run ${run} failed: exit ${rc}\n${out}")
+  endif()
+  if(NOT EXISTS ${dump})
+    message(FATAL_ERROR "chaos run ${run} produced no dump at ${dump}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${CMAKE_CURRENT_BINARY_DIR}/chaos_double_run_1.txt
+                ${CMAKE_CURRENT_BINARY_DIR}/chaos_double_run_2.txt
+                RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+          "same-seed chaos runs produced different decision streams")
+endif()
+message(STATUS "two same-seed chaos runs: decision streams identical")

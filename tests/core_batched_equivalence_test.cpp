@@ -407,8 +407,12 @@ TEST(BatchedZeroAlloc, WarmArenaDecodeIsAllocationFree) {
     batch.ticks.push_back(std::move(tick));
   }
   const std::vector<std::uint8_t> frame = net::encode_sample_batch(batch);
+  // v2 frames carry a CRC-32 trailer after the payload; slice it off
+  // along with the header to hand decode the bare payload.
   const std::span<const std::uint8_t> payload =
-      std::span(frame).subspan(net::kHeaderSize);
+      std::span(frame).subspan(net::kHeaderSize,
+                               frame.size() - net::kHeaderSize -
+                                   net::kCrcSize);
 
   net::BatchArena arena;
   for (int i = 0; i < 4; ++i)

@@ -30,8 +30,10 @@ struct GoldenFrame {
   std::function<void(std::span<const std::uint8_t>)> decode;
 };
 
-// A stream exercising every frame type, boundary values included (NaN/Inf
-// doubles survive bit-exactly; empty strings; absent tier slots).
+// A stream exercising every frame type at both wire versions (mixed
+// freely, as version negotiation allows on one connection), boundary
+// values included (NaN/Inf doubles survive bit-exactly; empty strings;
+// absent tier slots).
 std::vector<GoldenFrame> golden_frames() {
   std::vector<GoldenFrame> frames;
 
@@ -40,8 +42,12 @@ std::vector<GoldenFrame> golden_frames() {
   hreq.level = "hpc";
   hreq.num_tiers = 3;
   hreq.window = 8;
-  frames.push_back({encode_hello_request(hreq),
-                    [](auto p) { (void)decode_hello_request(p); }});
+  hreq.resume_token = 0xD00DFEEDull;
+  hreq.resume_from_window = 17;
+  for (const std::uint8_t v : {std::uint8_t{1}, std::uint8_t{2}}) {
+    frames.push_back({encode_hello_request(hreq, v),
+                      [v](auto p) { (void)decode_hello_request(p, v); }});
+  }
 
   HelloReply hrep;
   hrep.accepted = true;
@@ -50,10 +56,15 @@ std::vector<GoldenFrame> golden_frames() {
   hrep.window = 8;
   hrep.model_version = 7;
   hrep.dims = {14, 14, 6};
-  frames.push_back({encode_hello_reply(hrep),
-                    [](auto p) { (void)decode_hello_reply(p); }});
+  hrep.session_token = 0x1234ull;
+  hrep.last_applied_seq = 3;
+  for (const std::uint8_t v : {std::uint8_t{1}, std::uint8_t{2}}) {
+    frames.push_back({encode_hello_reply(hrep, v),
+                      [v](auto p) { (void)decode_hello_reply(p, v); }});
+  }
 
   SampleBatch batch;
+  batch.batch_seq = 0xFEDCBA9876543210ull;
   batch.first_tick = 0xfffffff0u;  // near wrap
   batch.ticks.resize(5);
   Rng rng(2024);
@@ -73,8 +84,10 @@ std::vector<GoldenFrame> golden_frames() {
       -0.0,
       5e-324,  // denormal min
   };
-  frames.push_back({encode_sample_batch(batch),
-                    [](auto p) { (void)decode_sample_batch(p); }});
+  for (const std::uint8_t v : {std::uint8_t{1}, std::uint8_t{2}}) {
+    frames.push_back({encode_sample_batch(batch, v),
+                      [v](auto p) { (void)decode_sample_batch(p, v); }});
+  }
 
   DecisionFrame d;
   d.window_index = 41;
@@ -84,8 +97,13 @@ std::vector<GoldenFrame> golden_frames() {
   d.hc = -3;
   d.bottleneck_tier = 2;
   d.staleness = 0;
-  frames.push_back({encode_decision(d),
-                    [](auto p) { (void)decode_decision(p); }});
+  for (const std::uint8_t v : {std::uint8_t{1}, std::uint8_t{2}}) {
+    frames.push_back({encode_decision(d, v),
+                      [](auto p) { (void)decode_decision(p); }});
+  }
+
+  frames.push_back({encode_ack({0x123456789ABCull, 29}, 2),
+                    [](auto p) { (void)decode_ack(p); }});
 
   StatsReply stats;
   stats.entries = {{"frames_in", 123456789012345ull}, {"windows", 41}};
@@ -101,9 +119,17 @@ std::vector<GoldenFrame> golden_frames() {
   frames.push_back({encode_reload_reply(rrep),
                     [](auto p) { (void)decode_reload_reply(p); }});
 
-  frames.push_back({encode_stats_request(), nullptr});
+  frames.push_back({encode_stats_request(1), nullptr});
+  frames.push_back({encode_stats_request(2), nullptr});
   frames.push_back({encode_shutdown(), nullptr});
   return frames;
+}
+
+// The bare payload of an encoded frame: header stripped, and the CRC-32
+// trailer too on v2 frames (byte 4 of the header is the version).
+Bytes bare_payload(const Bytes& frame) {
+  const std::size_t tail = frame[4] >= 2 ? kCrcSize : 0;
+  return Bytes(frame.begin() + kHeaderSize, frame.end() - tail);
 }
 
 Bytes concat(const std::vector<GoldenFrame>& frames) {
@@ -136,10 +162,10 @@ void expect_identical(const std::vector<Frame>& got,
   ASSERT_EQ(got.size(), want_frames.size());
   for (std::size_t i = 0; i < got.size(); ++i) {
     const Bytes& want = want_frames[i].bytes;
-    const Bytes want_payload(want.begin() + kHeaderSize, want.end());
-    EXPECT_EQ(got[i].payload, want_payload) << "frame " << i;
+    EXPECT_EQ(got[i].payload, bare_payload(want)) << "frame " << i;
     EXPECT_EQ(static_cast<int>(got[i].type), static_cast<int>(want[5]))
         << "frame " << i;
+    EXPECT_EQ(got[i].version, want[4]) << "frame " << i;
   }
 }
 
@@ -173,8 +199,7 @@ TEST(NetFrameStress, RandomizedChunkBoundariesDecodeBitIdentically) {
 TEST(NetFrameStress, EveryPayloadTruncationPointThrows) {
   for (const GoldenFrame& frame : golden_frames()) {
     if (!frame.decode) continue;  // STATS req / SHUTDOWN carry no payload
-    const Bytes payload(frame.bytes.begin() + kHeaderSize,
-                        frame.bytes.end());
+    const Bytes payload = bare_payload(frame.bytes);
     // Sanity: the full payload decodes.
     EXPECT_NO_THROW(
         frame.decode({payload.data(), payload.size()}));

@@ -489,7 +489,8 @@ int connect_to(std::uint16_t port, int rcvbuf) {
 void send_all(int fd, const std::vector<std::uint8_t>& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     ASSERT_GT(n, 0);
     off += static_cast<std::size_t>(n);
   }
@@ -542,19 +543,22 @@ TEST(NetLoopback, NonDrainingAgentShedsOldestDecisionsNotControlFrames) {
   Harness h(core::MonitorSource::from_bytes(bundle_a()),
             cfg);
 
-  // A raw socket with a tiny receive buffer that HELLOs, then streams
+  // A raw v1 socket with a tiny receive buffer that HELLOs, then streams
   // window-per-tick samples and never reads: every tick yields a DECISION
-  // the agent does not drain.
+  // the agent does not drain. v1 matters: only non-resumable sessions are
+  // shed against — a resumable v2 session is dropped for replay instead
+  // (see ResumableSessionIsDroppedNotShedWhenItStopsDraining).
   const int fd = raw::connect_to(h.port(), 2048);
   raw::send_all(fd, net::encode_hello_request(
                         {"stalled", "hpc",
-                         static_cast<std::uint16_t>(cfg.num_tiers), 1}));
+                         static_cast<std::uint16_t>(cfg.num_tiers), 1},
+                        1));
   const auto stream = make_stream(cfg.num_tiers, 4000, 0.0, 77);
   for (int start = 0; start < 4000; start += 500) {
     SampleBatch batch;
     batch.first_tick = static_cast<std::uint32_t>(start);
     batch.ticks.assign(stream.begin() + start, stream.begin() + start + 500);
-    raw::send_all(fd, net::encode_sample_batch(batch));
+    raw::send_all(fd, net::encode_sample_batch(batch, 1));
   }
 
   // A healthy second connection observes the shedding through STATS (a
@@ -592,6 +596,61 @@ TEST(NetLoopback, NonDrainingAgentShedsOldestDecisionsNotControlFrames) {
   EXPECT_EQ(stats.value("windows"), 4000u);
   EXPECT_LT(stats.value("decisions_shed"), 4000u);  // shed, not discarded all
   ::close(fd);
+}
+
+// The v2 counterpart: a resumable session is promised exactly-once
+// decision delivery, so the daemon must never silently shed its
+// decisions. When such a peer stops draining, the connection is dropped
+// and the session parked — every undelivered decision stays in the
+// replay ring for redelivery on resume.
+TEST(NetLoopback, ResumableSessionIsDroppedNotShedWhenItStopsDraining) {
+  net::ServerConfig cfg = test_config();
+  cfg.max_write_queue = 8;
+  cfg.socket_sndbuf = 4096;
+  Harness h(core::MonitorSource::from_bytes(bundle_a()), cfg);
+
+  const int fd = raw::connect_to(h.port(), 2048);
+  raw::send_all(fd, net::encode_hello_request(
+                        {"stalled-v2", "hpc",
+                         static_cast<std::uint16_t>(cfg.num_tiers), 1}));
+  // The daemon may drop the connection while batches are still being
+  // written (that drop is the behavior under test), so sends after the
+  // drop are allowed to fail — stream until the first send error.
+  const auto stream = make_stream(cfg.num_tiers, 4000, 0.0, 78);
+  for (int start = 0; start < 4000; start += 500) {
+    SampleBatch batch;
+    batch.batch_seq = static_cast<std::uint64_t>(start / 500) + 1;
+    batch.first_tick = static_cast<std::uint32_t>(start);
+    batch.ticks.assign(stream.begin() + start, stream.begin() + start + 500);
+    const auto bytes = net::encode_sample_batch(batch);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    if (off < bytes.size()) break;
+  }
+
+  // The daemon drops the peer as soon as the write queue fills.
+  EXPECT_TRUE(raw::wait_for_eof(fd, 20000))
+      << "daemon never dropped the non-draining resumable peer";
+  ::close(fd);
+
+  net::Client observer;
+  observer.connect("127.0.0.1", h.port());
+  ASSERT_TRUE(observer
+                  .hello({"observer", "hpc",
+                          static_cast<std::uint16_t>(cfg.num_tiers), 1})
+                  .accepted);
+  const auto stats = observer.stats();
+  EXPECT_GE(stats.value("write_queue_overflows"), 1u);
+  EXPECT_EQ(stats.value("decisions_shed"), 0u)
+      << "a resumable session's decisions must never be shed";
+  EXPECT_EQ(stats.value("sessions_detached"), 1u);
+  EXPECT_EQ(stats.value("sessions_lingering"), 1u)
+      << "the dropped session must be parked for resume, not destroyed";
 }
 
 // A peer that streams control requests while never reading its socket
@@ -650,17 +709,22 @@ TEST(NetLoopback, PeerVanishingMidBatchLeavesServerHealthy) {
   // Vary the delay between shipping the batches and the RST so the reset
   // lands at different points of the server's tick loop.
   for (const int delay_us : {0, 500, 2000, 8000}) {
+    // v1: a non-resumable session is shed against but kept connected, so
+    // the server is still mid-write when the abortive close lands below.
+    // (A v2 session would be dropped for replay as soon as the queue
+    // filled, ending the race this test exists to provoke.)
     const int fd = raw::connect_to(h.port(), 2048);
     raw::send_all(fd, net::encode_hello_request(
                           {"vanisher", "hpc",
-                           static_cast<std::uint16_t>(cfg.num_tiers), 1}));
+                           static_cast<std::uint16_t>(cfg.num_tiers), 1},
+                          1));
     // window=1: every tick closes a window and emits a DECISION, so the
     // write path is exercised continuously while the batches process.
     for (int start = 0; start < 2000; start += 500) {
       SampleBatch batch;
       batch.first_tick = static_cast<std::uint32_t>(start);
       batch.ticks.assign(stream.begin() + start, stream.begin() + start + 500);
-      raw::send_all(fd, net::encode_sample_batch(batch));
+      raw::send_all(fd, net::encode_sample_batch(batch, 1));
     }
     std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
     // Abortive close: unread decision bytes make the kernel send RST, so

@@ -20,6 +20,10 @@
 //                     serialized or wire output (put_*/write_*/encode_*/
 //                     save/operator<<) leaks nondeterministic order into
 //                     bytes the determinism contract says are stable.
+//   net-retry-bound   infinite-form loops in src/net/ that sleep or
+//                     retry must reference a RetryPolicy / deadline /
+//                     attempt budget inside the body — unbounded
+//                     reconnect loops hang forever against a dead peer.
 //   pragma-once       every header's first code line is #pragma once.
 //   include-hygiene   no duplicate includes, no "../" includes, no C
 //                     headers with <cXXX> equivalents, and a src/ .cpp
@@ -726,10 +730,85 @@ void rule_hot_path_alloc(Ctx& ctx) {
   }
 }
 
+// The wire layer retries: reconnect loops, backoff sleeps, EINTR
+// re-issues. Every one of them must be visibly bounded — an infinite-form
+// loop (`for (;;)`, `while (true)`, `while (1)`) in src/net/ whose body
+// sleeps or retries without referencing a RetryPolicy / deadline /
+// attempt budget is how a client hangs forever against a dead daemon.
+// The loop body must mention one of the budget identifiers (deadline,
+// RetryPolicy, budget, max_attempts, exhausted, give_up) or carry a
+// justified `// hpcap-lint: allow(net-retry-bound)`.
+void rule_net_retry_bound(Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/net/")) return;
+  const auto& code = ctx.text.code;
+  static const char* kLoopForms[] = {"for (;;)", "for(;;)", "while (true)",
+                                     "while(true)", "while (1)", "while(1)"};
+  static const char* kIndicators[] = {"sleep", "backoff", "reconnect",
+                                      "retry"};
+  static const char* kBounds[] = {"deadline",     "RetryPolicy", "budget",
+                                  "max_attempts", "exhausted",   "give_up"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    bool is_loop = false;
+    for (const char* form : kLoopForms) is_loop = is_loop || contains(code[i], form);
+    if (!is_loop) continue;
+    // Opening brace of the loop body (single-statement loops are not the
+    // retry pattern this rule hunts).
+    std::size_t open_line = code.size();
+    std::size_t open_col = 0;
+    for (std::size_t l = i; l < code.size() && l < i + 3; ++l) {
+      const std::size_t c = code[l].find('{');
+      if (c != std::string::npos) {
+        open_line = l;
+        open_col = c;
+        break;
+      }
+    }
+    if (open_line == code.size()) continue;
+    std::string body;
+    int depth = 0;
+    bool done = false;
+    for (std::size_t l = open_line; l < code.size() && !done; ++l) {
+      for (std::size_t k = (l == open_line ? open_col : 0);
+           k < code[l].size(); ++k) {
+        if (code[l][k] == '{') {
+          ++depth;
+        } else if (code[l][k] == '}' && --depth == 0) {
+          done = true;
+          break;
+        }
+        body += code[l][k];
+      }
+      body += ' ';
+    }
+    bool retries = false;
+    for (const char* ind : kIndicators) {
+      std::size_t at = 0;
+      while ((at = body.find(ind, at)) != std::string::npos) {
+        // Calls into the io::*_retry EINTR-safe primitives are not retry
+        // loops; everything else matching an indicator is.
+        if (!(at > 0 && body[at - 1] == '_')) {
+          retries = true;
+          break;
+        }
+        ++at;
+      }
+    }
+    if (!retries) continue;
+    bool bounded = false;
+    for (const char* b : kBounds) bounded = bounded || contains(body, b);
+    if (bounded) continue;
+    ctx.report(i, "net-retry-bound",
+               "unbounded retry loop — reference a RetryPolicy / deadline / "
+               "attempt budget inside the loop, or justify with "
+               "allow(net-retry-bound)");
+  }
+}
+
 const char* kAllRules[] = {"banned-function", "no-const-cast",
                            "no-naked-new",    "bounded-decode",
                            "unordered-output", "pragma-once",
-                           "include-hygiene", "hot-path-alloc"};
+                           "include-hygiene", "hot-path-alloc",
+                           "net-retry-bound"};
 
 std::vector<Finding> lint_content(const std::string& rel_path,
                                   const std::string& content) {
@@ -745,6 +824,7 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   rule_pragma_once(ctx);
   rule_include_hygiene(ctx);
   rule_hot_path_alloc(ctx);
+  rule_net_retry_bound(ctx);
   return findings;
 }
 
@@ -962,6 +1042,59 @@ const Case kCases[] = {
      "#include <vector>\n#include \"core/x.h\"\n", "include-hygiene"},
     {"include.own_header_first_ok", "src/core/x.cpp",
      "#include \"core/x.h\"\n#include <vector>\n#include <cstdlib>\n",
+     nullptr},
+
+    // net-retry-bound
+    {"retrybound.sleep_fires", "src/net/x.cpp",
+     "void f(){\n"
+     "  for (;;) {\n"
+     "    std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+     "    if (reconnect()) return;\n"
+     "  }\n}\n",
+     "net-retry-bound"},
+    {"retrybound.while_true_fires", "src/net/x.cpp",
+     "void f(){\n"
+     "  while (true) {\n"
+     "    if (try_send()) return;\n"
+     "    backoff_and_wait();\n"
+     "  }\n}\n",
+     "net-retry-bound"},
+    {"retrybound.deadline_ok", "src/net/x.cpp",
+     "void f(Backoff& backoff, double give_up_at){\n"
+     "  for (;;) {\n"
+     "    if (backoff.exhausted()) throw TransportError(\"out of tries\");\n"
+     "    std::this_thread::sleep_for(backoff.next_delay());\n"
+     "    if (reconnect()) return;\n"
+     "  }\n}\n",
+     nullptr},
+    {"retrybound.plain_event_loop_ok", "src/net/x.cpp",
+     "void f(){\n"
+     "  for (;;) {\n"
+     "    const int n = poll_once();\n"
+     "    if (n < 0) return;\n"
+     "  }\n}\n",
+     nullptr},
+    {"retrybound.out_of_scope_ok", "src/core/x.cpp",
+     "void f(){\n"
+     "  for (;;) {\n"
+     "    std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+     "    if (reconnect()) return;\n"
+     "  }\n}\n",
+     nullptr},
+    {"retrybound.eintr_wrapper_ok", "src/net/x.cpp",
+     "void f(int fd, std::uint8_t* buf){\n"
+     "  for (;;) {\n"
+     "    const ssize_t n = io::recv_retry(fd, buf, 1, 0);\n"
+     "    if (n <= 0) break;\n"
+     "  }\n}\n",
+     nullptr},
+    {"retrybound.allow", "src/net/x.cpp",
+     "void f(){\n"
+     "  // Runs for the proxy's lifetime.  hpcap-lint: allow(net-retry-bound)\n"
+     "  for (;;) {\n"
+     "    std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+     "    if (reconnect()) return;\n"
+     "  }\n}\n",
      nullptr},
 
     // hot-path-alloc

@@ -23,16 +23,24 @@
 //       Runs the hpcapd capacity-monitoring daemon in the foreground
 //       (same wire protocol and signals as the hpcapd binary).
 //   stream    --port N --trace FILE [--host ADDR] [--level hpc|os]
-//             [--window W] [--batch B] [--stats] [--shutdown]
+//             [--window W] [--batch B] [--retries N] [--backoff-ms MS]
+//             [--deadline-s S] [--stats] [--shutdown]
 //       Replays an archived trace (collect) over the socket to a running
-//       daemon and prints the decisions it streams back.
+//       daemon and prints the decisions it streams back. --retries opts
+//       into resilient sessions: the client reconnects with jittered
+//       exponential backoff (starting at --backoff-ms, capped by the
+//       per-outage --deadline-s budget) and resumes the session
+//       exactly-once, so faults never duplicate or drop a decision.
 //
 // `hpcapctl --version` prints the wire-protocol and model-format
 // versions, so agents and daemons can be checked for compatibility.
-// Unknown subcommands and unrecognized flags exit non-zero with usage.
-// Everything is deterministic given --seed.
+// Exit codes: 0 success, 1 runtime failure (bad trace/model file), 2
+// usage error, and for `stream`: 3 transport failure (unreachable or
+// lost daemon, budget exhausted), 4 wire-protocol violation, 5 daemon
+// rejected the session. Everything is deterministic given --seed.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <initializer_list>
@@ -339,6 +347,9 @@ int cmd_serve(const Args& args) {
       args.num_or("handshake-timeout", cfg.handshake_timeout);
   cfg.max_write_queue = static_cast<std::size_t>(
       args.num_or("max-write-queue", static_cast<double>(cfg.max_write_queue)));
+  cfg.session_linger = args.num_or("session-linger", cfg.session_linger);
+  cfg.decision_replay = static_cast<std::size_t>(args.num_or(
+      "decision-replay", static_cast<double>(cfg.decision_replay)));
   const std::string control = args.get_or("control", "auto");
   if (control == "auto")
     cfg.control_policy = net::ControlPolicy::kAuto;
@@ -360,6 +371,23 @@ int cmd_serve(const Args& args) {
   }
 }
 
+// Strict numeric flag parsing for the stream subcommand: the resilience
+// knobs control retry budgets, so a typo must be a usage error (exit 2),
+// never a silently-zero budget.
+std::optional<double> strict_number(const Args& args, const char* flag,
+                                    double def, double min_value) {
+  const auto raw = args.get(flag);
+  if (!raw) return def;
+  char* end = nullptr;
+  const double v = std::strtod(raw->c_str(), &end);
+  if (raw->empty() || end != raw->c_str() + raw->size() || !(v >= min_value)) {
+    std::fprintf(stderr, "stream: --%s needs a number >= %g, got '%s'\n",
+                 flag, min_value, raw->c_str());
+    return std::nullopt;
+  }
+  return v;
+}
+
 int cmd_stream(const Args& args) {
   const auto trace_path = args.get("trace");
   const auto port = args.get("port");
@@ -373,30 +401,54 @@ int cmd_stream(const Args& args) {
   const int batch = std::max(1, static_cast<int>(args.num_or("batch", 64)));
   const bool quiet = args.has("quiet");
 
-  std::ifstream f(*trace_path);
-  if (!f) {
-    std::fprintf(stderr, "stream: cannot open '%s'\n", trace_path->c_str());
-    return 1;
-  }
-  std::vector<int> labels;
-  const auto records = testbed::read_trace(f, &labels);
-  if (records.empty()) {
-    std::fprintf(stderr, "stream: trace has no instances\n");
-    return 1;
+  const auto retries = strict_number(args, "retries", 0.0, 0.0);
+  const auto backoff_ms = strict_number(args, "backoff-ms", 50.0, 1.0);
+  const auto deadline_s = strict_number(args, "deadline-s", 60.0, 0.001);
+  if (!retries || !backoff_ms || !deadline_s) return 2;
+  net::RetryPolicy policy = net::RetryPolicy::none();
+  if (*retries > 0.0) {
+    policy = net::RetryPolicy{};
+    policy.max_attempts = static_cast<int>(*retries);
+    policy.initial_backoff = *backoff_ms / 1000.0;
+    policy.deadline = *deadline_s;
   }
 
   try {
+    // Connect and handshake before touching the trace file: an
+    // unreachable or hostile daemon reports as a transport/protocol
+    // failure (exit 3/4/5) independent of local file problems (exit 1).
     net::Client client;
+    client.set_retry_policy(policy);
     client.connect(host, static_cast<std::uint16_t>(std::stod(*port)));
     net::HelloRequest hello;
     hello.agent = args.get_or("agent", "hpcapctl-stream");
     hello.level = level;
-    hello.num_tiers = static_cast<std::uint16_t>(records[0].hpc.size());
+    hello.num_tiers = static_cast<std::uint16_t>(
+        args.num_or("num-tiers", testbed::kNumTiers));
     hello.window = static_cast<std::uint16_t>(window);
     const auto reply = client.hello(hello);
     if (!reply.accepted) {
       std::fprintf(stderr, "stream: daemon rejected HELLO: %s\n",
                    reply.message.c_str());
+      return 5;
+    }
+
+    std::ifstream f(*trace_path);
+    if (!f) {
+      std::fprintf(stderr, "stream: cannot open '%s'\n",
+                   trace_path->c_str());
+      return 1;
+    }
+    std::vector<int> labels;
+    const auto records = testbed::read_trace(f, &labels);
+    if (records.empty()) {
+      std::fprintf(stderr, "stream: trace has no instances\n");
+      return 1;
+    }
+    if (records[0].hpc.size() != reply.dims.size()) {
+      std::fprintf(stderr,
+                   "stream: trace has %zu tiers but the daemon expects %zu\n",
+                   records[0].hpc.size(), reply.dims.size());
       return 1;
     }
     std::printf("connected to %s:%s — model v%u, window %d, %zu instances\n",
@@ -467,6 +519,15 @@ int cmd_stream(const Args& args) {
       std::printf("vs trace labels: BA %.3f (TPR %.3f, TNR %.3f)\n",
                   confusion.balanced_accuracy(), confusion.tpr(),
                   confusion.tnr());
+    if (policy.enabled()) {
+      const auto s = client.session();
+      std::printf(
+          "session: %llu reconnects, %llu batches replayed, "
+          "%llu decisions deduped\n",
+          static_cast<unsigned long long>(s.reconnects),
+          static_cast<unsigned long long>(s.replayed_batches),
+          static_cast<unsigned long long>(s.deduped_decisions));
+    }
     if (args.has("stats")) {
       const auto stats = client.stats();
       TextTable t("daemon stats");
@@ -480,6 +541,15 @@ int cmd_stream(const Args& args) {
       std::printf("daemon shut down\n");
     }
     return 0;
+  } catch (const net::SessionLost& e) {
+    std::fprintf(stderr, "stream: %s\n", e.what());
+    return 5;
+  } catch (const net::ProtocolError& e) {
+    std::fprintf(stderr, "stream: %s\n", e.what());
+    return 4;
+  } catch (const net::TransportError& e) {
+    std::fprintf(stderr, "stream: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "stream: %s\n", e.what());
     return 1;
@@ -540,12 +610,14 @@ int main(int argc, char** argv) {
   if (cmd == "serve")
     return run("serve",
                {"model", "port", "bind", "num-tiers", "idle-timeout",
-                "handshake-timeout", "max-write-queue", "control", "verbose"},
+                "handshake-timeout", "max-write-queue", "session-linger",
+                "decision-replay", "control", "verbose"},
                cmd_serve);
   if (cmd == "stream")
     return run("stream",
                {"host", "port", "trace", "level", "window", "batch",
-                "agent", "stats", "shutdown", "quiet"},
+                "num-tiers", "retries", "backoff-ms", "deadline-s", "agent",
+                "stats", "shutdown", "quiet"},
                cmd_stream);
   std::fprintf(stderr, "hpcapctl: unknown subcommand '%s'\n", cmd.c_str());
   usage();

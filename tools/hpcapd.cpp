@@ -9,7 +9,8 @@
 //
 //   hpcapd --model FILE [--port N] [--bind ADDR] [--num-tiers K]
 //          [--idle-timeout S] [--handshake-timeout S]
-//          [--max-write-queue N] [--control auto|allow|deny]
+//          [--max-write-queue N] [--session-linger S]
+//          [--decision-replay N] [--control auto|allow|deny]
 //          [--log-level debug|info|warn|error] [--version]
 //
 // RELOAD/SHUTDOWN frames carry no peer authentication, so by default
@@ -32,6 +33,7 @@ void usage(std::FILE* to) {
                "usage: hpcapd --model FILE [--port N] [--bind ADDR]\n"
                "              [--num-tiers K] [--idle-timeout S]\n"
                "              [--handshake-timeout S] [--max-write-queue N]\n"
+               "              [--session-linger S] [--decision-replay N]\n"
                "              [--control auto|allow|deny]\n"
                "              [--log-level debug|info|warn|error]\n"
                "       hpcapd --version\n");
@@ -106,6 +108,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-write-queue") {
       cfg.max_write_queue =
           static_cast<std::size_t>(parse_long("--max-write-queue", value()));
+    } else if (arg == "--session-linger") {
+      cfg.session_linger = parse_double("--session-linger", value());
+    } else if (arg == "--decision-replay") {
+      const long n = parse_long("--decision-replay", value());
+      if (n < 1) {
+        std::fprintf(stderr, "hpcapd: --decision-replay must be >= 1\n");
+        return 2;
+      }
+      cfg.decision_replay = static_cast<std::size_t>(n);
     } else if (arg == "--control") {
       const std::string policy = value();
       if (policy == "auto")
