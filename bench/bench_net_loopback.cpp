@@ -17,13 +17,28 @@
 //   * latency — window = 1, one tick per round trip; the distribution of
 //     send-to-decision times gives the added decision delay (p50/p99).
 //
+// Two fleet-scale dimensions ride along (ISSUE 8), each checked for
+// bit-identical output like every other config:
+//   * reactors — the same concurrent-agent load against a ShardedServer
+//     with 1 and 2 reactors. The 2-reactor speedup claim only means
+//     something with >= 2 hardware threads; on smaller hosts the runs
+//     are still recorded but the JSON marks the scaling comparison
+//     skipped (and stamps the host so readers can tell).
+//   * fanin — a 2-level aggregation tree (parent + `fanin` leaves, each
+//     leaf streaming its slice of the fleet GPV) timed end to end; the
+//     fleet decision stream must equal the in-process reference.
+//
 // Usage: bench_net_loopback [--json PATH] [--ticks N]
 //   --json PATH   output record (default: BENCH_net.json)
 //   --ticks N     throughput-phase sampling ticks (default: 60000)
+#include <sys/utsname.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -36,9 +51,11 @@
 #include "core/validate.h"
 #include "counters/metric_catalog.h"
 #include "counters/sampler.h"
+#include "net/aggregate.h"
 #include "net/client.h"
 #include "net/event_loop.h"
 #include "net/server.h"
+#include "net/sharded.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -114,11 +131,12 @@ struct Daemon {
   std::thread thread;
   std::atomic<bool> want_stop{false};
 
-  explicit Daemon(std::string bundle)
+  explicit Daemon(std::string bundle, net::ServerConfig cfg = {},
+                  net::Uplink* uplink = nullptr)
       : source(core::MonitorSource::from_bytes(std::move(bundle))) {
-    net::ServerConfig cfg;
     cfg.num_tiers = 2;
     server.emplace(loop, source, cfg);
+    if (uplink != nullptr) server->set_uplink(uplink);
     loop.set_wake_handler([this] {
       if (want_stop.exchange(false)) server->begin_shutdown();
     });
@@ -263,6 +281,206 @@ ThroughputResult run_throughput(
   return r;
 }
 
+// --- fleet dimensions (ISSUE 8) -----------------------------------------
+
+struct ReactorResult {
+  std::size_t reactors = 0;
+  double samples_per_sec = 0.0;
+  bool identical_output = false;
+};
+
+// The throughput workload against a ShardedServer: `agents` concurrent
+// connections each streaming the full stream at headline granularity.
+// kHandoff round-robin spreads the sessions evenly across the reactors
+// so a 2-reactor run genuinely exercises both loops even where
+// SO_REUSEPORT steering would clump; every session's decision stream
+// must equal the reference (per-session bit-identity is the sharding
+// contract, regardless of which reactor owns the connection).
+ReactorResult run_reactors(const std::string& bundle, std::size_t reactors,
+                           int agents, const std::vector<net::Tick>& stream,
+                           int batch_ticks, std::uint16_t window,
+                           const std::vector<net::DecisionFrame>& reference) {
+  auto source = core::MonitorSource::from_bytes(bundle);
+  net::ServerConfig cfg;
+  cfg.num_tiers = 2;
+  cfg.reactors = reactors;
+  cfg.shard_mode = net::ShardMode::kHandoff;
+  net::ShardedServer server(source, cfg);
+  server.start();
+  std::thread daemon([&server] { server.join(); });
+
+  const int ticks = static_cast<int>(stream.size());
+  std::atomic<int> diverged{0};
+  std::vector<std::thread> pool;
+  const auto t0 = Clock::now();
+  for (int a = 0; a < agents; ++a) {
+    pool.emplace_back([&, a] {
+      net::Client agent;
+      agent.connect("127.0.0.1", server.port());
+      net::HelloRequest hello;
+      hello.agent = "bench-shard-" + std::to_string(a);
+      hello.level = "hpc";
+      hello.num_tiers = 2;
+      hello.window = window;
+      if (!agent.hello(hello).accepted) {
+        ++diverged;
+        return;
+      }
+      std::vector<net::DecisionFrame> got;
+      got.reserve(reference.size());
+      for (int start = 0; start < ticks; start += batch_ticks) {
+        net::SampleBatch batch;
+        batch.first_tick = static_cast<std::uint32_t>(start);
+        const int end = std::min(start + batch_ticks, ticks);
+        batch.ticks.assign(stream.begin() + start, stream.begin() + end);
+        agent.send_batch(batch);
+        for (auto& d : agent.drain_decisions()) got.push_back(d);
+      }
+      while (got.size() < reference.size())
+        got.push_back(agent.next_decision());
+      bool same = got.size() == reference.size();
+      for (std::size_t i = 0; same && i < got.size(); ++i)
+        same = same_decision(got[i], reference[i]);
+      if (!same) ++diverged;
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.begin_shutdown();
+  daemon.join();
+
+  ReactorResult r;
+  r.reactors = reactors;
+  r.samples_per_sec =
+      static_cast<double>(ticks) * 2 * agents / seconds;
+  r.identical_output = diverged.load() == 0;
+  return r;
+}
+
+struct FaninResult {
+  std::size_t fanin = 0;
+  double windows_per_sec = 0.0;
+  bool identical_output = false;
+};
+
+// A 2-level aggregation tree: `fanin` leaf daemons, each covering a
+// disjoint slice of the 2-synopsis fleet GPV, streaming VOTES into one
+// parent. fanin=1 is a single leaf covering both synopses; fanin=2
+// splits per tier, the shape of a real per-tier deployment. The merged
+// fleet decision stream must equal the in-process reference exactly;
+// the rate is end-to-end fleet windows per second (agent tick -> leaf
+// decide -> uplink -> parent merge -> fleet DECISION back at the leaf).
+FaninResult run_fanin(const std::string& bundle, std::size_t fanin,
+                      const std::vector<net::Tick>& stream,
+                      int batch_ticks, std::uint16_t window,
+                      const std::vector<net::DecisionFrame>& reference) {
+  Daemon parent(bundle);
+  const std::vector<std::vector<std::uint16_t>> coverage =
+      fanin == 1 ? std::vector<std::vector<std::uint16_t>>{{0, 1}}
+                 : std::vector<std::vector<std::uint16_t>>{{0}, {1}};
+  std::vector<std::unique_ptr<net::Uplink>> uplinks;
+  std::vector<std::unique_ptr<Daemon>> leaves;
+  for (std::size_t l = 0; l < coverage.size(); ++l) {
+    net::Uplink::Options uo;
+    uo.port = parent.server->port();
+    uo.leaf = "bench-leaf-" + std::to_string(l);
+    uo.coverage = coverage[l];
+    uplinks.push_back(std::make_unique<net::Uplink>(uo));
+    leaves.push_back(std::make_unique<Daemon>(bundle, net::ServerConfig{},
+                                              uplinks.back().get()));
+    uplinks.back()->start();
+  }
+  const auto subscribed = [&] {
+    for (const auto& u : uplinks)
+      if (!u->stats().subscribed) return false;
+    return true;
+  };
+  const auto deadline = Clock::now() + std::chrono::seconds(20);
+  while (!subscribed()) {
+    if (Clock::now() >= deadline) {
+      std::fprintf(stderr, "bench_net_loopback: uplinks never subscribed\n");
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Each leaf's agent streams the same ticks with the uncovered tiers
+  // masked absent (synopsis index == tier index for this bundle). The
+  // masking happens on a copy after construction, so the covered tier's
+  // values are draw-for-draw identical to the flat reference stream.
+  const int ticks = static_cast<int>(stream.size());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  const auto t0 = Clock::now();
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    pool.emplace_back([&, l] {
+      net::Client agent;
+      agent.connect("127.0.0.1", leaves[l]->server->port());
+      net::HelloRequest hello;
+      hello.agent = "bench-fanin-" + std::to_string(l);
+      hello.level = "hpc";
+      hello.num_tiers = 2;
+      hello.window = window;
+      if (!agent.hello(hello).accepted) {
+        ++failures;
+        return;
+      }
+      const auto covered = [&](std::size_t tier) {
+        for (const std::uint16_t s : coverage[l])
+          if (s == tier) return true;
+        return false;
+      };
+      std::size_t drained = 0;
+      for (int start = 0; start < ticks; start += batch_ticks) {
+        net::SampleBatch batch;
+        batch.first_tick = static_cast<std::uint32_t>(start);
+        const int end = std::min(start + batch_ticks, ticks);
+        batch.ticks.assign(stream.begin() + start, stream.begin() + end);
+        for (net::Tick& tick : batch.ticks) {
+          for (std::size_t t = 0; t < tick.tiers.size(); ++t) {
+            if (covered(t)) continue;
+            tick.tiers[t].present = false;
+            tick.tiers[t].values.clear();
+          }
+        }
+        agent.send_batch(batch);
+        drained += agent.drain_decisions().size();
+      }
+      // Leaf-local decisions (degraded when a tier is masked) are not
+      // what the tree is for, but draining them keeps the leaf's write
+      // queue clear so the session never stalls.
+      while (drained < reference.size()) {
+        (void)agent.next_decision();
+        ++drained;
+      }
+    });
+  }
+
+  std::vector<net::DecisionFrame> fleet;
+  fleet.reserve(reference.size());
+  while (fleet.size() < reference.size()) {
+    if (Clock::now() >= deadline) break;
+    for (net::DecisionFrame& d : uplinks[0]->drain_fleet_decisions())
+      fleet.push_back(d);
+    if (fleet.size() < reference.size())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  for (auto& t : pool) t.join();
+  for (auto& u : uplinks) u->stop();
+
+  FaninResult r;
+  r.fanin = fanin;
+  r.windows_per_sec = static_cast<double>(fleet.size()) / seconds;
+  r.identical_output =
+      failures.load() == 0 && fleet.size() == reference.size();
+  for (std::size_t i = 0; r.identical_output && i < fleet.size(); ++i)
+    r.identical_output = same_decision(fleet[i], reference[i]);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,6 +567,35 @@ int main(int argc, char** argv) {
   const double p50 = quantile(0.50);
   const double p99 = quantile(0.99);
 
+  // --- fleet dimensions (ISSUE 8) ----------------------------------------
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  std::string kernel = "unknown";
+  {
+    utsname uts{};
+    if (::uname(&uts) == 0)
+      kernel = std::string(uts.sysname) + " " + uts.release;
+  }
+  // A 2-reactor speedup over 1 reactor only means something with >= 2
+  // hardware threads; on smaller hosts both runs are still recorded
+  // (correctness holds everywhere) but the scaling comparison is marked
+  // skipped so a flat ratio is not read as a regression.
+  const bool reactor_scaling_measured = hardware_threads >= 2;
+  constexpr int kShardAgents = 2;
+  std::printf("reactors sweep (%d concurrent agents)...\n", kShardAgents);
+  std::vector<ReactorResult> reactor_results;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}})
+    reactor_results.push_back(run_reactors(bundle, n, kShardAgents, stream,
+                                           kBatch, kWindow, reference));
+  std::printf("fanin sweep (2-level aggregation tree)...\n");
+  std::vector<FaninResult> fanin_results;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}})
+    fanin_results.push_back(
+        run_fanin(bundle, n, stream, kBatch, kWindow, reference));
+  for (const auto& r : reactor_results)
+    identical_all = identical_all && r.identical_output;
+  for (const auto& r : fanin_results)
+    identical_all = identical_all && r.identical_output;
+
   const bool met = samples_per_sec >= 50000.0 && identical_all;
   TextTable table("hpcapd loopback wire-path overhead");
   table.set_header({"phase", "metric", "value"});
@@ -365,9 +612,29 @@ int main(int argc, char** argv) {
                  std::to_string(kProbes)});
   table.add_row({"latency", "p50 (us)", TextTable::num(p50, 1)});
   table.add_row({"latency", "p99 (us)", TextTable::num(p99, 1)});
+  table.add_separator();
+  for (const auto& r : reactor_results)
+    table.add_row({"reactors",
+                   "samples/sec @ reactors=" + std::to_string(r.reactors),
+                   TextTable::num(r.samples_per_sec, 0) +
+                       (r.identical_output ? "  (output identical)"
+                                           : "  (OUTPUT DIVERGED)")});
+  table.add_row({"reactors", "scaling comparison",
+                 reactor_scaling_measured
+                     ? "measured"
+                     : "skipped (" + std::to_string(hardware_threads) +
+                           " hardware thread)"});
+  for (const auto& r : fanin_results)
+    table.add_row({"fanin",
+                   "fleet windows/sec @ fanin=" + std::to_string(r.fanin),
+                   TextTable::num(r.windows_per_sec, 0) +
+                       (r.identical_output ? "  (output identical)"
+                                           : "  (OUTPUT DIVERGED)")});
   table.add_note("shape target: >= 50k samples/sec over loopback");
   table.add_note(
       "latency = send_batch + aggregate + observe_masked + DECISION rtt");
+  table.add_note("host: " + kernel + ", " +
+                 std::to_string(hardware_threads) + " hardware thread(s)");
   std::printf("%s\n", table.render().c_str());
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
@@ -390,6 +657,36 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "  ],\n"
+                 "  \"reactors\": [\n");
+    for (std::size_t i = 0; i < reactor_results.size(); ++i) {
+      const auto& r = reactor_results[i];
+      std::fprintf(f,
+                   "    {\"reactors\": %zu, \"samples_per_sec\": %.0f, "
+                   "\"identical_output\": %s}%s\n",
+                   r.reactors, r.samples_per_sec,
+                   r.identical_output ? "true" : "false",
+                   i + 1 < reactor_results.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"reactor_scaling\": \"%s\",\n"
+                 "  \"fanin\": [\n",
+                 reactor_scaling_measured
+                     ? "measured"
+                     : "skipped: fewer than 2 hardware threads");
+    for (std::size_t i = 0; i < fanin_results.size(); ++i) {
+      const auto& r = fanin_results[i];
+      std::fprintf(f,
+                   "    {\"fanin\": %zu, \"fleet_windows_per_sec\": %.0f, "
+                   "\"identical_output\": %s}%s\n",
+                   r.fanin, r.windows_per_sec,
+                   r.identical_output ? "true" : "false",
+                   i + 1 < fanin_results.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"host\": {\"hardware_threads\": %u, "
+                 "\"kernel\": \"%s\"},\n"
                  "  \"samples_per_sec\": %.0f,\n"
                  "  \"decisions\": %llu,\n"
                  "  \"identical_output\": %s,\n"
@@ -397,7 +694,8 @@ int main(int argc, char** argv) {
                  "  \"latency_p99_us\": %.1f,\n"
                  "  \"throughput_target_met\": %s\n"
                  "}\n",
-                 samples_per_sec, static_cast<unsigned long long>(decisions),
+                 hardware_threads, kernel.c_str(), samples_per_sec,
+                 static_cast<unsigned long long>(decisions),
                  identical_all ? "true" : "false", p50, p99,
                  met ? "true" : "false");
     std::fclose(f);

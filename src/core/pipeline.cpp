@@ -113,10 +113,24 @@ void CapacityMonitor::predict_masked_many(
   observe_block(block, valid, /*masked=*/true, out);
 }
 
+void CapacityMonitor::predict_masked_many(
+    const WindowBlock& block, const std::uint8_t* valid,
+    std::span<CoordinatedPredictor::Decision> out, int* votes_out,
+    std::uint8_t* votes_valid_out) {
+  observe_block(block, valid, /*masked=*/true, out, votes_out,
+                votes_valid_out);
+}
+
+CoordinatedPredictor::Decision CapacityMonitor::decide_votes_masked(
+    std::span<const int> votes, std::span<const std::uint8_t> valid) {
+  return predictor_.predict_masked(votes, valid);
+}
+
 // hpcap-lint: hot-path
 void CapacityMonitor::observe_block(
     const WindowBlock& block, const std::uint8_t* valid, bool masked,
-    std::span<CoordinatedPredictor::Decision> out) {
+    std::span<CoordinatedPredictor::Decision> out, int* votes_out,
+    std::uint8_t* votes_valid_out) {
   const std::size_t W = block.num_windows;
   const std::size_t T = block.num_tiers;
   const std::size_t m = synopses_.size();
@@ -163,6 +177,14 @@ void CapacityMonitor::observe_block(
       out[w] = predictor_.predict_masked(votes_scratch_, valid_scratch_);
     } else {
       out[w] = predictor_.predict(votes_scratch_);
+    }
+    if (votes_out != nullptr) {
+      // Window-major transpose of the GPV this window was decided from,
+      // for fleet uplink (see the header). Abstentions export as (0, 0).
+      for (std::size_t s = 0; s < m; ++s) {
+        votes_out[w * m + s] = votes_scratch_[s];
+        votes_valid_out[w * m + s] = masked ? valid_scratch_[s] : 1;
+      }
     }
   }
 }

@@ -97,6 +97,28 @@ class CapacityMonitor {
                            const std::uint8_t* valid,
                            std::span<CoordinatedPredictor::Decision> out);
 
+  // Fleet variant: same decisions, and additionally exposes the exact
+  // per-window GPV each decision was made from — window-major, synopsis
+  // s of window w at [w * num_synopses + s]. votes_valid_out mirrors the
+  // abstention mask (an abstaining synopsis exports vote 0, valid 0).
+  // This is what a leaf daemon streams up an aggregation tree: because a
+  // synopsis reads only its own tier's row, the exported votes are
+  // bit-identical to what a flat daemon seeing the same windows would
+  // compute, so a parent re-deciding from merged leaf votes reproduces
+  // the flat decision stream exactly.
+  void predict_masked_many(const WindowBlock& block,
+                           const std::uint8_t* valid,
+                           std::span<CoordinatedPredictor::Decision> out,
+                           int* votes_out, std::uint8_t* votes_valid_out);
+
+  // Fleet-merge entry: one stateful decision from an externally
+  // assembled GPV — a parent daemon merging disjoint leaf vote streams
+  // calls this per window, in window order, exactly as the scalar path
+  // would. Bit-identical to observe_masked when fed the votes/valid
+  // arrays that observe_masked would have built itself.
+  CoordinatedPredictor::Decision decide_votes_masked(
+      std::span<const int> votes, std::span<const std::uint8_t> valid);
+
   // The raw per-synopsis votes for a window (GPV bits, for diagnostics).
   std::vector<int> synopsis_votes(
       const std::vector<std::vector<double>>& tier_rows) const;
@@ -114,10 +136,13 @@ class CapacityMonitor {
   const std::vector<int>& fill_votes(
       const std::vector<std::vector<double>>& tier_rows);
 
-  // Shared kernel of observe_many / predict_masked_many.
+  // Shared kernel of observe_many / predict_masked_many. The vote
+  // exports are optional (nullptr = not requested).
   void observe_block(const WindowBlock& block, const std::uint8_t* valid,
                      bool masked,
-                     std::span<CoordinatedPredictor::Decision> out);
+                     std::span<CoordinatedPredictor::Decision> out,
+                     int* votes_out = nullptr,
+                     std::uint8_t* votes_valid_out = nullptr);
 
   std::vector<Synopsis> synopses_;
   CoordinatedPredictor predictor_;

@@ -63,6 +63,9 @@ Client::Client(Client&& other) noexcept
       hello_req_(std::move(other.hello_req_)),
       last_hello_reply_(std::move(other.last_hello_reply_)),
       hello_timeout_(other.hello_timeout_),
+      aggregate_(other.aggregate_),
+      agg_req_(std::move(other.agg_req_)),
+      last_agg_reply_(std::move(other.last_agg_reply_)),
       session_token_(other.session_token_),
       next_seq_(other.next_seq_),
       acked_seq_(other.acked_seq_),
@@ -282,15 +285,39 @@ Frame Client::await_frame(FrameType want, double timeout_seconds) {
 }
 
 HelloReply Client::handshake(double timeout_seconds) {
-  HelloRequest req = hello_req_;
-  if (version_ >= 2) {
-    req.resume_token = session_token_;
-    req.resume_from_window = next_window_;
+  HelloReply rep;
+  if (aggregate_) {
+    // Aggregate sessions handshake with SUBSCRIBE; the reply is mapped
+    // onto HelloReply so the shared resume bookkeeping below (and
+    // recover()'s accepted check) applies unchanged.
+    AggregateSubscribe areq = agg_req_;
+    areq.resume_token = session_token_;
+    areq.resume_from_window = next_window_;
+    send_all(encode_aggregate_subscribe(areq, version_));
+    const Frame aframe = await_frame(FrameType::kAggregate, timeout_seconds);
+    if (peek_aggregate_kind(aframe.payload) !=
+        AggregateKind::kSubscribeReply)
+      throw ProtocolError(
+          "net::Client: expected SUBSCRIBE_REPLY from the parent");
+    last_agg_reply_ = decode_aggregate_subscribe_reply(aframe.payload);
+    rep.accepted = last_agg_reply_.accepted;
+    rep.message = last_agg_reply_.message;
+    rep.model_version = last_agg_reply_.model_version;
+    rep.session_token = last_agg_reply_.session_token;
+    rep.last_applied_seq = last_agg_reply_.last_applied_seq;
+    rep.resumed = last_agg_reply_.resumed;
+    if (!rep.accepted) return rep;
+  } else {
+    HelloRequest req = hello_req_;
+    if (version_ >= 2) {
+      req.resume_token = session_token_;
+      req.resume_from_window = next_window_;
+    }
+    send_all(encode_hello_request(req, version_));
+    const Frame frame = await_frame(FrameType::kHello, timeout_seconds);
+    rep = decode_hello_reply(frame.payload, frame.version);
+    if (!rep.accepted) return rep;
   }
-  send_all(encode_hello_request(req, version_));
-  const Frame frame = await_frame(FrameType::kHello, timeout_seconds);
-  HelloReply rep = decode_hello_reply(frame.payload, frame.version);
-  if (!rep.accepted) return rep;
   hello_done_ = true;
   last_hello_reply_ = rep;
   if (version_ >= 2) {
@@ -371,6 +398,7 @@ auto Client::with_resilience(Op&& op) -> decltype(op()) {
 }
 
 HelloReply Client::hello(const HelloRequest& req, double timeout_seconds) {
+  aggregate_ = false;
   hello_req_ = req;
   hello_timeout_ = timeout_seconds;
   // An explicit hello() (re)starts the logical session: resume identity
@@ -391,6 +419,62 @@ HelloReply Client::hello(const HelloRequest& req, double timeout_seconds) {
   // recover() completed the handshake; hand back the reply it recorded
   // (dims/model_version intact for the caller's batch construction).
   return last_hello_reply_;
+}
+
+AggregateSubscribeReply Client::aggregate_subscribe(
+    const AggregateSubscribe& req, double timeout_seconds) {
+  if (version_ < 2)
+    throw std::invalid_argument(
+        "net::Client: aggregate sessions require protocol v2");
+  aggregate_ = true;
+  agg_req_ = req;
+  hello_timeout_ = timeout_seconds;
+  // Like hello(): an explicit subscribe (re)starts the logical session;
+  // resume identity comes from the request.
+  session_token_ = req.resume_token;
+  next_window_ = req.resume_from_window;
+  hello_done_ = false;
+  if (!policy_.enabled()) {
+    handshake(timeout_seconds);
+    return last_agg_reply_;
+  }
+  try {
+    handshake(timeout_seconds);
+    return last_agg_reply_;
+  } catch (const SessionLost&) {
+    throw;
+  } catch (const TransportError&) {
+  } catch (const ProtocolError&) {
+  }
+  Backoff backoff(policy_, session_token_);
+  recover(backoff, io::monotonic_seconds() + policy_.deadline);
+  return last_agg_reply_;
+}
+
+void Client::send_aggregate(AggregateBatch& batch) {
+  if (version_ < 2)
+    throw std::invalid_argument(
+        "net::Client: aggregate sessions require protocol v2");
+  if (batch.agg_seq == 0) batch.agg_seq = next_seq_;
+  next_seq_ = std::max(next_seq_, batch.agg_seq + 1);
+  bool recorded = false;
+  with_resilience([&] {
+    ensure_pending_space();
+    send_scratch_.clear();
+    encode_aggregate_batch_into(batch, send_scratch_, version_);
+    if (!recorded) {
+      PendingBatch p;
+      p.seq = batch.agg_seq;
+      if (!pending_spares_.empty()) {
+        p.bytes = std::move(pending_spares_.back());
+        pending_spares_.pop_back();
+      }
+      p.bytes.assign(send_scratch_.begin(), send_scratch_.end());
+      pending_.push_back(std::move(p));
+      recorded = true;
+    }
+    send_all(send_scratch_);
+  });
 }
 
 void Client::ensure_pending_space() {

@@ -100,6 +100,22 @@ class Client {
   // (normally the client fills that in itself during recovery).
   HelloReply hello(const HelloRequest& req, double timeout_seconds = 10.0);
 
+  // Aggregate (leaf->parent) mode, protocol v2 only. The SUBSCRIBE
+  // handshake replaces HELLO for this session: the reply carries the
+  // same session token / last-applied-seq resume contract, and every
+  // recovery re-subscribes instead of re-HELLOing. A *rejected*
+  // subscription returns normally with accepted == false. Throws
+  // std::invalid_argument at protocol v1.
+  AggregateSubscribeReply aggregate_subscribe(const AggregateSubscribe& req,
+                                              double timeout_seconds = 10.0);
+
+  // Ships one VOTES batch; stamps batch.agg_seq with the session's next
+  // sequence number and retains the frame until the parent's cumulative
+  // ACK covers it — the exact send_batch replay contract, shared
+  // sequence space. Fleet decisions arrive as ordinary DECISION frames
+  // (drain_decisions / next_decision).
+  void send_aggregate(AggregateBatch& batch);
+
   // Ships one batch of sampling ticks (blocking write). On v2 the client
   // stamps batch.batch_seq with the session's next sequence number and
   // retains the encoded frame until the daemon acknowledges it. Encodes
@@ -166,6 +182,9 @@ class Client {
   HelloRequest hello_req_;
   HelloReply last_hello_reply_;
   double hello_timeout_ = 10.0;
+  bool aggregate_ = false;  // handshake() sends SUBSCRIBE, not HELLO
+  AggregateSubscribe agg_req_;
+  AggregateSubscribeReply last_agg_reply_;
 
   std::uint64_t session_token_ = 0;
   std::uint64_t next_seq_ = 1;

@@ -191,7 +191,7 @@ std::optional<FrameHeader> peek_header(
   if (h.version < kMinProtocolVersion || h.version > kProtocolVersion)
     malformed("unsupported protocol version " + std::to_string(h.version));
   const std::uint8_t type = r.read_u8();
-  const std::uint8_t max_type = h.version >= 2 ? 7 : 6;
+  const std::uint8_t max_type = h.version >= 2 ? 8 : 6;
   if (type < 1 || type > max_type)
     malformed("unknown frame type " + std::to_string(type));
   h.type = static_cast<FrameType>(type);
@@ -656,6 +656,174 @@ std::vector<std::uint8_t> encode_shutdown(std::uint8_t version) {
 void encode_shutdown_into(std::vector<std::uint8_t>& out,
                           std::uint8_t version) {
   end_frame(out, begin_frame(out, FrameType::kShutdown, version), version);
+}
+
+// --- AGGREGATE -----------------------------------------------------------
+
+namespace {
+
+// All AGGREGATE encoders are v2-only: the frame type does not exist in
+// the v1 range, so asking for a v1 encoding is a caller bug, not a
+// negotiation outcome.
+void check_aggregate_version(std::uint8_t version) {
+  check_version(version);
+  if (version < 2)
+    throw ProtocolError("AGGREGATE frames require protocol v2");
+}
+
+}  // namespace
+
+AggregateKind peek_aggregate_kind(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) malformed("AGGREGATE: empty payload");
+  const std::uint8_t kind = payload[0];
+  if (kind < 1 || kind > 3)
+    malformed("AGGREGATE: unknown kind " + std::to_string(kind));
+  return static_cast<AggregateKind>(kind);
+}
+
+void encode_aggregate_subscribe_into(const AggregateSubscribe& req,
+                                     std::vector<std::uint8_t>& out,
+                                     std::uint8_t version) {
+  check_aggregate_version(version);
+  if (req.synopses.size() > kMaxAggSynopses)
+    throw ProtocolError("AGGREGATE: too many synopses to encode");
+  const std::size_t f = begin_frame(out, FrameType::kAggregate, version);
+  put_u8(out, static_cast<std::uint8_t>(AggregateKind::kSubscribe));
+  put_string(out, req.leaf);
+  put_u16(out, static_cast<std::uint16_t>(req.synopses.size()));
+  for (const std::uint16_t s : req.synopses) put_u16(out, s);
+  put_u64(out, req.resume_token);
+  put_u32(out, req.resume_from_window);
+  end_frame(out, f, version);
+}
+
+std::vector<std::uint8_t> encode_aggregate_subscribe(
+    const AggregateSubscribe& req, std::uint8_t version) {
+  std::vector<std::uint8_t> out;
+  encode_aggregate_subscribe_into(req, out, version);
+  return out;
+}
+
+AggregateSubscribe decode_aggregate_subscribe(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  if (r.read_u8() != static_cast<std::uint8_t>(AggregateKind::kSubscribe))
+    malformed("AGGREGATE: not a SUBSCRIBE payload");
+  AggregateSubscribe req;
+  req.leaf = r.read_string();
+  const std::size_t n = checked_count(
+      r.read_u16(), kMaxAggSynopses, "aggregate synopsis");
+  req.synopses.resize(n);
+  for (std::size_t i = 0; i < n; ++i) req.synopses[i] = r.read_u16();
+  req.resume_token = r.read_u64();
+  req.resume_from_window = r.read_u32();
+  r.expect_done("AGGREGATE SUBSCRIBE");
+  return req;
+}
+
+void encode_aggregate_subscribe_reply_into(const AggregateSubscribeReply& rep,
+                                           std::vector<std::uint8_t>& out,
+                                           std::uint8_t version) {
+  check_aggregate_version(version);
+  const std::size_t f = begin_frame(out, FrameType::kAggregate, version);
+  put_u8(out, static_cast<std::uint8_t>(AggregateKind::kSubscribeReply));
+  put_u8(out, rep.accepted ? 1 : 0);
+  put_string(out, rep.message);
+  put_u32(out, rep.model_version);
+  put_u16(out, rep.num_synopses);
+  put_u64(out, rep.session_token);
+  put_u64(out, rep.last_applied_seq);
+  put_u8(out, rep.resumed ? 1 : 0);
+  end_frame(out, f, version);
+}
+
+std::vector<std::uint8_t> encode_aggregate_subscribe_reply(
+    const AggregateSubscribeReply& rep, std::uint8_t version) {
+  std::vector<std::uint8_t> out;
+  encode_aggregate_subscribe_reply_into(rep, out, version);
+  return out;
+}
+
+AggregateSubscribeReply decode_aggregate_subscribe_reply(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  if (r.read_u8() !=
+      static_cast<std::uint8_t>(AggregateKind::kSubscribeReply))
+    malformed("AGGREGATE: not a SUBSCRIBE_REPLY payload");
+  AggregateSubscribeReply rep;
+  rep.accepted = r.read_u8() != 0;
+  rep.message = r.read_string();
+  rep.model_version = r.read_u32();
+  rep.num_synopses = r.read_u16();
+  rep.session_token = r.read_u64();
+  rep.last_applied_seq = r.read_u64();
+  rep.resumed = r.read_u8() != 0;
+  r.expect_done("AGGREGATE SUBSCRIBE_REPLY");
+  return rep;
+}
+
+void encode_aggregate_batch_into(const AggregateBatch& batch,
+                                 std::vector<std::uint8_t>& out,
+                                 std::uint8_t version) {
+  check_aggregate_version(version);
+  if (batch.windows.size() > kMaxAggWindows)
+    throw ProtocolError("AGGREGATE: too many windows to encode");
+  const std::size_t f = begin_frame(out, FrameType::kAggregate, version);
+  put_u8(out, static_cast<std::uint8_t>(AggregateKind::kVotes));
+  put_u64(out, batch.agg_seq);
+  put_u16(out, static_cast<std::uint16_t>(batch.windows.size()));
+  for (const AggregateWindow& w : batch.windows) {
+    if (w.votes.size() != w.valid.size() ||
+        w.votes.size() > kMaxAggSynopses)
+      throw ProtocolError("AGGREGATE: malformed window to encode");
+    put_u32(out, w.window_index);
+    put_u16(out, static_cast<std::uint16_t>(w.votes.size()));
+    for (std::size_t i = 0; i < w.votes.size(); ++i) {
+      // One cell byte per synopsis: 0 abstain, 1/2 a valid vote 0/1.
+      std::uint8_t cell = 0;
+      if (w.valid[i]) {
+        if (w.votes[i] != 0 && w.votes[i] != 1)
+          throw ProtocolError("AGGREGATE: vote outside the binary domain");
+        cell = static_cast<std::uint8_t>(1 + w.votes[i]);
+      }
+      put_u8(out, cell);
+    }
+  }
+  end_frame(out, f, version);
+}
+
+std::vector<std::uint8_t> encode_aggregate_batch(const AggregateBatch& batch,
+                                                 std::uint8_t version) {
+  std::vector<std::uint8_t> out;
+  encode_aggregate_batch_into(batch, out, version);
+  return out;
+}
+
+AggregateBatch decode_aggregate_batch(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  if (r.read_u8() != static_cast<std::uint8_t>(AggregateKind::kVotes))
+    malformed("AGGREGATE: not a VOTES payload");
+  AggregateBatch batch;
+  batch.agg_seq = r.read_u64();
+  const std::size_t count = checked_count(
+      r.read_u16(), kMaxAggWindows, "aggregate window");
+  batch.windows.resize(count);
+  for (AggregateWindow& w : batch.windows) {
+    w.window_index = r.read_u32();
+    const std::size_t n = checked_count(
+        r.read_u16(), kMaxAggSynopses, "aggregate synopsis");
+    w.votes.resize(n);
+    w.valid.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t cell = r.read_u8();
+      if (cell > 2) malformed("AGGREGATE VOTES: cell outside 0..2");
+      w.valid[i] = cell != 0;
+      w.votes[i] = cell == 0 ? 0 : cell - 1;
+    }
+  }
+  r.expect_done("AGGREGATE VOTES");
+  return batch;
 }
 
 // --- FrameAssembler ------------------------------------------------------

@@ -54,6 +54,27 @@
 //               daemon's cumulative acknowledgement; the client prunes
 //               its replay buffer of SAMPLE_BATCH frames up to and
 //               including last_applied_seq.
+//   AGGREGATE [v2 only]: the leaf->parent fleet-tree frame. First payload
+//               byte is a kind discriminator:
+//               kind 1 SUBSCRIBE (leaf->parent): str leaf, u16 count,
+//                 count x u16 synopsis index (the global GPV bits this
+//                 leaf covers), u64 resume_token, u32 resume_from_window.
+//                 Replaces HELLO as the handshake of an aggregate
+//                 session; resume semantics mirror HELLO's.
+//               kind 2 SUBSCRIBE_REPLY (parent->leaf): u8 accepted,
+//                 str message, u32 model_version, u16 num_synopses (the
+//                 parent's full GPV width), u64 session_token,
+//                 u64 last_applied_seq, u8 resumed.
+//               kind 3 VOTES (leaf->parent): u64 agg_seq (1-based,
+//                 strictly increasing per session — the aggregate twin
+//                 of batch_seq, covered by the same ACK/replay
+//                 machinery), u16 window_count, per window:
+//                 u32 window_index, u16 n, then n cells of one byte
+//                 each in the subscribed synopsis order — 0 = abstain
+//                 (synopsis invalid this window), 1 = valid vote 0,
+//                 2 = valid vote 1. Anything above 2 is malformed.
+//               Decisions flow back as ordinary DECISION frames carrying
+//               the parent's fleet-level verdict.
 //
 // Version negotiation: the daemon answers every request in the version
 // of the request's frame header, and a session runs at the version of
@@ -86,6 +107,10 @@ inline constexpr std::size_t kMaxRowDim = 4096;
 inline constexpr std::size_t kMaxTiers = 64;
 inline constexpr std::size_t kMaxTicksPerBatch = 65535;
 inline constexpr std::size_t kMaxStatsEntries = 1024;
+// Fleet-tree caps: a leaf may cover at most this many GPV bits, and one
+// VOTES frame may carry at most this many windows.
+inline constexpr std::size_t kMaxAggSynopses = 1024;
+inline constexpr std::size_t kMaxAggWindows = 4096;
 
 enum class FrameType : std::uint8_t {
   kHello = 1,
@@ -94,7 +119,15 @@ enum class FrameType : std::uint8_t {
   kStats = 4,
   kReload = 5,
   kShutdown = 6,
-  kAck = 7,  // v2 only
+  kAck = 7,        // v2 only
+  kAggregate = 8,  // v2 only
+};
+
+// Discriminator in the first byte of an AGGREGATE payload.
+enum class AggregateKind : std::uint8_t {
+  kSubscribe = 1,
+  kSubscribeReply = 2,
+  kVotes = 3,
 };
 
 // Thrown on any malformed input: bad header, truncated payload, count
@@ -251,6 +284,41 @@ struct AckFrame {
   std::uint32_t next_window = 0;  // next DECISION window the daemon emits
 };
 
+// Leaf->parent handshake of an aggregate session (AGGREGATE kind 1).
+struct AggregateSubscribe {
+  std::string leaf;  // free-form leaf identity (diagnostics)
+  // Global GPV bit indices this leaf covers, in the order its VOTES
+  // cells will arrive. Subscriptions across leaves must be disjoint.
+  std::vector<std::uint16_t> synopses;
+  std::uint64_t resume_token = 0;       // 0 = new subscription
+  std::uint32_t resume_from_window = 0;
+};
+
+// Parent->leaf handshake reply (AGGREGATE kind 2).
+struct AggregateSubscribeReply {
+  bool accepted = false;
+  std::string message;
+  std::uint32_t model_version = 0;
+  std::uint16_t num_synopses = 0;  // parent's full fleet GPV width
+  std::uint64_t session_token = 0;
+  std::uint64_t last_applied_seq = 0;
+  bool resumed = false;
+};
+
+// One window's worth of leaf votes. votes[i]/valid[i] refer to the i-th
+// subscribed synopsis; an abstaining synopsis has valid 0 and vote 0.
+struct AggregateWindow {
+  std::uint32_t window_index = 0;
+  std::vector<int> votes;
+  std::vector<std::uint8_t> valid;
+};
+
+// Leaf->parent vote stream (AGGREGATE kind 3).
+struct AggregateBatch {
+  std::uint64_t agg_seq = 0;  // 1-based per-session sequence
+  std::vector<AggregateWindow> windows;
+};
+
 struct StatsReply {
   std::vector<std::pair<std::string, std::uint64_t>> entries;
 
@@ -391,6 +459,36 @@ std::vector<std::uint8_t> encode_shutdown(
     std::uint8_t version = kProtocolVersion);
 void encode_shutdown_into(std::vector<std::uint8_t>& out,
                           std::uint8_t version = kProtocolVersion);
+
+// AGGREGATE is v2-only: every encoder below throws ProtocolError when
+// asked for a v1 frame, and the decoders take no version parameter.
+// peek_aggregate_kind reads the discriminator byte so a dispatcher can
+// route the payload; each decoder re-checks it.
+AggregateKind peek_aggregate_kind(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_aggregate_subscribe(
+    const AggregateSubscribe& req, std::uint8_t version = kProtocolVersion);
+void encode_aggregate_subscribe_into(
+    const AggregateSubscribe& req, std::vector<std::uint8_t>& out,
+    std::uint8_t version = kProtocolVersion);
+AggregateSubscribe decode_aggregate_subscribe(
+    std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_aggregate_subscribe_reply(
+    const AggregateSubscribeReply& rep,
+    std::uint8_t version = kProtocolVersion);
+void encode_aggregate_subscribe_reply_into(
+    const AggregateSubscribeReply& rep, std::vector<std::uint8_t>& out,
+    std::uint8_t version = kProtocolVersion);
+AggregateSubscribeReply decode_aggregate_subscribe_reply(
+    std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_aggregate_batch(
+    const AggregateBatch& batch, std::uint8_t version = kProtocolVersion);
+void encode_aggregate_batch_into(const AggregateBatch& batch,
+                                 std::vector<std::uint8_t>& out,
+                                 std::uint8_t version = kProtocolVersion);
+AggregateBatch decode_aggregate_batch(std::span<const std::uint8_t> payload);
 
 // --- incremental stream parsing ------------------------------------------
 

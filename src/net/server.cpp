@@ -25,7 +25,9 @@
 #include "core/validate.h"
 #include "counters/metric_catalog.h"
 #include "counters/sampler.h"
+#include "net/aggregate.h"
 #include "net/posix_io.h"
+#include "net/sharded.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -56,13 +58,18 @@ constexpr std::size_t kSparePool = 8;
 // Frames covered by one scatter-gather ::sendmsg.
 constexpr std::size_t kMaxIov = 64;
 
+// Cadence of the cross-shard resume retry timer, and the slice of the
+// handshake budget a deferred resume may wait for its eviction to land.
+constexpr double kResumeRetryPeriod = 0.01;
+constexpr double kResumeDeferCap = 2.0;
+
 }  // namespace
 
 // The stream state of one agent session: the per-tier pipeline plus the
 // v2 exactly-once bookkeeping. Owned by a Connection while its socket is
-// up; detaches into Server::lingering_ when a v2 peer vanishes so a
-// reconnecting client can resume it.
-struct Server::Session {
+// up; detaches into the ShardGroup's linger directory when a v2 peer
+// vanishes so a reconnecting client can resume it — on any reactor.
+struct SessionState {
   std::uint64_t token = 0;   // resume identity; 0 on v1 (not resumable)
   std::uint8_t version = 1;  // wire version of the HELLO that made it
   std::string agent;
@@ -85,6 +92,20 @@ struct Server::Session {
   std::vector<core::CoordinatedPredictor::Decision> block_out;
   std::size_t block_windows = 0;
   std::uint32_t window_index = 0;
+  // Leaf mode: window-major GPV export scratch for the uplink (synopsis
+  // s of window w at [w * m + s]); sized at HELLO when an uplink is set.
+  std::vector<int> votes_out;
+  std::vector<std::uint8_t> votes_valid;
+  // The coverage-order slice of one window's GPV, as offer() wants it.
+  std::vector<int> uplink_votes;
+  std::vector<std::uint8_t> uplink_valid;
+
+  // Aggregate (parent-side) sessions carry no sampling pipeline at all:
+  // their stream state is the FleetAggregator subscription identified by
+  // `token` plus the ordinary replay ring below, which retains fleet
+  // DECISIONs exactly like a leaf session retains its own.
+  bool aggregate = false;
+  std::vector<std::uint16_t> coverage;  // subscribed synopsis indices
 
   // v2 exactly-once state: highest batch sequence applied (cumulative —
   // anything at or below it is a replay and is deduped), plus the
@@ -98,7 +119,7 @@ struct Server::Session {
 
 // One agent connection: the socket half of a session. Before HELLO it is
 // just a socket with deadlines; after HELLO it owns (or, on resume,
-// readopts) a Session.
+// readopts) a SessionState.
 struct Server::Connection {
   enum class State { kAwaitHello, kStreaming };
 
@@ -127,7 +148,7 @@ struct Server::Connection {
   const char* doom_reason = "";
   std::uint64_t sheds = 0;  // for the rate-limited shed warning
 
-  std::unique_ptr<Session> session;  // valid once state == kStreaming
+  std::unique_ptr<SessionState> session;  // valid once state == kStreaming
 
   // Resume replay cursor: while `replaying`, retained decisions from
   // `replay_next` onward are fed into the write queue at a watermark
@@ -137,10 +158,100 @@ struct Server::Connection {
   std::uint32_t replay_next = 0;
 };
 
-Server::Server(EventLoop& loop, core::MonitorSource& source,
-               ServerConfig cfg)
-    : loop_(loop), source_(source), cfg_(std::move(cfg)),
-      token_state_(cfg_.token_seed) {
+// A resume that landed on this reactor while its session was live on
+// another: the eviction is in flight, the handshake reply waits.
+struct Server::PendingResume {
+  int fd = -1;
+  std::uint8_t version = 2;
+  HelloRequest hello;                       // plain-session ask
+  std::optional<AggregateSubscribe> agg;    // aggregate-session ask
+  double deadline = 0.0;
+};
+
+// --- ShardGroup ----------------------------------------------------------
+
+struct ShardGroup::Directory {
+  // Detached v2 sessions awaiting resume, keyed by resume token.
+  std::unordered_map<std::uint64_t, std::unique_ptr<SessionState>> lingering;
+  // Where every attached v2 session token currently lives.
+  std::unordered_map<std::uint64_t, std::size_t> live;
+  // Parent-side fleet merge; created on the first SUBSCRIBE.
+  std::unique_ptr<FleetAggregator> aggregator;
+};
+
+struct ShardGroup::Shard {
+  EventLoop* loop = nullptr;
+  Server* server = nullptr;
+  std::mutex mu;  // guards mail only
+  std::vector<ShardEnvelope> mail;
+};
+
+ShardGroup::ShardGroup(std::uint64_t token_seed)
+    : dir(std::make_unique<Directory>()), token_state_(token_seed) {}
+
+ShardGroup::~ShardGroup() {
+  // Undrained handoff mail owns accepted sockets.
+  for (auto& shard : shards_)
+    for (ShardEnvelope& env : shard->mail)
+      if (env.kind == ShardEnvelope::Kind::kAcceptedFd && env.fd >= 0)
+        ::close(env.fd);
+}
+
+std::size_t ShardGroup::register_shard(EventLoop* loop, Server* server) {
+  auto shard = std::make_unique<Shard>();
+  shard->loop = loop;
+  shard->server = server;
+  shards_.push_back(std::move(shard));
+  return shards_.size() - 1;
+}
+
+Server* ShardGroup::server(std::size_t shard) const {
+  return shards_.at(shard)->server;
+}
+
+void ShardGroup::post(std::size_t shard, ShardEnvelope env) {
+  Shard& s = *shards_.at(shard);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.mail.push_back(std::move(env));
+  }
+  s.loop->wake();
+}
+
+std::vector<ShardEnvelope> ShardGroup::take_mail(std::size_t shard) {
+  Shard& s = *shards_.at(shard);
+  std::vector<ShardEnvelope> mail;
+  std::lock_guard<std::mutex> lock(s.mu);
+  mail.swap(s.mail);
+  return mail;
+}
+
+std::uint64_t ShardGroup::next_token() noexcept {
+  // One atomic splitmix64 stream shared by every reactor: fetch_add the
+  // generator's additive constant, then apply the mix to the advanced
+  // state — byte-identical to serial splitmix64 calls, so the standalone
+  // daemon's token sequence is unchanged.
+  for (;;) {
+    std::uint64_t state = token_state_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                                 std::memory_order_relaxed);
+    const std::uint64_t token = splitmix64(state);
+    if (token != 0) return token;
+  }
+}
+
+// --- Server --------------------------------------------------------------
+
+Server::Server(EventLoop& loop, core::MonitorSource& source, ServerConfig cfg,
+               ShardGroup* group, ShardRole role)
+    : loop_(loop),
+      source_(source),
+      cfg_(std::move(cfg)),
+      owned_group_(group == nullptr
+                       ? std::make_unique<ShardGroup>(cfg_.token_seed)
+                       : nullptr),
+      group_(group == nullptr ? owned_group_.get() : group),
+      role_(role),
+      stats_(group_->stats) {
   if (cfg_.num_tiers < 1 ||
       cfg_.num_tiers > static_cast<int>(kMaxTiers))
     throw std::invalid_argument("Server: num_tiers out of range");
@@ -148,6 +259,10 @@ Server::Server(EventLoop& loop, core::MonitorSource& source,
     throw std::invalid_argument("Server: max_write_queue must be >= 2");
   if (cfg_.decision_replay < 1)
     throw std::invalid_argument("Server: decision_replay must be >= 1");
+  if (group == nullptr && role != ShardRole::kStandalone)
+    throw std::invalid_argument(
+        "Server: a sharded role needs an external ShardGroup");
+  shard_id_ = group_->register_shard(&loop_, this);
 }
 
 Server::~Server() {
@@ -160,38 +275,71 @@ Server::~Server() {
     loop_.remove_fd(listen_fd_);
     ::close(listen_fd_);
   }
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
+}
+
+std::size_t Server::lingering_sessions() const {
+  std::lock_guard<std::mutex> lock(group_->mu);
+  return group_->dir->lingering.size();
 }
 
 void Server::start() {
+  // Resolve the control policy from the bind address whether or not this
+  // role listens — every reactor answers STATS/RELOAD/SHUTDOWN frames.
+  in_addr bound{};
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &bound) != 1)
+    throw std::runtime_error("Server: bad bind address '" +
+                             cfg_.bind_address + "'");
+  const bool loopback = (ntohl(bound.s_addr) >> 24) == 127;
+  control_allowed_ =
+      cfg_.control_policy == ControlPolicy::kAllow ||
+      (cfg_.control_policy == ControlPolicy::kAuto && loopback);
+  if (!loopback && cfg_.control_policy == ControlPolicy::kAuto &&
+      role_ != ShardRole::kHandoffWorker) {
+    HPCAP_INFO << "hpcapd: non-loopback bind " << cfg_.bind_address
+               << ": RELOAD/SHUTDOWN frames disabled"
+               << " (ControlPolicy::kAllow overrides)";
+  }
+
+  if (role_ == ShardRole::kHandoffWorker) {
+    // No listener: sockets arrive by mailbox. The port is the leader's.
+    port_ = cfg_.port;
+    arm_sweep();
+    return;
+  }
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
     throw std::runtime_error(std::string("Server: socket: ") +
                              std::strerror(errno));
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (role_ == ShardRole::kReuseportListener) {
+#ifdef SO_REUSEPORT
+    // Every reactor binds its own listener on the same address; the
+    // kernel steers each new connection to exactly one of them.
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof one) != 0) {
+      const int err = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error(std::string("Server: SO_REUSEPORT: ") +
+                               std::strerror(err));
+    }
+#else
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        "Server: SO_REUSEPORT unsupported on this platform (use "
+        "ShardMode::kHandoff)");
+#endif
+  }
   set_nonblocking_cloexec(listen_fd_);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(cfg_.port);
-  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("Server: bad bind address '" +
-                             cfg_.bind_address + "'");
-  }
-  // The wire protocol has no peer authentication, so control frames
-  // (RELOAD/SHUTDOWN) are only honored on a loopback bind unless the
-  // operator opts in explicitly.
-  const bool loopback = (ntohl(addr.sin_addr.s_addr) >> 24) == 127;
-  control_allowed_ =
-      cfg_.control_policy == ControlPolicy::kAllow ||
-      (cfg_.control_policy == ControlPolicy::kAuto && loopback);
-  if (!loopback && cfg_.control_policy == ControlPolicy::kAuto) {
-    HPCAP_INFO << "hpcapd: non-loopback bind " << cfg_.bind_address
-               << ": RELOAD/SHUTDOWN frames disabled"
-               << " (ControlPolicy::kAllow overrides)";
-  }
+  addr.sin_addr = bound;
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
           0 ||
       ::listen(listen_fd_, 64) != 0) {
@@ -204,6 +352,12 @@ void Server::start() {
   socklen_t len = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+
+  // EMFILE parachute: hold one spare descriptor so fd exhaustion can be
+  // answered by draining (accept + immediate close) the pending
+  // connection instead of spinning on a level-triggered readable
+  // listener that accept() can never satisfy.
+  if (reserve_fd_ < 0) reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 
   loop_.add_fd(listen_fd_, true, false,
                [this](bool readable, bool) {
@@ -218,6 +372,22 @@ void Server::accept_ready() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: close the reserve, accept the pending
+        // connection into the freed slot, close it (the peer sees a
+        // clean refusal instead of a hang), and re-arm the reserve.
+        ++stats_.accepts_rejected;
+        if (reserve_fd_ >= 0) {
+          ::close(reserve_fd_);
+          reserve_fd_ = -1;
+        }
+        const int victim = ::accept(listen_fd_, nullptr, nullptr);
+        if (victim >= 0) ::close(victim);
+        reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        HPCAP_WARN << "hpcapd: out of file descriptors; refused a pending "
+                      "connection";
+        return;
+      }
       HPCAP_WARN << "hpcapd: accept failed: " << std::strerror(errno);
       return;
     }
@@ -225,21 +395,98 @@ void Server::accept_ready() {
       ::close(fd);
       continue;
     }
-    set_nonblocking_cloexec(fd);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    if (cfg_.socket_sndbuf > 0)
-      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &cfg_.socket_sndbuf,
-                   sizeof cfg_.socket_sndbuf);
+    if (role_ == ShardRole::kHandoffLeader && group_->size() > 1) {
+      // Round-robin distribution; the leader keeps its own share.
+      const std::size_t target = next_shard_++ % group_->size();
+      if (target != shard_id_) {
+        ++stats_.handoffs;
+        ShardEnvelope env;
+        env.kind = ShardEnvelope::Kind::kAcceptedFd;
+        env.fd = fd;
+        group_->post(target, std::move(env));
+        continue;
+      }
+    }
+    adopt_fd(fd);
+  }
+}
 
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    conn->created = conn->last_activity = loop_.now();
-    conns_.emplace(fd, std::move(conn));
-    ++stats_.connections_accepted;
-    loop_.add_fd(fd, true, false, [this, fd](bool r, bool w) {
-      handle_io(fd, r, w);
-    });
+void Server::adopt_fd(int fd) {
+  if (draining_) {
+    ::close(fd);
+    return;
+  }
+  set_nonblocking_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (cfg_.socket_sndbuf > 0)
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &cfg_.socket_sndbuf,
+                 sizeof cfg_.socket_sndbuf);
+
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->created = conn->last_activity = loop_.now();
+  conns_.emplace(fd, std::move(conn));
+  ++stats_.connections_accepted;
+  loop_.add_fd(fd, true, false, [this, fd](bool r, bool w) {
+    handle_io(fd, r, w);
+  });
+}
+
+void Server::drain_mailbox() {
+  for (ShardEnvelope& env : group_->take_mail(shard_id_)) {
+    switch (env.kind) {
+      case ShardEnvelope::Kind::kAcceptedFd:
+        adopt_fd(env.fd);  // closes it itself when draining
+        break;
+      case ShardEnvelope::Kind::kEvictToken: {
+        // A resume landed on another reactor while this one still holds
+        // the live connection; park the session so the claimant can pick
+        // it up from the directory.
+        int victim = -1;
+        for (auto& [fd, conn] : conns_) {
+          if (conn->session && conn->session->token == env.token) {
+            victim = fd;
+            break;
+          }
+        }
+        if (victim >= 0)
+          close_connection(victim, "superseded by session resume");
+        break;
+      }
+      case ShardEnvelope::Kind::kFleetDecisions: {
+        Connection* c = nullptr;
+        for (auto& [fd, conn] : conns_) {
+          if (conn->session && conn->session->token == env.token) {
+            c = conn.get();
+            break;
+          }
+        }
+        if (c != nullptr && !c->doomed) {
+          deliver_fleet_local(*c, env.decisions);
+        } else {
+          // Parked (or evicted) since the fan-out snapshot: record into
+          // the lingering ring so a resume still replays these windows.
+          std::lock_guard<std::mutex> lock(group_->mu);
+          const auto it = group_->dir->lingering.find(env.token);
+          if (it != group_->dir->lingering.end()) {
+            SessionState& s = *it->second;
+            for (const DecisionFrame& d : env.decisions) {
+              s.replay.push_back(d);
+              if (s.replay.size() > cfg_.decision_replay) {
+                s.replay.pop_front();
+                ++s.replay_first_window;
+              }
+              s.window_index = d.window_index + 1;
+            }
+          }
+        }
+        break;
+      }
+      case ShardEnvelope::Kind::kBeginShutdown:
+        begin_shutdown();
+        break;
+    }
   }
 }
 
@@ -322,6 +569,9 @@ void Server::handle_frame(Connection& c, const FrameRef& frame) {
     case FrameType::kSampleBatch:
       handle_batch(c, frame.payload, frame.version);
       return;
+    case FrameType::kAggregate:
+      handle_aggregate(c, frame.payload, frame.version);
+      return;
     case FrameType::kStats: {
       PayloadReader r(frame.payload);
       r.expect_done("STATS request");
@@ -345,6 +595,248 @@ void Server::handle_frame(Connection& c, const FrameRef& frame) {
       throw ProtocolError("wire protocol: ACK frame from agent");
   }
   throw ProtocolError("wire protocol: unhandled frame type");
+}
+
+// Attaches a claimed session to `c`, replies with the right handshake
+// frame (HELLO_ACK or SUBSCRIBE_REPLY), and starts replay.
+void Server::attach_resumed(Connection& c, std::unique_ptr<SessionState> s,
+                            std::uint32_t resume_from, std::uint8_t version) {
+  c.session = std::move(s);
+  SessionState& session = *c.session;
+  c.state = Connection::State::kStreaming;
+  c.replaying = resume_from < session.window_index;
+  c.replay_next = resume_from;
+  ++stats_.sessions_resumed;
+  auto buf = take_spare(c);
+  if (session.aggregate) {
+    AggregateSubscribeReply rep;
+    rep.accepted = true;
+    rep.message = "subscription resumed";
+    rep.model_version = session.model_version;
+    {
+      std::lock_guard<std::mutex> lock(group_->mu);
+      if (group_->dir->aggregator)
+        rep.num_synopses = group_->dir->aggregator->num_synopses();
+    }
+    rep.session_token = session.token;
+    rep.last_applied_seq = session.last_applied_seq;
+    rep.resumed = true;
+    encode_aggregate_subscribe_reply_into(rep, buf, version);
+    enqueue(c, FrameType::kAggregate, std::move(buf));
+  } else {
+    HelloReply rep;
+    rep.accepted = true;
+    rep.num_tiers = static_cast<std::uint16_t>(cfg_.num_tiers);
+    rep.window = session.window;
+    rep.model_version = session.model_version;
+    rep.message = "session resumed";
+    rep.dims.assign(static_cast<std::size_t>(cfg_.num_tiers),
+                    static_cast<std::uint16_t>(session.dim));
+    rep.session_token = session.token;
+    rep.last_applied_seq = session.last_applied_seq;
+    rep.resumed = true;
+    encode_hello_reply_into(rep, buf, version);
+    enqueue(c, FrameType::kHello, std::move(buf));
+  }
+  HPCAP_INFO << "hpcapd: agent '" << session.agent << "' resumed "
+             << (session.aggregate ? "aggregate " : "") << "session (seq "
+             << session.last_applied_seq << ", replay from window "
+             << resume_from << " of " << session.window_index << ")";
+}
+
+// One resume claim attempt against the shard group. Returns true when
+// the session was claimed and attached. Returns false otherwise: with
+// `defer` set, the session is live on another reactor and an eviction +
+// retry is in flight (no reply yet); with `defer` clear, the resume is
+// rejected for good. Exactly one of `hello` / `agg` describes the ask.
+bool Server::try_claim_resume(Connection& c, const HelloRequest& req,
+                              const AggregateSubscribe* agg,
+                              std::uint8_t version, bool& defer) {
+  defer = false;
+  const std::uint64_t token = agg ? agg->resume_token : req.resume_token;
+  const std::uint32_t resume_from =
+      agg ? agg->resume_from_window : req.resume_from_window;
+
+  // The token may still be attached to a connection on THIS reactor that
+  // the daemon hasn't noticed is dead (the client can observe a fault
+  // and reconnect before the stale socket reports EOF). The client
+  // proved ownership by presenting the token, so steal the session:
+  // closing the stale connection parks it for the claim below.
+  for (const auto& [stale_fd, stale] : conns_) {
+    if (stale.get() != &c && stale->session &&
+        stale->session->token == token) {
+      close_connection(stale_fd, "superseded by session resume");
+      break;
+    }
+  }
+
+  std::unique_ptr<SessionState> claimed;
+  const char* why = nullptr;
+  bool live_elsewhere = false;
+  {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    auto& dir = *group_->dir;
+    const auto it = dir.lingering.find(token);
+    if (it != dir.lingering.end()) {
+      SessionState& s = *it->second;
+      if (agg != nullptr) {
+        if (!s.aggregate)
+          why = "resume token names a sampling session, not a subscription";
+        else if (s.coverage != agg->synopses)
+          why = "resume coverage does not match the original subscription";
+      } else {
+        if (s.aggregate)
+          why = "resume token names a subscription, not a sampling session";
+        else if (s.level != req.level || s.window != req.window ||
+                 req.num_tiers != cfg_.num_tiers)
+          why = "resume parameters do not match the original session";
+      }
+      if (why == nullptr &&
+          (resume_from < s.replay_first_window ||
+           resume_from > s.window_index))
+        why = "resume point outside the retained decision window";
+      if (why == nullptr) {
+        claimed = std::move(it->second);
+        dir.lingering.erase(it);
+        dir.live[token] = shard_id_;
+      }
+    } else {
+      const auto lv = dir.live.find(token);
+      if (lv != dir.live.end() && lv->second != shard_id_)
+        live_elsewhere = true;
+      else
+        why = "unknown or expired resume token";
+    }
+  }
+
+  if (claimed) {
+    attach_resumed(c, std::move(claimed), resume_from, version);
+    return true;
+  }
+  if (live_elsewhere) {
+    // Evict the live connection on its owning reactor, then retry the
+    // claim on a short timer until the parked session appears (or the
+    // defer budget runs out and the resume is rejected).
+    std::size_t target = 0;
+    {
+      std::lock_guard<std::mutex> lock(group_->mu);
+      const auto lv = group_->dir->live.find(token);
+      if (lv == group_->dir->live.end()) {
+        // Parked between the two locks; retry immediately via the timer.
+        target = shard_id_;
+      } else {
+        target = lv->second;
+      }
+    }
+    if (target != shard_id_) {
+      ShardEnvelope env;
+      env.kind = ShardEnvelope::Kind::kEvictToken;
+      env.token = token;
+      group_->post(target, std::move(env));
+    }
+    PendingResume pending;
+    pending.fd = c.fd;
+    pending.version = version;
+    pending.hello = req;
+    if (agg != nullptr) pending.agg = *agg;
+    pending.deadline =
+        loop_.now() + std::min(kResumeDeferCap, cfg_.handshake_timeout);
+    pending_resumes_.push_back(std::move(pending));
+    if (resume_timer_ == 0) {
+      resume_timer_ = loop_.add_timer(kResumeRetryPeriod,
+                                      [this] { retry_pending_resumes(); });
+    }
+    defer = true;
+    return false;
+  }
+  (void)why;
+  return false;
+}
+
+void Server::retry_pending_resumes() {
+  resume_timer_ = 0;
+  std::vector<PendingResume> keep;
+  for (PendingResume& p : pending_resumes_) {
+    const auto it = conns_.find(p.fd);
+    if (it == conns_.end() || it->second->doomed) continue;  // peer gone
+    Connection& c = *it->second;
+
+    const std::uint64_t token =
+        p.agg ? p.agg->resume_token : p.hello.resume_token;
+    const std::uint32_t resume_from =
+        p.agg ? p.agg->resume_from_window : p.hello.resume_from_window;
+
+    bool still_live = false;
+    std::unique_ptr<SessionState> claimed;
+    const char* why = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(group_->mu);
+      auto& dir = *group_->dir;
+      const auto li = dir.lingering.find(token);
+      if (li != dir.lingering.end()) {
+        SessionState& s = *li->second;
+        if (p.agg) {
+          if (!s.aggregate || s.coverage != p.agg->synopses)
+            why = "resume parameters do not match the original session";
+        } else if (s.aggregate || s.level != p.hello.level ||
+                   s.window != p.hello.window ||
+                   p.hello.num_tiers != cfg_.num_tiers) {
+          why = "resume parameters do not match the original session";
+        }
+        if (why == nullptr && (resume_from < s.replay_first_window ||
+                               resume_from > s.window_index))
+          why = "resume point outside the retained decision window";
+        if (why == nullptr) {
+          claimed = std::move(li->second);
+          dir.lingering.erase(li);
+          dir.live[token] = shard_id_;
+        }
+      } else if (dir.live.count(token) != 0) {
+        still_live = true;  // eviction still in flight
+      } else {
+        why = "unknown or expired resume token";
+      }
+    }
+
+    if (claimed) {
+      ++stats_.cross_shard_resumes;
+      attach_resumed(c, std::move(claimed), resume_from, p.version);
+      flush_writes(c);
+      if (c.doomed) close_connection(p.fd, c.doom_reason);
+      continue;
+    }
+    if (still_live && loop_.now() < p.deadline) {
+      keep.push_back(std::move(p));
+      continue;
+    }
+    // Rejected: expired mid-eviction, mismatched ask, or defer timeout.
+    ++stats_.resume_rejected;
+    c.close_after_flush = true;
+    auto buf = take_spare(c);
+    if (p.agg) {
+      AggregateSubscribeReply rep;
+      rep.accepted = false;
+      rep.message = why != nullptr ? why : "resume eviction timed out";
+      rep.model_version = source_.version();
+      encode_aggregate_subscribe_reply_into(rep, buf, p.version);
+      enqueue(c, FrameType::kAggregate, std::move(buf));
+    } else {
+      HelloReply rep;
+      rep.accepted = false;
+      rep.message = why != nullptr ? why : "resume eviction timed out";
+      rep.num_tiers = static_cast<std::uint16_t>(cfg_.num_tiers);
+      rep.model_version = source_.version();
+      encode_hello_reply_into(rep, buf, p.version);
+      enqueue(c, FrameType::kHello, std::move(buf));
+    }
+    flush_writes(c);
+    if (c.doomed) close_connection(p.fd, c.doom_reason);
+  }
+  pending_resumes_ = std::move(keep);
+  if (!pending_resumes_.empty() && resume_timer_ == 0 && !draining_) {
+    resume_timer_ = loop_.add_timer(kResumeRetryPeriod,
+                                    [this] { retry_pending_resumes(); });
+  }
 }
 
 void Server::handle_hello(Connection& c, const HelloRequest& req,
@@ -371,65 +863,33 @@ void Server::handle_hello(Connection& c, const HelloRequest& req,
   }
 
   if (version >= 2 && req.resume_token != 0) {
-    // Resume: reattach a lingering session instead of building one.
-    // The token may still be attached to a connection the daemon hasn't
-    // noticed is dead (the client can observe a fault and reconnect
-    // before the stale socket reports EOF here). The client proved
-    // ownership by presenting the token, so steal the session: closing
-    // the stale connection parks it into lingering_ for the lookup
-    // below.
-    if (lingering_.count(req.resume_token) == 0) {
-      for (const auto& [stale_fd, stale] : conns_) {
-        if (stale.get() != &c && stale->session &&
-            stale->session->token == req.resume_token) {
-          close_connection(stale_fd, "superseded by session resume");
-          break;
-        }
+    bool defer = false;
+    if (try_claim_resume(c, req, nullptr, version, defer)) return;
+    if (defer) return;  // reply comes from retry_pending_resumes
+    ++stats_.resume_rejected;
+    // try_claim_resume's reject reasons collapse to the observable
+    // classes the protocol promises; recompute the message under the
+    // directory lock, then reply with it released (the enqueue-free-of-mu
+    // invariant).
+    const char* why = "unknown or expired resume token";
+    {
+      std::lock_guard<std::mutex> lock(group_->mu);
+      const auto it = group_->dir->lingering.find(req.resume_token);
+      if (it != group_->dir->lingering.end()) {
+        if (it->second->aggregate || it->second->level != req.level ||
+            it->second->window != req.window ||
+            req.num_tiers != cfg_.num_tiers)
+          why = "resume parameters do not match the original session";
+        else
+          why = "resume point outside the retained decision window";
       }
     }
-    const auto it = lingering_.find(req.resume_token);
-    const char* why = nullptr;
-    if (it == lingering_.end()) {
-      why = "unknown or expired resume token";
-    } else if (it->second->level != req.level ||
-               it->second->window != req.window ||
-               req.num_tiers != cfg_.num_tiers) {
-      why = "resume parameters do not match the original session";
-    } else if (req.resume_from_window < it->second->replay_first_window ||
-               req.resume_from_window > it->second->window_index) {
-      why = "resume point outside the retained decision window";
-    }
-    if (why != nullptr) {
-      ++stats_.resume_rejected;
-      send_reject(why);
-      return;
-    }
-    c.session = std::move(it->second);
-    lingering_.erase(it);
-    Session& s = *c.session;
-    c.state = Connection::State::kStreaming;
-    c.replaying = req.resume_from_window < s.window_index;
-    c.replay_next = req.resume_from_window;
-    ++stats_.sessions_resumed;
-    rep.accepted = true;
-    rep.window = s.window;
-    rep.model_version = s.model_version;
-    rep.message = "session resumed";
-    rep.dims.assign(tiers, static_cast<std::uint16_t>(s.dim));
-    rep.session_token = s.token;
-    rep.last_applied_seq = s.last_applied_seq;
-    rep.resumed = true;
-    auto buf = take_spare(c);
-    encode_hello_reply_into(rep, buf, version);
-    enqueue(c, FrameType::kHello, std::move(buf));
-    HPCAP_INFO << "hpcapd: agent '" << s.agent << "' resumed session (seq "
-               << s.last_applied_seq << ", replay from window "
-               << req.resume_from_window << " of " << s.window_index << ")";
+    send_reject(why);
     return;
   }
 
   const std::size_t dim = level_dim(req.level);
-  auto session = std::make_unique<Session>();
+  auto session = std::make_unique<SessionState>();
   std::string why;
   if (dim == 0) {
     why = "unknown metric level '" + req.level + "'";
@@ -452,9 +912,9 @@ void Server::handle_hello(Connection& c, const HelloRequest& req,
     return;
   }
 
-  Session& s = *session;
+  SessionState& s = *session;
   s.version = version;
-  s.token = version >= 2 ? next_token() : 0;
+  s.token = version >= 2 ? group_->next_token() : 0;
   s.agent = req.agent;
   s.level = req.level;
   s.window = req.window;
@@ -471,6 +931,17 @@ void Server::handle_hello(Connection& c, const HelloRequest& req,
   s.block.assign(kObserveBlock * tiers * dim, 0.0);
   s.block_valid.assign(kObserveBlock * tiers, 0);
   s.block_out.resize(kObserveBlock);
+  if (uplink_ != nullptr) {
+    const std::size_t m = s.monitor->synopses().size();
+    s.votes_out.assign(kObserveBlock * m, 0);
+    s.votes_valid.assign(kObserveBlock * m, 0);
+    s.uplink_votes.assign(uplink_->coverage().size(), 0);
+    s.uplink_valid.assign(uplink_->coverage().size(), 0);
+  }
+  if (s.token != 0) {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    group_->dir->live[s.token] = shard_id_;
+  }
   c.session = std::move(session);
   c.state = Connection::State::kStreaming;
 
@@ -496,7 +967,10 @@ void Server::handle_batch(Connection& c,
                           std::uint8_t version) {
   if (c.state != Connection::State::kStreaming)
     throw ProtocolError("wire protocol: SAMPLE_BATCH before HELLO");
-  Session& s = *c.session;
+  SessionState& s = *c.session;
+  if (s.aggregate)
+    throw ProtocolError(
+        "wire protocol: SAMPLE_BATCH on an aggregate session");
   if (version != s.version)
     throw ProtocolError("wire protocol: SAMPLE_BATCH version mismatch");
   const SampleBatchView batch =
@@ -578,17 +1052,271 @@ void Server::handle_batch(Connection& c,
   }
 }
 
+void Server::handle_aggregate(Connection& c,
+                              std::span<const std::uint8_t> payload,
+                              std::uint8_t version) {
+  if (version < 2)
+    throw ProtocolError("wire protocol: AGGREGATE frames require v2");
+  switch (peek_aggregate_kind(payload)) {
+    case AggregateKind::kSubscribe:
+      handle_agg_subscribe(c, decode_aggregate_subscribe(payload), version);
+      return;
+    case AggregateKind::kVotes:
+      handle_agg_votes(c, decode_aggregate_batch(payload));
+      return;
+    case AggregateKind::kSubscribeReply:
+      throw ProtocolError("wire protocol: SUBSCRIBE_REPLY from agent");
+  }
+  throw ProtocolError("wire protocol: unhandled AGGREGATE kind");
+}
+
+void Server::handle_agg_subscribe(Connection& c,
+                                  const AggregateSubscribe& req,
+                                  std::uint8_t version) {
+  ++stats_.agg_subscribes;
+  AggregateSubscribeReply rep;
+  rep.model_version = source_.version();
+
+  const auto send_reject = [&](const std::string& message) {
+    ++stats_.hellos_rejected;
+    rep.accepted = false;
+    rep.message = message;
+    c.close_after_flush = true;
+    auto buf = take_spare(c);
+    encode_aggregate_subscribe_reply_into(rep, buf, version);
+    enqueue(c, FrameType::kAggregate, std::move(buf));
+  };
+
+  if (c.state != Connection::State::kAwaitHello) {
+    send_reject("duplicate handshake");
+    return;
+  }
+
+  if (req.resume_token != 0) {
+    HelloRequest unused;
+    bool defer = false;
+    if (try_claim_resume(c, unused, &req, version, defer)) return;
+    if (defer) return;  // reply comes from retry_pending_resumes
+    ++stats_.resume_rejected;
+    send_reject("unknown or expired resume token");
+    return;
+  }
+
+  const std::uint64_t token = group_->next_token();
+  {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    auto& dir = *group_->dir;
+    if (!dir.aggregator) {
+      FleetAggregator::Options aopts;
+      aopts.fanin = cfg_.agg_fanin;
+      try {
+        dir.aggregator =
+            std::make_unique<FleetAggregator>(source_, aopts);
+      } catch (const std::exception& e) {
+        send_reject(std::string("fleet model instantiation failed: ") +
+                    e.what());
+        return;
+      }
+    }
+    try {
+      dir.aggregator->subscribe(token, req.synopses);
+    } catch (const std::exception& e) {
+      send_reject(e.what());
+      return;
+    }
+    rep.num_synopses = dir.aggregator->num_synopses();
+    rep.model_version = dir.aggregator->model_version();
+    dir.live[token] = shard_id_;
+  }
+
+  auto session = std::make_unique<SessionState>();
+  SessionState& s = *session;
+  s.aggregate = true;
+  s.version = version;
+  s.token = token;
+  s.agent = req.leaf;
+  s.coverage = req.synopses;
+  s.model_version = rep.model_version;
+  c.session = std::move(session);
+  c.state = Connection::State::kStreaming;
+
+  rep.accepted = true;
+  rep.message = "fleet subscription accepted";
+  rep.session_token = token;
+  rep.last_applied_seq = 0;
+  rep.resumed = false;
+  auto buf = take_spare(c);
+  encode_aggregate_subscribe_reply_into(rep, buf, version);
+  enqueue(c, FrameType::kAggregate, std::move(buf));
+  HPCAP_INFO << "hpcapd: leaf '" << s.agent << "' subscribed ("
+             << s.coverage.size() << " of " << rep.num_synopses
+             << " synopses)";
+}
+
+void Server::handle_agg_votes(Connection& c, const AggregateBatch& batch) {
+  if (c.state != Connection::State::kStreaming || !c.session ||
+      !c.session->aggregate)
+    throw ProtocolError("wire protocol: VOTES before SUBSCRIBE");
+  SessionState& s = *c.session;
+
+  if (batch.agg_seq == 0)
+    throw ProtocolError("wire protocol: zero aggregate sequence");
+  if (batch.agg_seq <= s.last_applied_seq) {
+    ++stats_.batches_deduped;
+    enqueue_ack(c);
+    return;
+  }
+  if (batch.agg_seq != s.last_applied_seq + 1)
+    throw ProtocolError("wire protocol: aggregate sequence gap: expected " +
+                        std::to_string(s.last_applied_seq + 1) + ", got " +
+                        std::to_string(batch.agg_seq));
+
+  // Structural pre-validation (whole-batch semantics, as handle_batch):
+  // every window must carry exactly the subscribed coverage width.
+  for (const AggregateWindow& w : batch.windows) {
+    if (w.votes.size() != s.coverage.size() ||
+        w.valid.size() != s.coverage.size())
+      throw ProtocolError("wire protocol: VOTES width mismatch");
+  }
+
+  std::vector<DecisionFrame> decided;
+  {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    if (!group_->dir->aggregator)
+      throw ProtocolError("wire protocol: VOTES with no fleet aggregator");
+    try {
+      decided = group_->dir->aggregator->apply(s.token, batch.windows);
+    } catch (const std::exception& e) {
+      throw ProtocolError(std::string("fleet merge refused the batch: ") +
+                          e.what());
+    }
+  }
+  stats_.agg_windows_in += batch.windows.size();
+  s.last_applied_seq = batch.agg_seq;
+  enqueue_ack(c);
+  if (!decided.empty()) {
+    stats_.fleet_decisions += decided.size();
+    fan_out_fleet(std::move(decided));
+  }
+}
+
+// Streams freshly decided fleet windows to every subscriber session:
+// sessions on this reactor inline, sessions on other reactors by mail,
+// lingering sessions straight into their replay rings. Called with
+// group.mu NOT held.
+void Server::fan_out_fleet(std::vector<DecisionFrame> decided) {
+  struct Remote {
+    std::size_t shard;
+    std::uint64_t token;
+  };
+  std::vector<std::uint64_t> local;
+  std::vector<Remote> remote;
+  {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    auto& dir = *group_->dir;
+    if (!dir.aggregator) return;
+    for (const std::uint64_t token : dir.aggregator->subscriber_tokens()) {
+      const auto lv = dir.live.find(token);
+      if (lv != dir.live.end()) {
+        if (lv->second == shard_id_)
+          local.push_back(token);
+        else
+          remote.push_back({lv->second, token});
+        continue;
+      }
+      const auto li = dir.lingering.find(token);
+      if (li == dir.lingering.end()) continue;
+      SessionState& s = *li->second;
+      for (const DecisionFrame& d : decided) {
+        s.replay.push_back(d);
+        if (s.replay.size() > cfg_.decision_replay) {
+          s.replay.pop_front();
+          ++s.replay_first_window;
+        }
+        s.window_index = d.window_index + 1;
+      }
+    }
+  }
+  for (const Remote& r : remote) {
+    ShardEnvelope env;
+    env.kind = ShardEnvelope::Kind::kFleetDecisions;
+    env.token = r.token;
+    env.decisions = decided;
+    group_->post(r.shard, std::move(env));
+  }
+  for (const std::uint64_t token : local) {
+    Connection* c = nullptr;
+    for (auto& [fd, conn] : conns_) {
+      if (conn->session && conn->session->token == token) {
+        c = conn.get();
+        break;
+      }
+    }
+    if (c != nullptr && !c->doomed) deliver_fleet_local(*c, decided);
+  }
+}
+
+// hpcap-lint: hot-path
+void Server::deliver_fleet_local(Connection& c,
+                                 std::span<const DecisionFrame> decided) {
+  SessionState& s = *c.session;
+  for (const DecisionFrame& frame : decided) {
+    // hpcap-lint: allow(hot-path-alloc)
+    s.replay.push_back(frame);
+    if (s.replay.size() > cfg_.decision_replay) {
+      s.replay.pop_front();
+      ++s.replay_first_window;
+    }
+    s.window_index = frame.window_index + 1;
+    if (!c.replaying) {
+      auto buf = take_spare(c);
+      encode_decision_into(frame, buf, s.version);
+      enqueue(c, FrameType::kDecision, std::move(buf));
+    }
+  }
+  flush_writes(c);
+}
+
+// Permanent retirement of a tokened session (linger expiry, non-resumable
+// close, eviction of the linger cap's oldest). Aggregate sessions leave
+// the fleet: their coverage unsubscribes and any windows that were
+// waiting on them decide degraded and fan out.
+void Server::retire_session(SessionState& s) {
+  if (!s.aggregate) return;
+  std::vector<DecisionFrame> decided;
+  {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    if (!group_->dir->aggregator) return;
+    decided = group_->dir->aggregator->unsubscribe(s.token);
+  }
+  if (!decided.empty()) {
+    stats_.fleet_decisions += decided.size();
+    fan_out_fleet(std::move(decided));
+  }
+}
+
 // hpcap-lint: hot-path
 void Server::flush_decisions(Connection& c) {
-  Session& s = *c.session;
+  SessionState& s = *c.session;
   const std::size_t W = s.block_windows;
   if (W == 0) return;
   s.block_windows = 0;
   const core::WindowBlock block{s.block.data(), W,
                                 static_cast<std::size_t>(cfg_.num_tiers),
                                 s.dim};
-  s.monitor->predict_masked_many(block, s.block_valid.data(),
-                                 std::span(s.block_out.data(), W));
+  // Leaf mode additionally exports the per-window GPV for the uplink;
+  // the decisions themselves are bit-identical either way.
+  const bool export_votes =
+      uplink_ != nullptr && s.version >= 2 && !s.votes_out.empty();
+  const std::size_t m = export_votes ? s.monitor->synopses().size() : 0;
+  if (export_votes) {
+    s.monitor->predict_masked_many(block, s.block_valid.data(),
+                                   std::span(s.block_out.data(), W),
+                                   s.votes_out.data(), s.votes_valid.data());
+  } else {
+    s.monitor->predict_masked_many(block, s.block_valid.data(),
+                                   std::span(s.block_out.data(), W));
+  }
   stats_.windows += W;
   stats_.decisions += W;
   for (std::size_t w = 0; w < W; ++w) {
@@ -601,6 +1329,20 @@ void Server::flush_decisions(Connection& c) {
     frame.hc = d.hc;
     frame.bottleneck_tier = d.bottleneck_tier;
     frame.staleness = d.staleness;
+    if (export_votes) {
+      // Slice this window's full-width GPV down to the uplink's coverage
+      // order; a covered index the local model lacks stays abstaining.
+      const auto& cov = uplink_->coverage();
+      for (std::size_t i = 0; i < cov.size(); ++i) {
+        const std::size_t g = cov[i];
+        const bool have = g < m;
+        s.uplink_votes[i] = have ? s.votes_out[w * m + g] : 0;
+        s.uplink_valid[i] = have ? s.votes_valid[w * m + g] : 0;
+      }
+      uplink_->offer(s.token, frame.window_index,
+                     std::span(s.uplink_votes.data(), cov.size()),
+                     std::span(s.uplink_valid.data(), cov.size()));
+    }
     if (s.version >= 2) {
       // Retain for resume replay. The ring is bounded by decision_replay
       // (the pop below) and DecisionFrame is trivially copyable, so the
@@ -623,7 +1365,7 @@ void Server::flush_decisions(Connection& c) {
 
 void Server::enqueue_ack(Connection& c) {
   if (c.doomed) return;
-  Session& s = *c.session;
+  SessionState& s = *c.session;
   AckFrame ack;
   ack.last_applied_seq = s.last_applied_seq;
   ack.next_window = s.window_index;
@@ -643,7 +1385,7 @@ void Server::enqueue_ack(Connection& c) {
 
 void Server::feed_replay(Connection& c) {
   if (!c.replaying || c.doomed) return;
-  Session& s = *c.session;
+  SessionState& s = *c.session;
   const std::size_t watermark =
       std::max<std::size_t>(cfg_.max_write_queue / 2, 1);
   while (c.write_queue.size() < watermark) {
@@ -674,9 +1416,14 @@ StatsReply Server::build_stats() const {
       {"protocol_version", kProtocolVersion},
       {"model_version", source_.version()},
       {"num_tiers", static_cast<std::uint64_t>(cfg_.num_tiers)},
-      {"connections_active", conns_.size()},
+      {"reactors", static_cast<std::uint64_t>(group_->size())},
+      // Fleet-wide (stats are shared across reactors); the per-shard
+      // conns_ map would undercount a sharded daemon.
+      {"connections_active",
+       stats_.connections_accepted - stats_.connections_closed},
       {"connections_accepted", stats_.connections_accepted},
       {"connections_closed", stats_.connections_closed},
+      {"accepts_rejected", stats_.accepts_rejected},
       {"timeouts", stats_.timeouts},
       {"frames_in", stats_.frames_in},
       {"frames_out", stats_.frames_out},
@@ -695,12 +1442,17 @@ StatsReply Server::build_stats() const {
       {"control_rejected", stats_.control_rejected},
       {"reloads", stats_.reloads},
       {"reload_failures", stats_.reload_failures},
-      {"sessions_lingering", lingering_.size()},
+      {"sessions_lingering", lingering_sessions()},
       {"sessions_detached", stats_.sessions_detached},
       {"sessions_resumed", stats_.sessions_resumed},
       {"sessions_expired", stats_.sessions_expired},
       {"resume_rejected", stats_.resume_rejected},
       {"batches_deduped", stats_.batches_deduped},
+      {"handoffs", stats_.handoffs},
+      {"cross_shard_resumes", stats_.cross_shard_resumes},
+      {"agg_subscribes", stats_.agg_subscribes},
+      {"agg_windows_in", stats_.agg_windows_in},
+      {"fleet_decisions", stats_.fleet_decisions},
   };
   return rep;
 }
@@ -774,10 +1526,25 @@ void Server::handle_shutdown(Connection& c, std::uint8_t version) {
 void Server::begin_shutdown() {
   if (draining_) return;
   draining_ = true;
+  // The whole daemon drains, not one reactor: broadcast before the local
+  // teardown so sibling loops wake and start their own. Re-entry (the
+  // echo of our own broadcast) stops at the draining_ gate above.
+  for (std::size_t i = 0; i < group_->size(); ++i) {
+    if (i == shard_id_) continue;
+    ShardEnvelope env;
+    env.kind = ShardEnvelope::Kind::kBeginShutdown;
+    group_->post(i, std::move(env));
+  }
   HPCAP_INFO << "hpcapd: shutting down (" << conns_.size()
              << " connections to drain)";
   // Lingering sessions have nothing left to resume against.
-  lingering_.clear();
+  {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    group_->dir->lingering.clear();
+  }
+  pending_resumes_.clear();
+  loop_.cancel_timer(resume_timer_);
+  resume_timer_ = 0;
   if (listen_fd_ >= 0) {
     loop_.remove_fd(listen_fd_);
     ::close(listen_fd_);
@@ -946,44 +1713,58 @@ void Server::doom(Connection& c, const char* why) {
   c.write_queue.clear();
 }
 
-std::uint64_t Server::next_token() {
-  std::uint64_t token = 0;
-  while (token == 0 || lingering_.count(token) != 0)
-    token = splitmix64(token_state_);
-  return token;
-}
-
 void Server::close_connection(int fd, const char* why) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   Connection& c = *it->second;
   // Park resumable v2 sessions instead of destroying their stream state;
-  // the linger sweep (or a resuming client) decides their fate.
+  // the linger sweep (or a resuming client, on any reactor) decides
+  // their fate.
+  std::unique_ptr<SessionState> evicted;  // linger-cap victim
+  std::unique_ptr<SessionState> retired;  // permanently closed session
   if (c.session && c.session->version >= 2 && c.session->token != 0 &&
       cfg_.session_linger > 0 && !draining_) {
-    Session& s = *c.session;
+    SessionState& s = *c.session;
     s.detached_at = loop_.now();
     ++stats_.sessions_detached;
-    if (lingering_.size() >= cfg_.max_lingering) {
-      auto oldest = lingering_.begin();
-      for (auto li = lingering_.begin(); li != lingering_.end(); ++li)
-        if (li->second->detached_at < oldest->second->detached_at)
-          oldest = li;
-      ++stats_.sessions_expired;
-      HPCAP_WARN << "hpcapd: lingering-session cap reached; expiring agent '"
-                 << oldest->second->agent << "' early";
-      lingering_.erase(oldest);
+    {
+      std::lock_guard<std::mutex> lock(group_->mu);
+      auto& dir = *group_->dir;
+      if (dir.lingering.size() >= cfg_.max_lingering) {
+        auto oldest = dir.lingering.begin();
+        for (auto li = dir.lingering.begin(); li != dir.lingering.end(); ++li)
+          if (li->second->detached_at < oldest->second->detached_at)
+            oldest = li;
+        ++stats_.sessions_expired;
+        HPCAP_WARN << "hpcapd: lingering-session cap reached; expiring "
+                      "agent '"
+                   << oldest->second->agent << "' early";
+        evicted = std::move(oldest->second);
+        dir.lingering.erase(oldest);
+      }
+      dir.live.erase(s.token);
+      HPCAP_DEBUG << "hpcapd: parking session for agent '" << s.agent
+                  << "' (" << why << "), resumable for "
+                  << cfg_.session_linger << "s";
+      dir.lingering.emplace(s.token, std::move(it->second->session));
     }
-    HPCAP_DEBUG << "hpcapd: parking session for agent '" << s.agent
-                << "' (" << why << "), resumable for " << cfg_.session_linger
-                << "s";
-    lingering_.emplace(s.token, std::move(it->second->session));
+  } else if (c.session && c.session->token != 0) {
+    // Not resumable (v1 tokenless sessions never get here): the session
+    // leaves for good — deregister and retire below, outside the map
+    // erase so fan-out can still run.
+    {
+      std::lock_guard<std::mutex> lock(group_->mu);
+      group_->dir->live.erase(c.session->token);
+    }
+    retired = std::move(it->second->session);
   }
   HPCAP_DEBUG << "hpcapd: closing fd " << fd << " (" << why << ")";
   loop_.remove_fd(fd);
   ::close(fd);
   conns_.erase(it);
   ++stats_.connections_closed;
+  if (evicted) retire_session(*evicted);
+  if (retired) retire_session(*retired);
   if (draining_ && conns_.empty()) loop_.stop();
 }
 
@@ -1009,18 +1790,28 @@ void Server::sweep_deadlines() {
     close_connection(fd, "deadline expired");
   }
   // Reap lingering sessions nobody came back for: their aggregator and
-  // predictor state flushes and the resume token dies with them.
-  for (auto it = lingering_.begin(); it != lingering_.end();) {
-    if (now - it->second->detached_at > cfg_.session_linger) {
-      ++stats_.sessions_expired;
-      HPCAP_INFO << "hpcapd: session for agent '" << it->second->agent
-                 << "' expired unresumed (" << it->second->window_index
-                 << " windows decided, seq "
-                 << it->second->last_applied_seq << ")";
-      it = lingering_.erase(it);
-    } else {
-      ++it;
+  // predictor state flushes and the resume token dies with them. Shard 0
+  // sweeps the shared directory so an expiry happens exactly once.
+  if (shard_id_ != 0) return;
+  std::vector<std::unique_ptr<SessionState>> dead;
+  {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    auto& lingering = group_->dir->lingering;
+    for (auto it = lingering.begin(); it != lingering.end();) {
+      if (now - it->second->detached_at > cfg_.session_linger) {
+        dead.push_back(std::move(it->second));
+        it = lingering.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+  for (const auto& s : dead) {
+    ++stats_.sessions_expired;
+    HPCAP_INFO << "hpcapd: session for agent '" << s->agent
+               << "' expired unresumed (" << s->window_index
+               << " windows decided, seq " << s->last_applied_seq << ")";
+    retire_session(*s);
   }
 }
 
@@ -1042,6 +1833,28 @@ void on_hup(int) {
   if (EventLoop* loop = g_signal_loop.load()) loop->wake();
 }
 
+// Default leaf coverage: every synopsis of the local model, in order.
+std::vector<std::uint16_t> full_coverage(const core::MonitorSource& source) {
+  const std::size_t m = source.instantiate().synopses().size();
+  std::vector<std::uint16_t> cov(m);
+  for (std::size_t i = 0; i < m; ++i) cov[i] = static_cast<std::uint16_t>(i);
+  return cov;
+}
+
+std::unique_ptr<Uplink> make_uplink(const ServerConfig& cfg,
+                                    const core::MonitorSource& source) {
+  if (cfg.parent_host.empty()) return nullptr;
+  Uplink::Options uo;
+  uo.host = cfg.parent_host;
+  uo.port = cfg.parent_port;
+  uo.leaf = cfg.leaf_name;
+  uo.coverage =
+      cfg.agg_coverage.empty() ? full_coverage(source) : cfg.agg_coverage;
+  auto uplink = std::make_unique<Uplink>(std::move(uo));
+  uplink->start();
+  return uplink;
+}
+
 }  // namespace
 
 int run_daemon(const ServerConfig& cfg, const std::string& model_path,
@@ -1054,8 +1867,61 @@ int run_daemon(const ServerConfig& cfg, const std::string& model_path,
     }
   }();
 
+  if (cfg.reactors > 1) {
+    // Multi-reactor daemon: ShardedServer owns the loops and threads;
+    // signals land on shard 0's loop.
+    ShardedServer sharded(source, cfg);
+    std::unique_ptr<Uplink> uplink = make_uplink(cfg, source);
+    if (uplink) sharded.set_uplink(uplink.get());
+    if (install_signals) {
+      g_signal_loop.store(&sharded.loop(0));
+      std::signal(SIGINT, on_term);
+      std::signal(SIGTERM, on_term);
+      std::signal(SIGHUP, on_hup);
+      std::signal(SIGPIPE, SIG_IGN);
+      sharded.set_shard0_wake_hook([&sharded] {
+        if (g_got_hup) {
+          g_got_hup = 0;
+          sharded.shard(0).request_reload();
+        }
+        if (g_got_term) {
+          g_got_term = 0;
+          sharded.shard(0).begin_shutdown();
+        }
+      });
+    }
+    sharded.start();
+    std::printf(
+        "hpcapd listening on %s:%u (model v%u, protocol v%u, %zu "
+        "reactors)\n",
+        cfg.bind_address.c_str(), sharded.port(), source.version(),
+        kProtocolVersion, cfg.reactors);
+    std::fflush(stdout);
+    sharded.join();
+    if (uplink) uplink->stop();
+    if (install_signals) {
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      std::signal(SIGHUP, SIG_DFL);
+      g_signal_loop.store(nullptr);
+    }
+    const ServerStats& s = sharded.group().stats;
+    std::printf(
+        "hpcapd exiting: %llu decisions (%llu shed), %llu windows, "
+        "%llu connections, %llu resumes (%llu sessions expired)\n",
+        static_cast<unsigned long long>(s.decisions),
+        static_cast<unsigned long long>(s.decisions_shed),
+        static_cast<unsigned long long>(s.windows),
+        static_cast<unsigned long long>(s.connections_accepted),
+        static_cast<unsigned long long>(s.sessions_resumed),
+        static_cast<unsigned long long>(s.sessions_expired));
+    return 0;
+  }
+
   EventLoop loop;
   Server server(loop, source, cfg);
+  std::unique_ptr<Uplink> uplink = make_uplink(cfg, source);
+  if (uplink) server.set_uplink(uplink.get());
   server.start();
 
   if (install_signals) {
@@ -1081,6 +1947,7 @@ int run_daemon(const ServerConfig& cfg, const std::string& model_path,
               kProtocolVersion);
   std::fflush(stdout);
   loop.run();
+  if (uplink) uplink->stop();
 
   if (install_signals) {
     std::signal(SIGINT, SIG_DFL);
@@ -1088,7 +1955,7 @@ int run_daemon(const ServerConfig& cfg, const std::string& model_path,
     std::signal(SIGHUP, SIG_DFL);
     g_signal_loop.store(nullptr);
   }
-  const auto& s = server.stats();
+  const ServerStats& s = server.stats();
   std::printf(
       "hpcapd exiting: %llu decisions (%llu shed), %llu windows, "
       "%llu connections, %llu resumes (%llu sessions expired)\n",

@@ -1,20 +1,20 @@
 // hpcapd — the streaming capacity-monitoring daemon.
 //
-// One poll()-based event-loop thread serves every agent connection. A
-// connection carries one monitored sample stream: the agent HELLOs with
-// its metric level, tier count and window size, then pushes per-tier 1 Hz
-// slots in SAMPLE_BATCH frames. The session feeds each slot through a
-// per-tier counters::InstanceAggregator (gap-aware 30 s windowing), gates
-// every closed window row through core::RowValidator, and hands the rows
-// and validity mask to its own CapacityMonitor — exactly the in-process
+// One event-loop thread serves a set of agent connections. A connection
+// carries one monitored sample stream: the agent HELLOs with its metric
+// level, tier count and window size, then pushes per-tier 1 Hz slots in
+// SAMPLE_BATCH frames. The session feeds each slot through a per-tier
+// counters::InstanceAggregator (gap-aware 30 s windowing), gates every
+// closed window row through core::RowValidator, and hands the rows and
+// validity mask to its own CapacityMonitor — exactly the in-process
 // degraded-mode pipeline, behind a socket. Each DECISION produced streams
 // straight back to the agent.
 //
 // Sessions and connections are distinct objects: the Connection is the
-// socket (deadlines, assembler, write queue) and the Session is the
+// socket (deadlines, assembler, write queue) and the SessionState is the
 // stream state (aggregators, validator, monitor, sequence bookkeeping).
 // On a v2 connection the session survives its socket — when the peer
-// vanishes, the session detaches into a linger map for
+// vanishes, the session detaches into a linger directory for
 // cfg.session_linger seconds, and a client reconnecting with the resume
 // token from HELLO_ACK reattaches it: the daemon reports its
 // last-applied batch sequence, dedups any batches the client replays,
@@ -23,6 +23,31 @@
 // across any disconnect/reconnect schedule is bit-identical to a run
 // with no failures. Sessions nobody reclaims are expired by the sweep
 // (`sessions_expired` in STATS).
+//
+// Sharding (ISSUE 8): a daemon may run N reactors, each a private
+// EventLoop + Server on its own thread. A connection is owned by exactly
+// one reactor for its whole life — every byte of its socket and every
+// field of its attached session is touched only from that reactor's loop
+// thread, so the per-connection fast path takes no locks. The shared
+// spine is the ShardGroup: fleet-wide atomic stats, the linger directory
+// (mutex-guarded — resumes may land on any reactor), a live token->shard
+// registry, and one mailbox per shard drained via the loop's wake()
+// self-pipe. Accepted sockets are distributed either by kernel
+// SO_REUSEPORT steering (each reactor has its own listener) or by an
+// accept-and-hand-off leader posting fds to workers' mailboxes. A resume
+// token landing on the "wrong" reactor is resolved through the
+// directory: lingering sessions are claimed directly; a session still
+// live on another shard is evicted there (kEvictToken mail) and claimed
+// when it parks. For any fixed connection->reactor assignment the
+// decision streams are bit-identical to the single-reactor daemon.
+//
+// Aggregation (ISSUE 8): a leaf daemon given cfg.parent_host streams
+// each decided window's GPV (votes + abstention bits) up an Uplink to a
+// parent hpcapd; the parent's aggregate sessions (AGGREGATE frames,
+// net/aggregate.h) merge the disjoint per-leaf slices in a
+// FleetAggregator and stream fleet DECISIONs back down. Aggregate
+// sessions reuse the whole v2 session machinery — tokens, seq dedup,
+// ACKs, linger/resume, replay rings.
 //
 // The receive path is zero-copy end to end: frames are dispatched as
 // FrameRef spans into the connection's assembler buffer, SAMPLE_BATCH
@@ -68,8 +93,10 @@
 // unchanged (no sequencing, no ACKs, no resume).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -81,10 +108,28 @@
 
 namespace hpcap::net {
 
+class Uplink;
+struct SessionState;
+
 // Who may issue RELOAD/SHUTDOWN control frames. kAuto honors them only
 // when the daemon is bound to a loopback address; kAllow and kDeny
 // override that in either direction.
 enum class ControlPolicy { kAuto, kAllow, kDeny };
+
+// How accepted sockets reach the reactors when cfg.reactors > 1. kAuto
+// resolves to kReuseport where the platform supports SO_REUSEPORT
+// (kernel steers new connections across the per-reactor listeners) and
+// falls back to kHandoff (reactor 0 accepts and posts fds to the other
+// reactors' mailboxes round-robin) otherwise.
+enum class ShardMode { kAuto, kReuseport, kHandoff };
+
+// This reactor's part in the sharding arrangement (ShardedServer picks).
+enum class ShardRole {
+  kStandalone,        // classic single-reactor daemon; owns everything
+  kReuseportListener, // one of N reactors, each with its own listener
+  kHandoffLeader,     // owns the only listener; distributes accepts
+  kHandoffWorker,     // no listener; receives accepts by mailbox
+};
 
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
@@ -123,46 +168,163 @@ struct ServerConfig {
   std::size_t max_lingering = 256;
   // Seed for resume-token generation (identity, not security).
   std::uint64_t token_seed = 0x7C0FFEEULL;
+
+  // --- sharding & aggregation (ISSUE 8) ------------------------------
+  std::size_t reactors = 1;           // event-loop threads (>= 1)
+  ShardMode shard_mode = ShardMode::kAuto;
+  // Max leaf subscriptions the daemon's FleetAggregator accepts.
+  std::size_t agg_fanin = 16;
+  // Leaf mode: stream decided windows' GPVs to this parent hpcapd
+  // ("" = not a leaf). agg_coverage lists the parent-side synopsis
+  // indices this leaf owns (empty = 0..m-1 of the local model).
+  std::string parent_host;
+  std::uint16_t parent_port = 0;
+  std::vector<std::uint16_t> agg_coverage;
+  std::string leaf_name = "leaf";
+};
+
+// One relaxed-atomic counter. The sharded daemon's stats are fleet-wide
+// sums bumped concurrently from every reactor thread; relaxed ordering
+// is enough (they order nothing, they only count). The operators keep
+// the single-reactor call sites (`++stats_.x`, `stats_.x += n`) and
+// every test's reads (`stats().x == 3`) source-compatible.
+class StatCounter {
+ public:
+  StatCounter() noexcept = default;
+  StatCounter(const StatCounter& o) noexcept : v_(o.load()) {}
+  StatCounter& operator=(const StatCounter& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator=(std::uint64_t n) noexcept {
+    v_.store(n, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return load(); }
+  StatCounter& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator+=(std::uint64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
 };
 
 struct ServerStats {
-  std::uint64_t connections_accepted = 0;
-  std::uint64_t connections_closed = 0;
-  std::uint64_t timeouts = 0;
-  std::uint64_t frames_in = 0;
-  std::uint64_t frames_out = 0;
-  std::uint64_t malformed_frames = 0;
-  std::uint64_t hellos = 0;
-  std::uint64_t hellos_rejected = 0;
-  std::uint64_t ticks_in = 0;
-  std::uint64_t slots_present = 0;
-  std::uint64_t slots_missing = 0;
-  std::uint64_t windows = 0;
-  std::uint64_t windows_discarded = 0;  // per-tier windows failing the gap check
-  std::uint64_t rows_rejected = 0;      // per-tier rows failing RowValidator
-  std::uint64_t decisions = 0;
-  std::uint64_t decisions_shed = 0;
-  std::uint64_t write_queue_overflows = 0;  // peers dropped for a full queue
-  std::uint64_t control_rejected = 0;  // RELOAD/SHUTDOWN refused by policy
-  std::uint64_t reloads = 0;
-  std::uint64_t reload_failures = 0;
+  StatCounter connections_accepted;
+  StatCounter connections_closed;
+  StatCounter accepts_rejected;  // fd exhaustion: pending conn drained
+  StatCounter timeouts;
+  StatCounter frames_in;
+  StatCounter frames_out;
+  StatCounter malformed_frames;
+  StatCounter hellos;
+  StatCounter hellos_rejected;
+  StatCounter ticks_in;
+  StatCounter slots_present;
+  StatCounter slots_missing;
+  StatCounter windows;
+  StatCounter windows_discarded;  // per-tier windows failing the gap check
+  StatCounter rows_rejected;      // per-tier rows failing RowValidator
+  StatCounter decisions;
+  StatCounter decisions_shed;
+  StatCounter write_queue_overflows;  // peers dropped for a full queue
+  StatCounter control_rejected;  // RELOAD/SHUTDOWN refused by policy
+  StatCounter reloads;
+  StatCounter reload_failures;
   // v2 session resume.
-  std::uint64_t sessions_detached = 0;  // sessions parked on disconnect
-  std::uint64_t sessions_resumed = 0;
-  std::uint64_t sessions_expired = 0;   // linger deadline passed, state freed
-  std::uint64_t resume_rejected = 0;    // bad/expired token or mismatched ask
-  std::uint64_t batches_deduped = 0;    // replayed batches skipped by seq
+  StatCounter sessions_detached;  // sessions parked on disconnect
+  StatCounter sessions_resumed;
+  StatCounter sessions_expired;   // linger deadline passed, state freed
+  StatCounter resume_rejected;    // bad/expired token or mismatched ask
+  StatCounter batches_deduped;    // replayed batches skipped by seq
+  // Sharding & aggregation.
+  StatCounter handoffs;           // accepted fds posted to another shard
+  StatCounter cross_shard_resumes;  // resumes claimed across reactors
+  StatCounter agg_subscribes;
+  StatCounter agg_windows_in;     // leaf VOTES windows merged
+  StatCounter fleet_decisions;    // fleet windows decided by aggregation
+};
+
+class Server;
+
+// One unit of cross-reactor mail. Posted under the target shard's
+// mailbox lock, drained on its loop thread after a wake().
+struct ShardEnvelope {
+  enum class Kind {
+    kAcceptedFd,      // handoff: adopt this accepted socket
+    kEvictToken,      // park this live session for a cross-shard resume
+    kFleetDecisions,  // aggregation fan-out to a session living here
+    kBeginShutdown,   // daemon-wide drain
+  };
+  Kind kind = Kind::kAcceptedFd;
+  int fd = -1;
+  std::uint64_t token = 0;
+  std::vector<DecisionFrame> decisions;
+};
+
+// The shared spine of a sharded daemon: fleet-wide stats, the linger /
+// live-session directory, the parent-side FleetAggregator, and one
+// mailbox per reactor. A standalone Server owns a private group, so the
+// single- and multi-reactor paths run identical code.
+class ShardGroup {
+ public:
+  explicit ShardGroup(std::uint64_t token_seed);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  // Registration happens before any reactor thread starts, so the shard
+  // table is immutable while concurrent; returns the shard id.
+  std::size_t register_shard(EventLoop* loop, Server* server);
+  std::size_t size() const noexcept { return shards_.size(); }
+  Server* server(std::size_t shard) const;
+
+  // Mailbox post + wake. Safe from any thread.
+  void post(std::size_t shard, ShardEnvelope env);
+  // Swaps the shard's mailbox out (called on its loop thread).
+  std::vector<ShardEnvelope> take_mail(std::size_t shard);
+
+  // Cross-shard-unique resume tokens: one atomic splitmix64 stream.
+  std::uint64_t next_token() noexcept;
+
+  ServerStats stats;
+
+  // Directory of sessions not currently attached on some reactor
+  // (lingering) plus where every live v2 session token resides. Guarded
+  // by `mu`; SessionState is defined in server.cpp. `mu` is leaf-level:
+  // no mailbox post or enqueue happens while it is held.
+  struct Directory;
+  std::mutex mu;
+  const std::unique_ptr<Directory> dir;  // pointer is immutable; *dir isn't
+
+ private:
+  struct Shard;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> token_state_;
 };
 
 class Server {
  public:
-  // The server borrows `loop` and `source`; both must outlive it.
-  Server(EventLoop& loop, core::MonitorSource& source, ServerConfig cfg);
+  // The server borrows `loop`, `source` and (when non-null) `group`; all
+  // must outlive it. A null `group` makes a self-contained daemon: the
+  // server owns a private single-shard group (role must be kStandalone).
+  Server(EventLoop& loop, core::MonitorSource& source, ServerConfig cfg,
+         ShardGroup* group = nullptr,
+         ShardRole role = ShardRole::kStandalone);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds and listens; throws std::runtime_error on socket failure.
+  // Binds and listens (role permitting); throws std::runtime_error on
+  // socket failure.
   void start();
   std::uint16_t port() const noexcept { return port_; }
 
@@ -171,17 +333,33 @@ class Server {
   void request_reload();
 
   // Graceful stop: refuse new connections, flush queued frames, then stop
-  // the loop (hard deadline cfg.shutdown_grace). Loop-thread only.
+  // the loop (hard deadline cfg.shutdown_grace). Loop-thread only. In a
+  // group, the first shard to enter broadcasts kBeginShutdown to the
+  // rest; re-entry is a no-op.
   void begin_shutdown();
+
+  // Processes every envelope in this shard's mailbox. Must run on the
+  // loop thread — ShardedServer invokes it from the loop's wake handler.
+  void drain_mailbox();
+
+  // Takes ownership of an accepted socket (handoff target). Loop-thread
+  // only.
+  void adopt_fd(int fd);
+
+  // Leaf mode: stream every decided window's GPV to `uplink` (borrowed;
+  // may be null to detach). The first streaming session becomes the
+  // uplink's feed.
+  void set_uplink(Uplink* uplink) noexcept { uplink_ = uplink; }
 
   const ServerStats& stats() const noexcept { return stats_; }
   std::size_t active_connections() const noexcept { return conns_.size(); }
-  std::size_t lingering_sessions() const noexcept { return lingering_.size(); }
+  std::size_t lingering_sessions() const;  // locks the group directory
   bool draining() const noexcept { return draining_; }
+  ShardGroup& group() noexcept { return *group_; }
 
  private:
-  struct Session;
   struct Connection;
+  struct PendingResume;
 
   void accept_ready();
   void handle_io(int fd, bool readable, bool writable);
@@ -190,6 +368,11 @@ class Server {
                     std::uint8_t version);
   void handle_batch(Connection& c, std::span<const std::uint8_t> payload,
                     std::uint8_t version);
+  void handle_aggregate(Connection& c, std::span<const std::uint8_t> payload,
+                        std::uint8_t version);
+  void handle_agg_subscribe(Connection& c, const AggregateSubscribe& req,
+                            std::uint8_t version);
+  void handle_agg_votes(Connection& c, const AggregateBatch& batch);
   void handle_stats(Connection& c, std::uint8_t version);
   void handle_reload(Connection& c, const ReloadRequest& req,
                      std::uint8_t version);
@@ -197,7 +380,7 @@ class Server {
   // Decides every window accumulated in the session's block scratch
   // (one predict_masked_many call), records them in the replay ring,
   // enqueues the DECISION frames, and flushes them in one scatter-gather
-  // write.
+  // write. In leaf mode also offers each window's GPV to the uplink.
   void flush_decisions(Connection& c);
   // Coalesced cumulative ACK: overwrites a still-unsent queued ACK
   // instead of stacking new ones.
@@ -224,28 +407,53 @@ class Server {
   void close_connection(int fd, const char* why);
   void sweep_deadlines();
   void arm_sweep();
-  std::uint64_t next_token();
+
+  // Resume plumbing across the group directory (see server.cpp).
+  bool try_claim_resume(Connection& c, const HelloRequest& req,
+                        const AggregateSubscribe* agg, std::uint8_t version,
+                        bool& defer);
+  void attach_resumed(Connection& c, std::unique_ptr<SessionState> s,
+                      std::uint32_t resume_from, std::uint8_t version);
+  void retry_pending_resumes();
+  // Fans freshly decided fleet windows out to subscriber sessions
+  // wherever they live (this shard inline, other shards by mail,
+  // lingering rings directly). Called with group.mu NOT held.
+  void fan_out_fleet(std::vector<DecisionFrame> decided);
+  void deliver_fleet_local(Connection& c, std::span<const DecisionFrame> d);
+  // Permanently retires a session (linger expiry / non-resumable close):
+  // aggregate subscriptions unsubscribe and their final degraded windows
+  // fan out.
+  void retire_session(SessionState& s);
+
   StatsReply build_stats() const;
 
   EventLoop& loop_;
   core::MonitorSource& source_;
   ServerConfig cfg_;
+  std::unique_ptr<ShardGroup> owned_group_;  // standalone only
+  ShardGroup* group_ = nullptr;
+  ShardRole role_ = ShardRole::kStandalone;
+  std::size_t shard_id_ = 0;
+  ServerStats& stats_;  // = group_->stats (fleet-wide)
   int listen_fd_ = -1;
+  int reserve_fd_ = -1;  // EMFILE parachute: see accept_ready()
   std::uint16_t port_ = 0;
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
-  // Detached v2 sessions awaiting resume, keyed by resume token.
-  std::unordered_map<std::uint64_t, std::unique_ptr<Session>> lingering_;
-  std::uint64_t token_state_ = 0;
-  ServerStats stats_;
+  std::vector<PendingResume> pending_resumes_;
+  EventLoop::TimerId resume_timer_ = 0;
+  std::size_t next_shard_ = 0;  // handoff round-robin cursor
+  Uplink* uplink_ = nullptr;
   bool draining_ = false;
   bool control_allowed_ = true;  // resolved from control_policy in start()
   EventLoop::TimerId sweep_timer_ = 0;
 };
 
 // Shared daemon runner for `hpcapd` and `hpcapctl serve`: loads the model,
-// builds loop + server, installs SIGINT/SIGTERM (graceful stop) and SIGHUP
-// (model reload) handlers when `install_signals`, prints the listening
-// address, and runs until stopped. Returns the process exit code.
+// builds loop(s) + server(s) (cfg.reactors of them), installs
+// SIGINT/SIGTERM (graceful stop) and SIGHUP (model reload) handlers when
+// `install_signals`, starts the leaf Uplink when cfg.parent_host is set,
+// prints the listening address, and runs until stopped. Returns the
+// process exit code.
 int run_daemon(const ServerConfig& cfg, const std::string& model_path,
                bool install_signals);
 

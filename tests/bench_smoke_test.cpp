@@ -31,6 +31,7 @@
 #include "net/client.h"
 #include "net/event_loop.h"
 #include "net/server.h"
+#include "net/sharded.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -369,6 +370,117 @@ TEST(BenchSmoke, LoopbackBatchedBeatsUnbatchedTicks) {
       << "64-tick frames moved " << kTicks << " ticks in " << batched
       << " ms vs " << unbatched
       << " ms for 1-tick frames — wire batching advantage regressed";
+}
+
+// --- multi-reactor scaling trap (ISSUE 8) ----------------------------------
+
+// Wall time for `agents` concurrent sessions each streaming `ticks`
+// through a daemon running `reactors` event loops.
+double sharded_run_ms(const std::string& bundle, std::size_t reactors,
+                      int agents, int ticks) {
+  constexpr std::uint16_t kWindow = 4;
+  MonitorSource source = MonitorSource::from_bytes(bundle);
+  net::ServerConfig cfg;
+  cfg.num_tiers = static_cast<int>(kTiers);
+  cfg.reactors = reactors;
+  net::ShardedServer server(source, cfg);
+  server.start();
+  std::thread daemon([&server] { server.join(); });
+
+  Rng rng(577);
+  std::vector<net::Tick> stream;
+  stream.reserve(static_cast<std::size_t>(ticks));
+  for (int i = 0; i < ticks; ++i) {
+    net::Tick tick;
+    tick.tiers.resize(kTiers);
+    for (auto& slot : tick.tiers) {
+      slot.present = true;
+      slot.values.resize(wire_dim());
+      for (std::size_t a = 0; a < wire_dim(); ++a)
+        slot.values[a] =
+            (a % 2 == 0 ? (i / 200) % 2 : 0) + rng.normal(0.0, 0.3);
+    }
+    stream.push_back(std::move(tick));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < agents; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        net::Client agent;
+        agent.connect("127.0.0.1", server.port());
+        net::HelloRequest hello;
+        hello.agent = "scale-" + std::to_string(c);
+        hello.level = "hpc";
+        hello.num_tiers = static_cast<int>(kTiers);
+        hello.window = kWindow;
+        if (!agent.hello(hello).accepted) {
+          ++failures;
+          return;
+        }
+        std::size_t decisions = 0;
+        for (int start = 0; start < ticks; start += 64) {
+          net::SampleBatch batch;
+          batch.first_tick = static_cast<std::uint32_t>(start);
+          const int end = std::min(start + 64, ticks);
+          batch.ticks.assign(stream.begin() + start, stream.begin() + end);
+          agent.send_batch(batch);
+          decisions += agent.drain_decisions().size();
+        }
+        const std::size_t want =
+            static_cast<std::size_t>(ticks) / kWindow;
+        while (decisions < want) {
+          (void)agent.next_decision(30.0);
+          ++decisions;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_EQ(failures.load(), 0);
+
+  server.begin_shutdown();
+  daemon.join();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+TEST(BenchSmoke, TwoReactorLoopbackScalesPastSingleReactor) {
+  // Two reactors exist to put two cores on the accept load; on a host
+  // without two hardware threads the second loop can only time-slice the
+  // first one's core, so the ratio is meaningless there — skip loudly
+  // rather than flake (the BENCH_net.json host stamp records the same).
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 2)
+    GTEST_SKIP() << "host has " << hw
+                 << " hardware thread(s); the 2-reactor >= 1.5x scaling "
+                    "trap needs at least 2";
+
+  std::ostringstream bundle;
+  {
+    CapacityMonitor monitor = wire_monitor();
+    save_monitor(bundle, monitor);
+  }
+  constexpr int kAgents = 4;
+  constexpr int kTicksPerAgent = 2048;
+  double single = 1e300, dual = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    single = std::min(single,
+                      sharded_run_ms(bundle.str(), 1, kAgents, kTicksPerAgent));
+    dual = std::min(dual,
+                    sharded_run_ms(bundle.str(), 2, kAgents, kTicksPerAgent));
+  }
+  RecordProperty("single_reactor_ms", std::to_string(single));
+  RecordProperty("dual_reactor_ms", std::to_string(dual));
+  // 1 ms of additive slack covers timer granularity on a fast loopback.
+  EXPECT_LE(dual * 1.5, single + 1.0)
+      << kAgents << " agents moved in " << dual
+      << " ms on 2 reactors vs " << single
+      << " ms on 1 — multi-reactor scaling regressed";
 }
 
 }  // namespace

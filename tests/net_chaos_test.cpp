@@ -39,6 +39,7 @@
 #include "net/event_loop.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "net/sharded.h"
 #include "util/rng.h"
 
 namespace hpcap {
@@ -442,6 +443,92 @@ TEST(NetChaos, KilledConnectionsResumeExactlyOnce) {
   const auto stats = client.stats();
   EXPECT_GE(stats.value("sessions_resumed"), 1u);
   EXPECT_EQ(stats.value("sessions_expired"), 0u);
+}
+
+// --- multi-reactor chaos (ISSUE 8) ----------------------------------------
+
+// The sharded daemon behind the same kill harness: three clients, two
+// reactors, deterministic hand-off round-robin. Every kill forces each
+// client to reconnect, and the round-robin slots shift, so resumed
+// sessions routinely land on a reactor that does not own their parked
+// state — the cross-shard claim path runs under real outage pressure.
+// The invariant is unchanged from the single-reactor suite: every
+// client's decision stream is bit-identical to the in-process reference.
+TEST(NetChaos, TwoReactorKilledConnectionsResumeBitIdentical) {
+  net::ServerConfig cfg = test_config();
+  cfg.reactors = 2;
+  cfg.shard_mode = net::ShardMode::kHandoff;
+
+  core::MonitorSource source = core::MonitorSource::from_bytes(bundle());
+  net::ShardedServer server(source, cfg);
+  server.start();
+  std::thread daemon([&server] { server.join(); });
+  ChaosProxy proxy(ChaosPlan{}, server.port());  // kills only
+
+  constexpr int kTicks = 3000;
+  constexpr int kWindow = 4;
+  constexpr int kBatch = 100;
+  constexpr int kClients = 3;
+
+  std::vector<std::vector<Tick>> streams;
+  std::vector<ReferenceSession> refs;
+  std::vector<net::Client> clients(kClients);
+  std::vector<std::vector<DecisionFrame>> wire(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    streams.push_back(make_stream(cfg.num_tiers, kTicks,
+                                  7000 + static_cast<std::uint64_t>(c)));
+    refs.emplace_back(source, cfg.num_tiers, kWindow, cfg);
+    auto& client = clients[static_cast<std::size_t>(c)];
+    client.set_retry_policy(test_policy());
+    client.connect("127.0.0.1", proxy.port());
+    const auto reply = client.hello({"sharded-chaos-" + std::to_string(c),
+                                     "hpc",
+                                     static_cast<std::uint16_t>(cfg.num_tiers),
+                                     kWindow});
+    ASSERT_TRUE(reply.accepted) << reply.message;
+  }
+
+  int kills = 0;
+  for (int start = 0; start < kTicks; start += kBatch) {
+    if (start > 0 && start % 600 == 0) {
+      proxy.kill_connections();
+      ++kills;
+    }
+    for (int c = 0; c < kClients; ++c) {
+      SampleBatch batch;
+      batch.first_tick = static_cast<std::uint32_t>(start);
+      batch.ticks.assign(streams[c].begin() + start,
+                         streams[c].begin() + start + kBatch);
+      clients[static_cast<std::size_t>(c)].send_batch(batch);
+      for (int i = start; i < start + kBatch; ++i)
+        refs[static_cast<std::size_t>(c)].feed(streams[c][i]);
+      for (const auto& d :
+           clients[static_cast<std::size_t>(c)].drain_decisions())
+        wire[static_cast<std::size_t>(c)].push_back(d);
+    }
+  }
+  for (int c = 0; c < kClients; ++c) {
+    auto& w = wire[static_cast<std::size_t>(c)];
+    while (w.size() < kTicks / kWindow)
+      w.push_back(clients[static_cast<std::size_t>(c)].next_decision(30.0));
+    expect_identical(w, refs[static_cast<std::size_t>(c)].decisions,
+                     "sharded client " + std::to_string(c));
+  }
+
+  std::uint64_t reconnects = 0;
+  for (auto& client : clients) reconnects += client.session().reconnects;
+  EXPECT_GT(reconnects, 0u) << "kills never forced a recovery";
+  EXPECT_GE(proxy.stats().killed, static_cast<std::uint64_t>(kills));
+  // Fleet-wide counters: slot 1 of every round-robin cycle is a posted
+  // hand-off, and every post-kill reconnect resumed a parked session.
+  const auto& stats = server.shard(0).stats();
+  EXPECT_GE(stats.handoffs, 1u);
+  EXPECT_GE(stats.sessions_resumed, 1u);
+  EXPECT_EQ(stats.sessions_expired, 0u);
+
+  for (auto& client : clients) client.close();
+  server.begin_shutdown();
+  daemon.join();
 }
 
 TEST(NetChaos, BlackholePartitionTimesOutThenHeals) {

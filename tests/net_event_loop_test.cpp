@@ -1,13 +1,17 @@
 // EventLoop dispatch-safety regressions: callbacks that mutate the fd
-// registry while the loop is dispatching a poll round.
+// registry while the loop is dispatching a readiness round.
 //
 // Two hazards live here. (1) add_fd from inside a callback can reallocate
 // the registry vector — if the loop invoked the callback by reference
 // into that vector, the currently-executing std::function would be
 // destroyed mid-call. (2) A callback can close an fd whose number is
 // immediately reused by a new registration in the same round; the stale
-// revents captured by poll() for the old socket must not be dispatched to
-// the new registration's callback. Both run under the asan label.
+// readiness captured for the old socket must not be dispatched to the new
+// registration's callback. Both run under the asan label.
+//
+// Backend parity: every test is parameterized over both readiness
+// backends (poll everywhere, epoll where the platform has it), so the
+// two implementations are held to identical dispatch semantics.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -15,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/event_loop.h"
@@ -40,8 +45,37 @@ struct Pipe {
   }
 };
 
-TEST(NetEventLoop, CallbackMayGrowTheRegistryMidDispatch) {
-  EventLoop loop;
+class NetEventLoop : public ::testing::TestWithParam<LoopBackend> {
+ protected:
+  LoopBackend backend() const { return GetParam(); }
+};
+
+std::vector<LoopBackend> available_backends() {
+  std::vector<LoopBackend> backends{LoopBackend::kPoll};
+  if (EventLoop::epoll_supported()) backends.push_back(LoopBackend::kEpoll);
+  return backends;
+}
+
+std::string backend_name(
+    const ::testing::TestParamInfo<LoopBackend>& info) {
+  return info.param == LoopBackend::kEpoll ? "Epoll" : "Poll";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, NetEventLoop,
+                         ::testing::ValuesIn(available_backends()),
+                         backend_name);
+
+TEST_P(NetEventLoop, ResolvesTheRequestedBackend) {
+  EventLoop loop(backend());
+  EXPECT_EQ(loop.backend(), backend());
+  EXPECT_NE(EventLoop(LoopBackend::kAuto).backend(), LoopBackend::kAuto);
+#if !defined(__linux__)
+  EXPECT_THROW(EventLoop bad(LoopBackend::kEpoll), std::runtime_error);
+#endif
+}
+
+TEST_P(NetEventLoop, CallbackMayGrowTheRegistryMidDispatch) {
+  EventLoop loop(backend());
   Pipe trigger;
   trigger.poke();
 
@@ -76,8 +110,8 @@ TEST(NetEventLoop, CallbackMayGrowTheRegistryMidDispatch) {
   EXPECT_EQ(after_grow, 256);
 }
 
-TEST(NetEventLoop, ReusedFdNumberDoesNotInheritStaleRevents) {
-  EventLoop loop;
+TEST_P(NetEventLoop, ReusedFdNumberDoesNotInheritStaleRevents) {
+  EventLoop loop(backend());
   Pipe first;   // dispatched first (registration order)
   Pipe victim;  // readable this round; its fd number gets reused
   first.poke();
@@ -88,8 +122,9 @@ TEST(NetEventLoop, ReusedFdNumberDoesNotInheritStaleRevents) {
   loop.add_fd(first.reader(), true, false, [&](bool, bool) {
     first.drain();
     // Close the victim and let a fresh descriptor claim its number
-    // within the same poll round. poll() reported the *old* socket
-    // readable; the new registration has no data and must not fire.
+    // within the same readiness round. The kernel reported the *old*
+    // socket readable; the new registration has no data and must not
+    // fire.
     const int number = victim.reader();
     loop.remove_fd(number);
     ::close(victim.fds[0]);
@@ -102,12 +137,12 @@ TEST(NetEventLoop, ReusedFdNumberDoesNotInheritStaleRevents) {
   loop.run();
   ::close(reused_fd);
   // The dup of the drained first-pipe reader never has data: any hit
-  // means stale revents from the closed victim were misdelivered.
+  // means stale readiness from the closed victim was misdelivered.
   EXPECT_EQ(new_cb_hits, 0);
 }
 
-TEST(NetEventLoop, RemoveAndReaddKeepsDispatchingNewCallback) {
-  EventLoop loop;
+TEST_P(NetEventLoop, RemoveAndReaddKeepsDispatchingNewCallback) {
+  EventLoop loop(backend());
   Pipe p;
   p.poke();
   int old_hits = 0;
@@ -126,6 +161,45 @@ TEST(NetEventLoop, RemoveAndReaddKeepsDispatchingNewCallback) {
   loop.run();
   EXPECT_EQ(old_hits, 1);
   EXPECT_EQ(new_hits, 1);
+}
+
+TEST_P(NetEventLoop, SetInterestTogglesWritability) {
+  EventLoop loop(backend());
+  Pipe p;
+  p.poke();
+  int read_hits = 0;
+  int write_hits = 0;
+  loop.add_fd(p.reader(), true, false, [&](bool readable, bool writable) {
+    if (readable) ++read_hits;
+    if (writable) ++write_hits;
+    p.drain();
+    // The read side of a pipe is never writable; flipping interest to
+    // write-only must stop dispatch entirely until the timer ends the
+    // loop.
+    loop.set_interest(p.reader(), false, true);
+    p.poke();
+    loop.add_timer(0.05, [&] { loop.stop(); });
+  });
+  loop.run();
+  EXPECT_EQ(read_hits, 1);
+  EXPECT_EQ(write_hits, 0);
+}
+
+TEST_P(NetEventLoop, WakeFromAnotherRegistrationRunsTheHandler) {
+  EventLoop loop(backend());
+  Pipe p;
+  p.poke();
+  int woken = 0;
+  loop.set_wake_handler([&] {
+    ++woken;
+    loop.stop();
+  });
+  loop.add_fd(p.reader(), true, false, [&](bool, bool) {
+    p.drain();
+    loop.wake();
+  });
+  loop.run();
+  EXPECT_EQ(woken, 1);
 }
 
 }  // namespace

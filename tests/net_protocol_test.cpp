@@ -268,6 +268,96 @@ TEST(NetProtocol, StatsAndReloadRoundTrip) {
   EXPECT_EQ(rback.message, rep.message);
 }
 
+TEST(NetProtocol, AggregateFramesRoundTripAndRejectV1) {
+  AggregateSubscribe sub;
+  sub.leaf = "rack7/leaf2";
+  sub.synopses = {0, 3, 4};
+  sub.resume_token = 0xfeedfacecafe1234ull;
+  sub.resume_from_window = 41;
+  const auto sub_bytes = encode_aggregate_subscribe(sub);
+  EXPECT_EQ(peek_aggregate_kind(payload_of(sub_bytes)),
+            AggregateKind::kSubscribe);
+  const auto sub_back = decode_aggregate_subscribe(payload_of(sub_bytes));
+  EXPECT_EQ(sub_back.leaf, sub.leaf);
+  EXPECT_EQ(sub_back.synopses, sub.synopses);
+  EXPECT_EQ(sub_back.resume_token, sub.resume_token);
+  EXPECT_EQ(sub_back.resume_from_window, sub.resume_from_window);
+
+  AggregateSubscribeReply rep;
+  rep.accepted = true;
+  rep.message = "joined";
+  rep.model_version = 5;
+  rep.num_synopses = 8;
+  rep.session_token = 99;
+  rep.last_applied_seq = 12;
+  rep.resumed = true;
+  const auto rep_back =
+      decode_aggregate_subscribe_reply(
+          payload_of(encode_aggregate_subscribe_reply(rep)));
+  EXPECT_EQ(rep_back.accepted, rep.accepted);
+  EXPECT_EQ(rep_back.message, rep.message);
+  EXPECT_EQ(rep_back.model_version, rep.model_version);
+  EXPECT_EQ(rep_back.num_synopses, rep.num_synopses);
+  EXPECT_EQ(rep_back.session_token, rep.session_token);
+  EXPECT_EQ(rep_back.last_applied_seq, rep.last_applied_seq);
+  EXPECT_EQ(rep_back.resumed, rep.resumed);
+
+  AggregateBatch batch;
+  batch.agg_seq = 7;
+  batch.windows.resize(2);
+  batch.windows[0] = {10, {1, 0, 1}, {1, 1, 1}};
+  batch.windows[1] = {11, {0, 0, 1}, {1, 0, 1}};  // middle synopsis abstains
+  const auto batch_back =
+      decode_aggregate_batch(payload_of(encode_aggregate_batch(batch)));
+  EXPECT_EQ(batch_back.agg_seq, batch.agg_seq);
+  ASSERT_EQ(batch_back.windows.size(), 2u);
+  for (std::size_t w = 0; w < 2; ++w) {
+    EXPECT_EQ(batch_back.windows[w].window_index,
+              batch.windows[w].window_index);
+    EXPECT_EQ(batch_back.windows[w].votes, batch.windows[w].votes);
+    EXPECT_EQ(batch_back.windows[w].valid, batch.windows[w].valid);
+  }
+  // An abstaining cell always decodes with vote 0, whatever was encoded.
+  EXPECT_EQ(batch_back.windows[1].votes[1], 0);
+
+  // v2-only: no v1 encoding exists.
+  EXPECT_THROW(encode_aggregate_subscribe(sub, 1), ProtocolError);
+  EXPECT_THROW(encode_aggregate_subscribe_reply(rep, 1), ProtocolError);
+  EXPECT_THROW(encode_aggregate_batch(batch, 1), ProtocolError);
+}
+
+TEST(NetProtocol, AggregateDecodersRejectMalformedPayloads) {
+  // Wrong kind byte routed to the wrong decoder.
+  AggregateSubscribe sub;
+  sub.leaf = "x";
+  const auto sub_payload = payload_of(encode_aggregate_subscribe(sub));
+  EXPECT_THROW(decode_aggregate_subscribe_reply(sub_payload), ProtocolError);
+  EXPECT_THROW(decode_aggregate_batch(sub_payload), ProtocolError);
+
+  // Unknown discriminator and empty payload.
+  Bytes junk = {9};
+  EXPECT_THROW(peek_aggregate_kind(junk), ProtocolError);
+  EXPECT_THROW(peek_aggregate_kind(std::span<const std::uint8_t>{}),
+               ProtocolError);
+
+  // A vote cell above 2 is malformed; the cell bytes are the payload
+  // tail, so patch the last one.
+  AggregateBatch batch;
+  batch.agg_seq = 1;
+  batch.windows.resize(1);
+  batch.windows[0] = {0, {1}, {1}};
+  Bytes votes = payload_of(encode_aggregate_batch(batch));
+  votes.back() = 3;
+  EXPECT_THROW(decode_aggregate_batch(votes), ProtocolError);
+
+  // Encoding a vote outside the binary domain is refused.
+  batch.windows[0].votes[0] = 2;
+  EXPECT_THROW(encode_aggregate_batch(batch), ProtocolError);
+  // As is a votes/valid length mismatch.
+  batch.windows[0] = {0, {1, 0}, {1}};
+  EXPECT_THROW(encode_aggregate_batch(batch), ProtocolError);
+}
+
 // --- malformed input ------------------------------------------------------
 
 TEST(NetProtocol, HeaderRejectsBadMagicVersionTypeReserved) {
@@ -292,7 +382,12 @@ TEST(NetProtocol, HeaderRejectsBadMagicVersionTypeReserved) {
     EXPECT_THROW(peek_header(bad), ProtocolError);
     bad[4] = 2;  // ...but valid at v2
     EXPECT_TRUE(peek_header(bad).has_value());
-    bad[5] = 8;  // above the v2 range
+    bad[5] = 8;  // AGGREGATE: likewise v2-only
+    EXPECT_TRUE(peek_header(bad).has_value());
+    bad[4] = 1;
+    EXPECT_THROW(peek_header(bad), ProtocolError);
+    bad[4] = 2;
+    bad[5] = 9;  // above the v2 range
     EXPECT_THROW(peek_header(bad), ProtocolError);
   }
   {

@@ -24,6 +24,11 @@
 //                     retry must reference a RetryPolicy / deadline /
 //                     attempt budget inside the body — unbounded
 //                     reconnect loops hang forever against a dead peer.
+//   reactor-confinement  in src/net/, a scope holding a lock on the
+//                     ShardGroup mutex (`group.mu` / `group_->mu`) must
+//                     not post mailbox envelopes, wake another loop, or
+//                     enqueue frames — the group lock is leaf-level in
+//                     the sharded daemon's lock order.
 //   pragma-once       every header's first code line is #pragma once.
 //   include-hygiene   no duplicate includes, no "../" includes, no C
 //                     headers with <cXXX> equivalents, and a src/ .cpp
@@ -804,11 +809,69 @@ void rule_net_retry_bound(Ctx& ctx) {
   }
 }
 
+// Sharded hpcapd's lock discipline (see server.h): the ShardGroup's
+// directory mutex is leaf-level. A scope holding a lock on a group
+// mutex must not post mailbox envelopes, wake another reactor's loop,
+// or enqueue wire frames — each of those seams takes a per-shard lock
+// or touches connection state owned by another reactor, and doing it
+// under the group lock is exactly the ordering inversion that deadlocks
+// cross-shard hand-off. The rule keys on the lock expression naming a
+// group (`group.mu`, `group_->mu`); locks on other mutexes are out of
+// scope. Justified exceptions carry
+// `// hpcap-lint: allow(reactor-confinement)`.
+void rule_reactor_confinement(Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/net/")) return;
+  const auto& code = ctx.text.code;
+  static const char* kLockForms[] = {"lock_guard", "unique_lock",
+                                     "scoped_lock"};
+  static const char* kSeams[] = {".post(", "->post(", ".wake(", "->wake(",
+                                 "enqueue("};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    bool is_lock = false;
+    for (const char* form : kLockForms) is_lock = is_lock || contains(line, form);
+    if (!is_lock || !contains(line, "group") || !contains(line, "mu"))
+      continue;
+    // The guard's scope: from the end of its declaration to the closing
+    // brace of the block it lives in (brace-count on the scrubbed view).
+    std::size_t start_col = line.find(';');
+    if (start_col == std::string::npos) start_col = line.size();
+    int depth = 0;
+    for (std::size_t l = i; l < code.size(); ++l) {
+      const std::string& s = code[l];
+      std::size_t close_col = s.size();
+      bool closed = false;
+      for (std::size_t k = (l == i ? start_col : 0); k < s.size(); ++k) {
+        if (s[k] == '{') {
+          ++depth;
+        } else if (s[k] == '}' && --depth < 0) {
+          close_col = k;
+          closed = true;
+          break;
+        }
+      }
+      if (l > i) {
+        const std::string held = s.substr(0, close_col);
+        for (const char* seam : kSeams) {
+          if (!contains(held, seam)) continue;
+          ctx.report(l, "reactor-confinement",
+                     "'" + std::string(seam) +
+                         "...)' while holding the ShardGroup mutex — the "
+                         "group lock is leaf-level; collect under the lock, "
+                         "post/wake/enqueue after releasing it");
+          break;
+        }
+      }
+      if (closed) break;
+    }
+  }
+}
+
 const char* kAllRules[] = {"banned-function", "no-const-cast",
                            "no-naked-new",    "bounded-decode",
                            "unordered-output", "pragma-once",
                            "include-hygiene", "hot-path-alloc",
-                           "net-retry-bound"};
+                           "net-retry-bound", "reactor-confinement"};
 
 std::vector<Finding> lint_content(const std::string& rel_path,
                                   const std::string& content) {
@@ -825,6 +888,7 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   rule_include_hygiene(ctx);
   rule_hot_path_alloc(ctx);
   rule_net_retry_bound(ctx);
+  rule_reactor_confinement(ctx);
   return findings;
 }
 
@@ -1095,6 +1159,47 @@ const Case kCases[] = {
      "    std::this_thread::sleep_for(std::chrono::seconds(1));\n"
      "    if (reconnect()) return;\n"
      "  }\n}\n",
+     nullptr},
+
+    // reactor-confinement
+    {"confine.post_fires", "src/net/x.cpp",
+     "void f(ShardGroup& group, ShardEnvelope env){\n"
+     "  std::lock_guard<std::mutex> lock(group.mu);\n"
+     "  group.post(1, std::move(env));\n}\n",
+     "reactor-confinement"},
+    {"confine.wake_fires", "src/net/x.cpp",
+     "void f(ShardGroup* group_, EventLoop* peer){\n"
+     "  std::scoped_lock lock(group_->mu);\n"
+     "  peer->wake();\n}\n",
+     "reactor-confinement"},
+    {"confine.enqueue_fires", "src/net/x.cpp",
+     "void f(ShardGroup& group, Connection& c, std::vector<std::uint8_t> b){\n"
+     "  std::unique_lock<std::mutex> lock(group.mu);\n"
+     "  enqueue(c, std::move(b));\n}\n",
+     "reactor-confinement"},
+    {"confine.after_scope_ok", "src/net/x.cpp",
+     "void f(ShardGroup& group, ShardEnvelope env){\n"
+     "  {\n"
+     "    std::lock_guard<std::mutex> lock(group.mu);\n"
+     "    touch_directory();\n"
+     "  }\n"
+     "  group.post(1, std::move(env));\n}\n",
+     nullptr},
+    {"confine.other_mutex_ok", "src/net/x.cpp",
+     "void f(std::mutex& mu_, EventLoop& loop){\n"
+     "  std::lock_guard<std::mutex> lock(mu_);\n"
+     "  loop.wake();\n}\n",
+     nullptr},
+    {"confine.out_of_scope_ok", "src/core/x.cpp",
+     "void f(ShardGroup& group, ShardEnvelope env){\n"
+     "  std::lock_guard<std::mutex> lock(group.mu);\n"
+     "  group.post(1, std::move(env));\n}\n",
+     nullptr},
+    {"confine.allow", "src/net/x.cpp",
+     "void f(ShardGroup& group, ShardEnvelope env){\n"
+     "  std::lock_guard<std::mutex> lock(group.mu);\n"
+     "  // hpcap-lint: allow(reactor-confinement) — shutdown-only path\n"
+     "  group.post(1, std::move(env));\n}\n",
      nullptr},
 
     // hot-path-alloc

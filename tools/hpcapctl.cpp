@@ -350,6 +350,12 @@ int cmd_serve(const Args& args) {
   cfg.session_linger = args.num_or("session-linger", cfg.session_linger);
   cfg.decision_replay = static_cast<std::size_t>(args.num_or(
       "decision-replay", static_cast<double>(cfg.decision_replay)));
+  cfg.reactors =
+      static_cast<std::size_t>(args.num_or("reactors", 1.0));
+  if (cfg.reactors < 1) {
+    std::fprintf(stderr, "serve: --reactors must be >= 1\n");
+    return 2;
+  }
   const std::string control = args.get_or("control", "auto");
   if (control == "auto")
     cfg.control_policy = net::ControlPolicy::kAuto;
@@ -611,7 +617,7 @@ int main(int argc, char** argv) {
     return run("serve",
                {"model", "port", "bind", "num-tiers", "idle-timeout",
                 "handshake-timeout", "max-write-queue", "session-linger",
-                "decision-replay", "control", "verbose"},
+                "decision-replay", "control", "reactors", "verbose"},
                cmd_serve);
   if (cmd == "stream")
     return run("stream",

@@ -11,12 +11,24 @@
 //          [--idle-timeout S] [--handshake-timeout S]
 //          [--max-write-queue N] [--session-linger S]
 //          [--decision-replay N] [--control auto|allow|deny]
+//          [--reactors N] [--shard-mode auto|reuseport|handoff]
+//          [--parent HOST:PORT] [--leaf-name NAME]
+//          [--coverage I,J,...] [--fanin N]
 //          [--log-level debug|info|warn|error] [--version]
 //
 // RELOAD/SHUTDOWN frames carry no peer authentication, so by default
 // (--control auto) they are honored only on a loopback bind; --control
 // allow opts a non-loopback bind in, --control deny refuses them even
 // on loopback (SIGHUP/SIGTERM still work).
+//
+// Fleet topology (ISSUE 8): --reactors N runs N sharded event loops
+// behind one port (SO_REUSEPORT kernel steering where available,
+// accept-and-hand-off otherwise). --parent HOST:PORT makes this daemon a
+// leaf of an aggregation tree: every decided window's synopsis votes
+// stream to the parent hpcapd, which merges the fleet's disjoint slices
+// and streams fleet decisions back. --coverage lists the parent-side
+// synopsis indices this leaf owns (default: all of the local model's);
+// --fanin bounds how many leaves a parent accepts.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +47,10 @@ void usage(std::FILE* to) {
                "              [--handshake-timeout S] [--max-write-queue N]\n"
                "              [--session-linger S] [--decision-replay N]\n"
                "              [--control auto|allow|deny]\n"
+               "              [--reactors N] "
+               "[--shard-mode auto|reuseport|handoff]\n"
+               "              [--parent HOST:PORT] [--leaf-name NAME]\n"
+               "              [--coverage I,J,...] [--fanin N]\n"
                "              [--log-level debug|info|warn|error]\n"
                "       hpcapd --version\n");
 }
@@ -117,6 +133,63 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.decision_replay = static_cast<std::size_t>(n);
+    } else if (arg == "--reactors") {
+      const long n = parse_long("--reactors", value());
+      if (n < 1) {
+        std::fprintf(stderr, "hpcapd: --reactors must be >= 1\n");
+        return 2;
+      }
+      cfg.reactors = static_cast<std::size_t>(n);
+    } else if (arg == "--shard-mode") {
+      const std::string mode = value();
+      if (mode == "auto")
+        cfg.shard_mode = hpcap::net::ShardMode::kAuto;
+      else if (mode == "reuseport")
+        cfg.shard_mode = hpcap::net::ShardMode::kReuseport;
+      else if (mode == "handoff")
+        cfg.shard_mode = hpcap::net::ShardMode::kHandoff;
+      else {
+        std::fprintf(stderr, "hpcapd: unknown shard mode '%s'\n",
+                     mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--parent") {
+      const std::string hostport = value();
+      const std::size_t colon = hostport.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == hostport.size()) {
+        std::fprintf(stderr, "hpcapd: --parent needs HOST:PORT, got '%s'\n",
+                     hostport.c_str());
+        return 2;
+      }
+      cfg.parent_host = hostport.substr(0, colon);
+      cfg.parent_port = static_cast<std::uint16_t>(
+          parse_long("--parent", hostport.c_str() + colon + 1));
+    } else if (arg == "--leaf-name") {
+      cfg.leaf_name = value();
+    } else if (arg == "--coverage") {
+      std::string list = value();
+      cfg.agg_coverage.clear();
+      std::size_t at = 0;
+      while (at <= list.size()) {
+        std::size_t comma = list.find(',', at);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string item = list.substr(at, comma - at);
+        if (item.empty()) {
+          std::fprintf(stderr, "hpcapd: --coverage has an empty entry\n");
+          return 2;
+        }
+        cfg.agg_coverage.push_back(static_cast<std::uint16_t>(
+            parse_long("--coverage", item.c_str())));
+        at = comma + 1;
+      }
+    } else if (arg == "--fanin") {
+      const long n = parse_long("--fanin", value());
+      if (n < 1) {
+        std::fprintf(stderr, "hpcapd: --fanin must be >= 1\n");
+        return 2;
+      }
+      cfg.agg_fanin = static_cast<std::size_t>(n);
     } else if (arg == "--control") {
       const std::string policy = value();
       if (policy == "auto")
