@@ -15,6 +15,8 @@
 // Usage: bench_chaos [--json PATH] [--ticks N]
 //   --json PATH   output record (default: BENCH_chaos.json)
 //   --ticks N     sampling ticks per rate (default: 20000)
+#include <sys/utsname.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -332,6 +334,13 @@ int main(int argc, char** argv) {
                  "correctness");
   std::printf("%s\n", table.render().c_str());
 
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  std::string kernel = "unknown";
+  {
+    utsname uts{};
+    if (::uname(&uts) == 0)
+      kernel = std::string(uts.sysname) + " " + uts.release;
+  }
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
                  "{\n"
@@ -340,8 +349,11 @@ int main(int argc, char** argv) {
                  "  \"window\": %u,\n"
                  "  \"ticks\": %d,\n"
                  "  \"batch_ticks\": %d,\n"
+                 "  \"host\": {\"hardware_threads\": %u, \"kernel\": "
+                 "\"%s\"},\n"
                  "  \"configs\": [\n",
-                 kTiers, kWindow, ticks, kBatch);
+                 kTiers, kWindow, ticks, kBatch, hardware_threads,
+                 kernel.c_str());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
       std::fprintf(

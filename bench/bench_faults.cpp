@@ -12,10 +12,13 @@
 // Usage: bench_faults [--json PATH]
 //   --json PATH   where to write the sweep record (default:
 //                 BENCH_faults.json)
+#include <sys/utsname.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/validate.h"
@@ -155,14 +158,24 @@ int main(int argc, char** argv) {
 
   const bool retained =
       points[3].retention >= 0.90;  // the 5% headline point
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  std::string kernel = "unknown";
+  {
+    utsname uts{};
+    if (::uname(&uts) == 0)
+      kernel = std::string(uts.sysname) + " " + uts.release;
+  }
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"fault_sweep\",\n"
                  "  \"level\": \"hpc\",\n"
+                 "  \"host\": {\"hardware_threads\": %u, \"kernel\": "
+                 "\"%s\"},\n"
                  "  \"labels_invariant\": %s,\n"
                  "  \"retention_at_5pct\": %.4f,\n"
                  "  \"points\": [\n",
+                 hardware_threads, kernel.c_str(),
                  labels_invariant ? "true" : "false", points[3].retention);
     for (std::size_t i = 0; i < points.size(); ++i) {
       const auto& p = points[i];

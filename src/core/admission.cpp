@@ -1,8 +1,24 @@
 #include "core/admission.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace hpcap::core {
+
+AdmissionOptions AdmissionOptions::sanitized() const noexcept {
+  const AdmissionOptions defaults;
+  const auto finite_or = [](double v, double fallback) noexcept {
+    return std::isfinite(v) ? v : fallback;
+  };
+  AdmissionOptions o = *this;
+  o.decrease_factor = std::clamp(
+      finite_or(o.decrease_factor, defaults.decrease_factor), 1e-6, 1.0);
+  o.increase_step = std::clamp(
+      finite_or(o.increase_step, defaults.increase_step), 0.0, 1.0);
+  o.min_admit =
+      std::clamp(finite_or(o.min_admit, defaults.min_admit), 0.0, 1.0);
+  return o;
+}
 
 void AdmissionController::on_decision(bool overloaded) {
   if (overloaded)

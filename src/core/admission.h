@@ -21,13 +21,22 @@ struct AdmissionOptions {
   double decrease_factor = 0.70;  // on an overload decision
   double increase_step = 0.05;    // on an underload decision
   double min_admit = 0.05;        // never full blackout
+
+  // Copy with every field forced into its documented domain:
+  // decrease_factor in (0, 1] (a factor > 1 would *raise* the
+  // probability on overload), increase_step in [0, 1], min_admit in
+  // [0, 1]; non-finite fields fall back to the defaults. The controller
+  // sanitizes on construction, so admit_probability() can never leave
+  // [min(min_admit, 1), 1].
+  AdmissionOptions sanitized() const noexcept;
 };
 
 class AdmissionController {
  public:
   using Options = AdmissionOptions;
 
-  explicit AdmissionController(Options opts = Options()) : opts_(opts) {}
+  explicit AdmissionController(Options opts = Options())
+      : opts_(opts.sanitized()) {}
 
   // Feed one coordinated decision (end of a sampling interval).
   void on_decision(bool overloaded);
@@ -36,6 +45,7 @@ class AdmissionController {
   bool admit(Rng& rng);
 
   double admit_probability() const noexcept { return admit_prob_; }
+  const Options& options() const noexcept { return opts_; }
   std::uint64_t admitted() const noexcept { return admitted_; }
   std::uint64_t rejected() const noexcept { return rejected_; }
 

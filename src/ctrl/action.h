@@ -1,0 +1,25 @@
+// Shared actuation vocabulary for the control plane (src/ctrl/).
+//
+// Every controller in this subsystem reduces one decided window to a
+// single action of one of these kinds. `kFrozen` is load-bearing: a
+// degraded or stale coordinated decision must never actuate anything
+// (ISSUE 9 robustness contract), and freezing is reported explicitly so
+// event logs — the determinism and robustness tests diff them — show
+// *why* nothing happened.
+#pragma once
+
+namespace hpcap::ctrl {
+
+enum class ActionKind {
+  kNone = 0,      // grounded decision, no actuation due this window
+  kDecrease = 1,  // admission: multiplicative decrease of the cap
+  kIncrease = 2,  // admission: additive increase of the cap
+  kScaleOut = 3,  // autoscale: +1 replica on the bottleneck tier
+  kScaleIn = 4,   // autoscale: -1 replica after the safety delay
+  kFrozen = 5,    // degraded/stale input: controller held everything
+};
+
+// Stable short names for event logs (diffed bit-for-bit by tests).
+const char* action_kind_name(ActionKind kind) noexcept;
+
+}  // namespace hpcap::ctrl

@@ -1,0 +1,127 @@
+#include "ctrl/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcap::ctrl {
+
+const char* action_kind_name(ActionKind kind) noexcept {
+  switch (kind) {
+    case ActionKind::kNone: return "none";
+    case ActionKind::kDecrease: return "decrease";
+    case ActionKind::kIncrease: return "increase";
+    case ActionKind::kScaleOut: return "scale_out";
+    case ActionKind::kScaleIn: return "scale_in";
+    case ActionKind::kFrozen: return "frozen";
+  }
+  return "?";
+}
+
+namespace {
+double finite_or(double v, double fallback) noexcept {
+  return std::isfinite(v) ? v : fallback;
+}
+}  // namespace
+
+CapAdmissionOptions CapAdmissionOptions::sanitized() const noexcept {
+  const CapAdmissionOptions defaults;
+  CapAdmissionOptions o = *this;
+  o.min_cap = std::max(0.0, finite_or(o.min_cap, defaults.min_cap));
+  o.max_cap = std::max(o.min_cap, finite_or(o.max_cap, defaults.max_cap));
+  o.initial_cap = std::clamp(finite_or(o.initial_cap, o.max_cap), o.min_cap,
+                             o.max_cap);
+  o.decrease_factor = std::clamp(
+      finite_or(o.decrease_factor, defaults.decrease_factor), 1e-6, 1.0);
+  o.increase_step =
+      std::max(0.0, finite_or(o.increase_step, defaults.increase_step));
+  o.overload_votes = std::max(1, o.overload_votes);
+  o.underload_votes = std::max(1, o.underload_votes);
+  o.cooldown_windows = std::max(0, o.cooldown_windows);
+  return o;
+}
+
+CapAdmissionController::CapAdmissionController(Options opts)
+    : opts_(opts.sanitized()), cap_(opts_.initial_cap) {}
+
+CapAction CapAdmissionController::on_window(
+    const core::CoordinatedPredictor::Decision& d, double admitted_load) {
+  ++windows_;
+  if (d.degraded || d.staleness > 0 || !std::isfinite(admitted_load)) {
+    // A coasting (or numerically broken) input never actuates: streaks
+    // break — "sustained" means consecutive *grounded* votes — and the
+    // cooldown does not tick, so the cap holds its cooldown path until
+    // real data returns.
+    ++freezes_;
+    over_streak_ = 0;
+    under_streak_ = 0;
+    return {ActionKind::kFrozen, cap_, -1};
+  }
+  const bool overloaded = d.state == 1;
+  if (overloaded) {
+    ++over_streak_;
+    under_streak_ = 0;
+  } else {
+    ++under_streak_;
+    over_streak_ = 0;
+  }
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return {ActionKind::kNone, cap_, -1};
+  }
+  if (overloaded && over_streak_ >= opts_.overload_votes)
+    return apply_decrease(admitted_load, d.bottleneck_tier);
+  if (!overloaded && under_streak_ >= opts_.underload_votes &&
+      cap_ < opts_.max_cap)
+    return apply_increase();
+  return {ActionKind::kNone, cap_, -1};
+}
+
+CapAction CapAdmissionController::on_window(
+    const core::CoordinatedPredictor::Decision& d) {
+  return on_window(d, cap_);
+}
+
+// hpcap-lint: actuation
+CapAction CapAdmissionController::apply_decrease(double anchor, int tier) {
+  // MD is re-anchored at the observed admitted load: when the cap sits
+  // far above actual traffic it is not binding, and decreasing *it*
+  // would take dozens of windows to bite. (cooldown_left_ was checked by
+  // the caller; it is re-armed below.)
+  const double base = std::min(cap_, std::max(anchor, opts_.min_cap));
+  cap_ = std::clamp(base * opts_.decrease_factor, opts_.min_cap,
+                    opts_.max_cap);
+  cooldown_left_ = opts_.cooldown_windows;
+  over_streak_ = 0;
+  ++decreases_;
+  return {ActionKind::kDecrease, cap_, tier};
+}
+
+// hpcap-lint: actuation
+CapAction CapAdmissionController::apply_increase() {
+  // Additive probe back toward the ceiling (cooldown checked by the
+  // caller, re-armed here so a probe settles before the next one).
+  cap_ = std::clamp(cap_ + opts_.increase_step, opts_.min_cap,
+                    opts_.max_cap);
+  cooldown_left_ = opts_.cooldown_windows;
+  under_streak_ = 0;
+  ++increases_;
+  return {ActionKind::kIncrease, cap_, -1};
+}
+
+double CapAdmissionController::admitted(double offered) const noexcept {
+  if (!std::isfinite(offered) || offered <= 0.0) return 0.0;
+  return std::min(offered, cap_);
+}
+
+double CapAdmissionController::shed(double offered) const noexcept {
+  if (!std::isfinite(offered) || offered <= 0.0) return 0.0;
+  return std::max(0.0, offered - cap_);
+}
+
+double CapAdmissionController::admit_fraction(double offered) const noexcept {
+  if (!std::isfinite(offered)) return 0.0;  // fail safe: shed
+  if (offered <= cap_) return 1.0;
+  return offered > 0.0 ? cap_ / offered : 1.0;
+}
+
+}  // namespace hpcap::ctrl

@@ -1,0 +1,115 @@
+#include "ctrl/autoscale.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcap::ctrl {
+
+AutoscaleOptions AutoscaleOptions::sanitized() const noexcept {
+  AutoscaleOptions o = *this;
+  o.min_replicas = std::max(1, o.min_replicas);
+  o.max_replicas = std::max(o.min_replicas, o.max_replicas);
+  o.scale_out_votes = std::max(1, o.scale_out_votes);
+  o.scale_in_votes = std::max(1, o.scale_in_votes);
+  o.scale_in_delay = std::max(0, o.scale_in_delay);
+  o.cooldown_windows = std::max(0, o.cooldown_windows);
+  return o;
+}
+
+Autoscaler::Autoscaler(int num_tiers, Options opts)
+    : opts_(opts.sanitized()) {
+  if (num_tiers < 1)
+    throw std::invalid_argument("Autoscaler: need >= 1 tier");
+  replicas_.assign(static_cast<std::size_t>(num_tiers), opts_.min_replicas);
+}
+
+int Autoscaler::replicas(int tier) const {
+  if (tier < 0 || tier >= static_cast<int>(replicas_.size()))
+    throw std::out_of_range("Autoscaler::replicas: tier");
+  return replicas_[static_cast<std::size_t>(tier)];
+}
+
+ScaleAction Autoscaler::on_window(
+    const core::CoordinatedPredictor::Decision& d) {
+  if (d.degraded || d.staleness > 0) {
+    // Freeze: a coasting predictor's bottleneck attribution is a guess.
+    // Streaks break (sustained = consecutive grounded votes); the
+    // cooldown and the scale-in safety clock both hold.
+    ++freezes_;
+    out_streak_ = 0;
+    in_streak_ = 0;
+    out_tier_ = -1;
+    return {ActionKind::kFrozen, -1, 0};
+  }
+  if (since_scale_out_ < (1 << 20)) ++since_scale_out_;
+  const bool overloaded = d.state == 1;
+  const int tier = d.bottleneck_tier;
+  const bool tier_known =
+      tier >= 0 && tier < static_cast<int>(replicas_.size());
+  if (overloaded && tier_known) {
+    if (tier == out_tier_) {
+      ++out_streak_;
+    } else {
+      out_tier_ = tier;
+      out_streak_ = 1;
+    }
+    in_streak_ = 0;
+  } else if (!overloaded) {
+    ++in_streak_;
+    out_streak_ = 0;
+    out_tier_ = -1;
+  }
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return {ActionKind::kNone, -1, 0};
+  }
+  if (overloaded && tier_known && out_streak_ >= opts_.scale_out_votes)
+    return apply_scale_out(tier);
+  if (!overloaded && in_streak_ >= opts_.scale_in_votes &&
+      since_scale_out_ >= opts_.scale_in_delay)
+    return apply_scale_in();
+  return {ActionKind::kNone, -1, 0};
+}
+
+// hpcap-lint: actuation
+ScaleAction Autoscaler::apply_scale_out(int tier) {
+  // Grow the blamed tier by one replica, clamped to the configured
+  // ceiling (cooldown was checked by the caller and is re-armed here).
+  auto& r = replicas_[static_cast<std::size_t>(tier)];
+  if (r >= opts_.max_replicas) {
+    out_streak_ = 0;  // at the bound: nothing to actuate, don't re-fire
+    return {ActionKind::kNone, tier, r};
+  }
+  r = std::clamp(r + 1, opts_.min_replicas, opts_.max_replicas);
+  cooldown_left_ = opts_.cooldown_windows;
+  out_streak_ = 0;
+  since_scale_out_ = 0;
+  ++scale_outs_;
+  return {ActionKind::kScaleOut, tier, r};
+}
+
+// hpcap-lint: actuation
+ScaleAction Autoscaler::apply_scale_in() {
+  // Shrink the tier holding the most replicas above the floor (ties to
+  // the lowest index), clamped to the floor; cooldown re-armed.
+  int victim = -1;
+  int most = opts_.min_replicas;
+  for (std::size_t t = 0; t < replicas_.size(); ++t) {
+    if (replicas_[t] > most) {
+      most = replicas_[t];
+      victim = static_cast<int>(t);
+    }
+  }
+  if (victim < 0) {
+    in_streak_ = 0;  // already at the floor everywhere
+    return {ActionKind::kNone, -1, opts_.min_replicas};
+  }
+  auto& r = replicas_[static_cast<std::size_t>(victim)];
+  r = std::clamp(r - 1, opts_.min_replicas, opts_.max_replicas);
+  cooldown_left_ = opts_.cooldown_windows;
+  in_streak_ = 0;
+  ++scale_ins_;
+  return {ActionKind::kScaleIn, victim, r};
+}
+
+}  // namespace hpcap::ctrl

@@ -1,0 +1,90 @@
+// Replica autoscaler over the bottleneck tier.
+//
+// The coordinated predictor does not just say "overloaded" — it names
+// the bottleneck tier (the paper's BPT). This controller turns sustained
+// same-tier votes into provisioning actions against a K-tier plant
+// (`mtier::Pipeline::set_tier_replicas` is the seam):
+//
+//   * scale OUT (+1 replica) after `scale_out_votes` consecutive
+//     grounded overload decisions naming the *same* tier — a wandering
+//     bottleneck never actuates;
+//   * scale IN (-1 replica, from the tier holding the most replicas
+//     above the floor; ties break to the lowest index) only after
+//     `scale_in_votes` consecutive grounded underload decisions AND at
+//     least `scale_in_delay` grounded windows since the last scale-out —
+//     the safety delay that keeps a diurnal trough from stripping the
+//     capacity the morning peak will need;
+//   * per-tier [min_replicas, max_replicas] bounds, a `cooldown_windows`
+//     hold after any actuation, and a hard freeze (streaks broken,
+//     cooldown not ticked) on degraded/stale decisions.
+//
+// The controller is deterministic: the seed is recorded for scenario
+// replay bookkeeping but no default policy draws randomness, so the same
+// decision stream always replays to a bit-identical action log.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coordinated.h"
+#include "ctrl/action.h"
+
+namespace hpcap::ctrl {
+
+struct AutoscaleOptions {
+  int min_replicas = 1;
+  int max_replicas = 4;
+  int scale_out_votes = 3;
+  int scale_in_votes = 8;
+  int scale_in_delay = 12;   // grounded windows since the last scale-out
+  int cooldown_windows = 4;  // grounded windows held after any actuation
+  std::uint64_t seed = 0;    // recorded for replay; no default policy
+                             // draws randomness
+
+  // Copy with bounds forced sane: 1 <= min <= max, votes >= 1,
+  // delay/cooldown >= 0.
+  AutoscaleOptions sanitized() const noexcept;
+};
+
+struct ScaleAction {
+  ActionKind kind = ActionKind::kNone;
+  int tier = -1;
+  int replicas = 0;  // replica count in force after this window
+};
+
+class Autoscaler {
+ public:
+  using Options = AutoscaleOptions;
+
+  Autoscaler(int num_tiers, Options opts = Options());
+
+  // Feed the coordinated decision for one window.
+  ScaleAction on_window(const core::CoordinatedPredictor::Decision& d);
+
+  const std::vector<int>& replicas() const noexcept { return replicas_; }
+  int replicas(int tier) const;
+  const Options& options() const noexcept { return opts_; }
+  int out_streak() const noexcept { return out_streak_; }
+  int in_streak() const noexcept { return in_streak_; }
+  int cooldown_remaining() const noexcept { return cooldown_left_; }
+  std::uint64_t scale_outs() const noexcept { return scale_outs_; }
+  std::uint64_t scale_ins() const noexcept { return scale_ins_; }
+  std::uint64_t freezes() const noexcept { return freezes_; }
+
+ private:
+  ScaleAction apply_scale_out(int tier);
+  ScaleAction apply_scale_in();
+
+  Options opts_;
+  std::vector<int> replicas_;
+  int out_tier_ = -1;   // tier the current overload streak names
+  int out_streak_ = 0;
+  int in_streak_ = 0;
+  int cooldown_left_ = 0;
+  int since_scale_out_ = 1 << 20;  // "long ago" before the first one
+  std::uint64_t scale_outs_ = 0;
+  std::uint64_t scale_ins_ = 0;
+  std::uint64_t freezes_ = 0;
+};
+
+}  // namespace hpcap::ctrl

@@ -1,0 +1,149 @@
+#include "ctrl/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcap::ctrl {
+
+namespace {
+
+// Solves the 3x3 linear system A c = b by Gaussian elimination with
+// partial pivoting. Returns false on a (near-)singular system.
+bool solve3(double a[3][3], double b[3], double c[3]) {
+  int perm[3] = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int best = col;
+    for (int row = col + 1; row < 3; ++row)
+      if (std::fabs(a[perm[row]][col]) > std::fabs(a[perm[best]][col]))
+        best = row;
+    std::swap(perm[col], perm[best]);
+    const double pivot = a[perm[col]][col];
+    if (!(std::fabs(pivot) > 1e-30)) return false;
+    for (int row = col + 1; row < 3; ++row) {
+      const double f = a[perm[row]][col] / pivot;
+      for (int k = col; k < 3; ++k) a[perm[row]][k] -= f * a[perm[col]][k];
+      b[perm[row]] -= f * b[perm[col]];
+    }
+  }
+  for (int col = 2; col >= 0; --col) {
+    double acc = b[perm[col]];
+    for (int k = col + 1; k < 3; ++k) acc -= a[perm[col]][k] * c[k];
+    c[col] = acc / a[perm[col]][col];
+  }
+  return std::isfinite(c[0]) && std::isfinite(c[1]) && std::isfinite(c[2]);
+}
+
+double usl_throughput(double lambda, double sigma, double kappa,
+                      double n) noexcept {
+  if (n <= 0.0) return 0.0;
+  const double denom = 1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0);
+  return denom > 0.0 ? lambda * n / denom : 0.0;
+}
+
+}  // namespace
+
+UslOptions UslOptions::sanitized() const noexcept {
+  UslOptions o = *this;
+  o.window = std::max<std::size_t>(3, o.window);
+  o.min_points = std::clamp<std::size_t>(o.min_points, 3, o.window);
+  if (!std::isfinite(o.min_load) || o.min_load < 0.0) o.min_load = 0.0;
+  return o;
+}
+
+double UslFit::throughput_at(double load) const noexcept {
+  if (!valid || !std::isfinite(load)) return 0.0;
+  return usl_throughput(lambda, sigma, kappa, load);
+}
+
+UslFitter::UslFitter(UslOptions opts) : opts_(opts.sanitized()) {}
+
+void UslFitter::add(double load, double throughput) {
+  if (!std::isfinite(load) || !std::isfinite(throughput)) return;
+  if (load < opts_.min_load || throughput <= 0.0) return;
+  last_load_ = load;
+  pts_.emplace_back(load, throughput);
+  while (pts_.size() > opts_.window) pts_.pop_front();
+}
+
+void UslFitter::clear() {
+  pts_.clear();
+  last_load_ = 0.0;
+}
+
+UslFit UslFitter::fit() const {
+  UslFit out;
+  if (pts_.size() < opts_.min_points) return out;
+
+  // The quadratic needs >= 3 distinct loads or the normal equations are
+  // rank-deficient by construction.
+  double seen[3] = {0.0, 0.0, 0.0};
+  std::size_t distinct = 0;
+  for (const auto& [n, x] : pts_) {
+    bool is_new = true;
+    for (std::size_t i = 0; i < distinct && is_new; ++i)
+      if (std::fabs(seen[i] - n) < 1e-12) is_new = false;
+    if (is_new && distinct < 3) seen[distinct++] = n;
+    if (distinct >= 3) break;
+  }
+  if (distinct < 3) return out;
+
+  // Normal equations for y = c0 + c1 N + c2 N^2, y = N / X. Loads are
+  // scaled by their mean before forming the moments: powers up to N^4
+  // around a well-scaled unit keep the 3x3 solve comfortably
+  // conditioned even for loads in the millions.
+  double mean_n = 0.0;
+  for (const auto& [n, x] : pts_) mean_n += n;
+  mean_n /= static_cast<double>(pts_.size());
+  if (!(mean_n > 0.0)) return out;
+
+  double s[5] = {0.0, 0.0, 0.0, 0.0, 0.0};  // sum of u^k
+  double t[3] = {0.0, 0.0, 0.0};            // sum of y u^k
+  for (const auto& [n, x] : pts_) {
+    const double u = n / mean_n;
+    const double y = n / x;
+    double p = 1.0;
+    for (int k = 0; k < 5; ++k) {
+      s[k] += p;
+      if (k < 3) t[k] += y * p;
+      p *= u;
+    }
+  }
+  double a[3][3] = {{s[0], s[1], s[2]}, {s[1], s[2], s[3]},
+                    {s[2], s[3], s[4]}};
+  double b[3] = {t[0], t[1], t[2]};
+  double cu[3];
+  if (!solve3(a, b, cu)) return out;
+  // Undo the scaling: y = cu0 + cu1 (N/m) + cu2 (N/m)^2.
+  const double c0 = cu[0];
+  const double c1 = cu[1] / mean_n;
+  const double c2 = cu[2] / (mean_n * mean_n);
+
+  const double inv_lambda = c0 + c1 + c2;  // y(1) = 1 / X(1)
+  if (!(inv_lambda > 0.0)) return out;
+  out.lambda = 1.0 / inv_lambda;
+  out.kappa = std::max(0.0, c2 * out.lambda);
+  out.sigma = std::clamp(c1 * out.lambda + out.kappa, 0.0, 0.999999);
+  out.valid = true;
+  out.has_knee = out.kappa > 1e-12;
+  if (out.has_knee) {
+    out.knee_load = std::sqrt((1.0 - out.sigma) / out.kappa);
+    out.knee_throughput =
+        usl_throughput(out.lambda, out.sigma, out.kappa, out.knee_load);
+  }
+  double sq = 0.0;
+  for (const auto& [n, x] : pts_) {
+    const double y_hat = c0 + c1 * n + c2 * n * n;
+    const double r = n / x - y_hat;
+    sq += r * r;
+  }
+  out.rmse = std::sqrt(sq / static_cast<double>(pts_.size()));
+  return out;
+}
+
+double UslFitter::capacity_at(double multiplier) const {
+  if (!std::isfinite(multiplier) || multiplier <= 0.0 || last_load_ <= 0.0)
+    return 0.0;
+  return fit().throughput_at(multiplier * last_load_);
+}
+
+}  // namespace hpcap::ctrl

@@ -1,0 +1,94 @@
+// Online Universal-Scalability-Law forecasting.
+//
+// Gunther's USL (PAPERS.md, "Performance and Scalability Models for a
+// Hypergrowth e-Commerce Web Site") models delivered throughput at load
+// N as
+//
+//     X(N) = lambda * N / (1 + sigma * (N - 1) + kappa * N * (N - 1))
+//
+// with lambda the per-client service rate at N = 1, sigma the contention
+// (serialization) coefficient and kappa the coherency (pairwise
+// crosstalk) coefficient. The transform y = N / X(N) linearizes it to a
+// quadratic in N,
+//
+//     y = c0 + c1 N + c2 N^2,   c0 = (1 - sigma) / lambda,
+//                               c1 = (sigma - kappa) / lambda,
+//                               c2 = kappa / lambda,
+//
+// so an ordinary least-squares fit over a sliding window of measured
+// (load, throughput) pairs recovers the model online:
+//
+//     lambda = 1 / (c0 + c1 + c2),  kappa = c2 * lambda,
+//     sigma  = c1 * lambda + kappa,
+//     knee   N* = sqrt((1 - sigma) / kappa)    (throughput peak).
+//
+// This answers the capacity-planning question the measurement plane
+// exists for — "what is capacity at 2x traffic?" — from windows the
+// monitor already records, no offline stress test required. The
+// coordinated predictor finds the knee empirically (the PI knee); the
+// fitter forecasts it, and bench_ctrl validates the two against each
+// other (ISSUE 9: within 15%).
+//
+// Numerical hygiene: non-finite or non-positive samples are ignored at
+// add() (no NaN ever enters the normal equations), the fit demands
+// `min_points` samples spanning >= 3 distinct loads, and a singular or
+// non-physical system (lambda <= 0) reports {valid = false} rather than
+// garbage coefficients.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+namespace hpcap::ctrl {
+
+struct UslOptions {
+  std::size_t window = 128;    // sliding window of (load, throughput)
+  std::size_t min_points = 8;  // refuse to fit on less
+  double min_load = 0.5;       // ignore idle windows
+
+  UslOptions sanitized() const noexcept;
+};
+
+struct UslFit {
+  bool valid = false;
+  double lambda = 0.0;  // per-client rate at N = 1
+  double sigma = 0.0;   // contention, clamped to [0, 1)
+  double kappa = 0.0;   // coherency, clamped to >= 0
+  bool has_knee = false;      // kappa > 0: X(N) has an interior maximum
+  double knee_load = 0.0;     // N* (0 when !has_knee)
+  double knee_throughput = 0.0;  // X(N*)
+  double rmse = 0.0;          // residual on the linearized y = N/X
+
+  // Model throughput at an arbitrary load (0 when !valid).
+  double throughput_at(double load) const noexcept;
+};
+
+class UslFitter {
+ public:
+  explicit UslFitter(UslOptions opts = UslOptions());
+
+  // One measured window. Silently ignores non-finite, idle
+  // (load < min_load) or non-positive-throughput points.
+  void add(double load, double throughput);
+  void clear();
+
+  std::size_t size() const noexcept { return pts_.size(); }
+  double last_load() const noexcept { return last_load_; }
+
+  // Least-squares fit over the current window (O(window), recomputed per
+  // call — forecasting runs once per 30 s window, not per sample).
+  UslFit fit() const;
+
+  // Forecast throughput at `multiplier` x the most recently added load:
+  // "capacity at 2x traffic" is capacity_at(2.0). Returns 0 until a
+  // valid fit exists.
+  double capacity_at(double multiplier) const;
+
+ private:
+  UslOptions opts_;
+  std::deque<std::pair<double, double>> pts_;  // (load, throughput)
+  double last_load_ = 0.0;
+};
+
+}  // namespace hpcap::ctrl

@@ -1,0 +1,78 @@
+#include "ctrl/loop.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hpcap::ctrl {
+
+std::string LoopEvent::line() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "w=%lld c=%c k=%s tier=%d v=%.17g",
+                static_cast<long long>(window), component,
+                action_kind_name(kind), tier, value);
+  return buf;
+}
+
+ClosedLoopController::ClosedLoopController(int num_tiers, LoopOptions opts,
+                                           LoopActuators actuators)
+    : opts_(opts),
+      admission_(opts.admission),
+      autoscaler_(num_tiers, opts.autoscale),
+      forecaster_(opts.forecast),
+      act_(std::move(actuators)) {}
+
+void ClosedLoopController::on_window(
+    const core::CoordinatedPredictor::Decision& d, double admitted_load,
+    double throughput) {
+  forecaster_.add(admitted_load, throughput);
+  const CapAction ca = admission_.on_window(d, admitted_load);
+  ScaleAction sa;
+  if (opts_.autoscale_enabled) sa = autoscaler_.on_window(d);
+  if (ca.kind != ActionKind::kNone)
+    events_.push_back(
+        {window_index_, 'a', ca.kind, ca.tier, ca.cap});
+  if (sa.kind != ActionKind::kNone)
+    events_.push_back({window_index_, 's', sa.kind, sa.tier,
+                       static_cast<double>(sa.replicas)});
+  actuate(ca, sa);
+  ++window_index_;
+}
+
+// hpcap-lint: actuation
+void ClosedLoopController::actuate(const CapAction& cap_action,
+                                   const ScaleAction& scale_action) {
+  // Defense in depth at the plant boundary: each controller clamps and
+  // cooldown-gates internally, but the values crossing into the plant
+  // are re-clamped against the configured bounds here, and a frozen (or
+  // idle) window forwards nothing at all.
+  if (cap_action.kind == ActionKind::kFrozen ||
+      scale_action.kind == ActionKind::kFrozen)
+    return;
+  if (act_.set_cap && (cap_action.kind == ActionKind::kDecrease ||
+                       cap_action.kind == ActionKind::kIncrease)) {
+    const auto& o = admission_.options();
+    act_.set_cap(std::clamp(cap_action.cap, o.min_cap, o.max_cap));
+  }
+  if (act_.set_replicas && (scale_action.kind == ActionKind::kScaleOut ||
+                            scale_action.kind == ActionKind::kScaleIn)) {
+    const auto& o = autoscaler_.options();
+    act_.set_replicas(
+        scale_action.tier,
+        std::clamp(scale_action.replicas, o.min_replicas, o.max_replicas));
+  }
+}
+
+LoopStatus ClosedLoopController::status() const {
+  LoopStatus s;
+  s.windows = window_index_;
+  s.cap = admission_.cap();
+  s.replicas = autoscaler_.replicas();
+  s.decreases = admission_.decreases();
+  s.increases = admission_.increases();
+  s.scale_outs = autoscaler_.scale_outs();
+  s.scale_ins = autoscaler_.scale_ins();
+  s.freezes = admission_.freezes() + autoscaler_.freezes();
+  return s;
+}
+
+}  // namespace hpcap::ctrl

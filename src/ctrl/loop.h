@@ -1,0 +1,106 @@
+// The closed capacity-management loop (ROADMAP item 4, ISSUE 9).
+//
+// Composes the three controllers of this subsystem behind one per-window
+// entry point:
+//
+//     measurement plane          control plane             plant
+//   CoordinatedPredictor ──► ClosedLoopController ──► set_cap(...)
+//        Decision               · CapAdmission        set_replicas(...)
+//    (+ load, throughput)       · Autoscaler
+//                               · UslFitter
+//
+// Every decided window feeds the USL fitter (forecasting is passive),
+// then the admission and autoscale controllers; whatever they actuate is
+// forwarded through the caller-supplied actuator callbacks and appended
+// to a deterministic event log. The log's textual form (LoopEvent::line)
+// is the artifact the determinism tests diff bit-for-bit across
+// same-seed reruns, and what the robustness tests inspect to prove that
+// degraded/stale windows froze rather than actuated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/coordinated.h"
+#include "ctrl/admission.h"
+#include "ctrl/autoscale.h"
+#include "ctrl/forecast.h"
+
+namespace hpcap::ctrl {
+
+struct LoopOptions {
+  CapAdmissionOptions admission;
+  AutoscaleOptions autoscale;
+  UslOptions forecast;
+  bool autoscale_enabled = true;
+};
+
+// Actuator callbacks into the plant; either may be empty (advisory).
+struct LoopActuators {
+  std::function<void(double cap)> set_cap;
+  std::function<void(int tier, int replicas)> set_replicas;
+};
+
+struct LoopEvent {
+  std::int64_t window = 0;
+  char component = 'a';  // 'a' admission, 's' autoscale
+  ActionKind kind = ActionKind::kNone;
+  int tier = -1;
+  double value = 0.0;  // cap after the action / replica count
+
+  // Stable textual form ("w=12 c=a k=decrease tier=1 v=312.5") for the
+  // two-run determinism diff.
+  std::string line() const;
+};
+
+struct LoopStatus {
+  std::int64_t windows = 0;
+  double cap = 0.0;
+  std::vector<int> replicas;
+  std::uint64_t decreases = 0;
+  std::uint64_t increases = 0;
+  std::uint64_t scale_outs = 0;
+  std::uint64_t scale_ins = 0;
+  std::uint64_t freezes = 0;  // admission + autoscale freeze windows
+};
+
+class ClosedLoopController {
+ public:
+  ClosedLoopController(int num_tiers, LoopOptions opts,
+                       LoopActuators actuators = LoopActuators());
+
+  // One decided window: the coordinated decision plus that window's
+  // admitted load and delivered throughput (the caller's units — EBs or
+  // requests/s — as long as they are consistent).
+  void on_window(const core::CoordinatedPredictor::Decision& d,
+                 double admitted_load, double throughput);
+
+  // Shed arithmetic for the next window's offered load.
+  double admitted(double offered) const noexcept {
+    return admission_.admitted(offered);
+  }
+
+  const CapAdmissionController& admission() const noexcept {
+    return admission_;
+  }
+  const Autoscaler& autoscaler() const noexcept { return autoscaler_; }
+  const UslFitter& forecaster() const noexcept { return forecaster_; }
+  UslFitter& forecaster() noexcept { return forecaster_; }
+  const std::vector<LoopEvent>& events() const noexcept { return events_; }
+  LoopStatus status() const;
+
+ private:
+  void actuate(const CapAction& cap_action, const ScaleAction& scale_action);
+
+  LoopOptions opts_;
+  CapAdmissionController admission_;
+  Autoscaler autoscaler_;
+  UslFitter forecaster_;
+  LoopActuators act_;
+  std::vector<LoopEvent> events_;
+  std::int64_t window_index_ = 0;
+};
+
+}  // namespace hpcap::ctrl

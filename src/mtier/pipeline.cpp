@@ -53,6 +53,18 @@ void Pipeline::set_class_weights(const std::vector<double>& weights) {
     cfg_.classes[i].weight = weights[i];
 }
 
+void Pipeline::set_tier_replicas(int tier, int replicas) {
+  if (tier < 0 || tier >= static_cast<int>(tiers_.size()))
+    throw std::out_of_range("set_tier_replicas: tier");
+  tiers_[static_cast<std::size_t>(tier)]->set_replicas(replicas);
+}
+
+int Pipeline::tier_replicas(int tier) const {
+  if (tier < 0 || tier >= static_cast<int>(tiers_.size()))
+    throw std::out_of_range("tier_replicas: tier");
+  return tiers_[static_cast<std::size_t>(tier)]->replicas();
+}
+
 void Pipeline::spawn_client(std::uint64_t id) { client_think(id); }
 
 void Pipeline::client_think(std::uint64_t id) {
@@ -114,7 +126,9 @@ void Pipeline::run_phase(const std::shared_ptr<Job>& job) {
 void Pipeline::finish(const std::shared_ptr<Job>& job) {
   tiers_[0]->release_thread();
   ++window_completed_;
-  window_rt_sum_ += eq_.now() - job->start_time;
+  const double rt = eq_.now() - job->start_time;
+  window_rt_sum_ += rt;
+  window_rts_.push_back(rt);
   client_think(job->client_id);
 }
 
@@ -136,10 +150,13 @@ void Pipeline::sampling_tick() {
   bool window_closed = false;
   for (std::size_t t = 0; t < tiers_.size(); ++t) {
     const auto stats = tiers_[t]->sample_and_reset();
-    const auto& tc = cfg_.tiers[t];
-    const double util = stats.utilization(tc.cores);
+    // Utilization and queue pressure normalize against the tier's
+    // *effective* (replica-scaled) resources, so a scaled-out tier reads
+    // as relieved, not as impossibly >100% busy.
+    const double util = stats.utilization(tiers_[t]->effective_cores());
     window_util_sum_[t] += util;
-    const double pool = std::max(1.0, static_cast<double>(tc.thread_pool));
+    const double pool =
+        std::max(1.0, static_cast<double>(tiers_[t]->effective_pool()));
     window_pressure_sum_[t] +=
         util + 0.3 * std::min(1.0, stats.mean_queue() / pool);
     auto sample = collectors_[t]->collect(stats);
@@ -163,10 +180,23 @@ void Pipeline::sampling_tick() {
           ? window_rt_sum_ / static_cast<double>(window_completed_)
           : 0.0;
   rec.population = target_population_;
+  if (!window_rts_.empty()) {
+    std::sort(window_rts_.begin(), window_rts_.end());
+    const auto quantile = [&](double q) {
+      const auto n = window_rts_.size();
+      const std::size_t idx = std::min(
+          n - 1, static_cast<std::size_t>(q * static_cast<double>(n)));
+      return window_rts_[idx];
+    };
+    rec.rt_p95 = quantile(0.95);
+    rec.rt_p99 = quantile(0.99);
+  }
   rec.tier_utilization.resize(tiers_.size());
+  rec.tier_replicas.resize(tiers_.size());
   double best = -1.0;
   for (std::size_t t = 0; t < tiers_.size(); ++t) {
     rec.tier_utilization[t] = window_util_sum_[t] / window_ticks_;
+    rec.tier_replicas[t] = tiers_[t]->replicas();
     const double pressure = window_pressure_sum_[t] / window_ticks_;
     if (pressure > best) {
       best = pressure;
@@ -176,6 +206,7 @@ void Pipeline::sampling_tick() {
   window_completed_ = 0;
   window_issued_ = 0;
   window_rt_sum_ = 0.0;
+  window_rts_.clear();
   window_ticks_ = 0;
   std::fill(window_util_sum_.begin(), window_util_sum_.end(), 0.0);
   std::fill(window_pressure_sum_.begin(), window_pressure_sum_.end(), 0.0);

@@ -56,6 +56,12 @@ struct PipelineInstance {
   int population = 0;
   int bottleneck_tier = -1;              // measured pressure argmax
   std::vector<double> tier_utilization;
+  // Replica count per tier during the window (autoscaler telemetry).
+  std::vector<int> tier_replicas;
+  // Response-time tail over the window's completions (0 when none) —
+  // the "p99 within budget" evidence the closed-loop scenarios cite.
+  double rt_p95 = 0.0;
+  double rt_p99 = 0.0;
 };
 
 class Pipeline {
@@ -74,6 +80,11 @@ class Pipeline {
   // Reweights the job classes (takes effect for subsequently issued
   // requests) — the knob that moves the bottleneck between tiers.
   void set_class_weights(const std::vector<double>& weights);
+
+  // Horizontal scaling of one tier (the ctrl/autoscale actuation seam):
+  // see sim::Tier::set_replicas for the plant model.
+  void set_tier_replicas(int tier, int replicas);
+  int tier_replicas(int tier) const;
 
   // Advances the simulation by `duration` seconds.
   void run(double duration);
@@ -109,6 +120,7 @@ class Pipeline {
   std::uint64_t window_completed_ = 0;
   std::uint64_t window_issued_ = 0;
   double window_rt_sum_ = 0.0;
+  std::vector<double> window_rts_;  // per-completion RTs for the tail
   std::vector<double> window_util_sum_;
   std::vector<double> window_pressure_sum_;
   int window_ticks_ = 0;

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +24,7 @@
 
 #include "core/pipeline.h"
 #include "core/validate.h"
+#include "ctrl/admission.h"
 #include "counters/metric_catalog.h"
 #include "counters/sampler.h"
 #include "net/aggregate.h"
@@ -262,6 +264,18 @@ Server::Server(EventLoop& loop, core::MonitorSource& source, ServerConfig cfg,
   if (group == nullptr && role != ShardRole::kStandalone)
     throw std::invalid_argument(
         "Server: a sharded role needs an external ShardGroup");
+  if (cfg_.ctrl_advisory) {
+    // One advisory controller per fleet, created before any reactor
+    // thread starts (the lock is for the sharded case's ctor ordering).
+    std::lock_guard<std::mutex> lock(group_->ctrl_mu);
+    if (!group_->ctrl) {
+      ctrl::CapAdmissionOptions opts;
+      opts.min_cap = cfg_.ctrl_min_cap;
+      opts.max_cap = cfg_.ctrl_max_cap;
+      opts.initial_cap = cfg_.ctrl_max_cap;
+      group_->ctrl = std::make_unique<ctrl::CapAdmissionController>(opts);
+    }
+  }
   shard_id_ = group_->register_shard(&loop_, this);
 }
 
@@ -1319,6 +1333,13 @@ void Server::flush_decisions(Connection& c) {
   }
   stats_.windows += W;
   stats_.decisions += W;
+  if (group_->ctrl) {
+    // Advisory AIMD: the daemon never sheds traffic itself — clients read
+    // the recommended cap from STATS. Anchorless feed (no load signal
+    // here), leaf-level lock, no allocation.
+    std::lock_guard<std::mutex> lock(group_->ctrl_mu);
+    for (std::size_t w = 0; w < W; ++w) group_->ctrl->on_window(s.block_out[w]);
+  }
   for (std::size_t w = 0; w < W; ++w) {
     const auto& d = s.block_out[w];
     DecisionFrame frame;
@@ -1454,6 +1475,24 @@ StatsReply Server::build_stats() const {
       {"agg_windows_in", stats_.agg_windows_in},
       {"fleet_decisions", stats_.fleet_decisions},
   };
+  if (group_->ctrl) {
+    std::lock_guard<std::mutex> lock(group_->ctrl_mu);
+    const auto& ctl = *group_->ctrl;
+    const double cap = ctl.cap();
+    rep.entries.emplace_back(
+        "ctrl_cap", static_cast<std::uint64_t>(std::llround(
+                        std::max(0.0, std::min(cap, 1e18)))));
+    rep.entries.emplace_back("ctrl_windows", ctl.windows());
+    rep.entries.emplace_back("ctrl_decreases", ctl.decreases());
+    rep.entries.emplace_back("ctrl_increases", ctl.increases());
+    rep.entries.emplace_back("ctrl_freezes", ctl.freezes());
+    rep.entries.emplace_back(
+        "ctrl_overload_streak",
+        static_cast<std::uint64_t>(ctl.overload_streak()));
+    rep.entries.emplace_back(
+        "ctrl_cooldown_remaining",
+        static_cast<std::uint64_t>(ctl.cooldown_remaining()));
+  }
   return rep;
 }
 

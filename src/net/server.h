@@ -106,6 +106,10 @@
 #include "net/event_loop.h"
 #include "net/protocol.h"
 
+namespace hpcap::ctrl {
+class CapAdmissionController;
+}
+
 namespace hpcap::net {
 
 class Uplink;
@@ -181,6 +185,16 @@ struct ServerConfig {
   std::uint16_t parent_port = 0;
   std::vector<std::uint16_t> agg_coverage;
   std::string leaf_name = "leaf";
+
+  // --- closed-loop advisory admission (ISSUE 9) ----------------------
+  // When enabled, every decided window also feeds a fleet-wide AIMD
+  // admission-cap controller (src/ctrl/admission.h); the resulting cap
+  // and actuation counters are surfaced as ctrl_* STATS entries so an
+  // external front door can enforce them. Advisory only: the daemon
+  // itself never sheds samples or decisions.
+  bool ctrl_advisory = false;
+  double ctrl_min_cap = 1.0;
+  double ctrl_max_cap = 1e6;
 };
 
 // One relaxed-atomic counter. The sharded daemon's stats are fleet-wide
@@ -304,6 +318,13 @@ class ShardGroup {
   struct Directory;
   std::mutex mu;
   const std::unique_ptr<Directory> dir;  // pointer is immutable; *dir isn't
+
+  // Fleet-wide advisory admission controller (cfg.ctrl_advisory);
+  // created by the first Server before any reactor thread starts. Fed
+  // under ctrl_mu (leaf-level, like mu: nothing is posted or enqueued
+  // while it is held).
+  std::mutex ctrl_mu;
+  std::unique_ptr<ctrl::CapAdmissionController> ctrl;
 
  private:
   struct Shard;

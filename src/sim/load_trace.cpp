@@ -1,0 +1,89 @@
+#include "sim/load_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hpcap::sim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+std::size_t step_count(double duration, double step) {
+  if (!(step > 0.0) || !(duration > 0.0))
+    throw std::invalid_argument("LoadTrace: duration and step must be > 0");
+  return static_cast<std::size_t>(std::ceil(duration / step - 1e-9));
+}
+}  // namespace
+
+LoadTrace::LoadTrace(double step, std::size_t n)
+    : step_(step), levels_(n, 0.0) {}
+
+LoadTrace LoadTrace::constant(double level, double duration, double step) {
+  LoadTrace t(step, step_count(duration, step));
+  std::fill(t.levels_.begin(), t.levels_.end(), std::max(0.0, level));
+  return t;
+}
+
+LoadTrace LoadTrace::diurnal(double base, double amplitude, double period,
+                             double duration, double step) {
+  if (!(period > 0.0))
+    throw std::invalid_argument("LoadTrace::diurnal: period must be > 0");
+  LoadTrace t(step, step_count(duration, step));
+  for (std::size_t i = 0; i < t.levels_.size(); ++i) {
+    // Sample mid-step; phase -pi/2 starts the day at the trough.
+    const double at = (static_cast<double>(i) + 0.5) * step;
+    const double phase = 2.0 * kPi * at / period - kPi / 2.0;
+    t.levels_[i] = std::max(0.0, base + amplitude * std::sin(phase));
+  }
+  return t;
+}
+
+LoadTrace& LoadTrace::add_flash_crowd(double start, double ramp, double hold,
+                                      double decay, double peak) {
+  if (peak < 0.0)
+    throw std::invalid_argument("LoadTrace::add_flash_crowd: peak < 0");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const double at = (static_cast<double>(i) + 0.5) * step_;
+    const double since = at - start;
+    double extra = 0.0;
+    if (since >= 0.0 && since < ramp) {
+      extra = ramp > 0.0 ? peak * since / ramp : peak;
+    } else if (since >= ramp && since < ramp + hold) {
+      extra = peak;
+    } else if (since >= ramp + hold && since < ramp + hold + decay) {
+      extra = decay > 0.0
+                  ? peak * (1.0 - (since - ramp - hold) / decay)
+                  : 0.0;
+    }
+    levels_[i] += extra;
+  }
+  return *this;
+}
+
+LoadTrace& LoadTrace::add_jitter(std::uint64_t seed, double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  if (fraction == 0.0) return *this;
+  Rng rng(seed);
+  for (double& level : levels_)
+    level *= 1.0 + fraction * (2.0 * rng.uniform() - 1.0);
+  return *this;
+}
+
+double LoadTrace::offered_at(double t) const noexcept {
+  if (levels_.empty()) return 0.0;
+  const double idx = std::floor(t / step_);
+  const auto clamped = static_cast<std::size_t>(std::clamp(
+      idx, 0.0, static_cast<double>(levels_.size() - 1)));
+  return levels_[clamped];
+}
+
+double LoadTrace::peak() const noexcept {
+  double best = 0.0;
+  for (const double level : levels_) best = std::max(best, level);
+  return best;
+}
+
+}  // namespace hpcap::sim

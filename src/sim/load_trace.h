@@ -1,0 +1,62 @@
+// Deterministic offered-load traces (diurnal + flash crowd).
+//
+// The closed-loop scenarios (ISSUE 9) need an *offered* load that does
+// not care what the site can absorb: a diurnal baseline (the daily
+// sinusoid every production traffic graph shows) with a flash crowd
+// superimposed — offered EB counts that can reach the millions while the
+// site saturates in the thousands. A trace is a piecewise-constant
+// function of time at `step` resolution, built from composable shapes;
+// the controller decides how much of each step's offered load is
+// admitted, and the shed remainder is accounted arithmetically (nothing
+// in the simulator ever pays for a shed client).
+//
+// Traces are plain data: optional jitter is applied once, at build time,
+// through a seeded Rng — two traces built with the same parameters are
+// bit-identical, which the same-seed replay tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpcap::sim {
+
+class LoadTrace {
+ public:
+  // A flat trace: `duration` seconds at `level`, sampled every `step`.
+  static LoadTrace constant(double level, double duration, double step);
+
+  // A day-like sinusoid: offered(t) = base + amplitude * sin(...) with
+  // one full cycle per `period` seconds, starting at the trough.
+  static LoadTrace diurnal(double base, double amplitude, double period,
+                           double duration, double step);
+
+  // Superimposes a flash crowd: linear ramp from 0 to `peak` extra load
+  // over [start, start+ramp), holds `peak` for `hold` seconds, then
+  // decays linearly back to 0 over `decay` seconds.
+  LoadTrace& add_flash_crowd(double start, double ramp, double hold,
+                             double decay, double peak);
+
+  // Multiplies every step by a deterministic lognormal-ish jitter factor
+  // in [1-fraction, 1+fraction], drawn from a seeded stream.
+  LoadTrace& add_jitter(std::uint64_t seed, double fraction);
+
+  // Offered load at absolute time t (clamped to the trace's range).
+  double offered_at(double t) const noexcept;
+
+  double step() const noexcept { return step_; }
+  double duration() const noexcept {
+    return static_cast<double>(levels_.size()) * step_;
+  }
+  std::size_t steps() const noexcept { return levels_.size(); }
+  const std::vector<double>& levels() const noexcept { return levels_; }
+  double peak() const noexcept;
+
+ private:
+  LoadTrace(double step, std::size_t n);
+
+  double step_ = 30.0;
+  std::vector<double> levels_;
+};
+
+}  // namespace hpcap::sim

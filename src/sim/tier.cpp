@@ -20,7 +20,9 @@ Tier::Tier(EventQueue& eq, Config cfg) : eq_(eq), cfg_(std::move(cfg)) {
 }
 
 double Tier::current_mem_stall() const noexcept {
-  const double f = live_footprint_mb_;
+  // Replicas split the live footprint: each copy's caches see only its
+  // own share of the concurrently running jobs.
+  const double f = live_footprint_mb_ / static_cast<double>(replicas_);
   if (f <= 0.0) return 0.0;
   return cfg_.mem_stall_max * f / (f + cfg_.mem_footprint_half_mb);
 }
@@ -28,9 +30,12 @@ double Tier::current_mem_stall() const noexcept {
 double Tier::current_efficiency() const noexcept {
   // Scheduling overhead scales with *runnable* jobs beyond the core count;
   // threads blocked on a downstream tier cost memory, not context
-  // switches.
-  const double over = std::max(
-      0.0, static_cast<double>(static_cast<int>(jobs_.size()) - cfg_.cores));
+  // switches. With replicas, each copy schedules its 1/r share of the
+  // runnable jobs on its own cores.
+  const double per_replica =
+      static_cast<double>(jobs_.size()) / static_cast<double>(replicas_);
+  const double over =
+      std::max(0.0, per_replica - static_cast<double>(cfg_.cores));
   const double thread_eff =
       1.0 / (1.0 + cfg_.thread_overhead_coeff *
                        std::pow(over, cfg_.thread_overhead_exp));
@@ -41,8 +46,26 @@ double Tier::current_efficiency() const noexcept {
 double Tier::capacity() const noexcept {
   const int n = static_cast<int>(jobs_.size());
   if (n == 0) return 0.0;
-  const double parallel = static_cast<double>(std::min(n, cfg_.cores));
+  const double parallel =
+      static_cast<double>(std::min(n, effective_cores()));
   return parallel * current_efficiency();
+}
+
+void Tier::set_replicas(int replicas) {
+  advance();
+  replicas = std::max(1, replicas);
+  if (replicas == replicas_) return;
+  replicas_ = replicas;
+  // A grown pool admits queued waiters immediately; a shrunk one drains
+  // naturally (release_thread re-checks the effective bound).
+  while (!waiters_.empty() && admitted_ < effective_pool()) {
+    auto next = std::move(waiters_.front());
+    waiters_.pop_front();
+    ++admitted_;
+    ++stats_.thread_grants;
+    eq_.schedule_after(0.0, std::move(next));
+  }
+  reschedule_completion();  // delivered capacity just changed
 }
 
 void Tier::advance() {
@@ -56,7 +79,7 @@ void Tier::advance() {
   const double cap = capacity();
   const double eff = current_efficiency();
   const double cores_busy =
-      static_cast<double>(std::min(n, cfg_.cores));
+      static_cast<double>(std::min(n, effective_cores()));
 
   stats_.thread_integral += static_cast<double>(admitted_) * dt;
   stats_.queue_integral += static_cast<double>(waiters_.size()) * dt;
@@ -80,7 +103,7 @@ void Tier::advance() {
 void Tier::acquire_thread(std::function<void()> granted) {
   advance();
   ++stats_.queue_arrivals;
-  if (admitted_ < cfg_.thread_pool) {
+  if (admitted_ < effective_pool()) {
     ++admitted_;
     ++stats_.thread_grants;
     reschedule_completion();  // efficiency depends on admitted_
@@ -93,7 +116,7 @@ void Tier::acquire_thread(std::function<void()> granted) {
 void Tier::release_thread() {
   advance();
   --admitted_;
-  if (!waiters_.empty() && admitted_ < cfg_.thread_pool) {
+  if (!waiters_.empty() && admitted_ < effective_pool()) {
     auto next = std::move(waiters_.front());
     waiters_.pop_front();
     ++admitted_;

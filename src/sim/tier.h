@@ -130,6 +130,20 @@ class Tier {
   // testbed decides pool semantics per tier.
   void execute(double demand, const JobTag& tag, std::function<void()> done);
 
+  // Horizontal scaling (ISSUE 9 autoscaler seam). A tier with r replicas
+  // models r identical, perfectly load-balanced copies behind one
+  // virtual front: delivered capacity and the worker pool scale by r,
+  // scheduler overhead is computed on the per-replica runnable share,
+  // and the live memory footprint is spread across replicas before the
+  // stall model sees it. Growth admits queued waiters immediately;
+  // shrink takes effect as running work drains (no job is killed).
+  void set_replicas(int replicas);
+  int replicas() const noexcept { return replicas_; }
+  int effective_cores() const noexcept { return cfg_.cores * replicas_; }
+  int effective_pool() const noexcept {
+    return cfg_.thread_pool * replicas_;
+  }
+
   // Instantaneous gauges.
   int active_jobs() const noexcept { return static_cast<int>(jobs_.size()); }
   int admitted_threads() const noexcept { return admitted_; }
@@ -160,6 +174,7 @@ class Tier {
 
   EventQueue& eq_;
   Config cfg_;
+  int replicas_ = 1;
 
   // Thread pool.
   int admitted_ = 0;

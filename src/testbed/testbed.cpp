@@ -193,19 +193,24 @@ void Testbed::sampling_tick() {
   stats.reserve(tiers_.size());
   for (auto& t : tiers_) stats.push_back(t->sample_and_reset());
 
-  // Client-side telemetry for the same second.
+  // Client-side telemetry for the same second (closed-loop RBE plus the
+  // open-loop stream when one is active).
   const tpcw::Rbe::Stats rbe_tick = rbe_->drain_interval_stats();
-  window_.completed += rbe_tick.completed;
-  window_.issued += rbe_tick.issued;
-  window_.response_time_sum += rbe_tick.response_time.sum();
-  window_.response_time_count += rbe_tick.response_time.count();
+  const OlTick ol_tick = ol_tick_;
+  ol_tick_ = OlTick{};
+  window_.completed += rbe_tick.completed + ol_tick.completed;
+  window_.issued += rbe_tick.issued + ol_tick.issued;
+  window_.response_time_sum += rbe_tick.response_time.sum() + ol_tick.rt_sum;
+  window_.response_time_count +=
+      rbe_tick.response_time.count() + ol_tick.rt_count;
   ++window_.ticks;
 
   SampleRecord sample;
   sample.time = eq_.now();
   sample.ebs = rbe_->target_ebs();
-  sample.throughput = static_cast<double>(rbe_tick.completed) /
-                      cfg_.sample_period;
+  sample.throughput =
+      static_cast<double>(rbe_tick.completed + ol_tick.completed) /
+      cfg_.sample_period;
 
   std::optional<std::vector<std::vector<double>>> hpc_instance;
   std::optional<std::vector<std::vector<double>>> os_instance;
@@ -338,7 +343,7 @@ void Testbed::sampling_tick() {
   rec.offered_rate = static_cast<double>(window_.issued) / window_seconds;
   rec.health.offered_rate = rec.offered_rate;
   rec.ebs = rbe_->target_ebs();
-  rec.mix_name = rbe_->mix().name();
+  rec.mix_name = open_loop_active_ ? current_mix_name_ : rbe_->mix().name();
   rec.tier_utilization.resize(tiers_.size());
   double best_pressure = -1.0;
   for (std::size_t t = 0; t < tiers_.size(); ++t) {
@@ -364,6 +369,40 @@ void Testbed::run(const tpcw::WorkloadSchedule& schedule) {
   eq_.run_until(run_end_);
   // Park the site between runs so back-to-back schedules start clean.
   rbe_->set_target_ebs(0);
+}
+
+void Testbed::run_open_loop(const tpcw::OpenLoopConfig& config,
+                            const tpcw::Mix& mix, double duration) {
+  if (!open_loop_) {
+    open_loop_ = std::make_unique<tpcw::OpenLoopSource>(
+        eq_, factory_, config,
+        [this](sim::Request req, tpcw::Rbe::CompletionFn done) {
+          ++ol_tick_.issued;
+          submit(std::move(req),
+                 [this, done = std::move(done)](const sim::Request& r) {
+                   // A shed request never reached a tier
+                   // (first_service_time stays -1); it is counted by
+                   // rejected_, not as goodput.
+                   if (r.first_service_time >= 0.0) {
+                     ++ol_tick_.completed;
+                     if (r.response_time() >= 0.0) {
+                       ol_tick_.rt_sum += r.response_time();
+                       ++ol_tick_.rt_count;
+                     }
+                   }
+                   done(r);
+                 });
+        });
+  }
+  open_loop_->set_mix(std::make_shared<const tpcw::Mix>(mix));
+  current_mix_name_ = mix.name();
+  open_loop_active_ = true;
+  const double start = eq_.now();
+  run_end_ = start + duration;
+  start_sampling(run_end_);
+  open_loop_->run_until(run_end_);
+  eq_.run_until(run_end_);
+  open_loop_active_ = false;
 }
 
 }  // namespace hpcap::testbed

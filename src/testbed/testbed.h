@@ -27,6 +27,7 @@
 #include "counters/sampler.h"
 #include "sim/event_queue.h"
 #include "sim/tier.h"
+#include "tpcw/open_loop.h"
 #include "tpcw/rbe.h"
 #include "tpcw/request_factory.h"
 #include "tpcw/schedule.h"
@@ -113,6 +114,19 @@ class Testbed {
   // instances. May be called repeatedly; records accumulate.
   void run(const tpcw::WorkloadSchedule& schedule);
 
+  // Drives the site with an *open* (sessionless) arrival stream for
+  // `duration` seconds instead of the closed-loop RBE — the regime the
+  // paper's front-end admission controller exists for: offered load that
+  // does not slow down when the site does. The stream's config is fixed
+  // on the first call (later calls extend it with a new mix); instances
+  // and samples land in the same records as closed-loop runs (ebs = 0).
+  // Combine with open_loop()->set_admitted_rate_cap(...) for cap-based
+  // shedding of offered rates far beyond the site's knee.
+  void run_open_loop(const tpcw::OpenLoopConfig& config,
+                     const tpcw::Mix& mix, double duration);
+  // The open-loop source, once run_open_loop has been called (else null).
+  tpcw::OpenLoopSource* open_loop() noexcept { return open_loop_.get(); }
+
   // Optional front-door admission gate: return false to shed an arriving
   // request (it completes immediately with rejected() marked).
   using AdmissionGate = std::function<bool(const sim::Request&)>;
@@ -157,6 +171,18 @@ class Testbed {
   std::vector<std::unique_ptr<sim::Tier>> tiers_;
   tpcw::RequestFactory factory_;
   std::unique_ptr<tpcw::Rbe> rbe_;
+  std::unique_ptr<tpcw::OpenLoopSource> open_loop_;
+  bool open_loop_active_ = false;
+  // Per-tick open-loop telemetry, drained by sampling_tick alongside the
+  // RBE's (shed requests complete instantly and are not counted as
+  // goodput here — rejected_ tracks them).
+  struct OlTick {
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    double rt_sum = 0.0;
+    std::uint64_t rt_count = 0;
+  };
+  OlTick ol_tick_;
   AdmissionGate gate_;
   InstanceObserver observer_;
   Rng rng_;

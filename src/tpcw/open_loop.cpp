@@ -1,5 +1,7 @@
 #include "tpcw/open_loop.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -31,10 +33,34 @@ double OpenLoopSource::current_rate() const noexcept {
                                                 : cfg_.rate_rps;
 }
 
+double OpenLoopSource::admitted_rate() const noexcept {
+  const double rate = current_rate();
+  return capped_ ? std::min(rate, cap_rps_) : rate;
+}
+
+void OpenLoopSource::account_shed() {
+  const sim::SimTime now = eq_.now();
+  const double dt = now - shed_mark_;
+  if (dt > 0.0 && now <= until_ + 1e-9)
+    shed_offered_ += std::max(0.0, current_rate() - admitted_rate()) * dt;
+  shed_mark_ = now;
+}
+
+void OpenLoopSource::set_admitted_rate_cap(double cap_rps) {
+  account_shed();  // close out the old cap's accrual first
+  capped_ = true;
+  cap_rps_ = std::isfinite(cap_rps) ? std::max(0.0, cap_rps) : 0.0;
+  // Restart the stream at the thinned rate (exponential memorylessness
+  // makes discarding the partial gap harmless).
+  ++arrival_generation_;
+  if (until_ > eq_.now()) schedule_next_arrival();
+}
+
 void OpenLoopSource::run_until(sim::SimTime until) {
   const bool was_running = until_ > eq_.now();
   until_ = until;
   if (!was_running) {
+    shed_mark_ = eq_.now();
     schedule_next_arrival();
     if (cfg_.burst_rate_rps > 0.0) schedule_mode_switch();
   }
@@ -42,10 +68,13 @@ void OpenLoopSource::run_until(sim::SimTime until) {
 
 void OpenLoopSource::schedule_next_arrival() {
   const std::uint64_t gen = arrival_generation_;
-  const double gap = rng_.exponential(1.0 / current_rate());
+  const double rate = admitted_rate();
+  if (rate <= 0.0) return;  // fully shed; a cap raise restarts the stream
+  const double gap = rng_.exponential(1.0 / rate);
   if (eq_.now() + gap > until_) return;
   eq_.schedule_after(gap, [this, gen] {
     if (gen != arrival_generation_) return;  // rate changed mid-gap
+    account_shed();
     const auto type =
         static_cast<Interaction>(rng_.categorical(stationary_weights_));
     sim::Request req = factory_.make(type);
@@ -64,6 +93,7 @@ void OpenLoopSource::schedule_mode_switch() {
                                                   : cfg_.mean_quiet_s);
   if (eq_.now() + dwell > until_) return;
   eq_.schedule_after(dwell, [this] {
+    account_shed();  // the nominal rate changes at the mode boundary
     bursting_ = !bursting_;
     // Restart the arrival stream at the new rate (memorylessness of the
     // exponential makes the discarded partial gap harmless).

@@ -46,6 +46,21 @@ class OpenLoopSource {
   // Starts (or extends) arrival generation up to absolute time `until`.
   void run_until(sim::SimTime until);
 
+  // Admission thinning (the ctrl/admission seam). Caps the *admitted*
+  // arrival rate at `cap_rps`: each arrival of a Poisson stream admitted
+  // independently with probability p leaves an admitted stream that is
+  // itself Poisson at p*lambda, so the source generates admitted
+  // arrivals only and accounts the shed remainder arithmetically —
+  // offered rates in the millions cost nothing beyond the admitted
+  // events. Non-finite or negative caps are treated as 0 (shed all).
+  void set_admitted_rate_cap(double cap_rps);
+  double admitted_rate_cap() const noexcept { return cap_rps_; }
+  // Nominal (unthinned) offered rate right now.
+  double offered_rate() const noexcept { return current_rate(); }
+  // Running count of arrivals shed by the cap, in expectation:
+  // the integral of max(0, rate - cap) dt so far.
+  double shed_offered() const noexcept { return shed_offered_; }
+
   bool bursting() const noexcept { return bursting_; }
   std::uint64_t issued() const noexcept { return issued_; }
   std::uint64_t completed() const noexcept { return completed_; }
@@ -55,6 +70,8 @@ class OpenLoopSource {
   void schedule_next_arrival();
   void schedule_mode_switch();
   double current_rate() const noexcept;
+  double admitted_rate() const noexcept;
+  void account_shed();  // accrue the shed integral up to eq_.now()
 
   sim::EventQueue& eq_;
   RequestFactory& factory_;
@@ -70,6 +87,10 @@ class OpenLoopSource {
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   RunningStats rt_;
+  double cap_rps_ = 0.0;  // 0/unset sentinel: uncapped until first set
+  bool capped_ = false;
+  double shed_offered_ = 0.0;
+  sim::SimTime shed_mark_ = 0.0;  // last shed-accrual time
 };
 
 }  // namespace hpcap::tpcw

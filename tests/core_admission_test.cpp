@@ -1,0 +1,110 @@
+// Pins for the probabilistic front-door throttle
+// (core::AdmissionController): the AIMD trajectory, the min_admit floor,
+// the admit()/reject() accounting, and the option-domain sanitization
+// that keeps a misconfigured controller from *raising* the admission
+// probability on overload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/admission.h"
+#include "util/rng.h"
+
+namespace hpcap::core {
+namespace {
+
+TEST(Admission, AimdTrajectoryIsExact) {
+  AdmissionOptions o;
+  o.decrease_factor = 0.5;
+  o.increase_step = 0.1;
+  o.min_admit = 0.05;
+  AdmissionController c(o);
+  EXPECT_EQ(c.admit_probability(), 1.0);
+  c.on_decision(true);
+  EXPECT_DOUBLE_EQ(c.admit_probability(), 0.5);
+  c.on_decision(true);
+  EXPECT_DOUBLE_EQ(c.admit_probability(), 0.25);
+  c.on_decision(false);
+  EXPECT_DOUBLE_EQ(c.admit_probability(), 0.35);
+  // Additive recovery saturates at exactly 1, never above.
+  for (int i = 0; i < 20; ++i) c.on_decision(false);
+  EXPECT_EQ(c.admit_probability(), 1.0);
+}
+
+TEST(Admission, FloorPreventsFullBlackout) {
+  AdmissionOptions o;
+  o.decrease_factor = 0.1;
+  o.min_admit = 0.05;
+  AdmissionController c(o);
+  for (int i = 0; i < 100; ++i) c.on_decision(true);
+  EXPECT_DOUBLE_EQ(c.admit_probability(), 0.05);
+  // Recovery still works from the floor.
+  c.on_decision(false);
+  EXPECT_GT(c.admit_probability(), 0.05);
+}
+
+TEST(Admission, AdmitCountsEverySide) {
+  AdmissionController c;
+  Rng rng(123);
+  for (int i = 0; i < 40; ++i) c.on_decision(true);  // drive to the floor
+  int admits = 0, rejects = 0;
+  for (int i = 0; i < 2000; ++i) c.admit(rng) ? ++admits : ++rejects;
+  EXPECT_EQ(c.admitted(), static_cast<std::uint64_t>(admits));
+  EXPECT_EQ(c.rejected(), static_cast<std::uint64_t>(rejects));
+  EXPECT_EQ(admits + rejects, 2000);
+  // At p = 0.05 the admitted share lands near 5%.
+  EXPECT_GT(admits, 40);
+  EXPECT_LT(admits, 250);
+}
+
+TEST(Admission, SanitizedOptionsNeverLeaveDomain) {
+  // A decrease_factor > 1 would *raise* the probability on overload —
+  // the exact inversion sanitized() exists to rule out.
+  AdmissionOptions o;
+  o.decrease_factor = 3.0;
+  o.increase_step = -0.5;
+  o.min_admit = std::nan("");
+  AdmissionController c(o);
+  EXPECT_EQ(c.options().decrease_factor, 1.0);
+  EXPECT_EQ(c.options().increase_step, 0.0);
+  EXPECT_EQ(c.options().min_admit, 0.05);  // NaN fell back to the default
+  for (int i = 0; i < 50; ++i) c.on_decision(true);
+  EXPECT_GE(c.admit_probability(), 0.05);
+  EXPECT_LE(c.admit_probability(), 1.0);
+
+  // Non-finite factor/step fall back rather than poisoning the state.
+  AdmissionOptions inf;
+  inf.decrease_factor = std::numeric_limits<double>::infinity();
+  inf.increase_step = std::numeric_limits<double>::quiet_NaN();
+  AdmissionController c2(inf);
+  c2.on_decision(true);
+  c2.on_decision(false);
+  EXPECT_TRUE(std::isfinite(c2.admit_probability()));
+  EXPECT_GE(c2.admit_probability(), 0.0);
+  EXPECT_LE(c2.admit_probability(), 1.0);
+
+  // A zero decrease_factor is clamped away from 0: one overload decision
+  // can never hard-zero the front door below the floor.
+  AdmissionOptions zero;
+  zero.decrease_factor = 0.0;
+  zero.min_admit = 0.0;
+  AdmissionController c3(zero);
+  c3.on_decision(true);
+  EXPECT_GT(c3.options().decrease_factor, 0.0);
+  EXPECT_GE(c3.admit_probability(), 0.0);
+}
+
+TEST(Admission, MinAdmitAboveOneStillBounded) {
+  // min_admit is clamped into [0, 1]; the documented invariant is that
+  // admit_probability() stays in [min(min_admit, 1), 1].
+  AdmissionOptions o;
+  o.min_admit = 4.0;
+  AdmissionController c(o);
+  EXPECT_EQ(c.options().min_admit, 1.0);
+  for (int i = 0; i < 10; ++i) c.on_decision(true);
+  EXPECT_EQ(c.admit_probability(), 1.0);
+}
+
+}  // namespace
+}  // namespace hpcap::core

@@ -1,0 +1,34 @@
+# Deflake guard for the closed-loop suite (mirrors chaos_double_run):
+# run the flash-crowd determinism test twice, in two separate processes,
+# with the same seeds, and diff the event logs each run dumps via
+# HPCAP_CTRL_DUMP. Any divergence means nondeterminism leaked into the
+# control path — a seeded controller that replays differently across
+# processes would make every capacity scenario unreproducible.
+#
+# Inputs: -DCTRL_TEST=<path to ctrl_test>
+
+set(filter "--gtest_filter=ClosedLoop.FlashCrowdEventLogDeterministic")
+
+foreach(run 1 2)
+  set(dump "${CMAKE_CURRENT_BINARY_DIR}/ctrl_double_run_${run}.txt")
+  set(ENV{HPCAP_CTRL_DUMP} "${dump}")
+  execute_process(COMMAND ${CTRL_TEST} ${filter}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ctrl run ${run} failed: exit ${rc}\n${out}")
+  endif()
+  if(NOT EXISTS ${dump})
+    message(FATAL_ERROR "ctrl run ${run} produced no dump at ${dump}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${CMAKE_CURRENT_BINARY_DIR}/ctrl_double_run_1.txt
+                ${CMAKE_CURRENT_BINARY_DIR}/ctrl_double_run_2.txt
+                RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+          "same-seed closed-loop runs produced different event logs")
+endif()
+message(STATUS "two same-seed closed-loop runs: event logs identical")

@@ -1,0 +1,752 @@
+// Tests for the closed-loop capacity-management subsystem (src/ctrl/):
+// AIMD cap admission, bottleneck-tier autoscaling, online USL
+// forecasting, the composed ClosedLoopController, and the deterministic
+// load traces that drive the scenarios.
+//
+// The headline determinism test (ClosedLoopEventLogDeterministic) dumps
+// its event log to $HPCAP_CTRL_DUMP when set; ctrl_double_run.cmake runs
+// it twice in two processes and diffs the dumps byte for byte.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/validate.h"
+#include "ctrl/loop.h"
+#include "mtier/pipeline.h"
+#include "sim/load_trace.h"
+#include "testbed/experiment.h"
+#include "tpcw/open_loop.h"
+
+namespace hpcap {
+namespace {
+
+using core::CoordinatedPredictor;
+
+CoordinatedPredictor::Decision over(int tier = 1) {
+  CoordinatedPredictor::Decision d;
+  d.state = 1;
+  d.confident = true;
+  d.hc = 3;
+  d.bottleneck_tier = tier;
+  return d;
+}
+
+CoordinatedPredictor::Decision under() {
+  CoordinatedPredictor::Decision d;
+  d.state = 0;
+  d.confident = true;
+  d.hc = -3;
+  return d;
+}
+
+CoordinatedPredictor::Decision degraded_over(int staleness = 1) {
+  CoordinatedPredictor::Decision d = over();
+  d.degraded = true;
+  d.staleness = staleness;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// CapAdmissionController
+// ---------------------------------------------------------------------------
+
+TEST(CapAdmission, SanitizesOptions) {
+  ctrl::CapAdmissionOptions o;
+  o.min_cap = -5.0;
+  o.max_cap = std::nan("");
+  o.initial_cap = 1e30;  // above max: clamped
+  o.decrease_factor = 7.0;
+  o.increase_step = -1.0;
+  o.overload_votes = 0;
+  o.underload_votes = -3;
+  o.cooldown_windows = -1;
+  const auto s = o.sanitized();
+  EXPECT_EQ(s.min_cap, 0.0);
+  EXPECT_EQ(s.max_cap, 1e9);  // default (NaN fell back), >= min
+  EXPECT_EQ(s.initial_cap, s.max_cap);
+  EXPECT_EQ(s.decrease_factor, 1.0);
+  EXPECT_EQ(s.increase_step, 0.0);
+  EXPECT_EQ(s.overload_votes, 1);
+  EXPECT_EQ(s.underload_votes, 1);
+  EXPECT_EQ(s.cooldown_windows, 0);
+
+  // min > max: max is lifted to min, never inverted.
+  ctrl::CapAdmissionOptions inv;
+  inv.min_cap = 500.0;
+  inv.max_cap = 100.0;
+  const auto si = inv.sanitized();
+  EXPECT_GE(si.max_cap, si.min_cap);
+}
+
+TEST(CapAdmission, OneNoisyWindowNeverActuates) {
+  ctrl::CapAdmissionOptions o;
+  o.initial_cap = 1000.0;
+  o.max_cap = 1000.0;
+  o.overload_votes = 2;
+  ctrl::CapAdmissionController c(o);
+  EXPECT_EQ(c.on_window(over(), 800.0).kind, ctrl::ActionKind::kNone);
+  EXPECT_EQ(c.cap(), 1000.0);
+  // A dissenting window breaks the streak: still no action on the next
+  // single overload vote.
+  EXPECT_EQ(c.on_window(under(), 800.0).kind, ctrl::ActionKind::kNone);
+  EXPECT_EQ(c.on_window(over(), 800.0).kind, ctrl::ActionKind::kNone);
+  const auto a = c.on_window(over(), 800.0);
+  EXPECT_EQ(a.kind, ctrl::ActionKind::kDecrease);
+  EXPECT_EQ(a.tier, 1);
+  EXPECT_EQ(c.decreases(), 1u);
+}
+
+TEST(CapAdmission, DecreaseAnchorsAtObservedLoad) {
+  // Cap parked at 1e9 while actual admitted traffic is 1000: one MD must
+  // bite at 0.7 * 1000, not 0.7 * 1e9.
+  ctrl::CapAdmissionOptions o;
+  o.overload_votes = 2;
+  ctrl::CapAdmissionController c(o);
+  c.on_window(over(), 1000.0);
+  const auto a = c.on_window(over(), 1000.0);
+  EXPECT_EQ(a.kind, ctrl::ActionKind::kDecrease);
+  EXPECT_NEAR(c.cap(), 700.0, 1e-9);
+  // The anchor never *raises* the cap: with cap below the admitted load,
+  // MD applies to the cap itself.
+  ctrl::CapAdmissionOptions o2;
+  o2.initial_cap = 100.0;
+  o2.max_cap = 1000.0;
+  o2.overload_votes = 1;
+  ctrl::CapAdmissionController c2(o2);
+  c2.on_window(over(), 5000.0);
+  EXPECT_NEAR(c2.cap(), 70.0, 1e-9);
+}
+
+TEST(CapAdmission, CooldownDefersFurtherActions) {
+  ctrl::CapAdmissionOptions o;
+  o.initial_cap = 1000.0;
+  o.max_cap = 1000.0;
+  o.overload_votes = 2;
+  o.cooldown_windows = 2;
+  ctrl::CapAdmissionController c(o);
+  c.on_window(over(), 900.0);
+  ASSERT_EQ(c.on_window(over(), 900.0).kind, ctrl::ActionKind::kDecrease);
+  EXPECT_EQ(c.cooldown_remaining(), 2);
+  // Two grounded windows tick the cooldown without actuating, even
+  // though the overload streak rebuilds past the vote threshold.
+  EXPECT_EQ(c.on_window(over(), 600.0).kind, ctrl::ActionKind::kNone);
+  EXPECT_EQ(c.on_window(over(), 600.0).kind, ctrl::ActionKind::kNone);
+  EXPECT_EQ(c.cooldown_remaining(), 0);
+  EXPECT_EQ(c.on_window(over(), 600.0).kind, ctrl::ActionKind::kDecrease);
+  EXPECT_EQ(c.decreases(), 2u);
+}
+
+TEST(CapAdmission, FreezeBreaksStreaksAndHoldsCooldown) {
+  ctrl::CapAdmissionOptions o;
+  o.initial_cap = 1000.0;
+  o.max_cap = 1000.0;
+  o.overload_votes = 2;
+  o.cooldown_windows = 3;
+  ctrl::CapAdmissionController c(o);
+  // Streak broken by a degraded window.
+  c.on_window(over(), 900.0);
+  EXPECT_EQ(c.overload_streak(), 1);
+  const auto f = c.on_window(degraded_over(), 900.0);
+  EXPECT_EQ(f.kind, ctrl::ActionKind::kFrozen);
+  EXPECT_EQ(c.overload_streak(), 0);
+  EXPECT_EQ(c.freezes(), 1u);
+  // Fire an MD, then freeze: the cooldown must hold, not tick.
+  c.on_window(over(), 900.0);
+  ASSERT_EQ(c.on_window(over(), 900.0).kind, ctrl::ActionKind::kDecrease);
+  ASSERT_EQ(c.cooldown_remaining(), 3);
+  c.on_window(degraded_over(), 900.0);
+  c.on_window(degraded_over(2), 900.0);
+  EXPECT_EQ(c.cooldown_remaining(), 3);
+  // Stale-but-not-degraded also freezes (a coasting predictor).
+  CoordinatedPredictor::Decision stale = over();
+  stale.staleness = 1;
+  EXPECT_EQ(c.on_window(stale, 900.0).kind, ctrl::ActionKind::kFrozen);
+  // Non-finite admitted load freezes too: no NaN-derived actuation.
+  EXPECT_EQ(c.on_window(over(), std::nan("")).kind,
+            ctrl::ActionKind::kFrozen);
+  EXPECT_TRUE(std::isfinite(c.cap()));
+}
+
+TEST(CapAdmission, AdditiveIncreaseProbesBackToCeiling) {
+  ctrl::CapAdmissionOptions o;
+  o.initial_cap = 100.0;
+  o.max_cap = 160.0;
+  o.increase_step = 25.0;
+  o.underload_votes = 2;
+  o.cooldown_windows = 0;
+  ctrl::CapAdmissionController c(o);
+  // Each probe needs a fresh streak: actuation resets the vote count so
+  // the cap ratchets up one step per `underload_votes` windows.
+  c.on_window(under(), 50.0);
+  EXPECT_EQ(c.on_window(under(), 50.0).kind, ctrl::ActionKind::kIncrease);
+  EXPECT_NEAR(c.cap(), 125.0, 1e-9);
+  c.on_window(under(), 50.0);
+  c.on_window(under(), 50.0);
+  EXPECT_NEAR(c.cap(), 150.0, 1e-9);
+  c.on_window(under(), 50.0);
+  c.on_window(under(), 50.0);
+  EXPECT_NEAR(c.cap(), 160.0, 1e-9);  // clamped at max
+  // Parked at the ceiling: no further increase actions fire.
+  c.on_window(under(), 50.0);
+  EXPECT_EQ(c.on_window(under(), 50.0).kind, ctrl::ActionKind::kNone);
+  EXPECT_EQ(c.increases(), 3u);
+}
+
+TEST(CapAdmission, ShedArithmeticHandlesMillions) {
+  ctrl::CapAdmissionOptions o;
+  o.initial_cap = 1000.0;
+  ctrl::CapAdmissionController c(o);
+  // 5 million offered EBs cost nothing: admitted/shed are arithmetic.
+  EXPECT_EQ(c.admitted(5e6), 1000.0);
+  EXPECT_EQ(c.shed(5e6), 5e6 - 1000.0);
+  EXPECT_NEAR(c.admit_fraction(5e6), 1000.0 / 5e6, 1e-12);
+  EXPECT_EQ(c.admitted(400.0), 400.0);
+  EXPECT_EQ(c.shed(400.0), 0.0);
+  EXPECT_EQ(c.admit_fraction(400.0), 1.0);
+  // Fail-safe on garbage offered loads.
+  EXPECT_EQ(c.admitted(std::nan("")), 0.0);
+  EXPECT_EQ(c.shed(-10.0), 0.0);
+  EXPECT_EQ(c.admit_fraction(std::numeric_limits<double>::infinity()), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler
+// ---------------------------------------------------------------------------
+
+ctrl::AutoscaleOptions scale_opts() {
+  ctrl::AutoscaleOptions o;
+  o.max_replicas = 3;
+  o.scale_out_votes = 3;
+  o.scale_in_votes = 2;
+  o.scale_in_delay = 4;
+  o.cooldown_windows = 0;
+  return o;
+}
+
+TEST(Autoscale, SustainedSameTierVotesScaleOut) {
+  ctrl::Autoscaler a(3, scale_opts());
+  EXPECT_EQ(a.on_window(over(1)).kind, ctrl::ActionKind::kNone);
+  EXPECT_EQ(a.on_window(over(1)).kind, ctrl::ActionKind::kNone);
+  const auto act = a.on_window(over(1));
+  EXPECT_EQ(act.kind, ctrl::ActionKind::kScaleOut);
+  EXPECT_EQ(act.tier, 1);
+  EXPECT_EQ(act.replicas, 2);
+  EXPECT_EQ(a.replicas(1), 2);
+  EXPECT_EQ(a.replicas(0), 1);
+  EXPECT_EQ(a.scale_outs(), 1u);
+}
+
+TEST(Autoscale, WanderingBottleneckNeverActuates) {
+  ctrl::Autoscaler a(3, scale_opts());
+  for (int i = 0; i < 12; ++i)
+    EXPECT_EQ(a.on_window(over(i % 2)).kind, ctrl::ActionKind::kNone);
+  EXPECT_EQ(a.scale_outs(), 0u);
+  EXPECT_EQ(a.replicas(0), 1);
+  EXPECT_EQ(a.replicas(1), 1);
+}
+
+TEST(Autoscale, RespectsMaxBoundWithoutReFiring) {
+  ctrl::AutoscaleOptions o = scale_opts();
+  o.max_replicas = 2;
+  ctrl::Autoscaler a(2, o);
+  for (int i = 0; i < 3; ++i) a.on_window(over(0));
+  ASSERT_EQ(a.replicas(0), 2);
+  // At the ceiling: sustained votes keep arriving but nothing actuates
+  // and the streak resets (no repeated no-op "actions").
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(a.on_window(over(0)).kind, ctrl::ActionKind::kNone);
+  EXPECT_EQ(a.replicas(0), 2);
+  EXPECT_EQ(a.scale_outs(), 1u);
+}
+
+TEST(Autoscale, ScaleInWaitsForSafetyDelay) {
+  ctrl::Autoscaler a(2, scale_opts());  // delay = 4 grounded windows
+  for (int i = 0; i < 3; ++i) a.on_window(over(1));
+  ASSERT_EQ(a.replicas(1), 2);
+  // Underload votes build immediately, but the scale-in must wait until
+  // >= 4 grounded windows have elapsed since the scale-out.
+  EXPECT_EQ(a.on_window(under()).kind, ctrl::ActionKind::kNone);  // since=1
+  EXPECT_EQ(a.on_window(under()).kind, ctrl::ActionKind::kNone);  // since=2
+  EXPECT_EQ(a.on_window(under()).kind, ctrl::ActionKind::kNone);  // since=3
+  const auto act = a.on_window(under());  // since=4: delay satisfied
+  EXPECT_EQ(act.kind, ctrl::ActionKind::kScaleIn);
+  EXPECT_EQ(act.tier, 1);  // the tier holding the most replicas
+  EXPECT_EQ(a.replicas(1), 1);
+  EXPECT_EQ(a.scale_ins(), 1u);
+}
+
+TEST(Autoscale, ScaleInAtFloorIsANoop) {
+  ctrl::Autoscaler a(2, scale_opts());
+  for (int i = 0; i < 10; ++i)
+    EXPECT_NE(a.on_window(under()).kind, ctrl::ActionKind::kScaleIn);
+  EXPECT_EQ(a.scale_ins(), 0u);
+  EXPECT_EQ(a.replicas(0), 1);
+  EXPECT_EQ(a.replicas(1), 1);
+}
+
+TEST(Autoscale, FreezeBreaksStreaksAndHoldsClocks) {
+  ctrl::AutoscaleOptions o = scale_opts();
+  o.cooldown_windows = 3;
+  ctrl::Autoscaler a(2, o);
+  a.on_window(over(1));
+  a.on_window(over(1));
+  // Degraded window: streak broken, nothing actuates.
+  EXPECT_EQ(a.on_window(degraded_over()).kind, ctrl::ActionKind::kFrozen);
+  EXPECT_EQ(a.out_streak(), 0);
+  EXPECT_EQ(a.on_window(over(1)).kind, ctrl::ActionKind::kNone);
+  a.on_window(over(1));
+  ASSERT_EQ(a.on_window(over(1)).kind, ctrl::ActionKind::kScaleOut);
+  ASSERT_EQ(a.cooldown_remaining(), 3);
+  // Frozen windows hold the cooldown where it is.
+  a.on_window(degraded_over());
+  a.on_window(degraded_over(3));
+  EXPECT_EQ(a.cooldown_remaining(), 3);
+  EXPECT_EQ(a.freezes(), 3u);
+}
+
+TEST(Autoscale, ValidatesArguments) {
+  EXPECT_THROW(ctrl::Autoscaler(0, scale_opts()), std::invalid_argument);
+  ctrl::Autoscaler a(2, scale_opts());
+  EXPECT_THROW(a.replicas(-1), std::out_of_range);
+  EXPECT_THROW(a.replicas(2), std::out_of_range);
+  // Sanitize: inverted bounds, non-positive votes.
+  ctrl::AutoscaleOptions bad;
+  bad.min_replicas = 5;
+  bad.max_replicas = 2;
+  bad.scale_out_votes = 0;
+  const auto s = bad.sanitized();
+  EXPECT_EQ(s.min_replicas, 5);
+  EXPECT_EQ(s.max_replicas, 5);
+  EXPECT_EQ(s.scale_out_votes, 1);
+}
+
+// ---------------------------------------------------------------------------
+// UslFitter
+// ---------------------------------------------------------------------------
+
+double usl(double n, double lambda, double sigma, double kappa) {
+  return lambda * n / (1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0));
+}
+
+TEST(UslForecast, RecoversSyntheticModel) {
+  const double lambda = 50.0, sigma = 0.05, kappa = 0.0005;
+  ctrl::UslFitter f;
+  for (int n = 1; n <= 48; ++n)
+    f.add(static_cast<double>(n), usl(n, lambda, sigma, kappa));
+  const auto fit = f.fit();
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.lambda, lambda, 0.02 * lambda);
+  EXPECT_NEAR(fit.sigma, sigma, 0.01);
+  EXPECT_NEAR(fit.kappa, kappa, 0.2 * kappa);
+  ASSERT_TRUE(fit.has_knee);
+  const double knee = std::sqrt((1.0 - sigma) / kappa);  // ~43.6
+  EXPECT_NEAR(fit.knee_load, knee, 0.05 * knee);
+  EXPECT_NEAR(fit.knee_throughput, usl(knee, lambda, sigma, kappa),
+              0.05 * usl(knee, lambda, sigma, kappa));
+  EXPECT_LT(fit.rmse, 1e-6);
+  // capacity_at forecasts off the most recent load (48).
+  EXPECT_NEAR(f.capacity_at(0.5), usl(24.0, lambda, sigma, kappa),
+              0.05 * usl(24.0, lambda, sigma, kappa));
+}
+
+TEST(UslForecast, IgnoresGarbagePoints) {
+  ctrl::UslFitter f;
+  f.add(std::nan(""), 10.0);
+  f.add(10.0, std::nan(""));
+  f.add(-5.0, 10.0);
+  f.add(10.0, -1.0);
+  f.add(0.1, 5.0);  // below min_load: idle window
+  f.add(std::numeric_limits<double>::infinity(), 5.0);
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_FALSE(f.fit().valid);
+  EXPECT_EQ(f.capacity_at(2.0), 0.0);
+}
+
+TEST(UslForecast, RefusesUnderdeterminedFits) {
+  ctrl::UslFitter f;  // min_points = 8
+  for (int i = 0; i < 7; ++i) f.add(10.0 + i, 50.0 + i);
+  EXPECT_FALSE(f.fit().valid);
+  // Enough points but only one distinct load: still refused.
+  ctrl::UslFitter g;
+  for (int i = 0; i < 20; ++i) g.add(10.0, 50.0);
+  EXPECT_FALSE(g.fit().valid);
+}
+
+TEST(UslForecast, WindowSlidesAndClearResets) {
+  ctrl::UslOptions o;
+  o.window = 4;
+  o.min_points = 3;
+  ctrl::UslFitter f(o);
+  for (int n = 1; n <= 10; ++n) f.add(n, usl(n, 40.0, 0.1, 0.001));
+  EXPECT_EQ(f.size(), 4u);
+  EXPECT_EQ(f.last_load(), 10.0);
+  f.clear();
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(UslForecast, ContentionOnlyModelHasNoKnee) {
+  // kappa = 0 (pure Amdahl): throughput saturates but never retrogrades,
+  // so there is no interior maximum to report.
+  ctrl::UslFitter f;
+  for (int n = 1; n <= 32; ++n) f.add(n, usl(n, 30.0, 0.2, 0.0));
+  const auto fit = f.fit();
+  ASSERT_TRUE(fit.valid);
+  EXPECT_FALSE(fit.has_knee);
+  EXPECT_GE(fit.kappa, 0.0);
+  EXPECT_GE(fit.sigma, 0.0);
+  EXPECT_LT(fit.sigma, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ClosedLoopController
+// ---------------------------------------------------------------------------
+
+ctrl::LoopOptions loop_opts() {
+  ctrl::LoopOptions o;
+  o.admission.initial_cap = 1000.0;
+  o.admission.max_cap = 1000.0;
+  o.admission.overload_votes = 2;
+  o.admission.cooldown_windows = 1;
+  o.autoscale = scale_opts();
+  return o;
+}
+
+TEST(ClosedLoop, ForwardsOnlyRealActionsToActuators) {
+  std::vector<double> caps;
+  std::vector<std::pair<int, int>> scales;
+  ctrl::LoopActuators act;
+  act.set_cap = [&](double cap) { caps.push_back(cap); };
+  act.set_replicas = [&](int tier, int r) { scales.emplace_back(tier, r); };
+  ctrl::ClosedLoopController loop(2, loop_opts(), act);
+
+  loop.on_window(degraded_over(), 900.0, 500.0);  // frozen: no actuation
+  loop.on_window(over(1), 900.0, 500.0);          // streak 1: none
+  loop.on_window(over(1), 900.0, 500.0);          // cap MD fires
+  EXPECT_EQ(caps.size(), 1u);
+  EXPECT_NEAR(caps[0], 630.0, 1e-9);  // 0.7 * 900
+  loop.on_window(over(1), 600.0, 400.0);  // admission cooldown; scale votes
+  EXPECT_EQ(scales.size(), 1u);  // autoscale streak hit 3 on tier 1
+  EXPECT_EQ(scales[0].first, 1);
+  EXPECT_EQ(scales[0].second, 2);
+  // Every actuated value respects the configured bounds.
+  const auto& ao = loop.admission().options();
+  for (double cap : caps) {
+    EXPECT_GE(cap, ao.min_cap);
+    EXPECT_LE(cap, ao.max_cap);
+  }
+  const auto s = loop.status();
+  EXPECT_EQ(s.windows, 4);
+  EXPECT_EQ(s.decreases, 1u);
+  EXPECT_EQ(s.scale_outs, 1u);
+  EXPECT_EQ(s.freezes, 2u);  // admission + autoscale both froze window 0
+  EXPECT_EQ(s.replicas.size(), 2u);
+}
+
+TEST(ClosedLoop, EventLogIsStableText) {
+  ctrl::ClosedLoopController loop(2, loop_opts());
+  loop.on_window(over(0), 800.0, 420.0);
+  loop.on_window(over(0), 800.0, 420.0);
+  ASSERT_FALSE(loop.events().empty());
+  const auto& e = loop.events().front();
+  EXPECT_EQ(e.line(), "w=1 c=a k=decrease tier=0 v=560");
+}
+
+// ---------------------------------------------------------------------------
+// LoadTrace
+// ---------------------------------------------------------------------------
+
+TEST(LoadTrace, DiurnalPlusFlashCrowdComposes) {
+  auto trace = sim::LoadTrace::diurnal(1000.0, 500.0, 86400.0, 86400.0, 30.0)
+                   .add_flash_crowd(30000.0, 600.0, 1200.0, 600.0, 2e6);
+  EXPECT_EQ(trace.steps(), 86400u / 30u);
+  // Starts at the trough.
+  EXPECT_LT(trace.offered_at(0.0), 600.0);
+  // Inside the hold the crowd dominates: millions offered.
+  EXPECT_GT(trace.offered_at(31000.0), 1.9e6);
+  EXPECT_NEAR(trace.peak(), 2e6, 0.1e6);
+  // After the decay the diurnal baseline is back.
+  EXPECT_LT(trace.offered_at(40000.0), 2000.0);
+  // Clamped outside the range, never negative anywhere.
+  EXPECT_GE(trace.offered_at(-100.0), 0.0);
+  EXPECT_GE(trace.offered_at(1e9), 0.0);
+  for (double v : trace.levels()) EXPECT_GE(v, 0.0);
+}
+
+TEST(LoadTrace, JitterIsDeterministicAndBounded) {
+  auto a = sim::LoadTrace::constant(1000.0, 3000.0, 30.0)
+               .add_jitter(/*seed=*/9, /*fraction=*/0.1);
+  auto b = sim::LoadTrace::constant(1000.0, 3000.0, 30.0)
+               .add_jitter(/*seed=*/9, /*fraction=*/0.1);
+  ASSERT_EQ(a.levels(), b.levels());  // bit-identical same-seed builds
+  bool moved = false;
+  for (std::size_t i = 0; i < a.steps(); ++i) {
+    const double v = a.levels()[i];
+    EXPECT_GE(v, 900.0 - 1e-9);
+    EXPECT_LE(v, 1100.0 + 1e-9);
+    moved = moved || v != 1000.0;
+  }
+  EXPECT_TRUE(moved);
+  EXPECT_THROW(sim::LoadTrace::constant(10.0, -1.0, 30.0),
+               std::invalid_argument);
+  EXPECT_THROW(sim::LoadTrace::diurnal(1.0, 1.0, 0.0, 100.0, 30.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Plant seams: tier replicas and the open-loop rate cap.
+// ---------------------------------------------------------------------------
+
+TEST(PlantSeams, TierReplicasRaiseCapacity) {
+  // A 1-core tier at ~200 req/s capacity, driven well past it: adding a
+  // replica must raise delivered throughput materially.
+  mtier::PipelineConfig cfg;
+  cfg.think_time_mean = 1.0;
+  sim::Tier::Config tc;
+  tc.name = "front";
+  tc.cores = 1;
+  tc.thread_pool = 400;
+  cfg.tiers = {tc};
+  mtier::JobClass jc;
+  jc.name = "u";
+  jc.tier_demand = {0.005};
+  jc.tier_footprint = {3.0};
+  cfg.classes = {jc};
+  mtier::Pipeline pipe(cfg);
+  pipe.set_population(400);
+  pipe.run(120.0);
+  ASSERT_FALSE(pipe.instances().empty());
+  const double before = pipe.instances().back().health.throughput;
+  ASSERT_EQ(pipe.instances().back().tier_replicas[0], 1);
+  pipe.set_tier_replicas(0, 2);
+  pipe.run(120.0);
+  const double after = pipe.instances().back().health.throughput;
+  EXPECT_EQ(pipe.instances().back().tier_replicas[0], 2);
+  EXPECT_GT(after, before * 1.4);
+  EXPECT_THROW(pipe.set_tier_replicas(1, 2), std::out_of_range);
+  EXPECT_THROW(pipe.tier_replicas(-1), std::out_of_range);
+  // Window tails populate alongside the replica telemetry.
+  EXPECT_GE(pipe.instances().back().rt_p99,
+            pipe.instances().back().rt_p95);
+}
+
+TEST(PlantSeams, OpenLoopRateCapThinsArrivals) {
+  sim::EventQueue eq;
+  tpcw::RequestFactory factory(/*seed=*/7);
+  tpcw::OpenLoopConfig cfg;
+  cfg.rate_rps = 500.0;
+  cfg.seed = 11;
+  std::uint64_t submitted = 0;
+  tpcw::OpenLoopSource src(
+      eq, factory, cfg,
+      [&](sim::Request req, tpcw::Rbe::CompletionFn done) {
+        ++submitted;
+        req.first_service_time = eq.now();
+        req.completion_time = eq.now();
+        done(req);
+      });
+  src.set_admitted_rate_cap(50.0);
+  src.run_until(100.0);
+  eq.run_until(100.0);
+  // Poisson(50) over 100 s: ~5000 admitted arrivals, nowhere near the
+  // 50000 the offered rate would produce.
+  EXPECT_GT(submitted, 4000u);
+  EXPECT_LT(submitted, 6500u);
+  // The shed remainder is accounted arithmetically: ~450 rps * 100 s.
+  EXPECT_NEAR(src.shed_offered(), 45000.0, 500.0);
+  EXPECT_EQ(src.offered_rate(), 500.0);
+  EXPECT_EQ(src.admitted_rate_cap(), 50.0);
+  // Cap to zero: the stream stops entirely; raising it restarts.
+  const std::uint64_t at_stop = src.issued();
+  src.set_admitted_rate_cap(0.0);
+  src.run_until(200.0);
+  eq.run_until(150.0);
+  EXPECT_EQ(src.issued(), at_stop);
+  src.set_admitted_rate_cap(50.0);
+  eq.run_until(200.0);
+  EXPECT_GT(src.issued(), at_stop);
+}
+
+// ---------------------------------------------------------------------------
+// Closed loop over the K-tier plant: determinism double run.
+// ---------------------------------------------------------------------------
+
+// Deterministic decision rule over a pipeline window (no ML: the
+// determinism artifact must isolate the control path).
+CoordinatedPredictor::Decision decide(const mtier::PipelineInstance& rec) {
+  CoordinatedPredictor::Decision d;
+  const bool overloaded =
+      rec.health.mean_response_time > 0.35 ||
+      (rec.health.offered_rate > rec.health.throughput * 1.10 &&
+       rec.health.mean_response_time > 0.15);
+  d.state = overloaded ? 1 : 0;
+  d.confident = true;
+  d.hc = overloaded ? 3 : -3;
+  d.bottleneck_tier = overloaded ? rec.bottleneck_tier : -1;
+  return d;
+}
+
+// One flash-crowd scenario: offered EBs from a jittered trace, admitted
+// population capped by the loop. Returns the full textual artifact.
+std::vector<std::string> run_flash_crowd_loop() {
+  mtier::PipelineConfig cfg;
+  cfg.think_time_mean = 1.0;
+  for (int t = 0; t < 2; ++t) {
+    sim::Tier::Config tc;
+    tc.name = "t" + std::to_string(t);
+    tc.cores = 1;
+    tc.thread_pool = 600;
+    cfg.tiers.push_back(tc);
+  }
+  mtier::JobClass jc;
+  jc.name = "u";
+  jc.tier_demand = {0.004, 0.002};
+  jc.tier_footprint = {3.0, 3.0};
+  cfg.classes = {jc};
+  cfg.seed = 21;
+  mtier::Pipeline pipe(cfg);
+
+  auto trace = sim::LoadTrace::constant(150.0, 1800.0, 30.0)
+                   .add_flash_crowd(300.0, 120.0, 600.0, 120.0, 5e5)
+                   .add_jitter(/*seed=*/5, /*fraction=*/0.05);
+
+  ctrl::LoopOptions lo;
+  lo.admission.initial_cap = 2000.0;
+  lo.admission.max_cap = 2000.0;
+  lo.admission.min_cap = 50.0;
+  lo.admission.overload_votes = 2;
+  lo.admission.increase_step = 50.0;
+  lo.admission.cooldown_windows = 1;
+  lo.autoscale_enabled = false;
+  ctrl::LoopActuators act;  // population applied below via admitted()
+  ctrl::ClosedLoopController loop(2, lo, act);
+
+  std::vector<std::string> lines;
+  char buf[160];
+  for (std::size_t w = 0; w < trace.steps(); ++w) {
+    const double t = (static_cast<double>(w) + 0.5) * trace.step();
+    const double offered = trace.offered_at(t);
+    const int admitted = static_cast<int>(loop.admitted(offered));
+    pipe.set_population(admitted);
+    pipe.run(trace.step());
+    if (pipe.instances().size() <= w) break;  // window discarded
+    const auto& rec = pipe.instances()[w];
+    loop.on_window(decide(rec), static_cast<double>(admitted),
+                   rec.health.throughput);
+    std::snprintf(buf, sizeof(buf),
+                  "w=%zu offered=%.17g admitted=%d cap=%.17g x=%.17g "
+                  "rt=%.17g",
+                  w, offered, admitted, loop.admission().cap(),
+                  rec.health.throughput, rec.health.mean_response_time);
+    lines.emplace_back(buf);
+  }
+  for (const auto& e : loop.events()) lines.push_back(e.line());
+  return lines;
+}
+
+TEST(ClosedLoop, FlashCrowdEventLogDeterministic) {
+  const auto lines = run_flash_crowd_loop();
+  ASSERT_FALSE(lines.empty());
+  // The loop really actuated: at least one decrease during the crowd and
+  // at least one increase after it.
+  bool decreased = false, increased = false;
+  for (const auto& l : lines) {
+    decreased = decreased || l.find("k=decrease") != std::string::npos;
+    increased = increased || l.find("k=increase") != std::string::npos;
+  }
+  EXPECT_TRUE(decreased);
+  EXPECT_TRUE(increased);
+  // In-process rerun is bit-identical.
+  EXPECT_EQ(lines, run_flash_crowd_loop());
+  // Cross-process determinism: ctrl_double_run.cmake diffs this dump.
+  if (const char* path = std::getenv("HPCAP_CTRL_DUMP")) {
+    std::FILE* f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr);
+    for (const auto& l : lines) std::fprintf(f, "%s\n", l.c_str());
+    std::fclose(f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: the control plane under FaultPlan::mixed(0.05).
+// ---------------------------------------------------------------------------
+
+TEST(CtrlRobustness, MixedFaultsFreezeInsteadOfActuating) {
+  using testbed::CollectedRun;
+  testbed::TestbedConfig cfg = testbed::TestbedConfig::paper_defaults();
+  auto ordering = std::make_shared<const tpcw::Mix>(tpcw::ordering_mix());
+  CollectedRun train =
+      testbed::collect(testbed::training_schedule(ordering, cfg), cfg);
+  core::CoordinatedPredictor::Options mopts;
+  mopts.num_tiers = testbed::kNumTiers;
+  core::CapacityMonitor monitor = testbed::build_monitor(
+      {{"ordering", &train}}, "hpc", ml::LearnerKind::kTan, mopts);
+  core::RowValidator validator;
+  for (int tier = 0; tier < testbed::kNumTiers; ++tier)
+    validator.fit(
+        testbed::make_dataset(train.instances, tier, "hpc", train.labels));
+
+  // The same testing schedule with 5% of all counter samples faulting.
+  testbed::TestbedConfig chaos_cfg = cfg;
+  chaos_cfg.seed = cfg.seed + 31;
+  chaos_cfg.faults = counters::FaultPlan::mixed(0.05);
+  chaos_cfg.aggregator_trim = 2;
+  testbed::Testbed bed(chaos_cfg);
+  bed.run(testbed::testing_schedule(ordering, chaos_cfg));
+
+  ctrl::LoopOptions lo;
+  lo.admission.initial_cap = 600.0;
+  lo.admission.max_cap = 600.0;
+  lo.admission.overload_votes = 2;
+  ctrl::ClosedLoopController loop(testbed::kNumTiers, lo);
+
+  monitor.predictor().reset_history();
+  int degraded_windows = 0;
+  std::vector<ctrl::ActionKind> per_window;
+  for (const auto& rec : bed.instances()) {
+    const auto rows = testbed::monitor_rows(rec, "hpc");
+    auto valid = testbed::monitor_row_validity(rec, "hpc");
+    for (std::size_t t = 0; t < rows.size() && t < valid.size(); ++t)
+      if (valid[t] &&
+          validator.validate(rows[t]) != core::RowVerdict::kValid)
+        valid[t] = 0;
+    const auto d = monitor.observe_masked(rows, valid);
+    const std::size_t before = loop.events().size();
+    const int cd_before = loop.admission().cooldown_remaining();
+    loop.on_window(d, static_cast<double>(rec.ebs),
+                   rec.health.throughput);
+    if (d.degraded || d.staleness > 0) {
+      ++degraded_windows;
+      // Frozen, not actuated: anything logged this window is a kFrozen
+      // marker (never a cap or replica change), the streaks are broken
+      // and the cooldown did not tick.
+      for (std::size_t e = before; e < loop.events().size(); ++e)
+        EXPECT_EQ(loop.events()[e].kind, ctrl::ActionKind::kFrozen);
+      EXPECT_EQ(loop.admission().overload_streak(), 0);
+      EXPECT_EQ(loop.admission().cooldown_remaining(), cd_before);
+      EXPECT_EQ(loop.autoscaler().out_streak(), 0);
+    }
+    // Bounds hold unconditionally — no NaN-derived cap or replica count.
+    ASSERT_TRUE(std::isfinite(loop.admission().cap()));
+    ASSERT_GE(loop.admission().cap(), lo.admission.min_cap);
+    ASSERT_LE(loop.admission().cap(), lo.admission.max_cap);
+    for (int r : loop.autoscaler().replicas()) {
+      ASSERT_GE(r, loop.autoscaler().options().min_replicas);
+      ASSERT_LE(r, loop.autoscaler().options().max_replicas);
+    }
+  }
+  // The chaos plan really exercised the degraded path...
+  EXPECT_GE(degraded_windows, 1);
+  // ...and every frozen window was counted by both controllers.
+  EXPECT_EQ(loop.status().freezes,
+            2u * static_cast<std::uint64_t>(degraded_windows));
+  for (const auto& e : loop.events())
+    ASSERT_TRUE(std::isfinite(e.value)) << e.line();
+}
+
+}  // namespace
+}  // namespace hpcap

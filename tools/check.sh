@@ -63,6 +63,9 @@ ctest --test-dir "$root/build" -L net --output-on-failure
 step "chaos suite (seeded faults + reconnect/resume, deflake double-run)"
 ctest --test-dir "$root/build" -L chaos --output-on-failure
 
+step "ctrl suite (closed-loop capacity management, deflake double-run)"
+ctest --test-dir "$root/build" -L ctrl --output-on-failure
+
 if [ "$mode" = "full" ]; then
   step "tsan build + ctest -L tsan (includes net loopback/swap suites)"
   cmake -B "$root/build-tsan" -S "$root" -DHPCAP_TSAN=ON >/dev/null
@@ -70,6 +73,7 @@ if [ "$mode" = "full" ]; then
   ctest --test-dir "$root/build-tsan" -L tsan --output-on-failure
   ctest --test-dir "$root/build-tsan" -L net --output-on-failure
   ctest --test-dir "$root/build-tsan" -L chaos --output-on-failure
+  ctest --test-dir "$root/build-tsan" -L ctrl --output-on-failure
 
   step "asan build + ctest -L asan (includes net protocol/loopback suites)"
   cmake -B "$root/build-asan" -S "$root" -DHPCAP_ASAN=ON >/dev/null
@@ -77,6 +81,7 @@ if [ "$mode" = "full" ]; then
   ctest --test-dir "$root/build-asan" -L asan --output-on-failure
   ctest --test-dir "$root/build-asan" -L net --output-on-failure
   ctest --test-dir "$root/build-asan" -L chaos --output-on-failure
+  ctest --test-dir "$root/build-asan" -L ctrl --output-on-failure
 
   step "ubsan build + ctest -L ubsan (net + ml + counters decode paths)"
   cmake -B "$root/build-ubsan" -S "$root" -DHPCAP_UBSAN=ON >/dev/null

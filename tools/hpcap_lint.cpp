@@ -867,11 +867,102 @@ void rule_reactor_confinement(Ctx& ctx) {
   }
 }
 
+// Closed-loop controllers (src/ctrl/) actuate on a live site: a cap or a
+// replica count written without a bound or outside the hysteresis path is
+// how a control loop amplifies an outage. Two obligations:
+//   * every function annotated `// hpcap-lint: actuation` (the comment
+//     goes on or directly above the signature, like hot-path) must both
+//     clamp what it writes (a clamp/min/max call in the body) and sit on
+//     the cooldown/freeze path (the body references cooldown or kFrozen);
+//   * plant-mutating seams (set_cap / set_replicas / set_population /
+//     set_tier_replicas / set_admitted_rate_cap calls) appearing in
+//     src/ctrl/ *outside* an annotated body fire — actuation must flow
+//     through an audited, annotated function, not ad hoc writes.
+// Justified exceptions carry `// hpcap-lint: allow(ctrl-bounded-actuation)`.
+void rule_ctrl_bounded_actuation(Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/ctrl/")) return;
+  const auto& code = ctx.text.code;
+  const auto& comment = ctx.text.comment;
+  static const char* kClamps[] = {"clamp(", "std::min(", "std::max("};
+  static const char* kGuards[] = {"cooldown", "kFrozen"};
+  static const char* kSeams[] = {"set_population(", "set_tier_replicas(",
+                                 "set_replicas(", "set_cap(",
+                                 "set_admitted_rate_cap("};
+  // Pass 1: find annotated bodies, check their obligations, remember the
+  // line ranges so pass 2 can exempt seam calls inside them.
+  std::vector<std::pair<std::size_t, std::size_t>> bodies;
+  for (std::size_t i = 0; i < comment.size(); ++i) {
+    const std::size_t at = comment[i].find("hpcap-lint:");
+    if (at == std::string::npos) continue;
+    const std::string rest = comment[i].substr(at + 11);
+    if (!contains(rest, "actuation") || contains(rest, "allow(")) continue;
+    std::size_t open_line = code.size();
+    std::size_t open_col = 0;
+    for (std::size_t l = i; l < code.size() && l < i + 20; ++l) {
+      const std::size_t c = code[l].find('{');
+      if (c != std::string::npos) {
+        open_line = l;
+        open_col = c;
+        break;
+      }
+    }
+    if (open_line == code.size()) continue;
+    int depth = 0;
+    std::size_t end_line = code.size() - 1;
+    bool done = false;
+    for (std::size_t l = open_line; l < code.size() && !done; ++l) {
+      for (std::size_t k = (l == open_line ? open_col : 0);
+           k < code[l].size(); ++k) {
+        if (code[l][k] == '{') {
+          ++depth;
+        } else if (code[l][k] == '}' && --depth == 0) {
+          end_line = l;
+          done = true;
+          break;
+        }
+      }
+    }
+    bodies.emplace_back(open_line, end_line);
+    bool clamped = false;
+    bool guarded = false;
+    for (std::size_t l = open_line; l <= end_line && l < code.size(); ++l) {
+      for (const char* t : kClamps) clamped = clamped || contains(code[l], t);
+      for (const char* t : kGuards) guarded = guarded || contains(code[l], t);
+    }
+    if (!clamped)
+      ctx.report(i, "ctrl-bounded-actuation",
+                 "actuation function writes without a clamp — bound the "
+                 "value against the configured min/max before it reaches "
+                 "the plant");
+    if (!guarded)
+      ctx.report(i, "ctrl-bounded-actuation",
+                 "actuation function has no cooldown/freeze guard — "
+                 "reference the cooldown state or the kFrozen path in the "
+                 "body");
+  }
+  // Pass 2: plant seams outside any annotated body.
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    bool seam = false;
+    for (const char* t : kSeams) seam = seam || contains(code[i], t);
+    if (!seam) continue;
+    bool inside = false;
+    for (const auto& b : bodies)
+      inside = inside || (i >= b.first && i <= b.second);
+    if (inside) continue;
+    ctx.report(i, "ctrl-bounded-actuation",
+               "plant-mutating call outside an annotated actuation "
+               "function — route it through a `// hpcap-lint: actuation` "
+               "body that clamps and cooldown-gates, or justify with "
+               "allow(ctrl-bounded-actuation)");
+  }
+}
+
 const char* kAllRules[] = {"banned-function", "no-const-cast",
                            "no-naked-new",    "bounded-decode",
                            "unordered-output", "pragma-once",
                            "include-hygiene", "hot-path-alloc",
-                           "net-retry-bound", "reactor-confinement"};
+                           "net-retry-bound", "reactor-confinement",
+                           "ctrl-bounded-actuation"};
 
 std::vector<Finding> lint_content(const std::string& rel_path,
                                   const std::string& content) {
@@ -889,6 +980,7 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   rule_hot_path_alloc(ctx);
   rule_net_retry_bound(ctx);
   rule_reactor_confinement(ctx);
+  rule_ctrl_bounded_actuation(ctx);
   return findings;
 }
 
@@ -1238,6 +1330,37 @@ const Case kCases[] = {
      "void f(std::vector<int>& pool, int v){\n"
      "  // hpcap-lint: allow(hot-path-alloc) — bounded recycling pool\n"
      "  pool.push_back(v);\n}\n",
+     nullptr},
+
+    // ctrl-bounded-actuation
+    {"ctrl.unclamped_fires", "src/ctrl/x.cpp",
+     "// hpcap-lint: actuation\n"
+     "void C::apply(double cap){\n"
+     "  if (cooldown_left_ > 0) return;\n"
+     "  cap_ = cap;\n}\n",
+     "ctrl-bounded-actuation"},
+    {"ctrl.unguarded_fires", "src/ctrl/x.cpp",
+     "// hpcap-lint: actuation\n"
+     "void C::apply(double cap){\n"
+     "  cap_ = std::clamp(cap, opts_.min_cap, opts_.max_cap);\n}\n",
+     "ctrl-bounded-actuation"},
+    {"ctrl.naked_seam_fires", "src/ctrl/x.cpp",
+     "void C::tick(double cap){\n"
+     "  plant_->set_admitted_rate_cap(cap);\n}\n",
+     "ctrl-bounded-actuation"},
+    {"ctrl.clean", "src/ctrl/x.cpp",
+     "// hpcap-lint: actuation\n"
+     "void C::apply(double cap){\n"
+     "  cap_ = std::clamp(cap, opts_.min_cap, opts_.max_cap);\n"
+     "  cooldown_left_ = opts_.cooldown_windows;\n"
+     "  plant_->set_admitted_rate_cap(cap_);\n}\n",
+     nullptr},
+    {"ctrl.out_of_scope_ok", "src/testbed/x.cpp",
+     "void f(P& p, double cap){ p.set_admitted_rate_cap(cap); }\n", nullptr},
+    {"ctrl.allow", "src/ctrl/x.cpp",
+     "void C::reset(){\n"
+     "  // hpcap-lint: allow(ctrl-bounded-actuation) — init-time reset\n"
+     "  plant_->set_replicas(0, 1);\n}\n",
      nullptr},
 };
 

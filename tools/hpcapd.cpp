@@ -51,6 +51,8 @@ void usage(std::FILE* to) {
                "[--shard-mode auto|reuseport|handoff]\n"
                "              [--parent HOST:PORT] [--leaf-name NAME]\n"
                "              [--coverage I,J,...] [--fanin N]\n"
+               "              [--ctrl-advisory] [--ctrl-min-cap X]\n"
+               "              [--ctrl-max-cap X]\n"
                "              [--log-level debug|info|warn|error]\n"
                "       hpcapd --version\n");
 }
@@ -203,6 +205,12 @@ int main(int argc, char** argv) {
                      policy.c_str());
         return 2;
       }
+    } else if (arg == "--ctrl-advisory") {
+      cfg.ctrl_advisory = true;
+    } else if (arg == "--ctrl-min-cap") {
+      cfg.ctrl_min_cap = parse_double("--ctrl-min-cap", value());
+    } else if (arg == "--ctrl-max-cap") {
+      cfg.ctrl_max_cap = parse_double("--ctrl-max-cap", value());
     } else if (arg == "--log-level") {
       hpcap::LogLevel level;
       if (!parse_log_level(value(), &level)) {
