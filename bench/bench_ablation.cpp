@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/online_adapt.h"

@@ -10,8 +10,10 @@
 // region, prints agreement statistics plus a lead/lag cross-correlation
 // profile, and writes the full normalized series to fig3_pi.csv for
 // re-plotting.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/productivity.h"
 #include "testbed/experiment.h"

@@ -14,11 +14,11 @@
 //
 // Each test workload is replayed with three independent seeds; cells
 // report mean ± sample standard deviation across the replays.
+#include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
-
-#include <cmath>
 
 #include "ml/evaluate.h"
 #include "testbed/experiment.h"

@@ -25,6 +25,7 @@
 //                      serial build means, bank speedup at 2 and 4
 //                      threads, and ns-per-observe of a trained monitor
 //                      (default: BENCH_hotpath.json)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>

@@ -15,6 +15,7 @@
 // Build & run:  ./build/examples/admission_control
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/admission.h"
 #include "testbed/experiment.h"

@@ -10,6 +10,7 @@
 // Build & run:  ./build/examples/bottleneck_monitor
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "ml/evaluate.h"
 #include "testbed/experiment.h"

@@ -12,6 +12,7 @@
 // Build & run:  ./build/examples/capacity_planning
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "testbed/experiment.h"
 #include "util/table.h"

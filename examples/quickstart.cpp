@@ -8,6 +8,7 @@
 //   5. replay a fresh test workload and report prediction quality.
 //
 // Build & run:  ./build/examples/quickstart
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 

@@ -8,8 +8,10 @@
 // ten minutes among all three tiers.
 //
 // Build & run:  ./build/examples/three_tier
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "counters/metric_catalog.h"

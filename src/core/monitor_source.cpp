@@ -38,7 +38,7 @@ MonitorSource::MonitorSource(std::string path, std::string bytes)
 }
 
 MonitorSource::MonitorSource(MonitorSource&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  util::MutexLock lock(&other.mu_);
   bytes_ = std::move(other.bytes_);
   version_ = other.version_;
   path_ = std::move(other.path_);
@@ -61,7 +61,7 @@ MonitorSource MonitorSource::from_monitor(const CapacityMonitor& monitor) {
 CapacityMonitor MonitorSource::instantiate() const {
   std::shared_ptr<const std::string> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     snapshot = bytes_;
   }
   // Parse outside the lock: loading is the expensive part and the
@@ -73,7 +73,7 @@ CapacityMonitor MonitorSource::instantiate() const {
 void MonitorSource::swap_from_file(const std::string& path) {
   std::string target = path;
   if (target.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     target = path_;
   }
   if (target.empty())
@@ -81,7 +81,7 @@ void MonitorSource::swap_from_file(const std::string& path) {
         "MonitorSource: no path to reload (in-memory source)");
   std::string bytes = read_file(target);
   validate_bundle(bytes);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   bytes_ = std::make_shared<const std::string>(std::move(bytes));
   path_ = std::move(target);
   ++version_;
@@ -89,19 +89,24 @@ void MonitorSource::swap_from_file(const std::string& path) {
 
 void MonitorSource::swap_bytes(std::string bytes) {
   validate_bundle(bytes);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   bytes_ = std::make_shared<const std::string>(std::move(bytes));
   ++version_;
 }
 
 std::uint32_t MonitorSource::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return version_;
 }
 
 std::shared_ptr<const std::string> MonitorSource::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return bytes_;
+}
+
+std::string MonitorSource::path() const {
+  util::MutexLock lock(&mu_);
+  return path_;
 }
 
 }  // namespace hpcap::core

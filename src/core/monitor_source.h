@@ -23,10 +23,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/pipeline.h"
+#include "util/mutex.h"
 
 namespace hpcap::core {
 
@@ -59,15 +59,21 @@ class MonitorSource {
   std::uint32_t version() const;
   // The current serialized bundle (immutable snapshot).
   std::shared_ptr<const std::string> bytes() const;
-  const std::string& path() const noexcept { return path_; }
+  // Origin file ("" for in-memory sources). Returned by value:
+  // swap_from_file(path) republishes path_ under the lock, so handing
+  // out a reference would race with a concurrent swap. (Found by the
+  // GUARDED_BY annotation pass — the old accessor returned
+  // `const std::string&` with no lock.)
+  std::string path() const;
 
  private:
   MonitorSource(std::string path, std::string bytes);
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const std::string> bytes_;
-  std::uint32_t version_ = 1;
-  std::string path_;  // origin file; "" for in-memory sources
+  mutable util::Mutex mu_;
+  std::shared_ptr<const std::string> bytes_ HPCAP_GUARDED_BY(mu_);
+  std::uint32_t version_ HPCAP_GUARDED_BY(mu_) = 1;
+  // Origin file; "" for in-memory sources.
+  std::string path_ HPCAP_GUARDED_BY(mu_);
 };
 
 }  // namespace hpcap::core

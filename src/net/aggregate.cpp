@@ -183,7 +183,7 @@ Uplink::Uplink(Options opts) : opts_(std::move(opts)) {
 Uplink::~Uplink() { stop(); }
 
 void Uplink::start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (running_) return;
   stop_ = false;
   running_ = true;
@@ -192,20 +192,20 @@ void Uplink::start() {
 
 void Uplink::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!running_) return;
     stop_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   running_ = false;
 }
 
 void Uplink::offer(std::uint64_t session_token, std::uint32_t window_index,
                    std::span<const int> votes,
                    std::span<const std::uint8_t> valid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (feed_token_ == 0) feed_token_ = session_token;
   if (session_token != feed_token_) {
     ++stats_.dropped_foreign;
@@ -228,7 +228,7 @@ void Uplink::offer(std::uint64_t session_token, std::uint32_t window_index,
 }
 
 std::vector<DecisionFrame> Uplink::drain_fleet_decisions() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<DecisionFrame> out(fleet_decisions_.begin(),
                                  fleet_decisions_.end());
   fleet_decisions_.clear();
@@ -236,14 +236,14 @@ std::vector<DecisionFrame> Uplink::drain_fleet_decisions() {
 }
 
 Uplink::Stats Uplink::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return stats_;
 }
 
 void Uplink::worker() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       if (stop_ && queue_.empty()) return;
     }
     try {
@@ -254,18 +254,18 @@ void Uplink::worker() {
       // The parent permanently refused the subscription (coverage
       // overlap, post-start join, fan-in). Retrying cannot help.
       std::fprintf(stderr, "hpcap uplink: %s\n", e.what());
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       ++stats_.outages;
       stats_.subscribed = false;
       return;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "hpcap uplink: outage: %s\n", e.what());
-      std::unique_lock<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       ++stats_.outages;
       stats_.subscribed = false;
-      // Pause before the next full cycle; stop() interrupts the wait.
-      cv_.wait_for(lock, std::chrono::milliseconds(500),
-                   [this] { return stop_; });
+      // Pause before the next full cycle; stop() interrupts the wait
+      // (a spurious wakeup merely shortens the pause).
+      if (!stop_) cv_.wait_for(lock, std::chrono::milliseconds(500));
       if (stop_) return;
     }
   }
@@ -280,7 +280,7 @@ void Uplink::run_session() {
   req.leaf = opts_.leaf;
   req.synopses = opts_.coverage;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     req.resume_token = resume_token_;
     req.resume_from_window = next_fleet_window_;
   }
@@ -289,7 +289,7 @@ void Uplink::run_session() {
     throw SessionLost("net::Uplink: parent refused subscription: " +
                       rep.message);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     stats_.subscribed = true;
     resume_token_ = rep.session_token;
   }
@@ -300,9 +300,11 @@ void Uplink::run_session() {
     batch.windows.clear();
     batch.agg_seq = 0;  // client stamps the session sequence
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(100),
-                   [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(&mu_);
+      // Bounded nap while idle; a spurious wakeup just sends an empty
+      // batch iteration around the loop again.
+      if (!stop_ && queue_.empty())
+        cv_.wait_for(lock, std::chrono::milliseconds(100));
       flush_and_exit = stop_;
       while (!queue_.empty() &&
              batch.windows.size() < opts_.max_batch_windows) {
@@ -332,7 +334,7 @@ void Uplink::run_session() {
         // protocol. Re-queue what this batch held (front, in order) so
         // no window index goes missing; the aggregator ignores any the
         // parent already merged.
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(&mu_);
         for (auto it = batch.windows.rbegin(); it != batch.windows.rend();
              ++it) {
           QueuedWindow q;
@@ -343,20 +345,20 @@ void Uplink::run_session() {
         }
         throw;
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       stats_.sent_windows += batch.windows.size();
     }
     // Fleet decisions ride back as ordinary DECISION frames.
     std::vector<DecisionFrame> fleet = client.drain_decisions();
     if (!fleet.empty()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       for (DecisionFrame& d : fleet) {
         next_fleet_window_ = d.window_index + 1;
         fleet_decisions_.push_back(d);
       }
     }
     if (flush_and_exit) {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       if (queue_.empty()) return;
     }
   }

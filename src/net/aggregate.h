@@ -28,11 +28,9 @@
 //     ordinary DECISION frames and are buffered for the caller.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -44,6 +42,7 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/retry.h"
+#include "util/mutex.h"
 
 namespace hpcap::net {
 
@@ -177,20 +176,25 @@ class Uplink {
 
   Options opts_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<QueuedWindow> queue_;
-  std::deque<DecisionFrame> fleet_decisions_;
-  std::uint64_t feed_token_ = 0;  // first offering session wins
+  // mu_ guards every field below it; the worker thread and the reactor
+  // threads meet nowhere else. In the canonical lock hierarchy
+  // (util/mutex.h) this is a leaf: nothing is posted, woken, or
+  // enqueued while it is held.
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<QueuedWindow> queue_ HPCAP_GUARDED_BY(mu_);
+  std::deque<DecisionFrame> fleet_decisions_ HPCAP_GUARDED_BY(mu_);
+  // First offering session wins.
+  std::uint64_t feed_token_ HPCAP_GUARDED_BY(mu_) = 0;
   // Cross-cycle resume identity: the parent-issued session token, and
   // the next fleet DECISION window this uplink expects (SUBSCRIBE's
   // resume_from_window asks the parent to replay from here). Within one
   // cycle the Client tracks both itself; these survive a full outage.
-  std::uint64_t resume_token_ = 0;
-  std::uint32_t next_fleet_window_ = 0;
-  Stats stats_;
-  bool stop_ = false;
-  bool running_ = false;
+  std::uint64_t resume_token_ HPCAP_GUARDED_BY(mu_) = 0;
+  std::uint32_t next_fleet_window_ HPCAP_GUARDED_BY(mu_) = 0;
+  Stats stats_ HPCAP_GUARDED_BY(mu_);
+  bool stop_ HPCAP_GUARDED_BY(mu_) = false;
+  bool running_ HPCAP_GUARDED_BY(mu_) = false;
 
   std::thread thread_;
 };

@@ -113,7 +113,7 @@ ChaosProxy::~ChaosProxy() {
   stop_.store(true);
   ::shutdown(listen_fd_, SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     for (auto& link : links_) {
       ::shutdown(link->down_fd, SHUT_RDWR);
       ::shutdown(link->up_fd, SHUT_RDWR);
@@ -130,7 +130,7 @@ ChaosProxy::~ChaosProxy() {
 }
 
 void ChaosProxy::kill_connections() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (auto& link : links_) {
     if (link->done.load()) continue;
     arm_reset(link->down_fd);
@@ -161,7 +161,7 @@ ChaosStats ChaosProxy::stats() const {
 // only a close() (armed to RST) tears the window down and unblocks it.
 // Reaping lazily on accept would livelock an idle proxy.
 void ChaosProxy::reap_done_links() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (auto& l : links_) {
     if (l->done.load() && l->thread.joinable()) {
       l->thread.join();
@@ -211,7 +211,7 @@ void ChaosProxy::accept_loop() {
     link->up_fd = up;
     counters_.connections.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       link->id = next_link_id_++;
       Link* raw = link.get();
       raw->thread = std::thread([this, raw] { pump(*raw); });

@@ -25,11 +25,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace hpcap::net {
@@ -128,9 +128,11 @@ class ChaosProxy {
   std::atomic<bool> stop_{false};
   std::atomic<bool> blackhole_{false};
 
-  mutable std::mutex mu_;  // guards links_
-  std::vector<std::unique_ptr<Link>> links_;
-  std::uint64_t next_link_id_ = 0;
+  // Guards the link table; a leaf lock (nothing is posted or enqueued
+  // while it is held — pump threads never take it).
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<Link>> links_ HPCAP_GUARDED_BY(mu_);
+  std::uint64_t next_link_id_ HPCAP_GUARDED_BY(mu_) = 0;
 
   std::thread accept_thread_;
 

@@ -184,8 +184,8 @@ struct ShardGroup::Directory {
 struct ShardGroup::Shard {
   EventLoop* loop = nullptr;
   Server* server = nullptr;
-  std::mutex mu;  // guards mail only
-  std::vector<ShardEnvelope> mail;
+  util::Mutex mu;  // guards mail only; nests inside nothing
+  std::vector<ShardEnvelope> mail HPCAP_GUARDED_BY(mu);
 };
 
 ShardGroup::ShardGroup(std::uint64_t token_seed)
@@ -214,7 +214,7 @@ Server* ShardGroup::server(std::size_t shard) const {
 void ShardGroup::post(std::size_t shard, ShardEnvelope env) {
   Shard& s = *shards_.at(shard);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(&s.mu);
     s.mail.push_back(std::move(env));
   }
   s.loop->wake();
@@ -223,7 +223,7 @@ void ShardGroup::post(std::size_t shard, ShardEnvelope env) {
 std::vector<ShardEnvelope> ShardGroup::take_mail(std::size_t shard) {
   Shard& s = *shards_.at(shard);
   std::vector<ShardEnvelope> mail;
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(&s.mu);
   mail.swap(s.mail);
   return mail;
 }
@@ -267,7 +267,7 @@ Server::Server(EventLoop& loop, core::MonitorSource& source, ServerConfig cfg,
   if (cfg_.ctrl_advisory) {
     // One advisory controller per fleet, created before any reactor
     // thread starts (the lock is for the sharded case's ctor ordering).
-    std::lock_guard<std::mutex> lock(group_->ctrl_mu);
+    util::MutexLock lock(&group_->ctrl_mu);
     if (!group_->ctrl) {
       ctrl::CapAdmissionOptions opts;
       opts.min_cap = cfg_.ctrl_min_cap;
@@ -293,7 +293,7 @@ Server::~Server() {
 }
 
 std::size_t Server::lingering_sessions() const {
-  std::lock_guard<std::mutex> lock(group_->mu);
+  util::MutexLock lock(&group_->mu);
   return group_->dir->lingering.size();
 }
 
@@ -481,7 +481,7 @@ void Server::drain_mailbox() {
         } else {
           // Parked (or evicted) since the fan-out snapshot: record into
           // the lingering ring so a resume still replays these windows.
-          std::lock_guard<std::mutex> lock(group_->mu);
+          util::MutexLock lock(&group_->mu);
           const auto it = group_->dir->lingering.find(env.token);
           if (it != group_->dir->lingering.end()) {
             SessionState& s = *it->second;
@@ -628,7 +628,7 @@ void Server::attach_resumed(Connection& c, std::unique_ptr<SessionState> s,
     rep.message = "subscription resumed";
     rep.model_version = session.model_version;
     {
-      std::lock_guard<std::mutex> lock(group_->mu);
+      util::MutexLock lock(&group_->mu);
       if (group_->dir->aggregator)
         rep.num_synopses = group_->dir->aggregator->num_synopses();
     }
@@ -688,7 +688,7 @@ bool Server::try_claim_resume(Connection& c, const HelloRequest& req,
   const char* why = nullptr;
   bool live_elsewhere = false;
   {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    util::MutexLock lock(&group_->mu);
     auto& dir = *group_->dir;
     const auto it = dir.lingering.find(token);
     if (it != dir.lingering.end()) {
@@ -733,7 +733,7 @@ bool Server::try_claim_resume(Connection& c, const HelloRequest& req,
     // defer budget runs out and the resume is rejected).
     std::size_t target = 0;
     {
-      std::lock_guard<std::mutex> lock(group_->mu);
+      util::MutexLock lock(&group_->mu);
       const auto lv = group_->dir->live.find(token);
       if (lv == group_->dir->live.end()) {
         // Parked between the two locks; retry immediately via the timer.
@@ -784,7 +784,7 @@ void Server::retry_pending_resumes() {
     std::unique_ptr<SessionState> claimed;
     const char* why = nullptr;
     {
-      std::lock_guard<std::mutex> lock(group_->mu);
+      util::MutexLock lock(&group_->mu);
       auto& dir = *group_->dir;
       const auto li = dir.lingering.find(token);
       if (li != dir.lingering.end()) {
@@ -887,7 +887,7 @@ void Server::handle_hello(Connection& c, const HelloRequest& req,
     // invariant).
     const char* why = "unknown or expired resume token";
     {
-      std::lock_guard<std::mutex> lock(group_->mu);
+      util::MutexLock lock(&group_->mu);
       const auto it = group_->dir->lingering.find(req.resume_token);
       if (it != group_->dir->lingering.end()) {
         if (it->second->aggregate || it->second->level != req.level ||
@@ -953,7 +953,7 @@ void Server::handle_hello(Connection& c, const HelloRequest& req,
     s.uplink_valid.assign(uplink_->coverage().size(), 0);
   }
   if (s.token != 0) {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    util::MutexLock lock(&group_->mu);
     group_->dir->live[s.token] = shard_id_;
   }
   c.session = std::move(session);
@@ -1118,7 +1118,7 @@ void Server::handle_agg_subscribe(Connection& c,
 
   const std::uint64_t token = group_->next_token();
   {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    util::MutexLock lock(&group_->mu);
     auto& dir = *group_->dir;
     if (!dir.aggregator) {
       FleetAggregator::Options aopts;
@@ -1195,7 +1195,7 @@ void Server::handle_agg_votes(Connection& c, const AggregateBatch& batch) {
 
   std::vector<DecisionFrame> decided;
   {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    util::MutexLock lock(&group_->mu);
     if (!group_->dir->aggregator)
       throw ProtocolError("wire protocol: VOTES with no fleet aggregator");
     try {
@@ -1226,7 +1226,7 @@ void Server::fan_out_fleet(std::vector<DecisionFrame> decided) {
   std::vector<std::uint64_t> local;
   std::vector<Remote> remote;
   {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    util::MutexLock lock(&group_->mu);
     auto& dir = *group_->dir;
     if (!dir.aggregator) return;
     for (const std::uint64_t token : dir.aggregator->subscriber_tokens()) {
@@ -1299,7 +1299,7 @@ void Server::retire_session(SessionState& s) {
   if (!s.aggregate) return;
   std::vector<DecisionFrame> decided;
   {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    util::MutexLock lock(&group_->mu);
     if (!group_->dir->aggregator) return;
     decided = group_->dir->aggregator->unsubscribe(s.token);
   }
@@ -1337,7 +1337,7 @@ void Server::flush_decisions(Connection& c) {
     // Advisory AIMD: the daemon never sheds traffic itself — clients read
     // the recommended cap from STATS. Anchorless feed (no load signal
     // here), leaf-level lock, no allocation.
-    std::lock_guard<std::mutex> lock(group_->ctrl_mu);
+    util::MutexLock lock(&group_->ctrl_mu);
     for (std::size_t w = 0; w < W; ++w) group_->ctrl->on_window(s.block_out[w]);
   }
   for (std::size_t w = 0; w < W; ++w) {
@@ -1476,7 +1476,7 @@ StatsReply Server::build_stats() const {
       {"fleet_decisions", stats_.fleet_decisions},
   };
   if (group_->ctrl) {
-    std::lock_guard<std::mutex> lock(group_->ctrl_mu);
+    util::MutexLock lock(&group_->ctrl_mu);
     const auto& ctl = *group_->ctrl;
     const double cap = ctl.cap();
     rep.entries.emplace_back(
@@ -1578,7 +1578,7 @@ void Server::begin_shutdown() {
              << " connections to drain)";
   // Lingering sessions have nothing left to resume against.
   {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    util::MutexLock lock(&group_->mu);
     group_->dir->lingering.clear();
   }
   pending_resumes_.clear();
@@ -1767,7 +1767,7 @@ void Server::close_connection(int fd, const char* why) {
     s.detached_at = loop_.now();
     ++stats_.sessions_detached;
     {
-      std::lock_guard<std::mutex> lock(group_->mu);
+      util::MutexLock lock(&group_->mu);
       auto& dir = *group_->dir;
       if (dir.lingering.size() >= cfg_.max_lingering) {
         auto oldest = dir.lingering.begin();
@@ -1792,7 +1792,7 @@ void Server::close_connection(int fd, const char* why) {
     // leaves for good — deregister and retire below, outside the map
     // erase so fan-out can still run.
     {
-      std::lock_guard<std::mutex> lock(group_->mu);
+      util::MutexLock lock(&group_->mu);
       group_->dir->live.erase(c.session->token);
     }
     retired = std::move(it->second->session);
@@ -1834,7 +1834,7 @@ void Server::sweep_deadlines() {
   if (shard_id_ != 0) return;
   std::vector<std::unique_ptr<SessionState>> dead;
   {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    util::MutexLock lock(&group_->mu);
     auto& lingering = group_->dir->lingering;
     for (auto it = lingering.begin(); it != lingering.end();) {
       if (now - it->second->detached_at > cfg_.session_linger) {

@@ -96,7 +96,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -105,6 +104,7 @@
 #include "core/monitor_source.h"
 #include "net/event_loop.h"
 #include "net/protocol.h"
+#include "util/mutex.h"
 
 namespace hpcap::ctrl {
 class CapAdmissionController;
@@ -314,17 +314,22 @@ class ShardGroup {
   // Directory of sessions not currently attached on some reactor
   // (lingering) plus where every live v2 session token resides. Guarded
   // by `mu`; SessionState is defined in server.cpp. `mu` is leaf-level:
-  // no mailbox post or enqueue happens while it is held.
+  // no mailbox post or enqueue happens while it is held (hpcap_lint's
+  // reactor-confinement rule enforces it; see docs/API.md "Concurrency
+  // contract" for the full hierarchy).
   struct Directory;
-  std::mutex mu;
-  const std::unique_ptr<Directory> dir;  // pointer is immutable; *dir isn't
+  util::Mutex mu;
+  // The pointer itself is immutable after construction; everything
+  // behind it is directory state and needs `mu`.
+  const std::unique_ptr<Directory> dir HPCAP_PT_GUARDED_BY(mu);
 
   // Fleet-wide advisory admission controller (cfg.ctrl_advisory);
   // created by the first Server before any reactor thread starts. Fed
   // under ctrl_mu (leaf-level, like mu: nothing is posted or enqueued
   // while it is held).
-  std::mutex ctrl_mu;
-  std::unique_ptr<ctrl::CapAdmissionController> ctrl;
+  util::Mutex ctrl_mu;
+  std::unique_ptr<ctrl::CapAdmissionController> ctrl
+      HPCAP_PT_GUARDED_BY(ctrl_mu);
 
  private:
   struct Shard;

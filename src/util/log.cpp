@@ -2,16 +2,19 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace hpcap {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 // Serializes sink writes so pool workers (util/parallel.h) cannot
-// interleave characters of concurrent lines.
-std::mutex g_sink_mu;
-LogSink g_sink;  // empty = stderr; guarded by g_sink_mu
+// interleave characters of concurrent lines. Innermost lock in the
+// canonical hierarchy (util/mutex.h): any thread may log while holding
+// any other project lock; the sink must not take project locks back.
+util::Mutex g_sink_mu;
+LogSink g_sink HPCAP_GUARDED_BY(g_sink_mu);  // empty = stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,13 +36,13 @@ LogLevel log_level() noexcept {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  util::MutexLock lock(&g_sink_mu);
   g_sink = std::move(sink);
 }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  util::MutexLock lock(&g_sink_mu);
   if (g_sink) {
     g_sink(level, message);
     return;

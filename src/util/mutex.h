@@ -1,0 +1,117 @@
+// Annotated mutex primitives (ISSUE 10).
+//
+// util::Mutex / util::MutexLock / util::CondVar are thin wrappers over
+// std::mutex / std::condition_variable that carry the clang thread
+// safety capability attributes (util/thread_annotations.h), so
+// `-Wthread-safety` can prove GUARDED_BY contracts at compile time.
+// std::mutex itself has no capability attribute — fields "guarded" by a
+// raw std::mutex are invisible to the analysis — which is why every
+// shared-state mutex in the tree uses these wrappers.
+//
+// Zero overhead: each method is an inline forward to the std primitive;
+// under GCC the annotations vanish entirely and MutexLock is exactly
+// std::lock_guard by another name.
+//
+// Lock hierarchy (canonical order, outermost first — see docs/API.md
+// "Concurrency contract"):
+//
+//   ShardGroup directory/ctrl locks  ->  per-reactor mailbox locks
+//                                    ->  Logger sink lock
+//
+// ShardGroup's `mu`/`ctrl_mu` are acquired first and are *leaf-level*
+// with respect to cross-thread seams: no mailbox post, wake, or frame
+// enqueue happens while they are held (hpcap_lint's reactor-confinement
+// rule enforces this); the per-shard mailbox lock nests only under
+// nothing (post/take_mail are single-lock scopes); the logger's sink
+// lock is innermost — any thread may log while holding any other lock,
+// and the sink callback must not take project locks. hpcap_lint's
+// lock-order analysis fails the build on any cycle among annotated
+// acquisition scopes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace hpcap::util {
+
+class HPCAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HPCAP_ACQUIRE() { mu_.lock(); }
+  void unlock() HPCAP_RELEASE() { mu_.unlock(); }
+  bool try_lock() HPCAP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The wrapped primitive, for std interop (CondVar). Callers outside
+  // this header treat Mutex as opaque.
+  std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII scope lock over util::Mutex (abseil-style pointer parameter so a
+// lock site reads `MutexLock lock(&obj->mu);` and cannot silently copy).
+class HPCAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HPCAP_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() HPCAP_RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  Mutex* mutex() const noexcept { return mu_; }
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable usable with util::Mutex. Waits temporarily adopt
+// the native handle (the MutexLock still owns the capability as far as
+// the analysis is concerned, which matches reality: the mutex is held
+// again before wait() returns).
+//
+// Deliberately predicate-free: a predicate lambda reading GUARDED_BY
+// fields is analyzed as a separate function with no capabilities held
+// and would warn under clang. Call sites wait in an explicit
+// `while (!condition) cv.wait(lock);` loop inside the locked scope,
+// which the analysis checks exactly.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  // The adopt/release shuffle hands the already-held mutex to the std
+  // wait and takes it back afterwards; the capability never actually
+  // escapes the MutexLock's scope.
+  void wait(MutexLock& lock) HPCAP_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.mutex()->native(),
+                                        std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  // Bounded wait; spurious wakeups pass through (callers re-check their
+  // condition in a loop, exactly as with wait()).
+  template <typename Rep, typename Period>
+  void wait_for(MutexLock& lock, std::chrono::duration<Rep, Period> dur)
+      HPCAP_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.mutex()->native(),
+                                        std::adopt_lock);
+    cv_.wait_for(native, dur);
+    native.release();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hpcap::util

@@ -1,19 +1,19 @@
 #include "util/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
 
 namespace hpcap::util {
 
 struct ThreadPool::Impl {
   std::vector<std::thread> threads;
-  std::deque<std::function<void()>> queue;
-  std::mutex mu;
-  std::condition_variable cv;
-  bool stop = false;
+  Mutex mu;
+  std::deque<std::function<void()>> queue HPCAP_GUARDED_BY(mu);
+  CondVar cv;
+  bool stop HPCAP_GUARDED_BY(mu) = false;
 };
 
 ThreadPool::ThreadPool(std::size_t workers) : impl_(std::make_unique<Impl>()) {
@@ -23,9 +23,8 @@ ThreadPool::ThreadPool(std::size_t workers) : impl_(std::make_unique<Impl>()) {
       for (;;) {
         std::function<void()> job;
         {
-          std::unique_lock<std::mutex> lock(impl->mu);
-          impl->cv.wait(lock,
-                        [impl] { return impl->stop || !impl->queue.empty(); });
+          MutexLock lock(&impl->mu);
+          while (!impl->stop && impl->queue.empty()) impl->cv.wait(lock);
           if (impl->queue.empty()) return;  // stop requested and drained
           job = std::move(impl->queue.front());
           impl->queue.pop_front();
@@ -38,7 +37,7 @@ ThreadPool::ThreadPool(std::size_t workers) : impl_(std::make_unique<Impl>()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(&impl_->mu);
     impl_->stop = true;
   }
   impl_->cv.notify_all();
@@ -51,7 +50,7 @@ std::size_t ThreadPool::workers() const noexcept {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(&impl_->mu);
     impl_->queue.push_back(std::move(job));
   }
   impl_->cv.notify_one();
@@ -60,16 +59,23 @@ void ThreadPool::submit(std::function<void()> job) {
 namespace {
 
 std::atomic<std::size_t> g_max_threads{0};  // 0 = unset, use hardware
-std::mutex g_pool_mu;
+Mutex g_pool_mu;
 // Grown on demand, never shrunk: extra workers just sleep on the queue.
-std::unique_ptr<ThreadPool> g_pool;
+// shared_ptr, not unique_ptr: acquire_pool hands the caller shared
+// ownership, so a concurrent region that grows the pool (replacing
+// g_pool) cannot destroy a ThreadPool another thread is still
+// submitting to. Found by the GUARDED_BY annotation pass — the old
+// code returned a ThreadPool& that escaped the g_pool_mu critical
+// section (use-after-free under concurrent growth; regression test:
+// util_parallel_test PoolGrowth.ConcurrentRegionsWithGrowth).
+std::shared_ptr<ThreadPool> g_pool HPCAP_GUARDED_BY(g_pool_mu);
 thread_local bool t_in_region = false;
 
-ThreadPool& acquire_pool(std::size_t want_workers) {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+std::shared_ptr<ThreadPool> acquire_pool(std::size_t want_workers) {
+  MutexLock lock(&g_pool_mu);
   if (!g_pool || g_pool->workers() < want_workers)
-    g_pool = std::make_unique<ThreadPool>(want_workers);
-  return *g_pool;
+    g_pool = std::make_shared<ThreadPool>(want_workers);
+  return g_pool;
 }
 
 }  // namespace
@@ -113,10 +119,10 @@ struct Shared {
   std::size_t n = 0;
   std::size_t grain = 1;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t finished = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  std::size_t finished HPCAP_GUARDED_BY(mu) = 0;
+  std::exception_ptr error HPCAP_GUARDED_BY(mu);
 };
 }  // namespace
 
@@ -149,25 +155,27 @@ void run_chunked(std::size_t n, std::size_t grain,
       try {
         (*shared->body)(b, e);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(shared->mu);
+        MutexLock lock(&shared->mu);
         if (!shared->error) shared->error = std::current_exception();
         shared->failed.store(true, std::memory_order_relaxed);
       }
     }
     t_in_region = prev;
     {
-      std::lock_guard<std::mutex> lock(shared->mu);
+      MutexLock lock(&shared->mu);
       ++shared->finished;
     }
     shared->cv.notify_all();
   };
 
-  ThreadPool& pool = acquire_pool(t - 1);
-  for (std::size_t w = 0; w + 1 < t; ++w) pool.submit(worker);
+  // Shared ownership keeps this pool alive even if a concurrent region
+  // grows g_pool to a larger pool while we are still submitting.
+  const std::shared_ptr<ThreadPool> pool = acquire_pool(t - 1);
+  for (std::size_t w = 0; w + 1 < t; ++w) pool->submit(worker);
   worker();  // the caller participates
 
-  std::unique_lock<std::mutex> lock(shared->mu);
-  shared->cv.wait(lock, [&shared, t] { return shared->finished == t; });
+  MutexLock lock(&shared->mu);
+  while (shared->finished != t) shared->cv.wait(lock);
   if (shared->error) std::rethrow_exception(shared->error);
 }
 

@@ -1,0 +1,78 @@
+// Clang Thread Safety Analysis attribute macros (ISSUE 10).
+//
+// These wrap clang's `-Wthread-safety` capability attributes so the
+// locking discipline of the concurrent subsystems (net::ShardGroup,
+// net::Uplink, net::ChaosProxy, core::MonitorSource, util::Logger, the
+// util::parallel pool) is machine-checked at compile time wherever a
+// clang frontend is available, and compiles to nothing everywhere else
+// (GCC builds see plain empty macros). The `lint.thread_safety` ctest
+// (tools/thread_safety_check.cmake) turns the analysis into a gate:
+// clang++ -fsyntax-only -Werror=thread-safety over every src/ TU.
+//
+// Use the annotated util::Mutex / util::MutexLock wrappers (util/mutex.h)
+// rather than raw std::mutex for any lock the analysis should see —
+// std::mutex itself carries no capability attribute, so GUARDED_BY on it
+// is ignored by the analysis.
+//
+// Naming follows the clang documentation's canonical macro set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an HPCAP_
+// prefix to keep the global namespace clean.
+#pragma once
+
+#if defined(__clang__)
+#define HPCAP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HPCAP_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// A type that is a lockable capability (mutexes).
+#define HPCAP_CAPABILITY(x) HPCAP_THREAD_ANNOTATION_(capability(x))
+
+// An RAII object that acquires a capability in its constructor and
+// releases it in its destructor (util::MutexLock).
+#define HPCAP_SCOPED_CAPABILITY HPCAP_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data members readable/writable only with the given capability held.
+#define HPCAP_GUARDED_BY(x) HPCAP_THREAD_ANNOTATION_(guarded_by(x))
+// Pointer members whose *pointee* is protected by the capability (the
+// pointer itself may be read freely — e.g. an immutable unique_ptr to a
+// mutable directory).
+#define HPCAP_PT_GUARDED_BY(x) HPCAP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Declared lock-ordering edges, checked at every acquisition site.
+#define HPCAP_ACQUIRED_BEFORE(...) \
+  HPCAP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define HPCAP_ACQUIRED_AFTER(...) \
+  HPCAP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function-level contracts: the caller must hold / must not hold the
+// capability across the call.
+#define HPCAP_REQUIRES(...) \
+  HPCAP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define HPCAP_REQUIRES_SHARED(...) \
+  HPCAP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define HPCAP_EXCLUDES(...) \
+  HPCAP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire/release the capability (Mutex::lock/unlock and
+// the scoped wrapper's constructor/destructor).
+#define HPCAP_ACQUIRE(...) \
+  HPCAP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define HPCAP_ACQUIRE_SHARED(...) \
+  HPCAP_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define HPCAP_RELEASE(...) \
+  HPCAP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define HPCAP_RELEASE_SHARED(...) \
+  HPCAP_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define HPCAP_TRY_ACQUIRE(...) \
+  HPCAP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Functions returning a reference to a capability (accessors).
+#define HPCAP_RETURN_CAPABILITY(x) \
+  HPCAP_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for functions the analysis cannot model (condition
+// variable adopt/release shuffles, lock-stealing moves). Every use
+// carries a justification comment at the site.
+#define HPCAP_NO_THREAD_SAFETY_ANALYSIS \
+  HPCAP_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -131,6 +131,39 @@ TEST(MonitorSource, FileRoundTripAndPathlessReload) {
   std::remove(path.c_str());
 }
 
+// Regression: path() used to return `const std::string&` with no lock
+// while swap_from_file(path) republished path_ under the lock — a data
+// race on the string buffer (TSAN flags it; a reader could also observe
+// a torn/freed buffer). path() now copies under the lock. Found by the
+// GUARDED_BY annotation pass.
+TEST(MonitorSource, PathReadRacesSwapFromFile) {
+  const std::string path_a = "monitor_source_path_race_a.tmp";
+  const std::string path_b = "monitor_source_path_race_b_longer.tmp";
+  {
+    std::ofstream f(path_a);
+    f << bundle_one();
+  }
+  {
+    std::ofstream f(path_b);
+    f << bundle_two();
+  }
+  auto source = core::MonitorSource::from_file(path_a);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const std::string p = source.path();
+      ASSERT_TRUE(p == path_a || p == path_b) << p;
+    }
+  });
+  for (int i = 0; i < 200; ++i)
+    source.swap_from_file(i % 2 ? path_a : path_b);
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(source.path(), path_a);  // last swap was i = 199
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 // The tsan centerpiece: swappers republish alternating bundles while
 // reader threads continuously instantiate monitors and run observations.
 // Every instantiate() must parse a coherent snapshot; bytes() must always

@@ -7,6 +7,7 @@
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/parallel.h"
@@ -101,6 +102,42 @@ TEST(ParallelFor, NestedRegionsRunSerially) {
   });
   EXPECT_FALSE(in_parallel_region());
   for (int saw : outer_saw_nested) EXPECT_EQ(saw, 1);
+}
+
+// Regression: acquire_pool() used to return a ThreadPool& that escaped
+// the g_pool_mu critical section, so a concurrent region that needed
+// more workers replaced g_pool — destroying the pool — while the first
+// region was still submitting to it (use-after-free; TSAN flags it).
+// The pool is now handed out by shared_ptr and every in-flight region
+// keeps its own pool alive. Found by the GUARDED_BY annotation pass.
+TEST(PoolGrowth, ConcurrentRegionsWithGrowth) {
+  ThreadCapGuard guard;
+  set_max_threads(16);
+  std::atomic<std::size_t> small_sum{0};
+  std::atomic<std::size_t> grown_sum{0};
+  std::atomic<bool> stop{false};
+  // Region A: a tiny two-chunk loop in a tight loop — its submits are
+  // the ones that used to land on a freed pool.
+  std::thread small([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      detail::run_chunked(2, 1, [&](std::size_t b, std::size_t e) {
+        small_sum.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    }
+  });
+  // Region B: ever-larger chunk counts; each growth replaces the global
+  // pool while region A races it.
+  std::size_t expect = 0;
+  for (std::size_t want = 2; want <= 16; ++want) {
+    detail::run_chunked(want * 8, 8, [&](std::size_t b, std::size_t e) {
+      grown_sum.fetch_add(e - b, std::memory_order_relaxed);
+    });
+    expect += want * 8;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  small.join();
+  EXPECT_EQ(grown_sum.load(), expect);
+  EXPECT_GT(small_sum.load(), 0u);
 }
 
 TEST(ParallelConfig, MaxThreadsRoundTrips) {

@@ -10,8 +10,10 @@
 #                    -DHPCAP_ASAN=ON (ctest -L asan) and
 #                    -DHPCAP_UBSAN=ON (ctest -L ubsan) builds
 #   lint           - static analysis only: build + run hpcap_lint
-#                    (self-test, then the whole tree) and clang-tidy over
-#                    src/ when clang-tidy is installed
+#                    (self-test, then the whole tree, then once more as
+#                    --json for machine consumers), clang-tidy over src/
+#                    when clang-tidy is installed, and clang's
+#                    -Wthread-safety analysis when clang++ is installed
 #
 # Exits non-zero on the first failing step. Build trees: build/,
 # build-tsan/, build-asan/, build-ubsan/ under the repo root.
@@ -39,9 +41,18 @@ if [ "$mode" = "lint" ]; then
   step "hpcap_lint over the tree"
   "$root/build/tools/hpcap_lint" --root "$root"
 
+  step "hpcap_lint --json (machine-readable findings, written to build/)"
+  "$root/build/tools/hpcap_lint" --json --root "$root" \
+      > "$root/build/lint_findings.json" || {
+    cat "$root/build/lint_findings.json"; exit 1; }
+  echo "wrote $root/build/lint_findings.json"
+
   step "clang-tidy over src/ (skips with a notice when not installed)"
   cmake -DSOURCE_DIR="$root" -DBUILD_DIR="$root/build" \
         -P "$root/tools/clang_tidy_check.cmake"
+
+  step "-Wthread-safety over src/ (skips with a notice when no clang++)"
+  cmake -DSOURCE_DIR="$root" -P "$root/tools/thread_safety_check.cmake"
 
   step "all checks passed (lint)"
   exit 0

@@ -33,6 +33,25 @@
 //   include-hygiene   no duplicate includes, no "../" includes, no C
 //                     headers with <cXXX> equivalents, and a src/ .cpp
 //                     includes its own header first.
+//   lock-order        cross-TU: every scope that acquires a second mutex
+//                     while holding a first contributes a directed edge
+//                     to a global acquisition graph; a cycle (including
+//                     a self-edge — recursive acquisition) fails the
+//                     tree. Edges come from util::MutexLock / lock_guard
+//                     / unique_lock / scoped_lock sites in src/.
+//   confinement-flow  in src/net/, reactor-owned values (Connection,
+//                     SessionState, FrameRef, BatchArena) must not
+//                     escape into a cross-thread seam (mailbox post,
+//                     pool submit, std::thread) — those run on another
+//                     thread after the owning reactor may have freed the
+//                     object. `std::move(...)` hand-offs and seams
+//                     annotated `// hpcap-lint: handoff` are exempt.
+//   blocking-in-reactor  calls that park the thread (sleep_for/usleep/
+//                     nanosleep/blocking connect/system) are forbidden
+//                     inside EventLoop callbacks (add_fd / add_timer /
+//                     set_wake_handler bodies) and `hot-path` annotated
+//                     functions, including through same-file callees —
+//                     a blocked reactor stalls every session it owns.
 //
 // Escape hatch: a comment containing `hpcap-lint: allow(rule-a, rule-b)`
 // (or allow(all)) suppresses those rules on its own line, or on the next
@@ -41,7 +60,10 @@
 //
 // `hpcap_lint --self-test` runs an embedded suite that seeds each
 // violation class and asserts the rule fires (and that a clean twin and
-// an allow()'d twin do not).
+// an allow()'d twin do not). `--json` emits the findings as a JSON array
+// ({file, line, rule, severity, message}) for machine consumers; the
+// exit-code contract is unchanged. `--compile-commands FILE` seeds the
+// scan list from a compile_commands.json instead of the tree walk.
 
 #include <algorithm>
 #include <cctype>
@@ -49,10 +71,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -823,7 +847,7 @@ void rule_reactor_confinement(Ctx& ctx) {
   if (!starts_with(ctx.path, "src/net/")) return;
   const auto& code = ctx.text.code;
   static const char* kLockForms[] = {"lock_guard", "unique_lock",
-                                     "scoped_lock"};
+                                     "scoped_lock", "MutexLock"};
   static const char* kSeams[] = {".post(", "->post(", ".wake(", "->wake(",
                                  "enqueue("};
   for (std::size_t i = 0; i < code.size(); ++i) {
@@ -957,12 +981,457 @@ void rule_ctrl_bounded_actuation(Ctx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Shared scanning helpers for the flow-aware rule families (ISSUE 10).
+// ---------------------------------------------------------------------------
+
+// Matches the '(' at (line, col) to its ')' across lines; returns the
+// argument text (lines joined by spaces) and where the call ends.
+std::string paren_slice(const std::vector<std::string>& code,
+                        std::size_t line, std::size_t col,
+                        std::size_t* end_line_out = nullptr) {
+  std::string out;
+  int depth = 0;
+  for (std::size_t l = line; l < code.size() && l < line + 60; ++l) {
+    for (std::size_t k = (l == line ? col : 0); k < code[l].size(); ++k) {
+      const char c = code[l][k];
+      if (c == '(') {
+        if (depth++ > 0) out += c;
+      } else if (c == ')') {
+        if (--depth == 0) {
+          if (end_line_out) *end_line_out = l;
+          return out;
+        }
+        out += c;
+      } else if (depth > 0) {
+        out += c;
+      }
+    }
+    if (depth > 0) out += ' ';
+  }
+  if (end_line_out) *end_line_out = code.size();
+  return out;
+}
+
+// Brace-matches the '{' at (line, col); returns the closing brace's line
+// (the last line when unbalanced).
+std::size_t brace_close_line(const std::vector<std::string>& code,
+                             std::size_t line, std::size_t col) {
+  int depth = 0;
+  for (std::size_t l = line; l < code.size(); ++l) {
+    for (std::size_t k = (l == line ? col : 0); k < code[l].size(); ++k) {
+      if (code[l][k] == '{') {
+        ++depth;
+      } else if (code[l][k] == '}' && --depth == 0) {
+        return l;
+      }
+    }
+  }
+  return code.size() - 1;
+}
+
+// ---------------------------------------------------------------------------
+// lock-order — cross-TU acquisition-order analysis.
+//
+// Every RAII lock site (util::MutexLock and the std scope-lock forms)
+// names its mutex syntactically; a second site inside the first's guard
+// scope contributes a directed edge `outer -> inner` to a global graph
+// that lint_tree unions across every scanned file. Any cycle is a
+// potential deadlock: two threads taking the same pair of mutexes in
+// opposite orders. Labels are syntactic (identifier path of the lock
+// argument, trailing underscores stripped), so distinct locals that
+// happen to share a name can alias — the allow(lock-order) escape on the
+// inner site severs a false edge with a written justification.
+// ---------------------------------------------------------------------------
+
+struct LockEdge {
+  std::string from, to;  // mutex labels, outer -> inner
+  std::string path;
+  std::size_t line = 0;  // 1-based line of the inner acquisition
+};
+
+const char* kScopeLockForms[] = {"MutexLock", "lock_guard", "unique_lock",
+                                 "scoped_lock"};
+
+// `&group_->mu` -> "group.mu", `mu_` -> "mu", `g_sink_mu` -> "g_sink_mu".
+std::string lock_label(const std::string& arg) {
+  static const std::set<std::string> kNoise = {
+      "std",  "util",  "this",   "adopt_lock", "defer_lock",
+      "lock", "mutex", "native", "try_to_lock"};
+  std::string label;
+  for (const Token& t : identifiers(arg)) {
+    if (kNoise.count(t.text)) continue;
+    std::string part = t.text;
+    while (!part.empty() && part.back() == '_') part.pop_back();
+    if (part.empty()) continue;
+    if (!label.empty()) label += '.';
+    label += part;
+  }
+  return label;
+}
+
+struct LockSite {
+  std::size_t line = 0;  // 0-based
+  std::size_t col = 0;   // start of the lock-form token
+  std::string label;
+};
+
+std::vector<LockSite> collect_lock_sites(const FileText& text) {
+  std::vector<LockSite> sites;
+  const auto& code = text.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const Token& t : identifiers(code[i])) {
+      bool form = false;
+      for (const char* f : kScopeLockForms) form = form || t.text == f;
+      if (!form) continue;
+      // A '(' directly after the form token is a constructor declaration
+      // (or an immediately-destroyed temporary — a bug of its own, not a
+      // held lock); real sites declare a named guard variable.
+      if (next_nonspace(code[i], t.col + t.text.size()) == '(') continue;
+      // The constructor '(' — template args use <>, so the first '(' at
+      // or after the form token opens the argument list.
+      const std::size_t open = code[i].find('(', t.col + t.text.size());
+      if (open == std::string::npos) continue;
+      const std::string arg = paren_slice(code, i, open);
+      // Adopting / deferred construction is not an acquisition here.
+      if (contains(arg, "adopt_lock") || contains(arg, "defer_lock"))
+        continue;
+      const std::string label = lock_label(arg);
+      if (label.empty()) continue;
+      sites.push_back({i, t.col, label});
+      break;  // one site per line is the codebase's lock style
+    }
+  }
+  return sites;
+}
+
+// Appends the file's nested-acquisition edges to `out`. Only src/ files
+// contribute: tests may stage deliberate ordering scenarios.
+void collect_lock_edges(const std::string& rel_path, const FileText& text,
+                        const std::vector<std::set<std::string>>& allows,
+                        std::vector<LockEdge>& out) {
+  if (!in_src(rel_path)) return;
+  const auto& code = text.code;
+  const auto sites = collect_lock_sites(text);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const LockSite& outer = sites[s];
+    // Guard scope: from the end of the declaration to the closing brace
+    // of the enclosing block (same walk as reactor-confinement).
+    std::size_t start_col = code[outer.line].find(';', outer.col);
+    if (start_col == std::string::npos) start_col = code[outer.line].size();
+    std::size_t close_line = code.size() - 1;
+    int depth = 0;
+    bool closed = false;
+    for (std::size_t l = outer.line; l < code.size() && !closed; ++l) {
+      for (std::size_t k = (l == outer.line ? start_col : 0);
+           k < code[l].size(); ++k) {
+        if (code[l][k] == '{') {
+          ++depth;
+        } else if (code[l][k] == '}' && --depth < 0) {
+          close_line = l;
+          closed = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t n = s + 1; n < sites.size(); ++n) {
+      const LockSite& inner = sites[n];
+      if (inner.line <= outer.line || inner.line > close_line) continue;
+      if (allowed(allows, inner.line, "lock-order")) continue;
+      out.push_back({outer.label, inner.label, rel_path, inner.line + 1});
+    }
+  }
+}
+
+// Cycle detection over the unioned edge set. Self-edges are recursive
+// acquisition (std::mutex deadlocks immediately); longer cycles are the
+// classic opposite-order deadlock. Reports are deterministic: the graph
+// iterates in label order and each cycle is reported once, anchored at
+// the back edge that closes it.
+void check_lock_order(const std::vector<LockEdge>& edges,
+                      std::vector<Finding>& findings) {
+  std::map<std::string, std::map<std::string, const LockEdge*>> adj;
+  for (const LockEdge& e : edges) {
+    if (e.from == e.to) {
+      findings.push_back(
+          {e.path, e.line, "lock-order",
+           "recursive acquisition of '" + e.from +
+               "' — the scope already holds this mutex (std::mutex "
+               "self-deadlocks); restructure or justify a false alias "
+               "with allow(lock-order)"});
+      continue;
+    }
+    adj[e.from].emplace(e.to, &e);
+    adj[e.to];  // ensure the node exists for deterministic iteration
+  }
+  std::set<std::string> done;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  // Iterative DFS with an explicit path so cycle text lists every hop.
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& u) {
+        stack.push_back(u);
+        on_stack.insert(u);
+        auto it = adj.find(u);
+        if (it != adj.end()) {
+          for (const auto& [v, edge] : it->second) {
+            if (on_stack.count(v)) {
+              std::string msg = "lock-order cycle: ";
+              std::size_t at = stack.size();
+              while (at > 0 && stack[at - 1] != v) --at;
+              for (std::size_t k = at - 1; k < stack.size(); ++k)
+                msg += stack[k] + " -> ";
+              msg += v + " (edge " + edge->path + ":" +
+                     std::to_string(edge->line) +
+                     " closes the cycle) — two threads taking these in "
+                     "opposite orders deadlock";
+              findings.push_back({edge->path, edge->line, "lock-order", msg});
+            } else if (!done.count(v)) {
+              visit(v);
+            }
+          }
+        }
+        on_stack.erase(u);
+        stack.pop_back();
+        done.insert(u);
+      };
+  for (const auto& [node, _] : adj)
+    if (!done.count(node)) visit(node);
+}
+
+// ---------------------------------------------------------------------------
+// confinement-flow — reactor-owned values must not cross threads.
+//
+// The sharded daemon's ownership rule (server.h): connections, session
+// state, and the zero-copy decode views (FrameRef spans, BatchArena
+// storage) belong to exactly one reactor and die with it. Handing one to
+// a mailbox post, a pool submit, or a std::thread puts it on a thread
+// that races the owner's teardown. Legitimate ownership transfers either
+// move (`std::move(...)` — the source is dead afterwards) or carry a
+// `// hpcap-lint: handoff` annotation naming the protocol that makes
+// them safe.
+// ---------------------------------------------------------------------------
+
+void rule_confinement_flow(Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/net/")) return;
+  const auto& code = ctx.text.code;
+  const auto& comment = ctx.text.comment;
+  static const char* kOwnedTypes[] = {"Connection", "SessionState",
+                                      "FrameRef", "BatchArena"};
+  static const char* kSeams[] = {".post(", "->post(", ".submit(",
+                                 "->submit(", "std::thread"};
+  // Pass 1: names declared as references/pointers/values of an owned
+  // type anywhere in the file (a line-level approximation of scope).
+  std::set<std::string> owned;
+  for (const std::string& line : code) {
+    const auto toks = identifiers(line);
+    for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+      bool is_owned = false;
+      for (const char* t : kOwnedTypes) is_owned = is_owned || toks[k].text == t;
+      if (!is_owned) continue;
+      // `Type& name`, `Type* name`, `Type name` — only &/*/space between.
+      const std::size_t from = toks[k].col + toks[k].text.size();
+      const std::size_t to = toks[k + 1].col;
+      bool decl = to > from;
+      for (std::size_t c = from; c < to && decl; ++c)
+        decl = line[c] == '&' || line[c] == '*' || line[c] == ' ' ||
+               line[c] == '\t';
+      if (!decl) continue;
+      // `Connection& conn()` declares a function, not a value.
+      if (next_nonspace(line, toks[k + 1].col + toks[k + 1].text.size()) ==
+          '(')
+        continue;
+      owned.insert(toks[k + 1].text);
+    }
+  }
+  if (owned.empty()) return;
+  // Pass 2: seams whose argument list references an owned name.
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const char* seam : kSeams) {
+      const std::size_t at = code[i].find(seam);
+      if (at == std::string::npos) continue;
+      const std::size_t open = code[i].find('(', at);
+      if (open == std::string::npos) continue;
+      std::string args = paren_slice(code, i, open);
+      // A move transfers ownership — blank the moved expression so its
+      // name no longer reads as an escape.
+      std::size_t mv = 0;
+      while ((mv = args.find("std::move(", mv)) != std::string::npos) {
+        int depth = 0;
+        std::size_t k = args.find('(', mv);
+        for (; k < args.size(); ++k) {
+          if (args[k] == '(') ++depth;
+          if (args[k] == ')' && --depth == 0) break;
+          if (depth > 0) args[k] = ' ';
+        }
+        mv = k;
+      }
+      const bool handoff =
+          contains(comment[i], "hpcap-lint: handoff") ||
+          (i > 0 && contains(comment[i - 1], "hpcap-lint: handoff") &&
+           trim(code[i - 1]).empty());
+      for (const Token& t : identifiers(args)) {
+        if (!owned.count(t.text)) continue;
+        if (handoff) break;
+        ctx.report(i, "confinement-flow",
+                   "reactor-owned '" + t.text + "' escapes through '" +
+                       std::string(seam) +
+                       "...' to another thread — move ownership "
+                       "(std::move), copy the data out, or document the "
+                       "protocol with `// hpcap-lint: handoff`");
+        break;
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// blocking-in-reactor — nothing reachable from an EventLoop callback may
+// park the thread.
+//
+// A reactor thread multiplexes every session on its loop; one sleeping
+// callback stalls them all (and, in the sharded daemon, stalls mailbox
+// draining for cross-shard hand-off). Entry points are the lambda bodies
+// handed to add_fd/add_timer/set_wake_handler plus `hot-path` annotated
+// functions; the walk follows same-file callees (the codebase's loop
+// callbacks are file-local by construction).
+// ---------------------------------------------------------------------------
+
+void rule_blocking_in_reactor(Ctx& ctx) {
+  if (!in_src(ctx.path)) return;
+  const auto& code = ctx.text.code;
+  const auto& comment = ctx.text.comment;
+  static const char* kEntries[] = {"add_fd(", "add_timer(",
+                                   "set_wake_handler("};
+  static const char* kBanned[] = {"sleep_for(",  "sleep_until(",
+                                  "::usleep(",   "::nanosleep(",
+                                  "::sleep(",    "::system("};
+  static const std::set<std::string> kKeywords = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof",
+      "new", "delete", "throw", "co_await", "co_return"};
+
+  // Same-file function definitions: identifier + (args) + '{', excluding
+  // keywords and member access. Overloads share a name; all bodies walk.
+  std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>>
+      defs;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const Token& t : identifiers(code[i])) {
+      if (kKeywords.count(t.text)) continue;
+      const std::size_t after = t.col + t.text.size();
+      if (next_nonspace(code[i], after) != '(') continue;
+      const char before = prev_nonspace(code[i], t.col);
+      if (before == '.' || before == ',' || before == ']') continue;
+      const std::size_t open = code[i].find('(', after);
+      std::size_t close_line = i;
+      paren_slice(code, i, open, &close_line);
+      if (close_line >= code.size()) continue;
+      // A body '{' within a few lines of the ')', allowing const/
+      // noexcept/override between — anything else is a plain call.
+      bool found_body = false;
+      std::size_t body_line = 0, body_col = 0;
+      for (std::size_t l = close_line;
+           l < code.size() && l <= close_line + 2 && !found_body; ++l) {
+        for (std::size_t k = 0; k < code[l].size(); ++k) {
+          const char c = code[l][k];
+          if (c == '{') {
+            found_body = true;
+            body_line = l;
+            body_col = k;
+            break;
+          }
+          if (c == ';' || c == '=') break;  // declaration or statement
+        }
+      }
+      if (!found_body) continue;
+      defs[t.text].emplace_back(body_line,
+                                brace_close_line(code, body_line, body_col));
+    }
+  }
+
+  // Entry ranges: lambda bodies inside the loop-registration arguments,
+  // plus hot-path annotated bodies (already latency contracts).
+  std::vector<std::pair<std::size_t, std::size_t>> work;
+  std::set<std::string> callees;  // named callbacks handed to the loop
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const char* entry : kEntries) {
+      const std::size_t at = code[i].find(entry);
+      if (at == std::string::npos) continue;
+      const std::size_t open = code[i].find('(', at);
+      std::size_t arg_end = i;
+      paren_slice(code, i, open, &arg_end);
+      bool lambda = false;
+      for (std::size_t l = i; l <= arg_end && l < code.size(); ++l) {
+        const std::size_t b =
+            code[l].find('{', l == i ? open : 0);
+        if (b != std::string::npos && b < code[l].size()) {
+          work.emplace_back(l, brace_close_line(code, l, b));
+          lambda = true;
+          break;
+        }
+      }
+      if (!lambda)
+        for (const Token& t : identifiers(paren_slice(code, i, open)))
+          callees.insert(t.text);
+    }
+  }
+  for (std::size_t i = 0; i < comment.size(); ++i) {
+    const std::size_t at = comment[i].find("hpcap-lint:");
+    if (at == std::string::npos) continue;
+    const std::string rest = comment[i].substr(at + 11);
+    if (!contains(rest, "hot-path") || contains(rest, "allow(")) continue;
+    for (std::size_t l = i; l < code.size() && l < i + 20; ++l) {
+      const std::size_t b = code[l].find('{');
+      if (b != std::string::npos) {
+        work.emplace_back(l, brace_close_line(code, l, b));
+        break;
+      }
+    }
+  }
+
+  // BFS through same-file callees; report each banned line once.
+  std::set<std::string> visited;
+  for (const std::string& c : callees) {
+    auto it = defs.find(c);
+    if (it == defs.end()) continue;
+    visited.insert(c);
+    for (const auto& r : it->second) work.push_back(r);
+  }
+  std::set<std::size_t> reported;
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    const auto [from, to] = work[w];
+    for (std::size_t l = from; l <= to && l < code.size(); ++l) {
+      for (const char* b : kBanned) {
+        if (!contains(code[l], b)) continue;
+        if (reported.count(l)) break;
+        reported.insert(l);
+        ctx.report(l, "blocking-in-reactor",
+                   std::string("blocking call '") + b +
+                       "...' reachable from a reactor callback — the "
+                       "loop thread must never park; defer with "
+                       "add_timer or move the wait to a worker thread");
+        break;
+      }
+      for (const Token& t : identifiers(code[l])) {
+        if (visited.count(t.text) || kKeywords.count(t.text)) continue;
+        if (next_nonspace(code[l], t.col + t.text.size()) != '(') continue;
+        auto it = defs.find(t.text);
+        if (it == defs.end()) continue;
+        visited.insert(t.text);
+        for (const auto& r : it->second)
+          if (r.first != from) work.push_back(r);
+      }
+    }
+  }
+}
+
 const char* kAllRules[] = {"banned-function", "no-const-cast",
                            "no-naked-new",    "bounded-decode",
                            "unordered-output", "pragma-once",
                            "include-hygiene", "hot-path-alloc",
                            "net-retry-bound", "reactor-confinement",
-                           "ctrl-bounded-actuation"};
+                           "ctrl-bounded-actuation", "lock-order",
+                           "confinement-flow", "blocking-in-reactor"};
 
 std::vector<Finding> lint_content(const std::string& rel_path,
                                   const std::string& content) {
@@ -981,6 +1450,10 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   rule_net_retry_bound(ctx);
   rule_reactor_confinement(ctx);
   rule_ctrl_bounded_actuation(ctx);
+  rule_confinement_flow(ctx);
+  rule_blocking_in_reactor(ctx);
+  // lock-order is cross-TU: lint_tree unions edges across every file and
+  // runs the cycle check once. Per-file callers get per-file edges only.
   return findings;
 }
 
@@ -994,7 +1467,8 @@ bool lintable_file(const fs::path& p) {
 }
 
 std::vector<fs::path> collect_files(const fs::path& root) {
-  static const char* kDirs[] = {"src", "tools", "bench", "tests"};
+  static const char* kDirs[] = {"src", "tools", "bench", "tests",
+                                "examples"};
   std::vector<fs::path> files;
   for (const char* d : kDirs) {
     const fs::path dir = root / d;
@@ -1014,7 +1488,36 @@ std::vector<fs::path> collect_files(const fs::path& root) {
   return files;
 }
 
-int lint_tree(const fs::path& root, const std::vector<std::string>& only) {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Hygiene rules shape the tree; everything else is a correctness
+// contract whose violation is a latent bug.
+const char* severity_of(const std::string& rule) {
+  return (rule == "pragma-once" || rule == "include-hygiene") ? "warning"
+                                                              : "error";
+}
+
+int lint_tree(const fs::path& root, const std::vector<std::string>& only,
+              bool json) {
   std::vector<fs::path> files;
   if (only.empty()) {
     files = collect_files(root);
@@ -1022,6 +1525,8 @@ int lint_tree(const fs::path& root, const std::vector<std::string>& only) {
     for (const std::string& f : only) files.emplace_back(f);
   }
   std::size_t total = 0, scanned = 0;
+  std::vector<LockEdge> edges;
+  std::vector<Finding> all;
   for (const fs::path& f : files) {
     std::ifstream in(f, std::ios::binary);
     if (!in) {
@@ -1032,21 +1537,72 @@ int lint_tree(const fs::path& root, const std::vector<std::string>& only) {
     ss << in.rdbuf();
     std::string rel = fs::relative(f, root).generic_string();
     if (starts_with(rel, "./")) rel = rel.substr(2);
-    const auto findings = lint_content(rel, ss.str());
+    const std::string content = ss.str();
+    auto findings = lint_content(rel, content);
+    {
+      const FileText text = scrub(content);
+      collect_lock_edges(rel, text, parse_allows(text), edges);
+    }
     ++scanned;
-    for (const Finding& v : findings) {
+    all.insert(all.end(), findings.begin(), findings.end());
+  }
+  check_lock_order(edges, all);
+  if (json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const Finding& v = all[i];
+      std::printf(
+          "%s\n  {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+          "\"severity\": \"%s\", \"message\": \"%s\"}",
+          i ? "," : "", json_escape(v.path).c_str(), v.line,
+          json_escape(v.rule).c_str(), severity_of(v.rule),
+          json_escape(v.message).c_str());
+    }
+    std::printf("%s]\n", all.empty() ? "" : "\n");
+    total = all.size();
+    std::fprintf(stderr, "hpcap_lint: %zu finding(s) in %zu files\n", total,
+                 scanned);
+  } else {
+    for (const Finding& v : all) {
       ++total;
       std::printf("%s:%zu: [%s] %s\n", v.path.c_str(), v.line,
                   v.rule.c_str(), v.message.c_str());
     }
+    if (total == 0)
+      std::printf("hpcap_lint: %zu files clean\n", scanned);
+    else
+      std::printf("hpcap_lint: %zu violation(s) in %zu files scanned\n",
+                  total, scanned);
   }
-  if (total == 0) {
-    std::printf("hpcap_lint: %zu files clean\n", scanned);
-    return 0;
+  return total == 0 ? 0 : 1;
+}
+
+// Extracts the "file" entries of a compile_commands.json (the exported
+// compilation database) so the cross-TU pass can scan exactly the TUs
+// the build sees. Tolerant, key-scanning parse — the format is stable
+// and machine-written.
+std::vector<std::string> files_from_compile_commands(
+    const std::string& json) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while ((at = json.find("\"file\"", at)) != std::string::npos) {
+    std::size_t colon = json.find(':', at + 6);
+    if (colon == std::string::npos) break;
+    std::size_t open = json.find('"', colon);
+    if (open == std::string::npos) break;
+    std::string path;
+    std::size_t k = open + 1;
+    while (k < json.size() && json[k] != '"') {
+      if (json[k] == '\\' && k + 1 < json.size()) ++k;
+      path += json[k];
+      ++k;
+    }
+    if (!path.empty()) out.push_back(path);
+    at = k;
   }
-  std::printf("hpcap_lint: %zu violation(s) in %zu files scanned\n", total,
-              scanned);
-  return 1;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -1362,6 +1918,148 @@ const Case kCases[] = {
      "  // hpcap-lint: allow(ctrl-bounded-actuation) — init-time reset\n"
      "  plant_->set_replicas(0, 1);\n}\n",
      nullptr},
+
+    // confinement-flow
+    {"confine.post_ref", "src/net/x.cpp",
+     "void S::hand(Connection& conn){\n"
+     "  group_->post(conn.shard, conn);\n}\n",
+     "confinement-flow"},
+    {"confine.thread_capture", "src/net/x.cpp",
+     "void S::spawn(SessionState* session){\n"
+     "  worker_ = std::thread([session] { run(session); });\n}\n",
+     "confinement-flow"},
+    {"confine.submit", "src/net/x.cpp",
+     "void S::defer(FrameRef& frame){\n"
+     "  pool_.submit([&frame] { use(frame); });\n}\n",
+     "confinement-flow"},
+    {"confine.clean_envelope", "src/net/x.cpp",
+     "void S::hand(Connection& conn){\n"
+     "  ShardEnvelope env = pack(conn);\n"
+     "  group_->post(env.shard, std::move(env));\n}\n",
+     nullptr},
+    {"confine.move_is_handoff", "src/net/x.cpp",
+     "void S::hand(std::unique_ptr<SessionState> session){\n"
+     "  group_->post(0, std::move(session));\n}\n",
+     nullptr},
+    {"confine.annotated_handoff", "src/net/x.cpp",
+     "void S::hand(Connection& conn){\n"
+     "  // hpcap-lint: handoff — target shard joins before teardown\n"
+     "  group_->post(conn.shard, conn);\n}\n",
+     nullptr},
+    {"confine.allow", "src/net/x.cpp",
+     "void S::hand(Connection& conn){\n"
+     "  // hpcap-lint: allow(confinement-flow) — single-thread test rig\n"
+     "  group_->post(conn.shard, conn);\n}\n",
+     nullptr},
+
+    // blocking-in-reactor
+    {"blocking.timer_sleep", "src/net/x.cpp",
+     "void S::arm(){\n"
+     "  loop_.add_timer(1.0, [this] {\n"
+     "    std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+     "  });\n}\n",
+     "blocking-in-reactor"},
+    {"blocking.fd_callback_usleep", "src/net/x.cpp",
+     "void S::watch(int fd){\n"
+     "  loop_.add_fd(fd, true, false, [this, fd](bool r, bool w) {\n"
+     "    ::usleep(1000);\n"
+     "  });\n}\n",
+     "blocking-in-reactor"},
+    {"blocking.through_callee", "src/net/x.cpp",
+     "void S::settle(){\n"
+     "  ::nanosleep(&ts_, nullptr);\n}\n"
+     "void S::arm(){\n"
+     "  loop_.add_timer(1.0, [this] { settle(); });\n}\n",
+     "blocking-in-reactor"},
+    {"blocking.hot_path", "src/core/x.cpp",
+     "// hpcap-lint: hot-path — per-sample observe\n"
+     "void M::observe(double v){\n"
+     "  std::this_thread::sleep_for(std::chrono::microseconds(1));\n}\n",
+     "blocking-in-reactor"},
+    {"blocking.clean", "src/net/x.cpp",
+     "void S::arm(){\n"
+     "  loop_.add_timer(1.0, [this] { sweep_sessions(); });\n}\n",
+     nullptr},
+    {"blocking.worker_thread_clean", "src/net/x.cpp",
+     "void S::pump(){\n"
+     "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n}\n",
+     nullptr},
+    {"blocking.allow", "src/net/x.cpp",
+     "void S::arm(){\n"
+     "  loop_.add_timer(1.0, [this] {\n"
+     "    // hpcap-lint: allow(blocking-in-reactor) — test-only throttle\n"
+     "    std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+     "  });\n}\n",
+     nullptr},
+};
+
+// Multi-file cases exercise the cross-TU lock-order analysis the way
+// lint_tree runs it: edges unioned across files, cycles checked once.
+struct MultiCase {
+  const char* name;
+  Case files[2];  // path/source pairs; expect_rule fields unused
+  const char* expect_rule;  // nullptr = expect clean
+};
+
+const MultiCase kMultiCases[] = {
+    {"lockorder.cycle_across_tus",
+     {{nullptr, "src/net/a.cpp",
+       "void f(){\n  util::MutexLock a(&alpha_mu_);\n"
+       "  { util::MutexLock b(&beta_mu_); }\n}\n",
+       nullptr},
+      {nullptr, "src/net/b.cpp",
+       "void g(){\n  util::MutexLock b(&beta_mu_);\n"
+       "  { util::MutexLock a(&alpha_mu_); }\n}\n",
+       nullptr}},
+     "lock-order"},
+    {"lockorder.consistent_order",
+     {{nullptr, "src/net/a.cpp",
+       "void f(){\n  util::MutexLock a(&alpha_mu_);\n"
+       "  { util::MutexLock b(&beta_mu_); }\n}\n",
+       nullptr},
+      {nullptr, "src/net/b.cpp",
+       "void g(){\n  util::MutexLock a(&alpha_mu_);\n"
+       "  { util::MutexLock b(&beta_mu_); }\n}\n",
+       nullptr}},
+     nullptr},
+    {"lockorder.recursive",
+     {{nullptr, "src/util/a.cpp",
+       "void f(){\n  util::MutexLock a(&mu_);\n"
+       "  { util::MutexLock b(&mu_); }\n}\n",
+       nullptr},
+      {nullptr, "src/util/b.cpp", "\n", nullptr}},
+     "lock-order"},
+    {"lockorder.allow_severs_edge",
+     {{nullptr, "src/net/a.cpp",
+       "void f(){\n  util::MutexLock a(&alpha_mu_);\n"
+       "  { util::MutexLock b(&beta_mu_); }\n}\n",
+       nullptr},
+      {nullptr, "src/net/b.cpp",
+       "void g(){\n  util::MutexLock b(&beta_mu_);\n"
+       "  // hpcap-lint: allow(lock-order) — distinct pool, false alias\n"
+       "  { util::MutexLock a(&alpha_mu_); }\n}\n",
+       nullptr}},
+     nullptr},
+    {"lockorder.adopt_not_acquisition",
+     {{nullptr, "src/util/a.cpp",
+       "void f(){\n  util::MutexLock a(&alpha_mu_);\n"
+       "  std::unique_lock<std::mutex> n(alpha_mu_.native(), "
+       "std::adopt_lock);\n  n.release();\n}\n",
+       nullptr},
+      {nullptr, "src/util/b.cpp", "\n", nullptr}},
+     nullptr},
+    {"lockorder.three_cycle",
+     {{nullptr, "src/net/a.cpp",
+       "void f(){\n  util::MutexLock a(&alpha_mu_);\n"
+       "  { util::MutexLock b(&beta_mu_); }\n}\n"
+       "void g(){\n  util::MutexLock b(&beta_mu_);\n"
+       "  { util::MutexLock c(&gamma_mu_); }\n}\n",
+       nullptr},
+      {nullptr, "src/net/b.cpp",
+       "void h(){\n  util::MutexLock c(&gamma_mu_);\n"
+       "  { util::MutexLock a(&alpha_mu_); }\n}\n",
+       nullptr}},
+     "lock-order"},
 };
 
 int self_test() {
@@ -1389,7 +2087,35 @@ int self_test() {
                 detail.c_str());
     if (!ok) ++failures;
   }
-  const std::size_t n = sizeof(kCases) / sizeof(kCases[0]);
+  for (const MultiCase& mc : kMultiCases) {
+    std::vector<LockEdge> edges;
+    std::vector<Finding> findings;
+    for (const Case& f : mc.files) {
+      const FileText text = scrub(f.source);
+      collect_lock_edges(f.path, text, parse_allows(text), edges);
+    }
+    check_lock_order(edges, findings);
+    bool ok;
+    std::string detail;
+    if (mc.expect_rule == nullptr) {
+      ok = findings.empty();
+      for (const Finding& f : findings)
+        detail += " unexpected [" + f.rule + "] at " + f.path + ":" +
+                  std::to_string(f.line) + ": " + f.message;
+    } else {
+      ok = false;
+      for (const Finding& f : findings)
+        if (f.rule == mc.expect_rule) ok = true;
+      if (!ok) detail = " expected a [" + std::string(mc.expect_rule) +
+                        "] finding; got " +
+                        std::to_string(findings.size());
+    }
+    std::printf("%-32s %s%s\n", mc.name, ok ? "PASS" : "FAIL",
+                detail.c_str());
+    if (!ok) ++failures;
+  }
+  const std::size_t n = sizeof(kCases) / sizeof(kCases[0]) +
+                        sizeof(kMultiCases) / sizeof(kMultiCases[0]);
   std::printf("hpcap_lint self-test: %zu cases, %d failure(s)\n", n,
               failures);
   return failures == 0 ? 0 : 1;
@@ -1397,14 +2123,19 @@ int self_test() {
 
 void usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: hpcap_lint [--root DIR] [FILE...]\n"
+               "usage: hpcap_lint [--root DIR] [--json] "
+               "[--compile-commands FILE] [FILE...]\n"
                "       hpcap_lint --self-test\n"
                "       hpcap_lint --list-rules\n"
                "\n"
-               "Lints src/, tools/, bench/ and tests/ under --root (default:\n"
-               "current directory) against the project invariants. Explicit\n"
-               "FILE arguments restrict the scan. Exit: 0 clean, 1 findings,\n"
-               "2 usage/io error.\n");
+               "Lints src/, tools/, bench/, tests/ and examples/ under\n"
+               "--root (default:\n"
+               "current directory) against the project invariants, including\n"
+               "the cross-TU lock-order analysis. Explicit FILE arguments\n"
+               "(or --compile-commands, which seeds them from a compilation\n"
+               "database) restrict the scan. --json writes the findings as a\n"
+               "JSON array of {file, line, rule, severity, message}.\n"
+               "Exit: 0 clean, 1 findings, 2 usage/io error.\n");
 }
 
 }  // namespace
@@ -1412,6 +2143,7 @@ void usage(std::FILE* to) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> files;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--self-test") return self_test();
@@ -1419,12 +2151,28 @@ int main(int argc, char** argv) {
       for (const char* r : kAllRules) std::printf("%s\n", r);
       return 0;
     }
-    if (arg == "--root") {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root") {
       if (i + 1 >= argc) {
         usage(stderr);
         return 2;
       }
       root = argv[++i];
+    } else if (arg == "--compile-commands") {
+      if (i + 1 >= argc) {
+        usage(stderr);
+        return 2;
+      }
+      std::ifstream in(argv[++i], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "hpcap_lint: cannot read %s\n", argv[i]);
+        return 2;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      for (const std::string& f : files_from_compile_commands(ss.str()))
+        files.push_back(f);
     } else if (arg == "--help" || arg == "-h") {
       usage(stdout);
       return 0;
@@ -1442,5 +2190,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hpcap_lint: bad --root '%s'\n", root.c_str());
     return 2;
   }
-  return lint_tree(canon, files);
+  return lint_tree(canon, files, json);
 }

@@ -1,0 +1,39 @@
+# Runs clang's Thread Safety Analysis (-Wthread-safety) over the src/
+# translation units. The tree's mutexes are util::Mutex / util::MutexLock
+# (util/mutex.h), which carry the capability attributes from
+# util/thread_annotations.h, so clang can prove every GUARDED_BY /
+# REQUIRES contract at compile time. Invoked by the lint.thread_safety
+# ctest and by tools/check.sh lint.
+#
+# clang is optional tooling: when no clang++ is on PATH this script
+# prints a notice and exits 0; the ctest registration turns that message
+# into a SKIP via SKIP_REGULAR_EXPRESSION, so the lint label stays green
+# on GCC-only machines (where the annotations compile away to nothing)
+# while still enforcing the analysis wherever LLVM is available.
+find_program(CLANGXX_EXE NAMES clang++ clang++-18 clang++-17 clang++-16
+             clang++-15 clang++-14)
+if(NOT CLANGXX_EXE)
+  message(STATUS "clang not installed — skipping the thread-safety leg")
+  return()
+endif()
+
+file(GLOB_RECURSE TS_SOURCES "${SOURCE_DIR}/src/*.cpp")
+list(SORT TS_SOURCES)
+set(FAILED 0)
+foreach(src IN LISTS TS_SOURCES)
+  # -fsyntax-only: analysis is a frontend pass, no codegen needed.
+  execute_process(COMMAND "${CLANGXX_EXE}" -fsyntax-only -std=c++20
+                          "-I${SOURCE_DIR}/src"
+                          -Wthread-safety -Werror=thread-safety
+                          "${src}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(STATUS "thread-safety: ${src}\n${out}${err}")
+    set(FAILED 1)
+  endif()
+endforeach()
+if(FAILED)
+  message(FATAL_ERROR "-Wthread-safety found issues (see above)")
+endif()
+message(STATUS "thread-safety clean over src/")
